@@ -1,0 +1,107 @@
+// bench_scaling — google-benchmark timing harness: simulator throughput and
+// schedule-family costs as functions of ring size, robot count and
+// adversary, plus a cover-time scaling series (the extension bench of
+// DESIGN.md).
+#include <benchmark/benchmark.h>
+
+#include "adversary/proof_adversary.hpp"
+#include "algorithms/registry.hpp"
+#include "analysis/coverage.hpp"
+#include "core/experiment.hpp"
+#include "dynamic_graph/schedules.hpp"
+#include "scheduler/simulator.hpp"
+
+namespace pef {
+namespace {
+
+void BM_SimulatorRoundsStatic(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto k = static_cast<std::uint32_t>(state.range(1));
+  const Ring ring(n);
+  SimulatorOptions options;
+  options.record_trace = false;
+  Simulator sim(ring, make_algorithm("pef3+"),
+                make_oblivious(std::make_shared<StaticSchedule>(ring)),
+                spread_placements(ring, k), options);
+  for (auto _ : state) {
+    sim.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimulatorRoundsStatic)
+    ->Args({8, 3})
+    ->Args({64, 3})
+    ->Args({256, 3})
+    ->Args({64, 8})
+    ->Args({64, 32});
+
+void BM_SimulatorRoundsBernoulli(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const Ring ring(n);
+  SimulatorOptions options;
+  options.record_trace = false;
+  Simulator sim(
+      ring, make_algorithm("pef3+"),
+      make_oblivious(std::make_shared<BernoulliSchedule>(ring, 0.5, 1)),
+      spread_placements(ring, 3), options);
+  for (auto _ : state) {
+    sim.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimulatorRoundsBernoulli)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_StagedProofAdversary(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const Ring ring(n);
+  SimulatorOptions options;
+  options.record_trace = false;
+  Simulator sim(ring, make_algorithm("bounce"),
+                std::make_unique<StagedProofAdversary>(ring, 0, 3, 64),
+                {{0, Chirality(true)}, {1, Chirality(true)}}, options);
+  for (auto _ : state) {
+    sim.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StagedProofAdversary)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_ScheduleQuery(benchmark::State& state) {
+  const Ring ring(static_cast<std::uint32_t>(state.range(0)));
+  const BernoulliSchedule schedule(ring, 0.5, 7);
+  Time t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule.edges_at(t++));
+  }
+}
+BENCHMARK(BM_ScheduleQuery)->Arg(8)->Arg(64)->Arg(512);
+
+/// Cover time of PEF_3+ as a function of n (reported as a counter so the
+/// scaling series prints alongside the timing output).
+void BM_CoverTimeVsN(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const Ring ring(n);
+  double total_cover = 0;
+  std::uint64_t runs = 0;
+  for (auto _ : state) {
+    auto schedule =
+        std::make_shared<BernoulliSchedule>(ring, 0.5, 100 + runs);
+    Simulator sim(ring, make_algorithm("pef3+"), make_oblivious(schedule),
+                  spread_placements(ring, 3));
+    sim.run(200 * n);
+    const auto coverage = analyze_coverage(sim.trace());
+    total_cover += coverage.cover_time
+                       ? static_cast<double>(*coverage.cover_time)
+                       : static_cast<double>(200 * n);
+    ++runs;
+  }
+  state.counters["cover_time_mean"] =
+      total_cover / static_cast<double>(runs);
+}
+BENCHMARK(BM_CoverTimeVsN)->Arg(6)->Arg(12)->Arg(24)->Arg(48)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pef
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// arbitrary_start — why the paper assumes well-initiated executions (and
+// why its predecessor [4] needed self-stabilization machinery).
+//
+// PEF_3+ is correct from any towerless start, but an initial tower of
+// "identical twins" (same node, same chirality, same memory) is sticky:
+// the twins see identical views forever, flip together on every meeting
+// round, and oscillate as a pair between two adjacent nodes.  With an
+// eventual missing edge elsewhere, the rest of the ring starves.
+//
+// The example renders both runs side by side: a corrupted start that
+// livelocks, and the same system started towerless, which explores
+// perpetually.
+#include <iostream>
+
+#include "adversary/adversary.hpp"
+#include "algorithms/registry.hpp"
+#include "analysis/coverage.hpp"
+#include "analysis/render.hpp"
+#include "dynamic_graph/schedules.hpp"
+#include "scheduler/simulator.hpp"
+
+namespace {
+
+void run_case(const char* title,
+              const std::vector<pef::RobotPlacement>& placements,
+              bool relax_checks) {
+  using namespace pef;
+  const Ring ring(8);
+  const EdgeId missing = 5;
+  auto schedule = std::make_shared<EventualMissingEdgeSchedule>(
+      std::make_shared<StaticSchedule>(ring), missing, /*vanish_time=*/6);
+
+  SimulatorOptions options;
+  options.enforce_well_initiated = !relax_checks;
+
+  Simulator sim(ring, make_algorithm("pef3+"), make_oblivious(schedule),
+                placements, options);
+  sim.run(600);
+
+  std::cout << "--- " << title << " ---\n";
+  RenderOptions render;
+  render.max_lines = 16;
+  render.highlight_edge = missing;
+  render_trace(std::cout, sim.trace(), render);
+
+  const auto coverage = analyze_coverage(sim.trace());
+  std::cout << "nodes visited: " << coverage.visited_node_count << "/8"
+            << ", perpetual: " << (coverage.perpetual(8) ? "yes" : "NO")
+            << ", max revisit gap: " << coverage.max_revisit_gap << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace pef;
+
+  std::cout
+      << "Arbitrary initialization vs the paper's well-initiated "
+         "assumption.\nRing of 8 nodes, PEF_3+, k = 3; edge 5 (marked '|') "
+         "vanishes at t=6.\n\n";
+
+  run_case("corrupted start: twin tower on node 0",
+           {{0, Chirality(true)}, {0, Chirality(true)}, {3, Chirality(true)}},
+           /*relax_checks=*/true);
+
+  run_case("well-initiated start: same robots, towerless",
+           {{0, Chirality(true)}, {1, Chirality(true)}, {3, Chirality(true)}},
+           /*relax_checks=*/false);
+
+  std::cout
+      << "The twins never separate (identical views forever), so after the "
+         "edge dies\nonly a sliver of the ring keeps being patrolled — "
+         "this is precisely why [4]\n(Bournat, Datta, Dubois, SSS 2016) "
+         "needed a self-stabilizing construction, and\nwhy this paper's "
+         "model assumes towerless starts.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// transit_network — exploration over a periodically varying transport ring
+// (the public-transport model of Flocchini et al. [16] / Ilcinkas et
+// al. [19], which the paper's related-work section contrasts with its
+// fully unpredictable connected-over-time model).
+//
+// A circular tram line connects n stations; each track segment is serviced
+// periodically (present `duty` rounds out of every `period`, phase-shifted
+// around the ring like a timetable).  Three PEF_3+ robots explore it
+// without knowing the timetable — the paper's algorithms need no
+// periodicity assumption, so a periodic world is just an easy special case.
+// For contrast, the same line is run with a segment closed for repairs
+// forever (the connected-over-time worst case the timetable model cannot
+// express).
+#include <iostream>
+#include <string>
+
+#include "adversary/adversary.hpp"
+#include "algorithms/pef3plus.hpp"
+#include "analysis/coverage.hpp"
+#include "analysis/towers.hpp"
+#include "dynamic_graph/schedules.hpp"
+#include "dynamic_graph/temporal.hpp"
+#include "scheduler/simulator.hpp"
+
+int main() {
+  using namespace pef;
+
+  constexpr std::uint32_t kStations = 10;
+  constexpr std::uint32_t kPeriod = 6;
+  constexpr std::uint32_t kDuty = 2;
+  constexpr Time kHorizon = 4000;
+
+  const Ring ring(kStations);
+
+  std::cout << "Circular tram line: " << kStations << " stations, each "
+            << "segment serviced " << kDuty << "/" << kPeriod
+            << " rounds (phase-shifted timetable).\n\n";
+
+  // --- Scenario 1: the periodic timetable --------------------------------
+  auto timetable = std::make_shared<PeriodicSchedule>(
+      PeriodicSchedule::rotating(ring, kPeriod, kDuty));
+
+  // The timetable's temporal diameter: how long a traveller needs between
+  // the worst station pair (computed via foremost journeys, Xuan et
+  // al. [23]).
+  const auto diameter = temporal_diameter(*timetable, 0, 500);
+  std::cout << "timetable temporal diameter: "
+            << (diameter ? std::to_string(*diameter) : std::string(">500"))
+            << " rounds\n";
+
+  Simulator periodic_run(ring, std::make_shared<Pef3Plus>(),
+                         make_oblivious(timetable),
+                         spread_placements(ring, 3));
+  periodic_run.run(kHorizon);
+  const auto periodic_cov = analyze_coverage(periodic_run.trace());
+  std::cout << "PEF_3+ on the timetable : every station visited "
+            << (periodic_cov.perpetual(kStations) ? "perpetually"
+                                                  : "NOT perpetually")
+            << " (max service gap " << periodic_cov.max_revisit_gap
+            << " rounds)\n\n";
+
+  // --- Scenario 2: a segment closed for repairs forever -------------------
+  constexpr EdgeId kClosedSegment = 4;
+  auto with_closure = std::make_shared<EventualMissingEdgeSchedule>(
+      timetable, kClosedSegment, /*vanish_time=*/100);
+  Simulator closure_run(ring, std::make_shared<Pef3Plus>(),
+                        make_oblivious(with_closure),
+                        spread_placements(ring, 3));
+  closure_run.run(kHorizon);
+  const auto closure_cov = analyze_coverage(closure_run.trace());
+  const auto towers = analyze_towers(closure_run.trace());
+  std::cout << "segment " << kClosedSegment
+            << " (stations 4|5) closes forever at t=100:\n"
+            << "PEF_3+ with the closure : every station visited "
+            << (closure_cov.perpetual(kStations) ? "perpetually"
+                                                 : "NOT perpetually")
+            << " (max service gap " << closure_cov.max_revisit_gap
+            << " rounds)\n"
+            << "robot meetings observed : " << towers.tower_formation_count
+            << " (never more than 2 robots per stop — Lemma 3.4: "
+            << (towers.lemma_3_4_holds ? "holds" : "violated") << ")\n\n";
+
+  std::cout << "Takeaway: algorithms designed for the connected-over-time "
+               "model need no timetable knowledge — periodicity ([16,19]) "
+               "is a special case, and even a permanent closure (which "
+               "periodic models cannot express) is handled by the "
+               "sentinel/explorer protocol.\n";
+  return periodic_cov.perpetual(kStations) &&
+                 closure_cov.perpetual(kStations)
+             ? 0
+             : 1;
+}

@@ -1,0 +1,64 @@
+// The adversary interface: chooses the present edge set E_t each round.
+//
+// The paper's adversary is omniscient and adaptive: it knows the algorithm,
+// the robots' positions and their full states, and picks E_t with no
+// stability/recurrence/periodicity obligation beyond connected-over-time.
+// Oblivious schedules (functions of time only) are wrapped by
+// ObliviousAdversary; the lower-bound constructions are genuinely adaptive.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/types.hpp"
+#include "dynamic_graph/edge_set.hpp"
+#include "dynamic_graph/ring.hpp"
+#include "dynamic_graph/schedule.hpp"
+#include "robot/configuration.hpp"
+
+namespace pef {
+
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  [[nodiscard]] virtual const Ring& ring() const = 0;
+
+  /// Choose E_t.  Called exactly once per round, in increasing `t` order,
+  /// with the configuration *before* the round's Look phase (the paper's
+  /// gamma_t).  Implementations may keep internal state.
+  [[nodiscard]] virtual EdgeSet choose_edges(Time t,
+                                             const Configuration& gamma) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using AdversaryPtr = std::unique_ptr<Adversary>;
+
+/// Adapts an oblivious EdgeSchedule to the Adversary interface.
+class ObliviousAdversary final : public Adversary {
+ public:
+  explicit ObliviousAdversary(SchedulePtr schedule)
+      : schedule_(std::move(schedule)) {}
+
+  [[nodiscard]] const Ring& ring() const override {
+    return schedule_->ring();
+  }
+  [[nodiscard]] EdgeSet choose_edges(Time t, const Configuration&) override {
+    return schedule_->edges_at(t);
+  }
+  [[nodiscard]] std::string name() const override {
+    return schedule_->name();
+  }
+
+  [[nodiscard]] const SchedulePtr& schedule() const { return schedule_; }
+
+ private:
+  SchedulePtr schedule_;
+};
+
+[[nodiscard]] inline AdversaryPtr make_oblivious(SchedulePtr schedule) {
+  return std::make_unique<ObliviousAdversary>(std::move(schedule));
+}
+
+}  // namespace pef

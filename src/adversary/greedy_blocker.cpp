@@ -1,0 +1,33 @@
+#include "adversary/greedy_blocker.hpp"
+
+#include "common/check.hpp"
+
+namespace pef {
+
+GreedyBlockerAdversary::GreedyBlockerAdversary(Ring ring, Time max_absence)
+    : ring_(ring),
+      max_absence_(max_absence),
+      absence_run_(ring.edge_count(), 0) {
+  PEF_CHECK(max_absence >= 1);
+}
+
+EdgeSet GreedyBlockerAdversary::choose_edges(Time, const Configuration& gamma) {
+  EdgeSet edges = EdgeSet::all(ring_.edge_count());
+  for (const RobotSnapshot& r : gamma.robots()) {
+    const EdgeId pointed =
+        ring_.adjacent_edge(r.node, r.considered_direction());
+    if (absence_run_[pointed] < max_absence_) {
+      edges.erase(pointed);
+    }
+  }
+  for (EdgeId e = 0; e < ring_.edge_count(); ++e) {
+    absence_run_[e] = edges.contains(e) ? 0 : absence_run_[e] + 1;
+  }
+  return edges;
+}
+
+std::string GreedyBlockerAdversary::name() const {
+  return "greedy-blocker(A=" + std::to_string(max_absence_) + ")";
+}
+
+}  // namespace pef

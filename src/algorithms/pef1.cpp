@@ -1,0 +1,13 @@
+#include "algorithms/pef1.hpp"
+
+namespace pef {
+
+void Pef1::compute(const View& view, LocalDirection& dir,
+                   AlgorithmState&) const {
+  if (!view.exists_edge_ahead && view.exists_edge_behind) {
+    dir = opposite(dir);
+  }
+  // If the pointed edge is present (or no edge is present) keep direction.
+}
+
+}  // namespace pef

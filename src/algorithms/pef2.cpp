@@ -1,0 +1,17 @@
+#include "algorithms/pef2.hpp"
+
+namespace pef {
+
+void Pef2::compute(const View& view, LocalDirection& dir,
+                   AlgorithmState&) const {
+  const bool isolated = !view.other_robots_on_node;
+  const bool exactly_one_edge =
+      view.exists_edge_ahead != view.exists_edge_behind;
+  if (isolated && exactly_one_edge) {
+    // Point to the unique present edge.
+    if (!view.exists_edge_ahead) dir = opposite(dir);
+  }
+  // Otherwise: keep the current direction.
+}
+
+}  // namespace pef

@@ -1,0 +1,35 @@
+#include "algorithms/pef3plus.hpp"
+
+#include "common/check.hpp"
+
+namespace pef {
+
+std::unique_ptr<AlgorithmState> Pef3PlusState::clone() const {
+  auto copy = std::make_unique<Pef3PlusState>();
+  copy->has_moved_previous_step = has_moved_previous_step;
+  return copy;
+}
+
+std::string Pef3PlusState::to_string() const {
+  return has_moved_previous_step ? "{moved}" : "{stayed}";
+}
+
+std::unique_ptr<AlgorithmState> Pef3Plus::make_state(RobotId) const {
+  return std::make_unique<Pef3PlusState>();
+}
+
+void Pef3Plus::compute(const View& view, LocalDirection& dir,
+                       AlgorithmState& state) const {
+  auto& s = static_cast<Pef3PlusState&>(state);
+
+  bool ahead_is_incoming_dir = true;  // tracks which side `dir` points to
+  if (s.has_moved_previous_step && view.other_robots_on_node) {
+    dir = opposite(dir);  // Rule 3: arrived onto a tower -> turn back
+    ahead_is_incoming_dir = false;
+  }
+  // Line 4: ExistsEdge(dir) with the *updated* dir.  The View is expressed
+  // relative to the incoming dir, so a flipped robot reads the other side.
+  s.has_moved_previous_step = view.exists_edge(ahead_is_incoming_dir);
+}
+
+}  // namespace pef

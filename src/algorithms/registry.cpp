@@ -1,0 +1,38 @@
+#include "algorithms/registry.hpp"
+
+#include "algorithms/ablations.hpp"
+#include "algorithms/baselines.hpp"
+#include "algorithms/pef1.hpp"
+#include "algorithms/pef2.hpp"
+#include "algorithms/pef3plus.hpp"
+#include "common/check.hpp"
+
+namespace pef {
+
+AlgorithmPtr make_algorithm(const std::string& name, std::uint64_t seed) {
+  if (name == "pef3+") return std::make_shared<Pef3Plus>();
+  if (name == "pef2") return std::make_shared<Pef2>();
+  if (name == "pef1") return std::make_shared<Pef1>();
+  if (name == "keep-direction") return std::make_shared<KeepDirection>();
+  if (name == "bounce") return std::make_shared<BounceOnMissing>();
+  if (name == "random-walk") return std::make_shared<RandomWalk>(seed);
+  if (name == "oscillating") return std::make_shared<Oscillating>(4);
+  if (name == "pef3+-no-rule2") return std::make_shared<Pef3PlusNoRule2>();
+  if (name == "pef3+-no-rule3") return std::make_shared<Pef3PlusNoRule3>();
+  PEF_CHECK_MSG(false, "unknown algorithm name");
+  return nullptr;
+}
+
+std::vector<std::string> algorithm_names() {
+  return {"pef3+",          "pef2",          "pef1",
+          "keep-direction", "bounce",        "random-walk",
+          "oscillating",    "pef3+-no-rule2", "pef3+-no-rule3"};
+}
+
+std::vector<std::string> deterministic_algorithm_names() {
+  return {"pef3+",          "pef2",   "pef1",
+          "keep-direction", "bounce", "oscillating",
+          "pef3+-no-rule2", "pef3+-no-rule3"};
+}
+
+}  // namespace pef

@@ -1,0 +1,83 @@
+#include "analysis/coverage.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pef {
+
+CoverageReport analyze_coverage(const Trace& trace, Time suffix_window) {
+  const std::uint32_t n = trace.ring().node_count();
+  const Time horizon = trace.length();
+  if (suffix_window == 0) suffix_window = horizon / 4 + 1;
+
+  CoverageReport report;
+  report.horizon = horizon;
+  report.suffix_window = suffix_window;
+  report.visit_counts.assign(n, 0);
+
+  std::vector<Time> last_visit(n, 0);
+  std::vector<bool> visited(n, false);
+  std::uint32_t covered = 0;
+
+  auto visit = [&](NodeId u, Time t) {
+    ++report.visit_counts[u];
+    if (visited[u]) {
+      const Time gap = t - last_visit[u];
+      report.max_closed_gap = std::max(report.max_closed_gap, gap);
+    } else {
+      visited[u] = true;
+      ++covered;
+      if (covered == n && !report.cover_time) report.cover_time = t;
+    }
+    last_visit[u] = t;
+  };
+
+  // Configuration time 0: initial positions count as visits.
+  for (const RobotSnapshot& r : trace.initial_configuration().robots()) {
+    visit(r.node, 0);
+  }
+  // Configuration time t+1 after each round t.
+  for (const RoundRecord& round : trace.rounds()) {
+    for (const RobotRoundRecord& r : round.robots) {
+      visit(r.node_after, round.time + 1);
+    }
+  }
+
+  report.visited_node_count = covered;
+
+  const Time suffix_start =
+      horizon >= suffix_window ? horizon - suffix_window : 0;
+  for (NodeId u = 0; u < n; ++u) {
+    // Open gap at the horizon; never-visited nodes starve the whole window.
+    const Time open_gap = visited[u] ? horizon - last_visit[u] : horizon;
+    report.max_revisit_gap =
+        std::max({report.max_revisit_gap, report.max_closed_gap, open_gap});
+    if (visited[u] && last_visit[u] >= suffix_start) {
+      ++report.nodes_visited_in_suffix;
+    }
+  }
+  return report;
+}
+
+std::vector<Time> visit_times(const Trace& trace, NodeId node) {
+  PEF_CHECK(trace.ring().is_valid_node(node));
+  std::vector<Time> times;
+  for (const RobotSnapshot& r : trace.initial_configuration().robots()) {
+    if (r.node == node) {
+      times.push_back(0);
+      break;
+    }
+  }
+  for (const RoundRecord& round : trace.rounds()) {
+    for (const RobotRoundRecord& r : round.robots) {
+      if (r.node_after == node) {
+        times.push_back(round.time + 1);
+        break;
+      }
+    }
+  }
+  return times;
+}
+
+}  // namespace pef

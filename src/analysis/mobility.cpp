@@ -1,0 +1,48 @@
+#include "analysis/mobility.hpp"
+
+#include "common/check.hpp"
+
+namespace pef {
+
+RobotId MobilityReport::busiest() const {
+  RobotId best = 0;
+  for (RobotId r = 0; r < robots.size(); ++r) {
+    if (robots[r].moves > robots[best].moves) best = r;
+  }
+  return best;
+}
+
+RobotId MobilityReport::idlest() const {
+  RobotId best = 0;
+  for (RobotId r = 0; r < robots.size(); ++r) {
+    if (robots[r].moves < robots[best].moves) best = r;
+  }
+  return best;
+}
+
+MobilityReport analyze_mobility(const Trace& trace, Time from) {
+  const std::uint32_t k = trace.initial_configuration().robot_count();
+  MobilityReport report;
+  report.robots.resize(k);
+  for (RobotId r = 0; r < k; ++r) report.robots[r].robot = r;
+
+  for (const RoundRecord& round : trace.rounds()) {
+    if (round.time < from) continue;
+    for (RobotId r = 0; r < k; ++r) {
+      const RobotRoundRecord& rec = round.robots[r];
+      RobotMobility& m = report.robots[r];
+      if (rec.moved) {
+        ++m.moves;
+        ++report.total_moves;
+      } else {
+        ++m.waits;
+        ++m.blocked_rounds;  // in FSYNC, not moving == pointed edge absent
+      }
+      if (rec.dir_before != rec.dir_after) ++m.direction_flips;
+      if (rec.saw_other_robots) ++m.meetings;
+    }
+  }
+  return report;
+}
+
+}  // namespace pef

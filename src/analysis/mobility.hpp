@@ -1,0 +1,45 @@
+// Per-robot mobility statistics: distance travelled, wait ratios, direction
+// flips, and pairwise meetings.  Used by benches and examples to report the
+// sentinel/explorer division of labour quantitatively (a frozen sentinel
+// has ~0 late-run mobility; the explorers carry all of it).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "scheduler/trace.hpp"
+
+namespace pef {
+
+struct RobotMobility {
+  RobotId robot = 0;
+  std::uint64_t moves = 0;
+  std::uint64_t waits = 0;           // rounds without movement
+  std::uint64_t direction_flips = 0; // Compute changed dir
+  std::uint64_t blocked_rounds = 0;  // pointed edge absent at Move
+  std::uint64_t meetings = 0;        // rounds spent sharing a node
+
+  [[nodiscard]] double duty_cycle() const {
+    const std::uint64_t total = moves + waits;
+    return total == 0 ? 0.0
+                      : static_cast<double>(moves) /
+                            static_cast<double>(total);
+  }
+};
+
+struct MobilityReport {
+  std::vector<RobotMobility> robots;
+  std::uint64_t total_moves = 0;
+
+  /// Index of the robot with the most / least moves.
+  [[nodiscard]] RobotId busiest() const;
+  [[nodiscard]] RobotId idlest() const;
+};
+
+/// Analyse the whole trace, or only rounds in [from, trace length) when
+/// `from` > 0 (e.g. the steady state after sentinel formation).
+[[nodiscard]] MobilityReport analyze_mobility(const Trace& trace,
+                                              Time from = 0);
+
+}  // namespace pef

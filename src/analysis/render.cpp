@@ -1,0 +1,79 @@
+#include "analysis/render.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace pef {
+
+std::string render_configuration(const Trace& trace, Time t,
+                                 const RenderOptions& options) {
+  const Ring& ring = trace.ring();
+  const std::uint32_t k = trace.initial_configuration().robot_count();
+
+  // Edge presence for the round *starting* at t (the last line has no
+  // following round; reuse the previous round's edges for display).
+  const Time edge_round = t < trace.length() ? t : (t == 0 ? 0 : t - 1);
+  const EdgeSet* edges = nullptr;
+  if (trace.length() > 0) {
+    edges = &trace.rounds()[static_cast<std::size_t>(edge_round)].edges;
+  }
+
+  std::string line = "t=" + std::to_string(t);
+  line.resize(10, ' ');
+  for (NodeId u = 0; u < ring.node_count(); ++u) {
+    std::uint32_t count = 0;
+    for (RobotId r = 0; r < k; ++r) {
+      if (trace.position_at(r, t) == u) ++count;
+    }
+    line += count == 0
+                ? '.'
+                : static_cast<char>(count < 10 ? '0' + count : '+');
+    if (u + 1 < ring.node_count() || ring.node_count() > 2) {
+      const EdgeId e = ring.adjacent_edge(u, GlobalDirection::kClockwise);
+      if (u + 1 < ring.node_count()) {  // wrap edge rendered at line end
+        if (e == options.highlight_edge) {
+          line += '|';
+        } else if (options.show_edges && edges != nullptr) {
+          line += edges->contains(e) ? '-' : ' ';
+        }
+      }
+    }
+  }
+  // The wrap-around edge (n-1, 0), shown after the last node.
+  const EdgeId wrap = ring.adjacent_edge(static_cast<NodeId>(
+                                             ring.node_count() - 1),
+                                         GlobalDirection::kClockwise);
+  if (wrap == options.highlight_edge) {
+    line += " |";
+  } else if (options.show_edges && edges != nullptr) {
+    line += edges->contains(wrap) ? " ~" : "  ";
+  }
+  return line;
+}
+
+void render_trace(std::ostream& os, const Trace& trace,
+                  const RenderOptions& options) {
+  const Time last = std::min<Time>(options.to, trace.length());
+  if (options.from > last) return;
+  const Time total = last - options.from + 1;
+
+  if (total <= options.max_lines) {
+    for (Time t = options.from; t <= last; ++t) {
+      os << render_configuration(trace, t, options) << "\n";
+    }
+    return;
+  }
+  const Time head = options.max_lines / 2;
+  const Time tail = options.max_lines - head;
+  for (Time t = options.from; t < options.from + head; ++t) {
+    os << render_configuration(trace, t, options) << "\n";
+  }
+  os << "   ... (" << (total - head - tail) << " rounds elided)\n";
+  for (Time t = last + 1 - tail; t <= last; ++t) {
+    os << render_configuration(trace, t, options) << "\n";
+  }
+}
+
+}  // namespace pef

@@ -1,0 +1,33 @@
+// ASCII rendering of executions: one line per configuration, one column per
+// node, with the missing edges of the round marked.  Used by examples and
+// by test-failure diagnostics (a 40-line strip usually explains a starved
+// node faster than any counter).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/types.hpp"
+#include "scheduler/trace.hpp"
+
+namespace pef {
+
+struct RenderOptions {
+  Time from = 0;
+  Time to = kTimeInfinity;  // clamped to the trace length
+  /// Print at most this many lines; the middle is elided with "...".
+  std::size_t max_lines = 60;
+  /// Mark this edge's position with '|' between its endpoints' columns.
+  EdgeId highlight_edge = kInvalidEdge;
+  bool show_edges = true;  // render '-'/' ' between nodes per round
+};
+
+/// One configuration as a strip: digits = robot multiplicity, '.' = empty.
+[[nodiscard]] std::string render_configuration(const Trace& trace, Time t,
+                                               const RenderOptions& options);
+
+/// The whole window, one line per configuration.
+void render_trace(std::ostream& os, const Trace& trace,
+                  const RenderOptions& options = {});
+
+}  // namespace pef

@@ -1,0 +1,89 @@
+#include "analysis/sentinels.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pef {
+
+namespace {
+
+/// Is some robot standing on `node` and pointing at `edge` at configuration
+/// time `t`?  (dir in configuration t is dir_before of round t, equal to
+/// dir_after of round t-1.)
+bool guarded(const Trace& trace, NodeId node, EdgeId edge, Time t) {
+  const Ring& ring = trace.ring();
+  const std::uint32_t k = trace.initial_configuration().robot_count();
+  for (RobotId r = 0; r < k; ++r) {
+    if (trace.position_at(r, t) != node) continue;
+    LocalDirection dir;
+    if (t == 0) {
+      dir = trace.initial_configuration().robot(r).dir;
+    } else {
+      dir = trace.rounds()[static_cast<std::size_t>(t - 1)].robots[r].dir_after;
+    }
+    const Chirality chirality =
+        trace.initial_configuration().robot(r).chirality;
+    if (ring.adjacent_edge(node, chirality.to_global(dir)) == edge) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+SentinelReport analyze_sentinels(const Trace& trace, EdgeId missing_edge) {
+  const Ring& ring = trace.ring();
+  PEF_CHECK(ring.is_valid_edge(missing_edge));
+  const Time horizon = trace.length();
+  const NodeId tail = ring.edge_tail(missing_edge);
+  const NodeId head = ring.edge_head(missing_edge);
+
+  SentinelReport report;
+
+  // Scan backwards for the longest suffix in which both extremities are
+  // continuously guarded.
+  std::optional<Time> suffix_start;
+  for (Time t = horizon + 1; t-- > 0;) {
+    if (guarded(trace, tail, missing_edge, t) &&
+        guarded(trace, head, missing_edge, t)) {
+      suffix_start = t;
+    } else {
+      break;
+    }
+  }
+  // Only report formation if the suffix is non-trivial (covers the final
+  // configuration and at least one round).
+  if (suffix_start && *suffix_start < horizon) {
+    report.formation_time = suffix_start;
+  }
+
+  // Explorers: robots that moved in the final quarter.  Sentinels: robots
+  // parked on an extremity, pointing at the missing edge, that did NOT move
+  // in the final quarter (a just-arrived explorer momentarily points at the
+  // missing edge too and must not be double-counted).
+  const std::uint32_t k = trace.initial_configuration().robot_count();
+  const Time quarter_start = horizon - std::min(horizon, horizon / 4);
+  std::vector<bool> moved_recently(k, false);
+  for (RobotId r = 0; r < k; ++r) {
+    for (Time t = quarter_start; t < horizon; ++t) {
+      if (trace.rounds()[static_cast<std::size_t>(t)].robots[r].moved) {
+        moved_recently[r] = true;
+        break;
+      }
+    }
+    if (moved_recently[r]) report.explorers_at_horizon.push_back(r);
+  }
+  for (RobotId r = 0; r < k; ++r) {
+    if (moved_recently[r]) continue;
+    const NodeId pos = trace.position_at(r, horizon);
+    if ((pos == tail && guarded(trace, tail, missing_edge, horizon)) ||
+        (pos == head && guarded(trace, head, missing_edge, horizon))) {
+      report.sentinels_at_horizon.push_back(r);
+    }
+  }
+  return report;
+}
+
+}  // namespace pef

@@ -1,0 +1,42 @@
+// Sentinel analysis (Lemma 3.7): with an eventual missing edge e, PEF_3+
+// eventually posts one robot forever on each extremity of e, pointing at e.
+//
+// analyze_sentinels() finds the earliest time from which both extremities
+// are continuously occupied by robots pointing at the missing edge until the
+// horizon.  It also classifies the final role of every robot (sentinel vs
+// explorer) so benches can report the paper's "2 sentinels + (k-2)
+// explorers" structure.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "scheduler/trace.hpp"
+
+namespace pef {
+
+struct SentinelReport {
+  /// Both extremities held continuously (by possibly-changing robots)
+  /// pointing at the missing edge, from this time to the horizon.
+  std::optional<Time> formation_time;
+
+  /// Robots standing on an extremity of the missing edge and pointing at it
+  /// at the horizon.
+  std::vector<RobotId> sentinels_at_horizon;
+
+  /// Robots that moved at least once in the final quarter of the trace
+  /// (the paper's explorers keep shuttling along the chain).
+  std::vector<RobotId> explorers_at_horizon;
+
+  [[nodiscard]] bool sentinels_formed() const {
+    return formation_time.has_value();
+  }
+};
+
+/// `missing_edge` is the eventual missing edge of the run's schedule.
+[[nodiscard]] SentinelReport analyze_sentinels(const Trace& trace,
+                                               EdgeId missing_edge);
+
+}  // namespace pef

@@ -1,0 +1,35 @@
+// Tiny descriptive-statistics helpers for aggregating seed batteries.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace pef {
+
+struct Summary {
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double median = 0;
+  std::size_t count = 0;
+};
+
+[[nodiscard]] inline Summary summarize(std::vector<double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  double total = 0;
+  for (double v : values) total += v;
+  s.mean = total / static_cast<double>(values.size());
+  const std::size_t mid = values.size() / 2;
+  s.median = values.size() % 2 == 1
+                 ? values[mid]
+                 : (values[mid - 1] + values[mid]) / 2.0;
+  return s;
+}
+
+}  // namespace pef

@@ -1,0 +1,111 @@
+#include "analysis/towers.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace pef {
+
+namespace {
+
+/// Robots grouped by node at configuration time `t`.
+std::map<NodeId, std::vector<RobotId>> groups_at(const Trace& trace, Time t) {
+  std::map<NodeId, std::vector<RobotId>> groups;
+  const std::uint32_t k = trace.initial_configuration().robot_count();
+  for (RobotId r = 0; r < k; ++r) {
+    groups[trace.position_at(r, t)].push_back(r);
+  }
+  for (auto it = groups.begin(); it != groups.end();) {
+    it = it->second.size() < 2 ? groups.erase(it) : std::next(it);
+  }
+  return groups;
+}
+
+/// Considered (global) direction of robot `r` after the Compute phase of
+/// round `t` — i.e. its dir in configuration t+1 and during the Move of t.
+GlobalDirection considered_after_compute(const Trace& trace, RobotId r,
+                                         Time t) {
+  const RobotRoundRecord& rec =
+      trace.rounds()[static_cast<std::size_t>(t)].robots[r];
+  const Chirality chirality =
+      trace.initial_configuration().robot(r).chirality;
+  return chirality.to_global(rec.dir_after);
+}
+
+}  // namespace
+
+TowerReport analyze_towers(const Trace& trace) {
+  TowerReport report;
+  const Time horizon = trace.length();
+
+  // Open towers keyed by their robot set (a tower follows its robots: the
+  // set may move together across nodes, e.g. two same-direction robots
+  // travelling as a pair).  The recorded node is the formation node.
+  struct Open {
+    std::vector<RobotId> robots;
+    Time start;
+    NodeId formed_at;
+  };
+  std::map<std::vector<RobotId>, Open> open;
+
+  auto close = [&](const Open& tower, Time end) {
+    TowerEvent event;
+    event.node = tower.formed_at;
+    event.start = tower.start;
+    event.end = end;
+    event.robots = tower.robots;
+    report.max_tower_size =
+        std::max(report.max_tower_size,
+                 static_cast<std::uint32_t>(event.robots.size()));
+    report.max_tower_duration =
+        std::max(report.max_tower_duration, event.duration());
+    if (event.robots.size() >= 3) report.lemma_3_4_holds = false;
+
+    if (event.robots.size() == 2 && horizon > 0 && event.start < horizon) {
+      // Lemma 3.3: opposite global directions after every Compute executed
+      // while the tower exists (rounds start .. min(end, horizon-1)).
+      const Time last_round = std::min(event.end, horizon - 1);
+      for (Time t = event.start; t <= last_round; ++t) {
+        const GlobalDirection a =
+            considered_after_compute(trace, event.robots[0], t);
+        const GlobalDirection b =
+            considered_after_compute(trace, event.robots[1], t);
+        if (a == b) {
+          report.lemma_3_3_holds = false;
+          break;
+        }
+      }
+    }
+    report.towers.push_back(std::move(event));
+  };
+
+  for (Time t = 0; t <= horizon; ++t) {
+    const auto groups = groups_at(trace, t);
+    // Robot sets sharing a node right now.
+    std::map<std::vector<RobotId>, NodeId> sets_now;
+    for (const auto& [node, robots] : groups) sets_now.emplace(robots, node);
+
+    // Close towers whose exact robot set no longer shares a node.
+    for (auto it = open.begin(); it != open.end();) {
+      if (!sets_now.contains(it->first)) {
+        close(it->second, t - 1);
+        it = open.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Open towers for new robot sets (including membership changes, which
+    // close the old set above and start a fresh maximal interval here).
+    for (const auto& [robots, node] : sets_now) {
+      if (!open.contains(robots)) {
+        open.emplace(robots, Open{robots, t, node});
+        ++report.tower_formation_count;
+      }
+    }
+  }
+  // Close whatever is still open at the horizon.
+  for (const auto& [robots, tower] : open) close(tower, horizon);
+
+  return report;
+}
+
+}  // namespace pef

@@ -1,0 +1,66 @@
+#include "analysis/trace_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pef {
+
+void write_trace_csv(std::ostream& os, const Trace& trace) {
+  os << "time,robot,node_before,node_after,dir_before,dir_after,moved,"
+        "saw_other_robots\n";
+  for (const RoundRecord& round : trace.rounds()) {
+    for (RobotId r = 0; r < round.robots.size(); ++r) {
+      const RobotRoundRecord& rec = round.robots[r];
+      os << round.time << ',' << r << ',' << rec.node_before << ','
+         << rec.node_after << ',' << to_string(rec.dir_before) << ','
+         << to_string(rec.dir_after) << ',' << (rec.moved ? 1 : 0) << ','
+         << (rec.saw_other_robots ? 1 : 0) << '\n';
+    }
+  }
+}
+
+void write_edge_history_csv(std::ostream& os, const Trace& trace) {
+  os << "time";
+  for (EdgeId e = 0; e < trace.ring().edge_count(); ++e) {
+    os << ",e" << e;
+  }
+  os << '\n';
+  for (const RoundRecord& round : trace.rounds()) {
+    os << round.time;
+    for (EdgeId e = 0; e < trace.ring().edge_count(); ++e) {
+      os << ',' << (round.edges.contains(e) ? 1 : 0);
+    }
+    os << '\n';
+  }
+}
+
+std::shared_ptr<RecordedSchedule> read_edge_history_csv(std::istream& is,
+                                                        const Ring& ring) {
+  std::string line;
+  if (!std::getline(is, line)) return nullptr;  // header
+  std::vector<EdgeSet> rounds;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    std::string cell;
+    if (!std::getline(ss, cell, ',')) return nullptr;  // time column
+    EdgeSet set(ring.edge_count());
+    for (EdgeId e = 0; e < ring.edge_count(); ++e) {
+      if (!std::getline(ss, cell, ',')) return nullptr;
+      if (cell == "1") {
+        set.insert(e);
+      } else if (cell != "0") {
+        return nullptr;
+      }
+    }
+    rounds.push_back(std::move(set));
+  }
+  if (rounds.empty()) return nullptr;
+  return std::make_shared<RecordedSchedule>(ring, std::move(rounds),
+                                            TailRule::kRepeatLast);
+}
+
+}  // namespace pef

@@ -1,0 +1,32 @@
+// Trace serialization: dump executions and edge histories as CSV, and load
+// an edge history back as a RecordedSchedule.
+//
+// Round-trips let external tooling (plots, notebooks) consume runs, and let
+// interesting adaptive-adversary prefixes be replayed as oblivious
+// schedules (an adaptive adversary's realized choices, replayed verbatim,
+// defeat the same deterministic algorithm again — determinism makes the
+// replay exact).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+
+#include "dynamic_graph/schedules.hpp"
+#include "scheduler/trace.hpp"
+
+namespace pef {
+
+/// One row per (round, robot): time, robot, node_before, node_after,
+/// dir_before, dir_after, moved, saw_other_robots.
+void write_trace_csv(std::ostream& os, const Trace& trace);
+
+/// One row per round: time, then one 0/1 column per edge.
+void write_edge_history_csv(std::ostream& os, const Trace& trace);
+
+/// Parses the format produced by write_edge_history_csv back into a
+/// schedule (tail rule: repeat the last row).  Returns nullptr on parse
+/// errors.
+[[nodiscard]] std::shared_ptr<RecordedSchedule> read_edge_history_csv(
+    std::istream& is, const Ring& ring);
+
+}  // namespace pef

@@ -1,0 +1,110 @@
+#include "common/args.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pef {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n",
+                   token.c_str());
+      std::exit(2);
+    }
+    const auto eq = token.find('=');
+    if (eq != std::string::npos) {
+      entries_.push_back(
+          Entry{token.substr(0, eq), token.substr(eq + 1), false});
+      continue;
+    }
+    // "--key value" when the next token is not itself a flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      entries_.push_back(Entry{token, std::string(argv[i + 1]), false});
+      ++i;
+    } else {
+      entries_.push_back(Entry{token, std::nullopt, false});
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& key) {
+  for (Entry& e : entries_) {
+    if (e.key == key) {
+      e.used = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<std::string> ArgParser::raw(const std::string& key) {
+  for (Entry& e : entries_) {
+    if (e.key == key) {
+      e.used = true;
+      return e.value;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string ArgParser::get_string(const std::string& key,
+                                  const std::string& fallback) {
+  const auto v = raw(key);
+  if (!v) return fallback;
+  if (!v->empty()) return *v;
+  std::fprintf(stderr, "flag %s needs a value\n", key.c_str());
+  std::exit(2);
+}
+
+std::uint64_t ArgParser::get_u64(const std::string& key,
+                                 std::uint64_t fallback) {
+  const auto v = raw(key);
+  if (!v || v->empty()) {
+    if (!v) return fallback;
+    std::fprintf(stderr, "flag %s needs a value\n", key.c_str());
+    std::exit(2);
+  }
+  char* end = nullptr;
+  const std::uint64_t parsed = std::strtoull(v->c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    std::fprintf(stderr, "flag %s: '%s' is not an integer\n", key.c_str(),
+                 v->c_str());
+    std::exit(2);
+  }
+  return parsed;
+}
+
+std::uint32_t ArgParser::get_u32(const std::string& key,
+                                 std::uint32_t fallback) {
+  return static_cast<std::uint32_t>(get_u64(key, fallback));
+}
+
+double ArgParser::get_double(const std::string& key, double fallback) {
+  const auto v = raw(key);
+  if (!v || v->empty()) {
+    if (!v) return fallback;
+    std::fprintf(stderr, "flag %s needs a value\n", key.c_str());
+    std::exit(2);
+  }
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    std::fprintf(stderr, "flag %s: '%s' is not a number\n", key.c_str(),
+                 v->c_str());
+    std::exit(2);
+  }
+  return parsed;
+}
+
+std::vector<std::string> ArgParser::unused() const {
+  std::vector<std::string> out;
+  for (const Entry& e : entries_) {
+    if (!e.used) out.push_back(e.key);
+  }
+  return out;
+}
+
+}  // namespace pef

@@ -1,0 +1,33 @@
+// Lightweight always-on invariant checks.
+//
+// Simulation correctness depends on model invariants (e.g. a robot never
+// stands on an out-of-range node); violating them silently would corrupt
+// every downstream measurement, so checks stay on in release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pef::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  std::fprintf(stderr, "PEF_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace pef::detail
+
+#define PEF_CHECK(expr)                                      \
+  do {                                                       \
+    if (!(expr)) {                                           \
+      ::pef::detail::check_failed(#expr, __FILE__, __LINE__); \
+    }                                                        \
+  } while (false)
+
+#define PEF_CHECK_MSG(expr, msg)                            \
+  do {                                                      \
+    if (!(expr)) {                                          \
+      ::pef::detail::check_failed(msg, __FILE__, __LINE__); \
+    }                                                       \
+  } while (false)

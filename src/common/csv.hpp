@@ -1,0 +1,29 @@
+// Minimal CSV writer so benches can dump raw rows next to the pretty tables
+// (useful for re-plotting the reproduced figures).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace pef {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.  If the file cannot
+  /// be opened the writer silently becomes a no-op (benches must not fail
+  /// because of a read-only working directory).
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] bool ok() const { return out_.is_open(); }
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+};
+
+}  // namespace pef

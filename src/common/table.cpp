@@ -1,0 +1,73 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace pef {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(Row{std::move(cells), pending_separator_});
+  pending_separator_ = false;
+}
+
+void TextTable::add_separator() { pending_separator_ = true; }
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto print_line = [&] {
+    os << '+';
+    for (std::size_t w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string{};
+      os << ' ' << s;
+      for (std::size_t i = s.size(); i < widths[c] + 1; ++i) os << ' ';
+      os << '|';
+    }
+    os << '\n';
+  };
+
+  print_line();
+  print_cells(header_);
+  print_line();
+  for (const Row& row : rows_) {
+    if (row.separator_before) print_line();
+    print_cells(row.cells);
+  }
+  print_line();
+}
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string format_ratio(double num, double den) {
+  if (den == 0.0) return "n/a";
+  return format_double(num / den, 2) + "x";
+}
+
+std::string format_bool(bool v) { return v ? "yes" : "no"; }
+
+}  // namespace pef

@@ -1,0 +1,47 @@
+// Plain-text table rendering for bench binaries.
+//
+// Every bench prints paper-shaped rows (like TABLE 1 of the paper); this
+// tiny formatter keeps the output aligned and grep-friendly.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pef {
+
+/// Column-aligned text table.  Usage:
+///   TextTable t({"robots", "ring size", "verdict"});
+///   t.add_row({"3+", ">= 4", "Possible"});
+///   t.print(std::cout);
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Insert a horizontal separator line before the next row.
+  void add_separator();
+
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+/// Format helpers used across benches.
+[[nodiscard]] std::string format_double(double v, int precision = 2);
+[[nodiscard]] std::string format_ratio(double num, double den);
+[[nodiscard]] std::string format_bool(bool v);
+
+}  // namespace pef

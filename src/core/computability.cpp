@@ -1,0 +1,46 @@
+#include "core/computability.hpp"
+
+namespace pef::computability {
+
+Verdict classify(std::uint32_t robots, std::uint32_t nodes) {
+  if (robots == 0 || nodes < 2 || robots >= nodes) {
+    return Verdict::kOutOfModel;
+  }
+  if (robots >= 3) return Verdict::kPossible;   // Theorem 3.1
+  if (robots == 2) {
+    return nodes == 3 ? Verdict::kPossible      // Theorem 4.2
+                      : Verdict::kImpossible;   // Theorem 4.1 (n > 3)
+  }
+  // robots == 1
+  return nodes == 2 ? Verdict::kPossible        // Theorem 5.2
+                    : Verdict::kImpossible;     // Theorem 5.1 (n > 2)
+}
+
+std::optional<std::uint32_t> required_robots(std::uint32_t nodes) {
+  if (nodes < 2) return std::nullopt;
+  if (nodes == 2) return 1;
+  if (nodes == 3) return 2;
+  return 3;  // nodes >= 4 (and 3 < nodes as required by the model)
+}
+
+std::string recommended_algorithm(std::uint32_t robots, std::uint32_t nodes) {
+  if (classify(robots, nodes) != Verdict::kPossible) return "";
+  if (robots >= 3) return "pef3+";
+  if (robots == 2) return "pef2";
+  return "pef1";
+}
+
+std::string supporting_theorem(std::uint32_t robots, std::uint32_t nodes) {
+  switch (classify(robots, nodes)) {
+    case Verdict::kOutOfModel:
+      return "model requires 1 <= k < n";
+    case Verdict::kPossible:
+      if (robots >= 3) return "Theorem 3.1";
+      return robots == 2 ? "Theorem 4.2" : "Theorem 5.2";
+    case Verdict::kImpossible:
+      return robots == 2 ? "Theorem 4.1" : "Theorem 5.1";
+  }
+  return "";
+}
+
+}  // namespace pef::computability

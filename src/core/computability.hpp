@@ -1,0 +1,54 @@
+// The paper's headline result (TABLE 1) as a decision procedure: for which
+// (k robots, n nodes) is deterministic perpetual exploration of
+// connected-over-time rings solvable in FSYNC?
+//
+//   k >= 3 : possible for every n > k                     (Theorem 3.1)
+//   k == 2 : possible iff n == 3                          (Theorems 4.1/4.2)
+//   k == 1 : possible iff n == 2                          (Theorems 5.1/5.2)
+//
+// (The model requires k < n; pairs violating that are rejected.)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace pef::computability {
+
+enum class Verdict : std::uint8_t {
+  kPossible,
+  kImpossible,
+  kOutOfModel,  // k >= n: well-initiated executions need k < n
+};
+
+[[nodiscard]] constexpr const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kPossible:
+      return "Possible";
+    case Verdict::kImpossible:
+      return "Impossible";
+    case Verdict::kOutOfModel:
+      return "OutOfModel";
+  }
+  return "?";
+}
+
+/// TABLE 1 of the paper.
+[[nodiscard]] Verdict classify(std::uint32_t robots, std::uint32_t nodes);
+
+/// Smallest number of robots that can perpetually explore every
+/// connected-over-time ring of `nodes` nodes (nullopt when no k < nodes
+/// suffices, which happens only for nodes <= 3 edge cases).
+[[nodiscard]] std::optional<std::uint32_t> required_robots(
+    std::uint32_t nodes);
+
+/// The paper's recommended algorithm name for a solvable (robots, nodes)
+/// pair ("pef3+", "pef2" or "pef1"); empty for unsolvable pairs.
+[[nodiscard]] std::string recommended_algorithm(std::uint32_t robots,
+                                                std::uint32_t nodes);
+
+/// The theorem justifying classify(robots, nodes), e.g. "Theorem 4.1".
+[[nodiscard]] std::string supporting_theorem(std::uint32_t robots,
+                                             std::uint32_t nodes);
+
+}  // namespace pef::computability

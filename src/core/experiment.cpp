@@ -1,0 +1,130 @@
+#include "core/experiment.hpp"
+
+#include "adversary/adaptive_missing_edge.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "dynamic_graph/schedules.hpp"
+
+namespace pef {
+
+AdversarySpec static_spec() {
+  return {"static", [](Ring ring, std::uint64_t) {
+            return make_oblivious(std::make_shared<StaticSchedule>(ring));
+          }};
+}
+
+AdversarySpec bernoulli_spec(double p) {
+  return {"bernoulli(p=" + format_double(p, 1) + ")",
+          [p](Ring ring, std::uint64_t seed) {
+            return make_oblivious(
+                std::make_shared<BernoulliSchedule>(ring, p, seed));
+          }};
+}
+
+AdversarySpec periodic_spec(std::uint32_t period, std::uint32_t duty) {
+  return {"periodic(" + std::to_string(duty) + "/" + std::to_string(period) +
+              ")",
+          [period, duty](Ring ring, std::uint64_t) {
+            return make_oblivious(std::make_shared<PeriodicSchedule>(
+                PeriodicSchedule::rotating(ring, period, duty)));
+          }};
+}
+
+AdversarySpec t_interval_spec(Time interval) {
+  return {"t-interval(T=" + std::to_string(interval) + ")",
+          [interval](Ring ring, std::uint64_t seed) {
+            return make_oblivious(std::make_shared<TIntervalConnectedSchedule>(
+                ring, interval, seed));
+          }};
+}
+
+AdversarySpec bounded_absence_spec(Time max_absence) {
+  return {"bounded-absence(A=" + std::to_string(max_absence) + ")",
+          [max_absence](Ring ring, std::uint64_t seed) {
+            return make_oblivious(std::make_shared<BoundedAbsenceSchedule>(
+                ring, max_absence, /*max_presence=*/8, seed));
+          }};
+}
+
+AdversarySpec eventual_missing_spec() {
+  return {"eventual-missing", [](Ring ring, std::uint64_t seed) {
+            // The doomed edge and the vanish time depend on the seed so a
+            // battery covers different geometries.
+            Xoshiro256 rng(derive_seed(seed, 0xe1de));
+            const EdgeId edge =
+                static_cast<EdgeId>(rng.next_below(ring.edge_count()));
+            const Time vanish = 2 + rng.next_below(4 * ring.node_count());
+            return make_oblivious(std::make_shared<EventualMissingEdgeSchedule>(
+                std::make_shared<StaticSchedule>(ring), edge, vanish));
+          }};
+}
+
+AdversarySpec adaptive_missing_spec() {
+  return {"adaptive-missing", [](Ring ring, std::uint64_t seed) {
+            Xoshiro256 rng(derive_seed(seed, 0xada));
+            const Time trigger = 2 + rng.next_below(4 * ring.node_count());
+            return std::make_unique<AdaptiveMissingEdgeAdversary>(ring,
+                                                                  trigger);
+          }};
+}
+
+std::vector<AdversarySpec> standard_battery() {
+  return {static_spec(),
+          bernoulli_spec(0.1),
+          bernoulli_spec(0.5),
+          bernoulli_spec(0.9),
+          periodic_spec(/*period=*/5, /*duty=*/3),
+          t_interval_spec(/*interval=*/4),
+          bounded_absence_spec(/*max_absence=*/6),
+          eventual_missing_spec(),
+          adaptive_missing_spec()};
+}
+
+RunResult run_experiment(const ExperimentConfig& config) {
+  PEF_CHECK(config.algorithm != nullptr);
+  PEF_CHECK(config.robots >= 1);
+  PEF_CHECK(config.nodes >= 2);
+  PEF_CHECK(config.horizon >= 1);
+
+  const Ring ring(config.nodes);
+  AdversaryPtr adversary = config.adversary.make(ring, config.seed);
+
+  const std::vector<RobotPlacement> placements =
+      config.placements ? *config.placements
+                        : spread_placements(ring, config.robots);
+
+  Simulator sim(ring, config.algorithm, std::move(adversary), placements);
+  sim.run(config.horizon);
+
+  RunResult result;
+  result.coverage = analyze_coverage(sim.trace());
+  result.towers = analyze_towers(sim.trace());
+  const Time patience =
+      config.audit_patience > 0 ? config.audit_patience : config.horizon / 4;
+  result.legality =
+      audit_connectivity(ring, sim.trace().edge_history(), patience);
+  result.perpetual = result.coverage.perpetual(config.nodes);
+  result.adversary_legal = result.legality.connected_over_time;
+  result.algorithm_name = config.algorithm->name();
+  result.adversary_name = config.adversary.name;
+  result.nodes = config.nodes;
+  result.robots = config.robots;
+  result.horizon = config.horizon;
+  result.seed = config.seed;
+  return result;
+}
+
+std::vector<RunResult> run_battery(ExperimentConfig config,
+                                   std::uint64_t first_seed,
+                                   std::uint32_t seeds) {
+  std::vector<RunResult> results;
+  results.reserve(seeds);
+  for (std::uint32_t s = 0; s < seeds; ++s) {
+    config.seed = first_seed + s;
+    results.push_back(run_experiment(config));
+  }
+  return results;
+}
+
+}  // namespace pef

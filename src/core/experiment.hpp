@@ -1,0 +1,83 @@
+// The experiment harness: one call = one (algorithm, adversary, k, n, seed,
+// horizon) run, fully analysed.  Benches and integration tests are thin
+// loops over this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adversary/adversary.hpp"
+#include "analysis/coverage.hpp"
+#include "analysis/towers.hpp"
+#include "dynamic_graph/properties.hpp"
+#include "robot/algorithm.hpp"
+#include "robot/robot.hpp"
+#include "scheduler/simulator.hpp"
+
+namespace pef {
+
+/// A named, seedable adversary family.  `make(ring, seed)` builds a fresh
+/// adversary instance for one run.
+struct AdversarySpec {
+  std::string name;
+  std::function<AdversaryPtr(Ring, std::uint64_t)> make;
+};
+
+/// The standard adversary battery used by possibility benches: static,
+/// Bernoulli p in {0.1, 0.5, 0.9}, rotating periodic, T-interval-connected,
+/// bounded-absence, eventual-missing-edge, adaptive-missing-edge.  All are
+/// connected-over-time by construction.
+[[nodiscard]] std::vector<AdversarySpec> standard_battery();
+
+/// Individual members of the battery (also usable on their own).
+[[nodiscard]] AdversarySpec static_spec();
+[[nodiscard]] AdversarySpec bernoulli_spec(double p);
+[[nodiscard]] AdversarySpec periodic_spec(std::uint32_t period,
+                                          std::uint32_t duty);
+[[nodiscard]] AdversarySpec t_interval_spec(Time interval);
+[[nodiscard]] AdversarySpec bounded_absence_spec(Time max_absence);
+[[nodiscard]] AdversarySpec eventual_missing_spec();
+[[nodiscard]] AdversarySpec adaptive_missing_spec();
+
+struct ExperimentConfig {
+  std::uint32_t nodes = 4;
+  std::uint32_t robots = 3;
+  AlgorithmPtr algorithm;
+  AdversarySpec adversary;
+  Time horizon = 2000;
+  std::uint64_t seed = 1;
+  /// Optional explicit placements; default = evenly spread, same chirality.
+  std::optional<std::vector<RobotPlacement>> placements;
+  /// Patience used by the legality audit for suspected-missing edges.
+  Time audit_patience = 0;  // 0 => horizon / 4
+};
+
+struct RunResult {
+  CoverageReport coverage;
+  TowerReport towers;
+  ConnectivityAudit legality;
+
+  /// Finite-horizon perpetual-exploration verdict.
+  bool perpetual = false;
+  /// The realized evolving graph passed the connected-over-time audit.
+  bool adversary_legal = false;
+
+  std::string algorithm_name;
+  std::string adversary_name;
+  std::uint32_t nodes = 0;
+  std::uint32_t robots = 0;
+  Time horizon = 0;
+  std::uint64_t seed = 0;
+};
+
+[[nodiscard]] RunResult run_experiment(const ExperimentConfig& config);
+
+/// Run the config across `seeds` different seeds; returns all results.
+[[nodiscard]] std::vector<RunResult> run_battery(ExperimentConfig config,
+                                                 std::uint64_t first_seed,
+                                                 std::uint32_t seeds);
+
+}  // namespace pef

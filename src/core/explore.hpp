@@ -1,0 +1,44 @@
+// The one-call public API (the "quickstart" surface).
+//
+//   pef::ExploreOutcome out = pef::explore({.nodes = 10, .robots = 3});
+//
+// picks the paper's recommended algorithm for (robots, nodes), runs it
+// against a chosen adversary family, and returns the coverage verdict.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/computability.hpp"
+#include "core/experiment.hpp"
+
+namespace pef {
+
+struct ExploreRequest {
+  std::uint32_t nodes = 10;
+  std::uint32_t robots = 3;
+  /// Adversary family name; one of: "static", "bernoulli", "periodic",
+  /// "t-interval", "bounded-absence", "eventual-missing",
+  /// "adaptive-missing".
+  std::string adversary = "eventual-missing";
+  Time horizon = 5000;
+  std::uint64_t seed = 1;
+  /// Override the recommended algorithm (empty = paper's recommendation).
+  std::string algorithm;
+};
+
+struct ExploreOutcome {
+  computability::Verdict predicted;  // TABLE 1's verdict for (robots, nodes)
+  std::string algorithm;             // algorithm actually run
+  RunResult result;                  // measured run
+};
+
+/// Runs a perpetual-exploration experiment with sensible defaults.  If
+/// TABLE 1 says the pair is impossible the run is still performed (with the
+/// closest algorithm) so callers can watch it fail.
+[[nodiscard]] ExploreOutcome explore(const ExploreRequest& request);
+
+/// Resolve an adversary family name to a spec (aborts on unknown name).
+[[nodiscard]] AdversarySpec adversary_by_name(const std::string& name);
+
+}  // namespace pef

@@ -1,0 +1,36 @@
+#include "dynamic_graph/edge_set.hpp"
+
+namespace pef {
+
+EdgeSet& EdgeSet::operator|=(const EdgeSet& o) {
+  PEF_CHECK(edge_count_ == o.edge_count_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  return *this;
+}
+
+EdgeSet& EdgeSet::operator&=(const EdgeSet& o) {
+  PEF_CHECK(edge_count_ == o.edge_count_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  return *this;
+}
+
+EdgeSet& EdgeSet::operator-=(const EdgeSet& o) {
+  PEF_CHECK(edge_count_ == o.edge_count_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+  return *this;
+}
+
+std::string EdgeSet::to_string() const {
+  std::string out = "{";
+  bool first = true;
+  for (EdgeId e = 0; e < edge_count_; ++e) {
+    if (!contains(e)) continue;
+    if (!first) out += ", ";
+    out += std::to_string(e);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace pef

@@ -1,0 +1,90 @@
+// Bit-set over ring edges: the set E_t of edges present at one round.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace pef {
+
+class EdgeSet {
+ public:
+  EdgeSet() = default;
+  explicit EdgeSet(std::uint32_t edge_count)
+      : edge_count_(edge_count), words_((edge_count + 63) / 64, 0) {}
+
+  /// Full set (all edges present).
+  [[nodiscard]] static EdgeSet all(std::uint32_t edge_count) {
+    EdgeSet s(edge_count);
+    for (std::uint32_t e = 0; e < edge_count; ++e) s.insert(e);
+    return s;
+  }
+
+  /// Empty set (no edges present).
+  [[nodiscard]] static EdgeSet none(std::uint32_t edge_count) {
+    return EdgeSet(edge_count);
+  }
+
+  [[nodiscard]] std::uint32_t edge_count() const { return edge_count_; }
+
+  [[nodiscard]] bool contains(EdgeId e) const {
+    PEF_CHECK(e < edge_count_);
+    return (words_[e >> 6] >> (e & 63)) & 1ULL;
+  }
+
+  void insert(EdgeId e) {
+    PEF_CHECK(e < edge_count_);
+    words_[e >> 6] |= (1ULL << (e & 63));
+  }
+
+  void erase(EdgeId e) {
+    PEF_CHECK(e < edge_count_);
+    words_[e >> 6] &= ~(1ULL << (e & 63));
+  }
+
+  void set(EdgeId e, bool present) { present ? insert(e) : erase(e); }
+
+  [[nodiscard]] std::uint32_t size() const {
+    std::uint32_t total = 0;
+    for (std::uint64_t w : words_) {
+      total += static_cast<std::uint32_t>(__builtin_popcountll(w));
+    }
+    return total;
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] bool full() const { return size() == edge_count_; }
+
+  /// Edges present in this set, ascending.
+  [[nodiscard]] std::vector<EdgeId> to_vector() const {
+    std::vector<EdgeId> out;
+    out.reserve(size());
+    for (EdgeId e = 0; e < edge_count_; ++e) {
+      if (contains(e)) out.push_back(e);
+    }
+    return out;
+  }
+
+  /// Set union / intersection / difference (operands must be same size).
+  EdgeSet& operator|=(const EdgeSet& o);
+  EdgeSet& operator&=(const EdgeSet& o);
+  EdgeSet& operator-=(const EdgeSet& o);
+
+  friend EdgeSet operator|(EdgeSet a, const EdgeSet& b) { return a |= b; }
+  friend EdgeSet operator&(EdgeSet a, const EdgeSet& b) { return a &= b; }
+  friend EdgeSet operator-(EdgeSet a, const EdgeSet& b) { return a -= b; }
+
+  friend bool operator==(const EdgeSet&, const EdgeSet&) = default;
+
+  /// "{0, 2, 5}" — for traces and test failure messages.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::uint32_t edge_count_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace pef

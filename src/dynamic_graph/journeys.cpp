@@ -1,0 +1,199 @@
+#include "dynamic_graph/journeys.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pef {
+
+namespace {
+
+struct Parent {
+  bool reached = false;
+  Time via_time = 0;
+  EdgeId via_edge = kInvalidEdge;
+  NodeId via_node = kInvalidNode;
+};
+
+/// Earliest-arrival BFS with parent pointers; returns per-node parents.
+std::vector<Parent> foremost_parents(const EdgeSchedule& schedule,
+                                     NodeId source, Time start,
+                                     Time deadline) {
+  const Ring& ring = schedule.ring();
+  std::vector<Parent> parents(ring.node_count());
+  parents[source].reached = true;
+  std::uint32_t reached_count = 1;
+
+  for (Time t = start; t < deadline && reached_count < ring.node_count();
+       ++t) {
+    const EdgeSet present = schedule.edges_at(t);
+    std::vector<std::pair<NodeId, Parent>> updates;
+    for (NodeId u = 0; u < ring.node_count(); ++u) {
+      if (!parents[u].reached) continue;
+      for (const GlobalDirection d :
+           {GlobalDirection::kClockwise, GlobalDirection::kCounterClockwise}) {
+        const EdgeId e = ring.adjacent_edge(u, d);
+        if (!present.contains(e)) continue;
+        const NodeId v = ring.neighbour(u, d);
+        if (!parents[v].reached) {
+          updates.push_back({v, Parent{true, t, e, u}});
+        }
+      }
+    }
+    for (const auto& [v, p] : updates) {
+      if (!parents[v].reached) {
+        parents[v] = p;
+        ++reached_count;
+      }
+    }
+  }
+  return parents;
+}
+
+Journey reconstruct(const std::vector<Parent>& parents, NodeId source,
+                    NodeId target, Time start) {
+  Journey journey;
+  journey.source = source;
+  journey.target = target;
+  journey.departure = start;
+  NodeId cur = target;
+  while (cur != source) {
+    const Parent& p = parents[cur];
+    journey.hops.push_back(JourneyHop{p.via_time, p.via_edge, p.via_node,
+                                      cur});
+    cur = p.via_node;
+  }
+  std::reverse(journey.hops.begin(), journey.hops.end());
+  return journey;
+}
+
+}  // namespace
+
+std::optional<Journey> foremost_journey(const EdgeSchedule& schedule,
+                                        NodeId source, NodeId target,
+                                        Time start, Time deadline) {
+  const Ring& ring = schedule.ring();
+  PEF_CHECK(ring.is_valid_node(source) && ring.is_valid_node(target));
+  const auto parents = foremost_parents(schedule, source, start, deadline);
+  if (!parents[target].reached) return std::nullopt;
+  return reconstruct(parents, source, target, start);
+}
+
+std::optional<Journey> shortest_journey(const EdgeSchedule& schedule,
+                                        NodeId source, NodeId target,
+                                        Time start, Time deadline) {
+  const Ring& ring = schedule.ring();
+  PEF_CHECK(ring.is_valid_node(source) && ring.is_valid_node(target));
+  // DP over time: best[u] = min hops to stand on u at the current round
+  // (waiting keeps the value).  Parent pointers record the first time the
+  // hop count improves, so ties resolve to the earliest arrival.
+  constexpr std::uint32_t kUnreached = ~0u;
+  std::vector<std::uint32_t> best(ring.node_count(), kUnreached);
+  best[source] = 0;
+  struct HopParent {
+    Time time;
+    EdgeId edge;
+    NodeId from;
+  };
+  // parent_at[u][h] = how u was first reached with h hops.
+  std::vector<std::vector<std::optional<HopParent>>> parent_at(
+      ring.node_count());
+  for (auto& v : parent_at) {
+    v.assign(ring.node_count() + 1, std::nullopt);
+  }
+
+  for (Time t = start; t < deadline; ++t) {
+    const EdgeSet present = schedule.edges_at(t);
+    std::vector<std::uint32_t> next = best;
+    for (NodeId u = 0; u < ring.node_count(); ++u) {
+      if (best[u] == kUnreached) continue;
+      for (const GlobalDirection d :
+           {GlobalDirection::kClockwise, GlobalDirection::kCounterClockwise}) {
+        const EdgeId e = ring.adjacent_edge(u, d);
+        if (!present.contains(e)) continue;
+        const NodeId v = ring.neighbour(u, d);
+        const std::uint32_t via = best[u] + 1;
+        if (via < next[v]) {
+          next[v] = via;
+          if (!parent_at[v][via]) {
+            parent_at[v][via] = HopParent{t, e, u};
+          }
+        }
+      }
+    }
+    best = std::move(next);
+    if (best[target] != kUnreached &&
+        best[target] <= 1) {  // cannot do better than 1 hop (or 0)
+      break;
+    }
+  }
+  if (best[target] == kUnreached && source != target) return std::nullopt;
+
+  Journey journey;
+  journey.source = source;
+  journey.target = target;
+  journey.departure = start;
+  // Walk parents backwards by hop count.
+  NodeId cur = target;
+  std::uint32_t hops = best[target] == kUnreached ? 0 : best[target];
+  while (hops > 0) {
+    const auto& p = parent_at[cur][hops];
+    PEF_CHECK(p.has_value());
+    journey.hops.push_back(JourneyHop{p->time, p->edge, p->from, cur});
+    cur = p->from;
+    --hops;
+  }
+  std::reverse(journey.hops.begin(), journey.hops.end());
+  return journey;
+}
+
+std::optional<Journey> fastest_journey(const EdgeSchedule& schedule,
+                                       NodeId source, NodeId target,
+                                       Time start, Time deadline) {
+  std::optional<Journey> best;
+  for (Time depart = start; depart < deadline; ++depart) {
+    auto candidate =
+        foremost_journey(schedule, source, target, depart, deadline);
+    // Unreachable from `depart` implies unreachable from any later
+    // departure too (a journey departing later is also a journey departing
+    // at `depart` with extra initial waiting), so the scan can stop.
+    if (!candidate) break;
+    if (!best || candidate->duration() < best->duration()) {
+      best = std::move(candidate);
+    }
+    if (best && best->duration() ==
+                    schedule.ring().distance(source, target)) {
+      break;  // already optimal: a journey cannot beat the hop distance
+    }
+  }
+  return best;
+}
+
+bool is_valid_journey(const EdgeSchedule& schedule, const Journey& journey) {
+  const Ring& ring = schedule.ring();
+  if (!ring.is_valid_node(journey.source) ||
+      !ring.is_valid_node(journey.target)) {
+    return false;
+  }
+  NodeId cur = journey.source;
+  Time now = journey.departure;
+  for (const JourneyHop& hop : journey.hops) {
+    if (hop.from != cur) return false;
+    if (hop.time < now) return false;
+    if (!ring.is_incident(hop.edge, hop.from) ||
+        !ring.is_incident(hop.edge, hop.to)) {
+      return false;
+    }
+    if (hop.to != ring.edge_tail(hop.edge) &&
+        hop.to != ring.edge_head(hop.edge)) {
+      return false;
+    }
+    if (hop.from == hop.to) return false;
+    if (!schedule.edges_at(hop.time).contains(hop.edge)) return false;
+    cur = hop.to;
+    now = hop.time + 1;
+  }
+  return cur == journey.target;
+}
+
+}  // namespace pef

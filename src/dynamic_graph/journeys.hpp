@@ -1,0 +1,75 @@
+// Journey computation in evolving rings — the full Xuan/Ferreira/Jarry [23]
+// triple: foremost (minimum arrival time), shortest (minimum hops), fastest
+// (minimum duration over all departures).
+//
+// foremost_arrivals() in temporal.hpp answers "when can I get there";
+// this module reconstructs the actual hop sequences and answers the two
+// other optimality notions the dynamic-graph literature cares about.  The
+// library uses journeys to validate schedules and to report adversary
+// temporal diameters; the module is also a substrate a downstream user
+// would expect from a dynamic-ring toolkit.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dynamic_graph/schedule.hpp"
+
+namespace pef {
+
+/// One edge traversal of a journey: departs `from` during round `time`
+/// across `edge`, arriving at `to` at time `time + 1`.
+struct JourneyHop {
+  Time time = 0;
+  EdgeId edge = kInvalidEdge;
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+
+  friend bool operator==(const JourneyHop&, const JourneyHop&) = default;
+};
+
+struct Journey {
+  NodeId source = kInvalidNode;
+  NodeId target = kInvalidNode;
+  Time departure = 0;  // start of the waiting-allowed window
+  std::vector<JourneyHop> hops;
+
+  [[nodiscard]] Time arrival() const {
+    return hops.empty() ? departure : hops.back().time + 1;
+  }
+  [[nodiscard]] std::size_t hop_count() const { return hops.size(); }
+  /// Duration counts from the *first actual move* (fastest-journey
+  /// semantics): waiting before departure is free, waiting en route is not.
+  [[nodiscard]] Time duration() const {
+    return hops.empty() ? 0 : arrival() - hops.front().time;
+  }
+};
+
+/// Foremost journey: earliest-arrival hop sequence from `source` (waiting
+/// allowed) within [start, deadline).  nullopt when unreachable in-window.
+[[nodiscard]] std::optional<Journey> foremost_journey(
+    const EdgeSchedule& schedule, NodeId source, NodeId target, Time start,
+    Time deadline);
+
+/// Shortest journey: minimum number of edge traversals, arrival before
+/// `deadline` (waiting allowed anywhere).  Ties broken by earlier arrival.
+[[nodiscard]] std::optional<Journey> shortest_journey(
+    const EdgeSchedule& schedule, NodeId source, NodeId target, Time start,
+    Time deadline);
+
+/// Fastest journey: minimises arrival - (time of first move) over all
+/// departures in [start, deadline).  Ties broken by earlier departure.
+/// Costs O((deadline-start)^2 * n) — meant for analysis windows, not hot
+/// loops.
+[[nodiscard]] std::optional<Journey> fastest_journey(
+    const EdgeSchedule& schedule, NodeId source, NodeId target, Time start,
+    Time deadline);
+
+/// Validates that `journey` is realizable under `schedule`: hops are
+/// consecutive in space, non-decreasing by at least 1 round in time, and
+/// every crossed edge is present at its crossing round.
+[[nodiscard]] bool is_valid_journey(const EdgeSchedule& schedule,
+                                    const Journey& journey);
+
+}  // namespace pef

@@ -1,0 +1,140 @@
+#include "dynamic_graph/properties.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pef {
+
+EdgeSet observed_underlying_edges(const EdgeSchedule& schedule, Time horizon) {
+  EdgeSet acc(schedule.ring().edge_count());
+  for (Time t = 0; t < horizon; ++t) acc |= schedule.edges_at(t);
+  return acc;
+}
+
+namespace {
+
+std::vector<AbsenceInterval> absence_intervals_impl(
+    const Ring& ring, const std::vector<EdgeSet>& rounds) {
+  std::vector<AbsenceInterval> out;
+  const Time horizon = rounds.size();
+  for (EdgeId e = 0; e < ring.edge_count(); ++e) {
+    bool open = false;
+    Time open_since = 0;
+    for (Time t = 0; t < horizon; ++t) {
+      const bool present = rounds[static_cast<std::size_t>(t)].contains(e);
+      if (!present && !open) {
+        open = true;
+        open_since = t;
+      } else if (present && open) {
+        out.push_back(AbsenceInterval{e, open_since, t - 1, false});
+        open = false;
+      }
+    }
+    if (open) {
+      out.push_back(AbsenceInterval{e, open_since, horizon - 1, true});
+    }
+  }
+  return out;
+}
+
+std::vector<EdgeSet> materialise(const EdgeSchedule& schedule, Time horizon) {
+  std::vector<EdgeSet> rounds;
+  rounds.reserve(static_cast<std::size_t>(horizon));
+  for (Time t = 0; t < horizon; ++t) rounds.push_back(schedule.edges_at(t));
+  return rounds;
+}
+
+ConnectivityAudit audit_impl(const Ring& ring,
+                             const std::vector<EdgeSet>& rounds,
+                             Time patience) {
+  ConnectivityAudit audit;
+  const Time horizon = rounds.size();
+  const std::vector<AbsenceInterval> intervals =
+      absence_intervals_impl(ring, rounds);
+
+  EdgeSet ever_present(ring.edge_count());
+  for (const EdgeSet& s : rounds) ever_present |= s;
+
+  for (const AbsenceInterval& iv : intervals) {
+    const Time length = iv.to - iv.from + 1;
+    if (iv.open_at_horizon && length >= patience) {
+      audit.suspected_missing.push_back(iv.edge);
+    } else if (!iv.open_at_horizon) {
+      audit.max_closed_absence = std::max(audit.max_closed_absence, length);
+    }
+  }
+  // Edges never present during the window count as suspected missing too
+  // (they are absent over the entire window) - absence_intervals_impl
+  // already yields them as one open interval, so no extra handling needed,
+  // except when horizon < patience (then nothing can be suspected).
+
+  // Connectivity of the eventual underlying graph restricted to the window:
+  // a ring stays connected after removing at most one edge, provided every
+  // remaining edge showed up at least once.
+  std::uint32_t missing_or_silent = 0;
+  for (EdgeId e = 0; e < ring.edge_count(); ++e) {
+    const bool suspected =
+        std::find(audit.suspected_missing.begin(),
+                  audit.suspected_missing.end(),
+                  e) != audit.suspected_missing.end();
+    if (suspected || !ever_present.contains(e)) ++missing_or_silent;
+  }
+  audit.connected_over_time = missing_or_silent <= 1 && horizon > 0;
+  return audit;
+}
+
+}  // namespace
+
+std::vector<AbsenceInterval> absence_intervals(const EdgeSchedule& schedule,
+                                               Time horizon) {
+  return absence_intervals_impl(schedule.ring(),
+                                materialise(schedule, horizon));
+}
+
+ConnectivityAudit audit_connectivity(const EdgeSchedule& schedule,
+                                     Time horizon, Time patience) {
+  return audit_impl(schedule.ring(), materialise(schedule, horizon),
+                    patience);
+}
+
+ConnectivityAudit audit_connectivity(const Ring& ring,
+                                     const std::vector<EdgeSet>& rounds,
+                                     Time patience) {
+  return audit_impl(ring, rounds, patience);
+}
+
+bool one_edge(const EdgeSchedule& schedule, NodeId u, Time t, Time t_prime) {
+  return one_edge_present_side(schedule, u, t, t_prime).has_value();
+}
+
+std::optional<EdgeId> one_edge_present_side(const EdgeSchedule& schedule,
+                                            NodeId u, Time t, Time t_prime) {
+  PEF_CHECK(t <= t_prime);
+  const Ring& ring = schedule.ring();
+  const EdgeId cw = ring.adjacent_edge(u, GlobalDirection::kClockwise);
+  const EdgeId ccw = ring.adjacent_edge(u, GlobalDirection::kCounterClockwise);
+
+  bool cw_always_present = true;
+  bool cw_always_absent = true;
+  bool ccw_always_present = true;
+  bool ccw_always_absent = true;
+  for (Time i = t; i <= t_prime; ++i) {
+    const EdgeSet s = schedule.edges_at(i);
+    if (s.contains(cw)) {
+      cw_always_absent = false;
+    } else {
+      cw_always_present = false;
+    }
+    if (s.contains(ccw)) {
+      ccw_always_absent = false;
+    } else {
+      ccw_always_present = false;
+    }
+  }
+  if (cw_always_present && ccw_always_absent) return cw;
+  if (ccw_always_present && cw_always_absent) return ccw;
+  return std::nullopt;
+}
+
+}  // namespace pef

@@ -1,0 +1,90 @@
+// Static ring topology (the underlying graph U_G of every evolving graph we
+// consider).
+//
+// Nodes are 0..n-1.  Edge `e` connects node `e` and node `(e + 1) % n`; we
+// call traversal from `e` towards `(e + 1) % n` the *clockwise* global
+// direction (an external-observer convention — robots cannot see it).
+//
+// The paper's 2-node ring needs care: with simple graphs it degenerates to a
+// 2-node chain (one edge); as a multigraph the two nodes are linked by two
+// distinct bidirectional edges.  Our indexing handles both: for n == 2 the
+// formula yields edge 0 = (0,1) and edge 1 = (1,0), two distinct parallel
+// edges, and a chain is simply a ring whose schedule never presents edge 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace pef {
+
+class Ring {
+ public:
+  /// A ring with `n >= 2` nodes and `n` edges (parallel edges when n == 2).
+  explicit Ring(std::uint32_t n) : n_(n) { PEF_CHECK(n >= 2); }
+
+  [[nodiscard]] std::uint32_t node_count() const { return n_; }
+  [[nodiscard]] std::uint32_t edge_count() const { return n_; }
+
+  [[nodiscard]] bool is_valid_node(NodeId u) const { return u < n_; }
+  [[nodiscard]] bool is_valid_edge(EdgeId e) const { return e < n_; }
+
+  /// Neighbour of `u` in a global direction.
+  [[nodiscard]] NodeId neighbour(NodeId u, GlobalDirection d) const {
+    PEF_CHECK(is_valid_node(u));
+    return d == GlobalDirection::kClockwise ? (u + 1) % n_
+                                            : (u + n_ - 1) % n_;
+  }
+
+  /// The edge adjacent to `u` in a global direction.
+  [[nodiscard]] EdgeId adjacent_edge(NodeId u, GlobalDirection d) const {
+    PEF_CHECK(is_valid_node(u));
+    return d == GlobalDirection::kClockwise ? u : (u + n_ - 1) % n_;
+  }
+
+  /// Clockwise endpoint pair of an edge: `e` connects tail() -> head()
+  /// in the clockwise direction.
+  [[nodiscard]] NodeId edge_tail(EdgeId e) const {
+    PEF_CHECK(is_valid_edge(e));
+    return e;
+  }
+  [[nodiscard]] NodeId edge_head(EdgeId e) const {
+    PEF_CHECK(is_valid_edge(e));
+    return (e + 1) % n_;
+  }
+
+  /// Whether `e` is incident to node `u`.
+  [[nodiscard]] bool is_incident(EdgeId e, NodeId u) const {
+    return edge_tail(e) == u || edge_head(e) == u;
+  }
+
+  /// Ring (hop) distance between two nodes in the underlying graph.
+  [[nodiscard]] std::uint32_t distance(NodeId u, NodeId v) const {
+    PEF_CHECK(is_valid_node(u) && is_valid_node(v));
+    const std::uint32_t cw = (v + n_ - u) % n_;
+    if (cw == 0) return 0;
+    const std::uint32_t ccw = n_ - cw;
+    return cw < ccw ? cw : ccw;
+  }
+
+  /// Directed distance from `u` to `v` walking only in direction `d`.
+  [[nodiscard]] std::uint32_t directed_distance(NodeId u, NodeId v,
+                                                GlobalDirection d) const {
+    PEF_CHECK(is_valid_node(u) && is_valid_node(v));
+    return d == GlobalDirection::kClockwise ? (v + n_ - u) % n_
+                                            : (u + n_ - v) % n_;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return "Ring(n=" + std::to_string(n_) + ")";
+  }
+
+  friend bool operator==(const Ring&, const Ring&) = default;
+
+ private:
+  std::uint32_t n_;
+};
+
+}  // namespace pef

@@ -1,0 +1,38 @@
+// Oblivious edge schedules: an evolving graph G = {G_0, G_1, ...} given as a
+// pure function of time.  (Adaptive adversaries, which look at robot
+// positions, live in src/adversary/.)
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/types.hpp"
+#include "dynamic_graph/edge_set.hpp"
+#include "dynamic_graph/ring.hpp"
+
+namespace pef {
+
+/// The edge-presence function of an evolving graph over a fixed ring.
+/// Implementations must be deterministic: calling `edges_at(t)` twice for
+/// the same `t` returns the same set (stochastic schedules pre-derive a
+/// per-(edge, t) stream from their seed).
+class EdgeSchedule {
+ public:
+  virtual ~EdgeSchedule() = default;
+
+  [[nodiscard]] virtual const Ring& ring() const = 0;
+
+  /// The set E_t of edges present during round `t`.
+  [[nodiscard]] virtual EdgeSet edges_at(Time t) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Convenience: presence of a single edge at time `t`.
+  [[nodiscard]] bool is_present(EdgeId e, Time t) const {
+    return edges_at(t).contains(e);
+  }
+};
+
+using SchedulePtr = std::shared_ptr<const EdgeSchedule>;
+
+}  // namespace pef

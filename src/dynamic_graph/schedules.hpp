@@ -1,0 +1,237 @@
+// The oblivious schedule library.
+//
+// Each class below produces one family of connected-over-time (or
+// deliberately *not* connected-over-time, for negative tests) evolving rings:
+//
+//   StaticSchedule               every edge present at every round
+//   RecordedSchedule             explicit per-round edge sets (+ tail rule)
+//   BernoulliSchedule            iid presence with probability p (recurrent
+//                                with probability 1 => connected-over-time)
+//   PeriodicSchedule             edge e present iff t mod period_e < duty_e
+//                                (the "public transport" model of [16, 19])
+//   TIntervalConnectedSchedule   at most one edge missing at any time; the
+//                                missing edge changes every T rounds
+//                                (the model of [10, 20], T-interval
+//                                connectivity on a ring)
+//   EventualMissingEdgeSchedule  one designated edge vanishes forever after
+//                                a given round; others follow a base
+//                                schedule (the hardest legal single-trace
+//                                behaviour for PEF_3+: forces sentinels)
+//   BoundedAbsenceSchedule       random absences, but never more than A
+//                                consecutive rounds per edge
+//   SurgerySchedule              G \ {(e_1, tau_1), ..., (e_k, tau_k)} — the
+//                                proof-surgery operator of Section 2.1
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dynamic_graph/schedule.hpp"
+
+namespace pef {
+
+// ---------------------------------------------------------------------------
+// StaticSchedule
+
+class StaticSchedule final : public EdgeSchedule {
+ public:
+  explicit StaticSchedule(Ring ring) : ring_(ring) {}
+
+  [[nodiscard]] const Ring& ring() const override { return ring_; }
+  [[nodiscard]] EdgeSet edges_at(Time) const override {
+    return EdgeSet::all(ring_.edge_count());
+  }
+  [[nodiscard]] std::string name() const override { return "static"; }
+
+ private:
+  Ring ring_;
+};
+
+// ---------------------------------------------------------------------------
+// RecordedSchedule
+
+/// What a RecordedSchedule returns after its explicit prefix is exhausted.
+enum class TailRule : std::uint8_t {
+  kAllPresent,   // every edge present after the prefix
+  kRepeatLast,   // repeat the final explicit set forever
+  kCyclePrefix,  // loop the prefix periodically
+};
+
+class RecordedSchedule final : public EdgeSchedule {
+ public:
+  RecordedSchedule(Ring ring, std::vector<EdgeSet> rounds,
+                   TailRule tail = TailRule::kAllPresent);
+
+  [[nodiscard]] const Ring& ring() const override { return ring_; }
+  [[nodiscard]] EdgeSet edges_at(Time t) const override;
+  [[nodiscard]] std::string name() const override { return "recorded"; }
+
+  [[nodiscard]] std::size_t prefix_length() const { return rounds_.size(); }
+
+ private:
+  Ring ring_;
+  std::vector<EdgeSet> rounds_;
+  TailRule tail_;
+};
+
+// ---------------------------------------------------------------------------
+// BernoulliSchedule
+
+class BernoulliSchedule final : public EdgeSchedule {
+ public:
+  /// Each edge is present at each round independently with probability `p`.
+  BernoulliSchedule(Ring ring, double p, std::uint64_t seed);
+
+  [[nodiscard]] const Ring& ring() const override { return ring_; }
+  [[nodiscard]] EdgeSet edges_at(Time t) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double presence_probability() const { return p_; }
+
+ private:
+  Ring ring_;
+  double p_;
+  std::uint64_t seed_;
+};
+
+// ---------------------------------------------------------------------------
+// PeriodicSchedule
+
+class PeriodicSchedule final : public EdgeSchedule {
+ public:
+  struct EdgePattern {
+    std::uint32_t period = 1;  // > 0
+    std::uint32_t duty = 1;    // present iff (t + phase) % period < duty
+    std::uint32_t phase = 0;
+  };
+
+  PeriodicSchedule(Ring ring, std::vector<EdgePattern> patterns);
+
+  /// Uniform pattern for every edge, with a per-edge phase shift so the
+  /// absent edge "rotates" around the ring (a simple transit-line model).
+  static PeriodicSchedule rotating(Ring ring, std::uint32_t period,
+                                   std::uint32_t duty);
+
+  [[nodiscard]] const Ring& ring() const override { return ring_; }
+  [[nodiscard]] EdgeSet edges_at(Time t) const override;
+  [[nodiscard]] std::string name() const override { return "periodic"; }
+
+ private:
+  Ring ring_;
+  std::vector<EdgePattern> patterns_;
+};
+
+// ---------------------------------------------------------------------------
+// TIntervalConnectedSchedule
+
+class TIntervalConnectedSchedule final : public EdgeSchedule {
+ public:
+  /// At every round exactly one edge may be absent; which edge (or none) is
+  /// redrawn uniformly every `interval` rounds from `seed`.  The resulting
+  /// graph is connected at every instant (ring minus one edge is a chain)
+  /// and every edge is recurrent with probability 1.
+  TIntervalConnectedSchedule(Ring ring, Time interval, std::uint64_t seed);
+
+  [[nodiscard]] const Ring& ring() const override { return ring_; }
+  [[nodiscard]] EdgeSet edges_at(Time t) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  Ring ring_;
+  Time interval_;
+  std::uint64_t seed_;
+};
+
+// ---------------------------------------------------------------------------
+// EventualMissingEdgeSchedule
+
+class EventualMissingEdgeSchedule final : public EdgeSchedule {
+ public:
+  /// `missing_edge` follows `base` before `vanish_time` and is absent forever
+  /// afterwards; all other edges follow `base`.  If `base` is
+  /// connected-over-time then so is the result (a ring minus one edge is a
+  /// connected chain).
+  EventualMissingEdgeSchedule(SchedulePtr base, EdgeId missing_edge,
+                              Time vanish_time);
+
+  [[nodiscard]] const Ring& ring() const override { return base_->ring(); }
+  [[nodiscard]] EdgeSet edges_at(Time t) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] EdgeId missing_edge() const { return missing_edge_; }
+  [[nodiscard]] Time vanish_time() const { return vanish_time_; }
+
+ private:
+  SchedulePtr base_;
+  EdgeId missing_edge_;
+  Time vanish_time_;
+};
+
+// ---------------------------------------------------------------------------
+// BoundedAbsenceSchedule
+
+class BoundedAbsenceSchedule final : public EdgeSchedule {
+ public:
+  /// Each edge alternates presence runs and absence runs; absence runs are
+  /// uniform in [1, max_absence], presence runs uniform in [1, max_presence].
+  /// Guarantees every edge is recurrent (connected-over-time by construction).
+  BoundedAbsenceSchedule(Ring ring, Time max_absence, Time max_presence,
+                         std::uint64_t seed);
+
+  [[nodiscard]] const Ring& ring() const override { return ring_; }
+  [[nodiscard]] EdgeSet edges_at(Time t) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  [[nodiscard]] bool edge_present(EdgeId e, Time t) const;
+
+  Ring ring_;
+  Time max_absence_;
+  Time max_presence_;
+  std::uint64_t seed_;
+
+  // Lazily-extended run-length decoding per edge.  Runs alternate
+  // present/absent starting with present; `boundaries_[e][i]` is the first
+  // round of run i+1 (cumulative).  Not thread-safe (the whole library is
+  // single-threaded by design; benches parallelise across processes).
+  struct EdgeRuns {
+    std::vector<Time> boundaries;
+    Xoshiro256 rng{0};
+    bool initialised = false;
+  };
+  mutable std::vector<EdgeRuns> runs_;
+};
+
+// ---------------------------------------------------------------------------
+// SurgerySchedule
+
+/// A half-open-interval edge removal: edge `edge` absent during
+/// [from, to] (inclusive bounds, as in the paper's (e, tau) notation).
+struct Removal {
+  EdgeId edge = kInvalidEdge;
+  Time from = 0;
+  Time to = 0;  // inclusive; use kTimeInfinity for "forever after `from`"
+};
+
+class SurgerySchedule final : public EdgeSchedule {
+ public:
+  /// The paper's G \ {(e_1, tau_1), ...} operator: `base` with each listed
+  /// edge forced absent during its listed interval(s).
+  SurgerySchedule(SchedulePtr base, std::vector<Removal> removals);
+
+  [[nodiscard]] const Ring& ring() const override { return base_->ring(); }
+  [[nodiscard]] EdgeSet edges_at(Time t) const override;
+  [[nodiscard]] std::string name() const override { return "surgery"; }
+
+  [[nodiscard]] const std::vector<Removal>& removals() const {
+    return removals_;
+  }
+
+ private:
+  SchedulePtr base_;
+  std::vector<Removal> removals_;
+};
+
+}  // namespace pef

@@ -1,0 +1,84 @@
+#include "dynamic_graph/temporal.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pef {
+
+std::vector<std::optional<Time>> foremost_arrivals(
+    const EdgeSchedule& schedule, NodeId source, Time start, Time deadline) {
+  const Ring& ring = schedule.ring();
+  PEF_CHECK(ring.is_valid_node(source));
+  PEF_CHECK(start <= deadline);
+
+  std::vector<std::optional<Time>> arrival(ring.node_count());
+  arrival[source] = start;
+
+  // Synchronous BFS over the time-expanded graph: at each round every
+  // already-reached node relaxes its present adjacent edges.  A ring has
+  // two adjacent edges per node, so each round costs O(n).
+  std::vector<bool> reached(ring.node_count(), false);
+  reached[source] = true;
+  std::uint32_t reached_count = 1;
+
+  for (Time t = start; t < deadline && reached_count < ring.node_count();
+       ++t) {
+    const EdgeSet present = schedule.edges_at(t);
+    std::vector<NodeId> newly;
+    for (NodeId u = 0; u < ring.node_count(); ++u) {
+      if (!reached[u]) continue;
+      for (const GlobalDirection d :
+           {GlobalDirection::kClockwise, GlobalDirection::kCounterClockwise}) {
+        const EdgeId e = ring.adjacent_edge(u, d);
+        if (!present.contains(e)) continue;
+        const NodeId v = ring.neighbour(u, d);
+        if (!reached[v]) {
+          newly.push_back(v);
+          arrival[v] = t + 1;
+        }
+      }
+    }
+    for (NodeId v : newly) {
+      if (!reached[v]) {
+        reached[v] = true;
+        ++reached_count;
+      }
+    }
+  }
+  return arrival;
+}
+
+std::optional<Time> foremost_arrival(const EdgeSchedule& schedule,
+                                     NodeId source, NodeId target, Time start,
+                                     Time deadline) {
+  return foremost_arrivals(schedule, source, start, deadline)[target];
+}
+
+bool all_pairs_reachable(const EdgeSchedule& schedule, Time start,
+                         Time deadline) {
+  const Ring& ring = schedule.ring();
+  for (NodeId u = 0; u < ring.node_count(); ++u) {
+    const auto arrivals = foremost_arrivals(schedule, u, start, deadline);
+    for (NodeId v = 0; v < ring.node_count(); ++v) {
+      if (!arrivals[v]) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<Time> temporal_diameter(const EdgeSchedule& schedule, Time start,
+                                      Time deadline) {
+  const Ring& ring = schedule.ring();
+  Time worst = 0;
+  for (NodeId u = 0; u < ring.node_count(); ++u) {
+    const auto arrivals = foremost_arrivals(schedule, u, start, deadline);
+    for (NodeId v = 0; v < ring.node_count(); ++v) {
+      if (!arrivals[v]) return std::nullopt;
+      worst = std::max(worst, *arrivals[v] - start);
+    }
+  }
+  return worst;
+}
+
+}  // namespace pef

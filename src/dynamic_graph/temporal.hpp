@@ -1,0 +1,46 @@
+// Temporal reachability: journeys (temporal paths) in an evolving ring.
+//
+// A journey from u to v starting at time t is a sequence of edge traversals
+// at non-decreasing times, each edge present at its traversal round, with
+// (in our synchronous model) one hop per round and waiting allowed.  The
+// *foremost* journey minimises arrival time (Xuan, Ferreira, Jarry [23]).
+//
+// This module is the computational counterpart of the connected-over-time
+// definition: "each node is infinitely often reachable from any other one
+// through a journey".  Tests use it to validate the schedule library
+// (e.g. a Bernoulli ring admits journeys between all pairs from all start
+// times within the window) and benches use it to report the adversary's
+// achieved "temporal diameter".
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dynamic_graph/schedule.hpp"
+
+namespace pef {
+
+/// Earliest arrival times from `source` starting at time `start`, computed
+/// over the window [start, deadline).  Entry v is nullopt when no journey
+/// reaches v before `deadline`.
+[[nodiscard]] std::vector<std::optional<Time>> foremost_arrivals(
+    const EdgeSchedule& schedule, NodeId source, Time start, Time deadline);
+
+/// Earliest arrival at a single target; nullopt if unreachable in-window.
+[[nodiscard]] std::optional<Time> foremost_arrival(
+    const EdgeSchedule& schedule, NodeId source, NodeId target, Time start,
+    Time deadline);
+
+/// True iff every node is reachable from every node by a journey starting
+/// at `start` and arriving before `deadline`.
+[[nodiscard]] bool all_pairs_reachable(const EdgeSchedule& schedule,
+                                       Time start, Time deadline);
+
+/// The temporal diameter from `start`: the max over ordered pairs (u, v) of
+/// the foremost arrival delay; nullopt if some pair is unreachable
+/// in-window.
+[[nodiscard]] std::optional<Time> temporal_diameter(
+    const EdgeSchedule& schedule, Time start, Time deadline);
+
+}  // namespace pef

@@ -1,0 +1,57 @@
+// Per-robot chirality: the private, stable mapping between a robot's local
+// port labels (left / right) and the external observer's global directions
+// (clockwise / counter-clockwise).
+//
+// The paper: "each robot has its own stable chirality (i.e., each robot is
+// able to locally label the two ports of its current node with left and
+// right consistently over the ring and time but two different robots may not
+// agree on this labeling)".
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace pef {
+
+class Chirality {
+ public:
+  /// `right_is_clockwise == true` means the robot's local `right` port is
+  /// the global clockwise port at every node.
+  explicit constexpr Chirality(bool right_is_clockwise = true)
+      : right_is_clockwise_(right_is_clockwise) {}
+
+  [[nodiscard]] constexpr GlobalDirection to_global(LocalDirection d) const {
+    const bool right = d == LocalDirection::kRight;
+    return right == right_is_clockwise_ ? GlobalDirection::kClockwise
+                                        : GlobalDirection::kCounterClockwise;
+  }
+
+  [[nodiscard]] constexpr LocalDirection to_local(GlobalDirection d) const {
+    const bool cw = d == GlobalDirection::kClockwise;
+    return cw == right_is_clockwise_ ? LocalDirection::kRight
+                                     : LocalDirection::kLeft;
+  }
+
+  [[nodiscard]] constexpr bool right_is_clockwise() const {
+    return right_is_clockwise_;
+  }
+
+  /// The mirror chirality (used by the Lemma 4.1 construction, which places
+  /// two robots with opposite chirality).
+  [[nodiscard]] constexpr Chirality flipped() const {
+    return Chirality(!right_is_clockwise_);
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return right_is_clockwise_ ? "right=cw" : "right=ccw";
+  }
+
+  friend constexpr bool operator==(const Chirality&,
+                                   const Chirality&) = default;
+
+ private:
+  bool right_is_clockwise_;
+};
+
+}  // namespace pef

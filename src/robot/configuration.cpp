@@ -1,0 +1,17 @@
+#include "robot/configuration.hpp"
+
+namespace pef {
+
+std::string Configuration::to_string() const {
+  std::string out = "[";
+  for (RobotId r = 0; r < robot_count(); ++r) {
+    if (r != 0) out += ", ";
+    const RobotSnapshot& s = robots_[r];
+    out += "r" + std::to_string(r) + "@" + std::to_string(s.node) + "(" +
+           pef::to_string(s.considered_direction()) + ")";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace pef

@@ -1,0 +1,90 @@
+// Configuration: positions + externally-visible robot variables at one
+// instant (the gamma of the paper's executions).
+//
+// This is the read-only snapshot handed to adversaries (the paper's
+// adversary is omniscient: it sees positions, directions and states) and
+// recorded into traces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dynamic_graph/ring.hpp"
+#include "robot/chirality.hpp"
+
+namespace pef {
+
+/// Snapshot of one robot inside a Configuration.
+struct RobotSnapshot {
+  NodeId node = 0;
+  LocalDirection dir = LocalDirection::kLeft;
+  Chirality chirality{true};
+  /// Stringified algorithm memory (for traces / debugging only).
+  std::string state_repr;
+
+  [[nodiscard]] GlobalDirection considered_direction() const {
+    return chirality.to_global(dir);
+  }
+};
+
+class Configuration {
+ public:
+  Configuration(Ring ring, std::vector<RobotSnapshot> robots)
+      : ring_(ring), robots_(std::move(robots)) {}
+
+  [[nodiscard]] const Ring& ring() const { return ring_; }
+  [[nodiscard]] std::uint32_t robot_count() const {
+    return static_cast<std::uint32_t>(robots_.size());
+  }
+  [[nodiscard]] const RobotSnapshot& robot(RobotId r) const {
+    return robots_[r];
+  }
+  [[nodiscard]] const std::vector<RobotSnapshot>& robots() const {
+    return robots_;
+  }
+
+  /// Number of robots on node `u`.
+  [[nodiscard]] std::uint32_t robots_on(NodeId u) const {
+    std::uint32_t count = 0;
+    for (const RobotSnapshot& r : robots_) {
+      if (r.node == u) ++count;
+    }
+    return count;
+  }
+
+  /// True iff some node holds more than one robot.
+  [[nodiscard]] bool has_tower() const {
+    for (RobotId a = 0; a < robot_count(); ++a) {
+      for (RobotId b = a + 1; b < robot_count(); ++b) {
+        if (robots_[a].node == robots_[b].node) return true;
+      }
+    }
+    return false;
+  }
+
+  /// Distinct occupied nodes.
+  [[nodiscard]] std::vector<NodeId> occupied_nodes() const {
+    std::vector<NodeId> nodes;
+    for (const RobotSnapshot& r : robots_) {
+      bool seen = false;
+      for (NodeId u : nodes) {
+        if (u == r.node) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) nodes.push_back(r.node);
+    }
+    return nodes;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Ring ring_;
+  std::vector<RobotSnapshot> robots_;
+};
+
+}  // namespace pef

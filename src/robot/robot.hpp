@@ -1,0 +1,60 @@
+// One robot as tracked by the simulator: placement + model variables +
+// opaque algorithm memory.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/types.hpp"
+#include "robot/algorithm.hpp"
+#include "robot/chirality.hpp"
+
+namespace pef {
+
+/// Initial placement of one robot (node, chirality).  Initial `dir` is
+/// `left` per the paper ("Initially, this variable is set to left").
+struct RobotPlacement {
+  NodeId node = 0;
+  Chirality chirality{true};
+};
+
+class Robot {
+ public:
+  Robot(RobotId id, RobotPlacement placement,
+        std::unique_ptr<AlgorithmState> state)
+      : id_(id),
+        node_(placement.node),
+        chirality_(placement.chirality),
+        state_(std::move(state)) {}
+
+  Robot(Robot&&) noexcept = default;
+  Robot& operator=(Robot&&) noexcept = default;
+  Robot(const Robot&) = delete;
+  Robot& operator=(const Robot&) = delete;
+
+  [[nodiscard]] RobotId id() const { return id_; }
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] Chirality chirality() const { return chirality_; }
+  [[nodiscard]] LocalDirection dir() const { return dir_; }
+
+  /// The global direction this robot currently "considers" (paper
+  /// terminology): its local dir translated through its chirality.
+  [[nodiscard]] GlobalDirection considered_direction() const {
+    return chirality_.to_global(dir_);
+  }
+
+  [[nodiscard]] AlgorithmState& state() { return *state_; }
+  [[nodiscard]] const AlgorithmState& state() const { return *state_; }
+
+  void set_node(NodeId node) { node_ = node; }
+  void set_dir(LocalDirection dir) { dir_ = dir; }
+
+ private:
+  RobotId id_;
+  NodeId node_;
+  Chirality chirality_;
+  LocalDirection dir_ = LocalDirection::kLeft;
+  std::unique_ptr<AlgorithmState> state_;
+};
+
+}  // namespace pef

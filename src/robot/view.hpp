@@ -1,0 +1,37 @@
+// The robot's Look-phase snapshot (Section 2.3 of the paper).
+//
+// During Look a robot learns exactly three local predicates:
+//   ExistsEdge(dir)                     - edge adjacent in its pointed
+//                                         direction is present
+//   ExistsEdge(opposite dir)            - edge on the other side is present
+//   ExistsOtherRobotsOnCurrentNode()    - local weak multiplicity detection
+//
+// Everything is expressed in the robot's own local frame; robots can see
+// neither node identities, nor other robots' states, nor global directions.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace pef {
+
+struct View {
+  /// Presence of the adjacent edge in the direction currently pointed to
+  /// (the robot's `dir` at Look time).
+  bool exists_edge_ahead = false;
+
+  /// Presence of the adjacent edge in the opposite direction.
+  bool exists_edge_behind = false;
+
+  /// True iff strictly more than one robot stands on the current node.
+  bool other_robots_on_node = false;
+
+  /// ExistsEdge(d) relative to the Look-time pointed direction: `ahead` is
+  /// the pointed direction itself.
+  [[nodiscard]] constexpr bool exists_edge(bool ahead) const {
+    return ahead ? exists_edge_ahead : exists_edge_behind;
+  }
+
+  friend constexpr bool operator==(const View&, const View&) = default;
+};
+
+}  // namespace pef

@@ -1,0 +1,143 @@
+// ASYNC (fully asynchronous) extension — the third model of the paper's
+// taxonomy (Section 1): "In ASYNC, robots execute L-C-M in a fully
+// independent manner."
+//
+// Each robot progresses through its Look / Compute / Move phases
+// separately, one phase per activation, under an adversarial but fair
+// phase scheduler.  The defining hazard is staleness: the View consumed by
+// Compute was snapshotted at Look time, and the edge set consulted at Move
+// time may have changed since — so a robot can chase an edge that no
+// longer exists, or act on multiplicity information that is rounds old.
+//
+// Since SSYNC embeds into ASYNC (activate a robot's three phases
+// back-to-back), the [10] impossibility carries over: the blocking
+// adversary defeats every algorithm here too (see async_test.cpp).  The
+// engine also degenerates to FSYNC when every robot advances every round
+// over a static graph (cross-checked against Simulator in tests).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "robot/algorithm.hpp"
+#include "robot/robot.hpp"
+#include "scheduler/ssync.hpp"
+#include "scheduler/trace.hpp"
+
+namespace pef {
+
+enum class Phase : std::uint8_t { kLook = 0, kCompute = 1, kMove = 2 };
+
+[[nodiscard]] constexpr const char* to_string(Phase p) {
+  switch (p) {
+    case Phase::kLook:
+      return "Look";
+    case Phase::kCompute:
+      return "Compute";
+    case Phase::kMove:
+      return "Move";
+  }
+  return "?";
+}
+
+/// Decides which robots advance one phase this round.  Must be fair.
+class PhaseScheduler {
+ public:
+  virtual ~PhaseScheduler() = default;
+  [[nodiscard]] virtual std::vector<bool> advance(
+      Time t, const Configuration& gamma,
+      const std::vector<Phase>& phases) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Everyone advances every round (synchronised phases: FSYNC at 1/3 speed).
+class LockstepPhases final : public PhaseScheduler {
+ public:
+  [[nodiscard]] std::vector<bool> advance(
+      Time, const Configuration& gamma,
+      const std::vector<Phase>&) override {
+    return std::vector<bool>(gamma.robot_count(), true);
+  }
+  [[nodiscard]] std::string name() const override { return "lockstep"; }
+};
+
+/// One robot advances per round, cyclically (maximally interleaved).
+class RoundRobinPhases final : public PhaseScheduler {
+ public:
+  [[nodiscard]] std::vector<bool> advance(
+      Time t, const Configuration& gamma,
+      const std::vector<Phase>&) override {
+    std::vector<bool> mask(gamma.robot_count(), false);
+    mask[static_cast<std::size_t>(t % gamma.robot_count())] = true;
+    return mask;
+  }
+  [[nodiscard]] std::string name() const override { return "round-robin"; }
+};
+
+/// Each robot advances independently with probability p (fair w.p. 1).
+class BernoulliPhases final : public PhaseScheduler {
+ public:
+  BernoulliPhases(double p, std::uint64_t seed) : p_(p), rng_(seed) {}
+  [[nodiscard]] std::vector<bool> advance(
+      Time, const Configuration& gamma,
+      const std::vector<Phase>&) override {
+    std::vector<bool> mask(gamma.robot_count(), false);
+    bool any = false;
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      mask[i] = rng_.next_bool(p_);
+      any = any || mask[i];
+    }
+    if (!any) mask[rng_.next_below(mask.size())] = true;
+    return mask;
+  }
+  [[nodiscard]] std::string name() const override { return "bernoulli"; }
+
+ private:
+  double p_;
+  Xoshiro256 rng_;
+};
+
+/// The ASYNC engine.  Reuses the SsyncAdversary interface (the edge
+/// adversary sees the configuration and the advancing set each round).
+class AsyncSimulator {
+ public:
+  AsyncSimulator(Ring ring, AlgorithmPtr algorithm,
+                 std::unique_ptr<SsyncAdversary> adversary,
+                 std::unique_ptr<PhaseScheduler> phases,
+                 const std::vector<RobotPlacement>& placements);
+
+  /// One scheduler tick: every selected robot executes its pending phase.
+  RoundRecord step();
+  void run(Time rounds);
+
+  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] Configuration snapshot() const;
+  [[nodiscard]] const Trace& trace() const { return *trace_; }
+  [[nodiscard]] Phase phase_of(RobotId r) const { return phases_[r]; }
+
+ private:
+  Ring ring_;
+  AlgorithmPtr algorithm_;
+  std::unique_ptr<SsyncAdversary> adversary_;
+  std::unique_ptr<PhaseScheduler> scheduler_;
+  std::vector<Robot> robots_;
+  std::vector<Phase> phases_;
+  std::vector<View> pending_views_;  // snapshot taken at Look time
+  Time now_ = 0;
+  std::unique_ptr<Trace> trace_;
+};
+
+/// ASYNC blocker: removes both adjacent edges of every robot that executes
+/// its Move phase this tick.  No robot ever moves; every edge stays
+/// recurrent under non-lockstep fair scheduling.  (The ASYNC face of the
+/// [10] impossibility.)
+///
+/// In the ASYNC engine the adversary's `activated` mask is the set of
+/// robots whose *Move* phase fires this tick — SsyncBlockingAdversary has
+/// exactly the wanted behaviour, so the blocker is a thin alias kept for
+/// readability at call sites.
+using AsyncMoveBlocker = SsyncBlockingAdversary;
+
+}  // namespace pef

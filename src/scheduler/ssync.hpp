@@ -1,0 +1,151 @@
+// SSYNC (semi-synchronous) extension.
+//
+// The paper restricts its study to FSYNC because of the impossibility result
+// of Di Luna et al. [10]: in SSYNC, an adversary that controls *activation*
+// as well as edges defeats every exploration algorithm regardless of
+// dynamicity assumptions — it can activate robots one at a time and remove
+// the edge the activated robot wants to traverse, so no robot ever moves,
+// while every edge remains recurrent (it is present whenever its robot is
+// not activated).  This module reproduces that argument executably
+// (bench_ssync_impossibility).
+//
+// Model: at each round a fair activation policy selects a subset of robots;
+// selected robots perform an atomic Look-Compute-Move against the round's
+// edge set; the others do nothing (and keep their state).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "dynamic_graph/schedule.hpp"
+#include "robot/algorithm.hpp"
+#include "robot/robot.hpp"
+#include "scheduler/trace.hpp"
+
+namespace pef {
+
+/// Chooses which robots are activated each round.  Must be fair (every robot
+/// activated infinitely often) to be a legal SSYNC scheduler.
+class ActivationPolicy {
+ public:
+  virtual ~ActivationPolicy() = default;
+  /// Returns an activation mask of size robot_count; at least one true.
+  [[nodiscard]] virtual std::vector<bool> activate(
+      Time t, const Configuration& gamma) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// One robot per round, cyclically (fair).
+class RoundRobinActivation final : public ActivationPolicy {
+ public:
+  [[nodiscard]] std::vector<bool> activate(Time t,
+                                           const Configuration& gamma) override {
+    std::vector<bool> mask(gamma.robot_count(), false);
+    mask[static_cast<std::size_t>(t % gamma.robot_count())] = true;
+    return mask;
+  }
+  [[nodiscard]] std::string name() const override { return "round-robin"; }
+};
+
+/// Everyone every round (degenerates to FSYNC; used to cross-check the two
+/// engines against each other in tests).
+class FullActivation final : public ActivationPolicy {
+ public:
+  [[nodiscard]] std::vector<bool> activate(Time,
+                                           const Configuration& gamma) override {
+    return std::vector<bool>(gamma.robot_count(), true);
+  }
+  [[nodiscard]] std::string name() const override { return "full"; }
+};
+
+/// Random fair subset (each robot independently with probability p, forced
+/// non-empty).
+class BernoulliActivation final : public ActivationPolicy {
+ public:
+  BernoulliActivation(double p, std::uint64_t seed) : p_(p), rng_(seed) {}
+  [[nodiscard]] std::vector<bool> activate(Time,
+                                           const Configuration& gamma) override;
+  [[nodiscard]] std::string name() const override { return "bernoulli"; }
+
+ private:
+  double p_;
+  Xoshiro256 rng_;
+};
+
+/// The SSYNC adversary: sees the configuration *and* the activation mask.
+class SsyncAdversary {
+ public:
+  virtual ~SsyncAdversary() = default;
+  [[nodiscard]] virtual const Ring& ring() const = 0;
+  [[nodiscard]] virtual EdgeSet choose_edges(
+      Time t, const Configuration& gamma,
+      const std::vector<bool>& activated) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// The [10]-style blocker: removes both adjacent edges of every activated
+/// robot; every other edge present.  No robot ever moves, yet each edge is
+/// present at every round in which its incident robots are inactive — with
+/// fair non-full activation every edge is recurrent.
+class SsyncBlockingAdversary final : public SsyncAdversary {
+ public:
+  explicit SsyncBlockingAdversary(Ring ring) : ring_(ring) {}
+  [[nodiscard]] const Ring& ring() const override { return ring_; }
+  [[nodiscard]] EdgeSet choose_edges(
+      Time t, const Configuration& gamma,
+      const std::vector<bool>& activated) override;
+  [[nodiscard]] std::string name() const override { return "ssync-blocker"; }
+
+ private:
+  Ring ring_;
+};
+
+/// An SsyncAdversary that ignores activation (wraps an oblivious schedule).
+class SsyncObliviousAdversary final : public SsyncAdversary {
+ public:
+  explicit SsyncObliviousAdversary(SchedulePtr schedule)
+      : schedule_(std::move(schedule)) {}
+  [[nodiscard]] const Ring& ring() const override {
+    return schedule_->ring();
+  }
+  [[nodiscard]] EdgeSet choose_edges(Time t, const Configuration&,
+                                     const std::vector<bool>&) override {
+    return schedule_->edges_at(t);
+  }
+  [[nodiscard]] std::string name() const override {
+    return schedule_->name();
+  }
+
+ private:
+  SchedulePtr schedule_;
+};
+
+/// The SSYNC execution engine.  Mirrors Simulator but applies the L-C-M
+/// cycle only to activated robots.
+class SsyncSimulator {
+ public:
+  SsyncSimulator(Ring ring, AlgorithmPtr algorithm,
+                 std::unique_ptr<SsyncAdversary> adversary,
+                 std::unique_ptr<ActivationPolicy> activation,
+                 const std::vector<RobotPlacement>& placements);
+
+  RoundRecord step();
+  void run(Time rounds);
+
+  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] Configuration snapshot() const;
+  [[nodiscard]] const Trace& trace() const { return *trace_; }
+
+ private:
+  Ring ring_;
+  AlgorithmPtr algorithm_;
+  std::unique_ptr<SsyncAdversary> adversary_;
+  std::unique_ptr<ActivationPolicy> activation_;
+  std::vector<Robot> robots_;
+  Time now_ = 0;
+  std::unique_ptr<Trace> trace_;
+};
+
+}  // namespace pef

@@ -1,0 +1,63 @@
+// Tests for the command-line argument parser.
+#include "common/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pef {
+namespace {
+
+ArgParser make(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgsTest, SpaceSeparatedValues) {
+  auto args = make({"--nodes", "12", "--algorithm", "pef3+"});
+  EXPECT_EQ(args.get_u32("--nodes", 0), 12u);
+  EXPECT_EQ(args.get_string("--algorithm", ""), "pef3+");
+  EXPECT_TRUE(args.unused().empty());
+}
+
+TEST(ArgsTest, EqualsSeparatedValues) {
+  auto args = make({"--nodes=7", "--p=0.25"});
+  EXPECT_EQ(args.get_u32("--nodes", 0), 7u);
+  EXPECT_DOUBLE_EQ(args.get_double("--p", 0), 0.25);
+}
+
+TEST(ArgsTest, DefaultsWhenAbsent) {
+  auto args = make({});
+  EXPECT_EQ(args.get_u32("--nodes", 10), 10u);
+  EXPECT_EQ(args.get_string("--algorithm", "pef3+"), "pef3+");
+  EXPECT_DOUBLE_EQ(args.get_double("--p", 0.5), 0.5);
+  EXPECT_FALSE(args.has("--render"));
+}
+
+TEST(ArgsTest, BooleanFlags) {
+  auto args = make({"--render", "--nodes", "5"});
+  EXPECT_TRUE(args.has("--render"));
+  EXPECT_EQ(args.get_u32("--nodes", 0), 5u);
+}
+
+TEST(ArgsTest, UnusedFlagsReported) {
+  auto args = make({"--nodes", "5", "--typo-flag", "--other=1"});
+  EXPECT_EQ(args.get_u32("--nodes", 0), 5u);
+  const auto unused = args.unused();
+  ASSERT_EQ(unused.size(), 2u);
+  EXPECT_EQ(unused[0], "--typo-flag");
+  EXPECT_EQ(unused[1], "--other");
+}
+
+TEST(ArgsTest, U64RoundTrip) {
+  auto args = make({"--horizon", "123456789012"});
+  EXPECT_EQ(args.get_u64("--horizon", 0), 123456789012ull);
+}
+
+TEST(ArgsDeathTest, RejectsPositionalArguments) {
+  EXPECT_DEATH(
+      { auto a = make({"positional"}); (void)a; },
+      "unexpected positional");
+}
+
+}  // namespace
+}  // namespace pef

@@ -1,0 +1,96 @@
+// Unit tests for chirality, views, and configuration snapshots.
+#include "robot/chirality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "robot/configuration.hpp"
+#include "robot/view.hpp"
+
+namespace pef {
+namespace {
+
+TEST(ChiralityTest, DefaultRightIsClockwise) {
+  const Chirality c(true);
+  EXPECT_EQ(c.to_global(LocalDirection::kRight), GlobalDirection::kClockwise);
+  EXPECT_EQ(c.to_global(LocalDirection::kLeft),
+            GlobalDirection::kCounterClockwise);
+}
+
+TEST(ChiralityTest, FlippedSwapsMapping) {
+  const Chirality c(false);
+  EXPECT_EQ(c.to_global(LocalDirection::kRight),
+            GlobalDirection::kCounterClockwise);
+  EXPECT_EQ(c.to_global(LocalDirection::kLeft), GlobalDirection::kClockwise);
+}
+
+TEST(ChiralityTest, RoundTrip) {
+  for (bool rc : {true, false}) {
+    const Chirality c(rc);
+    for (const auto local : {LocalDirection::kLeft, LocalDirection::kRight}) {
+      EXPECT_EQ(c.to_local(c.to_global(local)), local);
+    }
+    for (const auto global : {GlobalDirection::kClockwise,
+                              GlobalDirection::kCounterClockwise}) {
+      EXPECT_EQ(c.to_global(c.to_local(global)), global);
+    }
+  }
+}
+
+TEST(ChiralityTest, FlippedIsInvolution) {
+  const Chirality c(true);
+  EXPECT_EQ(c.flipped().flipped(), c);
+  EXPECT_NE(c.flipped(), c);
+}
+
+TEST(ChiralityTest, OppositeChiralityMirrorsGlobal) {
+  // Two robots with opposite chirality pointing to the same local direction
+  // consider opposite global directions (the Lemma 4.1 symmetry).
+  const Chirality a(true);
+  const Chirality b = a.flipped();
+  for (const auto local : {LocalDirection::kLeft, LocalDirection::kRight}) {
+    EXPECT_EQ(a.to_global(local), opposite(b.to_global(local)));
+  }
+}
+
+TEST(ViewTest, ExistsEdgeAccessor) {
+  View v;
+  v.exists_edge_ahead = true;
+  v.exists_edge_behind = false;
+  EXPECT_TRUE(v.exists_edge(true));
+  EXPECT_FALSE(v.exists_edge(false));
+}
+
+TEST(ConfigurationTest, RobotsOnAndTower) {
+  const Ring ring(5);
+  std::vector<RobotSnapshot> snaps(3);
+  snaps[0].node = 1;
+  snaps[1].node = 3;
+  snaps[2].node = 1;
+  const Configuration gamma(ring, snaps);
+  EXPECT_EQ(gamma.robots_on(1), 2u);
+  EXPECT_EQ(gamma.robots_on(3), 1u);
+  EXPECT_EQ(gamma.robots_on(0), 0u);
+  EXPECT_TRUE(gamma.has_tower());
+  EXPECT_EQ(gamma.occupied_nodes().size(), 2u);
+}
+
+TEST(ConfigurationTest, TowerlessConfiguration) {
+  const Ring ring(4);
+  std::vector<RobotSnapshot> snaps(2);
+  snaps[0].node = 0;
+  snaps[1].node = 2;
+  const Configuration gamma(ring, snaps);
+  EXPECT_FALSE(gamma.has_tower());
+}
+
+TEST(ConfigurationTest, ConsideredDirectionUsesChirality) {
+  RobotSnapshot s;
+  s.dir = LocalDirection::kLeft;
+  s.chirality = Chirality(true);
+  EXPECT_EQ(s.considered_direction(), GlobalDirection::kCounterClockwise);
+  s.chirality = Chirality(false);
+  EXPECT_EQ(s.considered_direction(), GlobalDirection::kClockwise);
+}
+
+}  // namespace
+}  // namespace pef

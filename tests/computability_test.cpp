@@ -1,0 +1,78 @@
+// Tests for the TABLE 1 decision procedure.
+#include "core/computability.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pef::computability {
+namespace {
+
+TEST(ComputabilityTest, TableOneRows) {
+  // Row 1: k >= 3, n >= 4 (n > k): possible.
+  EXPECT_EQ(classify(3, 4), Verdict::kPossible);
+  EXPECT_EQ(classify(3, 100), Verdict::kPossible);
+  EXPECT_EQ(classify(5, 17), Verdict::kPossible);
+  // Row 2: k = 2, n > 3: impossible.
+  EXPECT_EQ(classify(2, 4), Verdict::kImpossible);
+  EXPECT_EQ(classify(2, 5), Verdict::kImpossible);
+  EXPECT_EQ(classify(2, 1000), Verdict::kImpossible);
+  // Row 3: k = 2, n = 3: possible.
+  EXPECT_EQ(classify(2, 3), Verdict::kPossible);
+  // Row 4: k = 1, n > 2: impossible.
+  EXPECT_EQ(classify(1, 3), Verdict::kImpossible);
+  EXPECT_EQ(classify(1, 64), Verdict::kImpossible);
+  // Row 5: k = 1, n = 2: possible.
+  EXPECT_EQ(classify(1, 2), Verdict::kPossible);
+}
+
+TEST(ComputabilityTest, OutOfModelPairs) {
+  EXPECT_EQ(classify(0, 5), Verdict::kOutOfModel);
+  EXPECT_EQ(classify(5, 5), Verdict::kOutOfModel);  // k < n required
+  EXPECT_EQ(classify(6, 5), Verdict::kOutOfModel);
+  EXPECT_EQ(classify(1, 1), Verdict::kOutOfModel);
+  EXPECT_EQ(classify(2, 2), Verdict::kOutOfModel);
+}
+
+TEST(ComputabilityTest, RequiredRobots) {
+  EXPECT_EQ(required_robots(2), 1u);
+  EXPECT_EQ(required_robots(3), 2u);
+  EXPECT_EQ(required_robots(4), 3u);
+  EXPECT_EQ(required_robots(100), 3u);
+  EXPECT_EQ(required_robots(1), std::nullopt);
+}
+
+TEST(ComputabilityTest, RequiredRobotsIsConsistentWithClassify) {
+  for (std::uint32_t n = 2; n <= 40; ++n) {
+    const auto k = required_robots(n);
+    ASSERT_TRUE(k.has_value());
+    EXPECT_EQ(classify(*k, n), Verdict::kPossible) << "n=" << n;
+    if (*k > 1) {
+      EXPECT_NE(classify(*k - 1, n), Verdict::kPossible) << "n=" << n;
+    }
+  }
+}
+
+TEST(ComputabilityTest, RecommendedAlgorithm) {
+  EXPECT_EQ(recommended_algorithm(3, 10), "pef3+");
+  EXPECT_EQ(recommended_algorithm(7, 10), "pef3+");
+  EXPECT_EQ(recommended_algorithm(2, 3), "pef2");
+  EXPECT_EQ(recommended_algorithm(1, 2), "pef1");
+  EXPECT_EQ(recommended_algorithm(2, 4), "");
+  EXPECT_EQ(recommended_algorithm(1, 3), "");
+}
+
+TEST(ComputabilityTest, SupportingTheorems) {
+  EXPECT_EQ(supporting_theorem(3, 10), "Theorem 3.1");
+  EXPECT_EQ(supporting_theorem(2, 4), "Theorem 4.1");
+  EXPECT_EQ(supporting_theorem(2, 3), "Theorem 4.2");
+  EXPECT_EQ(supporting_theorem(1, 3), "Theorem 5.1");
+  EXPECT_EQ(supporting_theorem(1, 2), "Theorem 5.2");
+}
+
+TEST(ComputabilityTest, VerdictToString) {
+  EXPECT_STREQ(to_string(Verdict::kPossible), "Possible");
+  EXPECT_STREQ(to_string(Verdict::kImpossible), "Impossible");
+  EXPECT_STREQ(to_string(Verdict::kOutOfModel), "OutOfModel");
+}
+
+}  // namespace
+}  // namespace pef::computability

@@ -1,0 +1,94 @@
+// Unit tests for EdgeSet.
+#include "dynamic_graph/edge_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pef {
+namespace {
+
+TEST(EdgeSetTest, EmptyAndAll) {
+  const EdgeSet none = EdgeSet::none(10);
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(none.size(), 0u);
+  const EdgeSet all = EdgeSet::all(10);
+  EXPECT_TRUE(all.full());
+  EXPECT_EQ(all.size(), 10u);
+  for (EdgeId e = 0; e < 10; ++e) {
+    EXPECT_FALSE(none.contains(e));
+    EXPECT_TRUE(all.contains(e));
+  }
+}
+
+TEST(EdgeSetTest, InsertEraseSet) {
+  EdgeSet s(8);
+  s.insert(3);
+  s.insert(7);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_FALSE(s.contains(0));
+  EXPECT_EQ(s.size(), 2u);
+  s.erase(3);
+  EXPECT_FALSE(s.contains(3));
+  s.set(0, true);
+  s.set(7, false);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_FALSE(s.contains(7));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(EdgeSetTest, InsertIsIdempotent) {
+  EdgeSet s(4);
+  s.insert(2);
+  s.insert(2);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(EdgeSetTest, LargeSetsSpanMultipleWords) {
+  EdgeSet s(200);
+  s.insert(0);
+  s.insert(63);
+  s.insert(64);
+  s.insert(127);
+  s.insert(128);
+  s.insert(199);
+  EXPECT_EQ(s.size(), 6u);
+  EXPECT_TRUE(s.contains(64));
+  EXPECT_TRUE(s.contains(199));
+  EXPECT_FALSE(s.contains(100));
+  const auto v = s.to_vector();
+  EXPECT_EQ(v, (std::vector<EdgeId>{0, 63, 64, 127, 128, 199}));
+}
+
+TEST(EdgeSetTest, SetOperations) {
+  EdgeSet a(6);
+  a.insert(0);
+  a.insert(1);
+  a.insert(2);
+  EdgeSet b(6);
+  b.insert(2);
+  b.insert(3);
+
+  EXPECT_EQ((a | b).to_vector(), (std::vector<EdgeId>{0, 1, 2, 3}));
+  EXPECT_EQ((a & b).to_vector(), (std::vector<EdgeId>{2}));
+  EXPECT_EQ((a - b).to_vector(), (std::vector<EdgeId>{0, 1}));
+}
+
+TEST(EdgeSetTest, Equality) {
+  EdgeSet a(5);
+  a.insert(1);
+  EdgeSet b(5);
+  EXPECT_NE(a, b);
+  b.insert(1);
+  EXPECT_EQ(a, b);
+}
+
+TEST(EdgeSetTest, ToString) {
+  EdgeSet s(5);
+  EXPECT_EQ(s.to_string(), "{}");
+  s.insert(0);
+  s.insert(4);
+  EXPECT_EQ(s.to_string(), "{0, 4}");
+}
+
+}  // namespace
+}  // namespace pef

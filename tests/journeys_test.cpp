@@ -1,0 +1,164 @@
+// Unit tests for foremost / shortest / fastest journeys.
+#include "dynamic_graph/journeys.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dynamic_graph/schedules.hpp"
+
+namespace pef {
+namespace {
+
+TEST(JourneysTest, ForemostOnStaticRingIsDirect) {
+  const StaticSchedule s(Ring(8));
+  const auto j = foremost_journey(s, 0, 3, 0, 100);
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->hop_count(), 3u);
+  EXPECT_EQ(j->arrival(), 3u);
+  EXPECT_TRUE(is_valid_journey(s, *j));
+}
+
+TEST(JourneysTest, TrivialJourneyToSelf) {
+  const StaticSchedule s(Ring(5));
+  const auto j = foremost_journey(s, 2, 2, 7, 100);
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->hop_count(), 0u);
+  EXPECT_EQ(j->arrival(), 7u);
+  EXPECT_TRUE(is_valid_journey(s, *j));
+}
+
+TEST(JourneysTest, ForemostTakesTemporalDetour) {
+  // Edge (0,1) missing forever: foremost from 0 to 1 goes the long way.
+  auto base = std::make_shared<StaticSchedule>(Ring(6));
+  const SurgerySchedule s(base,
+                          std::vector<Removal>{{0, 0, kTimeInfinity}});
+  const auto j = foremost_journey(s, 0, 1, 0, 100);
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->hop_count(), 5u);
+  EXPECT_EQ(j->arrival(), 5u);
+  EXPECT_TRUE(is_valid_journey(s, *j));
+}
+
+TEST(JourneysTest, ShortestWaitsForTheDirectEdge) {
+  // Edge (0,1) absent until round 9, present afterwards.  The foremost
+  // journey from 0 to 1 circles the long way (5 hops, arrival 5); the
+  // shortest waits and crosses directly (1 hop, arrival 10).
+  auto base = std::make_shared<StaticSchedule>(Ring(6));
+  const SurgerySchedule s(base, std::vector<Removal>{{0, 0, 9}});
+  const auto foremost = foremost_journey(s, 0, 1, 0, 100);
+  const auto shortest = shortest_journey(s, 0, 1, 0, 100);
+  ASSERT_TRUE(foremost.has_value());
+  ASSERT_TRUE(shortest.has_value());
+  EXPECT_EQ(foremost->hop_count(), 5u);
+  EXPECT_EQ(foremost->arrival(), 5u);
+  EXPECT_EQ(shortest->hop_count(), 1u);
+  EXPECT_EQ(shortest->arrival(), 11u);
+  EXPECT_TRUE(is_valid_journey(s, *shortest));
+}
+
+TEST(JourneysTest, FastestDepartsLate) {
+  // All edges absent for 20 rounds, then static.  The foremost journey
+  // departs at its first chance (arrival 22, duration 2 from first move);
+  // a journey starting at t=0 cannot move before t=20 anyway, so fastest
+  // should achieve duration == hop distance by departing at 20.
+  const Ring ring(7);
+  std::vector<EdgeSet> blackout(20, EdgeSet::none(7));
+  auto rec = std::make_shared<RecordedSchedule>(ring, blackout,
+                                                TailRule::kAllPresent);
+  const auto fastest = fastest_journey(*rec, 0, 2, 0, 100);
+  ASSERT_TRUE(fastest.has_value());
+  EXPECT_EQ(fastest->duration(), 2u);
+  EXPECT_EQ(fastest->hop_count(), 2u);
+  EXPECT_TRUE(is_valid_journey(*rec, *fastest));
+}
+
+TEST(JourneysTest, FastestNeverWorseThanForemost) {
+  const BernoulliSchedule s(Ring(8), 0.4, 55);
+  for (NodeId target : {1u, 3u, 5u}) {
+    const auto foremost = foremost_journey(s, 0, target, 0, 400);
+    const auto fastest = fastest_journey(s, 0, target, 0, 400);
+    ASSERT_TRUE(foremost.has_value());
+    ASSERT_TRUE(fastest.has_value());
+    EXPECT_LE(fastest->duration(), foremost->duration());
+  }
+}
+
+TEST(JourneysTest, ShortestNeverMoreHopsThanForemost) {
+  const BernoulliSchedule s(Ring(9), 0.5, 77);
+  for (NodeId target = 1; target < 9; ++target) {
+    const auto foremost = foremost_journey(s, 0, target, 0, 500);
+    const auto shortest = shortest_journey(s, 0, target, 0, 500);
+    ASSERT_TRUE(foremost.has_value());
+    ASSERT_TRUE(shortest.has_value());
+    EXPECT_LE(shortest->hop_count(), foremost->hop_count());
+    EXPECT_GE(shortest->hop_count(), s.ring().distance(0, target));
+    EXPECT_TRUE(is_valid_journey(s, *shortest));
+    EXPECT_TRUE(is_valid_journey(s, *foremost));
+  }
+}
+
+TEST(JourneysTest, UnreachableReturnsNullopt) {
+  const Ring ring(5);
+  auto none = std::make_shared<RecordedSchedule>(
+      ring, std::vector<EdgeSet>(10, EdgeSet::none(5)),
+      TailRule::kRepeatLast);
+  EXPECT_EQ(foremost_journey(*none, 0, 2, 0, 10), std::nullopt);
+  EXPECT_EQ(shortest_journey(*none, 0, 2, 0, 10), std::nullopt);
+  EXPECT_EQ(fastest_journey(*none, 0, 2, 0, 10), std::nullopt);
+}
+
+TEST(JourneysTest, ValidatorRejectsBrokenJourneys) {
+  const StaticSchedule s(Ring(6));
+  Journey j;
+  j.source = 0;
+  j.target = 2;
+  j.departure = 0;
+  // Wrong chaining: hops from 0 then from 3.
+  j.hops.push_back(JourneyHop{0, 0, 0, 1});
+  j.hops.push_back(JourneyHop{1, 3, 3, 4});
+  EXPECT_FALSE(is_valid_journey(s, j));
+  // Right chaining but wrong target.
+  j.hops.clear();
+  j.hops.push_back(JourneyHop{0, 0, 0, 1});
+  EXPECT_FALSE(is_valid_journey(s, j));
+  // Time going backwards.
+  j.hops.clear();
+  j.hops.push_back(JourneyHop{5, 0, 0, 1});
+  j.hops.push_back(JourneyHop{5, 1, 1, 2});
+  EXPECT_FALSE(is_valid_journey(s, j));
+  // Crossing an absent edge.
+  auto base = std::make_shared<StaticSchedule>(Ring(6));
+  const SurgerySchedule cut(base,
+                            std::vector<Removal>{{0, 0, kTimeInfinity}});
+  j.hops.clear();
+  j.hops.push_back(JourneyHop{0, 0, 0, 1});
+  j.hops.push_back(JourneyHop{1, 1, 1, 2});
+  EXPECT_FALSE(is_valid_journey(cut, j));
+  EXPECT_TRUE(is_valid_journey(s, j));
+}
+
+class JourneyPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JourneyPropertyTest, AllThreeNotionsAgreeWithValidator) {
+  const std::uint64_t seed = GetParam();
+  const BernoulliSchedule s(Ring(7), 0.35, seed);
+  for (NodeId u = 0; u < 7; ++u) {
+    for (NodeId v = 0; v < 7; ++v) {
+      const auto fm = foremost_journey(s, u, v, 3, 300);
+      const auto sh = shortest_journey(s, u, v, 3, 300);
+      ASSERT_TRUE(fm.has_value());
+      ASSERT_TRUE(sh.has_value());
+      EXPECT_TRUE(is_valid_journey(s, *fm));
+      EXPECT_TRUE(is_valid_journey(s, *sh));
+      // Foremost is foremost: no journey arrives earlier.
+      EXPECT_LE(fm->arrival(), sh->arrival());
+      // Shortest is shortest: within the ring's simple-path bound.
+      EXPECT_LE(sh->hop_count(), 6u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JourneyPropertyTest,
+                         ::testing::Values(1ull, 13ull, 99ull));
+
+}  // namespace
+}  // namespace pef

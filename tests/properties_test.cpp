@@ -1,0 +1,111 @@
+// Unit tests for evolving-graph property checkers.
+#include "dynamic_graph/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dynamic_graph/schedules.hpp"
+
+namespace pef {
+namespace {
+
+TEST(PropertiesTest, ObservedUnderlyingEdgesOfStatic) {
+  const StaticSchedule s(Ring(5));
+  EXPECT_TRUE(observed_underlying_edges(s, 10).full());
+}
+
+TEST(PropertiesTest, ObservedUnderlyingOmitsSilentEdge) {
+  const Ring ring(4);
+  EdgeSet some = EdgeSet::all(4);
+  some.erase(2);
+  const RecordedSchedule s(ring, {some, some, some}, TailRule::kRepeatLast);
+  const EdgeSet observed = observed_underlying_edges(s, 3);
+  EXPECT_FALSE(observed.contains(2));
+  EXPECT_EQ(observed.size(), 3u);
+}
+
+TEST(PropertiesTest, AbsenceIntervalsClosedAndOpen) {
+  const Ring ring(3);
+  // Edge 0 absent at rounds 1..2, edge 1 absent from round 3 to horizon.
+  std::vector<EdgeSet> rounds;
+  for (Time t = 0; t < 6; ++t) {
+    EdgeSet set = EdgeSet::all(3);
+    if (t >= 1 && t <= 2) set.erase(0);
+    if (t >= 3) set.erase(1);
+    rounds.push_back(set);
+  }
+  const RecordedSchedule s(ring, rounds, TailRule::kRepeatLast);
+  const auto intervals = absence_intervals(s, 6);
+  ASSERT_EQ(intervals.size(), 2u);
+  EXPECT_EQ(intervals[0], (AbsenceInterval{0, 1, 2, false}));
+  EXPECT_EQ(intervals[1], (AbsenceInterval{1, 3, 5, true}));
+}
+
+TEST(PropertiesTest, AuditStaticIsLegal) {
+  const StaticSchedule s(Ring(5));
+  const auto audit = audit_connectivity(s, 100, 10);
+  EXPECT_TRUE(audit.connected_over_time);
+  EXPECT_TRUE(audit.suspected_missing.empty());
+  EXPECT_EQ(audit.max_closed_absence, 0u);
+}
+
+TEST(PropertiesTest, AuditSingleEventualMissingIsLegal) {
+  auto base = std::make_shared<StaticSchedule>(Ring(6));
+  const EventualMissingEdgeSchedule s(base, 4, 20);
+  const auto audit = audit_connectivity(s, 200, 40);
+  EXPECT_TRUE(audit.connected_over_time);
+  ASSERT_EQ(audit.suspected_missing.size(), 1u);
+  EXPECT_EQ(audit.suspected_missing[0], 4u);
+}
+
+TEST(PropertiesTest, AuditTwoEventualMissingIsIllegal) {
+  auto base = std::make_shared<StaticSchedule>(Ring(6));
+  const SurgerySchedule s(base,
+                          {{1, 10, kTimeInfinity}, {4, 10, kTimeInfinity}});
+  const auto audit = audit_connectivity(s, 200, 40);
+  EXPECT_FALSE(audit.connected_over_time);
+  EXPECT_EQ(audit.suspected_missing.size(), 2u);
+}
+
+TEST(PropertiesTest, AuditFiniteAbsencesAreLegal) {
+  auto base = std::make_shared<StaticSchedule>(Ring(4));
+  const SurgerySchedule s(base, {{0, 5, 30}, {2, 40, 60}});
+  const auto audit = audit_connectivity(s, 200, 50);
+  EXPECT_TRUE(audit.connected_over_time);
+  EXPECT_TRUE(audit.suspected_missing.empty());
+  EXPECT_EQ(audit.max_closed_absence, 26u);
+}
+
+TEST(PropertiesTest, AuditBernoulliIsLegal) {
+  const BernoulliSchedule s(Ring(8), 0.4, 17);
+  const auto audit = audit_connectivity(s, 1000, 200);
+  EXPECT_TRUE(audit.connected_over_time);
+}
+
+TEST(PropertiesTest, OneEdgeHoldsWhenOneSideMissing) {
+  auto base = std::make_shared<StaticSchedule>(Ring(5));
+  // Node 2's cw edge is edge 2; its ccw edge is edge 1.
+  const SurgerySchedule s(base, {{2, 10, 20}});
+  EXPECT_TRUE(one_edge(s, 2, 10, 20));
+  const auto present = one_edge_present_side(s, 2, 10, 20);
+  ASSERT_TRUE(present.has_value());
+  EXPECT_EQ(*present, 1u);
+  // Not satisfied when the interval extends past the removal.
+  EXPECT_FALSE(one_edge(s, 2, 10, 25));
+  // Not satisfied when both edges are present.
+  EXPECT_FALSE(one_edge(s, 2, 0, 5));
+}
+
+TEST(PropertiesTest, OneEdgeFailsWhenBothMissing) {
+  auto base = std::make_shared<StaticSchedule>(Ring(5));
+  const SurgerySchedule s(base, {{1, 10, 20}, {2, 10, 20}});
+  EXPECT_FALSE(one_edge(s, 2, 10, 20));
+}
+
+TEST(PropertiesTest, AuditEmptyWindowNotConnected) {
+  const Ring ring(4);
+  const auto audit = audit_connectivity(ring, {}, 1);
+  EXPECT_FALSE(audit.connected_over_time);
+}
+
+}  // namespace
+}  // namespace pef

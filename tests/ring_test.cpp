@@ -1,0 +1,122 @@
+// Unit tests for the static ring topology.
+#include "dynamic_graph/ring.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pef {
+namespace {
+
+TEST(RingTest, BasicCounts) {
+  const Ring ring(5);
+  EXPECT_EQ(ring.node_count(), 5u);
+  EXPECT_EQ(ring.edge_count(), 5u);
+}
+
+TEST(RingTest, TwoNodeRingIsMultigraph) {
+  const Ring ring(2);
+  EXPECT_EQ(ring.node_count(), 2u);
+  EXPECT_EQ(ring.edge_count(), 2u);
+  // Both edges connect nodes 0 and 1, but they are distinct edges.
+  EXPECT_EQ(ring.edge_tail(0), 0u);
+  EXPECT_EQ(ring.edge_head(0), 1u);
+  EXPECT_EQ(ring.edge_tail(1), 1u);
+  EXPECT_EQ(ring.edge_head(1), 0u);
+  EXPECT_NE(ring.adjacent_edge(0, GlobalDirection::kClockwise),
+            ring.adjacent_edge(0, GlobalDirection::kCounterClockwise));
+}
+
+TEST(RingTest, NeighbourWrapsAround) {
+  const Ring ring(4);
+  EXPECT_EQ(ring.neighbour(3, GlobalDirection::kClockwise), 0u);
+  EXPECT_EQ(ring.neighbour(0, GlobalDirection::kCounterClockwise), 3u);
+  EXPECT_EQ(ring.neighbour(1, GlobalDirection::kClockwise), 2u);
+  EXPECT_EQ(ring.neighbour(2, GlobalDirection::kCounterClockwise), 1u);
+}
+
+TEST(RingTest, AdjacentEdgeIdentities) {
+  const Ring ring(6);
+  for (NodeId u = 0; u < ring.node_count(); ++u) {
+    const EdgeId cw = ring.adjacent_edge(u, GlobalDirection::kClockwise);
+    EXPECT_EQ(cw, u);
+    EXPECT_EQ(ring.edge_tail(cw), u);
+    EXPECT_EQ(ring.edge_head(cw),
+              ring.neighbour(u, GlobalDirection::kClockwise));
+    const EdgeId ccw =
+        ring.adjacent_edge(u, GlobalDirection::kCounterClockwise);
+    EXPECT_EQ(ring.edge_head(ccw), u);
+  }
+}
+
+TEST(RingTest, EdgeIncidence) {
+  const Ring ring(5);
+  EXPECT_TRUE(ring.is_incident(0, 0));
+  EXPECT_TRUE(ring.is_incident(0, 1));
+  EXPECT_FALSE(ring.is_incident(0, 2));
+  EXPECT_TRUE(ring.is_incident(4, 0));  // edge 4 connects 4 and 0
+  EXPECT_TRUE(ring.is_incident(4, 4));
+}
+
+TEST(RingTest, Distance) {
+  const Ring ring(6);
+  EXPECT_EQ(ring.distance(0, 0), 0u);
+  EXPECT_EQ(ring.distance(0, 1), 1u);
+  EXPECT_EQ(ring.distance(0, 3), 3u);  // antipodal
+  EXPECT_EQ(ring.distance(0, 5), 1u);  // wraps
+  EXPECT_EQ(ring.distance(5, 0), 1u);  // symmetric
+  EXPECT_EQ(ring.distance(1, 4), 3u);
+}
+
+TEST(RingTest, DirectedDistance) {
+  const Ring ring(6);
+  EXPECT_EQ(ring.directed_distance(0, 4, GlobalDirection::kClockwise), 4u);
+  EXPECT_EQ(ring.directed_distance(0, 4, GlobalDirection::kCounterClockwise),
+            2u);
+  EXPECT_EQ(ring.directed_distance(4, 0, GlobalDirection::kClockwise), 2u);
+  EXPECT_EQ(ring.directed_distance(3, 3, GlobalDirection::kClockwise), 0u);
+}
+
+TEST(RingTest, OppositeDirections) {
+  EXPECT_EQ(opposite(GlobalDirection::kClockwise),
+            GlobalDirection::kCounterClockwise);
+  EXPECT_EQ(opposite(opposite(GlobalDirection::kClockwise)),
+            GlobalDirection::kClockwise);
+  EXPECT_EQ(opposite(LocalDirection::kLeft), LocalDirection::kRight);
+}
+
+class RingParamTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RingParamTest, NeighbourAndEdgeConsistency) {
+  const Ring ring(GetParam());
+  for (NodeId u = 0; u < ring.node_count(); ++u) {
+    // Walking cw then ccw returns to u.
+    const NodeId v = ring.neighbour(u, GlobalDirection::kClockwise);
+    EXPECT_EQ(ring.neighbour(v, GlobalDirection::kCounterClockwise), u);
+    // Both endpoints of every adjacent edge are incident to u.
+    for (const auto d : {GlobalDirection::kClockwise,
+                         GlobalDirection::kCounterClockwise}) {
+      EXPECT_TRUE(ring.is_incident(ring.adjacent_edge(u, d), u));
+    }
+  }
+  // Distances are symmetric and at most n/2.
+  for (NodeId u = 0; u < ring.node_count(); ++u) {
+    for (NodeId v = 0; v < ring.node_count(); ++v) {
+      EXPECT_EQ(ring.distance(u, v), ring.distance(v, u));
+      EXPECT_LE(ring.distance(u, v), ring.node_count() / 2);
+      // Directed distances sum to 0 or n.
+      const auto cw = ring.directed_distance(u, v, GlobalDirection::kClockwise);
+      const auto ccw =
+          ring.directed_distance(u, v, GlobalDirection::kCounterClockwise);
+      if (u == v) {
+        EXPECT_EQ(cw + ccw, 0u);
+      } else {
+        EXPECT_EQ(cw + ccw, ring.node_count());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RingParamTest,
+                         ::testing::Values(2u, 3u, 4u, 5u, 8u, 13u, 64u));
+
+}  // namespace
+}  // namespace pef

@@ -1,0 +1,93 @@
+// Unit tests for the deterministic RNG utilities.
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pef {
+namespace {
+
+TEST(RngTest, SplitMixIsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, XoshiroIsDeterministic) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyFair) {
+  Xoshiro256 rng(5);
+  int heads = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.next_bool(0.5)) ++heads;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / trials, 0.5, 0.01);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Xoshiro256 rng(6);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBelowCoversRange) {
+  Xoshiro256 rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, DeriveSeedSeparatesStreams) {
+  // Different coordinates must give different sub-seeds.
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t a = 0; a < 10; ++a) {
+    for (std::uint64_t b = 0; b < 10; ++b) {
+      seeds.insert(derive_seed(123, a, b));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 100u);
+}
+
+TEST(RngTest, DeriveSeedDeterministic) {
+  EXPECT_EQ(derive_seed(9, 1, 2, 3), derive_seed(9, 1, 2, 3));
+  EXPECT_NE(derive_seed(9, 1, 2, 3), derive_seed(10, 1, 2, 3));
+}
+
+}  // namespace
+}  // namespace pef

@@ -1,0 +1,196 @@
+// Unit tests for the oblivious schedule library.
+#include "dynamic_graph/schedules.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pef {
+namespace {
+
+TEST(StaticScheduleTest, AllEdgesAlways) {
+  const StaticSchedule s(Ring(5));
+  for (Time t = 0; t < 20; ++t) {
+    EXPECT_TRUE(s.edges_at(t).full());
+  }
+}
+
+TEST(RecordedScheduleTest, PrefixThenAllPresent) {
+  const Ring ring(4);
+  EdgeSet round0 = EdgeSet::none(4);
+  round0.insert(1);
+  EdgeSet round1 = EdgeSet::all(4);
+  round1.erase(3);
+  const RecordedSchedule s(ring, {round0, round1}, TailRule::kAllPresent);
+  EXPECT_EQ(s.edges_at(0), round0);
+  EXPECT_EQ(s.edges_at(1), round1);
+  EXPECT_TRUE(s.edges_at(2).full());
+  EXPECT_TRUE(s.edges_at(1000).full());
+}
+
+TEST(RecordedScheduleTest, RepeatLastTail) {
+  const Ring ring(3);
+  EdgeSet last = EdgeSet::none(3);
+  last.insert(0);
+  const RecordedSchedule s(ring, {EdgeSet::all(3), last},
+                           TailRule::kRepeatLast);
+  EXPECT_EQ(s.edges_at(5), last);
+  EXPECT_EQ(s.edges_at(500), last);
+}
+
+TEST(RecordedScheduleTest, CyclePrefixTail) {
+  const Ring ring(3);
+  EdgeSet a = EdgeSet::none(3);
+  a.insert(0);
+  EdgeSet b = EdgeSet::none(3);
+  b.insert(1);
+  const RecordedSchedule s(ring, {a, b}, TailRule::kCyclePrefix);
+  EXPECT_EQ(s.edges_at(2), a);
+  EXPECT_EQ(s.edges_at(3), b);
+  EXPECT_EQ(s.edges_at(100), a);
+  EXPECT_EQ(s.edges_at(101), b);
+}
+
+TEST(BernoulliScheduleTest, Deterministic) {
+  const BernoulliSchedule a(Ring(6), 0.5, 99);
+  const BernoulliSchedule b(Ring(6), 0.5, 99);
+  for (Time t = 0; t < 50; ++t) EXPECT_EQ(a.edges_at(t), b.edges_at(t));
+}
+
+TEST(BernoulliScheduleTest, ExtremeProbabilities) {
+  const BernoulliSchedule never(Ring(5), 0.0, 1);
+  const BernoulliSchedule always(Ring(5), 1.0, 1);
+  for (Time t = 0; t < 20; ++t) {
+    EXPECT_TRUE(never.edges_at(t).empty());
+    EXPECT_TRUE(always.edges_at(t).full());
+  }
+}
+
+TEST(BernoulliScheduleTest, FrequencyMatchesP) {
+  const double p = 0.3;
+  const BernoulliSchedule s(Ring(8), p, 7);
+  std::uint64_t present = 0;
+  const Time horizon = 5000;
+  for (Time t = 0; t < horizon; ++t) present += s.edges_at(t).size();
+  const double freq =
+      static_cast<double>(present) / (8.0 * static_cast<double>(horizon));
+  EXPECT_NEAR(freq, p, 0.02);
+}
+
+TEST(BernoulliScheduleTest, EveryEdgeRecurrent) {
+  const BernoulliSchedule s(Ring(6), 0.2, 13);
+  for (EdgeId e = 0; e < 6; ++e) {
+    Time last_seen = 0;
+    bool seen_recently = false;
+    for (Time t = 0; t < 2000; ++t) {
+      if (s.edges_at(t).contains(e)) {
+        last_seen = t;
+        seen_recently = true;
+      }
+    }
+    EXPECT_TRUE(seen_recently);
+    EXPECT_GT(last_seen, 1000u) << "edge " << e << " not recurrent";
+  }
+}
+
+TEST(PeriodicScheduleTest, RespectsPattern) {
+  const Ring ring(3);
+  std::vector<PeriodicSchedule::EdgePattern> patterns{
+      {4, 2, 0},  // present at t % 4 in {0, 1}
+      {2, 1, 1},  // present at (t+1) % 2 == 0, i.e. odd t
+      {1, 1, 0},  // always present
+  };
+  const PeriodicSchedule s(ring, patterns);
+  EXPECT_TRUE(s.edges_at(0).contains(0));
+  EXPECT_TRUE(s.edges_at(1).contains(0));
+  EXPECT_FALSE(s.edges_at(2).contains(0));
+  EXPECT_FALSE(s.edges_at(3).contains(0));
+  EXPECT_TRUE(s.edges_at(4).contains(0));
+  EXPECT_FALSE(s.edges_at(0).contains(1));
+  EXPECT_TRUE(s.edges_at(1).contains(1));
+  for (Time t = 0; t < 10; ++t) EXPECT_TRUE(s.edges_at(t).contains(2));
+}
+
+TEST(PeriodicScheduleTest, RotatingKeepsMostEdges) {
+  const auto s = PeriodicSchedule::rotating(Ring(6), /*period=*/3,
+                                            /*duty=*/2);
+  for (Time t = 0; t < 30; ++t) {
+    // duty/period = 2/3 of edges present on average; at least some present.
+    EXPECT_GE(s.edges_at(t).size(), 2u);
+  }
+}
+
+TEST(TIntervalScheduleTest, AtMostOneEdgeMissing) {
+  const TIntervalConnectedSchedule s(Ring(7), 5, 3);
+  for (Time t = 0; t < 200; ++t) {
+    EXPECT_GE(s.edges_at(t).size(), 6u);
+  }
+}
+
+TEST(TIntervalScheduleTest, MissingEdgeStableWithinEpoch) {
+  const TIntervalConnectedSchedule s(Ring(7), 5, 3);
+  for (Time epoch = 0; epoch < 20; ++epoch) {
+    const EdgeSet first = s.edges_at(epoch * 5);
+    for (Time o = 1; o < 5; ++o) {
+      EXPECT_EQ(s.edges_at(epoch * 5 + o), first);
+    }
+  }
+}
+
+TEST(EventualMissingEdgeTest, VanishesForever) {
+  auto base = std::make_shared<StaticSchedule>(Ring(5));
+  const EventualMissingEdgeSchedule s(base, 2, 10);
+  for (Time t = 0; t < 10; ++t) EXPECT_TRUE(s.edges_at(t).contains(2));
+  for (Time t = 10; t < 100; ++t) {
+    EXPECT_FALSE(s.edges_at(t).contains(2));
+    EXPECT_EQ(s.edges_at(t).size(), 4u);
+  }
+}
+
+TEST(BoundedAbsenceTest, AbsenceRunsAreBounded) {
+  const Time max_absence = 4;
+  const BoundedAbsenceSchedule s(Ring(5), max_absence, 6, 11);
+  for (EdgeId e = 0; e < 5; ++e) {
+    Time run = 0;
+    for (Time t = 0; t < 3000; ++t) {
+      if (s.edges_at(t).contains(e)) {
+        run = 0;
+      } else {
+        ++run;
+        EXPECT_LE(run, max_absence) << "edge " << e << " at t=" << t;
+      }
+    }
+  }
+}
+
+TEST(BoundedAbsenceTest, RandomAccessMatchesSequential) {
+  const BoundedAbsenceSchedule seq(Ring(4), 3, 5, 21);
+  const BoundedAbsenceSchedule rnd(Ring(4), 3, 5, 21);
+  // Query `rnd` out of order and compare against in-order `seq`.
+  std::vector<EdgeSet> expected;
+  for (Time t = 0; t < 100; ++t) expected.push_back(seq.edges_at(t));
+  for (Time t = 100; t-- > 0;) {
+    EXPECT_EQ(rnd.edges_at(t), expected[static_cast<std::size_t>(t)]);
+  }
+}
+
+TEST(SurgeryScheduleTest, RemovesDuringIntervals) {
+  auto base = std::make_shared<StaticSchedule>(Ring(4));
+  const SurgerySchedule s(base, {{0, 2, 5}, {1, 4, 4}, {0, 10, 12}});
+  EXPECT_TRUE(s.edges_at(1).contains(0));
+  for (Time t = 2; t <= 5; ++t) EXPECT_FALSE(s.edges_at(t).contains(0));
+  EXPECT_TRUE(s.edges_at(6).contains(0));
+  EXPECT_FALSE(s.edges_at(4).contains(1));
+  EXPECT_TRUE(s.edges_at(5).contains(1));
+  EXPECT_FALSE(s.edges_at(11).contains(0));
+  EXPECT_TRUE(s.edges_at(13).contains(0));
+}
+
+TEST(SurgeryScheduleTest, InfiniteRemoval) {
+  auto base = std::make_shared<StaticSchedule>(Ring(4));
+  const SurgerySchedule s(base, {{3, 7, kTimeInfinity}});
+  EXPECT_TRUE(s.edges_at(6).contains(3));
+  EXPECT_FALSE(s.edges_at(7).contains(3));
+  EXPECT_FALSE(s.edges_at(100000).contains(3));
+}
+
+}  // namespace
+}  // namespace pef

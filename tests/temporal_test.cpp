@@ -1,0 +1,102 @@
+// Unit tests for journeys / temporal reachability.
+#include "dynamic_graph/temporal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dynamic_graph/schedules.hpp"
+
+namespace pef {
+namespace {
+
+TEST(TemporalTest, StaticRingForemostIsRingDistance) {
+  const StaticSchedule s(Ring(8));
+  const auto arrivals = foremost_arrivals(s, 0, 0, 100);
+  for (NodeId v = 0; v < 8; ++v) {
+    ASSERT_TRUE(arrivals[v].has_value());
+    EXPECT_EQ(*arrivals[v], s.ring().distance(0, v));
+  }
+}
+
+TEST(TemporalTest, StartOffsetShiftsArrivals) {
+  const StaticSchedule s(Ring(6));
+  const auto arrivals = foremost_arrivals(s, 2, 10, 100);
+  EXPECT_EQ(*arrivals[2], 10u);
+  EXPECT_EQ(*arrivals[3], 11u);
+  EXPECT_EQ(*arrivals[5], 13u);
+}
+
+TEST(TemporalTest, MissingEdgeForcesLongWay) {
+  auto base = std::make_shared<StaticSchedule>(Ring(6));
+  // Edge 0 (between nodes 0 and 1) permanently missing: reaching node 1
+  // from node 0 requires the 5-hop counter-clockwise journey.
+  auto s = std::make_shared<SurgerySchedule>(
+      base, std::vector<Removal>{{0, 0, kTimeInfinity}});
+  EXPECT_EQ(foremost_arrival(*s, 0, 1, 0, 100), std::optional<Time>(5));
+  EXPECT_EQ(foremost_arrival(*s, 0, 5, 0, 100), std::optional<Time>(1));
+}
+
+TEST(TemporalTest, UnreachableWithinDeadline) {
+  auto base = std::make_shared<StaticSchedule>(Ring(10));
+  auto s = std::make_shared<SurgerySchedule>(
+      base, std::vector<Removal>{{0, 0, kTimeInfinity}});
+  // Node 1 is 9 hops the long way; a deadline of 5 rounds is not enough.
+  EXPECT_EQ(foremost_arrival(*s, 0, 1, 0, 5), std::nullopt);
+}
+
+TEST(TemporalTest, WaitingHelps) {
+  const Ring ring(4);
+  // All edges absent for 10 rounds, then everything present.
+  std::vector<EdgeSet> rounds(10, EdgeSet::none(4));
+  const auto s = std::make_shared<RecordedSchedule>(ring, rounds,
+                                                    TailRule::kAllPresent);
+  EXPECT_EQ(foremost_arrival(*s, 0, 2, 0, 100), std::optional<Time>(12));
+}
+
+TEST(TemporalTest, AllPairsReachableOnRecurrentRing) {
+  const BernoulliSchedule s(Ring(6), 0.5, 23);
+  EXPECT_TRUE(all_pairs_reachable(s, 0, 500));
+  EXPECT_TRUE(all_pairs_reachable(s, 100, 600));
+}
+
+TEST(TemporalTest, TemporalDiameterStatic) {
+  const StaticSchedule s(Ring(8));
+  EXPECT_EQ(temporal_diameter(s, 0, 100), std::optional<Time>(4));
+}
+
+TEST(TemporalTest, TemporalDiameterGrowsWithSparsity) {
+  const BernoulliSchedule dense(Ring(8), 0.9, 5);
+  const BernoulliSchedule sparse(Ring(8), 0.2, 5);
+  const auto d_dense = temporal_diameter(dense, 0, 2000);
+  const auto d_sparse = temporal_diameter(sparse, 0, 2000);
+  ASSERT_TRUE(d_dense.has_value());
+  ASSERT_TRUE(d_sparse.has_value());
+  EXPECT_LT(*d_dense, *d_sparse);
+}
+
+TEST(TemporalTest, TwoNodeMultigraphRing) {
+  const StaticSchedule s(Ring(2));
+  EXPECT_EQ(foremost_arrival(s, 0, 1, 0, 10), std::optional<Time>(1));
+  EXPECT_EQ(temporal_diameter(s, 0, 10), std::optional<Time>(1));
+}
+
+class TemporalParamTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, double>> {};
+
+TEST_P(TemporalParamTest, ConnectedOverTimeImpliesReachability) {
+  const auto [n, p] = GetParam();
+  const BernoulliSchedule s(Ring(n), p, 31 + n);
+  // With generous deadlines, every pair is reachable from several starting
+  // times (the executable meaning of connected-over-time).
+  for (Time start : {Time{0}, Time{50}, Time{123}}) {
+    EXPECT_TRUE(all_pairs_reachable(s, start, start + 200 * n))
+        << "n=" << n << " p=" << p << " start=" << start;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TemporalParamTest,
+    ::testing::Combine(::testing::Values(3u, 5u, 9u),
+                       ::testing::Values(0.15, 0.5, 0.9)));
+
+}  // namespace
+}  // namespace pef

@@ -1,0 +1,179 @@
+// pef_run — the command-line front end to the whole library.
+//
+//   pef_run --nodes 10 --robots 3 --algorithm pef3+
+//           --adversary eventual-missing --horizon 5000 --seed 1 --render
+//
+// Adversaries: every oblivious family of the battery plus the adaptive
+// lower-bound adversaries ("cage", "proof") and the legality-capped
+// stress blocker ("greedy-blocker").  Prints the coverage / tower /
+// mobility / legality reports and optionally an ASCII strip of the run.
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "adversary/confinement.hpp"
+#include "adversary/greedy_blocker.hpp"
+#include "adversary/proof_adversary.hpp"
+#include "algorithms/registry.hpp"
+#include "analysis/coverage.hpp"
+#include "analysis/mobility.hpp"
+#include "analysis/render.hpp"
+#include "analysis/towers.hpp"
+#include "common/args.hpp"
+#include "common/table.hpp"
+#include "core/computability.hpp"
+#include "core/explore.hpp"
+#include "dynamic_graph/markov_schedule.hpp"
+#include "dynamic_graph/properties.hpp"
+#include "dynamic_graph/schedules.hpp"
+#include "scheduler/simulator.hpp"
+
+namespace pef {
+namespace {
+
+void print_help(const char* program) {
+  std::cout
+      << "usage: " << program << " [flags]\n\n"
+      << "  --nodes N        ring size (default 10)\n"
+      << "  --robots K       robot count (default 3)\n"
+      << "  --algorithm A    pef3+ | pef2 | pef1 | keep-direction | bounce\n"
+      << "                   | random-walk | oscillating | pef3+-no-rule2\n"
+      << "                   | pef3+-no-rule3 (default: paper's choice)\n"
+      << "  --adversary X    static | bernoulli | periodic | t-interval\n"
+      << "                   | bounded-absence | eventual-missing\n"
+      << "                   | adaptive-missing | markov | greedy-blocker\n"
+      << "                   | cage | proof (default eventual-missing)\n"
+      << "  --horizon T      rounds to simulate (default 5000)\n"
+      << "  --seed S         RNG seed (default 1)\n"
+      << "  --p X            presence probability for bernoulli (0.5)\n"
+      << "  --render         print an ASCII strip of the execution\n"
+      << "  --render-lines L max strip lines (default 40)\n"
+      << "  --help           this text\n";
+}
+
+AdversaryPtr make_adversary(const std::string& name, const Ring& ring,
+                            std::uint64_t seed, double p,
+                            std::uint32_t robots) {
+  if (name == "markov") {
+    return make_oblivious(
+        std::make_shared<MarkovSchedule>(ring, 0.2, 0.4, seed));
+  }
+  if (name == "greedy-blocker") {
+    return std::make_unique<GreedyBlockerAdversary>(ring, /*max_absence=*/6);
+  }
+  if (name == "cage") {
+    return std::make_unique<ConfinementAdversary>(
+        ring, 0, std::min(robots + 1, ring.node_count() - 1));
+  }
+  if (name == "proof") {
+    return std::make_unique<StagedProofAdversary>(
+        ring, 0, std::min(robots + 1, ring.node_count() - 1),
+        /*patience=*/64);
+  }
+  if (name == "bernoulli") {
+    return make_oblivious(
+        std::make_shared<BernoulliSchedule>(ring, p, seed));
+  }
+  return adversary_by_name(name).make(ring, seed);
+}
+
+}  // namespace
+}  // namespace pef
+
+int main(int argc, char** argv) {
+  using namespace pef;
+
+  ArgParser args(argc, argv);
+  if (args.has("--help")) {
+    print_help(argv[0]);
+    return 0;
+  }
+
+  const auto nodes = args.get_u32("--nodes", 10);
+  const auto robots = args.get_u32("--robots", 3);
+  std::string algorithm = args.get_string("--algorithm", "");
+  const auto adversary_name =
+      args.get_string("--adversary", "eventual-missing");
+  const auto horizon = args.get_u64("--horizon", 5000);
+  const auto seed = args.get_u64("--seed", 1);
+  const auto p = args.get_double("--p", 0.5);
+  const bool render = args.has("--render");
+  const auto render_lines = args.get_u64("--render-lines", 40);
+  for (const std::string& key : args.unused()) {
+    std::cerr << "unknown flag " << key << " (see --help)\n";
+    return 2;
+  }
+  if (robots == 0 || nodes < 2 || robots >= nodes) {
+    std::cerr << "need 1 <= robots < nodes and nodes >= 2\n";
+    return 2;
+  }
+
+  if (algorithm.empty()) {
+    algorithm = computability::recommended_algorithm(robots, nodes);
+    if (algorithm.empty()) {
+      algorithm = robots >= 3 ? "pef3+" : robots == 2 ? "pef2" : "pef1";
+    }
+  }
+
+  const Ring ring(nodes);
+  Simulator sim(ring, make_algorithm(algorithm, seed),
+                make_adversary(adversary_name, ring, seed, p, robots),
+                spread_placements(ring, robots));
+  sim.run(horizon);
+
+  std::cout << "pef_run: n=" << nodes << " k=" << robots << " algorithm="
+            << algorithm << " adversary=" << adversary_name
+            << " horizon=" << horizon << " seed=" << seed << "\n"
+            << "TABLE 1 prediction: "
+            << computability::to_string(
+                   computability::classify(robots, nodes))
+            << " (" << computability::supporting_theorem(robots, nodes)
+            << ")\n\n";
+
+  if (render) {
+    RenderOptions options;
+    options.max_lines = render_lines;
+    render_trace(std::cout, sim.trace(), options);
+    std::cout << "\n";
+  }
+
+  const auto coverage = analyze_coverage(sim.trace());
+  const auto towers = analyze_towers(sim.trace());
+  const auto mobility = analyze_mobility(sim.trace());
+  const auto audit = audit_connectivity(ring, sim.trace().edge_history(),
+                                        horizon / 4);
+
+  TextTable table({"metric", "value"});
+  table.add_row({"nodes visited", std::to_string(coverage.visited_node_count) +
+                                      "/" + std::to_string(nodes)});
+  table.add_row({"cover time", coverage.cover_time
+                                   ? std::to_string(*coverage.cover_time)
+                                   : "never"});
+  table.add_row({"max revisit gap", std::to_string(coverage.max_revisit_gap)});
+  table.add_row(
+      {"perpetual exploration", format_bool(coverage.perpetual(nodes))});
+  table.add_row({"tower formations",
+                 std::to_string(towers.tower_formation_count)});
+  table.add_row({"max tower size", std::to_string(towers.max_tower_size)});
+  table.add_row({"lemma 3.4 (towers <= 2)",
+                 format_bool(towers.lemma_3_4_holds)});
+  table.add_row({"lemma 3.3 (opposite dirs)",
+                 format_bool(towers.lemma_3_3_holds)});
+  table.add_row({"total moves", std::to_string(mobility.total_moves)});
+  table.add_row({"busiest robot",
+                 "r" + std::to_string(mobility.busiest()) + " (" +
+                     std::to_string(
+                         mobility.robots[mobility.busiest()].moves) +
+                     " moves)"});
+  table.add_row({"idlest robot",
+                 "r" + std::to_string(mobility.idlest()) + " (" +
+                     std::to_string(mobility.robots[mobility.idlest()].moves) +
+                     " moves)"});
+  table.add_row({"adversary legal (c-o-t)",
+                 format_bool(audit.connected_over_time)});
+  table.add_row({"suspected missing edges",
+                 std::to_string(audit.suspected_missing.size())});
+  table.print(std::cout);
+
+  return coverage.perpetual(nodes) ? 0 : 1;
+}
