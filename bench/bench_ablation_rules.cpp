@@ -23,11 +23,12 @@
 
 #include "algorithms/registry.hpp"
 #include "analysis/coverage.hpp"
+#include "common/bench_report.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "core/experiment.hpp"
 #include "dynamic_graph/schedules.hpp"
-#include "scheduler/simulator.hpp"
+#include "engine/fast_engine.hpp"
 
 namespace pef {
 namespace {
@@ -40,10 +41,10 @@ double eventual_missing_success(const std::string& algo, std::uint32_t n,
   for (EdgeId missing = 0; missing < n; ++missing) {
     auto schedule = std::make_shared<EventualMissingEdgeSchedule>(
         std::make_shared<StaticSchedule>(ring), missing, 10);
-    Simulator sim(ring, make_algorithm(algo), make_oblivious(schedule),
-                  spread_placements(ring, k));
-    sim.run(500 * n);
-    if (analyze_coverage(sim.trace()).perpetual(n)) ++wins;
+    FastEngine engine(ring, make_algorithm(algo), make_oblivious(schedule),
+                      spread_placements(ring, k));
+    engine.run(500 * n);
+    if (engine.coverage_report().perpetual(n)) ++wins;
   }
   return static_cast<double>(wins) / n;
 }
@@ -58,6 +59,7 @@ double battery_success(const std::string& algo, const AdversarySpec& spec,
   config.algorithm = make_algorithm(algo);
   config.adversary = spec;
   config.horizon = 400 * n;
+  config.fast_engine = true;
   for (const RunResult& run : run_battery(config, 1, seeds)) {
     if (run.perpetual) ++wins;
   }
@@ -90,6 +92,7 @@ int main() {
   CsvWriter csv("ablation_rules.csv",
                 {"algorithm", "eventual_missing", "static", "t_interval",
                  "bernoulli"});
+  BenchReport report("ablation_rules");
 
   double pef_score = 0, best_ablation_score = 0;
   for (const std::string& algo : algos) {
@@ -110,6 +113,16 @@ int main() {
                    percent(t_interval), percent(bernoulli)});
     csv.add_row({algo, format_double(missing, 3), format_double(on_static, 3),
                  format_double(t_interval, 3), format_double(bernoulli, 3)});
+    report.add_rounds(std::uint64_t{kNodes} * 500 * kNodes +
+                      (1 + 2 * std::uint64_t{kSeeds}) * 400 * kNodes);
+    report.add_cell()
+        .param("algorithm", algo)
+        .param("n", std::uint64_t{kNodes})
+        .param("k", std::uint64_t{kRobots})
+        .metric("eventual_missing_success", missing)
+        .metric("static_success", on_static)
+        .metric("t_interval_success", t_interval)
+        .metric("bernoulli_success", bernoulli);
   }
   table.print(std::cout);
 
@@ -118,5 +131,7 @@ int main() {
                "eventual-missing position; each ablation loses the "
                "sentinel/explorer protocol.\nAblation reproduction "
             << (shape_holds ? "HOLDS" : "FAILS") << ".\n";
+  report.summary("shape_holds", shape_holds);
+  report.write();
   return shape_holds ? 0 : 1;
 }

@@ -13,11 +13,13 @@
 #include "adversary/proof_adversary.hpp"
 #include "algorithms/registry.hpp"
 #include "analysis/coverage.hpp"
+#include "common/bench_report.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "core/computability.hpp"
 #include "dynamic_graph/chain.hpp"
 #include "dynamic_graph/properties.hpp"
+#include "engine/fast_engine.hpp"
 #include "scheduler/simulator.hpp"
 
 namespace pef {
@@ -45,10 +47,11 @@ bool chain_possible(std::uint32_t n, std::uint32_t k) {
   const std::string algo = computability::recommended_algorithm(k, n);
   for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
     for (const auto& [name, schedule] : chain_battery(Ring(n), seed)) {
-      Simulator sim(Ring(n), make_algorithm(algo), make_oblivious(schedule),
-                    spread_placements(Ring(n), k));
-      sim.run(600 * n);
-      if (!analyze_coverage(sim.trace()).perpetual(n)) return false;
+      FastEngine engine(Ring(n), make_algorithm(algo),
+                        make_oblivious(schedule),
+                        spread_placements(Ring(n), k));
+      engine.run(600 * n);
+      if (!engine.coverage_report().perpetual(n)) return false;
     }
   }
   return true;
@@ -62,12 +65,12 @@ bool chain_impossible(std::uint32_t n, std::uint32_t k) {
     for (std::uint32_t i = 0; i < k; ++i) {
       placements.push_back({static_cast<NodeId>(1 + i), Chirality(true)});
     }
-    Simulator sim(
+    FastEngine engine(
         ring, make_algorithm(name),
         std::make_unique<StagedProofAdversary>(ring, 1, k + 1, 64),
         placements);
-    sim.run(500 * n);
-    if (analyze_coverage(sim.trace()).perpetual(n)) return false;
+    engine.run(500 * n);
+    if (engine.coverage_report().perpetual(n)) return false;
   }
   return true;
 }
@@ -84,6 +87,7 @@ int main() {
   TextTable table(
       {"robots", "chain size", "paper", "measured", "workload"});
   CsvWriter csv("chains.csv", {"robots", "nodes", "paper", "measured"});
+  BenchReport report("chains");
 
   struct Cell {
     std::uint32_t k;
@@ -110,9 +114,24 @@ int main() {
     csv.add_row({std::to_string(cell.k), std::to_string(cell.n),
                  cell.possible ? "Possible" : "Impossible",
                  measured ? "Possible" : "Impossible"});
+    report.add_rounds(cell.possible
+                          ? std::uint64_t{kSeeds} * 3 * 600 * cell.n
+                          : static_cast<std::uint64_t>(
+                                deterministic_algorithm_names().size()) *
+                                500 * cell.n);
+    report.add_cell()
+        .param("k", std::uint64_t{cell.k})
+        .param("n", std::uint64_t{cell.n})
+        .param("workload",
+               cell.possible ? "chain battery" : "proof adversary")
+        .metric("paper_possible", cell.possible)
+        .metric("measured_possible", measured)
+        .metric("match", match);
   }
   table.print(std::cout);
   std::cout << "\nChain reproduction " << (holds ? "HOLDS" : "FAILS")
             << ".\n";
+  report.summary("reproduction_holds", holds);
+  report.write();
   return holds ? 0 : 1;
 }

@@ -14,6 +14,7 @@
 
 #include "adversary/adversary.hpp"
 #include "algorithms/registry.hpp"
+#include "common/bench_report.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "core/lemma41.hpp"
@@ -78,6 +79,7 @@ int main() {
   CsvWriter csv("fig1_lemma41.csv",
                 {"case", "algorithm", "t", "claim1", "claim2", "claim3",
                  "claim4", "post_hold", "visited"});
+  BenchReport bench_report("fig1_lemma41");
 
   bool all_hold = true;
   for (const Scenario& scenario : scenarios) {
@@ -110,6 +112,17 @@ int main() {
                  format_bool(report.claim4_adjacent),
                  std::to_string(report.post_hold_rounds),
                  std::to_string(report.visited_nodes)});
+    bench_report.add_rounds(t + 120);
+    bench_report.add_cell()
+        .param("case", scenario.label)
+        .param("algorithm", scenario.algorithm)
+        .param("t", std::uint64_t{t})
+        .metric("claim1_symmetry", report.claim1_symmetry)
+        .metric("claim2_no_tower", report.claim2_no_tower)
+        .metric("claim3_replay", report.claim3_replay)
+        .metric("claim4_adjacent", report.claim4_adjacent)
+        .metric("post_hold_rounds", std::uint64_t{report.post_hold_rounds})
+        .metric("visited_nodes", std::uint64_t{report.visited_nodes});
   }
 
   table.print(std::cout);
@@ -120,5 +133,7 @@ int main() {
          "into Theorem 4.1.  Claims 1-4 hold for every case, for any "
          "deterministic algorithm.\n"
       << "\nFigure-1 reproduction " << (all_hold ? "HOLDS" : "FAILS") << ".\n";
+  bench_report.summary("reproduction_holds", all_hold);
+  bench_report.write();
   return all_hold ? 0 : 1;
 }

@@ -15,9 +15,11 @@
 #include "algorithms/registry.hpp"
 #include "analysis/sentinels.hpp"
 #include "analysis/stats.hpp"
+#include "common/bench_report.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "dynamic_graph/schedules.hpp"
+#include "engine/fast_engine.hpp"
 #include "scheduler/simulator.hpp"
 
 namespace pef {
@@ -28,6 +30,7 @@ constexpr std::uint32_t kSeeds = 10;
 struct Point {
   Summary delay;  // formation_time - vanish_time across seeds
   std::uint32_t formed = 0;
+  std::uint64_t rounds = 0;
 };
 
 Point measure(std::uint32_t n, std::uint32_t k, double p) {
@@ -44,10 +47,14 @@ Point measure(std::uint32_t n, std::uint32_t k, double p) {
         derive_seed(seed, n, k) % ring.edge_count());
     auto schedule = std::make_shared<EventualMissingEdgeSchedule>(
         base, missing, vanish);
-    Simulator sim(ring, make_algorithm("pef3+"), make_oblivious(schedule),
-                  random_placements(ring, k, seed));
-    sim.run(600 * n);
-    const auto report = analyze_sentinels(sim.trace(), missing);
+    FastEngineOptions options;
+    options.record_trace = true;  // sentinel analysis reads the trace
+    FastEngine engine(ring, make_algorithm("pef3+"),
+                      make_oblivious(schedule),
+                      random_placements(ring, k, seed), options);
+    engine.run(600 * n);
+    point.rounds += 600 * n;
+    const auto report = analyze_sentinels(engine.trace(), missing);
     if (report.sentinels_formed()) {
       ++point.formed;
       delays.push_back(static_cast<double>(*report.formation_time - vanish));
@@ -69,12 +76,26 @@ int main() {
 
   CsvWriter csv("lemma37_sentinels.csv",
                 {"n", "k", "p", "formed", "delay_mean", "delay_max"});
+  BenchReport report("lemma37_sentinels");
+  const auto record = [&report](std::uint32_t n, std::uint32_t k, double p,
+                                const Point& point) {
+    report.add_rounds(point.rounds);
+    report.add_cell()
+        .param("n", std::uint64_t{n})
+        .param("k", std::uint64_t{k})
+        .param("p", p)
+        .param("seeds", std::uint64_t{kSeeds})
+        .metric("formed", std::uint64_t{point.formed})
+        .metric("delay_mean", point.delay.mean)
+        .metric("delay_max", point.delay.max);
+  };
 
   std::cout << "Series 1: delay vs ring size (k=3, static survivors)\n";
   {
     TextTable table({"n", "formed", "delay mean", "delay max"});
     for (std::uint32_t n : {5u, 8u, 12u, 16u, 24u}) {
       const Point point = measure(n, 3, 1.0);
+      record(n, 3, 1.0, point);
       table.add_row({std::to_string(n),
                      std::to_string(point.formed) + "/" +
                          std::to_string(kSeeds),
@@ -93,6 +114,7 @@ int main() {
     TextTable table({"k", "formed", "delay mean", "delay max"});
     for (std::uint32_t k : {3u, 4u, 6u, 8u}) {
       const Point point = measure(12, k, 1.0);
+      record(12, k, 1.0, point);
       table.add_row({std::to_string(k),
                      std::to_string(point.formed) + "/" +
                          std::to_string(kSeeds),
@@ -112,6 +134,7 @@ int main() {
     TextTable table({"p", "formed", "delay mean", "delay max"});
     for (double p : {1.0, 0.8, 0.5, 0.3}) {
       const Point point = measure(10, 3, p);
+      record(10, 3, p, point);
       table.add_row({format_double(p, 1),
                      std::to_string(point.formed) + "/" +
                          std::to_string(kSeeds),
@@ -127,5 +150,6 @@ int main() {
 
   std::cout << "\nExpected shape: formation always happens (Lemma 3.7), "
                "delay ~ linear in n, decreasing in k, ~1/p in flicker.\n";
+  report.write();
   return 0;
 }

@@ -1,14 +1,26 @@
-// bench_scaling — google-benchmark timing harness: simulator throughput and
-// schedule-family costs as functions of ring size, robot count and
-// adversary, plus a cover-time scaling series (the extension bench of
-// DESIGN.md).
+// bench_scaling — simulator throughput as a function of ring size, robot
+// count and adversary, for BOTH engines:
+//
+//   * google-benchmark micro-benchmarks: Simulator vs FastEngine rounds/sec
+//     across (n, k) and schedule families;
+//   * a head-to-head macro measurement at n=4096, k=64 (trace recording off)
+//     whose Simulator-vs-FastEngine speedup is recorded in
+//     BENCH_scaling.json — the acceptance metric of the engine PR;
+//   * SweepRunner thread-scaling on a fixed grid (1 thread vs 4), with a
+//     byte-identity check of the two JSON outputs.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iostream>
 
 #include "adversary/proof_adversary.hpp"
 #include "algorithms/registry.hpp"
 #include "analysis/coverage.hpp"
+#include "common/bench_report.hpp"
 #include "core/experiment.hpp"
 #include "dynamic_graph/schedules.hpp"
+#include "engine/fast_engine.hpp"
+#include "engine/sweep_runner.hpp"
 #include "scheduler/simulator.hpp"
 
 namespace pef {
@@ -33,7 +45,28 @@ BENCHMARK(BM_SimulatorRoundsStatic)
     ->Args({64, 3})
     ->Args({256, 3})
     ->Args({64, 8})
-    ->Args({64, 32});
+    ->Args({64, 32})
+    ->Args({4096, 64});
+
+void BM_FastEngineRoundsStatic(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto k = static_cast<std::uint32_t>(state.range(1));
+  const Ring ring(n);
+  FastEngine engine(ring, make_algorithm("pef3+"),
+                    make_oblivious(std::make_shared<StaticSchedule>(ring)),
+                    spread_placements(ring, k));
+  for (auto _ : state) {
+    engine.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FastEngineRoundsStatic)
+    ->Args({8, 3})
+    ->Args({64, 3})
+    ->Args({256, 3})
+    ->Args({64, 8})
+    ->Args({64, 32})
+    ->Args({4096, 64});
 
 void BM_SimulatorRoundsBernoulli(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
@@ -51,6 +84,20 @@ void BM_SimulatorRoundsBernoulli(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorRoundsBernoulli)->Arg(8)->Arg(64)->Arg(256);
 
+void BM_FastEngineRoundsBernoulli(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const Ring ring(n);
+  FastEngine engine(
+      ring, make_algorithm("pef3+"),
+      make_oblivious(std::make_shared<BernoulliSchedule>(ring, 0.5, 1)),
+      spread_placements(ring, 3));
+  for (auto _ : state) {
+    engine.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FastEngineRoundsBernoulli)->Arg(8)->Arg(64)->Arg(256);
+
 void BM_StagedProofAdversary(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
   const Ring ring(n);
@@ -66,6 +113,19 @@ void BM_StagedProofAdversary(benchmark::State& state) {
 }
 BENCHMARK(BM_StagedProofAdversary)->Arg(8)->Arg(64)->Arg(256);
 
+void BM_FastEngineStagedProofAdversary(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const Ring ring(n);
+  FastEngine engine(ring, make_algorithm("bounce"),
+                    std::make_unique<StagedProofAdversary>(ring, 0, 3, 64),
+                    {{0, Chirality(true)}, {1, Chirality(true)}});
+  for (auto _ : state) {
+    engine.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FastEngineStagedProofAdversary)->Arg(8)->Arg(64)->Arg(256);
+
 void BM_ScheduleQuery(benchmark::State& state) {
   const Ring ring(static_cast<std::uint32_t>(state.range(0)));
   const BernoulliSchedule schedule(ring, 0.5, 7);
@@ -76,8 +136,21 @@ void BM_ScheduleQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_ScheduleQuery)->Arg(8)->Arg(64)->Arg(512);
 
+void BM_ScheduleQueryInPlace(benchmark::State& state) {
+  const Ring ring(static_cast<std::uint32_t>(state.range(0)));
+  const BernoulliSchedule schedule(ring, 0.5, 7);
+  EdgeSet scratch(ring.edge_count());
+  Time t = 0;
+  for (auto _ : state) {
+    schedule.edges_into(t++, scratch);
+    benchmark::DoNotOptimize(scratch);
+  }
+}
+BENCHMARK(BM_ScheduleQueryInPlace)->Arg(8)->Arg(64)->Arg(512);
+
 /// Cover time of PEF_3+ as a function of n (reported as a counter so the
-/// scaling series prints alongside the timing output).
+/// scaling series prints alongside the timing output).  Runs on FastEngine;
+/// the coverage numbers are engine-independent (differential-tested).
 void BM_CoverTimeVsN(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
   const Ring ring(n);
@@ -86,10 +159,10 @@ void BM_CoverTimeVsN(benchmark::State& state) {
   for (auto _ : state) {
     auto schedule =
         std::make_shared<BernoulliSchedule>(ring, 0.5, 100 + runs);
-    Simulator sim(ring, make_algorithm("pef3+"), make_oblivious(schedule),
-                  spread_placements(ring, 3));
-    sim.run(200 * n);
-    const auto coverage = analyze_coverage(sim.trace());
+    FastEngine engine(ring, make_algorithm("pef3+"),
+                      make_oblivious(schedule), spread_placements(ring, 3));
+    engine.run(200 * n);
+    const auto coverage = engine.coverage_report();
     total_cover += coverage.cover_time
                        ? static_cast<double>(*coverage.cover_time)
                        : static_cast<double>(200 * n);
@@ -101,7 +174,125 @@ void BM_CoverTimeVsN(benchmark::State& state) {
 BENCHMARK(BM_CoverTimeVsN)->Arg(6)->Arg(12)->Arg(24)->Arg(48)
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Head-to-head macro measurement + BENCH_scaling.json.
+
+double measure_simulator_rps(std::uint32_t n, std::uint32_t k, Time rounds) {
+  const Ring ring(n);
+  SimulatorOptions options;
+  options.record_trace = false;
+  Simulator sim(ring, make_algorithm("pef3+"),
+                make_oblivious(std::make_shared<StaticSchedule>(ring)),
+                spread_placements(ring, k), options);
+  const auto start = std::chrono::steady_clock::now();
+  sim.run(rounds);
+  const double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  return static_cast<double>(rounds) / secs;
+}
+
+double measure_fast_engine_rps(std::uint32_t n, std::uint32_t k,
+                               Time rounds) {
+  const Ring ring(n);
+  FastEngine engine(ring, make_algorithm("pef3+"),
+                    make_oblivious(std::make_shared<StaticSchedule>(ring)),
+                    spread_placements(ring, k));
+  const auto start = std::chrono::steady_clock::now();
+  engine.run(rounds);
+  const double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  return static_cast<double>(rounds) / secs;
+}
+
+SweepGrid scaling_grid() {
+  SweepGrid grid;
+  grid.algorithms = {"pef3+", "bounce", "keep-direction"};
+  grid.adversaries = {static_spec(), bernoulli_spec(0.5),
+                      bounded_absence_spec(6)};
+  grid.ring_sizes = {16, 64};
+  grid.robot_counts = {3, 8};
+  grid.seeds = {1, 2, 3, 4};
+  grid.horizon = 4000;
+  return grid;
+}
+
+void head_to_head(BenchReport& report) {
+  constexpr std::uint32_t kNodes = 4096;
+  constexpr std::uint32_t kRobots = 64;
+  constexpr Time kSimRounds = 4000;
+  constexpr Time kFastRounds = 40000;
+
+  std::cout << "\n=== Head to head: Simulator vs FastEngine (n=" << kNodes
+            << ", k=" << kRobots << ", static schedule, no trace) ===\n";
+  const double sim_rps = measure_simulator_rps(kNodes, kRobots, kSimRounds);
+  const double fast_rps =
+      measure_fast_engine_rps(kNodes, kRobots, kFastRounds);
+  const double speedup = fast_rps / sim_rps;
+  std::cout << "Simulator:  " << static_cast<std::uint64_t>(sim_rps)
+            << " rounds/sec\n"
+            << "FastEngine: " << static_cast<std::uint64_t>(fast_rps)
+            << " rounds/sec\n"
+            << "Speedup:    " << speedup << "x (target >= 5x)\n";
+
+  report.add_rounds(kSimRounds + kFastRounds);
+  report.add_cell()
+      .param("series", "head-to-head")
+      .param("n", std::uint64_t{kNodes})
+      .param("k", std::uint64_t{kRobots})
+      .param("schedule", "static")
+      .metric("simulator_rounds_per_sec", sim_rps)
+      .metric("fast_engine_rounds_per_sec", fast_rps)
+      .metric("speedup", speedup);
+  report.summary("fast_engine_speedup", speedup);
+  report.summary("speedup_target_met", speedup >= 5.0);
+}
+
+void sweep_scaling(BenchReport& report) {
+  std::cout << "\n=== SweepRunner thread scaling (same grid, 1 vs 4 "
+               "threads) ===\n";
+  const SweepGrid grid = scaling_grid();
+  const SweepResult serial = SweepRunner(1).run(grid);
+  const SweepResult parallel = SweepRunner(4).run(grid);
+  const bool identical = serial.to_json() == parallel.to_json();
+  const double ratio = serial.wall_seconds > 0
+                           ? parallel.wall_seconds / serial.wall_seconds
+                           : 0;
+  std::cout << "cells: " << serial.cells.size() << "\n"
+            << "1 thread:  " << serial.wall_seconds << " s ("
+            << static_cast<std::uint64_t>(serial.rounds_per_sec())
+            << " rounds/sec)\n"
+            << "4 threads: " << parallel.wall_seconds << " s ("
+            << static_cast<std::uint64_t>(parallel.rounds_per_sec())
+            << " rounds/sec)\n"
+            << "wall-time ratio: " << ratio
+            << " (target <= 0.4 on >= 4 cores)\n"
+            << "bit-identical JSON: " << (identical ? "yes" : "NO") << "\n";
+
+  report.add_rounds(serial.total_rounds() + parallel.total_rounds());
+  report.add_cell()
+      .param("series", "sweep-thread-scaling")
+      .param("cells", static_cast<std::uint64_t>(serial.cells.size()))
+      .metric("serial_wall_seconds", serial.wall_seconds)
+      .metric("parallel_wall_seconds", parallel.wall_seconds)
+      .metric("parallel_over_serial", ratio)
+      .metric("json_bit_identical", identical);
+  report.summary("sweep_json_bit_identical", identical);
+}
+
 }  // namespace
 }  // namespace pef
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  pef::BenchReport report("scaling");
+  pef::head_to_head(report);
+  pef::sweep_scaling(report);
+  report.write();
+  return 0;
+}

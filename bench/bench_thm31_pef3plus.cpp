@@ -12,11 +12,12 @@
 #include "algorithms/registry.hpp"
 #include "analysis/sentinels.hpp"
 #include "analysis/stats.hpp"
+#include "common/bench_report.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "core/experiment.hpp"
 #include "dynamic_graph/schedules.hpp"
-#include "scheduler/simulator.hpp"
+#include "engine/fast_engine.hpp"
 
 int main() {
   using namespace pef;
@@ -32,6 +33,7 @@ int main() {
   CsvWriter csv("thm31_pef3plus.csv",
                 {"k", "n", "perpetual", "gap_mean", "gap_max", "cover_mean",
                  "lemma34", "lemma33"});
+  BenchReport bench_report("thm31_pef3plus");
 
   bool all_perpetual = true;
   for (std::uint32_t k : {3u, 4u, 5u}) {
@@ -49,6 +51,8 @@ int main() {
         config.algorithm = make_algorithm("pef3+");
         config.adversary = spec;
         config.horizon = 400 * n;
+        config.fast_engine = true;
+        bench_report.add_rounds(std::uint64_t{kSeeds} * config.horizon);
         for (const RunResult& run : run_battery(config, 1, kSeeds)) {
           cell_perpetual = cell_perpetual && run.perpetual;
           lemma34 = lemma34 && run.towers.lemma_3_4_holds;
@@ -70,6 +74,15 @@ int main() {
                    format_bool(cell_perpetual), format_double(gap.mean, 2),
                    format_double(gap.max, 0), format_double(cover.mean, 2),
                    format_bool(lemma34), format_bool(lemma33)});
+      bench_report.add_cell()
+          .param("k", std::uint64_t{k})
+          .param("n", std::uint64_t{n})
+          .metric("perpetual", cell_perpetual)
+          .metric("gap_mean", gap.mean)
+          .metric("gap_max", gap.max)
+          .metric("cover_mean", cover.mean)
+          .metric("lemma_3_4", lemma34)
+          .metric("lemma_3_3", lemma33);
     }
     table.add_separator();
   }
@@ -85,10 +98,14 @@ int main() {
     const EdgeId missing = 7;
     auto schedule = std::make_shared<EventualMissingEdgeSchedule>(
         std::make_shared<StaticSchedule>(ring), missing, 20);
-    Simulator sim(ring, make_algorithm("pef3+"),
-                  make_oblivious(schedule), spread_placements(ring, k));
-    sim.run(6000);
-    const auto report = analyze_sentinels(sim.trace(), missing);
+    FastEngineOptions options;
+    options.record_trace = true;  // sentinel analysis reads the trace
+    FastEngine engine(ring, make_algorithm("pef3+"),
+                      make_oblivious(schedule), spread_placements(ring, k),
+                      options);
+    engine.run(6000);
+    bench_report.add_rounds(6000);
+    const auto report = analyze_sentinels(engine.trace(), missing);
     sentinel_table.add_row(
         {std::to_string(k), "e" + std::to_string(missing),
          std::to_string(report.sentinels_at_horizon.size()),
@@ -102,5 +119,7 @@ int main() {
 
   std::cout << "\nTheorem 3.1 reproduction "
             << (all_perpetual ? "HOLDS" : "FAILS") << ".\n";
+  bench_report.summary("reproduction_holds", all_perpetual);
+  bench_report.write();
   return all_perpetual ? 0 : 1;
 }

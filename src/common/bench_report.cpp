@@ -1,0 +1,120 @@
+#include "common/bench_report.hpp"
+
+#include <fstream>
+#include <iostream>
+
+namespace pef {
+namespace {
+
+std::string encode_string(const std::string& value) {
+  return "\"" + JsonWriter::escape(value) + "\"";
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string name)
+    : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+BenchReport::Cell& BenchReport::Cell::param(const std::string& key,
+                                            const std::string& value) {
+  params_.emplace_back(key, encode_string(value));
+  return *this;
+}
+
+BenchReport::Cell& BenchReport::Cell::param(const std::string& key,
+                                            std::uint64_t value) {
+  params_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+BenchReport::Cell& BenchReport::Cell::param(const std::string& key,
+                                            double value) {
+  params_.emplace_back(key, JsonWriter::format_number(value));
+  return *this;
+}
+
+BenchReport::Cell& BenchReport::Cell::metric(const std::string& key,
+                                             double value) {
+  metrics_.emplace_back(key, JsonWriter::format_number(value));
+  return *this;
+}
+
+BenchReport::Cell& BenchReport::Cell::metric(const std::string& key,
+                                             std::uint64_t value) {
+  metrics_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+BenchReport::Cell& BenchReport::Cell::metric(const std::string& key,
+                                             bool value) {
+  metrics_.emplace_back(key, value ? "true" : "false");
+  return *this;
+}
+
+BenchReport::Cell& BenchReport::add_cell() {
+  cells_.emplace_back();
+  return cells_.back();
+}
+
+void BenchReport::summary(const std::string& key, double value) {
+  summary_.emplace_back(key, JsonWriter::format_number(value));
+}
+
+void BenchReport::summary(const std::string& key, std::uint64_t value) {
+  summary_.emplace_back(key, std::to_string(value));
+}
+
+void BenchReport::summary(const std::string& key, const std::string& value) {
+  summary_.emplace_back(key, encode_string(value));
+}
+
+void BenchReport::summary(const std::string& key, bool value) {
+  summary_.emplace_back(key, value ? "true" : "false");
+}
+
+void BenchReport::write() const {
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+
+  std::string out = "{\"bench\":" + encode_string(name_);
+  out += ",\"wall_seconds\":" + JsonWriter::format_number(wall);
+  out += ",\"total_rounds\":" + std::to_string(total_rounds_);
+  out += ",\"rounds_per_sec\":" +
+         JsonWriter::format_number(
+             wall > 0 ? static_cast<double>(total_rounds_) / wall : 0);
+  for (const auto& [key, value] : summary_) {
+    out += "," + encode_string(key) + ":" + value;
+  }
+  out += ",\"cells\":[";
+  bool first_cell = true;
+  for (const Cell& cell : cells_) {
+    if (!first_cell) out += ",";
+    first_cell = false;
+    out += "{\"params\":{";
+    bool first = true;
+    for (const auto& [key, value] : cell.params_) {
+      if (!first) out += ",";
+      first = false;
+      out += encode_string(key) + ":" + value;
+    }
+    out += "},\"metrics\":{";
+    first = true;
+    for (const auto& [key, value] : cell.metrics_) {
+      if (!first) out += ",";
+      first = false;
+      out += encode_string(key) + ":" + value;
+    }
+    out += "}}";
+  }
+  out += "]}";
+
+  const std::string path = "BENCH_" + name_ + ".json";
+  std::ofstream file(path);
+  if (file.is_open()) {
+    file << out << '\n';
+    std::cout << "\n[" << path << " written]\n";
+  }
+}
+
+}  // namespace pef

@@ -1,0 +1,155 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace pef {
+
+void JsonWriter::comma() {
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ += ',';
+    needs_comma_.back() = true;
+  }
+}
+
+void JsonWriter::key_prefix(const std::string& key) {
+  comma();
+  out_ += '"';
+  out_ += escape(key);
+  out_ += "\":";
+}
+
+void JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::begin_object(const std::string& key) {
+  key_prefix(key);
+  out_ += '{';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  needs_comma_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::begin_array(const std::string& key) {
+  key_prefix(key);
+  out_ += '[';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  needs_comma_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::field(const std::string& key, const std::string& value) {
+  key_prefix(key);
+  out_ += '"';
+  out_ += escape(value);
+  out_ += '"';
+}
+
+void JsonWriter::field(const std::string& key, const char* value) {
+  field(key, std::string(value));
+}
+
+void JsonWriter::field(const std::string& key, bool value) {
+  key_prefix(key);
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::field(const std::string& key, double value) {
+  key_prefix(key);
+  out_ += format_number(value);
+}
+
+void JsonWriter::field(const std::string& key, std::int64_t value) {
+  key_prefix(key);
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::field(const std::string& key, std::uint64_t value) {
+  key_prefix(key);
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::null_field(const std::string& key) {
+  key_prefix(key);
+  out_ += "null";
+}
+
+void JsonWriter::element(const std::string& value) {
+  comma();
+  out_ += '"';
+  out_ += escape(value);
+  out_ += '"';
+}
+
+void JsonWriter::element(double value) {
+  comma();
+  out_ += format_number(value);
+}
+
+void JsonWriter::element(std::uint64_t value) {
+  comma();
+  out_ += std::to_string(value);
+}
+
+bool JsonWriter::write_file(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file.is_open()) return false;
+  file << out_ << '\n';
+  return file.good();
+}
+
+std::string JsonWriter::escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonWriter::format_number(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no inf/nan
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  // Use the shortest representation that round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char probe[32];
+    std::snprintf(probe, sizeof probe, "%.*g", precision, value);
+    double parsed = 0;
+    std::sscanf(probe, "%lf", &parsed);
+    if (parsed == value) return probe;
+  }
+  return buf;
+}
+
+}  // namespace pef

@@ -1,0 +1,62 @@
+// Minimal streaming JSON writer for machine-readable bench / sweep output
+// (the BENCH_*.json files tracked across PRs).
+//
+// Deterministic by construction: keys are emitted in call order, doubles are
+// formatted with a fixed shortest-round-trip format, and no timestamps or
+// pointers ever leak in — byte-identical inputs give byte-identical files.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pef {
+
+class JsonWriter {
+ public:
+  JsonWriter() { out_.reserve(256); }
+
+  // Containers.  `key` variants are for use inside an open object.
+  void begin_object();
+  void begin_object(const std::string& key);
+  void end_object();
+  void begin_array();
+  void begin_array(const std::string& key);
+  void end_array();
+
+  // Scalar members (inside an object).
+  void field(const std::string& key, const std::string& value);
+  void field(const std::string& key, const char* value);
+  void field(const std::string& key, bool value);
+  void field(const std::string& key, double value);
+  void field(const std::string& key, std::int64_t value);
+  void field(const std::string& key, std::uint64_t value);
+  void field(const std::string& key, std::uint32_t value) {
+    field(key, static_cast<std::uint64_t>(value));
+  }
+  /// null member (e.g. "cover_time": null when never covered).
+  void null_field(const std::string& key);
+
+  // Scalar array elements.
+  void element(const std::string& value);
+  void element(double value);
+  void element(std::uint64_t value);
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+  /// Writes str() to `path`; returns false (without throwing) when the file
+  /// cannot be opened, so benches survive read-only working directories.
+  bool write_file(const std::string& path) const;
+
+  [[nodiscard]] static std::string escape(const std::string& raw);
+  [[nodiscard]] static std::string format_number(double value);
+
+ private:
+  void comma();
+  void key_prefix(const std::string& key);
+
+  std::string out_;
+  std::vector<bool> needs_comma_;
+};
+
+}  // namespace pef

@@ -1,10 +1,13 @@
 #include "core/experiment.hpp"
 
+#include <optional>
+
 #include "adversary/adaptive_missing_edge.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "dynamic_graph/schedules.hpp"
+#include "engine/fast_engine.hpp"
 
 namespace pef {
 
@@ -94,16 +97,29 @@ RunResult run_experiment(const ExperimentConfig& config) {
       config.placements ? *config.placements
                         : spread_placements(ring, config.robots);
 
-  Simulator sim(ring, config.algorithm, std::move(adversary), placements);
-  sim.run(config.horizon);
+  const Trace* trace = nullptr;
+  std::optional<Simulator> sim;
+  std::optional<FastEngine> engine;
+  if (config.fast_engine) {
+    FastEngineOptions options;
+    options.record_trace = true;
+    engine.emplace(ring, config.algorithm, std::move(adversary), placements,
+                   options);
+    engine->run(config.horizon);
+    trace = &engine->trace();
+  } else {
+    sim.emplace(ring, config.algorithm, std::move(adversary), placements);
+    sim->run(config.horizon);
+    trace = &sim->trace();
+  }
 
   RunResult result;
-  result.coverage = analyze_coverage(sim.trace());
-  result.towers = analyze_towers(sim.trace());
+  result.coverage = analyze_coverage(*trace);
+  result.towers = analyze_towers(*trace);
   const Time patience =
       config.audit_patience > 0 ? config.audit_patience : config.horizon / 4;
   result.legality =
-      audit_connectivity(ring, sim.trace().edge_history(), patience);
+      audit_connectivity(ring, trace->edge_history(), patience);
   result.perpetual = result.coverage.perpetual(config.nodes);
   result.adversary_legal = result.legality.connected_over_time;
   result.algorithm_name = config.algorithm->name();

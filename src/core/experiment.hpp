@@ -53,6 +53,11 @@ struct ExperimentConfig {
   std::optional<std::vector<RobotPlacement>> placements;
   /// Patience used by the legality audit for suspected-missing edges.
   Time audit_patience = 0;  // 0 => horizon / 4
+  /// Execute on FastEngine (with trace recording, so every analysis still
+  /// runs) instead of the reference Simulator.  Differential tests pin the
+  /// two engines to bit-identical traces, so results are unchanged — only
+  /// faster.
+  bool fast_engine = false;
 };
 
 struct RunResult {

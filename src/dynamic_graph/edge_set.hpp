@@ -35,6 +35,13 @@ class EdgeSet {
     return (words_[e >> 6] >> (e & 63)) & 1ULL;
   }
 
+  /// `contains` without the bounds check, for engine hot loops that already
+  /// guarantee `e < edge_count()` structurally (Ring::adjacent_edge can only
+  /// produce valid ids).
+  [[nodiscard]] bool contains_unchecked(EdgeId e) const {
+    return (words_[e >> 6] >> (e & 63)) & 1ULL;
+  }
+
   void insert(EdgeId e) {
     PEF_CHECK(e < edge_count_);
     words_[e >> 6] |= (1ULL << (e & 63));
@@ -47,6 +54,21 @@ class EdgeSet {
 
   void set(EdgeId e, bool present) { present ? insert(e) : erase(e); }
 
+  /// Make every edge present / absent in place (no reallocation) — lets
+  /// schedules refill a caller-owned scratch set instead of returning a
+  /// fresh heap allocation per round.
+  void fill() {
+    if (words_.empty()) return;
+    const std::size_t last = words_.size() - 1;
+    for (std::size_t i = 0; i < last; ++i) words_[i] = ~0ULL;
+    const std::uint32_t tail_bits =
+        edge_count_ - static_cast<std::uint32_t>(last) * 64;
+    words_[last] = tail_bits == 64 ? ~0ULL : (1ULL << tail_bits) - 1;
+  }
+  void clear() {
+    for (std::uint64_t& w : words_) w = 0;
+  }
+
   [[nodiscard]] std::uint32_t size() const {
     std::uint32_t total = 0;
     for (std::uint64_t w : words_) {
@@ -55,8 +77,26 @@ class EdgeSet {
     return total;
   }
 
-  [[nodiscard]] bool empty() const { return size() == 0; }
-  [[nodiscard]] bool full() const { return size() == edge_count_; }
+  /// Early-exits on the first word that disagrees instead of popcounting
+  /// the whole set.
+  [[nodiscard]] bool empty() const {
+    for (std::uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool full() const {
+    if (edge_count_ == 0) return true;
+    const std::size_t last = words_.size() - 1;
+    for (std::size_t i = 0; i < last; ++i) {
+      if (words_[i] != ~0ULL) return false;
+    }
+    const std::uint32_t tail_bits = edge_count_ - static_cast<std::uint32_t>(last) * 64;
+    const std::uint64_t tail_mask =
+        tail_bits == 64 ? ~0ULL : (1ULL << tail_bits) - 1;
+    return words_[last] == tail_mask;
+  }
 
   /// Edges present in this set, ascending.
   [[nodiscard]] std::vector<EdgeId> to_vector() const {

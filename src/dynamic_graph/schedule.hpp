@@ -25,6 +25,12 @@ class EdgeSchedule {
   /// The set E_t of edges present during round `t`.
   [[nodiscard]] virtual EdgeSet edges_at(Time t) const = 0;
 
+  /// Fill a caller-owned scratch set with E_t instead of allocating a fresh
+  /// one.  `out` must already be sized to `ring().edge_count()`.  The default
+  /// falls back to edges_at(); hot schedule families override it so engines
+  /// can run rounds allocation-free.
+  virtual void edges_into(Time t, EdgeSet& out) const { out = edges_at(t); }
+
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// Convenience: presence of a single edge at time `t`.

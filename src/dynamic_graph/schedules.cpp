@@ -44,12 +44,17 @@ BernoulliSchedule::BernoulliSchedule(Ring ring, double p, std::uint64_t seed)
 
 EdgeSet BernoulliSchedule::edges_at(Time t) const {
   EdgeSet s(ring_.edge_count());
+  edges_into(t, s);
+  return s;
+}
+
+void BernoulliSchedule::edges_into(Time t, EdgeSet& out) const {
+  out.clear();
   for (EdgeId e = 0; e < ring_.edge_count(); ++e) {
     // One independent draw per (edge, round); deterministic in (seed, e, t).
     Xoshiro256 rng(derive_seed(seed_, e, t));
-    if (rng.next_bool(p_)) s.insert(e);
+    if (rng.next_bool(p_)) out.insert(e);
   }
-  return s;
 }
 
 std::string BernoulliSchedule::name() const {
@@ -80,11 +85,16 @@ PeriodicSchedule PeriodicSchedule::rotating(Ring ring, std::uint32_t period,
 
 EdgeSet PeriodicSchedule::edges_at(Time t) const {
   EdgeSet s(ring_.edge_count());
+  edges_into(t, s);
+  return s;
+}
+
+void PeriodicSchedule::edges_into(Time t, EdgeSet& out) const {
+  out.clear();
   for (EdgeId e = 0; e < ring_.edge_count(); ++e) {
     const EdgePattern& p = patterns_[e];
-    if ((t + p.phase) % p.period < p.duty) s.insert(e);
+    if ((t + p.phase) % p.period < p.duty) out.insert(e);
   }
-  return s;
 }
 
 // ---------------------------------------------------------------------------
@@ -98,13 +108,18 @@ TIntervalConnectedSchedule::TIntervalConnectedSchedule(Ring ring,
 }
 
 EdgeSet TIntervalConnectedSchedule::edges_at(Time t) const {
+  EdgeSet s(ring_.edge_count());
+  edges_into(t, s);
+  return s;
+}
+
+void TIntervalConnectedSchedule::edges_into(Time t, EdgeSet& out) const {
   const Time epoch = t / interval_;
   Xoshiro256 rng(derive_seed(seed_, epoch));
   // Draw in [0, n]: value n means "no edge missing this epoch".
   const std::uint64_t pick = rng.next_below(ring_.edge_count() + 1);
-  EdgeSet s = EdgeSet::all(ring_.edge_count());
-  if (pick < ring_.edge_count()) s.erase(static_cast<EdgeId>(pick));
-  return s;
+  out.fill();
+  if (pick < ring_.edge_count()) out.erase(static_cast<EdgeId>(pick));
 }
 
 std::string TIntervalConnectedSchedule::name() const {

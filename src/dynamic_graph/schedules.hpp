@@ -43,6 +43,7 @@ class StaticSchedule final : public EdgeSchedule {
   [[nodiscard]] EdgeSet edges_at(Time) const override {
     return EdgeSet::all(ring_.edge_count());
   }
+  void edges_into(Time, EdgeSet& out) const override { out.fill(); }
   [[nodiscard]] std::string name() const override { return "static"; }
 
  private:
@@ -86,6 +87,7 @@ class BernoulliSchedule final : public EdgeSchedule {
 
   [[nodiscard]] const Ring& ring() const override { return ring_; }
   [[nodiscard]] EdgeSet edges_at(Time t) const override;
+  void edges_into(Time t, EdgeSet& out) const override;
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] double presence_probability() const { return p_; }
@@ -116,6 +118,7 @@ class PeriodicSchedule final : public EdgeSchedule {
 
   [[nodiscard]] const Ring& ring() const override { return ring_; }
   [[nodiscard]] EdgeSet edges_at(Time t) const override;
+  void edges_into(Time t, EdgeSet& out) const override;
   [[nodiscard]] std::string name() const override { return "periodic"; }
 
  private:
@@ -136,6 +139,7 @@ class TIntervalConnectedSchedule final : public EdgeSchedule {
 
   [[nodiscard]] const Ring& ring() const override { return ring_; }
   [[nodiscard]] EdgeSet edges_at(Time t) const override;
+  void edges_into(Time t, EdgeSet& out) const override;
   [[nodiscard]] std::string name() const override;
 
  private:

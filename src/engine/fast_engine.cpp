@@ -1,0 +1,221 @@
+#include "engine/fast_engine.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pef {
+
+FastEngine::FastEngine(Ring ring, AlgorithmPtr algorithm,
+                       AdversaryPtr adversary,
+                       const std::vector<RobotPlacement>& placements,
+                       FastEngineOptions options)
+    : ring_(ring),
+      algorithm_(std::move(algorithm)),
+      adversary_(std::move(adversary)),
+      options_(options),
+      occ_(ring_.node_count(), 0),
+      edges_(ring_.edge_count()),
+      visit_counts_(ring_.node_count(), 0),
+      last_visit_(ring_.node_count(), 0),
+      visited_(ring_.node_count(), 0) {
+  PEF_CHECK(algorithm_ != nullptr);
+  PEF_CHECK(adversary_ != nullptr);
+  PEF_CHECK(adversary_->ring() == ring_);
+  PEF_CHECK(!placements.empty());
+
+  if (options_.enforce_well_initiated) {
+    PEF_CHECK_MSG(placements.size() < ring_.node_count(),
+                  "well-initiated executions need k < n");
+    for (std::size_t a = 0; a < placements.size(); ++a) {
+      for (std::size_t b = a + 1; b < placements.size(); ++b) {
+        PEF_CHECK_MSG(placements[a].node != placements[b].node,
+                      "well-initiated executions start towerless");
+      }
+    }
+  }
+
+  const auto k = static_cast<std::uint32_t>(placements.size());
+  node_.reserve(k);
+  dir_.reserve(k);
+  right_cw_.reserve(k);
+  states_.reserve(k);
+  moved_.assign(k, 0);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    PEF_CHECK(ring_.is_valid_node(placements[i].node));
+    node_.push_back(placements[i].node);
+    dir_.push_back(static_cast<std::uint8_t>(LocalDirection::kLeft));
+    right_cw_.push_back(placements[i].chirality.right_is_clockwise() ? 1 : 0);
+    states_.push_back(algorithm_->make_state(static_cast<RobotId>(i)));
+    if (++occ_[placements[i].node] == 2) ++multi_nodes_;
+  }
+
+  // Oblivious adversaries never look at gamma: bypass the Configuration
+  // mirror entirely and fill the scratch EdgeSet in place each round.
+  if (const auto* oblivious =
+          dynamic_cast<const ObliviousAdversary*>(adversary_.get())) {
+    schedule_ = oblivious->schedule().get();
+  } else {
+    gamma_mirror_ = std::make_unique<Configuration>(snapshot());
+  }
+
+  observe_boundary(0);
+  if (options_.record_trace) {
+    trace_ = std::make_unique<Trace>(ring_, snapshot());
+  }
+}
+
+Configuration FastEngine::snapshot() const {
+  std::vector<RobotSnapshot> snaps;
+  snaps.reserve(node_.size());
+  for (std::size_t i = 0; i < node_.size(); ++i) {
+    RobotSnapshot s;
+    s.node = node_[i];
+    s.dir = static_cast<LocalDirection>(dir_[i]);
+    s.chirality = Chirality(right_cw_[i] != 0);
+    snaps.push_back(std::move(s));
+  }
+  return Configuration(ring_, std::move(snaps));
+}
+
+void FastEngine::observe_boundary(Time t) {
+  const std::uint32_t n = ring_.node_count();
+  for (const NodeId u : node_) {
+    ++visit_counts_[u];
+    if (visited_[u]) {
+      const Time gap = t - last_visit_[u];
+      max_closed_gap_ = std::max(max_closed_gap_, gap);
+    } else {
+      visited_[u] = 1;
+      if (++stats_.visited_node_count == n && !stats_.cover_time) {
+        stats_.cover_time = t;
+      }
+    }
+    last_visit_[u] = t;
+  }
+  if (multi_nodes_ > 0) {
+    ++stats_.tower_rounds;
+    if (!prev_had_tower_) ++stats_.tower_formations;
+    prev_had_tower_ = true;
+  } else {
+    prev_had_tower_ = false;
+  }
+}
+
+void FastEngine::step() {
+  const auto k = static_cast<std::uint32_t>(node_.size());
+
+  // Adversary: E_t.  Oblivious schedules refill the scratch set in place.
+  if (schedule_ != nullptr) {
+    schedule_->edges_into(now_, edges_);
+  } else {
+    edges_ = adversary_->choose_edges(now_, *gamma_mirror_);
+    PEF_CHECK(edges_.edge_count() == ring_.edge_count());
+  }
+
+  const std::uint32_t n = ring_.node_count();
+  RoundRecord record;
+  const bool tracing = trace_ != nullptr;
+  if (tracing) {
+    record.time = now_;
+    record.edges = edges_;
+    record.robots.resize(k);
+  }
+
+  // Look + Compute.  The Look phase reads only node_/occ_/edges_, none of
+  // which change before Move, so fusing the two phases preserves the
+  // synchronous semantics; Compute writes only the robot's own dir/state.
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const NodeId u = node_[i];
+    const bool dir_right = dir_[i] != 0;
+    // to_global(dir): right == right_is_clockwise ? cw : ccw.
+    const bool ahead_cw = dir_right == (right_cw_[i] != 0);
+    const EdgeId edge_cw = u;
+    const EdgeId edge_ccw = u == 0 ? n - 1 : u - 1;
+
+    View view;
+    view.exists_edge_ahead =
+        edges_.contains_unchecked(ahead_cw ? edge_cw : edge_ccw);
+    view.exists_edge_behind =
+        edges_.contains_unchecked(ahead_cw ? edge_ccw : edge_cw);
+    view.other_robots_on_node = occ_[u] > 1;
+
+    if (tracing) {
+      record.robots[i].node_before = u;
+      record.robots[i].dir_before = static_cast<LocalDirection>(dir_[i]);
+      record.robots[i].saw_other_robots = view.other_robots_on_node;
+    }
+
+    LocalDirection dir = static_cast<LocalDirection>(dir_[i]);
+    algorithm_->compute(view, dir, *states_[i]);
+    dir_[i] = static_cast<std::uint8_t>(dir);
+    if (tracing) record.robots[i].dir_after = dir;
+  }
+
+  // Move: cross the pointed edge iff present in E_t (same set all round).
+  // Sequential in-place update is safe: Look already happened for everyone.
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const NodeId u = node_[i];
+    const bool dir_right = dir_[i] != 0;
+    const bool ahead_cw = dir_right == (right_cw_[i] != 0);
+    const EdgeId pointed = ahead_cw ? u : (u == 0 ? n - 1 : u - 1);
+    bool moved = false;
+    if (edges_.contains_unchecked(pointed)) {
+      const NodeId to = ahead_cw ? (u + 1 == n ? 0 : u + 1)
+                                 : (u == 0 ? n - 1 : u - 1);
+      if (--occ_[u] == 1) --multi_nodes_;
+      if (++occ_[to] == 2) ++multi_nodes_;
+      node_[i] = to;
+      ++stats_.total_moves;
+      moved = true;
+    }
+    moved_[i] = moved ? 1 : 0;
+    if (tracing) {
+      record.robots[i].moved = moved;
+      record.robots[i].node_after = node_[i];
+    }
+  }
+
+  // Keep the adaptive adversary's gamma mirror current (it must equal the
+  // configuration at the start of the next round).
+  if (gamma_mirror_) {
+    for (std::uint32_t i = 0; i < k; ++i) {
+      gamma_mirror_->set_robot_dir(i, static_cast<LocalDirection>(dir_[i]));
+      if (moved_[i]) gamma_mirror_->relocate_robot(i, node_[i]);
+    }
+  }
+
+  ++now_;
+  stats_.rounds = now_;
+  observe_boundary(now_);
+  if (tracing) trace_->append(std::move(record));
+}
+
+void FastEngine::run(Time rounds) {
+  for (Time i = 0; i < rounds; ++i) step();
+}
+
+CoverageReport FastEngine::coverage_report(Time suffix_window) const {
+  const std::uint32_t n = ring_.node_count();
+  CoverageReport report;
+  report.horizon = now_;
+  report.suffix_window = suffix_window == 0 ? now_ / 4 + 1 : suffix_window;
+  report.visit_counts = visit_counts_;
+  report.visited_node_count = stats_.visited_node_count;
+  report.cover_time = stats_.cover_time;
+  report.max_closed_gap = max_closed_gap_;
+
+  const Time suffix_start =
+      now_ >= report.suffix_window ? now_ - report.suffix_window : 0;
+  for (NodeId u = 0; u < n; ++u) {
+    const Time open_gap = visited_[u] ? now_ - last_visit_[u] : now_;
+    report.max_revisit_gap =
+        std::max({report.max_revisit_gap, report.max_closed_gap, open_gap});
+    if (visited_[u] && last_visit_[u] >= suffix_start) {
+      ++report.nodes_visited_in_suffix;
+    }
+  }
+  return report;
+}
+
+}  // namespace pef

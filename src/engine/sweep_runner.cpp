@@ -1,0 +1,175 @@
+#include "engine/sweep_runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "algorithms/registry.hpp"
+#include "common/check.hpp"
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "scheduler/simulator.hpp"
+
+namespace pef {
+namespace {
+
+/// Flat description of one grid cell, precomputed so workers index into an
+/// immutable task list.
+struct CellTask {
+  std::size_t algorithm_index = 0;
+  std::size_t adversary_index = 0;
+  std::uint32_t nodes = 0;
+  std::uint32_t robots = 0;
+  std::uint64_t seed = 0;
+};
+
+std::vector<CellTask> enumerate_cells(const SweepGrid& grid) {
+  std::vector<CellTask> tasks;
+  for (std::size_t a = 0; a < grid.algorithms.size(); ++a) {
+    for (std::size_t d = 0; d < grid.adversaries.size(); ++d) {
+      for (const std::uint32_t n : grid.ring_sizes) {
+        for (const std::uint32_t k : grid.robot_counts) {
+          if (k == 0 || k >= n) continue;  // not well-initiated
+          for (const std::uint64_t seed : grid.seeds) {
+            tasks.push_back({a, d, n, k, seed});
+          }
+        }
+      }
+    }
+  }
+  return tasks;
+}
+
+SweepCell run_cell(const SweepGrid& grid, const CellTask& task) {
+  SweepCell cell;
+  cell.algorithm = grid.algorithms[task.algorithm_index];
+  cell.adversary = grid.adversaries[task.adversary_index].name;
+  cell.nodes = task.nodes;
+  cell.robots = task.robots;
+  cell.seed = task.seed;
+  cell.effective_seed =
+      effective_seed(task.seed, task.algorithm_index, task.adversary_index,
+                     task.nodes, task.robots);
+  cell.horizon = grid.horizon_for(task.nodes);
+
+  const Ring ring(task.nodes);
+  const std::vector<RobotPlacement> placements =
+      grid.random_placements
+          ? random_placements(ring, task.robots,
+                              derive_seed(cell.effective_seed, 0x91ace))
+          : spread_placements(ring, task.robots);
+
+  const auto start = std::chrono::steady_clock::now();
+  FastEngine engine(
+      ring, make_algorithm(cell.algorithm, cell.effective_seed),
+      grid.adversaries[task.adversary_index].make(ring, cell.effective_seed),
+      placements);
+  engine.run(cell.horizon);
+  const auto stop = std::chrono::steady_clock::now();
+
+  const EngineStats& stats = engine.stats();
+  const CoverageReport coverage = engine.coverage_report();
+  cell.perpetual = coverage.perpetual(task.nodes);
+  cell.covered = coverage.cover_time.has_value();
+  cell.cover_time = coverage.cover_time.value_or(0);
+  cell.max_revisit_gap = coverage.max_revisit_gap;
+  cell.tower_rounds = stats.tower_rounds;
+  cell.tower_formations = stats.tower_formations;
+  cell.total_moves = stats.total_moves;
+  cell.wall_seconds =
+      std::chrono::duration<double>(stop - start).count();
+  return cell;
+}
+
+}  // namespace
+
+std::uint64_t effective_seed(std::uint64_t grid_seed,
+                             std::size_t algorithm_index,
+                             std::size_t adversary_index, std::uint32_t nodes,
+                             std::uint32_t robots) {
+  return derive_seed(grid_seed, algorithm_index,
+                     (static_cast<std::uint64_t>(adversary_index) << 32) |
+                         nodes,
+                     robots);
+}
+
+std::uint64_t SweepResult::total_rounds() const {
+  std::uint64_t total = 0;
+  for (const SweepCell& cell : cells) total += cell.horizon;
+  return total;
+}
+
+std::string SweepResult::to_json() const {
+  JsonWriter json;
+  json.begin_object();
+  json.field("cell_count", static_cast<std::uint64_t>(cells.size()));
+  json.begin_array("cells");
+  for (const SweepCell& cell : cells) {
+    json.begin_object();
+    json.field("algorithm", cell.algorithm);
+    json.field("adversary", cell.adversary);
+    json.field("n", cell.nodes);
+    json.field("k", cell.robots);
+    json.field("seed", cell.seed);
+    json.field("effective_seed", cell.effective_seed);
+    json.field("horizon", cell.horizon);
+    json.field("perpetual", cell.perpetual);
+    if (cell.covered) {
+      json.field("cover_time", cell.cover_time);
+    } else {
+      json.null_field("cover_time");
+    }
+    json.field("max_revisit_gap", cell.max_revisit_gap);
+    json.field("tower_rounds", cell.tower_rounds);
+    json.field("tower_formations", cell.tower_formations);
+    json.field("total_moves", cell.total_moves);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+SweepRunner::SweepRunner(std::uint32_t threads) : threads_(threads) {
+  if (threads_ == 0) {
+    threads_ = std::thread::hardware_concurrency();
+    if (threads_ == 0) threads_ = 1;
+  }
+}
+
+SweepResult SweepRunner::run(const SweepGrid& grid) const {
+  PEF_CHECK(!grid.algorithms.empty());
+  PEF_CHECK(!grid.adversaries.empty());
+  PEF_CHECK(!grid.ring_sizes.empty());
+  PEF_CHECK(!grid.robot_counts.empty());
+  PEF_CHECK(!grid.seeds.empty());
+
+  const std::vector<CellTask> tasks = enumerate_cells(grid);
+  SweepResult result;
+  result.threads = threads_;
+  result.cells.resize(tasks.size());
+
+  const auto start = std::chrono::steady_clock::now();
+  std::atomic<std::size_t> cursor{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= tasks.size()) return;
+      result.cells[i] = run_cell(grid, tasks[i]);
+    }
+  };
+
+  if (threads_ <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads_);
+    for (std::uint32_t t = 0; t < threads_; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  result.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  return result;
+}
+
+}  // namespace pef

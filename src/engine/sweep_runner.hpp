@@ -1,0 +1,117 @@
+// SweepRunner — the multi-core Monte-Carlo sweep harness.
+//
+// A sweep is the cartesian grid (algorithm × adversary × n × k × seed); each
+// grid cell is one independent FastEngine run.  A fixed-size pool of worker
+// threads pulls cell indices from an atomic cursor, so load-balancing is
+// automatic and the wall-time scales with cores — while the *results* cannot
+// depend on scheduling:
+//
+//   * every cell derives its own RNG stream deterministically from its grid
+//     coordinates (see effective_seed below), never from thread identity,
+//     wall clock or execution order;
+//   * results land in a preallocated slot indexed by cell id, so the output
+//     vector (and hence the JSON) is byte-identical at 1 and N threads.
+//
+// Per-cell wall-times are measured for throughput reporting but deliberately
+// kept out of the deterministic JSON.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "engine/fast_engine.hpp"
+
+namespace pef {
+
+struct SweepGrid {
+  std::vector<std::string> algorithms;
+  std::vector<AdversarySpec> adversaries;
+  std::vector<std::uint32_t> ring_sizes;    // n
+  std::vector<std::uint32_t> robot_counts;  // k; cells with k >= n are skipped
+  std::vector<std::uint64_t> seeds;
+
+  /// Horizon of one run: `horizon` rounds when nonzero, else
+  /// `horizon_per_node * n`.
+  Time horizon = 0;
+  Time horizon_per_node = 200;
+
+  /// Robot placements: uniformly random towerless nodes with random
+  /// chiralities (seeded per cell) when true, evenly spread with common
+  /// chirality when false.
+  bool random_placements = true;
+
+  [[nodiscard]] Time horizon_for(std::uint32_t n) const {
+    return horizon != 0 ? horizon : horizon_per_node * n;
+  }
+};
+
+/// One fully-run grid cell.
+struct SweepCell {
+  // Grid coordinates.
+  std::string algorithm;
+  std::string adversary;
+  std::uint32_t nodes = 0;
+  std::uint32_t robots = 0;
+  std::uint64_t seed = 0;           // the grid seed entry
+  std::uint64_t effective_seed = 0; // derived per-cell stream seed
+  Time horizon = 0;
+
+  // Deterministic metrics (in the JSON).
+  bool perpetual = false;
+  bool covered = false;
+  Time cover_time = 0;  // valid iff covered
+  Time max_revisit_gap = 0;
+  Time tower_rounds = 0;
+  std::uint64_t tower_formations = 0;
+  std::uint64_t total_moves = 0;
+
+  // Timing (excluded from the deterministic JSON).
+  double wall_seconds = 0;
+  [[nodiscard]] double rounds_per_sec() const {
+    return wall_seconds > 0 ? static_cast<double>(horizon) / wall_seconds : 0;
+  }
+};
+
+struct SweepResult {
+  std::vector<SweepCell> cells;  // grid order, independent of thread count
+  double wall_seconds = 0;
+  std::uint32_t threads = 0;
+
+  [[nodiscard]] std::uint64_t total_rounds() const;
+  [[nodiscard]] double rounds_per_sec() const {
+    return wall_seconds > 0
+               ? static_cast<double>(total_rounds()) / wall_seconds
+               : 0;
+  }
+
+  /// Machine-readable per-cell results.  Contains only deterministic fields:
+  /// byte-identical for identical grids regardless of thread count.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// The per-cell stream seed: mixes the grid seed entry with every coordinate
+/// index so distinct cells never share an RNG stream, and a cell's stream is
+/// a pure function of its coordinates (thread-count independent).
+[[nodiscard]] std::uint64_t effective_seed(std::uint64_t grid_seed,
+                                           std::size_t algorithm_index,
+                                           std::size_t adversary_index,
+                                           std::uint32_t nodes,
+                                           std::uint32_t robots);
+
+class SweepRunner {
+ public:
+  /// `threads` == 0 picks std::thread::hardware_concurrency().
+  explicit SweepRunner(std::uint32_t threads = 0);
+
+  [[nodiscard]] std::uint32_t threads() const { return threads_; }
+
+  /// Run every cell of the grid; blocks until all are done.
+  [[nodiscard]] SweepResult run(const SweepGrid& grid) const;
+
+ private:
+  std::uint32_t threads_;
+};
+
+}  // namespace pef

@@ -83,6 +83,34 @@ TEST(ConfigurationTest, TowerlessConfiguration) {
   EXPECT_FALSE(gamma.has_tower());
 }
 
+TEST(ConfigurationTest, RelocateKeepsOccupancyConsistent) {
+  const Ring ring(5);
+  std::vector<RobotSnapshot> snaps(3);
+  snaps[0].node = 0;
+  snaps[1].node = 2;
+  snaps[2].node = 4;
+  Configuration gamma(ring, snaps);
+  EXPECT_FALSE(gamma.has_tower());
+
+  gamma.relocate_robot(0, 2);  // forms a tower on node 2
+  EXPECT_EQ(gamma.robot(0).node, 2u);
+  EXPECT_EQ(gamma.robots_on(2), 2u);
+  EXPECT_EQ(gamma.robots_on(0), 0u);
+  EXPECT_TRUE(gamma.has_tower());
+
+  gamma.relocate_robot(0, 1);  // dissolves it again
+  EXPECT_EQ(gamma.robots_on(2), 1u);
+  EXPECT_EQ(gamma.robots_on(1), 1u);
+  EXPECT_FALSE(gamma.has_tower());
+
+  gamma.relocate_robot(1, 2);  // no-op relocation must be safe too
+  EXPECT_EQ(gamma.robots_on(2), 1u);
+  EXPECT_EQ(gamma.occupied_nodes(), (std::vector<NodeId>{1, 2, 4}));
+
+  gamma.set_robot_dir(2, LocalDirection::kRight);
+  EXPECT_EQ(gamma.robot(2).dir, LocalDirection::kRight);
+}
+
 TEST(ConfigurationTest, ConsideredDirectionUsesChirality) {
   RobotSnapshot s;
   s.dir = LocalDirection::kLeft;

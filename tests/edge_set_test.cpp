@@ -90,5 +90,47 @@ TEST(EdgeSetTest, ToString) {
   EXPECT_EQ(s.to_string(), "{0, 4}");
 }
 
+TEST(EdgeSetTest, FillAndClearInPlace) {
+  for (std::uint32_t count : {1u, 5u, 64u, 65u, 130u}) {
+    EdgeSet s(count);
+    s.fill();
+    EXPECT_TRUE(s.full()) << "count=" << count;
+    EXPECT_EQ(s.size(), count);
+    EXPECT_EQ(s, EdgeSet::all(count));
+    s.clear();
+    EXPECT_TRUE(s.empty()) << "count=" << count;
+    EXPECT_EQ(s, EdgeSet::none(count));
+  }
+}
+
+TEST(EdgeSetTest, FullAndEmptyEarlyExitAcrossWordBoundaries) {
+  // full() must not be fooled by set bits beyond a partially-set last word,
+  // and empty()/full() must work when the word count is > 1.
+  EdgeSet s(130);
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.full());
+  s.insert(129);
+  EXPECT_FALSE(s.empty());
+  EXPECT_FALSE(s.full());
+  s.fill();
+  EXPECT_TRUE(s.full());
+  s.erase(0);
+  EXPECT_FALSE(s.full());
+  s.insert(0);
+  s.erase(64);  // bit in the middle word
+  EXPECT_FALSE(s.full());
+}
+
+TEST(EdgeSetTest, ContainsUncheckedAgreesWithContains) {
+  EdgeSet s(100);
+  s.insert(0);
+  s.insert(63);
+  s.insert(64);
+  s.insert(99);
+  for (EdgeId e = 0; e < 100; ++e) {
+    EXPECT_EQ(s.contains_unchecked(e), s.contains(e)) << "e=" << e;
+  }
+}
+
 }  // namespace
 }  // namespace pef

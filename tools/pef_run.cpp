@@ -9,6 +9,7 @@
 // mobility / legality reports and optionally an ASCII strip of the run.
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "adversary/confinement.hpp"
@@ -26,6 +27,7 @@
 #include "dynamic_graph/markov_schedule.hpp"
 #include "dynamic_graph/properties.hpp"
 #include "dynamic_graph/schedules.hpp"
+#include "engine/fast_engine.hpp"
 #include "scheduler/simulator.hpp"
 
 namespace pef {
@@ -44,6 +46,9 @@ void print_help(const char* program) {
       << "                   | adaptive-missing | markov | greedy-blocker\n"
       << "                   | cage | proof (default eventual-missing)\n"
       << "  --horizon T      rounds to simulate (default 5000)\n"
+      << "  --engine E       fast | reference (default fast; identical\n"
+      << "                   results, the reference Simulator is the\n"
+      << "                   canonical implementation)\n"
       << "  --seed S         RNG seed (default 1)\n"
       << "  --p X            presence probability for bernoulli (0.5)\n"
       << "  --render         print an ASCII strip of the execution\n"
@@ -95,6 +100,7 @@ int main(int argc, char** argv) {
   const auto adversary_name =
       args.get_string("--adversary", "eventual-missing");
   const auto horizon = args.get_u64("--horizon", 5000);
+  const auto engine_name = args.get_string("--engine", "fast");
   const auto seed = args.get_u64("--seed", 1);
   const auto p = args.get_double("--p", 0.5);
   const bool render = args.has("--render");
@@ -107,6 +113,10 @@ int main(int argc, char** argv) {
     std::cerr << "need 1 <= robots < nodes and nodes >= 2\n";
     return 2;
   }
+  if (engine_name != "fast" && engine_name != "reference") {
+    std::cerr << "--engine must be fast or reference\n";
+    return 2;
+  }
 
   if (algorithm.empty()) {
     algorithm = computability::recommended_algorithm(robots, nodes);
@@ -116,14 +126,30 @@ int main(int argc, char** argv) {
   }
 
   const Ring ring(nodes);
-  Simulator sim(ring, make_algorithm(algorithm, seed),
+  std::optional<FastEngine> engine;
+  std::optional<Simulator> sim;
+  const Trace* trace_ptr = nullptr;
+  if (engine_name == "fast") {
+    FastEngineOptions options;
+    options.record_trace = true;  // the report below is all trace analysis
+    engine.emplace(ring, make_algorithm(algorithm, seed),
+                   make_adversary(adversary_name, ring, seed, p, robots),
+                   spread_placements(ring, robots), options);
+    engine->run(horizon);
+    trace_ptr = &engine->trace();
+  } else {
+    sim.emplace(ring, make_algorithm(algorithm, seed),
                 make_adversary(adversary_name, ring, seed, p, robots),
                 spread_placements(ring, robots));
-  sim.run(horizon);
+    sim->run(horizon);
+    trace_ptr = &sim->trace();
+  }
+  const Trace& trace = *trace_ptr;
 
   std::cout << "pef_run: n=" << nodes << " k=" << robots << " algorithm="
             << algorithm << " adversary=" << adversary_name
-            << " horizon=" << horizon << " seed=" << seed << "\n"
+            << " horizon=" << horizon << " seed=" << seed
+            << " engine=" << engine_name << "\n"
             << "TABLE 1 prediction: "
             << computability::to_string(
                    computability::classify(robots, nodes))
@@ -133,14 +159,14 @@ int main(int argc, char** argv) {
   if (render) {
     RenderOptions options;
     options.max_lines = render_lines;
-    render_trace(std::cout, sim.trace(), options);
+    render_trace(std::cout, trace, options);
     std::cout << "\n";
   }
 
-  const auto coverage = analyze_coverage(sim.trace());
-  const auto towers = analyze_towers(sim.trace());
-  const auto mobility = analyze_mobility(sim.trace());
-  const auto audit = audit_connectivity(ring, sim.trace().edge_history(),
+  const auto coverage = analyze_coverage(trace);
+  const auto towers = analyze_towers(trace);
+  const auto mobility = analyze_mobility(trace);
+  const auto audit = audit_connectivity(ring, trace.edge_history(),
                                         horizon / 4);
 
   TextTable table({"metric", "value"});

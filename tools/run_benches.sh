@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Build Release and run every bench, leaving one BENCH_<name>.json per bench
+# in the output directory (default: bench-out/ at the repo root).
+#
+#   tools/run_benches.sh [output-dir]
+#
+# The JSON files are the machine-readable perf/correctness trajectory of the
+# repo; diff them across commits to see what moved.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+out_dir="${1:-"$repo_root/bench-out"}"
+build_dir="$repo_root/build-bench"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j"$(nproc)"
+
+mkdir -p "$out_dir"
+cd "$out_dir"
+
+benches=(
+  bench_scaling
+  bench_stress
+  bench_table1
+  bench_chains
+  bench_thm31_pef3plus
+  bench_ablation_rules
+  bench_fig1_lemma41
+  bench_fig2_thm41
+  bench_fig3_thm51
+  bench_lemma37_sentinels
+  bench_ssync_impossibility
+)
+
+failed=()
+for bench in "${benches[@]}"; do
+  echo "==== $bench ===="
+  if [ ! -x "$build_dir/$bench" ]; then
+    # bench_scaling is skipped by CMake when google-benchmark is absent.
+    echo "  skipped (not built)"
+    continue
+  fi
+  if ! "$build_dir/$bench" > "$out_dir/$bench.log" 2>&1; then
+    echo "  FAILED (see $out_dir/$bench.log)"
+    failed+=("$bench")
+  else
+    tail -3 "$out_dir/$bench.log"
+  fi
+done
+
+echo
+echo "JSON reports in $out_dir:"
+ls -1 "$out_dir"/BENCH_*.json 2>/dev/null || echo "  (none)"
+
+if [ "${#failed[@]}" -gt 0 ]; then
+  echo "FAILED benches: ${failed[*]}"
+  exit 1
+fi
+echo "All benches passed."
