@@ -1,15 +1,19 @@
 // bench_scaling — simulator throughput as a function of ring size, robot
-// count and adversary, for BOTH engines:
+// count and adversary, for BOTH engines and BOTH dispatch paths:
 //
 //   * google-benchmark micro-benchmarks: Simulator vs FastEngine rounds/sec
 //     across (n, k) and schedule families;
 //   * a head-to-head macro measurement at n=4096, k=64 (trace recording off)
-//     whose Simulator-vs-FastEngine speedup is recorded in
-//     BENCH_scaling.json — the acceptance metric of the engine PR;
+//     recorded in BENCH_scaling.json: Simulator vs Engine (virtual
+//     dispatch — PR 1's FastEngine path) vs Engine (kernel dispatch), the
+//     kernel column being the acceptance metric of the unification PR;
+//   * the model axis at the same size: rounds/sec of the unified engine in
+//     FSYNC / SSYNC / ASYNC under both dispatches;
 //   * SweepRunner thread-scaling on a fixed grid (1 thread vs 4), with a
 //     byte-identity check of the two JSON outputs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <iostream>
 
@@ -192,18 +196,46 @@ double measure_simulator_rps(std::uint32_t n, std::uint32_t k, Time rounds) {
   return static_cast<double>(rounds) / secs;
 }
 
-double measure_fast_engine_rps(std::uint32_t n, std::uint32_t k,
-                               Time rounds) {
-  const Ring ring(n);
-  FastEngine engine(ring, make_algorithm("pef3+"),
-                    make_oblivious(std::make_shared<StaticSchedule>(ring)),
-                    spread_placements(ring, k));
+double run_and_time(Engine& engine, Time rounds) {
   const auto start = std::chrono::steady_clock::now();
   engine.run(rounds);
   const double secs = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - start)
                           .count();
   return static_cast<double>(rounds) / secs;
+}
+
+/// Unified-engine rounds/sec at one (model, dispatch) grid point, over the
+/// static schedule (SSYNC under fair Bernoulli activation, ASYNC under fair
+/// Bernoulli phase advancement).
+double measure_engine_rps(ExecutionModel model, ComputeDispatch dispatch,
+                          std::uint32_t n, std::uint32_t k, Time rounds) {
+  const Ring ring(n);
+  EngineOptions options;
+  options.dispatch = dispatch;
+  auto schedule = std::make_shared<StaticSchedule>(ring);
+  switch (model) {
+    case ExecutionModel::kFsync: {
+      Engine engine(ring, make_algorithm("pef3+"), make_oblivious(schedule),
+                    spread_placements(ring, k), options);
+      return run_and_time(engine, rounds);
+    }
+    case ExecutionModel::kSsync: {
+      Engine engine(ring, make_algorithm("pef3+"),
+                    std::make_unique<SsyncObliviousAdversary>(schedule),
+                    std::make_unique<BernoulliActivation>(0.5, 1),
+                    spread_placements(ring, k), options);
+      return run_and_time(engine, rounds);
+    }
+    case ExecutionModel::kAsync: {
+      Engine engine(ring, make_algorithm("pef3+"),
+                    std::make_unique<SsyncObliviousAdversary>(schedule),
+                    std::make_unique<BernoulliPhases>(0.5, 1),
+                    spread_placements(ring, k), options);
+      return run_and_time(engine, rounds);
+    }
+  }
+  return 0;
 }
 
 SweepGrid scaling_grid() {
@@ -224,29 +256,82 @@ void head_to_head(BenchReport& report) {
   constexpr Time kSimRounds = 4000;
   constexpr Time kFastRounds = 40000;
 
-  std::cout << "\n=== Head to head: Simulator vs FastEngine (n=" << kNodes
-            << ", k=" << kRobots << ", static schedule, no trace) ===\n";
+  std::cout << "\n=== Head to head: Simulator vs Engine virtual vs Engine "
+               "kernel (n="
+            << kNodes << ", k=" << kRobots
+            << ", static schedule, no trace) ===\n";
   const double sim_rps = measure_simulator_rps(kNodes, kRobots, kSimRounds);
-  const double fast_rps =
-      measure_fast_engine_rps(kNodes, kRobots, kFastRounds);
-  const double speedup = fast_rps / sim_rps;
-  std::cout << "Simulator:  " << static_cast<std::uint64_t>(sim_rps)
+  // Virtual dispatch is PR 1's FastEngine path; kernel dispatch is the
+  // devirtualized POD path of the unification PR.  Interleaved best-of-3:
+  // a single sample on a loaded single-core box can swing ~20%, which
+  // would make the kernel-vs-virtual verdict a coin flip.
+  double virtual_rps = 0;
+  double kernel_rps = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    virtual_rps = std::max(
+        virtual_rps,
+        measure_engine_rps(ExecutionModel::kFsync, ComputeDispatch::kVirtual,
+                           kNodes, kRobots, kFastRounds));
+    kernel_rps = std::max(
+        kernel_rps,
+        measure_engine_rps(ExecutionModel::kFsync, ComputeDispatch::kKernel,
+                           kNodes, kRobots, kFastRounds));
+  }
+  const double speedup = virtual_rps / sim_rps;
+  const double kernel_speedup = kernel_rps / virtual_rps;
+  std::cout << "Simulator:        " << static_cast<std::uint64_t>(sim_rps)
             << " rounds/sec\n"
-            << "FastEngine: " << static_cast<std::uint64_t>(fast_rps)
-            << " rounds/sec\n"
-            << "Speedup:    " << speedup << "x (target >= 5x)\n";
+            << "Engine (virtual): " << static_cast<std::uint64_t>(virtual_rps)
+            << " rounds/sec (" << speedup << "x vs Simulator, target >= 5x)\n"
+            << "Engine (kernel):  " << static_cast<std::uint64_t>(kernel_rps)
+            << " rounds/sec (" << kernel_speedup
+            << "x vs virtual, target > 1x)\n";
 
-  report.add_rounds(kSimRounds + kFastRounds);
+  report.add_rounds(kSimRounds + 6 * kFastRounds);
   report.add_cell()
       .param("series", "head-to-head")
       .param("n", std::uint64_t{kNodes})
       .param("k", std::uint64_t{kRobots})
       .param("schedule", "static")
       .metric("simulator_rounds_per_sec", sim_rps)
-      .metric("fast_engine_rounds_per_sec", fast_rps)
-      .metric("speedup", speedup);
+      .metric("fast_engine_rounds_per_sec", virtual_rps)
+      .metric("kernel_engine_rounds_per_sec", kernel_rps)
+      .metric("speedup", speedup)
+      .metric("kernel_speedup_over_virtual", kernel_speedup);
   report.summary("fast_engine_speedup", speedup);
   report.summary("speedup_target_met", speedup >= 5.0);
+  report.summary("kernel_speedup_over_virtual", kernel_speedup);
+  report.summary("kernel_beats_virtual", kernel_rps > virtual_rps);
+}
+
+void model_axis(BenchReport& report) {
+  constexpr std::uint32_t kNodes = 4096;
+  constexpr std::uint32_t kRobots = 64;
+  constexpr Time kRounds = 20000;
+
+  std::cout << "\n=== Model axis: unified engine rounds/sec (n=" << kNodes
+            << ", k=" << kRobots << ", static schedule, no trace) ===\n";
+  for (const ExecutionModel model :
+       {ExecutionModel::kFsync, ExecutionModel::kSsync,
+        ExecutionModel::kAsync}) {
+    const double virtual_rps = measure_engine_rps(
+        model, ComputeDispatch::kVirtual, kNodes, kRobots, kRounds);
+    const double kernel_rps = measure_engine_rps(
+        model, ComputeDispatch::kKernel, kNodes, kRobots, kRounds);
+    std::cout << to_string(model) << ": virtual "
+              << static_cast<std::uint64_t>(virtual_rps) << " rounds/sec, "
+              << "kernel " << static_cast<std::uint64_t>(kernel_rps)
+              << " rounds/sec (" << kernel_rps / virtual_rps << "x)\n";
+    report.add_rounds(2 * kRounds);
+    report.add_cell()
+        .param("series", "model-axis")
+        .param("model", to_string(model))
+        .param("n", std::uint64_t{kNodes})
+        .param("k", std::uint64_t{kRobots})
+        .metric("virtual_rounds_per_sec", virtual_rps)
+        .metric("kernel_rounds_per_sec", kernel_rps)
+        .metric("kernel_speedup_over_virtual", kernel_rps / virtual_rps);
+  }
 }
 
 void sweep_scaling(BenchReport& report) {
@@ -292,6 +377,7 @@ int main(int argc, char** argv) {
 
   pef::BenchReport report("scaling");
   pef::head_to_head(report);
+  pef::model_axis(report);
   pef::sweep_scaling(report);
   report.write();
   return 0;

@@ -35,6 +35,9 @@ class Pef3PlusNoRule2 final : public Algorithm {
     }
     s.has_moved_previous_step = view.exists_edge(ahead_is_incoming_dir);
   }
+  [[nodiscard]] std::optional<KernelSpec> kernel() const override {
+    return KernelSpec{KernelId::kPef3PlusNoRule2};
+  }
 };
 
 class Pef3PlusNoRule3 final : public Algorithm {
@@ -48,6 +51,9 @@ class Pef3PlusNoRule3 final : public Algorithm {
                AlgorithmState& state) const override {
     auto& s = static_cast<Pef3PlusState&>(state);
     s.has_moved_previous_step = view.exists_edge_ahead;  // never turns
+  }
+  [[nodiscard]] std::optional<KernelSpec> kernel() const override {
+    return KernelSpec{KernelId::kPef3PlusNoRule3};
   }
 };
 

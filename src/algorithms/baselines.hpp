@@ -35,6 +35,9 @@ class KeepDirection final : public Algorithm {
   }
   void compute(const View&, LocalDirection&, AlgorithmState&) const override {
   }
+  [[nodiscard]] std::optional<KernelSpec> kernel() const override {
+    return KernelSpec{KernelId::kKeepDirection};
+  }
 };
 
 class BounceOnMissing final : public Algorithm {
@@ -49,6 +52,9 @@ class BounceOnMissing final : public Algorithm {
     if (!view.exists_edge_ahead && view.exists_edge_behind) {
       dir = opposite(dir);
     }
+  }
+  [[nodiscard]] std::optional<KernelSpec> kernel() const override {
+    return KernelSpec{KernelId::kBounce};
   }
 };
 
@@ -83,6 +89,9 @@ class RandomWalk final : public Algorithm {
                AlgorithmState& state) const override {
     auto& s = static_cast<RandomWalkState&>(state);
     if (s.rng.next_bool(0.5)) dir = opposite(dir);
+  }
+  [[nodiscard]] std::optional<KernelSpec> kernel() const override {
+    return KernelSpec{KernelId::kRandomWalk, seed_};
   }
 
  private:
@@ -121,6 +130,9 @@ class Oscillating final : public Algorithm {
       dir = opposite(dir);
       s.rounds_since_turn = 0;
     }
+  }
+  [[nodiscard]] std::optional<KernelSpec> kernel() const override {
+    return KernelSpec{KernelId::kOscillating, 0, period_};
   }
 
  private:

@@ -23,6 +23,9 @@ class Pef1 final : public Algorithm {
   }
   void compute(const View& view, LocalDirection& dir,
                AlgorithmState& state) const override;
+  [[nodiscard]] std::optional<KernelSpec> kernel() const override {
+    return KernelSpec{KernelId::kPef1};
+  }
 };
 
 }  // namespace pef

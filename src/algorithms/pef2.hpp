@@ -21,6 +21,9 @@ class Pef2 final : public Algorithm {
   }
   void compute(const View& view, LocalDirection& dir,
                AlgorithmState& state) const override;
+  [[nodiscard]] std::optional<KernelSpec> kernel() const override {
+    return KernelSpec{KernelId::kPef2};
+  }
 };
 
 }  // namespace pef

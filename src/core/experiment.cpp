@@ -99,9 +99,29 @@ RunResult run_experiment(const ExperimentConfig& config) {
 
   const Trace* trace = nullptr;
   std::optional<Simulator> sim;
-  std::optional<FastEngine> engine;
-  if (config.fast_engine) {
-    FastEngineOptions options;
+  std::optional<Engine> engine;
+  if (config.model != ExecutionModel::kFsync) {
+    // SSYNC/ASYNC run on the unified Engine with seeded Bernoulli
+    // activation / phase scheduling; the battery adversary ignores the
+    // activation mask.
+    EngineOptions options;
+    options.record_trace = true;
+    auto wrapped =
+        std::make_unique<SsyncFromFsyncAdversary>(std::move(adversary));
+    if (config.model == ExecutionModel::kSsync) {
+      engine.emplace(ring, config.algorithm, std::move(wrapped),
+                     standard_ssync_activation(config.activation_p,
+                                               config.seed),
+                     placements, options);
+    } else {
+      engine.emplace(ring, config.algorithm, std::move(wrapped),
+                     standard_async_phases(config.activation_p, config.seed),
+                     placements, options);
+    }
+    engine->run(config.horizon);
+    trace = &engine->trace();
+  } else if (config.fast_engine) {
+    EngineOptions options;
     options.record_trace = true;
     engine.emplace(ring, config.algorithm, std::move(adversary), placements,
                    options);
@@ -124,6 +144,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
   result.adversary_legal = result.legality.connected_over_time;
   result.algorithm_name = config.algorithm->name();
   result.adversary_name = config.adversary.name;
+  result.model = config.model;
   result.nodes = config.nodes;
   result.robots = config.robots;
   result.horizon = config.horizon;

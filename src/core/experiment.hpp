@@ -13,6 +13,7 @@
 #include "analysis/coverage.hpp"
 #include "analysis/towers.hpp"
 #include "dynamic_graph/properties.hpp"
+#include "engine/engine.hpp"
 #include "robot/algorithm.hpp"
 #include "robot/robot.hpp"
 #include "scheduler/simulator.hpp"
@@ -53,11 +54,18 @@ struct ExperimentConfig {
   std::optional<std::vector<RobotPlacement>> placements;
   /// Patience used by the legality audit for suspected-missing edges.
   Time audit_patience = 0;  // 0 => horizon / 4
-  /// Execute on FastEngine (with trace recording, so every analysis still
-  /// runs) instead of the reference Simulator.  Differential tests pin the
-  /// two engines to bit-identical traces, so results are unchanged — only
-  /// faster.
+  /// Execute on the unified Engine (with trace recording, so every analysis
+  /// still runs) instead of the reference Simulator.  Differential tests pin
+  /// the two engines to bit-identical traces, so results are unchanged —
+  /// only faster.  Forced on for non-FSYNC models.
   bool fast_engine = false;
+  /// Activation model.  SSYNC runs under seeded Bernoulli activation and
+  /// ASYNC under seeded Bernoulli phase advancement (probability
+  /// `activation_p`, same default as SweepGrid and pef_run); the adversary
+  /// is adapted through SsyncFromFsyncAdversary and ignores the activation
+  /// mask.
+  ExecutionModel model = ExecutionModel::kFsync;
+  double activation_p = 0.5;
 };
 
 struct RunResult {
@@ -72,6 +80,7 @@ struct RunResult {
 
   std::string algorithm_name;
   std::string adversary_name;
+  ExecutionModel model = ExecutionModel::kFsync;
   std::uint32_t nodes = 0;
   std::uint32_t robots = 0;
   Time horizon = 0;

@@ -1,0 +1,505 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+
+#include "algorithms/kernels.hpp"
+#include "common/check.hpp"
+
+namespace pef {
+namespace {
+
+/// ComputeFn for virtual dispatch: the canonical Algorithm interface.
+struct VirtualCompute {
+  const Algorithm* algorithm;
+  std::unique_ptr<AlgorithmState>* states;
+  void operator()(RobotId i, const View& view, LocalDirection& dir) const {
+    algorithm->compute(view, dir, *states[i]);
+  }
+};
+
+/// ComputeFn for kernel dispatch: the KernelId is a template argument, so
+/// each engine loop instantiation inlines the kernel body directly.
+template <KernelId Id>
+struct KernelCompute {
+  const KernelSpec* spec;
+  KernelState* states;
+  void operator()(RobotId i, const View& view, LocalDirection& dir) const {
+    kernel_compute<Id>(*spec, view, dir, states[i]);
+  }
+};
+
+}  // namespace
+
+std::optional<ExecutionModel> parse_execution_model(const std::string& name) {
+  if (name == "fsync") return ExecutionModel::kFsync;
+  if (name == "ssync") return ExecutionModel::kSsync;
+  if (name == "async") return ExecutionModel::kAsync;
+  return std::nullopt;
+}
+
+Engine::Engine(Ring ring, AlgorithmPtr algorithm, AdversaryPtr adversary,
+               const std::vector<RobotPlacement>& placements,
+               EngineOptions options)
+    : ring_(ring),
+      algorithm_(std::move(algorithm)),
+      model_(ExecutionModel::kFsync),
+      options_(options),
+      adversary_(std::move(adversary)) {
+  PEF_CHECK(adversary_ != nullptr);
+  PEF_CHECK(adversary_->ring() == ring_);
+  init(placements);
+
+  // Oblivious adversaries never look at gamma: bypass the Configuration
+  // mirror entirely and fill the scratch EdgeSet in place each round.
+  if (const auto* oblivious =
+          dynamic_cast<const ObliviousAdversary*>(adversary_.get())) {
+    schedule_ = oblivious->schedule().get();
+  } else {
+    gamma_mirror_ = std::make_unique<Configuration>(snapshot());
+  }
+}
+
+Engine::Engine(Ring ring, AlgorithmPtr algorithm,
+               std::unique_ptr<SsyncAdversary> adversary,
+               std::unique_ptr<ActivationPolicy> activation,
+               const std::vector<RobotPlacement>& placements,
+               EngineOptions options)
+    : ring_(ring),
+      algorithm_(std::move(algorithm)),
+      model_(ExecutionModel::kSsync),
+      options_(options),
+      ssync_adversary_(std::move(adversary)),
+      activation_(std::move(activation)) {
+  PEF_CHECK(ssync_adversary_ != nullptr);
+  PEF_CHECK(activation_ != nullptr);
+  PEF_CHECK(ssync_adversary_->ring() == ring_);
+  init(placements);
+  // Policies and SSYNC adversaries see gamma every round: keep one
+  // persistent mirror, updated in place as robots act.
+  gamma_mirror_ = std::make_unique<Configuration>(snapshot());
+}
+
+Engine::Engine(Ring ring, AlgorithmPtr algorithm,
+               std::unique_ptr<SsyncAdversary> adversary,
+               std::unique_ptr<PhaseScheduler> phases,
+               const std::vector<RobotPlacement>& placements,
+               EngineOptions options)
+    : ring_(ring),
+      algorithm_(std::move(algorithm)),
+      model_(ExecutionModel::kAsync),
+      options_(options),
+      ssync_adversary_(std::move(adversary)),
+      phase_scheduler_(std::move(phases)) {
+  PEF_CHECK(ssync_adversary_ != nullptr);
+  PEF_CHECK(phase_scheduler_ != nullptr);
+  PEF_CHECK(ssync_adversary_->ring() == ring_);
+  init(placements);
+  phases_.assign(node_.size(), Phase::kLook);
+  pending_views_.assign(node_.size(), View{});
+  gamma_mirror_ = std::make_unique<Configuration>(snapshot());
+}
+
+void Engine::init(const std::vector<RobotPlacement>& placements) {
+  PEF_CHECK(algorithm_ != nullptr);
+  PEF_CHECK(!placements.empty());
+
+  if (options_.enforce_well_initiated) {
+    PEF_CHECK_MSG(placements.size() < ring_.node_count(),
+                  "well-initiated executions need k < n");
+    for (std::size_t a = 0; a < placements.size(); ++a) {
+      for (std::size_t b = a + 1; b < placements.size(); ++b) {
+        PEF_CHECK_MSG(placements[a].node != placements[b].node,
+                      "well-initiated executions start towerless");
+      }
+    }
+  }
+
+  if (options_.dispatch != ComputeDispatch::kVirtual) {
+    kernel_ = algorithm_->kernel();
+  }
+  PEF_CHECK_MSG(
+      !(options_.dispatch == ComputeDispatch::kKernel && !kernel_),
+      "kernel dispatch requested but the algorithm provides no kernel");
+
+  occ_.assign(ring_.node_count(), 0);
+  edges_ = EdgeSet(ring_.edge_count());
+  visit_counts_.assign(ring_.node_count(), 0);
+  last_visit_.assign(ring_.node_count(), 0);
+  visited_.assign(ring_.node_count(), 0);
+
+  const auto k = static_cast<std::uint32_t>(placements.size());
+  node_.reserve(k);
+  dir_.reserve(k);
+  right_cw_.reserve(k);
+  moved_.assign(k, 0);
+  if (kernel_) {
+    kstates_.resize(k);
+  } else {
+    states_.reserve(k);
+  }
+  for (std::uint32_t i = 0; i < k; ++i) {
+    PEF_CHECK(ring_.is_valid_node(placements[i].node));
+    node_.push_back(placements[i].node);
+    dir_.push_back(static_cast<std::uint8_t>(LocalDirection::kLeft));
+    right_cw_.push_back(placements[i].chirality.right_is_clockwise() ? 1 : 0);
+    if (kernel_) {
+      init_kernel_state(*kernel_, static_cast<RobotId>(i), kstates_[i]);
+    } else {
+      states_.push_back(algorithm_->make_state(static_cast<RobotId>(i)));
+    }
+    if (++occ_[placements[i].node] == 2) ++multi_nodes_;
+  }
+
+  observe_boundary(0);
+  if (options_.record_trace) {
+    trace_ = std::make_unique<Trace>(ring_, snapshot());
+  }
+}
+
+const AlgorithmState& Engine::robot_state(RobotId r) const {
+  PEF_CHECK_MSG(!kernel_,
+                "robot_state() is only available under virtual dispatch");
+  return *states_[r];
+}
+
+Phase Engine::phase_of(RobotId r) const {
+  PEF_CHECK_MSG(model_ == ExecutionModel::kAsync,
+                "phase_of() is only available on ASYNC engines");
+  return phases_[r];
+}
+
+Adversary& Engine::adversary() {
+  PEF_CHECK_MSG(model_ == ExecutionModel::kFsync,
+                "adversary() is only available on FSYNC engines");
+  return *adversary_;
+}
+
+Configuration Engine::snapshot() const {
+  std::vector<RobotSnapshot> snaps;
+  snaps.reserve(node_.size());
+  for (std::size_t i = 0; i < node_.size(); ++i) {
+    RobotSnapshot s;
+    s.node = node_[i];
+    s.dir = static_cast<LocalDirection>(dir_[i]);
+    s.chirality = Chirality(right_cw_[i] != 0);
+    snaps.push_back(std::move(s));
+  }
+  return Configuration(ring_, std::move(snaps));
+}
+
+void Engine::observe_boundary(Time t) {
+  const std::uint32_t n = ring_.node_count();
+  for (const NodeId u : node_) {
+    ++visit_counts_[u];
+    if (visited_[u]) {
+      const Time gap = t - last_visit_[u];
+      max_closed_gap_ = std::max(max_closed_gap_, gap);
+    } else {
+      visited_[u] = 1;
+      if (++stats_.visited_node_count == n && !stats_.cover_time) {
+        stats_.cover_time = t;
+      }
+    }
+    last_visit_[u] = t;
+  }
+  if (multi_nodes_ > 0) {
+    ++stats_.tower_rounds;
+    if (!prev_had_tower_) ++stats_.tower_formations;
+    prev_had_tower_ = true;
+  } else {
+    prev_had_tower_ = false;
+  }
+}
+
+Engine::RobotFrame Engine::frame_of(RobotId i) const {
+  const NodeId u = node_[i];
+  const bool dir_right = dir_[i] != 0;
+  // to_global(dir): right == right_is_clockwise ? cw : ccw.
+  const bool ahead_cw = dir_right == (right_cw_[i] != 0);
+  const EdgeId edge_cw = u;
+  const EdgeId edge_ccw = u == 0 ? ring_.node_count() - 1 : u - 1;
+  return {u, ahead_cw, ahead_cw ? edge_cw : edge_ccw,
+          ahead_cw ? edge_ccw : edge_cw};
+}
+
+View Engine::look(const RobotFrame& frame) const {
+  View view;
+  view.exists_edge_ahead = edges_.contains_unchecked(frame.ahead);
+  view.exists_edge_behind = edges_.contains_unchecked(frame.behind);
+  view.other_robots_on_node = occ_[frame.node] > 1;
+  return view;
+}
+
+bool Engine::apply_move(RobotId i, bool ahead_cw, EdgeId pointed) {
+  if (!edges_.contains_unchecked(pointed)) return false;
+  const std::uint32_t n = ring_.node_count();
+  const NodeId u = node_[i];
+  const NodeId to =
+      ahead_cw ? (u + 1 == n ? 0 : u + 1) : (u == 0 ? n - 1 : u - 1);
+  if (--occ_[u] == 1) --multi_nodes_;
+  if (++occ_[to] == 2) ++multi_nodes_;
+  node_[i] = to;
+  ++stats_.total_moves;
+  return true;
+}
+
+void Engine::step() {
+  switch (model_) {
+    case ExecutionModel::kFsync:
+      step_fsync();
+      break;
+    case ExecutionModel::kSsync:
+      step_ssync();
+      break;
+    case ExecutionModel::kAsync:
+      step_async();
+      break;
+  }
+  ++now_;
+  stats_.rounds = now_;
+  observe_boundary(now_);
+}
+
+void Engine::step_fsync() {
+  if (kernel_) {
+    with_kernel_id(kernel_->id, [&]<KernelId Id>() {
+      step_fsync_impl(KernelCompute<Id>{&*kernel_, kstates_.data()});
+    });
+  } else {
+    step_fsync_impl(VirtualCompute{algorithm_.get(), states_.data()});
+  }
+}
+
+void Engine::step_ssync() {
+  if (kernel_) {
+    with_kernel_id(kernel_->id, [&]<KernelId Id>() {
+      step_ssync_impl(KernelCompute<Id>{&*kernel_, kstates_.data()});
+    });
+  } else {
+    step_ssync_impl(VirtualCompute{algorithm_.get(), states_.data()});
+  }
+}
+
+void Engine::step_async() {
+  if (kernel_) {
+    with_kernel_id(kernel_->id, [&]<KernelId Id>() {
+      step_async_impl(KernelCompute<Id>{&*kernel_, kstates_.data()});
+    });
+  } else {
+    step_async_impl(VirtualCompute{algorithm_.get(), states_.data()});
+  }
+}
+
+template <typename ComputeFn>
+void Engine::step_fsync_impl(const ComputeFn& compute_fn) {
+  const auto k = static_cast<std::uint32_t>(node_.size());
+
+  // Adversary: E_t.  Oblivious schedules refill the scratch set in place.
+  if (schedule_ != nullptr) {
+    schedule_->edges_into(now_, edges_);
+  } else {
+    edges_ = adversary_->choose_edges(now_, *gamma_mirror_);
+    PEF_CHECK(edges_.edge_count() == ring_.edge_count());
+  }
+
+  RoundRecord record;
+  const bool tracing = trace_ != nullptr;
+  if (tracing) {
+    record.time = now_;
+    record.edges = edges_;
+    record.robots.resize(k);
+  }
+
+  // Look + Compute.  The Look phase reads only node_/occ_/edges_, none of
+  // which change before Move, so fusing the two phases preserves the
+  // synchronous semantics; Compute writes only the robot's own dir/state.
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const View view = look(frame_of(i));
+
+    if (tracing) {
+      record.robots[i].node_before = node_[i];
+      record.robots[i].dir_before = static_cast<LocalDirection>(dir_[i]);
+      record.robots[i].saw_other_robots = view.other_robots_on_node;
+    }
+
+    LocalDirection dir = static_cast<LocalDirection>(dir_[i]);
+    compute_fn(i, view, dir);
+    dir_[i] = static_cast<std::uint8_t>(dir);
+    if (tracing) record.robots[i].dir_after = dir;
+  }
+
+  // Move: cross the pointed edge iff present in E_t (same set all round).
+  // Sequential in-place update is safe: Look already happened for everyone.
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const RobotFrame frame = frame_of(i);
+    const bool moved = apply_move(i, frame.ahead_cw, frame.ahead);
+    moved_[i] = moved ? 1 : 0;
+    if (tracing) {
+      record.robots[i].moved = moved;
+      record.robots[i].node_after = node_[i];
+    }
+  }
+
+  // Keep the adaptive adversary's gamma mirror current (it must equal the
+  // configuration at the start of the next round).
+  if (gamma_mirror_) {
+    for (std::uint32_t i = 0; i < k; ++i) {
+      gamma_mirror_->set_robot_dir(i, static_cast<LocalDirection>(dir_[i]));
+      if (moved_[i]) gamma_mirror_->relocate_robot(i, node_[i]);
+    }
+  }
+
+  if (tracing) trace_->append(std::move(record));
+}
+
+template <typename ComputeFn>
+void Engine::step_ssync_impl(const ComputeFn& compute_fn) {
+  const auto k = static_cast<std::uint32_t>(node_.size());
+
+  activation_->activate(now_, *gamma_mirror_, mask_);
+  PEF_CHECK(mask_.size() == k);
+  ssync_adversary_->choose_edges_into(now_, *gamma_mirror_, mask_, edges_);
+  PEF_CHECK(edges_.edge_count() == ring_.edge_count());
+
+  RoundRecord record;
+  const bool tracing = trace_ != nullptr;
+  if (tracing) {
+    record.time = now_;
+    record.edges = edges_;
+    record.robots.resize(k);
+  }
+
+  // Look + Compute for the activated subset.  As in FSYNC, every activated
+  // robot's Look reads the start-of-round configuration (occ_/node_ are
+  // untouched until the Move pass below).
+  for (std::uint32_t i = 0; i < k; ++i) {
+    if (tracing) {
+      record.robots[i].node_before = node_[i];
+      record.robots[i].dir_before = static_cast<LocalDirection>(dir_[i]);
+      record.robots[i].node_after = node_[i];
+      record.robots[i].dir_after = static_cast<LocalDirection>(dir_[i]);
+    }
+    if (mask_[i] == 0) continue;
+
+    const View view = look(frame_of(i));
+    if (tracing) record.robots[i].saw_other_robots = view.other_robots_on_node;
+
+    LocalDirection dir = static_cast<LocalDirection>(dir_[i]);
+    compute_fn(i, view, dir);
+    dir_[i] = static_cast<std::uint8_t>(dir);
+    gamma_mirror_->set_robot_dir(i, dir);
+    if (tracing) record.robots[i].dir_after = dir;
+  }
+
+  // Move for the activated subset.
+  for (std::uint32_t i = 0; i < k; ++i) {
+    if (mask_[i] == 0) continue;
+    const RobotFrame frame = frame_of(i);
+    if (apply_move(i, frame.ahead_cw, frame.ahead)) {
+      gamma_mirror_->relocate_robot(i, node_[i]);
+      if (tracing) record.robots[i].moved = true;
+    }
+    if (tracing) record.robots[i].node_after = node_[i];
+  }
+
+  if (tracing) trace_->append(std::move(record));
+}
+
+template <typename ComputeFn>
+void Engine::step_async_impl(const ComputeFn& compute_fn) {
+  const auto k = static_cast<std::uint32_t>(node_.size());
+
+  phase_scheduler_->advance(now_, *gamma_mirror_, phases_, mask_);
+  PEF_CHECK(mask_.size() == k);
+
+  // The adversary sees which robots fire their Move phase this tick (the
+  // only phase that interacts with edges).
+  moving_.assign(k, 0);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    moving_[i] = (mask_[i] != 0 && phases_[i] == Phase::kMove) ? 1 : 0;
+  }
+  ssync_adversary_->choose_edges_into(now_, *gamma_mirror_, moving_, edges_);
+  PEF_CHECK(edges_.edge_count() == ring_.edge_count());
+
+  RoundRecord record;
+  const bool tracing = trace_ != nullptr;
+  if (tracing) {
+    record.time = now_;
+    record.edges = edges_;
+    record.robots.resize(k);
+  }
+
+  // Pass 1: Look and Compute phases.  No robot has moved yet this tick, so
+  // occ_ is exactly the tick-start occupancy every Look must see; Move
+  // phases (precomputed in moving_) run in pass 2.
+  for (std::uint32_t i = 0; i < k; ++i) {
+    if (tracing) {
+      record.robots[i].node_before = node_[i];
+      record.robots[i].dir_before = static_cast<LocalDirection>(dir_[i]);
+      record.robots[i].node_after = node_[i];
+      record.robots[i].dir_after = static_cast<LocalDirection>(dir_[i]);
+    }
+    if (mask_[i] == 0 || moving_[i] != 0) continue;
+
+    if (phases_[i] == Phase::kLook) {
+      // Snapshot against the CURRENT edge set and configuration; the view
+      // may be stale by the time Compute / Move execute.
+      const View view = look(frame_of(i));
+      pending_views_[i] = view;
+      if (tracing) {
+        record.robots[i].saw_other_robots = view.other_robots_on_node;
+      }
+      phases_[i] = Phase::kCompute;
+    } else {  // Phase::kCompute
+      LocalDirection dir = static_cast<LocalDirection>(dir_[i]);
+      compute_fn(i, pending_views_[i], dir);
+      dir_[i] = static_cast<std::uint8_t>(dir);
+      gamma_mirror_->set_robot_dir(i, dir);
+      if (tracing) record.robots[i].dir_after = dir;
+      phases_[i] = Phase::kMove;
+    }
+  }
+
+  // Pass 2: Move phases.
+  for (std::uint32_t i = 0; i < k; ++i) {
+    if (moving_[i] == 0) continue;
+    const RobotFrame frame = frame_of(i);
+    if (apply_move(i, frame.ahead_cw, frame.ahead)) {
+      gamma_mirror_->relocate_robot(i, node_[i]);
+      if (tracing) record.robots[i].moved = true;
+    }
+    if (tracing) record.robots[i].node_after = node_[i];
+    phases_[i] = Phase::kLook;
+  }
+
+  if (tracing) trace_->append(std::move(record));
+}
+
+void Engine::run(Time rounds) {
+  for (Time i = 0; i < rounds; ++i) step();
+}
+
+CoverageReport Engine::coverage_report(Time suffix_window) const {
+  const std::uint32_t n = ring_.node_count();
+  CoverageReport report;
+  report.horizon = now_;
+  report.suffix_window = suffix_window == 0 ? now_ / 4 + 1 : suffix_window;
+  report.visit_counts = visit_counts_;
+  report.visited_node_count = stats_.visited_node_count;
+  report.cover_time = stats_.cover_time;
+  report.max_closed_gap = max_closed_gap_;
+
+  const Time suffix_start =
+      now_ >= report.suffix_window ? now_ - report.suffix_window : 0;
+  for (NodeId u = 0; u < n; ++u) {
+    const Time open_gap = visited_[u] ? now_ - last_visit_[u] : now_;
+    report.max_revisit_gap =
+        std::max({report.max_revisit_gap, report.max_closed_gap, open_gap});
+    if (visited_[u] && last_visit_[u] >= suffix_start) {
+      ++report.nodes_visited_in_suffix;
+    }
+  }
+  return report;
+}
+
+}  // namespace pef

@@ -1,0 +1,306 @@
+// Engine — the unified throughput execution core.
+//
+// One engine, three execution models (the paper's Section 1 taxonomy), two
+// Compute dispatch paths:
+//
+//   model axis (ExecutionModel):
+//     FSYNC - every robot runs an atomic Look-Compute-Move every round
+//             (the paper's model; reference: scheduler/Simulator);
+//     SSYNC - an ActivationPolicy selects a subset each round, only
+//             selected robots run L-C-M (reference: SsyncSimulator);
+//     ASYNC - a PhaseScheduler advances each robot through its own
+//             Look / Compute / Move machine one phase per tick, with
+//             possibly-stale views (reference: AsyncSimulator).
+//
+//   dispatch axis (ComputeDispatch):
+//     kernel  - the algorithm's devirtualized twin (robot/kernel.hpp,
+//               algorithms/kernels.hpp): enum-dispatched compute over POD
+//               state held in one contiguous vector;
+//     virtual - the canonical Algorithm interface (heap AlgorithmState,
+//               virtual compute), kept as the reference path.
+//
+// Differential tests (tests/fast_engine_test.cpp and
+// tests/unified_engine_test.cpp) pin every (model, dispatch) combination to
+// its reference engine round-by-round, so any cell of the cross product can
+// be used interchangeably — the engine is simply faster:
+//
+//   * struct-of-arrays robot state: parallel vectors for node, local dir,
+//     chirality and (kernel path) POD algorithm memory;
+//   * a per-node occupancy histogram maintained incrementally, making the
+//     Look phase's multiplicity predicate O(1) per robot;
+//   * a reusable EdgeSet scratch buffer: oblivious schedules and SSYNC
+//     adversaries refill it in place (choose_edges_into) — zero allocation
+//     per round;
+//   * reusable activation/phase masks: policies fill a persistent byte
+//     buffer instead of returning a fresh vector<bool> per round;
+//   * one persistent Configuration mirror updated in place (O(moves) per
+//     round) for adaptive adversaries and SSYNC/ASYNC policies, never a
+//     fresh snapshot per round;
+//   * snapshot() / trace materialization only on demand — with trace
+//     recording off, the engine keeps only O(n + k) state and a handful of
+//     incrementally maintained aggregates.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adversary/adversary.hpp"
+#include "analysis/coverage.hpp"
+#include "common/types.hpp"
+#include "robot/algorithm.hpp"
+#include "robot/kernel.hpp"
+#include "robot/robot.hpp"
+#include "scheduler/async.hpp"
+#include "scheduler/ssync.hpp"
+#include "scheduler/trace.hpp"
+
+namespace pef {
+
+/// The activation model an Engine runs (the paper's Section 1 taxonomy).
+enum class ExecutionModel : std::uint8_t {
+  kFsync = 0,
+  kSsync = 1,
+  kAsync = 2,
+};
+
+[[nodiscard]] constexpr const char* to_string(ExecutionModel m) {
+  switch (m) {
+    case ExecutionModel::kFsync:
+      return "fsync";
+    case ExecutionModel::kSsync:
+      return "ssync";
+    case ExecutionModel::kAsync:
+      return "async";
+  }
+  return "?";
+}
+
+/// Parse "fsync" | "ssync" | "async"; nullopt on anything else.
+[[nodiscard]] std::optional<ExecutionModel> parse_execution_model(
+    const std::string& name);
+
+/// How the engine runs the Compute phase.
+enum class ComputeDispatch : std::uint8_t {
+  /// Kernel when the algorithm provides one, else virtual (the default).
+  kAuto = 0,
+  /// Devirtualized kernel; constructing an Engine for an algorithm without
+  /// a kernel aborts.
+  kKernel = 1,
+  /// The canonical virtual Algorithm path.
+  kVirtual = 2,
+};
+
+[[nodiscard]] constexpr const char* to_string(ComputeDispatch d) {
+  switch (d) {
+    case ComputeDispatch::kAuto:
+      return "auto";
+    case ComputeDispatch::kKernel:
+      return "kernel";
+    case ComputeDispatch::kVirtual:
+      return "virtual";
+  }
+  return "?";
+}
+
+struct EngineOptions {
+  /// Record a full Trace (positions, dirs, edge sets per round).  Off by
+  /// default: the engine's niche is long timing sweeps; flip it on when the
+  /// run feeds trace-based analysis (towers, legality audits, rendering).
+  bool record_trace = false;
+
+  /// Enforce the paper's well-initiated execution requirements: strictly
+  /// fewer robots than nodes and a towerless initial configuration.
+  bool enforce_well_initiated = true;
+
+  /// Compute dispatch path; kAuto picks the kernel whenever the algorithm
+  /// has one.
+  ComputeDispatch dispatch = ComputeDispatch::kAuto;
+};
+
+/// Aggregates the engine maintains incrementally every round, so sweeps get
+/// their metrics without recording a trace.  Visit semantics match
+/// analyze_coverage(): configuration times 0..rounds, one visit per robot.
+struct EngineStats {
+  Time rounds = 0;
+  std::uint64_t total_moves = 0;
+  /// Configuration times (of rounds+1 many) at which some node held >= 2
+  /// robots.
+  Time tower_rounds = 0;
+  /// Number of towered episodes: maximal runs of consecutive boundaries at
+  /// which some tower existed (a transition from a towerless boundary to a
+  /// towered one counts 1).  Coarser than analyze_towers'
+  /// tower_formation_count, which tracks per-node / per-robot-set events —
+  /// use a recorded trace when that granularity matters.
+  std::uint64_t tower_formations = 0;
+  std::uint32_t visited_node_count = 0;
+  std::optional<Time> cover_time;
+};
+
+class Engine {
+ public:
+  /// FSYNC: every robot, every round, against a (possibly adaptive)
+  /// FSYNC adversary.
+  Engine(Ring ring, AlgorithmPtr algorithm, AdversaryPtr adversary,
+         const std::vector<RobotPlacement>& placements,
+         EngineOptions options = {});
+
+  /// SSYNC: `activation` selects the L-C-M subset each round; the adversary
+  /// sees the configuration and the activation mask.
+  Engine(Ring ring, AlgorithmPtr algorithm,
+         std::unique_ptr<SsyncAdversary> adversary,
+         std::unique_ptr<ActivationPolicy> activation,
+         const std::vector<RobotPlacement>& placements,
+         EngineOptions options = {});
+
+  /// ASYNC: `phases` advances per-robot Look/Compute/Move machines one
+  /// phase per tick; the adversary sees the set of robots whose Move fires.
+  Engine(Ring ring, AlgorithmPtr algorithm,
+         std::unique_ptr<SsyncAdversary> adversary,
+         std::unique_ptr<PhaseScheduler> phases,
+         const std::vector<RobotPlacement>& placements,
+         EngineOptions options = {});
+
+  /// Execute one round (FSYNC/SSYNC) or one scheduler tick (ASYNC).
+  void step();
+
+  /// Execute `rounds` further rounds/ticks.
+  void run(Time rounds);
+
+  [[nodiscard]] ExecutionModel model() const { return model_; }
+  /// True when Compute runs through the devirtualized kernel path.
+  [[nodiscard]] bool kernel_dispatch() const { return kernel_.has_value(); }
+
+  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] const Ring& ring() const { return ring_; }
+  [[nodiscard]] std::uint32_t robot_count() const {
+    return static_cast<std::uint32_t>(node_.size());
+  }
+
+  [[nodiscard]] NodeId robot_node(RobotId r) const { return node_[r]; }
+  [[nodiscard]] LocalDirection robot_dir(RobotId r) const {
+    return static_cast<LocalDirection>(dir_[r]);
+  }
+  [[nodiscard]] Chirality robot_chirality(RobotId r) const {
+    return Chirality(right_cw_[r] != 0);
+  }
+  /// Persistent algorithm memory of robot `r` — virtual dispatch only (the
+  /// kernel path stores POD KernelState instead).
+  [[nodiscard]] const AlgorithmState& robot_state(RobotId r) const;
+  /// Pending phase of robot `r` — ASYNC only.
+  [[nodiscard]] Phase phase_of(RobotId r) const;
+
+  /// Robots currently on node `u` — O(1) from the occupancy histogram.
+  [[nodiscard]] std::uint32_t robots_on(NodeId u) const { return occ_[u]; }
+
+  /// Materialize the current configuration (the gamma at the start of the
+  /// next round).  On-demand: costs O(k), the hot loop never calls it.
+  [[nodiscard]] Configuration snapshot() const;
+
+  /// Incrementally maintained aggregates (always available).
+  [[nodiscard]] const EngineStats& stats() const { return stats_; }
+
+  /// Coverage report equivalent to analyze_coverage(trace) but computed from
+  /// the incremental per-node bookkeeping — available without a trace.
+  [[nodiscard]] CoverageReport coverage_report(Time suffix_window = 0) const;
+
+  /// Only valid when options.record_trace was set.
+  [[nodiscard]] const Trace& trace() const { return *trace_; }
+  [[nodiscard]] bool recording_trace() const { return trace_ != nullptr; }
+
+  /// The FSYNC adversary — FSYNC model only.
+  [[nodiscard]] Adversary& adversary();
+
+ private:
+  void init(const std::vector<RobotPlacement>& placements);
+  void observe_boundary(Time t);  // visit/tower bookkeeping at config time t
+  /// The step_* entry points dispatch ONCE per round on the kernel id and
+  /// instantiate the corresponding *_impl loop: under kernel dispatch the
+  /// algorithm's compute inlines into the loop body (no per-robot branch or
+  /// indirect call); under virtual dispatch ComputeFn wraps the canonical
+  /// Algorithm::compute call.
+  void step_fsync();
+  void step_ssync();
+  void step_async();
+  template <typename ComputeFn>
+  void step_fsync_impl(const ComputeFn& compute_fn);
+  template <typename ComputeFn>
+  void step_ssync_impl(const ComputeFn& compute_fn);
+  template <typename ComputeFn>
+  void step_async_impl(const ComputeFn& compute_fn);
+
+  /// Robot `i`'s chirality-resolved geometry at its current node/dir: the
+  /// single source of the ahead/behind edge mapping every Look and Move
+  /// block shares (ahead == the pointed edge).
+  struct RobotFrame {
+    NodeId node;
+    bool ahead_cw;
+    EdgeId ahead;
+    EdgeId behind;
+  };
+  [[nodiscard]] RobotFrame frame_of(RobotId i) const;
+  /// The Look-phase snapshot of robot `i` against the current E_t and
+  /// occupancy.
+  [[nodiscard]] View look(const RobotFrame& frame) const;
+  /// Apply the Move phase for robot `i`: cross `pointed` if present,
+  /// keeping occupancy, stats and the gamma mirror consistent.  Returns
+  /// whether the robot moved.
+  bool apply_move(RobotId i, bool ahead_cw, EdgeId pointed);
+
+  Ring ring_;
+  AlgorithmPtr algorithm_;
+  ExecutionModel model_ = ExecutionModel::kFsync;
+  EngineOptions options_;
+  Time now_ = 0;
+
+  // FSYNC adversary (model == kFsync).
+  AdversaryPtr adversary_;
+  // SSYNC/ASYNC adversary and schedulers.
+  std::unique_ptr<SsyncAdversary> ssync_adversary_;
+  std::unique_ptr<ActivationPolicy> activation_;
+  std::unique_ptr<PhaseScheduler> phase_scheduler_;
+
+  // Struct-of-arrays robot state.
+  std::vector<NodeId> node_;
+  std::vector<std::uint8_t> dir_;       // LocalDirection
+  std::vector<std::uint8_t> right_cw_;  // Chirality::right_is_clockwise
+  // Algorithm memory: exactly one of the two is populated.
+  std::vector<std::unique_ptr<AlgorithmState>> states_;  // virtual dispatch
+  std::optional<KernelSpec> kernel_;                     // kernel dispatch
+  std::vector<KernelState> kstates_;
+
+  // ASYNC phase machines + pending Look views.
+  std::vector<Phase> phases_;
+  std::vector<View> pending_views_;
+
+  // Occupancy histogram + number of nodes currently holding >= 2 robots.
+  std::vector<std::uint32_t> occ_;
+  std::uint32_t multi_nodes_ = 0;
+  bool prev_had_tower_ = false;
+
+  // Reused per-round scratch.
+  EdgeSet edges_;                    // E_t
+  std::vector<std::uint8_t> moved_;  // per-robot moved flag (trace path)
+  ActivationMask mask_;              // SSYNC activation / ASYNC advancing
+  ActivationMask moving_;            // ASYNC: Move phases firing this tick
+
+  // Oblivious FSYNC fast path: when the adversary is an ObliviousAdversary
+  // we call the schedule's in-place fill directly and never touch
+  // gamma_mirror_.
+  const EdgeSchedule* schedule_ = nullptr;
+  // Persistent configuration mirror: FSYNC adaptive adversaries, and every
+  // SSYNC/ASYNC run (policies and adversaries see gamma each round).
+  std::unique_ptr<Configuration> gamma_mirror_;
+
+  // Incremental coverage bookkeeping (analyze_coverage semantics).
+  std::vector<std::uint64_t> visit_counts_;
+  std::vector<Time> last_visit_;
+  std::vector<std::uint8_t> visited_;
+  Time max_closed_gap_ = 0;
+  EngineStats stats_;
+
+  std::unique_ptr<Trace> trace_;
+};
+
+}  // namespace pef

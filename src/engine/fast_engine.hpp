@@ -1,157 +1,18 @@
-// FastEngine — the throughput-oriented FSYNC execution engine.
+// Compatibility shim: FastEngine is the unified Engine (engine/engine.hpp)
+// run in its default FSYNC configuration.
 //
-// Semantically identical to scheduler/Simulator (the reference
-// implementation; tests/fast_engine_test.cpp asserts exact round-by-round
-// equality), but laid out for speed:
-//
-//   * struct-of-arrays robot state: parallel vectors for node, local dir and
-//     chirality instead of an array of Robot objects;
-//   * a per-node occupancy histogram maintained incrementally, making the
-//     Look phase's multiplicity predicate O(1) per robot;
-//   * a reusable EdgeSet scratch buffer: oblivious adversaries fill it in
-//     place via EdgeSchedule::edges_into (zero allocation per round);
-//   * the adaptive-adversary Configuration is one persistent mirror updated
-//     in place (O(moves) per round), not a fresh snapshot per round;
-//   * unchecked bitset accessors on the edge-presence hot path (edge ids
-//     come from Ring::adjacent_edge, which is total on valid nodes);
-//   * snapshot() / trace materialization only on demand — with trace
-//     recording off, the engine keeps only O(n + k) state and a handful of
-//     incrementally maintained aggregates.
-//
-// Use Simulator when you need a canonical, obviously-correct reference or a
-// full Trace by default; use FastEngine for sweeps, benches and anything
-// where rounds/sec matters.
+// PR 1 introduced FastEngine as a dedicated FSYNC throughput engine; the
+// execution-model unification folded its round core into Engine, which runs
+// FSYNC, SSYNC and ASYNC (and both virtual and devirtualized-kernel Compute
+// dispatch) over the same SoA state.  Existing call sites keep compiling
+// against these aliases; new code should name Engine directly.
 #pragma once
 
-#include <memory>
-#include <optional>
-#include <vector>
-
-#include "adversary/adversary.hpp"
-#include "analysis/coverage.hpp"
-#include "common/types.hpp"
-#include "robot/algorithm.hpp"
-#include "robot/robot.hpp"
-#include "scheduler/trace.hpp"
+#include "engine/engine.hpp"
 
 namespace pef {
 
-struct FastEngineOptions {
-  /// Record a full Trace (positions, dirs, edge sets per round).  Off by
-  /// default: the engine's niche is long timing sweeps; flip it on when the
-  /// run feeds trace-based analysis (towers, legality audits, rendering).
-  bool record_trace = false;
-
-  /// Enforce the paper's well-initiated execution requirements: strictly
-  /// fewer robots than nodes and a towerless initial configuration.
-  bool enforce_well_initiated = true;
-};
-
-/// Aggregates the engine maintains incrementally every round, so sweeps get
-/// their metrics without recording a trace.  Visit semantics match
-/// analyze_coverage(): configuration times 0..rounds, one visit per robot.
-struct EngineStats {
-  Time rounds = 0;
-  std::uint64_t total_moves = 0;
-  /// Configuration times (of rounds+1 many) at which some node held >= 2
-  /// robots.
-  Time tower_rounds = 0;
-  /// Number of towered episodes: maximal runs of consecutive boundaries at
-  /// which some tower existed (a transition from a towerless boundary to a
-  /// towered one counts 1).  Coarser than analyze_towers'
-  /// tower_formation_count, which tracks per-node / per-robot-set events —
-  /// use a recorded trace when that granularity matters.
-  std::uint64_t tower_formations = 0;
-  std::uint32_t visited_node_count = 0;
-  std::optional<Time> cover_time;
-};
-
-class FastEngine {
- public:
-  FastEngine(Ring ring, AlgorithmPtr algorithm, AdversaryPtr adversary,
-             const std::vector<RobotPlacement>& placements,
-             FastEngineOptions options = {});
-
-  /// Execute one synchronous Look-Compute-Move round.
-  void step();
-
-  /// Execute `rounds` further rounds.
-  void run(Time rounds);
-
-  [[nodiscard]] Time now() const { return now_; }
-  [[nodiscard]] const Ring& ring() const { return ring_; }
-  [[nodiscard]] std::uint32_t robot_count() const {
-    return static_cast<std::uint32_t>(node_.size());
-  }
-
-  [[nodiscard]] NodeId robot_node(RobotId r) const { return node_[r]; }
-  [[nodiscard]] LocalDirection robot_dir(RobotId r) const {
-    return static_cast<LocalDirection>(dir_[r]);
-  }
-  [[nodiscard]] Chirality robot_chirality(RobotId r) const {
-    return Chirality(right_cw_[r] != 0);
-  }
-  [[nodiscard]] const AlgorithmState& robot_state(RobotId r) const {
-    return *states_[r];
-  }
-
-  /// Robots currently on node `u` — O(1) from the occupancy histogram.
-  [[nodiscard]] std::uint32_t robots_on(NodeId u) const { return occ_[u]; }
-
-  /// Materialize the current configuration (the gamma at the start of the
-  /// next round).  On-demand: costs O(k), the hot loop never calls it.
-  [[nodiscard]] Configuration snapshot() const;
-
-  /// Incrementally maintained aggregates (always available).
-  [[nodiscard]] const EngineStats& stats() const { return stats_; }
-
-  /// Coverage report equivalent to analyze_coverage(trace) but computed from
-  /// the incremental per-node bookkeeping — available without a trace.
-  [[nodiscard]] CoverageReport coverage_report(Time suffix_window = 0) const;
-
-  /// Only valid when options.record_trace was set.
-  [[nodiscard]] const Trace& trace() const { return *trace_; }
-  [[nodiscard]] bool recording_trace() const { return trace_ != nullptr; }
-
-  [[nodiscard]] Adversary& adversary() { return *adversary_; }
-
- private:
-  void observe_boundary(Time t);  // visit/tower bookkeeping at config time t
-
-  Ring ring_;
-  AlgorithmPtr algorithm_;
-  AdversaryPtr adversary_;
-  FastEngineOptions options_;
-  Time now_ = 0;
-
-  // Struct-of-arrays robot state.
-  std::vector<NodeId> node_;
-  std::vector<std::uint8_t> dir_;       // LocalDirection
-  std::vector<std::uint8_t> right_cw_;  // Chirality::right_is_clockwise
-  std::vector<std::unique_ptr<AlgorithmState>> states_;
-
-  // Occupancy histogram + number of nodes currently holding >= 2 robots.
-  std::vector<std::uint32_t> occ_;
-  std::uint32_t multi_nodes_ = 0;
-  bool prev_had_tower_ = false;
-
-  // Reused per-round scratch.
-  EdgeSet edges_;                  // E_t
-  std::vector<std::uint8_t> moved_;  // per-robot moved flag (trace path)
-
-  // Oblivious fast path: when the adversary is an ObliviousAdversary we call
-  // the schedule's in-place fill directly and never touch gamma_mirror_.
-  const EdgeSchedule* schedule_ = nullptr;
-  std::unique_ptr<Configuration> gamma_mirror_;  // adaptive adversaries only
-
-  // Incremental coverage bookkeeping (analyze_coverage semantics).
-  std::vector<std::uint64_t> visit_counts_;
-  std::vector<Time> last_visit_;
-  std::vector<std::uint8_t> visited_;
-  Time max_closed_gap_ = 0;
-  EngineStats stats_;
-
-  std::unique_ptr<Trace> trace_;
-};
+using FastEngine = Engine;
+using FastEngineOptions = EngineOptions;
 
 }  // namespace pef

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <optional>
 #include <thread>
 
 #include "algorithms/registry.hpp"
@@ -18,6 +19,7 @@ namespace {
 struct CellTask {
   std::size_t algorithm_index = 0;
   std::size_t adversary_index = 0;
+  std::size_t model_index = 0;
   std::uint32_t nodes = 0;
   std::uint32_t robots = 0;
   std::uint64_t seed = 0;
@@ -27,11 +29,13 @@ std::vector<CellTask> enumerate_cells(const SweepGrid& grid) {
   std::vector<CellTask> tasks;
   for (std::size_t a = 0; a < grid.algorithms.size(); ++a) {
     for (std::size_t d = 0; d < grid.adversaries.size(); ++d) {
-      for (const std::uint32_t n : grid.ring_sizes) {
-        for (const std::uint32_t k : grid.robot_counts) {
-          if (k == 0 || k >= n) continue;  // not well-initiated
-          for (const std::uint64_t seed : grid.seeds) {
-            tasks.push_back({a, d, n, k, seed});
+      for (std::size_t m = 0; m < grid.models.size(); ++m) {
+        for (const std::uint32_t n : grid.ring_sizes) {
+          for (const std::uint32_t k : grid.robot_counts) {
+            if (k == 0 || k >= n) continue;  // not well-initiated
+            for (const std::uint64_t seed : grid.seeds) {
+              tasks.push_back({a, d, m, n, k, seed});
+            }
           }
         }
       }
@@ -44,12 +48,13 @@ SweepCell run_cell(const SweepGrid& grid, const CellTask& task) {
   SweepCell cell;
   cell.algorithm = grid.algorithms[task.algorithm_index];
   cell.adversary = grid.adversaries[task.adversary_index].name;
+  cell.model = grid.models[task.model_index];
   cell.nodes = task.nodes;
   cell.robots = task.robots;
   cell.seed = task.seed;
   cell.effective_seed =
       effective_seed(task.seed, task.algorithm_index, task.adversary_index,
-                     task.nodes, task.robots);
+                     task.nodes, task.robots, task.model_index);
   cell.horizon = grid.horizon_for(task.nodes);
 
   const Ring ring(task.nodes);
@@ -59,11 +64,33 @@ SweepCell run_cell(const SweepGrid& grid, const CellTask& task) {
                               derive_seed(cell.effective_seed, 0x91ace))
           : spread_placements(ring, task.robots);
 
+  AlgorithmPtr algorithm = make_algorithm(cell.algorithm, cell.effective_seed);
+  AdversaryPtr adversary =
+      grid.adversaries[task.adversary_index].make(ring, cell.effective_seed);
+
   const auto start = std::chrono::steady_clock::now();
-  FastEngine engine(
-      ring, make_algorithm(cell.algorithm, cell.effective_seed),
-      grid.adversaries[task.adversary_index].make(ring, cell.effective_seed),
-      placements);
+  std::optional<Engine> engine_slot;
+  switch (cell.model) {
+    case ExecutionModel::kFsync:
+      engine_slot.emplace(ring, std::move(algorithm), std::move(adversary),
+                          placements);
+      break;
+    case ExecutionModel::kSsync:
+      engine_slot.emplace(
+          ring, std::move(algorithm),
+          std::make_unique<SsyncFromFsyncAdversary>(std::move(adversary)),
+          standard_ssync_activation(grid.activation_p, cell.effective_seed),
+          placements);
+      break;
+    case ExecutionModel::kAsync:
+      engine_slot.emplace(
+          ring, std::move(algorithm),
+          std::make_unique<SsyncFromFsyncAdversary>(std::move(adversary)),
+          standard_async_phases(grid.activation_p, cell.effective_seed),
+          placements);
+      break;
+  }
+  Engine& engine = *engine_slot;
   engine.run(cell.horizon);
   const auto stop = std::chrono::steady_clock::now();
 
@@ -86,11 +113,14 @@ SweepCell run_cell(const SweepGrid& grid, const CellTask& task) {
 std::uint64_t effective_seed(std::uint64_t grid_seed,
                              std::size_t algorithm_index,
                              std::size_t adversary_index, std::uint32_t nodes,
-                             std::uint32_t robots) {
+                             std::uint32_t robots, std::size_t model_index) {
+  // model_index 0 leaves the stream unchanged, so FSYNC-only grids (and
+  // every pre-model-axis grid) keep their historical per-cell seeds.
   return derive_seed(grid_seed, algorithm_index,
                      (static_cast<std::uint64_t>(adversary_index) << 32) |
                          nodes,
-                     robots);
+                     (static_cast<std::uint64_t>(model_index) << 32) |
+                         robots);
 }
 
 std::uint64_t SweepResult::total_rounds() const {
@@ -108,6 +138,7 @@ std::string SweepResult::to_json() const {
     json.begin_object();
     json.field("algorithm", cell.algorithm);
     json.field("adversary", cell.adversary);
+    json.field("model", to_string(cell.model));
     json.field("n", cell.nodes);
     json.field("k", cell.robots);
     json.field("seed", cell.seed);
@@ -140,6 +171,7 @@ SweepRunner::SweepRunner(std::uint32_t threads) : threads_(threads) {
 SweepResult SweepRunner::run(const SweepGrid& grid) const {
   PEF_CHECK(!grid.algorithms.empty());
   PEF_CHECK(!grid.adversaries.empty());
+  PEF_CHECK(!grid.models.empty());
   PEF_CHECK(!grid.ring_sizes.empty());
   PEF_CHECK(!grid.robot_counts.empty());
   PEF_CHECK(!grid.seeds.empty());

@@ -1,7 +1,7 @@
 // SweepRunner — the multi-core Monte-Carlo sweep harness.
 //
-// A sweep is the cartesian grid (algorithm × adversary × n × k × seed); each
-// grid cell is one independent FastEngine run.  A fixed-size pool of worker
+// A sweep is the cartesian grid (algorithm × adversary × model × n × k ×
+// seed); each grid cell is one independent Engine run.  A fixed-size pool of worker
 // threads pulls cell indices from an atomic cursor, so load-balancing is
 // automatic and the wall-time scales with cores — while the *results* cannot
 // depend on scheduling:
@@ -28,9 +28,17 @@ namespace pef {
 struct SweepGrid {
   std::vector<std::string> algorithms;
   std::vector<AdversarySpec> adversaries;
+  /// Execution models to sweep.  SSYNC cells run under seeded Bernoulli
+  /// activation, ASYNC cells under seeded Bernoulli phase advancement (see
+  /// activation_p); FSYNC cells are identical to the pre-model-axis grid.
+  std::vector<ExecutionModel> models = {ExecutionModel::kFsync};
   std::vector<std::uint32_t> ring_sizes;    // n
   std::vector<std::uint32_t> robot_counts;  // k; cells with k >= n are skipped
   std::vector<std::uint64_t> seeds;
+
+  /// Per-robot selection probability of the SSYNC activation policy and the
+  /// ASYNC phase scheduler (Bernoulli, derived-seeded per cell).
+  double activation_p = 0.5;
 
   /// Horizon of one run: `horizon` rounds when nonzero, else
   /// `horizon_per_node * n`.
@@ -52,6 +60,7 @@ struct SweepCell {
   // Grid coordinates.
   std::string algorithm;
   std::string adversary;
+  ExecutionModel model = ExecutionModel::kFsync;
   std::uint32_t nodes = 0;
   std::uint32_t robots = 0;
   std::uint64_t seed = 0;           // the grid seed entry
@@ -98,7 +107,8 @@ struct SweepResult {
                                            std::size_t algorithm_index,
                                            std::size_t adversary_index,
                                            std::uint32_t nodes,
-                                           std::uint32_t robots);
+                                           std::uint32_t robots,
+                                           std::size_t model_index = 0);
 
 class SweepRunner {
  public:

@@ -8,9 +8,11 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "common/types.hpp"
+#include "robot/kernel.hpp"
 #include "robot/view.hpp"
 
 namespace pef {
@@ -54,6 +56,15 @@ class Algorithm {
   /// snapshot taken with the *incoming* value of `dir`.
   virtual void compute(const View& view, LocalDirection& dir,
                        AlgorithmState& state) const = 0;
+
+  /// The algorithm's devirtualized twin, when one exists: a KernelSpec the
+  /// engine can run through the enum-dispatched POD compute path
+  /// (algorithms/kernels.hpp) instead of this virtual interface.  Must be
+  /// behaviourally identical to compute() — differential tests enforce it.
+  /// Every registry algorithm provides one; bespoke algorithms may not.
+  [[nodiscard]] virtual std::optional<KernelSpec> kernel() const {
+    return std::nullopt;
+  }
 };
 
 using AlgorithmPtr = std::shared_ptr<const Algorithm>;

@@ -43,17 +43,16 @@ Configuration AsyncSimulator::snapshot() const {
 
 RoundRecord AsyncSimulator::step() {
   const Configuration gamma = snapshot();
-  const std::vector<bool> advancing = scheduler_->advance(now_, gamma,
-                                                          phases_);
-  PEF_CHECK(advancing.size() == robots_.size());
+  scheduler_->advance(now_, gamma, phases_, advancing_);
+  PEF_CHECK(advancing_.size() == robots_.size());
 
   // The adversary sees which robots fire their Move phase this tick (the
   // only phase that interacts with edges).
-  std::vector<bool> moving(robots_.size(), false);
+  moving_.assign(robots_.size(), 0);
   for (RobotId i = 0; i < robots_.size(); ++i) {
-    moving[i] = advancing[i] && phases_[i] == Phase::kMove;
+    moving_[i] = (advancing_[i] != 0 && phases_[i] == Phase::kMove) ? 1 : 0;
   }
-  const EdgeSet edges = adversary_->choose_edges(now_, gamma, moving);
+  const EdgeSet edges = adversary_->choose_edges(now_, gamma, moving_);
 
   RoundRecord record;
   record.time = now_;
@@ -67,7 +66,7 @@ RoundRecord AsyncSimulator::step() {
     rec.node_after = r.node();
     rec.dir_before = r.dir();
     rec.dir_after = r.dir();
-    if (!advancing[i]) continue;
+    if (advancing_[i] == 0) continue;
 
     switch (phases_[i]) {
       case Phase::kLook: {

@@ -14,6 +14,10 @@
 // adversary defeats every algorithm here too (see async_test.cpp).  The
 // engine also degenerates to FSYNC when every robot advances every round
 // over a static graph (cross-checked against Simulator in tests).
+//
+// AsyncSimulator below is the canonical reference; the unified Engine
+// (src/engine/engine.hpp) runs the same model on its throughput path with
+// ExecutionModel::kAsync.
 #pragma once
 
 #include <memory>
@@ -46,19 +50,21 @@ enum class Phase : std::uint8_t { kLook = 0, kCompute = 1, kMove = 2 };
 class PhaseScheduler {
  public:
   virtual ~PhaseScheduler() = default;
-  [[nodiscard]] virtual std::vector<bool> advance(
-      Time t, const Configuration& gamma,
-      const std::vector<Phase>& phases) = 0;
+  /// Fill `mask` with this round's advancing set (resizing it to
+  /// gamma.robot_count()).  In-place so callers reuse one buffer across
+  /// rounds — no per-round allocation.
+  virtual void advance(Time t, const Configuration& gamma,
+                       const std::vector<Phase>& phases,
+                       ActivationMask& mask) = 0;
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
 /// Everyone advances every round (synchronised phases: FSYNC at 1/3 speed).
 class LockstepPhases final : public PhaseScheduler {
  public:
-  [[nodiscard]] std::vector<bool> advance(
-      Time, const Configuration& gamma,
-      const std::vector<Phase>&) override {
-    return std::vector<bool>(gamma.robot_count(), true);
+  void advance(Time, const Configuration& gamma, const std::vector<Phase>&,
+               ActivationMask& mask) override {
+    mask.assign(gamma.robot_count(), 1);
   }
   [[nodiscard]] std::string name() const override { return "lockstep"; }
 };
@@ -66,12 +72,10 @@ class LockstepPhases final : public PhaseScheduler {
 /// One robot advances per round, cyclically (maximally interleaved).
 class RoundRobinPhases final : public PhaseScheduler {
  public:
-  [[nodiscard]] std::vector<bool> advance(
-      Time t, const Configuration& gamma,
-      const std::vector<Phase>&) override {
-    std::vector<bool> mask(gamma.robot_count(), false);
-    mask[static_cast<std::size_t>(t % gamma.robot_count())] = true;
-    return mask;
+  void advance(Time t, const Configuration& gamma, const std::vector<Phase>&,
+               ActivationMask& mask) override {
+    mask.assign(gamma.robot_count(), 0);
+    mask[static_cast<std::size_t>(t % gamma.robot_count())] = 1;
   }
   [[nodiscard]] std::string name() const override { return "round-robin"; }
 };
@@ -80,17 +84,15 @@ class RoundRobinPhases final : public PhaseScheduler {
 class BernoulliPhases final : public PhaseScheduler {
  public:
   BernoulliPhases(double p, std::uint64_t seed) : p_(p), rng_(seed) {}
-  [[nodiscard]] std::vector<bool> advance(
-      Time, const Configuration& gamma,
-      const std::vector<Phase>&) override {
-    std::vector<bool> mask(gamma.robot_count(), false);
+  void advance(Time, const Configuration& gamma, const std::vector<Phase>&,
+               ActivationMask& mask) override {
+    mask.assign(gamma.robot_count(), 0);
     bool any = false;
     for (std::size_t i = 0; i < mask.size(); ++i) {
-      mask[i] = rng_.next_bool(p_);
-      any = any || mask[i];
+      mask[i] = rng_.next_bool(p_) ? 1 : 0;
+      any = any || mask[i] != 0;
     }
-    if (!any) mask[rng_.next_below(mask.size())] = true;
-    return mask;
+    if (!any) mask[rng_.next_below(mask.size())] = 1;
   }
   [[nodiscard]] std::string name() const override { return "bernoulli"; }
 
@@ -99,8 +101,15 @@ class BernoulliPhases final : public PhaseScheduler {
   Xoshiro256 rng_;
 };
 
-/// The ASYNC engine.  Reuses the SsyncAdversary interface (the edge
-/// adversary sees the configuration and the advancing set each round).
+/// The ASYNC counterpart of standard_ssync_activation: the shared seeded
+/// phase scheduler of every FSYNC-battery-on-ASYNC entry point.
+[[nodiscard]] inline std::unique_ptr<PhaseScheduler> standard_async_phases(
+    double p, std::uint64_t seed) {
+  return std::make_unique<BernoulliPhases>(p, derive_seed(seed, 0xa5fc));
+}
+
+/// The ASYNC reference engine.  Reuses the SsyncAdversary interface (the
+/// edge adversary sees the configuration and the advancing set each round).
 class AsyncSimulator {
  public:
   AsyncSimulator(Ring ring, AlgorithmPtr algorithm,
@@ -125,6 +134,8 @@ class AsyncSimulator {
   std::vector<Robot> robots_;
   std::vector<Phase> phases_;
   std::vector<View> pending_views_;  // snapshot taken at Look time
+  ActivationMask advancing_;         // reused across ticks
+  ActivationMask moving_;            // reused across ticks
   Time now_ = 0;
   std::unique_ptr<Trace> trace_;
 };

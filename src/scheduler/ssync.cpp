@@ -4,30 +4,37 @@
 
 namespace pef {
 
-std::vector<bool> BernoulliActivation::activate(Time,
-                                                const Configuration& gamma) {
-  std::vector<bool> mask(gamma.robot_count(), false);
+void BernoulliActivation::activate(Time, const Configuration& gamma,
+                                   ActivationMask& mask) {
+  mask.assign(gamma.robot_count(), 0);
   bool any = false;
   for (std::size_t i = 0; i < mask.size(); ++i) {
-    mask[i] = rng_.next_bool(p_);
-    any = any || mask[i];
+    mask[i] = rng_.next_bool(p_) ? 1 : 0;
+    any = any || mask[i] != 0;
   }
   if (!any) {
-    mask[static_cast<std::size_t>(rng_.next_below(mask.size()))] = true;
+    mask[static_cast<std::size_t>(rng_.next_below(mask.size()))] = 1;
   }
-  return mask;
 }
 
-EdgeSet SsyncBlockingAdversary::choose_edges(
-    Time, const Configuration& gamma, const std::vector<bool>& activated) {
-  EdgeSet edges = EdgeSet::all(ring_.edge_count());
-  for (RobotId r = 0; r < gamma.robot_count(); ++r) {
-    if (!activated[r]) continue;
-    const NodeId u = gamma.robot(r).node;
-    edges.erase(ring_.adjacent_edge(u, GlobalDirection::kClockwise));
-    edges.erase(ring_.adjacent_edge(u, GlobalDirection::kCounterClockwise));
-  }
+EdgeSet SsyncBlockingAdversary::choose_edges(Time t,
+                                             const Configuration& gamma,
+                                             const ActivationMask& activated) {
+  EdgeSet edges(ring_.edge_count());
+  choose_edges_into(t, gamma, activated, edges);
   return edges;
+}
+
+void SsyncBlockingAdversary::choose_edges_into(
+    Time, const Configuration& gamma, const ActivationMask& activated,
+    EdgeSet& out) {
+  out.fill();
+  for (RobotId r = 0; r < gamma.robot_count(); ++r) {
+    if (activated[r] == 0) continue;
+    const NodeId u = gamma.robot(r).node;
+    out.erase(ring_.adjacent_edge(u, GlobalDirection::kClockwise));
+    out.erase(ring_.adjacent_edge(u, GlobalDirection::kCounterClockwise));
+  }
 }
 
 SsyncSimulator::SsyncSimulator(Ring ring, AlgorithmPtr algorithm,
@@ -67,9 +74,9 @@ Configuration SsyncSimulator::snapshot() const {
 
 RoundRecord SsyncSimulator::step() {
   const Configuration gamma = snapshot();
-  const std::vector<bool> activated = activation_->activate(now_, gamma);
-  PEF_CHECK(activated.size() == robots_.size());
-  const EdgeSet edges = adversary_->choose_edges(now_, gamma, activated);
+  activation_->activate(now_, gamma, activated_);
+  PEF_CHECK(activated_.size() == robots_.size());
+  const EdgeSet edges = adversary_->choose_edges(now_, gamma, activated_);
 
   RoundRecord record;
   record.time = now_;
@@ -82,7 +89,7 @@ RoundRecord SsyncSimulator::step() {
     record.robots[i].dir_before = r.dir();
     record.robots[i].node_after = r.node();
     record.robots[i].dir_after = r.dir();
-    if (!activated[i]) continue;
+    if (activated_[i] == 0) continue;
 
     // Atomic L-C-M for the activated robot.
     View view;

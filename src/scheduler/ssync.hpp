@@ -12,11 +12,17 @@
 // Model: at each round a fair activation policy selects a subset of robots;
 // selected robots perform an atomic Look-Compute-Move against the round's
 // edge set; the others do nothing (and keep their state).
+//
+// Two engines run this model: SsyncSimulator below (the canonical
+// reference) and the unified Engine (src/engine/engine.hpp) with
+// ExecutionModel::kSsync (the throughput path; differentially tested
+// against SsyncSimulator round-by-round).
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "adversary/adversary.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "dynamic_graph/schedule.hpp"
@@ -26,25 +32,31 @@
 
 namespace pef {
 
+/// Per-robot activation flags for one round (1 = selected).  A plain byte
+/// vector rather than vector<bool>: engines keep one mask alive and refill
+/// it in place every round, and byte loads keep the hot loop branch-free.
+using ActivationMask = std::vector<std::uint8_t>;
+
 /// Chooses which robots are activated each round.  Must be fair (every robot
 /// activated infinitely often) to be a legal SSYNC scheduler.
 class ActivationPolicy {
  public:
   virtual ~ActivationPolicy() = default;
-  /// Returns an activation mask of size robot_count; at least one true.
-  [[nodiscard]] virtual std::vector<bool> activate(
-      Time t, const Configuration& gamma) = 0;
+  /// Fill `mask` with this round's activation set (resizing it to
+  /// gamma.robot_count()); at least one robot must be selected.  In-place so
+  /// callers reuse one buffer across rounds — no per-round allocation.
+  virtual void activate(Time t, const Configuration& gamma,
+                        ActivationMask& mask) = 0;
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
 /// One robot per round, cyclically (fair).
 class RoundRobinActivation final : public ActivationPolicy {
  public:
-  [[nodiscard]] std::vector<bool> activate(Time t,
-                                           const Configuration& gamma) override {
-    std::vector<bool> mask(gamma.robot_count(), false);
-    mask[static_cast<std::size_t>(t % gamma.robot_count())] = true;
-    return mask;
+  void activate(Time t, const Configuration& gamma,
+                ActivationMask& mask) override {
+    mask.assign(gamma.robot_count(), 0);
+    mask[static_cast<std::size_t>(t % gamma.robot_count())] = 1;
   }
   [[nodiscard]] std::string name() const override { return "round-robin"; }
 };
@@ -53,9 +65,9 @@ class RoundRobinActivation final : public ActivationPolicy {
 /// engines against each other in tests).
 class FullActivation final : public ActivationPolicy {
  public:
-  [[nodiscard]] std::vector<bool> activate(Time,
-                                           const Configuration& gamma) override {
-    return std::vector<bool>(gamma.robot_count(), true);
+  void activate(Time, const Configuration& gamma,
+                ActivationMask& mask) override {
+    mask.assign(gamma.robot_count(), 1);
   }
   [[nodiscard]] std::string name() const override { return "full"; }
 };
@@ -65,14 +77,24 @@ class FullActivation final : public ActivationPolicy {
 class BernoulliActivation final : public ActivationPolicy {
  public:
   BernoulliActivation(double p, std::uint64_t seed) : p_(p), rng_(seed) {}
-  [[nodiscard]] std::vector<bool> activate(Time,
-                                           const Configuration& gamma) override;
+  void activate(Time, const Configuration& gamma,
+                ActivationMask& mask) override;
   [[nodiscard]] std::string name() const override { return "bernoulli"; }
 
  private:
   double p_;
   Xoshiro256 rng_;
 };
+
+/// The standard seeded activation policy used by every entry point that
+/// maps the FSYNC adversary battery onto SSYNC (SweepRunner,
+/// run_experiment, pef_run): Bernoulli(p) over a stream derived from `seed`
+/// with one shared salt, so fast and reference runs of the same
+/// (model, seed) see identical activation streams.
+[[nodiscard]] inline std::unique_ptr<ActivationPolicy>
+standard_ssync_activation(double p, std::uint64_t seed) {
+  return std::make_unique<BernoulliActivation>(p, derive_seed(seed, 0x55ac));
+}
 
 /// The SSYNC adversary: sees the configuration *and* the activation mask.
 class SsyncAdversary {
@@ -81,7 +103,15 @@ class SsyncAdversary {
   [[nodiscard]] virtual const Ring& ring() const = 0;
   [[nodiscard]] virtual EdgeSet choose_edges(
       Time t, const Configuration& gamma,
-      const std::vector<bool>& activated) = 0;
+      const ActivationMask& activated) = 0;
+  /// In-place variant for engine hot loops: refill a caller-owned scratch
+  /// set (already sized to ring().edge_count()).  The default falls back to
+  /// choose_edges(); hot families override it to run allocation-free.
+  virtual void choose_edges_into(Time t, const Configuration& gamma,
+                                 const ActivationMask& activated,
+                                 EdgeSet& out) {
+    out = choose_edges(t, gamma, activated);
+  }
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
@@ -93,9 +123,11 @@ class SsyncBlockingAdversary final : public SsyncAdversary {
  public:
   explicit SsyncBlockingAdversary(Ring ring) : ring_(ring) {}
   [[nodiscard]] const Ring& ring() const override { return ring_; }
-  [[nodiscard]] EdgeSet choose_edges(
-      Time t, const Configuration& gamma,
-      const std::vector<bool>& activated) override;
+  [[nodiscard]] EdgeSet choose_edges(Time t, const Configuration& gamma,
+                                     const ActivationMask& activated) override;
+  void choose_edges_into(Time t, const Configuration& gamma,
+                         const ActivationMask& activated,
+                         EdgeSet& out) override;
   [[nodiscard]] std::string name() const override { return "ssync-blocker"; }
 
  private:
@@ -111,18 +143,59 @@ class SsyncObliviousAdversary final : public SsyncAdversary {
     return schedule_->ring();
   }
   [[nodiscard]] EdgeSet choose_edges(Time t, const Configuration&,
-                                     const std::vector<bool>&) override {
+                                     const ActivationMask&) override {
     return schedule_->edges_at(t);
+  }
+  void choose_edges_into(Time t, const Configuration&, const ActivationMask&,
+                         EdgeSet& out) override {
+    schedule_->edges_into(t, out);
   }
   [[nodiscard]] std::string name() const override {
     return schedule_->name();
   }
+  [[nodiscard]] const SchedulePtr& schedule() const { return schedule_; }
 
  private:
   SchedulePtr schedule_;
 };
 
-/// The SSYNC execution engine.  Mirrors Simulator but applies the L-C-M
+/// Adapts any FSYNC Adversary — oblivious or adaptive — to the SSYNC/ASYNC
+/// interface by ignoring the activation mask.  This is how the sweep grid
+/// and pef_run reuse the standard adversary battery across every execution
+/// model.
+class SsyncFromFsyncAdversary final : public SsyncAdversary {
+ public:
+  explicit SsyncFromFsyncAdversary(AdversaryPtr inner)
+      : inner_(std::move(inner)) {
+    // Mirror the Engine's FSYNC fast path: oblivious inner adversaries are
+    // pure functions of time, so choose_edges_into can refill the scratch
+    // set allocation-free via the schedule.
+    if (const auto* oblivious =
+            dynamic_cast<const ObliviousAdversary*>(inner_.get())) {
+      schedule_ = oblivious->schedule().get();
+    }
+  }
+  [[nodiscard]] const Ring& ring() const override { return inner_->ring(); }
+  [[nodiscard]] EdgeSet choose_edges(Time t, const Configuration& gamma,
+                                     const ActivationMask&) override {
+    return inner_->choose_edges(t, gamma);
+  }
+  void choose_edges_into(Time t, const Configuration& gamma,
+                         const ActivationMask&, EdgeSet& out) override {
+    if (schedule_ != nullptr) {
+      schedule_->edges_into(t, out);
+    } else {
+      out = inner_->choose_edges(t, gamma);
+    }
+  }
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+
+ private:
+  AdversaryPtr inner_;
+  const EdgeSchedule* schedule_ = nullptr;  // non-null iff inner is oblivious
+};
+
+/// The SSYNC reference engine.  Mirrors Simulator but applies the L-C-M
 /// cycle only to activated robots.
 class SsyncSimulator {
  public:
@@ -144,6 +217,7 @@ class SsyncSimulator {
   std::unique_ptr<SsyncAdversary> adversary_;
   std::unique_ptr<ActivationPolicy> activation_;
   std::vector<Robot> robots_;
+  ActivationMask activated_;  // reused across rounds
   Time now_ = 0;
   std::unique_ptr<Trace> trace_;
 };

@@ -82,8 +82,9 @@ TEST(SsyncTest, RoundRobinIsFair) {
   snaps[2].node = 2;
   const Configuration gamma(ring, snaps);
   std::vector<int> counts(3, 0);
+  ActivationMask mask;
   for (Time t = 0; t < 30; ++t) {
-    const auto mask = activation.activate(t, gamma);
+    activation.activate(t, gamma, mask);
     int active = 0;
     for (std::size_t i = 0; i < mask.size(); ++i) {
       if (mask[i]) {
@@ -104,10 +105,11 @@ TEST(SsyncTest, BernoulliActivationNeverEmpty) {
     snaps[i].node = static_cast<NodeId>(i);
   }
   const Configuration gamma(ring, snaps);
+  ActivationMask mask;
   for (Time t = 0; t < 200; ++t) {
-    const auto mask = activation.activate(t, gamma);
+    activation.activate(t, gamma, mask);
     EXPECT_TRUE(std::any_of(mask.begin(), mask.end(),
-                            [](bool b) { return b; }));
+                            [](std::uint8_t b) { return b != 0; }));
   }
 }
 

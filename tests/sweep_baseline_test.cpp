@@ -1,0 +1,72 @@
+// Sweep regression baseline: a small, fully deterministic sweep grid whose
+// JSON is checked into tests/baselines/.  Any change to engine semantics,
+// seeding, grid enumeration or JSON shape shows up as a diff here — the
+// cross-PR tripwire for the whole (algorithm × adversary × model × n × k ×
+// seed) pipeline.
+//
+// To regenerate after an *intentional* change:
+//   PEF_UPDATE_BASELINES=1 build/sweep_baseline_test
+// then review and commit the diff of tests/baselines/sweep_small.json.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "engine/sweep_runner.hpp"
+
+namespace pef {
+namespace {
+
+/// The pinned grid.  Keep it small (it runs in milliseconds) but spanning:
+/// both dispatch-relevant algorithm families (memoryless + stateful), an
+/// oblivious and a seeded stochastic adversary, and all three execution
+/// models.
+SweepGrid baseline_grid() {
+  SweepGrid grid;
+  grid.algorithms = {"pef3+", "bounce"};
+  grid.adversaries = {static_spec(), bernoulli_spec(0.5)};
+  grid.models = {ExecutionModel::kFsync, ExecutionModel::kSsync,
+                 ExecutionModel::kAsync};
+  grid.ring_sizes = {6, 10};
+  grid.robot_counts = {3};
+  grid.seeds = {1, 2};
+  grid.horizon = 400;
+  return grid;
+}
+
+std::string baseline_path() {
+  return std::string(PEF_BASELINE_DIR) + "/sweep_small.json";
+}
+
+TEST(SweepBaselineTest, GridMatchesGoldenJson) {
+  const SweepResult result = SweepRunner(2).run(baseline_grid());
+  const std::string json = result.to_json();
+
+  if (std::getenv("PEF_UPDATE_BASELINES") != nullptr) {
+    std::ofstream out(baseline_path(), std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << baseline_path();
+    out << json << "\n";
+    GTEST_SKIP() << "baseline regenerated at " << baseline_path();
+  }
+
+  std::ifstream in(baseline_path(), std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << baseline_path()
+      << " — regenerate with PEF_UPDATE_BASELINES=1 " << std::flush;
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  std::string expected = golden.str();
+  // Tolerate a single trailing newline in the checked-in file.
+  if (!expected.empty() && expected.back() == '\n') expected.pop_back();
+
+  EXPECT_EQ(json, expected)
+      << "sweep output diverged from tests/baselines/sweep_small.json; if "
+         "the change is intentional, regenerate with PEF_UPDATE_BASELINES=1 "
+         "and commit the diff";
+}
+
+}  // namespace
+}  // namespace pef

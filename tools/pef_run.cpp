@@ -7,6 +7,13 @@
 // lower-bound adversaries ("cage", "proof") and the legality-capped
 // stress blocker ("greedy-blocker").  Prints the coverage / tower /
 // mobility / legality reports and optionally an ASCII strip of the run.
+//
+// The execution model is a flag: --model fsync|ssync|async selects the
+// activation model (SSYNC/ASYNC run under seeded Bernoulli activation /
+// phase scheduling, the adversary adapted through SsyncFromFsyncAdversary),
+// and --engine fast|reference picks the unified Engine or the matching
+// reference engine (Simulator / SsyncSimulator / AsyncSimulator) — the two
+// are differentially tested to byte-identical traces for every model.
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -21,14 +28,17 @@
 #include "analysis/render.hpp"
 #include "analysis/towers.hpp"
 #include "common/args.hpp"
+#include "common/rng.hpp"
 #include "common/table.hpp"
 #include "core/computability.hpp"
 #include "core/explore.hpp"
 #include "dynamic_graph/markov_schedule.hpp"
 #include "dynamic_graph/properties.hpp"
 #include "dynamic_graph/schedules.hpp"
-#include "engine/fast_engine.hpp"
+#include "engine/engine.hpp"
+#include "scheduler/async.hpp"
 #include "scheduler/simulator.hpp"
+#include "scheduler/ssync.hpp"
 
 namespace pef {
 namespace {
@@ -46,9 +56,16 @@ void print_help(const char* program) {
       << "                   | adaptive-missing | markov | greedy-blocker\n"
       << "                   | cage | proof (default eventual-missing)\n"
       << "  --horizon T      rounds to simulate (default 5000)\n"
+      << "  --model M        fsync | ssync | async (default fsync; ssync\n"
+      << "                   and async use seeded Bernoulli activation /\n"
+      << "                   phase scheduling, see --activation-p)\n"
       << "  --engine E       fast | reference (default fast; identical\n"
-      << "                   results, the reference Simulator is the\n"
-      << "                   canonical implementation)\n"
+      << "                   results, the reference engines are the\n"
+      << "                   canonical implementations)\n"
+      << "  --dispatch D     auto | kernel | virtual (default auto;\n"
+      << "                   Compute path of the fast engine)\n"
+      << "  --activation-p X per-robot activation / phase-advance\n"
+      << "                   probability for ssync / async (default 0.5)\n"
       << "  --seed S         RNG seed (default 1)\n"
       << "  --p X            presence probability for bernoulli (0.5)\n"
       << "  --render         print an ASCII strip of the execution\n"
@@ -100,7 +117,11 @@ int main(int argc, char** argv) {
   const auto adversary_name =
       args.get_string("--adversary", "eventual-missing");
   const auto horizon = args.get_u64("--horizon", 5000);
+  const auto model_name = args.get_string("--model", "fsync");
   const auto engine_name = args.get_string("--engine", "fast");
+  const auto dispatch_name = args.get_string("--dispatch", "auto");
+  const bool activation_p_given = args.has("--activation-p");
+  const auto activation_p = args.get_double("--activation-p", 0.5);
   const auto seed = args.get_u64("--seed", 1);
   const auto p = args.get_double("--p", 0.5);
   const bool render = args.has("--render");
@@ -113,8 +134,32 @@ int main(int argc, char** argv) {
     std::cerr << "need 1 <= robots < nodes and nodes >= 2\n";
     return 2;
   }
+  const std::optional<ExecutionModel> model = parse_execution_model(model_name);
+  if (!model) {
+    std::cerr << "--model must be fsync, ssync or async\n";
+    return 2;
+  }
   if (engine_name != "fast" && engine_name != "reference") {
     std::cerr << "--engine must be fast or reference\n";
+    return 2;
+  }
+  ComputeDispatch dispatch = ComputeDispatch::kAuto;
+  if (dispatch_name == "kernel") {
+    dispatch = ComputeDispatch::kKernel;
+  } else if (dispatch_name == "virtual") {
+    dispatch = ComputeDispatch::kVirtual;
+  } else if (dispatch_name != "auto") {
+    std::cerr << "--dispatch must be auto, kernel or virtual\n";
+    return 2;
+  }
+  if (engine_name == "reference" && dispatch != ComputeDispatch::kAuto) {
+    std::cerr << "--dispatch applies only to --engine fast (the reference "
+                 "engines always run the virtual Algorithm path)\n";
+    return 2;
+  }
+  if (activation_p_given && *model == ExecutionModel::kFsync) {
+    std::cerr << "--activation-p applies only to --model ssync|async (FSYNC "
+                 "activates every robot every round)\n";
     return 2;
   }
 
@@ -126,30 +171,80 @@ int main(int argc, char** argv) {
   }
 
   const Ring ring(nodes);
-  std::optional<FastEngine> engine;
+  std::optional<Engine> engine;
   std::optional<Simulator> sim;
+  std::optional<SsyncSimulator> ssync_sim;
+  std::optional<AsyncSimulator> async_sim;
   const Trace* trace_ptr = nullptr;
+
+  // The shared standard policies guarantee fast and reference runs of the
+  // same (model, seed) see identical activation streams.
+  const auto make_activation = [&] {
+    return standard_ssync_activation(activation_p, seed);
+  };
+  const auto make_phases = [&] {
+    return standard_async_phases(activation_p, seed);
+  };
+  const auto make_ssync_adversary = [&] {
+    return std::make_unique<SsyncFromFsyncAdversary>(
+        make_adversary(adversary_name, ring, seed, p, robots));
+  };
+
   if (engine_name == "fast") {
-    FastEngineOptions options;
+    EngineOptions options;
     options.record_trace = true;  // the report below is all trace analysis
-    engine.emplace(ring, make_algorithm(algorithm, seed),
-                   make_adversary(adversary_name, ring, seed, p, robots),
-                   spread_placements(ring, robots), options);
+    options.dispatch = dispatch;
+    switch (*model) {
+      case ExecutionModel::kFsync:
+        engine.emplace(ring, make_algorithm(algorithm, seed),
+                       make_adversary(adversary_name, ring, seed, p, robots),
+                       spread_placements(ring, robots), options);
+        break;
+      case ExecutionModel::kSsync:
+        engine.emplace(ring, make_algorithm(algorithm, seed),
+                       make_ssync_adversary(), make_activation(),
+                       spread_placements(ring, robots), options);
+        break;
+      case ExecutionModel::kAsync:
+        engine.emplace(ring, make_algorithm(algorithm, seed),
+                       make_ssync_adversary(), make_phases(),
+                       spread_placements(ring, robots), options);
+        break;
+    }
     engine->run(horizon);
     trace_ptr = &engine->trace();
   } else {
-    sim.emplace(ring, make_algorithm(algorithm, seed),
-                make_adversary(adversary_name, ring, seed, p, robots),
-                spread_placements(ring, robots));
-    sim->run(horizon);
-    trace_ptr = &sim->trace();
+    switch (*model) {
+      case ExecutionModel::kFsync:
+        sim.emplace(ring, make_algorithm(algorithm, seed),
+                    make_adversary(adversary_name, ring, seed, p, robots),
+                    spread_placements(ring, robots));
+        sim->run(horizon);
+        trace_ptr = &sim->trace();
+        break;
+      case ExecutionModel::kSsync:
+        ssync_sim.emplace(ring, make_algorithm(algorithm, seed),
+                          make_ssync_adversary(), make_activation(),
+                          spread_placements(ring, robots));
+        ssync_sim->run(horizon);
+        trace_ptr = &ssync_sim->trace();
+        break;
+      case ExecutionModel::kAsync:
+        async_sim.emplace(ring, make_algorithm(algorithm, seed),
+                          make_ssync_adversary(), make_phases(),
+                          spread_placements(ring, robots));
+        async_sim->run(horizon);
+        trace_ptr = &async_sim->trace();
+        break;
+    }
   }
   const Trace& trace = *trace_ptr;
 
   std::cout << "pef_run: n=" << nodes << " k=" << robots << " algorithm="
             << algorithm << " adversary=" << adversary_name
             << " horizon=" << horizon << " seed=" << seed
-            << " engine=" << engine_name << "\n"
+            << " model=" << to_string(*model) << " engine=" << engine_name
+            << "\n"
             << "TABLE 1 prediction: "
             << computability::to_string(
                    computability::classify(robots, nodes))
