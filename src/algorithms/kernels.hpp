@@ -24,8 +24,11 @@ namespace pef {
 /// Fresh kernel memory for one robot — the counterpart of
 /// Algorithm::make_state.  Mirrors the virtual twins exactly: random-walk
 /// derives the identical per-robot stream RandomWalk::make_state derives.
+/// `State` is KernelState or any structurally-equivalent accessor (see
+/// kernel_compute).
+template <typename State>
 inline void init_kernel_state(const KernelSpec& spec, RobotId robot,
-                              KernelState& state) {
+                              State&& state) {
   state.counter = 0;
   state.has_moved = 0;
   if (spec.id == KernelId::kRandomWalk) {
@@ -37,11 +40,16 @@ inline void init_kernel_state(const KernelSpec& spec, RobotId robot,
 /// template parameter so the engine can instantiate its whole round loop
 /// per kernel and the compiler inlines the branch-free residue straight
 /// into the loop body (dispatch happens once per round, not per robot).
+/// `State` only needs KernelState's field names: Engine passes KernelState
+/// itself, BatchEngine passes a proxy of references into its per-field
+/// state planes (a robot's kernel memory lives replica-strided there, and
+/// field planes keep the hot byte — pef3+'s has_moved — contiguous for the
+/// vectorizer instead of strided across 48-byte structs).
 /// Semantics of each case documented on the virtual twin; keep the two in
 /// lockstep.
-template <KernelId Id>
+template <KernelId Id, typename State>
 inline void kernel_compute(const KernelSpec& spec, const View& view,
-                           LocalDirection& dir, KernelState& s) {
+                           LocalDirection& dir, State&& s) {
   if constexpr (Id == KernelId::kKeepDirection) {
     (void)spec, (void)view, (void)dir, (void)s;
   } else if constexpr (Id == KernelId::kBounce || Id == KernelId::kPef1) {

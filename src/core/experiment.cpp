@@ -7,6 +7,7 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "dynamic_graph/schedules.hpp"
+#include "engine/batch_engine.hpp"
 #include "engine/fast_engine.hpp"
 
 namespace pef {
@@ -84,6 +85,32 @@ std::vector<AdversarySpec> standard_battery() {
           adaptive_missing_spec()};
 }
 
+namespace {
+
+/// Everything below the engine run: the full per-trace analysis shared by
+/// run_experiment and the batched run_battery path.
+RunResult analyze_run(const Ring& ring, const Trace& trace,
+                      const ExperimentConfig& config, std::uint64_t seed) {
+  RunResult result;
+  result.coverage = analyze_coverage(trace);
+  result.towers = analyze_towers(trace);
+  const Time patience =
+      config.audit_patience > 0 ? config.audit_patience : config.horizon / 4;
+  result.legality = audit_connectivity(ring, trace.edge_history(), patience);
+  result.perpetual = result.coverage.perpetual(config.nodes);
+  result.adversary_legal = result.legality.connected_over_time;
+  result.algorithm_name = config.algorithm->name();
+  result.adversary_name = config.adversary.name;
+  result.model = config.model;
+  result.nodes = config.nodes;
+  result.robots = config.robots;
+  result.horizon = config.horizon;
+  result.seed = seed;
+  return result;
+}
+
+}  // namespace
+
 RunResult run_experiment(const ExperimentConfig& config) {
   PEF_CHECK(config.algorithm != nullptr);
   PEF_CHECK(config.robots >= 1);
@@ -133,23 +160,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
     trace = &sim->trace();
   }
 
-  RunResult result;
-  result.coverage = analyze_coverage(*trace);
-  result.towers = analyze_towers(*trace);
-  const Time patience =
-      config.audit_patience > 0 ? config.audit_patience : config.horizon / 4;
-  result.legality =
-      audit_connectivity(ring, trace->edge_history(), patience);
-  result.perpetual = result.coverage.perpetual(config.nodes);
-  result.adversary_legal = result.legality.connected_over_time;
-  result.algorithm_name = config.algorithm->name();
-  result.adversary_name = config.adversary.name;
-  result.model = config.model;
-  result.nodes = config.nodes;
-  result.robots = config.robots;
-  result.horizon = config.horizon;
-  result.seed = config.seed;
-  return result;
+  return analyze_run(ring, *trace, config, config.seed);
 }
 
 std::vector<RunResult> run_battery(ExperimentConfig config,
@@ -157,6 +168,48 @@ std::vector<RunResult> run_battery(ExperimentConfig config,
                                    std::uint32_t seeds) {
   std::vector<RunResult> results;
   results.reserve(seeds);
+
+  // Batched fast path: the battery is B runs of one scenario with
+  // different seeds — BatchEngine's shape — so run them as one traced
+  // replica batch and analyse each replica's trace.  Traces (and therefore
+  // every analysis) are bit-identical to the sequential path, which stays
+  // as the fallback for kernel-less algorithms and explicit placements
+  // (those may start towered, which only the reference Simulator accepts).
+  const bool batchable = seeds > 1 && config.algorithm != nullptr &&
+                         config.algorithm->kernel().has_value() &&
+                         !config.placements.has_value() &&
+                         config.robots < config.nodes;
+  if (batchable) {
+    PEF_CHECK(config.robots >= 1);
+    PEF_CHECK(config.nodes >= 2);
+    PEF_CHECK(config.horizon >= 1);
+    const Ring ring(config.nodes);
+    const std::vector<RobotPlacement> placements =
+        spread_placements(ring, config.robots);
+
+    std::vector<BatchReplica> replicas(seeds);
+    for (std::uint32_t s = 0; s < seeds; ++s) {
+      const std::uint64_t seed = first_seed + s;
+      BatchReplica& replica = replicas[s];
+      replica.algorithm = config.algorithm;
+      replica.placements = placements;
+      replica.horizon = config.horizon;
+      wire_standard_replica(replica, config.model,
+                            config.adversary.make(ring, seed),
+                            config.activation_p, seed);
+    }
+
+    BatchEngineOptions options;
+    options.record_trace = true;  // the analyses are all trace-based
+    BatchEngine engine(ring, config.model, std::move(replicas), options);
+    engine.run_all();
+    for (std::uint32_t s = 0; s < seeds; ++s) {
+      results.push_back(
+          analyze_run(ring, engine.trace(s), config, first_seed + s));
+    }
+    return results;
+  }
+
   for (std::uint32_t s = 0; s < seeds; ++s) {
     config.seed = first_seed + s;
     results.push_back(run_experiment(config));

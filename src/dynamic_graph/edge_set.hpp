@@ -42,6 +42,12 @@ class EdgeSet {
     return (words_[e >> 6] >> (e & 63)) & 1ULL;
   }
 
+  /// Raw bit words, one bit per edge, little-endian within each word.
+  /// BatchEngine caches these pointers so its replica-stride inner loops
+  /// test edge presence without re-resolving the vector each iteration;
+  /// valid until the set is resized or assigned a differently-sized set.
+  [[nodiscard]] const std::uint64_t* words() const { return words_.data(); }
+
   void insert(EdgeId e) {
     PEF_CHECK(e < edge_count_);
     words_[e >> 6] |= (1ULL << (e & 63));

@@ -31,6 +31,12 @@ class EdgeSchedule {
   /// can run rounds allocation-free.
   virtual void edges_into(Time t, EdgeSet& out) const { out = edges_at(t); }
 
+  /// True iff edges_at(t) is the same set for every t.  Engines use it to
+  /// fill their scratch set once and skip the per-round refill entirely
+  /// (BatchEngine additionally skips the per-robot edge-presence tests when
+  /// the invariant set is full).  Conservative default: false.
+  [[nodiscard]] virtual bool time_invariant() const { return false; }
+
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// Convenience: presence of a single edge at time `t`.

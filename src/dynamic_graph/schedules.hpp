@@ -44,6 +44,7 @@ class StaticSchedule final : public EdgeSchedule {
     return EdgeSet::all(ring_.edge_count());
   }
   void edges_into(Time, EdgeSet& out) const override { out.fill(); }
+  [[nodiscard]] bool time_invariant() const override { return true; }
   [[nodiscard]] std::string name() const override { return "static"; }
 
  private:

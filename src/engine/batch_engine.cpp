@@ -1,0 +1,1030 @@
+#include "engine/batch_engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "scheduler/async.hpp"
+#include "scheduler/ssync.hpp"
+
+#include "algorithms/kernels.hpp"
+#include "common/check.hpp"
+
+namespace pef {
+namespace {
+
+/// The batched form of KernelState: references into the per-field state
+/// planes, structurally compatible with kernel_compute / init_kernel_state.
+struct KernelStateRef {
+  Xoshiro256& rng;
+  std::uint64_t& counter;
+  std::uint8_t& has_moved;
+};
+
+/// Bind robot state at plane offset `at`.  Only random-walk batches carry a
+/// real rng plane; every other kernel binds (and never touches) the dummy
+/// slot 0.
+template <KernelId Id>
+[[gnu::always_inline]] inline KernelStateRef kernel_state_at(
+    Xoshiro256* rng, std::uint64_t* counter, std::uint8_t* has_moved,
+    std::size_t at) {
+  if constexpr (Id == KernelId::kRandomWalk) {
+    return {rng[at], counter[at], has_moved[at]};
+  } else {
+    return {rng[0], counter[at], has_moved[at]};
+  }
+}
+
+// The multiplicity row-compare kernel: for every robot i and live lane l,
+// count how many robot rows agree with row i at column l (including i
+// itself); multiplicity is count > 1.  This is the single densest loop
+// nest of a batch round, so it is shaped for registers: the lane axis is
+// processed in compile-time-width chunks (W lanes at a time), which fully
+// unrolls the per-chunk loops and promotes both the pivot row and the
+// accumulators to vector registers — the j loop then touches memory once
+// per row.
+template <std::uint32_t W>
+[[gnu::always_inline]] inline void mult_chunk(const NodeId* __restrict node,
+                                              std::uint8_t* __restrict mult,
+                                              std::uint8_t* __restrict tower,
+                                              std::uint32_t k,
+                                              std::uint32_t stride,
+                                              std::uint32_t off) {
+  // Two pivot rows per sweep: the j loop's row loads are the kernel's only
+  // memory traffic, so sharing each row_j between two accumulating pivots
+  // halves it.
+  std::uint32_t i = 0;
+  for (; i + 2 <= k; i += 2) {
+    const NodeId* const __restrict row_a = node + std::size_t{i} * stride + off;
+    const NodeId* const __restrict row_b =
+        node + std::size_t{i + 1} * stride + off;
+    NodeId pivot_a[W];
+    NodeId pivot_b[W];
+    std::uint32_t cnt_a[W];
+    std::uint32_t cnt_b[W];
+    for (std::uint32_t l = 0; l < W; ++l) {
+      pivot_a[l] = row_a[l];
+      pivot_b[l] = row_b[l];
+      cnt_a[l] = 0;
+      cnt_b[l] = 0;
+    }
+    for (std::uint32_t j = 0; j < k; ++j) {
+      const NodeId* const __restrict row_j =
+          node + std::size_t{j} * stride + off;
+      for (std::uint32_t l = 0; l < W; ++l) {
+        const NodeId v = row_j[l];
+        cnt_a[l] += pivot_a[l] == v ? 1 : 0;
+        cnt_b[l] += pivot_b[l] == v ? 1 : 0;
+      }
+    }
+    std::uint8_t* const __restrict mult_a = mult + std::size_t{i} * stride + off;
+    std::uint8_t* const __restrict mult_b =
+        mult + std::size_t{i + 1} * stride + off;
+    for (std::uint32_t l = 0; l < W; ++l) {
+      const std::uint8_t ma = cnt_a[l] > 1 ? 1 : 0;
+      const std::uint8_t mb = cnt_b[l] > 1 ? 1 : 0;
+      mult_a[l] = ma;
+      mult_b[l] = mb;
+      tower[off + l] |= ma | mb;
+    }
+  }
+  for (; i < k; ++i) {
+    const NodeId* const __restrict row_i = node + std::size_t{i} * stride + off;
+    NodeId pivot[W];
+    std::uint32_t cnt[W];
+    for (std::uint32_t l = 0; l < W; ++l) {
+      pivot[l] = row_i[l];
+      cnt[l] = 0;
+    }
+    for (std::uint32_t j = 0; j < k; ++j) {
+      const NodeId* const __restrict row_j =
+          node + std::size_t{j} * stride + off;
+      for (std::uint32_t l = 0; l < W; ++l) {
+        cnt[l] += pivot[l] == row_j[l] ? 1 : 0;
+      }
+    }
+    std::uint8_t* const __restrict mult_i = mult + std::size_t{i} * stride + off;
+    for (std::uint32_t l = 0; l < W; ++l) {
+      const std::uint8_t m = cnt[l] > 1 ? 1 : 0;
+      mult_i[l] = m;
+      tower[off + l] |= m;
+    }
+  }
+}
+
+// On x86-64/GCC the chunked kernel is cloned per ISA level and
+// runtime-dispatched (the portable default stays the only version
+// elsewhere).  256-bit is the deliberate ceiling: 512-bit clones measured
+// slower here (frequency licensing on the Xeons this targets).
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+__attribute__((target_clones("avx2", "default")))
+#endif
+void compute_multiplicity_rows(const NodeId* __restrict node,
+                               std::uint8_t* __restrict mult,
+                               std::uint8_t* __restrict tower,
+                               std::uint32_t k, std::uint32_t stride,
+                               std::uint32_t live) {
+  for (std::uint32_t l = 0; l < live; ++l) tower[l] = 0;
+  std::uint32_t off = 0;
+  for (; off + 16 <= live; off += 16) {
+    mult_chunk<16>(node, mult, tower, k, stride, off);
+  }
+  for (; off + 8 <= live; off += 8) {
+    mult_chunk<8>(node, mult, tower, k, stride, off);
+  }
+  for (; off + 4 <= live; off += 4) {
+    mult_chunk<4>(node, mult, tower, k, stride, off);
+  }
+  for (; off < live; ++off) {
+    mult_chunk<1>(node, mult, tower, k, stride, off);
+  }
+}
+
+/// The two ring-edge ids adjacent to node `u` in a robot's frame: .first
+/// is the pointed (ahead) edge, .second the opposite one.  Single source of
+/// the ahead/behind mapping all three batched passes share (edge e joins
+/// nodes e and e+1 mod n, so the clockwise edge of u is u itself).
+[[gnu::always_inline]] inline std::pair<EdgeId, EdgeId> adjacent_edges(
+    NodeId u, bool ahead_cw, std::uint32_t n) {
+  const EdgeId edge_cw = u;
+  const EdgeId edge_ccw = u == 0 ? n - 1 : u - 1;
+  return ahead_cw ? std::pair<EdgeId, EdgeId>{edge_cw, edge_ccw}
+                  : std::pair<EdgeId, EdgeId>{edge_ccw, edge_cw};
+}
+
+[[gnu::always_inline]] inline bool edge_present(const std::uint64_t* words,
+                                                EdgeId e) {
+  return (words[e >> 6] >> (e & 63)) & 1ULL;
+}
+
+/// The node one step from `u` in the given global direction.
+[[gnu::always_inline]] inline NodeId step_node(NodeId u, bool clockwise,
+                                               std::uint32_t n) {
+  return clockwise ? (u + 1 == n ? 0 : u + 1) : (u == 0 ? n - 1 : u - 1);
+}
+
+/// Everything the fused FSYNC pass touches, as raw restrict-able pointers,
+/// so the pass can live in free functions compiled per ISA level.
+struct FsyncPassArgs {
+  std::uint32_t live = 0;
+  std::uint32_t stride = 0;
+  std::uint32_t k = 0;
+  std::uint32_t n = 0;
+  NodeId* node = nullptr;
+  std::uint8_t* dir = nullptr;
+  const std::uint8_t* cw = nullptr;
+  const std::uint8_t* mult = nullptr;
+  Xoshiro256* krng = nullptr;
+  std::uint64_t* kcounter = nullptr;
+  std::uint8_t* khas_moved = nullptr;
+  const KernelSpec* spec = nullptr;
+  const std::uint64_t* const* ew = nullptr;
+  std::uint64_t* moves = nullptr;
+};
+
+// ONE fused Look+Compute+Move pass, replica-stride inner loop.  Fusing is
+// sound because every Look input is frozen for the round: E_t and the
+// multiplicity plane never change mid-round, and a robot's Move only
+// writes its own node-plane slot.  In the AllFull instantiation the body
+// is pure contiguous plane arithmetic — no gathers, no branches — which
+// is exactly what the replica axis was laid out for.
+template <KernelId Id, bool AllFull>
+[[gnu::always_inline]] inline void fsync_pass_body(const FsyncPassArgs& a) {
+  const std::uint32_t live = a.live;
+  const std::uint32_t n = a.n;
+  NodeId* const __restrict node = a.node;
+  std::uint8_t* const __restrict dir = a.dir;
+  const std::uint8_t* const __restrict cw = a.cw;
+  const std::uint8_t* const __restrict mult = a.mult;
+  Xoshiro256* const __restrict krng = a.krng;
+  std::uint64_t* const __restrict kcounter = a.kcounter;
+  std::uint8_t* const __restrict khas_moved = a.khas_moved;
+  const KernelSpec* const __restrict spec = a.spec;
+  const std::uint64_t* const* const __restrict ew = a.ew;
+
+  for (std::uint32_t i = 0; i < a.k; ++i) {
+    const std::size_t base = std::size_t{i} * a.stride;
+    for (std::uint32_t l = 0; l < live; ++l) {
+      const std::size_t at = base + l;
+      const NodeId u = node[at];
+      View view;
+      if constexpr (AllFull) {
+        view.exists_edge_ahead = true;
+        view.exists_edge_behind = true;
+      } else {
+        const bool ahead_cw = dir[at] == cw[at];
+        const auto [ahead, behind] = adjacent_edges(u, ahead_cw, n);
+        const std::uint64_t* const words = ew[l];
+        view.exists_edge_ahead = edge_present(words, ahead);
+        view.exists_edge_behind = edge_present(words, behind);
+      }
+      view.other_robots_on_node = mult[at] != 0;
+      auto d = static_cast<LocalDirection>(dir[at]);
+      kernel_compute<Id>(spec[l], view, d,
+                         kernel_state_at<Id>(krng, kcounter, khas_moved, at));
+      dir[at] = static_cast<std::uint8_t>(d);
+
+      // Move: cross the pointed edge (in the post-Compute direction) iff
+      // present; with a full E_t every robot crosses.
+      const bool move_cw = static_cast<std::uint8_t>(d) == cw[at];
+      if constexpr (AllFull) {
+        node[at] = step_node(u, move_cw, n);
+      } else {
+        const EdgeId pointed = adjacent_edges(u, move_cw, n).first;
+        if (edge_present(ew[l], pointed)) {
+          node[at] = step_node(u, move_cw, n);
+          ++a.moves[l];
+        }
+      }
+    }
+  }
+  if constexpr (AllFull) {
+    // Every robot of every live replica moved.
+    for (std::uint32_t l = 0; l < live; ++l) a.moves[l] += a.k;
+  }
+}
+
+// The ISA dispatch mirrors compute_multiplicity_rows, but target_clones
+// does not apply to templates, so the avx2 wrapper carries a plain target
+// attribute (the always_inline body is re-codegenned inside it) and
+// fsync_pass_run picks a wrapper once per round.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+#define PEF_BATCH_HAS_AVX2_WRAPPERS 1
+template <KernelId Id, bool AllFull>
+__attribute__((target("avx2"))) void fsync_pass_avx2(const FsyncPassArgs& a) {
+  fsync_pass_body<Id, AllFull>(a);
+}
+#endif
+
+template <KernelId Id, bool AllFull>
+void fsync_pass_portable(const FsyncPassArgs& a) {
+  fsync_pass_body<Id, AllFull>(a);
+}
+
+[[nodiscard]] inline bool runtime_avx2() {
+#ifdef PEF_BATCH_HAS_AVX2_WRAPPERS
+  static const bool available = __builtin_cpu_supports("avx2");
+  return available;
+#else
+  return false;
+#endif
+}
+
+template <KernelId Id, bool AllFull>
+void fsync_pass_run(const FsyncPassArgs& a) {
+#ifdef PEF_BATCH_HAS_AVX2_WRAPPERS
+  if (runtime_avx2()) {
+    fsync_pass_avx2<Id, AllFull>(a);
+    return;
+  }
+#endif
+  fsync_pass_portable<Id, AllFull>(a);
+}
+
+}  // namespace
+
+void wire_standard_replica(BatchReplica& replica, ExecutionModel model,
+                           AdversaryPtr adversary, double activation_p,
+                           std::uint64_t seed) {
+  switch (model) {
+    case ExecutionModel::kFsync:
+      replica.adversary = std::move(adversary);
+      break;
+    case ExecutionModel::kSsync:
+      replica.ssync_adversary =
+          std::make_unique<SsyncFromFsyncAdversary>(std::move(adversary));
+      replica.activation = standard_ssync_activation(activation_p, seed);
+      break;
+    case ExecutionModel::kAsync:
+      replica.ssync_adversary =
+          std::make_unique<SsyncFromFsyncAdversary>(std::move(adversary));
+      replica.phases = standard_async_phases(activation_p, seed);
+      break;
+  }
+}
+
+BatchEngine::BatchEngine(Ring ring, ExecutionModel model,
+                         std::vector<BatchReplica> replicas,
+                         BatchEngineOptions options)
+    : ring_(ring), model_(model), options_(options) {
+  PEF_CHECK_MSG(!replicas.empty(), "a batch needs at least one replica");
+  batch_ = static_cast<std::uint32_t>(replicas.size());
+  active_ = batch_;
+  nodes_ = ring_.node_count();
+  edge_count_ = ring_.edge_count();
+  robots_ = static_cast<std::uint32_t>(replicas[0].placements.size());
+  PEF_CHECK(robots_ >= 1);
+
+  const auto kernel0 = replicas[0].algorithm
+                           ? replicas[0].algorithm->kernel()
+                           : std::nullopt;
+  PEF_CHECK_MSG(kernel0.has_value(),
+                "BatchEngine runs the devirtualized kernel path; the "
+                "algorithm must provide a kernel");
+  kernel_id_ = kernel0->id;
+
+  replica_of_lane_.resize(batch_);
+  lane_of_replica_.resize(batch_);
+  algorithms_.resize(batch_);
+  specs_.resize(batch_);
+  adversaries_.resize(batch_);
+  ssync_advs_.resize(batch_);
+  activations_.resize(batch_);
+  phase_schedulers_.resize(batch_);
+  schedules_.assign(batch_, nullptr);
+  mirrors_.resize(batch_);
+  horizons_.resize(batch_);
+
+  const std::size_t plane = std::size_t{robots_} * batch_;
+  node_.assign(plane, 0);
+  dir_.assign(plane, static_cast<std::uint8_t>(LocalDirection::kLeft));
+  right_cw_.assign(plane, 0);
+  mult_.assign(plane, 0);
+  kcounter_.assign(plane, 0);
+  khas_moved_.assign(plane, 0);
+  krng_.assign(kernel_id_ == KernelId::kRandomWalk ? plane : 1,
+               Xoshiro256(0));
+  if (model_ == ExecutionModel::kAsync) {
+    phases_.assign(plane, static_cast<std::uint8_t>(Phase::kLook));
+    pending_views_.assign(plane, View{});
+    phase_scratch_.assign(robots_, Phase::kLook);
+  }
+
+  visits_.assign(std::size_t{batch_} * nodes_, VisitCell{});
+
+  // Multiplicity path selection (see recompute_multiplicity): row compares
+  // need enough replicas to amortize and O(k^2) work a moderate k.
+  stamped_mult_ = batch_ < 4 || robots_ >= 48;
+  if (stamped_mult_) {
+    stamp_epoch_.assign(std::size_t{batch_} * nodes_, 0);
+    stamp_count_.assign(std::size_t{batch_} * nodes_, 0);
+  }
+
+  edges_.resize(batch_);
+  edge_words_.assign(batch_, nullptr);
+  refill_.assign(batch_, 1);
+  edges_full_.assign(batch_, 0);
+  masks_.resize(batch_);
+  moving_.resize(batch_);
+  moves_.assign(batch_, 0);
+  tower_flag_.assign(batch_, 0);
+  prev_had_tower_.assign(batch_, 0);
+  max_closed_gap_.assign(batch_, 0);
+  stats_.assign(batch_, EngineStats{});
+
+  for (std::uint32_t l = 0; l < batch_; ++l) {
+    replica_of_lane_[l] = l;
+    lane_of_replica_[l] = l;
+    init_replica(l, replicas[l]);
+  }
+
+  // The t = 0 boundary (Engine::init's observe_boundary(0)).
+  recompute_multiplicity();
+  observe_boundary(0);
+  for (std::uint32_t l = 0; l < batch_; ++l) {
+    if (tower_flag_[l]) {
+      ++stats_[l].tower_rounds;
+      ++stats_[l].tower_formations;
+      prev_had_tower_[l] = 1;
+    }
+  }
+
+  if (options_.record_trace) {
+    traces_.resize(batch_);
+    record_scratch_.resize(batch_);
+    for (std::uint32_t r = 0; r < batch_; ++r) {
+      traces_[r] = std::make_unique<Trace>(ring_, snapshot(r));
+    }
+  }
+
+  // Zero-horizon replicas are done before the first step.
+  retire_finished();
+}
+
+void BatchEngine::init_replica(std::uint32_t lane, BatchReplica& replica) {
+  PEF_CHECK(replica.algorithm != nullptr);
+  const auto kernel = replica.algorithm->kernel();
+  PEF_CHECK_MSG(kernel.has_value() && kernel->id == kernel_id_,
+                "every replica of a batch must run the same KernelId");
+  PEF_CHECK_MSG(replica.placements.size() == robots_,
+                "every replica of a batch must place the same robot count");
+  PEF_CHECK_MSG(
+      replica.horizon < std::numeric_limits<std::uint32_t>::max(),
+      "batch horizons must fit 32 bits (the visit cells store u32 times)");
+
+  switch (model_) {
+    case ExecutionModel::kFsync:
+      PEF_CHECK(replica.adversary != nullptr);
+      PEF_CHECK(replica.adversary->ring() == ring_);
+      break;
+    case ExecutionModel::kSsync:
+      PEF_CHECK(replica.ssync_adversary != nullptr);
+      PEF_CHECK(replica.ssync_adversary->ring() == ring_);
+      PEF_CHECK(replica.activation != nullptr);
+      break;
+    case ExecutionModel::kAsync:
+      PEF_CHECK(replica.ssync_adversary != nullptr);
+      PEF_CHECK(replica.ssync_adversary->ring() == ring_);
+      PEF_CHECK(replica.phases != nullptr);
+      break;
+  }
+
+  if (options_.enforce_well_initiated) {
+    PEF_CHECK_MSG(replica.placements.size() < nodes_,
+                  "well-initiated executions need k < n");
+    for (std::size_t a = 0; a < replica.placements.size(); ++a) {
+      for (std::size_t b = a + 1; b < replica.placements.size(); ++b) {
+        PEF_CHECK_MSG(replica.placements[a].node != replica.placements[b].node,
+                      "well-initiated executions start towerless");
+      }
+    }
+  }
+
+  algorithms_[lane] = replica.algorithm;
+  specs_[lane] = *kernel;
+  adversaries_[lane] = std::move(replica.adversary);
+  ssync_advs_[lane] = std::move(replica.ssync_adversary);
+  activations_[lane] = std::move(replica.activation);
+  phase_schedulers_[lane] = std::move(replica.phases);
+  horizons_[lane] = replica.horizon;
+
+  for (std::uint32_t i = 0; i < robots_; ++i) {
+    const RobotPlacement& p = replica.placements[i];
+    PEF_CHECK(ring_.is_valid_node(p.node));
+    const std::size_t at = std::size_t{i} * batch_ + lane;
+    node_[at] = p.node;
+    dir_[at] = static_cast<std::uint8_t>(LocalDirection::kLeft);
+    right_cw_[at] = p.chirality.right_is_clockwise() ? 1 : 0;
+    init_kernel_state(
+        specs_[lane], static_cast<RobotId>(i),
+        KernelStateRef{
+            krng_[kernel_id_ == KernelId::kRandomWalk ? at : 0],
+            kcounter_[at], khas_moved_[at]});
+  }
+
+  edges_[lane] = EdgeSet(edge_count_);
+  masks_[lane].assign(robots_, 0);
+  moving_[lane].assign(robots_, 0);
+
+  if (model_ == ExecutionModel::kFsync) {
+    // Mirror Engine's FSYNC fast paths: oblivious adversaries are pure
+    // functions of time (no gamma mirror); time-invariant schedules are
+    // filled once, here, and never refilled.
+    if (const auto* oblivious = dynamic_cast<const ObliviousAdversary*>(
+            adversaries_[lane].get())) {
+      schedules_[lane] = oblivious->schedule().get();
+      if (schedules_[lane]->time_invariant()) {
+        refill_[lane] = 0;
+        schedules_[lane]->edges_into(0, edges_[lane]);
+        edges_full_[lane] = edges_[lane].full() ? 1 : 0;
+        edge_words_[lane] = edges_[lane].words();
+      }
+    } else {
+      mirrors_[lane] = std::make_unique<Configuration>(snapshot_lane(lane));
+    }
+  } else {
+    // Policies and SSYNC/ASYNC adversaries see gamma every round.
+    mirrors_[lane] = std::make_unique<Configuration>(snapshot_lane(lane));
+  }
+}
+
+void BatchEngine::recompute_multiplicity() {
+  if (stamped_mult_) {
+    recompute_multiplicity_stamped();
+    return;
+  }
+  // Replica-wide, gather-free: robot i's multiplicity bit in replica l is
+  // "node row i agrees with some other node row at column l"; a replica
+  // holds a tower iff any robot sees multiplicity.  Deliberately O(k^2)
+  // per lane: for moderate k this beats maintaining an occupancy
+  // histogram, whose per-robot scattered updates defeat the replica-stride
+  // layout (the stamp path above covers the narrow-batch / huge-k
+  // regimes).
+  compute_multiplicity_rows(node_.data(), mult_.data(), tower_flag_.data(),
+                            robots_, batch_, active_);
+}
+
+void BatchEngine::recompute_multiplicity_stamped() {
+  const std::uint32_t live = active_;
+  const std::uint32_t stride = batch_;
+  const std::uint32_t k = robots_;
+  const std::uint32_t n = nodes_;
+  const std::uint32_t epoch = ++mult_epoch_;
+  const NodeId* const node = node_.data();
+  std::uint8_t* const mult = mult_.data();
+
+  // O(k) per lane: stamp each occupied (lane, node) cell with this
+  // boundary's epoch and count occupants, then read each robot's count
+  // back.  Scattered, so only selected (at construction) when the batch is
+  // too narrow to amortize row compares or k^2 is prohibitive.
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const std::size_t base = std::size_t{i} * stride;
+    for (std::uint32_t l = 0; l < live; ++l) {
+      const std::size_t at = std::size_t{l} * n + node[base + l];
+      if (stamp_epoch_[at] == epoch) {
+        ++stamp_count_[at];
+      } else {
+        stamp_epoch_[at] = epoch;
+        stamp_count_[at] = 1;
+      }
+    }
+  }
+  for (std::uint32_t l = 0; l < live; ++l) tower_flag_[l] = 0;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const std::size_t base = std::size_t{i} * stride;
+    for (std::uint32_t l = 0; l < live; ++l) {
+      const std::size_t at = std::size_t{l} * n + node[base + l];
+      const std::uint8_t m = stamp_count_[at] > 1 ? 1 : 0;
+      mult[base + l] = m;
+      tower_flag_[l] |= m;
+    }
+  }
+}
+
+void BatchEngine::observe_boundary(Time t) {
+  const std::uint32_t live = active_;
+  const std::uint32_t stride = batch_;
+  const std::uint32_t k = robots_;
+  const std::uint32_t n = nodes_;
+  const NodeId* const node = node_.data();
+  const auto t32 = static_cast<std::uint32_t>(t);
+  // Lane-major: each lane's visit row stays hot for its k cell updates and
+  // the per-lane aggregates (gap maximum, cover bookkeeping) live in
+  // registers across the robot loop.  Within a lane robots are processed
+  // in index order, exactly like Engine::observe_boundary.
+  for (std::uint32_t l = 0; l < live; ++l) {
+    VisitCell* const row = visits_.data() + std::size_t{l} * n;
+    EngineStats& st = stats_[l];
+    Time max_gap = max_closed_gap_[l];
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const NodeId u = node[std::size_t{i} * stride + l];
+      VisitCell& cell = row[u];
+      if (cell.count != 0) {
+        const Time gap = t - cell.last;
+        if (gap > max_gap) max_gap = gap;
+      } else {
+        if (++st.visited_node_count == n && !st.cover_time) {
+          st.cover_time = t;
+        }
+      }
+      ++cell.count;
+      cell.last = t32;
+    }
+    max_closed_gap_[l] = max_gap;
+  }
+}
+
+void BatchEngine::step() {
+  PEF_CHECK_MSG(active_ > 0, "every replica already reached its horizon");
+  const bool tracing = !traces_.empty();
+  switch (model_) {
+    case ExecutionModel::kFsync:
+      step_fsync();
+      break;
+    case ExecutionModel::kSsync:
+      step_ssync();
+      break;
+    case ExecutionModel::kAsync:
+      step_async();
+      break;
+  }
+  recompute_multiplicity();  // boundary t+1: Look inputs for the next round
+  observe_boundary(now_ + 1);
+  update_mirrors();
+  if (tracing) end_trace_round();
+  finish_round();
+  ++now_;
+  retire_finished();
+}
+
+void BatchEngine::run_all() {
+  while (active_ > 0) step();
+}
+
+void BatchEngine::step_fsync() {
+  // E_t per live replica.  Time-invariant lanes keep their construction
+  // fill; oblivious lanes refill the scratch set in place; adaptive lanes
+  // see their gamma mirror.
+  for (std::uint32_t l = 0; l < active_; ++l) {
+    if (schedules_[l] != nullptr) {
+      if (refill_[l]) {
+        schedules_[l]->edges_into(now_, edges_[l]);
+        edges_full_[l] = edges_[l].full() ? 1 : 0;
+        edge_words_[l] = edges_[l].words();
+      }
+    } else {
+      edges_[l] = adversaries_[l]->choose_edges(now_, *mirrors_[l]);
+      PEF_CHECK(edges_[l].edge_count() == edge_count_);
+      edges_full_[l] = edges_[l].full() ? 1 : 0;
+      edge_words_[l] = edges_[l].words();
+    }
+  }
+  if (!traces_.empty()) begin_trace_round();
+
+  bool all_full = true;
+  for (std::uint32_t l = 0; l < active_; ++l) {
+    all_full = all_full && edges_full_[l] != 0;
+  }
+
+  with_kernel_id(kernel_id_, [&]<KernelId Id>() {
+    if (all_full) {
+      fsync_pass<Id, true>();
+    } else {
+      fsync_pass<Id, false>();
+    }
+  });
+}
+
+template <KernelId Id, bool AllFull>
+void BatchEngine::fsync_pass() {
+  FsyncPassArgs args;
+  args.live = active_;
+  args.stride = batch_;
+  args.k = robots_;
+  args.n = nodes_;
+  args.node = node_.data();
+  args.dir = dir_.data();
+  args.cw = right_cw_.data();
+  args.mult = mult_.data();
+  args.krng = krng_.data();
+  args.kcounter = kcounter_.data();
+  args.khas_moved = khas_moved_.data();
+  args.spec = specs_.data();
+  args.ew = edge_words_.data();
+  args.moves = moves_.data();
+  fsync_pass_run<Id, AllFull>(args);
+}
+
+void BatchEngine::step_ssync() {
+  for (std::uint32_t l = 0; l < active_; ++l) {
+    activations_[l]->activate(now_, *mirrors_[l], masks_[l]);
+    PEF_CHECK(masks_[l].size() == robots_);
+    ssync_advs_[l]->choose_edges_into(now_, *mirrors_[l], masks_[l],
+                                      edges_[l]);
+    PEF_CHECK(edges_[l].edge_count() == edge_count_);
+    edge_words_[l] = edges_[l].words();
+  }
+  if (!traces_.empty()) begin_trace_round();
+
+  with_kernel_id(kernel_id_, [&]<KernelId Id>() { ssync_pass<Id>(); });
+}
+
+template <KernelId Id>
+void BatchEngine::ssync_pass() {
+  const std::uint32_t live = active_;
+  const std::uint32_t stride = batch_;
+  const std::uint32_t k = robots_;
+  const std::uint32_t n = nodes_;
+  NodeId* const node = node_.data();
+  std::uint8_t* const dir = dir_.data();
+  const std::uint8_t* const cw = right_cw_.data();
+  const std::uint8_t* const mult = mult_.data();
+  Xoshiro256* const krng = krng_.data();
+  std::uint64_t* const kcounter = kcounter_.data();
+  std::uint8_t* const khas_moved = khas_moved_.data();
+  const KernelSpec* const spec = specs_.data();
+  const std::uint64_t* const* const ew = edge_words_.data();
+  const ActivationMask* const masks = masks_.data();
+
+  // Fused L-C-M for each replica's activated subset (sound for the same
+  // reason as FSYNC: Look inputs are frozen for the round).
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const std::size_t base = std::size_t{i} * stride;
+    for (std::uint32_t l = 0; l < live; ++l) {
+      if (masks[l][i] == 0) continue;
+      const std::size_t at = base + l;
+      const NodeId u = node[at];
+      const bool ahead_cw = dir[at] == cw[at];
+      const auto [ahead, behind] = adjacent_edges(u, ahead_cw, n);
+      const std::uint64_t* const words = ew[l];
+      View view;
+      view.exists_edge_ahead = edge_present(words, ahead);
+      view.exists_edge_behind = edge_present(words, behind);
+      view.other_robots_on_node = mult[at] != 0;
+      auto d = static_cast<LocalDirection>(dir[at]);
+      kernel_compute<Id>(spec[l], view, d,
+                         kernel_state_at<Id>(krng, kcounter, khas_moved, at));
+      dir[at] = static_cast<std::uint8_t>(d);
+
+      const bool move_cw = static_cast<std::uint8_t>(d) == cw[at];
+      if (edge_present(words, adjacent_edges(u, move_cw, n).first)) {
+        node[at] = step_node(u, move_cw, n);
+        ++moves_[l];
+      }
+    }
+  }
+}
+
+void BatchEngine::step_async() {
+  for (std::uint32_t l = 0; l < active_; ++l) {
+    for (std::uint32_t i = 0; i < robots_; ++i) {
+      phase_scratch_[i] =
+          static_cast<Phase>(phases_[std::size_t{i} * batch_ + l]);
+    }
+    phase_schedulers_[l]->advance(now_, *mirrors_[l], phase_scratch_,
+                                  masks_[l]);
+    PEF_CHECK(masks_[l].size() == robots_);
+    ActivationMask& moving = moving_[l];
+    moving.assign(robots_, 0);
+    for (std::uint32_t i = 0; i < robots_; ++i) {
+      moving[i] =
+          (masks_[l][i] != 0 && phase_scratch_[i] == Phase::kMove) ? 1 : 0;
+    }
+    ssync_advs_[l]->choose_edges_into(now_, *mirrors_[l], moving, edges_[l]);
+    PEF_CHECK(edges_[l].edge_count() == edge_count_);
+    edge_words_[l] = edges_[l].words();
+  }
+  if (!traces_.empty()) begin_trace_round();
+
+  with_kernel_id(kernel_id_, [&]<KernelId Id>() { async_pass<Id>(); });
+}
+
+template <KernelId Id>
+void BatchEngine::async_pass() {
+  const std::uint32_t live = active_;
+  const std::uint32_t stride = batch_;
+  const std::uint32_t k = robots_;
+  const std::uint32_t n = nodes_;
+  NodeId* const node = node_.data();
+  std::uint8_t* const dir = dir_.data();
+  const std::uint8_t* const cw = right_cw_.data();
+  const std::uint8_t* const mult = mult_.data();
+  Xoshiro256* const krng = krng_.data();
+  std::uint64_t* const kcounter = kcounter_.data();
+  std::uint8_t* const khas_moved = khas_moved_.data();
+  const KernelSpec* const spec = specs_.data();
+  const std::uint64_t* const* const ew = edge_words_.data();
+  const ActivationMask* const masks = masks_.data();
+  const ActivationMask* const moving = moving_.data();
+  std::uint8_t* const phase = phases_.data();
+  View* const pending = pending_views_.data();
+
+  // One pass: an advancing robot executes exactly one of Look / Compute /
+  // Move this tick, and lookers and movers are disjoint, so fusing keeps
+  // Engine's two-pass semantics (Looks read the tick-start configuration:
+  // the multiplicity plane is frozen, E_t is frozen, and no looker's node
+  // changes).
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const std::size_t base = std::size_t{i} * stride;
+    for (std::uint32_t l = 0; l < live; ++l) {
+      if (masks[l][i] == 0) continue;
+      const std::size_t at = base + l;
+      if (moving[l][i] != 0) {
+        const NodeId u = node[at];
+        const bool move_cw = dir[at] == cw[at];
+        if (edge_present(ew[l], adjacent_edges(u, move_cw, n).first)) {
+          node[at] = step_node(u, move_cw, n);
+          ++moves_[l];
+        }
+        phase[at] = static_cast<std::uint8_t>(Phase::kLook);
+      } else if (phase[at] == static_cast<std::uint8_t>(Phase::kLook)) {
+        // Snapshot against the CURRENT edge set and configuration; the
+        // view may be stale by the time Compute / Move execute.
+        const NodeId u = node[at];
+        const bool ahead_cw = dir[at] == cw[at];
+        const auto [ahead, behind] = adjacent_edges(u, ahead_cw, n);
+        const std::uint64_t* const words = ew[l];
+        View view;
+        view.exists_edge_ahead = edge_present(words, ahead);
+        view.exists_edge_behind = edge_present(words, behind);
+        view.other_robots_on_node = mult[at] != 0;
+        pending[at] = view;
+        phase[at] = static_cast<std::uint8_t>(Phase::kCompute);
+      } else {  // Phase::kCompute
+        auto d = static_cast<LocalDirection>(dir[at]);
+        kernel_compute<Id>(
+            spec[l], pending[at], d,
+            kernel_state_at<Id>(krng, kcounter, khas_moved, at));
+        dir[at] = static_cast<std::uint8_t>(d);
+        phase[at] = static_cast<std::uint8_t>(Phase::kMove);
+      }
+    }
+  }
+}
+
+void BatchEngine::update_mirrors() {
+  // Lanes with a gamma mirror get it refreshed from the planes; dirs and
+  // positions that did not change are no-op writes (relocate_robot
+  // self-checks), so one uniform pass is correct for every model.
+  for (std::uint32_t l = 0; l < active_; ++l) {
+    Configuration* const mirror = mirrors_[l].get();
+    if (mirror == nullptr) continue;
+    for (std::uint32_t i = 0; i < robots_; ++i) {
+      const std::size_t at = std::size_t{i} * batch_ + l;
+      mirror->set_robot_dir(i, static_cast<LocalDirection>(dir_[at]));
+      mirror->relocate_robot(i, node_[at]);
+    }
+  }
+}
+
+void BatchEngine::finish_round() {
+  const Time t1 = now_ + 1;
+  for (std::uint32_t l = 0; l < active_; ++l) {
+    stats_[l].rounds = t1;
+    stats_[l].total_moves = moves_[l];
+    if (tower_flag_[l]) {
+      ++stats_[l].tower_rounds;
+      if (!prev_had_tower_[l]) ++stats_[l].tower_formations;
+      prev_had_tower_[l] = 1;
+    } else {
+      prev_had_tower_[l] = 0;
+    }
+  }
+}
+
+void BatchEngine::retire_finished() {
+  for (std::uint32_t l = active_; l-- > 0;) {
+    if (stats_[l].rounds >= horizons_[l]) {
+      const std::uint32_t last = --active_;
+      if (l != last) swap_lanes(l, last);
+    }
+  }
+}
+
+void BatchEngine::swap_lanes(std::uint32_t a, std::uint32_t b) {
+  using std::swap;
+  for (std::uint32_t i = 0; i < robots_; ++i) {
+    const std::size_t pa = std::size_t{i} * batch_ + a;
+    const std::size_t pb = std::size_t{i} * batch_ + b;
+    swap(node_[pa], node_[pb]);
+    swap(dir_[pa], dir_[pb]);
+    swap(right_cw_[pa], right_cw_[pb]);
+    swap(mult_[pa], mult_[pb]);
+    swap(kcounter_[pa], kcounter_[pb]);
+    swap(khas_moved_[pa], khas_moved_[pb]);
+    if (kernel_id_ == KernelId::kRandomWalk) swap(krng_[pa], krng_[pb]);
+    if (model_ == ExecutionModel::kAsync) {
+      swap(phases_[pa], phases_[pb]);
+      swap(pending_views_[pa], pending_views_[pb]);
+    }
+  }
+  const std::size_t ra = std::size_t{a} * nodes_;
+  const std::size_t rb = std::size_t{b} * nodes_;
+  std::swap_ranges(visits_.begin() + ra, visits_.begin() + ra + nodes_,
+                   visits_.begin() + rb);
+  if (stamped_mult_) {
+    std::swap_ranges(stamp_epoch_.begin() + ra,
+                     stamp_epoch_.begin() + ra + nodes_,
+                     stamp_epoch_.begin() + rb);
+    std::swap_ranges(stamp_count_.begin() + ra,
+                     stamp_count_.begin() + ra + nodes_,
+                     stamp_count_.begin() + rb);
+  }
+
+  swap(algorithms_[a], algorithms_[b]);
+  swap(specs_[a], specs_[b]);
+  swap(adversaries_[a], adversaries_[b]);
+  swap(ssync_advs_[a], ssync_advs_[b]);
+  swap(activations_[a], activations_[b]);
+  swap(phase_schedulers_[a], phase_schedulers_[b]);
+  swap(schedules_[a], schedules_[b]);
+  swap(mirrors_[a], mirrors_[b]);
+  swap(horizons_[a], horizons_[b]);
+  swap(edges_[a], edges_[b]);
+  swap(edge_words_[a], edge_words_[b]);
+  swap(refill_[a], refill_[b]);
+  swap(edges_full_[a], edges_full_[b]);
+  swap(masks_[a], masks_[b]);
+  swap(moving_[a], moving_[b]);
+  swap(moves_[a], moves_[b]);
+  swap(tower_flag_[a], tower_flag_[b]);
+  swap(prev_had_tower_[a], prev_had_tower_[b]);
+  swap(max_closed_gap_[a], max_closed_gap_[b]);
+  swap(stats_[a], stats_[b]);
+
+  const std::uint32_t replica_a = replica_of_lane_[a];
+  const std::uint32_t replica_b = replica_of_lane_[b];
+  replica_of_lane_[a] = replica_b;
+  replica_of_lane_[b] = replica_a;
+  lane_of_replica_[replica_a] = b;
+  lane_of_replica_[replica_b] = a;
+}
+
+// ---------------------------------------------------------------------------
+// Trace reconstruction (cold path).
+
+void BatchEngine::begin_trace_round() {
+  for (std::uint32_t l = 0; l < active_; ++l) {
+    RoundRecord& record = record_scratch_[l];
+    record.time = now_;
+    record.edges = edges_[l];
+    record.robots.assign(robots_, RobotRoundRecord{});
+    for (std::uint32_t i = 0; i < robots_; ++i) {
+      const std::size_t at = std::size_t{i} * batch_ + l;
+      RobotRoundRecord& r = record.robots[i];
+      r.node_before = node_[at];
+      r.node_after = node_[at];
+      r.dir_before = static_cast<LocalDirection>(dir_[at]);
+      r.dir_after = r.dir_before;
+      // The multiplicity bit of every Look fired this round is
+      // reconstructable up front: all Looks read the start-of-round
+      // multiplicity plane.  Which robots Look depends on the model.
+      bool looks = false;
+      switch (model_) {
+        case ExecutionModel::kFsync:
+          looks = true;
+          break;
+        case ExecutionModel::kSsync:
+          looks = masks_[l][i] != 0;
+          break;
+        case ExecutionModel::kAsync:
+          looks = masks_[l][i] != 0 && moving_[l][i] == 0 &&
+                  phases_[at] == static_cast<std::uint8_t>(Phase::kLook);
+          break;
+      }
+      if (looks) {
+        r.saw_other_robots = mult_[at] != 0;
+      }
+    }
+  }
+}
+
+void BatchEngine::end_trace_round() {
+  for (std::uint32_t l = 0; l < active_; ++l) {
+    RoundRecord& record = record_scratch_[l];
+    for (std::uint32_t i = 0; i < robots_; ++i) {
+      const std::size_t at = std::size_t{i} * batch_ + l;
+      RobotRoundRecord& r = record.robots[i];
+      r.dir_after = static_cast<LocalDirection>(dir_[at]);
+      r.node_after = node_[at];
+      // One Move crosses exactly one edge, so on a ring (n >= 2) a robot
+      // moved iff its node changed.
+      r.moved = r.node_after != r.node_before;
+    }
+    traces_[replica_of_lane_[l]]->append(record);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-replica results.
+
+const EngineStats& BatchEngine::stats(std::uint32_t replica) const {
+  PEF_CHECK(replica < batch_);
+  return stats_[lane_of_replica_[replica]];
+}
+
+CoverageReport BatchEngine::coverage_report(std::uint32_t replica,
+                                            Time suffix_window) const {
+  PEF_CHECK(replica < batch_);
+  const std::uint32_t l = lane_of_replica_[replica];
+  const Time local_now = stats_[l].rounds;
+  const std::size_t row = std::size_t{l} * nodes_;
+
+  CoverageReport report;
+  report.horizon = local_now;
+  report.suffix_window =
+      suffix_window == 0 ? local_now / 4 + 1 : suffix_window;
+  report.visit_counts.resize(nodes_);
+  for (NodeId u = 0; u < nodes_; ++u) {
+    report.visit_counts[u] = visits_[row + u].count;
+  }
+  report.visited_node_count = stats_[l].visited_node_count;
+  report.cover_time = stats_[l].cover_time;
+  report.max_closed_gap = max_closed_gap_[l];
+
+  const Time suffix_start =
+      local_now >= report.suffix_window ? local_now - report.suffix_window : 0;
+  for (NodeId u = 0; u < nodes_; ++u) {
+    const VisitCell& cell = visits_[row + u];
+    const Time open_gap = cell.count != 0 ? local_now - cell.last : local_now;
+    report.max_revisit_gap =
+        std::max({report.max_revisit_gap, report.max_closed_gap, open_gap});
+    if (cell.count != 0 && cell.last >= suffix_start) {
+      ++report.nodes_visited_in_suffix;
+    }
+  }
+  return report;
+}
+
+NodeId BatchEngine::robot_node(std::uint32_t replica, RobotId r) const {
+  PEF_CHECK(replica < batch_ && r < robots_);
+  return node_[std::size_t{r} * batch_ + lane_of_replica_[replica]];
+}
+
+Configuration BatchEngine::snapshot(std::uint32_t replica) const {
+  PEF_CHECK(replica < batch_);
+  return snapshot_lane(lane_of_replica_[replica]);
+}
+
+Configuration BatchEngine::snapshot_lane(std::uint32_t lane) const {
+  std::vector<RobotSnapshot> snaps;
+  snaps.reserve(robots_);
+  for (std::uint32_t i = 0; i < robots_; ++i) {
+    const std::size_t at = std::size_t{i} * batch_ + lane;
+    RobotSnapshot s;
+    s.node = node_[at];
+    s.dir = static_cast<LocalDirection>(dir_[at]);
+    s.chirality = Chirality(right_cw_[at] != 0);
+    snaps.push_back(std::move(s));
+  }
+  return Configuration(ring_, std::move(snaps));
+}
+
+const Trace& BatchEngine::trace(std::uint32_t replica) const {
+  PEF_CHECK(replica < batch_);
+  PEF_CHECK_MSG(!traces_.empty(),
+                "trace() requires BatchEngineOptions::record_trace");
+  return *traces_[replica];
+}
+
+}  // namespace pef

@@ -1,0 +1,275 @@
+// BatchEngine — the replica-batched Monte-Carlo execution core.
+//
+// A sweep cell, a figure bench and a seed battery all run the SAME scenario
+// (ring, algorithm, execution model, horizon) B times with different seeds
+// or adversary draws.  Running those as B independent Engines wastes the
+// structure: every replica re-pays the round-loop fixed costs (kernel
+// dispatch, adversary virtual calls, loop setup) and the per-replica state
+// is touched in B separate passes with cold caches between seeds.
+//
+// BatchEngine advances all B replicas in lock-step — one call to step()
+// runs one round of every unfinished replica — with the robot state laid
+// out struct-of-arrays ACROSS replicas:
+//
+//     node_[robot * B + replica]          (u32 plane)
+//     dir_ / right_cw_ / mult_[robot * B + replica]  (byte planes)
+//     krng_ / kcounter_ / khas_moved_[robot * B + replica]
+//                                         (kernel memory, one plane per
+//                                          KernelState field)
+//     visits_[replica * n + node]         (count+last-visit cells)
+//
+// so the round loops iterate robot-major with a replica-stride inner loop:
+// B independent replicas' worth of identical, branch-light work the
+// compiler can vectorize and the core can overlap (no serial dependence
+// between replicas).  The Compute phase is the enum-dispatched kernel path
+// of robot/kernel.hpp — the KernelId is lifted to a template parameter
+// ONCE per round, so each kernel's Look+Compute body inlines straight into
+// the replica loop: this is the SIMD hook the per-kernel loop
+// instantiation was built for.
+//
+// The key deviation from Engine's round core: BatchEngine keeps NO
+// occupancy histogram.  The only things occupancy feeds are the Look
+// phase's multiplicity bit and the tower stats, and both reduce to the
+// per-robot predicate "does some other robot share my node" — which one
+// counting pass over the node planes recomputes per boundary as a byte
+// plane (mult_): k^2 replica-wide vector compares with no gathers or
+// scatters.  With the multiplicity plane and E_t frozen for the round,
+// Look, Compute and Move fuse into ONE replica-stride pass (no robot's
+// action changes another's inputs), followed by a visit-bookkeeping pass
+// over 8-byte per-(replica, node) cells.  Further hot-path
+// specializations:
+//
+//   * time-invariant schedules (StaticSchedule) are filled once at
+//     construction and never refilled; when every live replica's edge set
+//     is the full set, the round runs an AllFull instantiation with no
+//     per-robot edge-presence tests at all (and every robot provably
+//     moves);
+//   * replicas that reach their horizon are compacted out (their lane is
+//     swapped with the last live lane), so the inner loops always run over
+//     a dense prefix of live replicas and a ragged batch never idles.
+//
+// Results are BIT-IDENTICAL to B independent Engine runs: per-replica
+// adversaries / activation policies / phase schedulers are separate objects
+// consumed once per round in the same order as a solo run, and
+// tests/batch_engine_test.cpp pins traces and stats to Engine across every
+// registry kernel x {FSYNC, SSYNC, ASYNC} x seeds, including ragged
+// horizons.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "adversary/adversary.hpp"
+#include "analysis/coverage.hpp"
+#include "common/types.hpp"
+#include "engine/engine.hpp"
+#include "robot/algorithm.hpp"
+#include "robot/kernel.hpp"
+#include "robot/robot.hpp"
+#include "scheduler/async.hpp"
+#include "scheduler/ssync.hpp"
+#include "scheduler/trace.hpp"
+
+namespace pef {
+
+/// One replica of the batch: the same scenario shape as one Engine run.
+/// Every replica must share the ring, the robot count and the algorithm's
+/// KernelId; seeds, placements, adversary draws and horizons may differ.
+struct BatchReplica {
+  /// Must provide a kernel (Algorithm::kernel()); every registry algorithm
+  /// does.  The KernelSpec may differ per replica (per-seed random-walk
+  /// streams), the KernelId may not.
+  AlgorithmPtr algorithm;
+
+  /// FSYNC: the per-replica edge adversary.
+  AdversaryPtr adversary;
+  /// SSYNC / ASYNC: the per-replica edge adversary (sees the activation /
+  /// moving mask).
+  std::unique_ptr<SsyncAdversary> ssync_adversary;
+  /// SSYNC: selects the L-C-M subset each round.
+  std::unique_ptr<ActivationPolicy> activation;
+  /// ASYNC: advances the per-robot phase machines each tick.
+  std::unique_ptr<PhaseScheduler> phases;
+
+  std::vector<RobotPlacement> placements;
+
+  /// Rounds (FSYNC/SSYNC) or ticks (ASYNC) this replica runs before it is
+  /// compacted out of the batch.  Horizons may differ across replicas.
+  Time horizon = 0;
+};
+
+/// Wire `replica`'s model-specific pieces the way every FSYNC-battery
+/// entry point does it (SweepRunner, run_battery, pef_run --batch): FSYNC
+/// takes the adversary directly; SSYNC/ASYNC adapt it through
+/// SsyncFromFsyncAdversary and attach the standard seeded Bernoulli
+/// activation / phase scheduler, so batched and solo runs of the same
+/// (model, seed) see identical streams.
+void wire_standard_replica(BatchReplica& replica, ExecutionModel model,
+                           AdversaryPtr adversary, double activation_p,
+                           std::uint64_t seed);
+
+struct BatchEngineOptions {
+  /// Record a full per-replica Trace (see Engine's option of the same
+  /// name).  Off by default — tracing is the differential-test path, the
+  /// batch's niche is untraced Monte-Carlo throughput.
+  bool record_trace = false;
+
+  /// Enforce the paper's well-initiated execution requirements per replica.
+  bool enforce_well_initiated = true;
+};
+
+class BatchEngine {
+ public:
+  BatchEngine(Ring ring, ExecutionModel model,
+              std::vector<BatchReplica> replicas,
+              BatchEngineOptions options = {});
+
+  /// One lock-step round (FSYNC/SSYNC) or tick (ASYNC) of every unfinished
+  /// replica, then compaction of replicas that reached their horizon.
+  void step();
+
+  /// Run until every replica reaches its horizon.
+  void run_all();
+
+  [[nodiscard]] ExecutionModel model() const { return model_; }
+  [[nodiscard]] const Ring& ring() const { return ring_; }
+  [[nodiscard]] std::uint32_t replica_count() const { return batch_; }
+  /// Replicas that have not yet reached their horizon.
+  [[nodiscard]] std::uint32_t active_replicas() const { return active_; }
+  [[nodiscard]] std::uint32_t robot_count() const { return robots_; }
+  /// Rounds/ticks advanced so far (== every live replica's local time).
+  [[nodiscard]] Time now() const { return now_; }
+
+  // Per-replica results, indexed by construction order (stable across
+  // internal lane compaction).
+  [[nodiscard]] const EngineStats& stats(std::uint32_t replica) const;
+  [[nodiscard]] CoverageReport coverage_report(std::uint32_t replica,
+                                               Time suffix_window = 0) const;
+  [[nodiscard]] NodeId robot_node(std::uint32_t replica, RobotId r) const;
+  [[nodiscard]] Configuration snapshot(std::uint32_t replica) const;
+  /// Only valid when options.record_trace was set.
+  [[nodiscard]] const Trace& trace(std::uint32_t replica) const;
+
+ private:
+  void init_replica(std::uint32_t lane, BatchReplica& replica);
+  void step_fsync();
+  void step_ssync();
+  void step_async();
+  /// The per-kernel FSYNC round: one fused Look+Compute+Move pass with a
+  /// replica-stride inner loop.  AllFull elides every edge-presence test
+  /// (every live replica's E_t is the full set, so every robot moves).
+  template <KernelId Id, bool AllFull>
+  void fsync_pass();
+  template <KernelId Id>
+  void ssync_pass();
+  template <KernelId Id>
+  void async_pass();
+
+  /// Recompute the multiplicity byte plane and per-lane tower flags from
+  /// the node planes (replica-wide compares, or the stamp path for small
+  /// batches / large robot counts; no occupancy histogram exists to
+  /// maintain).
+  void recompute_multiplicity();
+  void recompute_multiplicity_stamped();
+  /// Visit/cover bookkeeping for every robot at config time `t` (the
+  /// batched equivalent of Engine::observe_boundary, minus the tower flags
+  /// which recompute_multiplicity owns).
+  void observe_boundary(Time t);
+  /// Refresh a lane's gamma mirror from the planes (dirs + positions).
+  void update_mirrors();
+  /// Per-lane end-of-round bookkeeping: tower stats, round counters.
+  void finish_round();
+  /// Swap finished lanes out of the live prefix.
+  void retire_finished();
+  void swap_lanes(std::uint32_t a, std::uint32_t b);
+  [[nodiscard]] Configuration snapshot_lane(std::uint32_t lane) const;
+
+  // Trace reconstruction (cold path): records are rebuilt from the planes
+  // around the hot passes, so tracing costs nothing when off.
+  void begin_trace_round();
+  void end_trace_round();
+
+  Ring ring_;
+  ExecutionModel model_ = ExecutionModel::kFsync;
+  BatchEngineOptions options_;
+  KernelId kernel_id_ = KernelId::kKeepDirection;
+  std::uint32_t batch_ = 0;   // B: replica count == lane capacity
+  std::uint32_t active_ = 0;  // live lanes are 0..active_-1
+  std::uint32_t robots_ = 0;  // k
+  std::uint32_t nodes_ = 0;   // n
+  std::uint32_t edge_count_ = 0;
+  Time now_ = 0;
+
+  // Lane <-> replica maps (compaction permutes lanes, never replica ids).
+  std::vector<std::uint32_t> replica_of_lane_;
+  std::vector<std::uint32_t> lane_of_replica_;
+
+  // Per-lane scenario objects.
+  std::vector<AlgorithmPtr> algorithms_;
+  std::vector<KernelSpec> specs_;
+  std::vector<AdversaryPtr> adversaries_;                    // FSYNC
+  std::vector<std::unique_ptr<SsyncAdversary>> ssync_advs_;  // SSYNC/ASYNC
+  std::vector<std::unique_ptr<ActivationPolicy>> activations_;
+  std::vector<std::unique_ptr<PhaseScheduler>> phase_schedulers_;
+  std::vector<const EdgeSchedule*> schedules_;  // FSYNC oblivious fast path
+  std::vector<std::unique_ptr<Configuration>> mirrors_;
+  std::vector<Time> horizons_;
+
+  // Robot state planes, stride batch_ (robot-major, replica-minor).
+  std::vector<NodeId> node_;
+  std::vector<std::uint8_t> dir_;
+  std::vector<std::uint8_t> right_cw_;
+  std::vector<std::uint8_t> mult_;     // boundary multiplicity bits (0/1)
+  // Kernel memory as per-FIELD planes (the batched form of KernelState):
+  // keeping each field contiguous along the replica axis lets the fused
+  // pass vectorize stateful kernels — pef3+'s has_moved flag is a byte
+  // plane here instead of one byte strided across 48-byte structs.  The
+  // rng plane is allocated only for random-walk batches (one dummy slot
+  // otherwise).
+  std::vector<Xoshiro256> krng_;
+  std::vector<std::uint64_t> kcounter_;
+  std::vector<std::uint8_t> khas_moved_;
+  std::vector<std::uint8_t> phases_;   // ASYNC: Phase byte plane
+  std::vector<View> pending_views_;    // ASYNC: Look snapshots
+
+  /// Visit bookkeeping of one (lane, node): one cache access per robot per
+  /// boundary.  `last` is only meaningful when `count > 0`; 32 bits suffice
+  /// because batch horizons are checked against 2^32 at construction.
+  struct VisitCell {
+    std::uint32_t count = 0;
+    std::uint32_t last = 0;
+  };
+  // Per-(lane, node) cells, lane-major rows of length nodes_.
+  std::vector<VisitCell> visits_;
+
+  // Per-lane round state.
+  std::vector<EdgeSet> edges_;
+  std::vector<const std::uint64_t*> edge_words_;
+  std::vector<std::uint8_t> refill_;      // 0 = time-invariant, filled once
+  std::vector<std::uint8_t> edges_full_;  // E_t is the full set
+  std::vector<ActivationMask> masks_;     // SSYNC activation / ASYNC advance
+  std::vector<ActivationMask> moving_;    // ASYNC Move phases firing
+  std::vector<std::uint64_t> moves_;      // per-lane move counter (hot)
+  std::vector<std::uint8_t> tower_flag_;  // some node holds >= 2 robots
+  std::vector<std::uint8_t> prev_had_tower_;
+  std::vector<Time> max_closed_gap_;
+  std::vector<EngineStats> stats_;
+  std::vector<Phase> phase_scratch_;  // per-lane vector for PhaseScheduler
+
+  // Multiplicity scratch.  The compare path accumulates per-robot node
+  // occurrence counts in u32 rows (mult_scratch_); the stamp path — used
+  // when the batch is too narrow or the robot count too large for O(k^2)
+  // row compares to win — tags visited (lane, node) cells with an epoch
+  // and counts occupants directly (stamp_epoch_ / stamp_count_, allocated
+  // only when that path is selected at construction).
+  bool stamped_mult_ = false;
+  std::uint32_t mult_epoch_ = 0;
+  std::vector<std::uint32_t> stamp_epoch_;
+  std::vector<std::uint32_t> stamp_count_;
+
+  // Per-REPLICA traces (tracing only).
+  std::vector<std::unique_ptr<Trace>> traces_;
+  std::vector<RoundRecord> record_scratch_;  // per lane, reused
+};
+
+}  // namespace pef

@@ -260,38 +260,40 @@ void Engine::step() {
   observe_boundary(now_);
 }
 
-void Engine::step_fsync() {
-  if (kernel_) {
-    with_kernel_id(kernel_->id, [&]<KernelId Id>() {
-      step_fsync_impl(KernelCompute<Id>{&*kernel_, kstates_.data()});
-    });
-  } else {
-    step_fsync_impl(VirtualCompute{algorithm_.get(), states_.data()});
-  }
-}
-
-void Engine::step_ssync() {
-  if (kernel_) {
-    with_kernel_id(kernel_->id, [&]<KernelId Id>() {
-      step_ssync_impl(KernelCompute<Id>{&*kernel_, kstates_.data()});
-    });
-  } else {
-    step_ssync_impl(VirtualCompute{algorithm_.get(), states_.data()});
-  }
-}
-
-void Engine::step_async() {
-  if (kernel_) {
-    with_kernel_id(kernel_->id, [&]<KernelId Id>() {
-      step_async_impl(KernelCompute<Id>{&*kernel_, kstates_.data()});
-    });
-  } else {
-    step_async_impl(VirtualCompute{algorithm_.get(), states_.data()});
+template <typename ComputeFn>
+void Engine::look_compute_all(const ComputeFn& compute_fn) {
+  const auto k = static_cast<std::uint32_t>(node_.size());
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const View view = look(frame_of(i));
+    LocalDirection dir = static_cast<LocalDirection>(dir_[i]);
+    compute_fn(i, view, dir);
+    dir_[i] = static_cast<std::uint8_t>(dir);
   }
 }
 
 template <typename ComputeFn>
-void Engine::step_fsync_impl(const ComputeFn& compute_fn) {
+void Engine::look_compute_list(const ComputeFn& compute_fn,
+                               const std::vector<std::uint32_t>& idx) {
+  for (const std::uint32_t i : idx) {
+    const View view = look(frame_of(i));
+    LocalDirection dir = static_cast<LocalDirection>(dir_[i]);
+    compute_fn(i, view, dir);
+    dir_[i] = static_cast<std::uint8_t>(dir);
+  }
+}
+
+template <typename ComputeFn>
+void Engine::compute_pending_list(const ComputeFn& compute_fn,
+                                  const std::vector<std::uint32_t>& idx) {
+  for (const std::uint32_t i : idx) {
+    LocalDirection dir = static_cast<LocalDirection>(dir_[i]);
+    compute_fn(i, pending_views_[i], dir);
+    dir_[i] = static_cast<std::uint8_t>(dir);
+    phases_[i] = Phase::kMove;
+  }
+}
+
+void Engine::step_fsync() {
   const auto k = static_cast<std::uint32_t>(node_.size());
 
   // Adversary: E_t.  Oblivious schedules refill the scratch set in place.
@@ -308,24 +310,25 @@ void Engine::step_fsync_impl(const ComputeFn& compute_fn) {
     record.time = now_;
     record.edges = edges_;
     record.robots.resize(k);
+    // The Look phase reads the start-of-round configuration, so every
+    // view's multiplicity bit is reconstructable here, before any robot
+    // acts: trace bookkeeping stays out of the per-kernel loop.
+    for (std::uint32_t i = 0; i < k; ++i) {
+      record.robots[i].node_before = node_[i];
+      record.robots[i].dir_before = static_cast<LocalDirection>(dir_[i]);
+      record.robots[i].saw_other_robots = occ_[node_[i]] > 1;
+    }
   }
 
   // Look + Compute.  The Look phase reads only node_/occ_/edges_, none of
   // which change before Move, so fusing the two phases preserves the
   // synchronous semantics; Compute writes only the robot's own dir/state.
-  for (std::uint32_t i = 0; i < k; ++i) {
-    const View view = look(frame_of(i));
-
-    if (tracing) {
-      record.robots[i].node_before = node_[i];
-      record.robots[i].dir_before = static_cast<LocalDirection>(dir_[i]);
-      record.robots[i].saw_other_robots = view.other_robots_on_node;
-    }
-
-    LocalDirection dir = static_cast<LocalDirection>(dir_[i]);
-    compute_fn(i, view, dir);
-    dir_[i] = static_cast<std::uint8_t>(dir);
-    if (tracing) record.robots[i].dir_after = dir;
+  if (kernel_) {
+    with_kernel_id(kernel_->id, [&]<KernelId Id>() {
+      look_compute_all(KernelCompute<Id>{&*kernel_, kstates_.data()});
+    });
+  } else {
+    look_compute_all(VirtualCompute{algorithm_.get(), states_.data()});
   }
 
   // Move: cross the pointed edge iff present in E_t (same set all round).
@@ -335,6 +338,7 @@ void Engine::step_fsync_impl(const ComputeFn& compute_fn) {
     const bool moved = apply_move(i, frame.ahead_cw, frame.ahead);
     moved_[i] = moved ? 1 : 0;
     if (tracing) {
+      record.robots[i].dir_after = static_cast<LocalDirection>(dir_[i]);
       record.robots[i].moved = moved;
       record.robots[i].node_after = node_[i];
     }
@@ -352,8 +356,7 @@ void Engine::step_fsync_impl(const ComputeFn& compute_fn) {
   if (tracing) trace_->append(std::move(record));
 }
 
-template <typename ComputeFn>
-void Engine::step_ssync_impl(const ComputeFn& compute_fn) {
+void Engine::step_ssync() {
   const auto k = static_cast<std::uint32_t>(node_.size());
 
   activation_->activate(now_, *gamma_mirror_, mask_);
@@ -361,39 +364,55 @@ void Engine::step_ssync_impl(const ComputeFn& compute_fn) {
   ssync_adversary_->choose_edges_into(now_, *gamma_mirror_, mask_, edges_);
   PEF_CHECK(edges_.edge_count() == ring_.edge_count());
 
+  // Compact the activation mask once, so the Look+Compute and Move loops
+  // iterate dense indices instead of re-testing (and mispredicting) the
+  // mask per robot per pass.
+  active_list_.clear();
+  for (std::uint32_t i = 0; i < k; ++i) {
+    if (mask_[i] != 0) active_list_.push_back(i);
+  }
+
   RoundRecord record;
   const bool tracing = trace_ != nullptr;
   if (tracing) {
     record.time = now_;
     record.edges = edges_;
     record.robots.resize(k);
-  }
-
-  // Look + Compute for the activated subset.  As in FSYNC, every activated
-  // robot's Look reads the start-of-round configuration (occ_/node_ are
-  // untouched until the Move pass below).
-  for (std::uint32_t i = 0; i < k; ++i) {
-    if (tracing) {
+    for (std::uint32_t i = 0; i < k; ++i) {
       record.robots[i].node_before = node_[i];
       record.robots[i].dir_before = static_cast<LocalDirection>(dir_[i]);
       record.robots[i].node_after = node_[i];
       record.robots[i].dir_after = static_cast<LocalDirection>(dir_[i]);
     }
-    if (mask_[i] == 0) continue;
+    // Activated robots' Looks all read the start-of-round occupancy.
+    for (const std::uint32_t i : active_list_) {
+      record.robots[i].saw_other_robots = occ_[node_[i]] > 1;
+    }
+  }
 
-    const View view = look(frame_of(i));
-    if (tracing) record.robots[i].saw_other_robots = view.other_robots_on_node;
+  // Look + Compute for the activated subset.  As in FSYNC, every activated
+  // robot's Look reads the start-of-round configuration (occ_/node_ are
+  // untouched until the Move pass below).
+  if (kernel_) {
+    with_kernel_id(kernel_->id, [&]<KernelId Id>() {
+      look_compute_list(KernelCompute<Id>{&*kernel_, kstates_.data()},
+                        active_list_);
+    });
+  } else {
+    look_compute_list(VirtualCompute{algorithm_.get(), states_.data()},
+                      active_list_);
+  }
 
-    LocalDirection dir = static_cast<LocalDirection>(dir_[i]);
-    compute_fn(i, view, dir);
-    dir_[i] = static_cast<std::uint8_t>(dir);
+  // The policies and adversaries only read the gamma mirror at the next
+  // round boundary, so the per-robot dir updates batch up fine here.
+  for (const std::uint32_t i : active_list_) {
+    const auto dir = static_cast<LocalDirection>(dir_[i]);
     gamma_mirror_->set_robot_dir(i, dir);
     if (tracing) record.robots[i].dir_after = dir;
   }
 
   // Move for the activated subset.
-  for (std::uint32_t i = 0; i < k; ++i) {
-    if (mask_[i] == 0) continue;
+  for (const std::uint32_t i : active_list_) {
     const RobotFrame frame = frame_of(i);
     if (apply_move(i, frame.ahead_cw, frame.ahead)) {
       gamma_mirror_->relocate_robot(i, node_[i]);
@@ -405,18 +424,33 @@ void Engine::step_ssync_impl(const ComputeFn& compute_fn) {
   if (tracing) trace_->append(std::move(record));
 }
 
-template <typename ComputeFn>
-void Engine::step_async_impl(const ComputeFn& compute_fn) {
+void Engine::step_async() {
   const auto k = static_cast<std::uint32_t>(node_.size());
 
   phase_scheduler_->advance(now_, *gamma_mirror_, phases_, mask_);
   PEF_CHECK(mask_.size() == k);
 
   // The adversary sees which robots fire their Move phase this tick (the
-  // only phase that interacts with edges).
+  // only phase that interacts with edges).  One pass splits the advancing
+  // set into its three per-phase index lists.
   moving_.assign(k, 0);
+  look_list_.clear();
+  compute_list_.clear();
+  move_list_.clear();
   for (std::uint32_t i = 0; i < k; ++i) {
-    moving_[i] = (mask_[i] != 0 && phases_[i] == Phase::kMove) ? 1 : 0;
+    if (mask_[i] == 0) continue;
+    switch (phases_[i]) {
+      case Phase::kLook:
+        look_list_.push_back(i);
+        break;
+      case Phase::kCompute:
+        compute_list_.push_back(i);
+        break;
+      case Phase::kMove:
+        moving_[i] = 1;
+        move_list_.push_back(i);
+        break;
+    }
   }
   ssync_adversary_->choose_edges_into(now_, *gamma_mirror_, moving_, edges_);
   PEF_CHECK(edges_.edge_count() == ring_.edge_count());
@@ -427,42 +461,44 @@ void Engine::step_async_impl(const ComputeFn& compute_fn) {
     record.time = now_;
     record.edges = edges_;
     record.robots.resize(k);
-  }
-
-  // Pass 1: Look and Compute phases.  No robot has moved yet this tick, so
-  // occ_ is exactly the tick-start occupancy every Look must see; Move
-  // phases (precomputed in moving_) run in pass 2.
-  for (std::uint32_t i = 0; i < k; ++i) {
-    if (tracing) {
+    for (std::uint32_t i = 0; i < k; ++i) {
       record.robots[i].node_before = node_[i];
       record.robots[i].dir_before = static_cast<LocalDirection>(dir_[i]);
       record.robots[i].node_after = node_[i];
       record.robots[i].dir_after = static_cast<LocalDirection>(dir_[i]);
     }
-    if (mask_[i] == 0 || moving_[i] != 0) continue;
+  }
 
-    if (phases_[i] == Phase::kLook) {
-      // Snapshot against the CURRENT edge set and configuration; the view
-      // may be stale by the time Compute / Move execute.
-      const View view = look(frame_of(i));
-      pending_views_[i] = view;
-      if (tracing) {
-        record.robots[i].saw_other_robots = view.other_robots_on_node;
-      }
-      phases_[i] = Phase::kCompute;
-    } else {  // Phase::kCompute
-      LocalDirection dir = static_cast<LocalDirection>(dir_[i]);
-      compute_fn(i, pending_views_[i], dir);
-      dir_[i] = static_cast<std::uint8_t>(dir);
-      gamma_mirror_->set_robot_dir(i, dir);
-      if (tracing) record.robots[i].dir_after = dir;
-      phases_[i] = Phase::kMove;
-    }
+  // Pass 1a: Look phases.  No robot has moved yet this tick, so occ_ is
+  // exactly the tick-start occupancy every Look must see; Move phases
+  // (already split into move_list_) run in pass 2.  The snapshot may be
+  // stale by the time Compute / Move execute — that is the model.
+  for (const std::uint32_t i : look_list_) {
+    const View view = look(frame_of(i));
+    pending_views_[i] = view;
+    if (tracing) record.robots[i].saw_other_robots = view.other_robots_on_node;
+    phases_[i] = Phase::kCompute;
+  }
+
+  // Pass 1b: Compute phases — the only ASYNC work that touches the
+  // algorithm, and therefore the only templated loop.
+  if (kernel_) {
+    with_kernel_id(kernel_->id, [&]<KernelId Id>() {
+      compute_pending_list(KernelCompute<Id>{&*kernel_, kstates_.data()},
+                           compute_list_);
+    });
+  } else {
+    compute_pending_list(VirtualCompute{algorithm_.get(), states_.data()},
+                         compute_list_);
+  }
+  for (const std::uint32_t i : compute_list_) {
+    const auto dir = static_cast<LocalDirection>(dir_[i]);
+    gamma_mirror_->set_robot_dir(i, dir);
+    if (tracing) record.robots[i].dir_after = dir;
   }
 
   // Pass 2: Move phases.
-  for (std::uint32_t i = 0; i < k; ++i) {
-    if (moving_[i] == 0) continue;
+  for (const std::uint32_t i : move_list_) {
     const RobotFrame frame = frame_of(i);
     if (apply_move(i, frame.ahead_cw, frame.ahead)) {
       gamma_mirror_->relocate_robot(i, node_[i]);

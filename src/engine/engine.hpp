@@ -215,20 +215,31 @@ class Engine {
  private:
   void init(const std::vector<RobotPlacement>& placements);
   void observe_boundary(Time t);  // visit/tower bookkeeping at config time t
-  /// The step_* entry points dispatch ONCE per round on the kernel id and
-  /// instantiate the corresponding *_impl loop: under kernel dispatch the
-  /// algorithm's compute inlines into the loop body (no per-robot branch or
-  /// indirect call); under virtual dispatch ComputeFn wraps the canonical
-  /// Algorithm::compute call.
+  /// The step_* entry points dispatch ONCE per round on the kernel id, and
+  /// ONLY the fused Look+Compute loop is instantiated per kernel: under
+  /// kernel dispatch the algorithm's compute inlines into that loop body (no
+  /// per-robot branch or indirect call); under virtual dispatch ComputeFn
+  /// wraps the canonical Algorithm::compute call.  Everything else — mask
+  /// compaction, Move, trace records, the gamma mirror — is shared
+  /// non-templated code, so each kernel instantiation stays a few cache
+  /// lines instead of a whole round loop (the fix for the SSYNC/ASYNC
+  /// kernel-dispatch regression: per-robot mask branches and trace
+  /// bookkeeping no longer live inside the per-kernel loop).
   void step_fsync();
   void step_ssync();
   void step_async();
+  /// Fused Look+Compute over every robot (FSYNC).
   template <typename ComputeFn>
-  void step_fsync_impl(const ComputeFn& compute_fn);
+  void look_compute_all(const ComputeFn& compute_fn);
+  /// Fused Look+Compute over a compacted index list (SSYNC activated set).
   template <typename ComputeFn>
-  void step_ssync_impl(const ComputeFn& compute_fn);
+  void look_compute_list(const ComputeFn& compute_fn,
+                         const std::vector<std::uint32_t>& idx);
+  /// Compute over pending Look views for a compacted index list (ASYNC
+  /// Compute phases); advances each robot's phase machine to Move.
   template <typename ComputeFn>
-  void step_async_impl(const ComputeFn& compute_fn);
+  void compute_pending_list(const ComputeFn& compute_fn,
+                            const std::vector<std::uint32_t>& idx);
 
   /// Robot `i`'s chirality-resolved geometry at its current node/dir: the
   /// single source of the ahead/behind edge mapping every Look and Move
@@ -284,6 +295,12 @@ class Engine {
   std::vector<std::uint8_t> moved_;  // per-robot moved flag (trace path)
   ActivationMask mask_;              // SSYNC activation / ASYNC advancing
   ActivationMask moving_;            // ASYNC: Move phases firing this tick
+  // Compacted per-round index lists (built once per round from the masks so
+  // the hot loops iterate dense indices instead of branching per robot).
+  std::vector<std::uint32_t> active_list_;   // SSYNC: activated robots
+  std::vector<std::uint32_t> look_list_;     // ASYNC: Look phases firing
+  std::vector<std::uint32_t> compute_list_;  // ASYNC: Compute phases firing
+  std::vector<std::uint32_t> move_list_;     // ASYNC: Move phases firing
 
   // Oblivious FSYNC fast path: when the adversary is an ObliviousAdversary
   // we call the schedule's in-place fill directly and never touch

@@ -1,5 +1,6 @@
 #include "engine/sweep_runner.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <optional>
@@ -9,6 +10,7 @@
 #include "common/check.hpp"
 #include "common/json.hpp"
 #include "common/rng.hpp"
+#include "engine/batch_engine.hpp"
 #include "scheduler/simulator.hpp"
 
 namespace pef {
@@ -44,8 +46,8 @@ std::vector<CellTask> enumerate_cells(const SweepGrid& grid) {
   return tasks;
 }
 
-SweepCell run_cell(const SweepGrid& grid, const CellTask& task) {
-  SweepCell cell;
+void fill_coordinates(const SweepGrid& grid, const CellTask& task,
+                      SweepCell& cell) {
   cell.algorithm = grid.algorithms[task.algorithm_index];
   cell.adversary = grid.adversaries[task.adversary_index].name;
   cell.model = grid.models[task.model_index];
@@ -56,13 +58,35 @@ SweepCell run_cell(const SweepGrid& grid, const CellTask& task) {
       effective_seed(task.seed, task.algorithm_index, task.adversary_index,
                      task.nodes, task.robots, task.model_index);
   cell.horizon = grid.horizon_for(task.nodes);
+}
+
+void fill_metrics(const EngineStats& stats, const CoverageReport& coverage,
+                  SweepCell& cell) {
+  cell.perpetual = coverage.perpetual(cell.nodes);
+  cell.covered = coverage.cover_time.has_value();
+  cell.cover_time = coverage.cover_time.value_or(0);
+  cell.max_revisit_gap = coverage.max_revisit_gap;
+  cell.tower_rounds = stats.tower_rounds;
+  cell.tower_formations = stats.tower_formations;
+  cell.total_moves = stats.total_moves;
+}
+
+std::vector<RobotPlacement> placements_for(const SweepGrid& grid,
+                                           const Ring& ring,
+                                           std::uint32_t robots,
+                                           std::uint64_t eff_seed) {
+  return grid.random_placements
+             ? random_placements(ring, robots, derive_seed(eff_seed, 0x91ace))
+             : spread_placements(ring, robots);
+}
+
+SweepCell run_cell(const SweepGrid& grid, const CellTask& task) {
+  SweepCell cell;
+  fill_coordinates(grid, task, cell);
 
   const Ring ring(task.nodes);
   const std::vector<RobotPlacement> placements =
-      grid.random_placements
-          ? random_placements(ring, task.robots,
-                              derive_seed(cell.effective_seed, 0x91ace))
-          : spread_placements(ring, task.robots);
+      placements_for(grid, ring, task.robots, cell.effective_seed);
 
   AlgorithmPtr algorithm = make_algorithm(cell.algorithm, cell.effective_seed);
   AdversaryPtr adversary =
@@ -94,18 +118,94 @@ SweepCell run_cell(const SweepGrid& grid, const CellTask& task) {
   engine.run(cell.horizon);
   const auto stop = std::chrono::steady_clock::now();
 
-  const EngineStats& stats = engine.stats();
-  const CoverageReport coverage = engine.coverage_report();
-  cell.perpetual = coverage.perpetual(task.nodes);
-  cell.covered = coverage.cover_time.has_value();
-  cell.cover_time = coverage.cover_time.value_or(0);
-  cell.max_revisit_gap = coverage.max_revisit_gap;
-  cell.tower_rounds = stats.tower_rounds;
-  cell.tower_formations = stats.tower_formations;
-  cell.total_moves = stats.total_moves;
+  fill_metrics(engine.stats(), engine.coverage_report(), cell);
   cell.wall_seconds =
       std::chrono::duration<double>(stop - start).count();
   return cell;
+}
+
+/// Run `count` consecutive same-scenario tasks (differing only in seed) as
+/// one BatchEngine of per-seed replicas.  `cells` points at the group's
+/// output slots.
+void run_batched(const SweepGrid& grid, const CellTask* tasks,
+                 std::uint32_t count, SweepCell* cells) {
+  const Ring ring(tasks[0].nodes);
+  const ExecutionModel model = grid.models[tasks[0].model_index];
+
+  std::vector<BatchReplica> replicas(count);
+  for (std::uint32_t b = 0; b < count; ++b) {
+    SweepCell& cell = cells[b];
+    fill_coordinates(grid, tasks[b], cell);
+    BatchReplica& replica = replicas[b];
+    replica.algorithm = make_algorithm(cell.algorithm, cell.effective_seed);
+    replica.placements =
+        placements_for(grid, ring, cell.robots, cell.effective_seed);
+    replica.horizon = cell.horizon;
+    wire_standard_replica(
+        replica, model,
+        grid.adversaries[tasks[b].adversary_index].make(ring,
+                                                        cell.effective_seed),
+        grid.activation_p, cell.effective_seed);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  BatchEngine engine(ring, model, std::move(replicas));
+  engine.run_all();
+  const auto stop = std::chrono::steady_clock::now();
+  const double wall =
+      std::chrono::duration<double>(stop - start).count() / count;
+
+  for (std::uint32_t b = 0; b < count; ++b) {
+    fill_metrics(engine.stats(b), engine.coverage_report(b), cells[b]);
+    cells[b].wall_seconds = wall;
+  }
+}
+
+/// A maximal run of tasks sharing every coordinate but the seed.
+struct CellGroup {
+  std::size_t first = 0;
+  std::uint32_t count = 0;
+};
+
+std::vector<CellGroup> group_cells(const std::vector<CellTask>& tasks) {
+  std::vector<CellGroup> groups;
+  for (std::size_t i = 0; i < tasks.size();) {
+    std::size_t j = i + 1;
+    while (j < tasks.size() &&
+           tasks[j].algorithm_index == tasks[i].algorithm_index &&
+           tasks[j].adversary_index == tasks[i].adversary_index &&
+           tasks[j].model_index == tasks[i].model_index &&
+           tasks[j].nodes == tasks[i].nodes &&
+           tasks[j].robots == tasks[i].robots) {
+      ++j;
+    }
+    groups.push_back({i, static_cast<std::uint32_t>(j - i)});
+    i = j;
+  }
+  return groups;
+}
+
+void run_group(const SweepGrid& grid, const std::vector<CellTask>& tasks,
+               const CellGroup& group,
+               const std::vector<std::uint8_t>& algorithm_has_kernel,
+               SweepCell* cells) {
+  // Seed groups batch when the algorithm has a kernel (every registry
+  // algorithm does; bespoke kernel-less algorithms fall back to per-cell
+  // Engines).  Results are identical either way.
+  const bool batchable =
+      grid.batch_seeds && group.count > 1 &&
+      algorithm_has_kernel[tasks[group.first].algorithm_index] != 0;
+  if (!batchable) {
+    for (std::uint32_t b = 0; b < group.count; ++b) {
+      cells[b] = run_cell(grid, tasks[group.first + b]);
+    }
+    return;
+  }
+  const std::uint32_t max_batch = grid.max_batch == 0 ? 64 : grid.max_batch;
+  for (std::uint32_t off = 0; off < group.count; off += max_batch) {
+    const std::uint32_t count = std::min(max_batch, group.count - off);
+    run_batched(grid, tasks.data() + group.first + off, count, cells + off);
+  }
 }
 
 }  // namespace
@@ -177,26 +277,58 @@ SweepResult SweepRunner::run(const SweepGrid& grid) const {
   PEF_CHECK(!grid.seeds.empty());
 
   const std::vector<CellTask> tasks = enumerate_cells(grid);
+  const std::vector<CellGroup> groups = group_cells(tasks);
+  // Kernel availability is a property of the algorithm name; probe once
+  // per grid entry instead of constructing an Algorithm per seed group.
+  std::vector<std::uint8_t> algorithm_has_kernel(grid.algorithms.size(), 0);
+  for (std::size_t a = 0; a < grid.algorithms.size(); ++a) {
+    algorithm_has_kernel[a] =
+        make_algorithm(grid.algorithms[a], 0)->kernel().has_value() ? 1 : 0;
+  }
   SweepResult result;
   result.threads = threads_;
   result.cells.resize(tasks.size());
 
-  const auto start = std::chrono::steady_clock::now();
-  std::atomic<std::size_t> cursor{0};
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= tasks.size()) return;
-      result.cells[i] = run_cell(grid, tasks[i]);
-    }
-  };
+  // Scheduling-only decisions (results are slot-indexed and thus identical
+  // regardless): clamp workers to the hardware, run small grids serially —
+  // thread startup costs more than it saves below ~a million rounds — and
+  // hand out groups in chunks so workers do not ping-pong the cursor cache
+  // line on grids with many tiny groups.
+  constexpr std::uint64_t kSerialThresholdRounds = 1'000'000;
+  std::uint64_t total_rounds = 0;
+  for (const CellTask& task : tasks) total_rounds += grid.horizon_for(task.nodes);
+  std::uint32_t hardware = std::thread::hardware_concurrency();
+  if (hardware == 0) hardware = 1;
+  std::uint32_t workers = std::min(threads_, hardware);
+  workers = std::min<std::uint32_t>(
+      workers, static_cast<std::uint32_t>(groups.size()));
+  const bool serial = workers <= 1 || total_rounds < kSerialThresholdRounds;
 
-  if (threads_ <= 1) {
-    worker();
+  const auto start = std::chrono::steady_clock::now();
+  if (serial) {
+    for (const CellGroup& group : groups) {
+      run_group(grid, tasks, group, algorithm_has_kernel,
+                result.cells.data() + group.first);
+    }
   } else {
+    const std::size_t chunk = std::clamp<std::size_t>(
+        groups.size() / (std::size_t{workers} * 8), 1, 32);
+    std::atomic<std::size_t> cursor{0};
+    auto worker = [&] {
+      for (;;) {
+        const std::size_t begin =
+            cursor.fetch_add(chunk, std::memory_order_relaxed);
+        if (begin >= groups.size()) return;
+        const std::size_t end = std::min(begin + chunk, groups.size());
+        for (std::size_t g = begin; g < end; ++g) {
+          run_group(grid, tasks, groups[g], algorithm_has_kernel,
+                    result.cells.data() + groups[g].first);
+        }
+      }
+    };
     std::vector<std::thread> pool;
-    pool.reserve(threads_);
-    for (std::uint32_t t = 0; t < threads_; ++t) pool.emplace_back(worker);
+    pool.reserve(workers);
+    for (std::uint32_t t = 0; t < workers; ++t) pool.emplace_back(worker);
     for (std::thread& t : pool) t.join();
   }
   const auto stop = std::chrono::steady_clock::now();

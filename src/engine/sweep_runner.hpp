@@ -1,19 +1,27 @@
 // SweepRunner — the multi-core Monte-Carlo sweep harness.
 //
 // A sweep is the cartesian grid (algorithm × adversary × model × n × k ×
-// seed); each grid cell is one independent Engine run.  A fixed-size pool of worker
-// threads pulls cell indices from an atomic cursor, so load-balancing is
-// automatic and the wall-time scales with cores — while the *results* cannot
-// depend on scheduling:
+// seed); each grid cell is one independent engine run.  Cells that differ
+// ONLY in seed are one scenario run many times — exactly BatchEngine's
+// shape — so the runner dispatches each such seed group to one replica
+// batch (per-seed results stay bit-identical to solo Engine runs; the
+// differential tests pin this) instead of constructing a fresh Engine per
+// seed.  A fixed-size pool of worker threads pulls seed-group indices in
+// CHUNKS from an atomic cursor (one-group-per-fetch ping-pongs the cursor
+// cache line on small grids), grids below a work threshold skip the pool
+// entirely, and the thread count is clamped to the hardware — while the
+// *results* cannot depend on scheduling:
 //
 //   * every cell derives its own RNG stream deterministically from its grid
 //     coordinates (see effective_seed below), never from thread identity,
 //     wall clock or execution order;
 //   * results land in a preallocated slot indexed by cell id, so the output
-//     vector (and hence the JSON) is byte-identical at 1 and N threads.
+//     vector (and hence the JSON) is byte-identical at 1 and N threads,
+//     batched or not.
 //
 // Per-cell wall-times are measured for throughput reporting but deliberately
-// kept out of the deterministic JSON.
+// kept out of the deterministic JSON (batched cells report their share of
+// the batch wall-time).
 #pragma once
 
 #include <cstdint>
@@ -49,6 +57,14 @@ struct SweepGrid {
   /// chiralities (seeded per cell) when true, evenly spread with common
   /// chirality when false.
   bool random_placements = true;
+
+  /// Run each cell group that differs only in seed as one BatchEngine of
+  /// per-seed replicas (when the algorithm has a kernel).  Per-seed results
+  /// are bit-identical either way; this is purely a throughput knob.
+  bool batch_seeds = true;
+
+  /// Replica cap per BatchEngine; larger seed groups split into chunks.
+  std::uint32_t max_batch = 64;
 
   [[nodiscard]] Time horizon_for(std::uint32_t n) const {
     return horizon != 0 ? horizon : horizon_per_node * n;

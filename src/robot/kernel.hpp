@@ -73,6 +73,15 @@ struct KernelSpec {
 
 /// The per-robot kernel memory: one fixed-size, trivially-copyable struct
 /// covering every registry kernel (each uses the fields it needs).
+///
+/// The FIELD NAMES are the contract, not the struct: kernel_compute /
+/// init_kernel_state are generic over any accessor exposing `rng`,
+/// `counter` and `has_moved`.  Engine stores whole KernelStates in one
+/// vector; BatchEngine stores each field as its own replica-strided plane
+/// and passes a reference proxy, so a batched round touches only the bytes
+/// the kernel actually uses (and the hot pef3+ flag stays contiguous for
+/// the vectorizer).  Add new per-robot memory as a new field here plus a
+/// plane + proxy entry in BatchEngine.
 struct KernelState {
   Xoshiro256 rng{0};             // random-walk
   std::uint64_t counter = 0;     // oscillating: rounds since last turn

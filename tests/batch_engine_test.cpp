@@ -1,0 +1,439 @@
+// Differential tests for BatchEngine: a batch of B replicas must be
+// BIT-IDENTICAL to B independent Engine runs — traces, stats and coverage —
+// across every registry kernel, every execution model, adversary families
+// (oblivious and adaptive) and ragged per-replica horizons (early
+// termination compacts lanes out mid-run; the survivors must not notice).
+#include "engine/batch_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "adversary/greedy_blocker.hpp"
+#include "algorithms/registry.hpp"
+#include "common/rng.hpp"
+#include "core/experiment.hpp"
+#include "dynamic_graph/schedules.hpp"
+#include "scheduler/simulator.hpp"
+
+namespace pef {
+namespace {
+
+constexpr std::uint32_t kBatch = 10;  // one replica per seed
+constexpr std::uint32_t kNodes = 9;
+constexpr std::uint32_t kRobots = 3;
+constexpr Time kBaseHorizon = 160;
+
+/// Ragged horizons: replicas retire at different rounds, exercising the
+/// lane-compaction path on every batch.
+Time horizon_of(std::uint32_t replica) {
+  return kBaseHorizon + 37 * (replica % 4);
+}
+
+void expect_same_round(const RoundRecord& actual, const RoundRecord& expected,
+                       Time t) {
+  ASSERT_EQ(actual.time, expected.time);
+  ASSERT_EQ(actual.edges, expected.edges) << "round " << t;
+  ASSERT_EQ(actual.robots.size(), expected.robots.size());
+  for (RobotId r = 0; r < expected.robots.size(); ++r) {
+    ASSERT_EQ(actual.robots[r].node_before, expected.robots[r].node_before)
+        << "round " << t << " robot " << r;
+    ASSERT_EQ(actual.robots[r].node_after, expected.robots[r].node_after)
+        << "round " << t << " robot " << r;
+    ASSERT_EQ(actual.robots[r].dir_before, expected.robots[r].dir_before)
+        << "round " << t << " robot " << r;
+    ASSERT_EQ(actual.robots[r].dir_after, expected.robots[r].dir_after)
+        << "round " << t << " robot " << r;
+    ASSERT_EQ(actual.robots[r].moved, expected.robots[r].moved)
+        << "round " << t << " robot " << r;
+    ASSERT_EQ(actual.robots[r].saw_other_robots,
+              expected.robots[r].saw_other_robots)
+        << "round " << t << " robot " << r;
+  }
+}
+
+void expect_same_stats(const EngineStats& actual, const EngineStats& expected) {
+  EXPECT_EQ(actual.rounds, expected.rounds);
+  EXPECT_EQ(actual.total_moves, expected.total_moves);
+  EXPECT_EQ(actual.tower_rounds, expected.tower_rounds);
+  EXPECT_EQ(actual.tower_formations, expected.tower_formations);
+  EXPECT_EQ(actual.visited_node_count, expected.visited_node_count);
+  EXPECT_EQ(actual.cover_time, expected.cover_time);
+}
+
+void expect_same_coverage(const CoverageReport& actual,
+                          const CoverageReport& expected) {
+  EXPECT_EQ(actual.visit_counts, expected.visit_counts);
+  EXPECT_EQ(actual.cover_time, expected.cover_time);
+  EXPECT_EQ(actual.visited_node_count, expected.visited_node_count);
+  EXPECT_EQ(actual.max_revisit_gap, expected.max_revisit_gap);
+  EXPECT_EQ(actual.max_closed_gap, expected.max_closed_gap);
+  EXPECT_EQ(actual.nodes_visited_in_suffix, expected.nodes_visited_in_suffix);
+  EXPECT_EQ(actual.suffix_window, expected.suffix_window);
+  EXPECT_EQ(actual.horizon, expected.horizon);
+}
+
+/// Runs one (algorithm, model, scenario) batch against its B solo Engine
+/// twins and pins traces, stats, coverage and final configurations.
+/// `make_replica` and `make_engine` must construct the same scenario from
+/// the same seed (fresh objects each call).
+void run_differential(
+    const std::string& label,
+    const std::function<BatchReplica(std::uint32_t replica)>& make_replica,
+    const std::function<Engine(std::uint32_t replica)>& make_engine,
+    ExecutionModel model) {
+  SCOPED_TRACE(label);
+  const Ring ring(kNodes);
+
+  std::vector<BatchReplica> replicas;
+  replicas.reserve(kBatch);
+  for (std::uint32_t b = 0; b < kBatch; ++b) {
+    replicas.push_back(make_replica(b));
+  }
+  BatchEngineOptions options;
+  options.record_trace = true;
+  BatchEngine batch(ring, model, std::move(replicas), options);
+  ASSERT_EQ(batch.active_replicas(), kBatch);
+  batch.run_all();
+  ASSERT_EQ(batch.active_replicas(), 0u);
+
+  for (std::uint32_t b = 0; b < kBatch; ++b) {
+    SCOPED_TRACE("replica " + std::to_string(b));
+    Engine solo = make_engine(b);
+    solo.run(horizon_of(b));
+
+    const Trace& batch_trace = batch.trace(b);
+    const Trace& solo_trace = solo.trace();
+    ASSERT_EQ(batch_trace.length(), solo_trace.length());
+    for (Time t = 0; t < solo_trace.length(); ++t) {
+      expect_same_round(batch_trace.rounds()[t], solo_trace.rounds()[t], t);
+    }
+    expect_same_stats(batch.stats(b), solo.stats());
+    expect_same_coverage(batch.coverage_report(b), solo.coverage_report());
+    for (RobotId r = 0; r < kRobots; ++r) {
+      EXPECT_EQ(batch.robot_node(b, r), solo.robot_node(r)) << "robot " << r;
+    }
+  }
+}
+
+EngineOptions traced_engine_options() {
+  EngineOptions options;
+  options.record_trace = true;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// FSYNC: oblivious (static, Bernoulli, eventual-missing) and adaptive
+// (greedy-blocker) adversaries.
+
+struct FsyncFamily {
+  const char* name;
+  std::function<AdversaryPtr(const Ring&, std::uint64_t)> make;
+};
+
+std::vector<FsyncFamily> fsync_families() {
+  return {
+      {"static",
+       [](const Ring& ring, std::uint64_t) {
+         return make_oblivious(std::make_shared<StaticSchedule>(ring));
+       }},
+      {"bernoulli",
+       [](const Ring& ring, std::uint64_t seed) {
+         return make_oblivious(
+             std::make_shared<BernoulliSchedule>(ring, 0.5, seed));
+       }},
+      {"eventual-missing",
+       [](const Ring& ring, std::uint64_t seed) {
+         return make_oblivious(std::make_shared<EventualMissingEdgeSchedule>(
+             std::make_shared<StaticSchedule>(ring),
+             static_cast<EdgeId>(seed % ring.edge_count()), /*vanish=*/5));
+       }},
+      {"greedy-blocker",
+       [](const Ring& ring, std::uint64_t) {
+         return AdversaryPtr(
+             std::make_unique<GreedyBlockerAdversary>(ring, /*max_absence=*/4));
+       }},
+  };
+}
+
+TEST(BatchEngineFsyncTest, MatchesSoloEnginesAcrossRegistryAndAdversaries) {
+  const Ring ring(kNodes);
+  for (const std::string& algorithm : algorithm_names()) {
+    for (const FsyncFamily& family : fsync_families()) {
+      run_differential(
+          algorithm + " vs " + family.name,
+          [&](std::uint32_t b) {
+            const std::uint64_t seed = b + 1;
+            BatchReplica replica;
+            replica.algorithm = make_algorithm(algorithm, seed);
+            replica.adversary = family.make(ring, seed);
+            replica.placements = random_placements(ring, kRobots, seed);
+            replica.horizon = horizon_of(b);
+            return replica;
+          },
+          [&](std::uint32_t b) {
+            const std::uint64_t seed = b + 1;
+            return Engine(ring, make_algorithm(algorithm, seed),
+                          family.make(ring, seed),
+                          random_placements(ring, kRobots, seed),
+                          traced_engine_options());
+          },
+          ExecutionModel::kFsync);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SSYNC: blocking, oblivious and adaptive adversaries under round-robin,
+// Bernoulli and full activation.
+
+struct SsyncScenario {
+  const char* name;
+  std::function<std::unique_ptr<SsyncAdversary>(const Ring&, std::uint64_t)>
+      make_adversary;
+  std::function<std::unique_ptr<ActivationPolicy>(std::uint64_t)>
+      make_activation;
+};
+
+std::vector<SsyncScenario> ssync_scenarios() {
+  return {
+      {"blocker+round-robin",
+       [](const Ring& ring, std::uint64_t) {
+         return std::make_unique<SsyncBlockingAdversary>(ring);
+       },
+       [](std::uint64_t) { return std::make_unique<RoundRobinActivation>(); }},
+      {"bernoulli-schedule+bernoulli-activation",
+       [](const Ring& ring, std::uint64_t seed) {
+         return std::make_unique<SsyncObliviousAdversary>(
+             std::make_shared<BernoulliSchedule>(ring, 0.6, seed));
+       },
+       [](std::uint64_t seed) {
+         return std::make_unique<BernoulliActivation>(0.6,
+                                                      derive_seed(seed, 0xac));
+       }},
+      {"adaptive-greedy+full",
+       [](const Ring& ring, std::uint64_t) {
+         return std::make_unique<SsyncFromFsyncAdversary>(
+             std::make_unique<GreedyBlockerAdversary>(ring,
+                                                      /*max_absence=*/4));
+       },
+       [](std::uint64_t) { return std::make_unique<FullActivation>(); }},
+  };
+}
+
+TEST(BatchEngineSsyncTest, MatchesSoloEnginesAcrossRegistryAndScenarios) {
+  const Ring ring(kNodes);
+  for (const std::string& algorithm : algorithm_names()) {
+    for (const SsyncScenario& scenario : ssync_scenarios()) {
+      run_differential(
+          algorithm + " vs " + scenario.name,
+          [&](std::uint32_t b) {
+            const std::uint64_t seed = b + 1;
+            BatchReplica replica;
+            replica.algorithm = make_algorithm(algorithm, seed);
+            replica.ssync_adversary = scenario.make_adversary(ring, seed);
+            replica.activation = scenario.make_activation(seed);
+            replica.placements = random_placements(ring, kRobots, seed);
+            replica.horizon = horizon_of(b);
+            return replica;
+          },
+          [&](std::uint32_t b) {
+            const std::uint64_t seed = b + 1;
+            return Engine(ring, make_algorithm(algorithm, seed),
+                          scenario.make_adversary(ring, seed),
+                          scenario.make_activation(seed),
+                          random_placements(ring, kRobots, seed),
+                          traced_engine_options());
+          },
+          ExecutionModel::kSsync);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ASYNC: the same families under phase schedulers.
+
+struct AsyncScenario {
+  const char* name;
+  std::function<std::unique_ptr<SsyncAdversary>(const Ring&, std::uint64_t)>
+      make_adversary;
+  std::function<std::unique_ptr<PhaseScheduler>(std::uint64_t)> make_phases;
+};
+
+std::vector<AsyncScenario> async_scenarios() {
+  return {
+      {"move-blocker+round-robin",
+       [](const Ring& ring, std::uint64_t) {
+         return std::make_unique<AsyncMoveBlocker>(ring);
+       },
+       [](std::uint64_t) { return std::make_unique<RoundRobinPhases>(); }},
+      {"bernoulli-schedule+bernoulli-phases",
+       [](const Ring& ring, std::uint64_t seed) {
+         return std::make_unique<SsyncObliviousAdversary>(
+             std::make_shared<BernoulliSchedule>(ring, 0.6, seed));
+       },
+       [](std::uint64_t seed) {
+         return std::make_unique<BernoulliPhases>(0.6,
+                                                  derive_seed(seed, 0xa5));
+       }},
+      {"adaptive-greedy+lockstep",
+       [](const Ring& ring, std::uint64_t) {
+         return std::make_unique<SsyncFromFsyncAdversary>(
+             std::make_unique<GreedyBlockerAdversary>(ring,
+                                                      /*max_absence=*/4));
+       },
+       [](std::uint64_t) { return std::make_unique<LockstepPhases>(); }},
+  };
+}
+
+TEST(BatchEngineAsyncTest, MatchesSoloEnginesAcrossRegistryAndScenarios) {
+  const Ring ring(kNodes);
+  for (const std::string& algorithm : algorithm_names()) {
+    for (const AsyncScenario& scenario : async_scenarios()) {
+      run_differential(
+          algorithm + " vs " + scenario.name,
+          [&](std::uint32_t b) {
+            const std::uint64_t seed = b + 1;
+            BatchReplica replica;
+            replica.algorithm = make_algorithm(algorithm, seed);
+            replica.ssync_adversary = scenario.make_adversary(ring, seed);
+            replica.phases = scenario.make_phases(seed);
+            replica.placements = random_placements(ring, kRobots, seed);
+            replica.horizon = horizon_of(b);
+            return replica;
+          },
+          [&](std::uint32_t b) {
+            const std::uint64_t seed = b + 1;
+            return Engine(ring, make_algorithm(algorithm, seed),
+                          scenario.make_adversary(ring, seed),
+                          scenario.make_phases(seed),
+                          random_placements(ring, kRobots, seed),
+                          traced_engine_options());
+          },
+          ExecutionModel::kAsync);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The untraced fast path: stats and coverage still match solo runs (the
+// batch-throughput bench relies on exactly this equality), and ragged
+// horizons retire lanes at the right rounds.
+
+TEST(BatchEngineTest, UntracedStatsMatchSoloEngines) {
+  const Ring ring(64);
+  constexpr std::uint32_t kReplicas = 7;
+  constexpr std::uint32_t kBots = 8;
+
+  std::vector<BatchReplica> replicas;
+  for (std::uint32_t b = 0; b < kReplicas; ++b) {
+    BatchReplica replica;
+    replica.algorithm = make_algorithm("pef3+", b + 1);
+    replica.adversary = make_oblivious(
+        std::make_shared<BernoulliSchedule>(ring, 0.7, b + 1));
+    replica.placements = random_placements(ring, kBots, b + 1);
+    replica.horizon = 500 + 100 * b;
+    replicas.push_back(std::move(replica));
+  }
+  BatchEngine batch(ring, ExecutionModel::kFsync, std::move(replicas));
+  batch.run_all();
+
+  for (std::uint32_t b = 0; b < kReplicas; ++b) {
+    SCOPED_TRACE("replica " + std::to_string(b));
+    Engine solo(ring, make_algorithm("pef3+", b + 1),
+                make_oblivious(
+                    std::make_shared<BernoulliSchedule>(ring, 0.7, b + 1)),
+                random_placements(ring, kBots, b + 1));
+    solo.run(500 + 100 * b);
+    expect_same_stats(batch.stats(b), solo.stats());
+    expect_same_coverage(batch.coverage_report(b), solo.coverage_report());
+  }
+}
+
+TEST(BatchEngineTest, RaggedHorizonsRetireLanesOnSchedule) {
+  const Ring ring(12);
+  std::vector<BatchReplica> replicas;
+  const std::vector<Time> horizons = {5, 40, 40, 0, 100};
+  for (std::size_t b = 0; b < horizons.size(); ++b) {
+    BatchReplica replica;
+    replica.algorithm = make_algorithm("bounce", b + 1);
+    replica.adversary =
+        make_oblivious(std::make_shared<StaticSchedule>(ring));
+    replica.placements = random_placements(ring, 3, b + 1);
+    replica.horizon = horizons[b];
+    replicas.push_back(std::move(replica));
+  }
+  BatchEngine batch(ring, ExecutionModel::kFsync, std::move(replicas));
+  // The zero-horizon replica retires before the first step.
+  EXPECT_EQ(batch.active_replicas(), 4u);
+  for (Time t = 0; t < 5; ++t) batch.step();
+  EXPECT_EQ(batch.active_replicas(), 3u);
+  for (Time t = 5; t < 40; ++t) batch.step();
+  EXPECT_EQ(batch.active_replicas(), 1u);
+  batch.run_all();
+  EXPECT_EQ(batch.active_replicas(), 0u);
+  for (std::size_t b = 0; b < horizons.size(); ++b) {
+    EXPECT_EQ(batch.stats(static_cast<std::uint32_t>(b)).rounds, horizons[b]);
+  }
+}
+
+TEST(BatchEngineTest, RunBatteryBatchedMatchesSequentialRuns) {
+  // run_battery dispatches seed batteries to one traced BatchEngine; every
+  // per-seed RunResult must equal the sequential run_experiment's.
+  for (const ExecutionModel model :
+       {ExecutionModel::kFsync, ExecutionModel::kSsync,
+        ExecutionModel::kAsync}) {
+    SCOPED_TRACE(to_string(model));
+    ExperimentConfig config;
+    config.nodes = 10;
+    config.robots = 3;
+    config.algorithm = make_algorithm("pef3+");
+    config.adversary = bernoulli_spec(0.6);
+    config.horizon = 300;
+    config.model = model;
+
+    const std::vector<RunResult> batched = run_battery(config, 5, 4);
+    ASSERT_EQ(batched.size(), 4u);
+    for (std::uint32_t s = 0; s < 4; ++s) {
+      SCOPED_TRACE("seed " + std::to_string(5 + s));
+      config.seed = 5 + s;
+      const RunResult solo = run_experiment(config);
+      const RunResult& batch = batched[s];
+      EXPECT_EQ(batch.seed, solo.seed);
+      EXPECT_EQ(batch.perpetual, solo.perpetual);
+      EXPECT_EQ(batch.adversary_legal, solo.adversary_legal);
+      EXPECT_EQ(batch.coverage.visit_counts, solo.coverage.visit_counts);
+      EXPECT_EQ(batch.coverage.cover_time, solo.coverage.cover_time);
+      EXPECT_EQ(batch.coverage.max_revisit_gap, solo.coverage.max_revisit_gap);
+      EXPECT_EQ(batch.towers.tower_formation_count,
+                solo.towers.tower_formation_count);
+      EXPECT_EQ(batch.towers.max_tower_size, solo.towers.max_tower_size);
+    }
+  }
+}
+
+TEST(BatchEngineTest, SingleReplicaBatchIsAnEngine) {
+  const Ring ring(16);
+  BatchReplica replica;
+  replica.algorithm = make_algorithm("pef3+", 3);
+  replica.adversary =
+      make_oblivious(std::make_shared<BernoulliSchedule>(ring, 0.5, 3));
+  replica.placements = spread_placements(ring, 4);
+  replica.horizon = 300;
+  std::vector<BatchReplica> replicas;
+  replicas.push_back(std::move(replica));
+  BatchEngine batch(ring, ExecutionModel::kFsync, std::move(replicas));
+  batch.run_all();
+
+  Engine solo(ring, make_algorithm("pef3+", 3),
+              make_oblivious(std::make_shared<BernoulliSchedule>(ring, 0.5, 3)),
+              spread_placements(ring, 4));
+  solo.run(300);
+  expect_same_stats(batch.stats(0), solo.stats());
+  expect_same_coverage(batch.coverage_report(0), solo.coverage_report());
+}
+
+}  // namespace
+}  // namespace pef

@@ -14,6 +14,7 @@
 // and --engine fast|reference picks the unified Engine or the matching
 // reference engine (Simulator / SsyncSimulator / AsyncSimulator) — the two
 // are differentially tested to byte-identical traces for every model.
+#include <chrono>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -35,6 +36,7 @@
 #include "dynamic_graph/markov_schedule.hpp"
 #include "dynamic_graph/properties.hpp"
 #include "dynamic_graph/schedules.hpp"
+#include "engine/batch_engine.hpp"
 #include "engine/engine.hpp"
 #include "scheduler/async.hpp"
 #include "scheduler/simulator.hpp"
@@ -56,6 +58,12 @@ void print_help(const char* program) {
       << "                   | adaptive-missing | markov | greedy-blocker\n"
       << "                   | cage | proof (default eventual-missing)\n"
       << "  --horizon T      rounds to simulate (default 5000)\n"
+      << "  --batch B        run B seeds (seed..seed+B-1) of the scenario\n"
+      << "                   as ONE replica-batched engine (BatchEngine);\n"
+      << "                   prints a per-seed summary table + aggregate\n"
+      << "                   throughput (default 1 = the single traced run\n"
+      << "                   below; incompatible with --render and\n"
+      << "                   --engine reference)\n"
       << "  --model M        fsync | ssync | async (default fsync; ssync\n"
       << "                   and async use seeded Bernoulli activation /\n"
       << "                   phase scheduling, see --activation-p)\n"
@@ -117,6 +125,7 @@ int main(int argc, char** argv) {
   const auto adversary_name =
       args.get_string("--adversary", "eventual-missing");
   const auto horizon = args.get_u64("--horizon", 5000);
+  const auto batch = args.get_u32("--batch", 1);
   const auto model_name = args.get_string("--model", "fsync");
   const auto engine_name = args.get_string("--engine", "fast");
   const auto dispatch_name = args.get_string("--dispatch", "auto");
@@ -162,6 +171,22 @@ int main(int argc, char** argv) {
                  "activates every robot every round)\n";
     return 2;
   }
+  if (batch == 0) {
+    std::cerr << "--batch must be >= 1\n";
+    return 2;
+  }
+  if (batch > 1 && engine_name != "fast") {
+    std::cerr << "--batch runs on the batched fast engine only\n";
+    return 2;
+  }
+  if (batch > 1 && dispatch == ComputeDispatch::kVirtual) {
+    std::cerr << "--batch runs the devirtualized kernel path only\n";
+    return 2;
+  }
+  if (batch > 1 && render) {
+    std::cerr << "--render needs a single traced run (drop --batch)\n";
+    return 2;
+  }
 
   if (algorithm.empty()) {
     algorithm = computability::recommended_algorithm(robots, nodes);
@@ -171,6 +196,62 @@ int main(int argc, char** argv) {
   }
 
   const Ring ring(nodes);
+
+  if (batch > 1) {
+    // Monte-Carlo mode: one BatchEngine advancing all seeds in lock-step,
+    // replica-SoA state, no traces — per-seed results are bit-identical to
+    // the single-run path (differentially tested).
+    std::vector<BatchReplica> replicas(batch);
+    for (std::uint32_t b = 0; b < batch; ++b) {
+      const std::uint64_t s = seed + b;
+      BatchReplica& replica = replicas[b];
+      replica.algorithm = make_algorithm(algorithm, s);
+      replica.placements = spread_placements(ring, robots);
+      replica.horizon = horizon;
+      wire_standard_replica(replica, *model,
+                            make_adversary(adversary_name, ring, s, p, robots),
+                            activation_p, s);
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    BatchEngine batch_engine(ring, *model, std::move(replicas));
+    batch_engine.run_all();
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+
+    std::cout << "pef_run: n=" << nodes << " k=" << robots << " algorithm="
+              << algorithm << " adversary=" << adversary_name
+              << " horizon=" << horizon << " model=" << to_string(*model)
+              << " batch=" << batch << " seeds=[" << seed << ", "
+              << seed + batch - 1 << "]\n"
+              << "aggregate: "
+              << static_cast<std::uint64_t>(
+                     static_cast<double>(horizon) * batch / secs)
+              << " replica-rounds/sec (" << secs << " s)\n\n";
+
+    TextTable table({"seed", "visited", "cover time", "perpetual",
+                     "max revisit gap", "moves", "tower rounds"});
+    bool all_perpetual = true;
+    for (std::uint32_t b = 0; b < batch; ++b) {
+      const EngineStats& stats = batch_engine.stats(b);
+      const CoverageReport coverage = batch_engine.coverage_report(b);
+      const bool perpetual = coverage.perpetual(nodes);
+      all_perpetual = all_perpetual && perpetual;
+      table.add_row({std::to_string(seed + b),
+                     std::to_string(coverage.visited_node_count) + "/" +
+                         std::to_string(nodes),
+                     coverage.cover_time ? std::to_string(*coverage.cover_time)
+                                         : "never",
+                     format_bool(perpetual),
+                     std::to_string(coverage.max_revisit_gap),
+                     std::to_string(stats.total_moves),
+                     std::to_string(stats.tower_rounds)});
+    }
+    table.print(std::cout);
+    return all_perpetual ? 0 : 1;
+  }
+
   std::optional<Engine> engine;
   std::optional<Simulator> sim;
   std::optional<SsyncSimulator> ssync_sim;
