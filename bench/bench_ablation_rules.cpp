@@ -23,12 +23,13 @@
 
 #include "algorithms/registry.hpp"
 #include "analysis/coverage.hpp"
+#include "common/args.hpp"
 #include "common/bench_report.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "core/experiment.hpp"
 #include "dynamic_graph/schedules.hpp"
-#include "engine/fast_engine.hpp"
+#include "engine/engine.hpp"
 
 namespace pef {
 namespace {
@@ -41,7 +42,7 @@ double eventual_missing_success(const std::string& algo, std::uint32_t n,
   for (EdgeId missing = 0; missing < n; ++missing) {
     auto schedule = std::make_shared<EventualMissingEdgeSchedule>(
         std::make_shared<StaticSchedule>(ring), missing, 10);
-    FastEngine engine(ring, make_algorithm(algo), make_oblivious(schedule),
+    Engine engine(ring, make_algorithm(algo), make_oblivious(schedule),
                       spread_placements(ring, k));
     engine.run(500 * n);
     if (engine.coverage_report().perpetual(n)) ++wins;
@@ -49,18 +50,17 @@ double eventual_missing_success(const std::string& algo, std::uint32_t n,
   return static_cast<double>(wins) / n;
 }
 
-double battery_success(const std::string& algo, const AdversarySpec& spec,
-                       std::uint32_t n, std::uint32_t k,
-                       std::uint32_t seeds) {
+double battery_success(const std::string& algo,
+                       const AdversaryConfig& adversary, std::uint32_t n,
+                       std::uint32_t k, std::uint32_t seeds) {
   std::uint32_t wins = 0;
-  ExperimentConfig config;
-  config.nodes = n;
-  config.robots = k;
-  config.algorithm = make_algorithm(algo);
-  config.adversary = spec;
-  config.horizon = 400 * n;
-  config.fast_engine = true;
-  for (const RunResult& run : run_battery(config, 1, seeds)) {
+  ScenarioSpec spec;
+  spec.nodes = n;
+  spec.robots = k;
+  spec.algorithm = algo;
+  spec.adversary = adversary;
+  spec.horizon = 400 * n;
+  for (const RunResult& run : run_battery(spec, 1, seeds)) {
     if (run.perpetual) ++wins;
   }
   return static_cast<double>(wins) / seeds;
@@ -71,8 +71,13 @@ std::string percent(double f) { return format_double(100.0 * f, 0) + "%"; }
 }  // namespace
 }  // namespace pef
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pef;
+
+  // No flags yet — but a typo'd flag must fail loudly, not run the
+  // whole bench with the flag silently ignored.
+  ArgParser args(argc, argv);
+  args.check_unused();
 
   constexpr std::uint32_t kNodes = 8;
   constexpr std::uint32_t kRobots = 3;
@@ -98,12 +103,14 @@ int main() {
   for (const std::string& algo : algos) {
     const double missing =
         eventual_missing_success(algo, kNodes, kRobots);
-    const double on_static =
-        battery_success(algo, static_spec(), kNodes, kRobots, 1);
-    const double t_interval =
-        battery_success(algo, t_interval_spec(4), kNodes, kRobots, kSeeds);
-    const double bernoulli =
-        battery_success(algo, bernoulli_spec(0.5), kNodes, kRobots, kSeeds);
+    const double on_static = battery_success(
+        algo, adversary_config(AdversaryKind::kStatic), kNodes, kRobots, 1);
+    const double t_interval = battery_success(
+        algo, adversary_config(AdversaryKind::kTInterval, {{"interval", 4}}),
+        kNodes, kRobots, kSeeds);
+    const double bernoulli = battery_success(
+        algo, adversary_config(AdversaryKind::kBernoulli, {{"p", 0.5}}),
+        kNodes, kRobots, kSeeds);
     if (algo == "pef3+") {
       pef_score = missing;
     } else if (algo == "pef3+-no-rule2" || algo == "pef3+-no-rule3") {

@@ -13,13 +13,14 @@
 #include "adversary/proof_adversary.hpp"
 #include "algorithms/registry.hpp"
 #include "analysis/coverage.hpp"
+#include "common/args.hpp"
 #include "common/bench_report.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "core/computability.hpp"
 #include "dynamic_graph/chain.hpp"
 #include "dynamic_graph/properties.hpp"
-#include "engine/fast_engine.hpp"
+#include "engine/engine.hpp"
 #include "scheduler/simulator.hpp"
 
 namespace pef {
@@ -47,7 +48,7 @@ bool chain_possible(std::uint32_t n, std::uint32_t k) {
   const std::string algo = computability::recommended_algorithm(k, n);
   for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
     for (const auto& [name, schedule] : chain_battery(Ring(n), seed)) {
-      FastEngine engine(Ring(n), make_algorithm(algo),
+      Engine engine(Ring(n), make_algorithm(algo),
                         make_oblivious(schedule),
                         spread_placements(Ring(n), k));
       engine.run(600 * n);
@@ -65,7 +66,7 @@ bool chain_impossible(std::uint32_t n, std::uint32_t k) {
     for (std::uint32_t i = 0; i < k; ++i) {
       placements.push_back({static_cast<NodeId>(1 + i), Chirality(true)});
     }
-    FastEngine engine(
+    Engine engine(
         ring, make_algorithm(name),
         std::make_unique<StagedProofAdversary>(ring, 1, k + 1, 64),
         placements);
@@ -78,8 +79,13 @@ bool chain_impossible(std::uint32_t n, std::uint32_t k) {
 }  // namespace
 }  // namespace pef
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pef;
+
+  // No flags yet — but a typo'd flag must fail loudly, not run the
+  // whole bench with the flag silently ignored.
+  ArgParser args(argc, argv);
+  args.check_unused();
 
   std::cout << "=== TABLE 1 on connected-over-time chains ===\n"
             << "(paper, Section 1: results carry over to chains)\n\n";

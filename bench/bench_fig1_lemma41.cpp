@@ -14,6 +14,7 @@
 
 #include "adversary/adversary.hpp"
 #include "algorithms/registry.hpp"
+#include "common/args.hpp"
 #include "common/bench_report.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
@@ -52,8 +53,13 @@ struct Scenario {
 }  // namespace
 }  // namespace pef::lemma41
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pef;
+
+  // No flags yet — but a typo'd flag must fail loudly, not run the
+  // whole bench with the flag silently ignored.
+  ArgParser args(argc, argv);
+  args.check_unused();
   using namespace pef::lemma41;
 
   std::cout << "=== Figure 1 (Lemma 4.1): construction of G' ===\n"

@@ -18,15 +18,21 @@
 #include "adversary/proof_adversary.hpp"
 #include "algorithms/registry.hpp"
 #include "analysis/coverage.hpp"
+#include "common/args.hpp"
 #include "common/bench_report.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "dynamic_graph/properties.hpp"
-#include "engine/fast_engine.hpp"
+#include "engine/engine.hpp"
 #include "scheduler/simulator.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pef;
+
+  // No flags yet — but a typo'd flag must fail loudly, not run the
+  // whole bench with the flag silently ignored.
+  ArgParser args(argc, argv);
+  args.check_unused();
 
   std::cout << "=== Figure 2 / Theorem 4.1: two robots, ring size >= 4 ===\n"
             << "Staged proof adversary (window {u, v, w}, patience 64).\n\n";
@@ -44,9 +50,9 @@ int main() {
       auto adversary = std::make_unique<StagedProofAdversary>(
           ring, /*anchor=*/0, /*width=*/3, /*patience=*/64);
       auto* handle = adversary.get();
-      FastEngineOptions options;
+      EngineOptions options;
       options.record_trace = true;  // the legality audit reads edge history
-      FastEngine sim(ring, make_algorithm(name), std::move(adversary),
+      Engine sim(ring, make_algorithm(name), std::move(adversary),
                      {{0, Chirality(true)}, {1, Chirality(true)}}, options);
       sim.run(600 * n);
       report.add_rounds(600 * n);

@@ -15,11 +15,12 @@
 #include "algorithms/registry.hpp"
 #include "analysis/sentinels.hpp"
 #include "analysis/stats.hpp"
+#include "common/args.hpp"
 #include "common/bench_report.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "dynamic_graph/schedules.hpp"
-#include "engine/fast_engine.hpp"
+#include "engine/engine.hpp"
 #include "scheduler/simulator.hpp"
 
 namespace pef {
@@ -47,9 +48,9 @@ Point measure(std::uint32_t n, std::uint32_t k, double p) {
         derive_seed(seed, n, k) % ring.edge_count());
     auto schedule = std::make_shared<EventualMissingEdgeSchedule>(
         base, missing, vanish);
-    FastEngineOptions options;
+    EngineOptions options;
     options.record_trace = true;  // sentinel analysis reads the trace
-    FastEngine engine(ring, make_algorithm("pef3+"),
+    Engine engine(ring, make_algorithm("pef3+"),
                       make_oblivious(schedule),
                       random_placements(ring, k, seed), options);
     engine.run(600 * n);
@@ -67,8 +68,13 @@ Point measure(std::uint32_t n, std::uint32_t k, double p) {
 }  // namespace
 }  // namespace pef
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pef;
+
+  // No flags yet — but a typo'd flag must fail loudly, not run the
+  // whole bench with the flag silently ignored.
+  ArgParser args(argc, argv);
+  args.check_unused();
 
   std::cout << "=== Lemma 3.7: sentinel formation delay after edge death ===\n"
             << kSeeds << " seeds per cell; delay = formation - vanish time; "

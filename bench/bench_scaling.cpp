@@ -1,11 +1,11 @@
 // bench_scaling — simulator throughput as a function of ring size, robot
 // count and adversary, for BOTH engines and BOTH dispatch paths:
 //
-//   * google-benchmark micro-benchmarks: Simulator vs FastEngine rounds/sec
+//   * google-benchmark micro-benchmarks: Simulator vs Engine rounds/sec
 //     across (n, k) and schedule families;
 //   * a head-to-head macro measurement at n=4096, k=64 (trace recording off)
 //     recorded in BENCH_scaling.json: Simulator vs Engine (virtual
-//     dispatch — PR 1's FastEngine path) vs Engine (kernel dispatch), the
+//     dispatch — PR 1's Engine path) vs Engine (kernel dispatch), the
 //     kernel column being the acceptance metric of the unification PR;
 //   * the model axis at the same size: rounds/sec of the unified engine in
 //     FSYNC / SSYNC / ASYNC under both dispatches (paired reps, median
@@ -36,7 +36,7 @@
 #include "core/experiment.hpp"
 #include "dynamic_graph/schedules.hpp"
 #include "engine/batch_engine.hpp"
-#include "engine/fast_engine.hpp"
+#include "engine/engine.hpp"
 #include "engine/sweep_runner.hpp"
 #include "scheduler/simulator.hpp"
 
@@ -74,7 +74,7 @@ void BM_FastEngineRoundsStatic(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
   const auto k = static_cast<std::uint32_t>(state.range(1));
   const Ring ring(n);
-  FastEngine engine(ring, make_algorithm("pef3+"),
+  Engine engine(ring, make_algorithm("pef3+"),
                     make_oblivious(std::make_shared<StaticSchedule>(ring)),
                     spread_placements(ring, k));
   for (auto _ : state) {
@@ -109,7 +109,7 @@ BENCHMARK(BM_SimulatorRoundsBernoulli)->Arg(8)->Arg(64)->Arg(256);
 void BM_FastEngineRoundsBernoulli(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
   const Ring ring(n);
-  FastEngine engine(
+  Engine engine(
       ring, make_algorithm("pef3+"),
       make_oblivious(std::make_shared<BernoulliSchedule>(ring, 0.5, 1)),
       spread_placements(ring, 3));
@@ -138,7 +138,7 @@ BENCHMARK(BM_StagedProofAdversary)->Arg(8)->Arg(64)->Arg(256);
 void BM_FastEngineStagedProofAdversary(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
   const Ring ring(n);
-  FastEngine engine(ring, make_algorithm("bounce"),
+  Engine engine(ring, make_algorithm("bounce"),
                     std::make_unique<StagedProofAdversary>(ring, 0, 3, 64),
                     {{0, Chirality(true)}, {1, Chirality(true)}});
   for (auto _ : state) {
@@ -171,7 +171,7 @@ void BM_ScheduleQueryInPlace(benchmark::State& state) {
 BENCHMARK(BM_ScheduleQueryInPlace)->Arg(8)->Arg(64)->Arg(512);
 
 /// Cover time of PEF_3+ as a function of n (reported as a counter so the
-/// scaling series prints alongside the timing output).  Runs on FastEngine;
+/// scaling series prints alongside the timing output).  Runs on Engine;
 /// the coverage numbers are engine-independent (differential-tested).
 void BM_CoverTimeVsN(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
@@ -181,7 +181,7 @@ void BM_CoverTimeVsN(benchmark::State& state) {
   for (auto _ : state) {
     auto schedule =
         std::make_shared<BernoulliSchedule>(ring, 0.5, 100 + runs);
-    FastEngine engine(ring, make_algorithm("pef3+"),
+    Engine engine(ring, make_algorithm("pef3+"),
                       make_oblivious(schedule), spread_placements(ring, 3));
     engine.run(200 * n);
     const auto coverage = engine.coverage_report();
@@ -259,16 +259,18 @@ double measure_engine_rps(ExecutionModel model, ComputeDispatch dispatch,
   return 0;
 }
 
-SweepGrid scaling_grid() {
-  SweepGrid grid;
-  grid.algorithms = {"pef3+", "bounce", "keep-direction"};
-  grid.adversaries = {static_spec(), bernoulli_spec(0.5),
-                      bounded_absence_spec(6)};
-  grid.ring_sizes = {16, 64};
-  grid.robot_counts = {3, 8};
-  grid.seeds = {1, 2, 3, 4};
-  grid.horizon = 4000;
-  return grid;
+SweepSpec scaling_grid() {
+  SweepSpec spec;
+  spec.algorithms = {"pef3+", "bounce", "keep-direction"};
+  spec.adversaries = {
+      adversary_config(AdversaryKind::kStatic),
+      adversary_config(AdversaryKind::kBernoulli, {{"p", 0.5}}),
+      adversary_config(AdversaryKind::kBoundedAbsence, {{"max_absence", 6}})};
+  spec.ring_sizes = {16, 64};
+  spec.robot_counts = {3, 8};
+  spec.seeds = {1, 2, 3, 4};
+  spec.horizon = 4000;
+  return spec;
 }
 
 void head_to_head(BenchReport& report) {
@@ -282,7 +284,7 @@ void head_to_head(BenchReport& report) {
             << kNodes << ", k=" << kRobots
             << ", static schedule, no trace) ===\n";
   const double sim_rps = measure_simulator_rps(kNodes, kRobots, kSimRounds);
-  // Virtual dispatch is PR 1's FastEngine path; kernel dispatch is the
+  // Virtual dispatch is PR 1's Engine path; kernel dispatch is the
   // devirtualized POD path of the unification PR.  Paired reps, median
   // ratio (see model_axis): a single sample on a loaded single-core box
   // can swing ~20-30%, which would make the kernel-vs-virtual verdict a
@@ -519,13 +521,13 @@ void batch_throughput(BenchReport& report) {
 void sweep_scaling(BenchReport& report) {
   std::cout << "\n=== SweepRunner thread scaling (same grid, 1 vs 4 "
                "threads) ===\n";
-  SweepGrid grid = scaling_grid();
+  SweepSpec spec = scaling_grid();
   // Large enough to clear SweepRunner's serial-fallback work threshold, so
   // multi-core machines actually exercise the pool (single-core boxes clamp
   // to one worker and the ratio hovers at 1.0 by construction).
-  grid.horizon = smoke_mode ? 1000 : 20000;
-  const SweepResult serial = SweepRunner(1).run(grid);
-  const SweepResult parallel = SweepRunner(4).run(grid);
+  spec.horizon = smoke_mode ? 1000 : 20000;
+  const SweepResult serial = SweepRunner(1).run(spec);
+  const SweepResult parallel = SweepRunner(4).run(spec);
   const bool identical = serial.to_json() == parallel.to_json();
   const double ratio = serial.wall_seconds > 0
                            ? parallel.wall_seconds / serial.wall_seconds

@@ -15,6 +15,7 @@
 
 #include "algorithms/registry.hpp"
 #include "analysis/coverage.hpp"
+#include "common/args.hpp"
 #include "common/bench_report.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
@@ -25,8 +26,13 @@
 #include "scheduler/simulator.hpp"
 #include "scheduler/ssync.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pef;
+
+  // No flags yet — but a typo'd flag must fail loudly, not run the
+  // whole bench with the flag silently ignored.
+  ArgParser args(argc, argv);
+  args.check_unused();
 
   constexpr std::uint32_t kNodes = 6;
   constexpr std::uint32_t kRobots = 3;
@@ -139,7 +145,7 @@ int main() {
   async_table.print(std::cout);
 
   // The same impossibility on the unified Engine's SSYNC/ASYNC fast paths:
-  // blocker + round-robin must freeze pef3+ at FastEngine-class throughput,
+  // blocker + round-robin must freeze pef3+ at Engine-class throughput,
   // under both Compute dispatches.  This is the bench the reference engines
   // were too slow for — the model axis now runs at engine speed.
   std::cout << "\nUnified engine (blocker + round-robin, pef3+, horizon "

@@ -24,12 +24,13 @@
 #include "algorithms/registry.hpp"
 #include "analysis/coverage.hpp"
 #include "analysis/stats.hpp"
+#include "common/args.hpp"
 #include "common/bench_report.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "dynamic_graph/markov_schedule.hpp"
 #include "dynamic_graph/schedules.hpp"
-#include "engine/fast_engine.hpp"
+#include "engine/engine.hpp"
 #include "scheduler/simulator.hpp"
 
 namespace pef {
@@ -47,13 +48,13 @@ struct SeriesPoint {
 
 template <typename MakeAdversary>
 SeriesPoint run_point(const std::string& algo, MakeAdversary&& make) {
-  // FastEngine without a trace: the coverage metrics come from the engine's
+  // Engine without a trace: the coverage metrics come from the engine's
   // incremental bookkeeping (differential-tested against analyze_coverage).
   SeriesPoint point;
   std::vector<double> gaps;
   for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
     const Ring ring(kNodes);
-    FastEngine engine(ring, make_algorithm(algo), make(ring, seed),
+    Engine engine(ring, make_algorithm(algo), make(ring, seed),
                       spread_placements(ring, kRobots));
     engine.run(kHorizon);
     const auto coverage = engine.coverage_report();
@@ -73,8 +74,13 @@ std::string cell(const SeriesPoint& p) {
 }  // namespace
 }  // namespace pef
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pef;
+
+  // No flags yet — but a typo'd flag must fail loudly, not run the
+  // whole bench with the flag silently ignored.
+  ArgParser args(argc, argv);
+  args.check_unused();
 
   const std::vector<std::string> algos = {"pef3+", "bounce",
                                           "keep-direction"};

@@ -23,13 +23,14 @@
 #include "adversary/proof_adversary.hpp"
 #include "algorithms/registry.hpp"
 #include "analysis/coverage.hpp"
+#include "common/args.hpp"
 #include "common/bench_report.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "core/computability.hpp"
 #include "core/experiment.hpp"
 #include "dynamic_graph/properties.hpp"
-#include "engine/fast_engine.hpp"
+#include "engine/engine.hpp"
 #include "scheduler/simulator.hpp"
 
 namespace pef {
@@ -51,17 +52,16 @@ struct CellResult {
 CellResult measure_possible(std::uint32_t n, std::uint32_t k) {
   CellResult cell;
   const std::string algo = computability::recommended_algorithm(k, n);
-  for (const AdversarySpec& spec : standard_battery()) {
-    ExperimentConfig config;
-    config.nodes = n;
-    config.robots = k;
-    config.algorithm = make_algorithm(algo);
-    config.adversary = spec;
-    config.horizon = 500 * n;
-    config.fast_engine = true;
-    for (const RunResult& run : run_battery(config, 1, kSeeds)) {
+  for (const AdversaryConfig& adversary : standard_battery_configs()) {
+    ScenarioSpec spec;
+    spec.nodes = n;
+    spec.robots = k;
+    spec.algorithm = algo;
+    spec.adversary = adversary;
+    spec.horizon = 500 * n;
+    for (const RunResult& run : run_battery(spec, 1, kSeeds)) {
       ++cell.runs;
-      cell.rounds += config.horizon;
+      cell.rounds += spec.horizon;
       if (!run.perpetual) {
         ++cell.failures;
         cell.measured_possible = false;
@@ -84,9 +84,9 @@ CellResult measure_impossible(std::uint32_t n, std::uint32_t k) {
     for (std::uint32_t i = 0; i < k; ++i) {
       placements.push_back({static_cast<NodeId>(i), Chirality(true)});
     }
-    FastEngineOptions options;
+    EngineOptions options;
     options.record_trace = true;  // the legality audit reads edge history
-    FastEngine engine(
+    Engine engine(
         ring, make_algorithm(name),
         std::make_unique<StagedProofAdversary>(ring, 0, k + 1, kPatience),
         placements, options);
@@ -116,8 +116,13 @@ std::string verdict_string(bool possible) {
 }  // namespace
 }  // namespace pef
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pef;
+
+  // No flags yet — but a typo'd flag must fail loudly, not run the
+  // whole bench with the flag silently ignored.
+  ArgParser args(argc, argv);
+  args.check_unused();
 
   std::cout << "=== TABLE 1 (paper) vs measured ===\n"
             << "Perpetual exploration of connected-over-time rings, FSYNC.\n"

@@ -12,15 +12,21 @@
 #include "algorithms/registry.hpp"
 #include "analysis/sentinels.hpp"
 #include "analysis/stats.hpp"
+#include "common/args.hpp"
 #include "common/bench_report.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "core/experiment.hpp"
 #include "dynamic_graph/schedules.hpp"
-#include "engine/fast_engine.hpp"
+#include "engine/engine.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pef;
+
+  // No flags yet — but a typo'd flag must fail loudly, not run the
+  // whole bench with the flag silently ignored.
+  ArgParser args(argc, argv);
+  args.check_unused();
 
   constexpr std::uint32_t kSeeds = 8;
 
@@ -44,16 +50,15 @@ int main() {
       bool lemma33 = true;
       std::vector<double> gaps;
       std::vector<double> covers;
-      for (const AdversarySpec& spec : standard_battery()) {
-        ExperimentConfig config;
-        config.nodes = n;
-        config.robots = k;
-        config.algorithm = make_algorithm("pef3+");
-        config.adversary = spec;
-        config.horizon = 400 * n;
-        config.fast_engine = true;
-        bench_report.add_rounds(std::uint64_t{kSeeds} * config.horizon);
-        for (const RunResult& run : run_battery(config, 1, kSeeds)) {
+      for (const AdversaryConfig& adversary : standard_battery_configs()) {
+        ScenarioSpec spec;
+        spec.nodes = n;
+        spec.robots = k;
+        spec.algorithm = "pef3+";
+        spec.adversary = adversary;
+        spec.horizon = 400 * n;
+        bench_report.add_rounds(std::uint64_t{kSeeds} * spec.horizon);
+        for (const RunResult& run : run_battery(spec, 1, kSeeds)) {
           cell_perpetual = cell_perpetual && run.perpetual;
           lemma34 = lemma34 && run.towers.lemma_3_4_holds;
           lemma33 = lemma33 && run.towers.lemma_3_3_holds;
@@ -98,9 +103,9 @@ int main() {
     const EdgeId missing = 7;
     auto schedule = std::make_shared<EventualMissingEdgeSchedule>(
         std::make_shared<StaticSchedule>(ring), missing, 20);
-    FastEngineOptions options;
+    EngineOptions options;
     options.record_trace = true;  // sentinel analysis reads the trace
-    FastEngine engine(ring, make_algorithm("pef3+"),
+    Engine engine(ring, make_algorithm("pef3+"),
                       make_oblivious(schedule), spread_placements(ring, k),
                       options);
     engine.run(6000);

@@ -57,7 +57,9 @@ int main(int argc, char** argv) {
             << "  perpetual exploration  : "
             << (outcome.result.perpetual ? "yes" : "NO") << "\n"
             << "  adversary stayed legal : "
-            << (outcome.result.adversary_legal ? "yes" : "NO") << "\n";
+            << (outcome.result.adversary_legal ? "yes" : "NO") << "\n\n"
+            << "replay this exact run (pef_run --spec / run_scenario):\n"
+            << "  " << outcome.scenario.to_json() << "\n";
 
   const bool consistent =
       (outcome.predicted == computability::Verdict::kPossible) ==

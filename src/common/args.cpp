@@ -107,4 +107,13 @@ std::vector<std::string> ArgParser::unused() const {
   return out;
 }
 
+void ArgParser::check_unused() const {
+  const std::vector<std::string> stray = unused();
+  if (stray.empty()) return;
+  for (const std::string& key : stray) {
+    std::fprintf(stderr, "unknown flag %s (see --help)\n", key.c_str());
+  }
+  std::exit(2);
+}
+
 }  // namespace pef

@@ -35,6 +35,10 @@ class ArgParser {
   /// Keys that were provided but never consumed (useful to reject typos).
   [[nodiscard]] std::vector<std::string> unused() const;
 
+  /// Reject typos loudly: if any flag was provided but never consumed,
+  /// print each one to stderr and exit(2).  Call after the last get_*/has.
+  void check_unused() const;
+
   [[nodiscard]] const std::string& program() const { return program_; }
 
  private:

@@ -1,8 +1,11 @@
 #include "common/json.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <sstream>
 
 namespace pef {
 
@@ -150,6 +153,319 @@ std::string JsonWriter::format_number(double value) {
     if (parsed == value) return probe;
   }
   return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const char* to_string(JsonValue::Type type) {
+  switch (type) {
+    case JsonValue::Type::kNull: return "null";
+    case JsonValue::Type::kBool: return "a boolean";
+    case JsonValue::Type::kNumber: return "a number";
+    case JsonValue::Type::kString: return "a string";
+    case JsonValue::Type::kArray: return "an array";
+    case JsonValue::Type::kObject: return "an object";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Recursive-descent JSON parser.  Depth-capped so malformed deeply nested
+/// input cannot blow the stack; errors carry line/column.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  std::optional<JsonValue> parse(std::string* error) {
+    JsonValue value;
+    if (!parse_value(value, 0)) {
+      if (error != nullptr) *error = error_;
+      return std::nullopt;
+    }
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      fail("unexpected trailing content after the JSON document");
+      if (error != nullptr) *error = error_;
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  bool fail(const std::string& what) {
+    if (!error_.empty()) return false;  // keep the innermost error
+    std::size_t line = 1, column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    std::ostringstream out;
+    out << "line " << line << ", column " << column << ": " << what;
+    error_ = out.str();
+    return false;
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting deeper than 64 levels");
+    skip_whitespace();
+    if (at_end()) return fail("unexpected end of input (expected a value)");
+    switch (peek()) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"': {
+        out.type = JsonValue::Type::kString;
+        return parse_string(out.string_value);
+      }
+      case 't':
+      case 'f': return parse_bool(out);
+      case 'n': return parse_null(out);
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_literal(const char* literal) {
+    const std::size_t n = std::string::traits_type::length(literal);
+    if (text_.compare(pos_, n, literal) != 0) {
+      return fail(std::string("invalid literal (expected \"") + literal +
+                  "\")");
+    }
+    pos_ += n;
+    return true;
+  }
+
+  bool parse_bool(JsonValue& out) {
+    out.type = JsonValue::Type::kBool;
+    if (peek() == 't') {
+      out.bool_value = true;
+      return parse_literal("true");
+    }
+    out.bool_value = false;
+    return parse_literal("false");
+  }
+
+  bool parse_null(JsonValue& out) {
+    out.type = JsonValue::Type::kNull;
+    return parse_literal("null");
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (!at_end() && peek() == '-') ++pos_;
+    bool digits = false;
+    while (!at_end()) {
+      const char c = peek();
+      const bool number_char = (c >= '0' && c <= '9') || c == '.' ||
+                               c == 'e' || c == 'E' || c == '-' || c == '+';
+      if (!number_char) break;
+      if (c >= '0' && c <= '9') digits = true;
+      ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (!digits) {
+      pos_ = start;
+      return fail("expected a value (got '" +
+                  std::string(1, text_[start]) + "')");
+    }
+    out.type = JsonValue::Type::kNumber;
+    errno = 0;
+    char* end = nullptr;
+    out.number_value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || errno == ERANGE) {
+      pos_ = start;
+      return fail("malformed number '" + token + "'");
+    }
+    // Plain non-negative integer tokens stay exact in uint_value (doubles
+    // round above 2^53; seeds and effective_seeds live up there).
+    if (token.find_first_not_of("0123456789") == std::string::npos) {
+      errno = 0;
+      const std::uint64_t exact = std::strtoull(token.c_str(), &end, 10);
+      if (end != nullptr && *end == '\0' && errno != ERANGE) {
+        out.uint_value = exact;
+        out.is_uint = true;
+      }
+    }
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (!at_end()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (at_end()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return fail("truncated \\u escape in string");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_ + static_cast<std::size_t>(i)];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("invalid hex digit in \\u escape");
+            }
+          }
+          pos_ += 4;
+          // UTF-8 encode (specs are ASCII in practice; escapes below 0x20
+          // are what the writer emits).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default:
+          return fail(std::string("unknown escape '\\") + esc +
+                      "' in string");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_array(JsonValue& out, int depth) {
+    out.type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    skip_whitespace();
+    if (!at_end() && peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      JsonValue item;
+      if (!parse_value(item, depth + 1)) return false;
+      out.items.push_back(std::move(item));
+      skip_whitespace();
+      if (at_end()) return fail("unterminated array (expected ',' or ']')");
+      const char c = text_[pos_++];
+      if (c == ']') return true;
+      if (c != ',') {
+        --pos_;
+        return fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  bool parse_object(JsonValue& out, int depth) {
+    out.type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    skip_whitespace();
+    if (!at_end() && peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_whitespace();
+      if (at_end() || peek() != '"') {
+        return fail("expected a quoted member name");
+      }
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_whitespace();
+      if (at_end() || text_[pos_] != ':') {
+        return fail("expected ':' after member name \"" + key + "\"");
+      }
+      ++pos_;
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      out.members.emplace_back(std::move(key), std::move(value));
+      skip_whitespace();
+      if (at_end()) return fail("unterminated object (expected ',' or '}')");
+      const char c = text_[pos_++];
+      if (c == '}') return true;
+      if (c != ',') {
+        --pos_;
+        return fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(const std::string& text,
+                                    std::string* error) {
+  return JsonParser(text).parse(error);
+}
+
+std::optional<JsonValue> parse_json_file(const std::string& path,
+                                         std::string* error) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  std::string parse_error;
+  auto value = parse_json(buffer.str(), &parse_error);
+  if (!value && error != nullptr) *error = path + ": " + parse_error;
+  return value;
 }
 
 }  // namespace pef

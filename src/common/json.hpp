@@ -1,13 +1,21 @@
-// Minimal streaming JSON writer for machine-readable bench / sweep output
-// (the BENCH_*.json files tracked across PRs).
+// Minimal JSON layer for machine-readable bench / sweep / spec files.
 //
-// Deterministic by construction: keys are emitted in call order, doubles are
-// formatted with a fixed shortest-round-trip format, and no timestamps or
-// pointers ever leak in — byte-identical inputs give byte-identical files.
+//   JsonWriter — streaming writer (the BENCH_*.json files tracked across
+//                PRs).  Deterministic by construction: keys are emitted in
+//                call order, doubles are formatted with a fixed shortest-
+//                round-trip format, and no timestamps or pointers ever leak
+//                in — byte-identical inputs give byte-identical files.
+//   JsonValue / parse_json — a small DOM + recursive-descent parser, the
+//                read side of the scenario/sweep spec API (core/spec.hpp)
+//                and of pef_sweep's shard merge.  Integers that fit an
+//                unsigned 64-bit value are kept exact (seeds and
+//                effective_seeds exceed 2^53, where double would round).
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace pef {
@@ -58,5 +66,54 @@ class JsonWriter {
   std::string out_;
   std::vector<bool> needs_comma_;
 };
+
+/// One parsed JSON value.  Object member order is preserved (specs
+/// serialize in a canonical order, and keeping it makes parse∘serialize an
+/// identity on canonical documents).
+struct JsonValue {
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  /// Every number is available as a double; when the token was a
+  /// non-negative integer that fits 64 bits, `uint_value` holds it exactly
+  /// and `is_uint` is set (doubles round above 2^53 — seeds don't).
+  double number_value = 0;
+  std::uint64_t uint_value = 0;
+  bool is_uint = false;
+  std::string string_value;
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+
+  [[nodiscard]] bool is_null() const { return type == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type == Type::kObject; }
+
+  /// Member lookup (objects only); nullptr when absent.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+};
+
+[[nodiscard]] const char* to_string(JsonValue::Type type);
+
+/// Parse a complete JSON document.  On failure returns nullopt and, when
+/// `error` is non-null, fills it with a "line L, column C: what went wrong"
+/// message.  Trailing garbage after the document is an error.
+[[nodiscard]] std::optional<JsonValue> parse_json(const std::string& text,
+                                                  std::string* error);
+
+/// Read + parse a JSON file.  Distinguishes unreadable files from malformed
+/// content in the error message.
+[[nodiscard]] std::optional<JsonValue> parse_json_file(const std::string& path,
+                                                       std::string* error);
 
 }  // namespace pef

@@ -2,87 +2,61 @@
 
 #include <optional>
 
-#include "adversary/adaptive_missing_edge.hpp"
+#include "algorithms/registry.hpp"
 #include "common/check.hpp"
-#include "common/rng.hpp"
-#include "common/table.hpp"
-#include "dynamic_graph/schedules.hpp"
 #include "engine/batch_engine.hpp"
-#include "engine/fast_engine.hpp"
 
 namespace pef {
 
-AdversarySpec static_spec() {
-  return {"static", [](Ring ring, std::uint64_t) {
-            return make_oblivious(std::make_shared<StaticSchedule>(ring));
+AdversarySpec spec_from_config(const AdversaryConfig& config,
+                               std::uint32_t robots) {
+  return {adversary_display_name(config),
+          [config, robots](Ring ring, std::uint64_t seed) {
+            return adversary_from_config(config, ring, seed, robots);
           }};
+}
+
+AdversarySpec static_spec() {
+  return spec_from_config(adversary_config(AdversaryKind::kStatic));
 }
 
 AdversarySpec bernoulli_spec(double p) {
-  return {"bernoulli(p=" + format_double(p, 1) + ")",
-          [p](Ring ring, std::uint64_t seed) {
-            return make_oblivious(
-                std::make_shared<BernoulliSchedule>(ring, p, seed));
-          }};
+  return spec_from_config(
+      adversary_config(AdversaryKind::kBernoulli, {{"p", p}}));
 }
 
 AdversarySpec periodic_spec(std::uint32_t period, std::uint32_t duty) {
-  return {"periodic(" + std::to_string(duty) + "/" + std::to_string(period) +
-              ")",
-          [period, duty](Ring ring, std::uint64_t) {
-            return make_oblivious(std::make_shared<PeriodicSchedule>(
-                PeriodicSchedule::rotating(ring, period, duty)));
-          }};
+  return spec_from_config(adversary_config(
+      AdversaryKind::kPeriodic, {{"period", static_cast<double>(period)},
+                                 {"duty", static_cast<double>(duty)}}));
 }
 
 AdversarySpec t_interval_spec(Time interval) {
-  return {"t-interval(T=" + std::to_string(interval) + ")",
-          [interval](Ring ring, std::uint64_t seed) {
-            return make_oblivious(std::make_shared<TIntervalConnectedSchedule>(
-                ring, interval, seed));
-          }};
+  return spec_from_config(adversary_config(
+      AdversaryKind::kTInterval,
+      {{"interval", static_cast<double>(interval)}}));
 }
 
 AdversarySpec bounded_absence_spec(Time max_absence) {
-  return {"bounded-absence(A=" + std::to_string(max_absence) + ")",
-          [max_absence](Ring ring, std::uint64_t seed) {
-            return make_oblivious(std::make_shared<BoundedAbsenceSchedule>(
-                ring, max_absence, /*max_presence=*/8, seed));
-          }};
+  return spec_from_config(adversary_config(
+      AdversaryKind::kBoundedAbsence,
+      {{"max_absence", static_cast<double>(max_absence)}}));
 }
 
 AdversarySpec eventual_missing_spec() {
-  return {"eventual-missing", [](Ring ring, std::uint64_t seed) {
-            // The doomed edge and the vanish time depend on the seed so a
-            // battery covers different geometries.
-            Xoshiro256 rng(derive_seed(seed, 0xe1de));
-            const EdgeId edge =
-                static_cast<EdgeId>(rng.next_below(ring.edge_count()));
-            const Time vanish = 2 + rng.next_below(4 * ring.node_count());
-            return make_oblivious(std::make_shared<EventualMissingEdgeSchedule>(
-                std::make_shared<StaticSchedule>(ring), edge, vanish));
-          }};
+  return spec_from_config(adversary_config(AdversaryKind::kEventualMissing));
 }
 
 AdversarySpec adaptive_missing_spec() {
-  return {"adaptive-missing", [](Ring ring, std::uint64_t seed) {
-            Xoshiro256 rng(derive_seed(seed, 0xada));
-            const Time trigger = 2 + rng.next_below(4 * ring.node_count());
-            return std::make_unique<AdaptiveMissingEdgeAdversary>(ring,
-                                                                  trigger);
-          }};
+  return spec_from_config(adversary_config(AdversaryKind::kAdaptiveMissing));
 }
 
 std::vector<AdversarySpec> standard_battery() {
-  return {static_spec(),
-          bernoulli_spec(0.1),
-          bernoulli_spec(0.5),
-          bernoulli_spec(0.9),
-          periodic_spec(/*period=*/5, /*duty=*/3),
-          t_interval_spec(/*interval=*/4),
-          bounded_absence_spec(/*max_absence=*/6),
-          eventual_missing_spec(),
-          adaptive_missing_spec()};
+  std::vector<AdversarySpec> battery;
+  for (const AdversaryConfig& config : standard_battery_configs()) {
+    battery.push_back(spec_from_config(config));
+  }
+  return battery;
 }
 
 namespace {
@@ -100,7 +74,7 @@ RunResult analyze_run(const Ring& ring, const Trace& trace,
   result.perpetual = result.coverage.perpetual(config.nodes);
   result.adversary_legal = result.legality.connected_over_time;
   result.algorithm_name = config.algorithm->name();
-  result.adversary_name = config.adversary.name;
+  result.adversary_name = adversary_display_name(config.adversary);
   result.model = config.model;
   result.nodes = config.nodes;
   result.robots = config.robots;
@@ -118,7 +92,8 @@ RunResult run_experiment(const ExperimentConfig& config) {
   PEF_CHECK(config.horizon >= 1);
 
   const Ring ring(config.nodes);
-  AdversaryPtr adversary = config.adversary.make(ring, config.seed);
+  AdversaryPtr adversary = adversary_from_config(config.adversary, ring,
+                                                 config.seed, config.robots);
 
   const std::vector<RobotPlacement> placements =
       config.placements ? *config.placements
@@ -194,9 +169,10 @@ std::vector<RunResult> run_battery(ExperimentConfig config,
       replica.algorithm = config.algorithm;
       replica.placements = placements;
       replica.horizon = config.horizon;
-      wire_standard_replica(replica, config.model,
-                            config.adversary.make(ring, seed),
-                            config.activation_p, seed);
+      wire_standard_replica(
+          replica, config.model,
+          adversary_from_config(config.adversary, ring, seed, config.robots),
+          config.activation_p, seed);
     }
 
     BatchEngineOptions options;
@@ -215,6 +191,34 @@ std::vector<RunResult> run_battery(ExperimentConfig config,
     results.push_back(run_experiment(config));
   }
   return results;
+}
+
+ExperimentConfig to_experiment_config(const ScenarioSpec& spec) {
+  const auto invalid = spec.validate();
+  PEF_CHECK_MSG(!invalid.has_value(), "invalid scenario spec");
+  ExperimentConfig config;
+  config.nodes = spec.nodes;
+  config.robots = spec.robots;
+  config.algorithm = make_algorithm(resolved_algorithm(spec), spec.seed);
+  config.adversary = spec.adversary;
+  config.horizon = spec.horizon;
+  config.seed = spec.seed;
+  config.model = spec.model;
+  config.activation_p = spec.activation_p;
+  // Specs run on the unified Engine: bit-identical to the reference
+  // engines (differentially tested) and ~10x faster.
+  config.fast_engine = true;
+  return config;
+}
+
+RunResult run_scenario(const ScenarioSpec& spec) {
+  return run_experiment(to_experiment_config(spec));
+}
+
+std::vector<RunResult> run_battery(const ScenarioSpec& spec,
+                                   std::uint64_t first_seed,
+                                   std::uint32_t seeds) {
+  return run_battery(to_experiment_config(spec), first_seed, seeds);
 }
 
 }  // namespace pef

@@ -1,6 +1,11 @@
 // The experiment harness: one call = one (algorithm, adversary, k, n, seed,
 // horizon) run, fully analysed.  Benches and integration tests are thin
 // loops over this.
+//
+// Scenarios are described by the data-only ScenarioSpec (core/spec.hpp);
+// run_scenario() executes one.  ExperimentConfig remains as the thin
+// programmatic adapter underneath (it holds live objects — an AlgorithmPtr,
+// explicit placements — that a serializable spec cannot).
 #pragma once
 
 #include <cstdint>
@@ -12,6 +17,7 @@
 #include "adversary/adversary.hpp"
 #include "analysis/coverage.hpp"
 #include "analysis/towers.hpp"
+#include "core/spec.hpp"
 #include "dynamic_graph/properties.hpp"
 #include "engine/engine.hpp"
 #include "robot/algorithm.hpp"
@@ -21,19 +27,28 @@
 namespace pef {
 
 /// A named, seedable adversary family.  `make(ring, seed)` builds a fresh
-/// adversary instance for one run.
+/// adversary instance for one run.  This is the *runtime* adapter around an
+/// AdversaryConfig — engine-level tests that need a bare factory use it;
+/// everything data-shaped carries the config instead.
 struct AdversarySpec {
   std::string name;
   std::function<AdversaryPtr(Ring, std::uint64_t)> make;
 };
 
+/// Adapt a config to a callable spec.  `robots` feeds cage/proof auto
+/// width (see adversary_from_config).
+[[nodiscard]] AdversarySpec spec_from_config(const AdversaryConfig& config,
+                                             std::uint32_t robots = 0);
+
 /// The standard adversary battery used by possibility benches: static,
 /// Bernoulli p in {0.1, 0.5, 0.9}, rotating periodic, T-interval-connected,
 /// bounded-absence, eventual-missing-edge, adaptive-missing-edge.  All are
-/// connected-over-time by construction.
+/// connected-over-time by construction.  Factory form of
+/// standard_battery_configs() (core/spec.hpp).
 [[nodiscard]] std::vector<AdversarySpec> standard_battery();
 
-/// Individual members of the battery (also usable on their own).
+/// Individual members of the battery (also usable on their own); thin
+/// wrappers over the adversary registry.
 [[nodiscard]] AdversarySpec static_spec();
 [[nodiscard]] AdversarySpec bernoulli_spec(double p);
 [[nodiscard]] AdversarySpec periodic_spec(std::uint32_t period,
@@ -47,7 +62,7 @@ struct ExperimentConfig {
   std::uint32_t nodes = 4;
   std::uint32_t robots = 3;
   AlgorithmPtr algorithm;
-  AdversarySpec adversary;
+  AdversaryConfig adversary;
   Time horizon = 2000;
   std::uint64_t seed = 1;
   /// Optional explicit placements; default = evenly spread, same chirality.
@@ -91,6 +106,20 @@ struct RunResult {
 
 /// Run the config across `seeds` different seeds; returns all results.
 [[nodiscard]] std::vector<RunResult> run_battery(ExperimentConfig config,
+                                                 std::uint64_t first_seed,
+                                                 std::uint32_t seeds);
+
+/// Materialize a data-only spec into a runnable config (resolves the
+/// algorithm name; everything else copies over).  Aborts if the spec does
+/// not validate — call spec.validate() first for a recoverable error.
+[[nodiscard]] ExperimentConfig to_experiment_config(const ScenarioSpec& spec);
+
+/// One call = one spec: validate, materialize, run, analyse.
+[[nodiscard]] RunResult run_scenario(const ScenarioSpec& spec);
+
+/// The spec across `seeds` different seeds starting at `first_seed`
+/// (spec.seed is ignored).
+[[nodiscard]] std::vector<RunResult> run_battery(const ScenarioSpec& spec,
                                                  std::uint64_t first_seed,
                                                  std::uint32_t seeds);
 

@@ -1,49 +1,29 @@
 #include "core/explore.hpp"
 
-#include "algorithms/registry.hpp"
 #include "common/check.hpp"
 
 namespace pef {
-
-AdversarySpec adversary_by_name(const std::string& name) {
-  if (name == "static") return static_spec();
-  if (name == "bernoulli") return bernoulli_spec(0.5);
-  if (name == "periodic") return periodic_spec(5, 3);
-  if (name == "t-interval") return t_interval_spec(4);
-  if (name == "bounded-absence") return bounded_absence_spec(6);
-  if (name == "eventual-missing") return eventual_missing_spec();
-  if (name == "adaptive-missing") return adaptive_missing_spec();
-  PEF_CHECK_MSG(false, "unknown adversary family name");
-  return {};
-}
 
 ExploreOutcome explore(const ExploreRequest& request) {
   ExploreOutcome outcome;
   outcome.predicted =
       computability::classify(request.robots, request.nodes);
 
-  std::string algorithm = request.algorithm;
-  if (algorithm.empty()) {
-    algorithm =
-        computability::recommended_algorithm(request.robots, request.nodes);
-    if (algorithm.empty()) {
-      // Impossible / out-of-model pair: run the closest paper algorithm so
-      // the caller can watch the failure mode.
-      algorithm = request.robots >= 3   ? "pef3+"
-                  : request.robots == 2 ? "pef2"
-                                        : "pef1";
-    }
-  }
-  outcome.algorithm = algorithm;
+  const auto kind = parse_adversary_kind(request.adversary);
+  PEF_CHECK_MSG(kind.has_value(), "unknown adversary family name");
 
-  ExperimentConfig config;
-  config.nodes = request.nodes;
-  config.robots = request.robots;
-  config.algorithm = make_algorithm(algorithm, request.seed);
-  config.adversary = adversary_by_name(request.adversary);
-  config.horizon = request.horizon;
-  config.seed = request.seed;
-  outcome.result = run_experiment(config);
+  ScenarioSpec spec;
+  spec.nodes = request.nodes;
+  spec.robots = request.robots;
+  spec.algorithm = request.algorithm;
+  spec.adversary = adversary_config(*kind);
+  spec.horizon = request.horizon;
+  spec.seed = request.seed;
+
+  outcome.algorithm = resolved_algorithm(spec);
+  spec.algorithm = outcome.algorithm;
+  outcome.scenario = spec;
+  outcome.result = run_scenario(spec);
   return outcome;
 }
 

@@ -17,9 +17,8 @@ namespace pef {
 struct ExploreRequest {
   std::uint32_t nodes = 10;
   std::uint32_t robots = 3;
-  /// Adversary family name; one of: "static", "bernoulli", "periodic",
-  /// "t-interval", "bounded-absence", "eventual-missing",
-  /// "adaptive-missing".
+  /// Adversary family name from the adversary registry (core/spec.hpp),
+  /// e.g. "static", "bernoulli", "eventual-missing"; family defaults apply.
   std::string adversary = "eventual-missing";
   Time horizon = 5000;
   std::uint64_t seed = 1;
@@ -30,15 +29,15 @@ struct ExploreRequest {
 struct ExploreOutcome {
   computability::Verdict predicted;  // TABLE 1's verdict for (robots, nodes)
   std::string algorithm;             // algorithm actually run
+  ScenarioSpec scenario;             // the resolved, serializable scenario
   RunResult result;                  // measured run
 };
 
 /// Runs a perpetual-exploration experiment with sensible defaults.  If
 /// TABLE 1 says the pair is impossible the run is still performed (with the
-/// closest algorithm) so callers can watch it fail.
+/// closest algorithm) so callers can watch it fail.  The outcome carries
+/// the resolved ScenarioSpec — `outcome.scenario.to_json()` reproduces the
+/// exact run via pef_run --spec / run_scenario().
 [[nodiscard]] ExploreOutcome explore(const ExploreRequest& request);
-
-/// Resolve an adversary family name to a spec (aborts on unknown name).
-[[nodiscard]] AdversarySpec adversary_by_name(const std::string& name);
 
 }  // namespace pef

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <iterator>
 #include <optional>
 #include <thread>
 
@@ -27,15 +28,15 @@ struct CellTask {
   std::uint64_t seed = 0;
 };
 
-std::vector<CellTask> enumerate_cells(const SweepGrid& grid) {
+std::vector<CellTask> enumerate_cells(const SweepSpec& spec) {
   std::vector<CellTask> tasks;
-  for (std::size_t a = 0; a < grid.algorithms.size(); ++a) {
-    for (std::size_t d = 0; d < grid.adversaries.size(); ++d) {
-      for (std::size_t m = 0; m < grid.models.size(); ++m) {
-        for (const std::uint32_t n : grid.ring_sizes) {
-          for (const std::uint32_t k : grid.robot_counts) {
+  for (std::size_t a = 0; a < spec.algorithms.size(); ++a) {
+    for (std::size_t d = 0; d < spec.adversaries.size(); ++d) {
+      for (std::size_t m = 0; m < spec.models.size(); ++m) {
+        for (const std::uint32_t n : spec.ring_sizes) {
+          for (const std::uint32_t k : spec.robot_counts) {
             if (k == 0 || k >= n) continue;  // not well-initiated
-            for (const std::uint64_t seed : grid.seeds) {
+            for (const std::uint64_t seed : spec.seeds) {
               tasks.push_back({a, d, m, n, k, seed});
             }
           }
@@ -46,18 +47,42 @@ std::vector<CellTask> enumerate_cells(const SweepGrid& grid) {
   return tasks;
 }
 
-void fill_coordinates(const SweepGrid& grid, const CellTask& task,
+/// Pre-resolved per-spec context shared by every worker: display names and
+/// kernel availability are pure functions of the spec, probed once.
+struct SweepContext {
+  const SweepSpec& spec;
+  std::vector<std::string> adversary_names;
+  std::vector<std::uint8_t> algorithm_has_kernel;
+};
+
+SweepContext make_context(const SweepSpec& spec) {
+  SweepContext context{spec, {}, {}};
+  context.adversary_names.reserve(spec.adversaries.size());
+  for (const AdversaryConfig& config : spec.adversaries) {
+    context.adversary_names.push_back(adversary_display_name(config));
+  }
+  // Kernel availability is a property of the algorithm name; probe once
+  // per spec entry instead of constructing an Algorithm per seed group.
+  context.algorithm_has_kernel.resize(spec.algorithms.size(), 0);
+  for (std::size_t a = 0; a < spec.algorithms.size(); ++a) {
+    context.algorithm_has_kernel[a] =
+        make_algorithm(spec.algorithms[a], 0)->kernel().has_value() ? 1 : 0;
+  }
+  return context;
+}
+
+void fill_coordinates(const SweepContext& context, const CellTask& task,
                       SweepCell& cell) {
-  cell.algorithm = grid.algorithms[task.algorithm_index];
-  cell.adversary = grid.adversaries[task.adversary_index].name;
-  cell.model = grid.models[task.model_index];
+  cell.algorithm = context.spec.algorithms[task.algorithm_index];
+  cell.adversary = context.adversary_names[task.adversary_index];
+  cell.model = context.spec.models[task.model_index];
   cell.nodes = task.nodes;
   cell.robots = task.robots;
   cell.seed = task.seed;
   cell.effective_seed =
       effective_seed(task.seed, task.algorithm_index, task.adversary_index,
                      task.nodes, task.robots, task.model_index);
-  cell.horizon = grid.horizon_for(task.nodes);
+  cell.horizon = context.spec.horizon_for(task.nodes);
 }
 
 void fill_metrics(const EngineStats& stats, const CoverageReport& coverage,
@@ -71,26 +96,28 @@ void fill_metrics(const EngineStats& stats, const CoverageReport& coverage,
   cell.total_moves = stats.total_moves;
 }
 
-std::vector<RobotPlacement> placements_for(const SweepGrid& grid,
+std::vector<RobotPlacement> placements_for(const SweepSpec& spec,
                                            const Ring& ring,
                                            std::uint32_t robots,
                                            std::uint64_t eff_seed) {
-  return grid.random_placements
+  return spec.random_placements
              ? random_placements(ring, robots, derive_seed(eff_seed, 0x91ace))
              : spread_placements(ring, robots);
 }
 
-SweepCell run_cell(const SweepGrid& grid, const CellTask& task) {
+SweepCell run_cell(const SweepContext& context, const CellTask& task) {
+  const SweepSpec& spec = context.spec;
   SweepCell cell;
-  fill_coordinates(grid, task, cell);
+  fill_coordinates(context, task, cell);
 
   const Ring ring(task.nodes);
   const std::vector<RobotPlacement> placements =
-      placements_for(grid, ring, task.robots, cell.effective_seed);
+      placements_for(spec, ring, task.robots, cell.effective_seed);
 
   AlgorithmPtr algorithm = make_algorithm(cell.algorithm, cell.effective_seed);
   AdversaryPtr adversary =
-      grid.adversaries[task.adversary_index].make(ring, cell.effective_seed);
+      adversary_from_config(spec.adversaries[task.adversary_index], ring,
+                            cell.effective_seed, task.robots);
 
   const auto start = std::chrono::steady_clock::now();
   std::optional<Engine> engine_slot;
@@ -103,14 +130,14 @@ SweepCell run_cell(const SweepGrid& grid, const CellTask& task) {
       engine_slot.emplace(
           ring, std::move(algorithm),
           std::make_unique<SsyncFromFsyncAdversary>(std::move(adversary)),
-          standard_ssync_activation(grid.activation_p, cell.effective_seed),
+          standard_ssync_activation(spec.activation_p, cell.effective_seed),
           placements);
       break;
     case ExecutionModel::kAsync:
       engine_slot.emplace(
           ring, std::move(algorithm),
           std::make_unique<SsyncFromFsyncAdversary>(std::move(adversary)),
-          standard_async_phases(grid.activation_p, cell.effective_seed),
+          standard_async_phases(spec.activation_p, cell.effective_seed),
           placements);
       break;
   }
@@ -127,25 +154,26 @@ SweepCell run_cell(const SweepGrid& grid, const CellTask& task) {
 /// Run `count` consecutive same-scenario tasks (differing only in seed) as
 /// one BatchEngine of per-seed replicas.  `cells` points at the group's
 /// output slots.
-void run_batched(const SweepGrid& grid, const CellTask* tasks,
+void run_batched(const SweepContext& context, const CellTask* tasks,
                  std::uint32_t count, SweepCell* cells) {
+  const SweepSpec& spec = context.spec;
   const Ring ring(tasks[0].nodes);
-  const ExecutionModel model = grid.models[tasks[0].model_index];
+  const ExecutionModel model = spec.models[tasks[0].model_index];
 
   std::vector<BatchReplica> replicas(count);
   for (std::uint32_t b = 0; b < count; ++b) {
     SweepCell& cell = cells[b];
-    fill_coordinates(grid, tasks[b], cell);
+    fill_coordinates(context, tasks[b], cell);
     BatchReplica& replica = replicas[b];
     replica.algorithm = make_algorithm(cell.algorithm, cell.effective_seed);
     replica.placements =
-        placements_for(grid, ring, cell.robots, cell.effective_seed);
+        placements_for(spec, ring, cell.robots, cell.effective_seed);
     replica.horizon = cell.horizon;
     wire_standard_replica(
         replica, model,
-        grid.adversaries[tasks[b].adversary_index].make(ring,
-                                                        cell.effective_seed),
-        grid.activation_p, cell.effective_seed);
+        adversary_from_config(spec.adversaries[tasks[b].adversary_index],
+                              ring, cell.effective_seed, cell.robots),
+        spec.activation_p, cell.effective_seed);
   }
 
   const auto start = std::chrono::steady_clock::now();
@@ -167,11 +195,15 @@ struct CellGroup {
   std::uint32_t count = 0;
 };
 
-std::vector<CellGroup> group_cells(const std::vector<CellTask>& tasks) {
+/// Group the task subrange [begin, end).  Shard boundaries may split a seed
+/// group across shards; that only affects batch composition, and per-cell
+/// results are bit-identical at any batch size.
+std::vector<CellGroup> group_cells(const std::vector<CellTask>& tasks,
+                                   std::size_t begin, std::size_t end) {
   std::vector<CellGroup> groups;
-  for (std::size_t i = 0; i < tasks.size();) {
+  for (std::size_t i = begin; i < end;) {
     std::size_t j = i + 1;
-    while (j < tasks.size() &&
+    while (j < end &&
            tasks[j].algorithm_index == tasks[i].algorithm_index &&
            tasks[j].adversary_index == tasks[i].adversary_index &&
            tasks[j].model_index == tasks[i].model_index &&
@@ -185,26 +217,27 @@ std::vector<CellGroup> group_cells(const std::vector<CellTask>& tasks) {
   return groups;
 }
 
-void run_group(const SweepGrid& grid, const std::vector<CellTask>& tasks,
-               const CellGroup& group,
-               const std::vector<std::uint8_t>& algorithm_has_kernel,
+void run_group(const SweepContext& context,
+               const std::vector<CellTask>& tasks, const CellGroup& group,
                SweepCell* cells) {
   // Seed groups batch when the algorithm has a kernel (every registry
   // algorithm does; bespoke kernel-less algorithms fall back to per-cell
   // Engines).  Results are identical either way.
+  const SweepSpec& spec = context.spec;
   const bool batchable =
-      grid.batch_seeds && group.count > 1 &&
-      algorithm_has_kernel[tasks[group.first].algorithm_index] != 0;
+      spec.batch_seeds && group.count > 1 &&
+      context.algorithm_has_kernel[tasks[group.first].algorithm_index] != 0;
   if (!batchable) {
     for (std::uint32_t b = 0; b < group.count; ++b) {
-      cells[b] = run_cell(grid, tasks[group.first + b]);
+      cells[b] = run_cell(context, tasks[group.first + b]);
     }
     return;
   }
-  const std::uint32_t max_batch = grid.max_batch == 0 ? 64 : grid.max_batch;
+  const std::uint32_t max_batch = spec.max_batch == 0 ? 64 : spec.max_batch;
   for (std::uint32_t off = 0; off < group.count; off += max_batch) {
     const std::uint32_t count = std::min(max_batch, group.count - off);
-    run_batched(grid, tasks.data() + group.first + off, count, cells + off);
+    run_batched(context, tasks.data() + group.first + off, count,
+                cells + off);
   }
 }
 
@@ -229,36 +262,232 @@ std::uint64_t SweepResult::total_rounds() const {
   return total;
 }
 
+void sweep_cell_to_json(JsonWriter& json, const SweepCell& cell) {
+  json.begin_object();
+  json.field("algorithm", cell.algorithm);
+  json.field("adversary", cell.adversary);
+  json.field("model", to_string(cell.model));
+  json.field("n", cell.nodes);
+  json.field("k", cell.robots);
+  json.field("seed", cell.seed);
+  json.field("effective_seed", cell.effective_seed);
+  json.field("horizon", cell.horizon);
+  json.field("perpetual", cell.perpetual);
+  if (cell.covered) {
+    json.field("cover_time", cell.cover_time);
+  } else {
+    json.null_field("cover_time");
+  }
+  json.field("max_revisit_gap", cell.max_revisit_gap);
+  json.field("tower_rounds", cell.tower_rounds);
+  json.field("tower_formations", cell.tower_formations);
+  json.field("total_moves", cell.total_moves);
+  json.end_object();
+}
+
+std::optional<SweepCell> sweep_cell_from_json(const JsonValue& value,
+                                              std::string* error) {
+  const auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = "sweep cell: " + message;
+    return std::nullopt;
+  };
+  if (!value.is_object()) return fail("must be an object");
+  SweepCell cell;
+  // Every field sweep_cell_to_json writes is required exactly once; a
+  // truncated or hand-edited cell must be an error, never a default.
+  const char* const kFields[] = {
+      "algorithm", "adversary", "model", "n", "k", "seed", "effective_seed",
+      "horizon", "perpetual", "cover_time", "max_revisit_gap",
+      "tower_rounds", "tower_formations", "total_moves"};
+  constexpr std::size_t kFieldCount = std::size(kFields);
+  bool seen[kFieldCount] = {};
+  const auto mark = [&seen, &kFields](const std::string& key) {
+    for (std::size_t f = 0; f < kFieldCount; ++f) {
+      if (key == kFields[f]) {
+        const bool duplicate = seen[f];
+        seen[f] = true;
+        return !duplicate;
+      }
+    }
+    return false;
+  };
+  for (const auto& [key, member] : value.members) {
+    if (!mark(key)) {
+      return fail("unexpected or duplicate key \"" + key + "\"");
+    }
+    if (key == "algorithm" && member.is_string()) {
+      cell.algorithm = member.string_value;
+    } else if (key == "adversary" && member.is_string()) {
+      cell.adversary = member.string_value;
+    } else if (key == "model" && member.is_string()) {
+      const auto model = parse_execution_model(member.string_value);
+      if (!model) {
+        return fail("unknown model \"" + member.string_value + "\"");
+      }
+      cell.model = *model;
+    } else if (key == "n" && member.is_uint) {
+      cell.nodes = static_cast<std::uint32_t>(member.uint_value);
+    } else if (key == "k" && member.is_uint) {
+      cell.robots = static_cast<std::uint32_t>(member.uint_value);
+    } else if (key == "seed" && member.is_uint) {
+      cell.seed = member.uint_value;
+    } else if (key == "effective_seed" && member.is_uint) {
+      cell.effective_seed = member.uint_value;
+    } else if (key == "horizon" && member.is_uint) {
+      cell.horizon = member.uint_value;
+    } else if (key == "perpetual" && member.is_bool()) {
+      cell.perpetual = member.bool_value;
+    } else if (key == "cover_time" &&
+               (member.is_null() || member.is_uint)) {
+      cell.covered = !member.is_null();
+      cell.cover_time = member.is_null() ? 0 : member.uint_value;
+    } else if (key == "max_revisit_gap" && member.is_uint) {
+      cell.max_revisit_gap = member.uint_value;
+    } else if (key == "tower_rounds" && member.is_uint) {
+      cell.tower_rounds = member.uint_value;
+    } else if (key == "tower_formations" && member.is_uint) {
+      cell.tower_formations = member.uint_value;
+    } else if (key == "total_moves" && member.is_uint) {
+      cell.total_moves = member.uint_value;
+    } else {
+      return fail("mistyped value for key \"" + key + "\"");
+    }
+  }
+  for (std::size_t f = 0; f < kFieldCount; ++f) {
+    if (!seen[f]) {
+      return fail("missing field \"" + std::string(kFields[f]) +
+                  "\" (is this a pef_sweep cell?)");
+    }
+  }
+  return cell;
+}
+
+namespace {
+
+void cells_to_json(JsonWriter& json, const std::vector<SweepCell>& cells) {
+  json.begin_array("cells");
+  for (const SweepCell& cell : cells) sweep_cell_to_json(json, cell);
+  json.end_array();
+}
+
+}  // namespace
+
 std::string SweepResult::to_json() const {
+  PEF_CHECK_MSG(first_cell == 0 && total_cells == cells.size(),
+                "partial (sharded) result: write with to_shard_json() and "
+                "stitch with merge_sweep_shards()");
   JsonWriter json;
   json.begin_object();
   json.field("cell_count", static_cast<std::uint64_t>(cells.size()));
-  json.begin_array("cells");
-  for (const SweepCell& cell : cells) {
-    json.begin_object();
-    json.field("algorithm", cell.algorithm);
-    json.field("adversary", cell.adversary);
-    json.field("model", to_string(cell.model));
-    json.field("n", cell.nodes);
-    json.field("k", cell.robots);
-    json.field("seed", cell.seed);
-    json.field("effective_seed", cell.effective_seed);
-    json.field("horizon", cell.horizon);
-    json.field("perpetual", cell.perpetual);
-    if (cell.covered) {
-      json.field("cover_time", cell.cover_time);
-    } else {
-      json.null_field("cover_time");
-    }
-    json.field("max_revisit_gap", cell.max_revisit_gap);
-    json.field("tower_rounds", cell.tower_rounds);
-    json.field("tower_formations", cell.tower_formations);
-    json.field("total_moves", cell.total_moves);
-    json.end_object();
-  }
-  json.end_array();
+  cells_to_json(json, cells);
   json.end_object();
   return json.str();
+}
+
+std::string SweepResult::to_shard_json() const {
+  JsonWriter json;
+  json.begin_object();
+  json.field("spec", spec_json);
+  json.field("shard_index", shard.index);
+  json.field("shard_count", shard.count);
+  json.field("first_cell", first_cell);
+  json.field("total_cells", total_cells);
+  json.field("cell_count", static_cast<std::uint64_t>(cells.size()));
+  cells_to_json(json, cells);
+  json.end_object();
+  return json.str();
+}
+
+std::optional<std::string> merge_sweep_shards(
+    const std::vector<std::string>& shard_jsons, std::string* error) {
+  const auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+
+  struct Shard {
+    std::string spec_json;
+    std::uint32_t index = 0;
+    std::uint32_t count = 0;
+    std::uint64_t first_cell = 0;
+    std::uint64_t total_cells = 0;
+    std::vector<SweepCell> cells;
+  };
+  std::vector<Shard> shards;
+
+  for (std::size_t i = 0; i < shard_jsons.size(); ++i) {
+    const std::string where = "shard file " + std::to_string(i);
+    std::string parse_error;
+    const auto document = parse_json(shard_jsons[i], &parse_error);
+    if (!document) return fail(where + ": " + parse_error);
+    Shard shard;
+    const JsonValue* spec = document->find("spec");
+    const JsonValue* index = document->find("shard_index");
+    const JsonValue* count = document->find("shard_count");
+    const JsonValue* first = document->find("first_cell");
+    const JsonValue* total = document->find("total_cells");
+    const JsonValue* cells = document->find("cells");
+    if (spec == nullptr || !spec->is_string() || index == nullptr ||
+        !index->is_uint || count == nullptr || !count->is_uint ||
+        first == nullptr || !first->is_uint || total == nullptr ||
+        !total->is_uint || cells == nullptr || !cells->is_array()) {
+      return fail(where +
+                  ": not a pef_sweep shard file (needs spec, shard_index, "
+                  "shard_count, first_cell, total_cells, cells — full "
+                  "outputs need no merging)");
+    }
+    shard.spec_json = spec->string_value;
+    shard.index = static_cast<std::uint32_t>(index->uint_value);
+    shard.count = static_cast<std::uint32_t>(count->uint_value);
+    shard.first_cell = first->uint_value;
+    shard.total_cells = total->uint_value;
+    for (const JsonValue& item : cells->items) {
+      auto cell = sweep_cell_from_json(item, &parse_error);
+      if (!cell) return fail(where + ": " + parse_error);
+      shard.cells.push_back(std::move(*cell));
+    }
+    shards.push_back(std::move(shard));
+  }
+
+  if (shards.empty()) return fail("no shard files given");
+  const std::uint32_t expected_count = shards.front().count;
+  const std::uint64_t expected_total = shards.front().total_cells;
+  const std::string& expected_spec = shards.front().spec_json;
+  if (shards.size() != expected_count) {
+    return fail("need all " + std::to_string(expected_count) +
+                " shards to merge, got " + std::to_string(shards.size()));
+  }
+  std::sort(shards.begin(), shards.end(),
+            [](const Shard& a, const Shard& b) { return a.index < b.index; });
+
+  SweepResult merged;
+  merged.total_cells = expected_total;
+  for (std::uint32_t i = 0; i < shards.size(); ++i) {
+    const Shard& shard = shards[i];
+    if (shard.spec_json != expected_spec || shard.count != expected_count ||
+        shard.total_cells != expected_total) {
+      return fail("shard " + std::to_string(shard.index) +
+                  " belongs to a different sweep (spec/shard_count/"
+                  "total_cells mismatch)");
+    }
+    if (shard.index != i) {
+      return fail("missing or duplicate shard " + std::to_string(i) +
+                  " (have shard " + std::to_string(shard.index) + " twice?)");
+    }
+    if (shard.first_cell != merged.cells.size()) {
+      return fail("shard " + std::to_string(shard.index) +
+                  " starts at cell " + std::to_string(shard.first_cell) +
+                  " but the previous shards end at cell " +
+                  std::to_string(merged.cells.size()));
+    }
+    merged.cells.insert(merged.cells.end(), shard.cells.begin(),
+                        shard.cells.end());
+  }
+  if (merged.cells.size() != expected_total) {
+    return fail("merged shards hold " + std::to_string(merged.cells.size()) +
+                " cells, expected " + std::to_string(expected_total));
+  }
+  return merged.to_json();
 }
 
 SweepRunner::SweepRunner(std::uint32_t threads) : threads_(threads) {
@@ -268,26 +497,32 @@ SweepRunner::SweepRunner(std::uint32_t threads) : threads_(threads) {
   }
 }
 
-SweepResult SweepRunner::run(const SweepGrid& grid) const {
-  PEF_CHECK(!grid.algorithms.empty());
-  PEF_CHECK(!grid.adversaries.empty());
-  PEF_CHECK(!grid.models.empty());
-  PEF_CHECK(!grid.ring_sizes.empty());
-  PEF_CHECK(!grid.robot_counts.empty());
-  PEF_CHECK(!grid.seeds.empty());
+SweepResult SweepRunner::run(const SweepSpec& spec, SweepShard shard) const {
+  const auto invalid = spec.validate();
+  PEF_CHECK_MSG(!invalid.has_value(), "invalid sweep spec");
+  PEF_CHECK_MSG(shard.count >= 1 && shard.index < shard.count,
+                "shard must be index/count with index < count");
 
-  const std::vector<CellTask> tasks = enumerate_cells(grid);
-  const std::vector<CellGroup> groups = group_cells(tasks);
-  // Kernel availability is a property of the algorithm name; probe once
-  // per grid entry instead of constructing an Algorithm per seed group.
-  std::vector<std::uint8_t> algorithm_has_kernel(grid.algorithms.size(), 0);
-  for (std::size_t a = 0; a < grid.algorithms.size(); ++a) {
-    algorithm_has_kernel[a] =
-        make_algorithm(grid.algorithms[a], 0)->kernel().has_value() ? 1 : 0;
-  }
+  const std::vector<CellTask> tasks = enumerate_cells(spec);
+  // The shard's contiguous cell slice; cell coordinates (and thus results)
+  // are independent of the slicing.
+  const std::size_t lo = tasks.size() * shard.index / shard.count;
+  const std::size_t hi = tasks.size() * (shard.index + 1) / shard.count;
+  const std::vector<CellGroup> groups = group_cells(tasks, lo, hi);
+  const SweepContext context = make_context(spec);
+
   SweepResult result;
   result.threads = threads_;
-  result.cells.resize(tasks.size());
+  result.shard = shard;
+  result.first_cell = lo;
+  result.total_cells = tasks.size();
+  result.spec_json = spec.to_json();
+  result.cells.resize(hi - lo);
+  // Groups index cells by absolute cell id; the result vector holds the
+  // shard's slice, so slot(group) rebases onto it.
+  const auto slot = [&result, lo](const CellGroup& group) {
+    return result.cells.data() + (group.first - lo);
+  };
 
   // Scheduling-only decisions (results are slot-indexed and thus identical
   // regardless): clamp workers to the hardware, run small grids serially —
@@ -296,7 +531,9 @@ SweepResult SweepRunner::run(const SweepGrid& grid) const {
   // line on grids with many tiny groups.
   constexpr std::uint64_t kSerialThresholdRounds = 1'000'000;
   std::uint64_t total_rounds = 0;
-  for (const CellTask& task : tasks) total_rounds += grid.horizon_for(task.nodes);
+  for (std::size_t t = lo; t < hi; ++t) {
+    total_rounds += spec.horizon_for(tasks[t].nodes);
+  }
   std::uint32_t hardware = std::thread::hardware_concurrency();
   if (hardware == 0) hardware = 1;
   std::uint32_t workers = std::min(threads_, hardware);
@@ -307,8 +544,7 @@ SweepResult SweepRunner::run(const SweepGrid& grid) const {
   const auto start = std::chrono::steady_clock::now();
   if (serial) {
     for (const CellGroup& group : groups) {
-      run_group(grid, tasks, group, algorithm_has_kernel,
-                result.cells.data() + group.first);
+      run_group(context, tasks, group, slot(group));
     }
   } else {
     const std::size_t chunk = std::clamp<std::size_t>(
@@ -321,8 +557,7 @@ SweepResult SweepRunner::run(const SweepGrid& grid) const {
         if (begin >= groups.size()) return;
         const std::size_t end = std::min(begin + chunk, groups.size());
         for (std::size_t g = begin; g < end; ++g) {
-          run_group(grid, tasks, groups[g], algorithm_has_kernel,
-                    result.cells.data() + groups[g].first);
+          run_group(context, tasks, groups[g], slot(groups[g]));
         }
       }
     };

@@ -1,16 +1,17 @@
 // SweepRunner — the multi-core Monte-Carlo sweep harness.
 //
-// A sweep is the cartesian grid (algorithm × adversary × model × n × k ×
-// seed); each grid cell is one independent engine run.  Cells that differ
-// ONLY in seed are one scenario run many times — exactly BatchEngine's
-// shape — so the runner dispatches each such seed group to one replica
-// batch (per-seed results stay bit-identical to solo Engine runs; the
-// differential tests pin this) instead of constructing a fresh Engine per
-// seed.  A fixed-size pool of worker threads pulls seed-group indices in
-// CHUNKS from an atomic cursor (one-group-per-fetch ping-pongs the cursor
-// cache line on small grids), grids below a work threshold skip the pool
-// entirely, and the thread count is clamped to the hardware — while the
-// *results* cannot depend on scheduling:
+// A sweep is described by a data-only SweepSpec (core/spec.hpp): the
+// cartesian grid (algorithm × adversary × model × n × k × seed); each grid
+// cell is one independent engine run.  Cells that differ ONLY in seed are
+// one scenario run many times — exactly BatchEngine's shape — so the runner
+// dispatches each such seed group to one replica batch (per-seed results
+// stay bit-identical to solo Engine runs; the differential tests pin this)
+// instead of constructing a fresh Engine per seed.  A fixed-size pool of
+// worker threads pulls seed-group indices in CHUNKS from an atomic cursor
+// (one-group-per-fetch ping-pongs the cursor cache line on small grids),
+// grids below a work threshold skip the pool entirely, and the thread count
+// is clamped to the hardware — while the *results* cannot depend on
+// scheduling:
 //
 //   * every cell derives its own RNG stream deterministically from its grid
 //     coordinates (see effective_seed below), never from thread identity,
@@ -19,57 +20,28 @@
 //     vector (and hence the JSON) is byte-identical at 1 and N threads,
 //     batched or not.
 //
+// Because a cell's results are a pure function of the spec and its cell
+// index, a sweep also shards across PROCESSES: run(spec, {i, N}) executes
+// only the i-th contiguous slice of the cell list, to_shard_json() wraps
+// that slice with its coordinates, and merge_sweep_shards() concatenates N
+// such slices back into JSON byte-identical to the unsharded run
+// (tools/pef_sweep.cpp is the CLI; tests/sweep_shard_test.cpp pins the
+// equality against the golden baseline).
+//
 // Per-cell wall-times are measured for throughput reporting but deliberately
 // kept out of the deterministic JSON (batched cells report their share of
 // the batch wall-time).
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "core/experiment.hpp"
-#include "engine/fast_engine.hpp"
 
 namespace pef {
-
-struct SweepGrid {
-  std::vector<std::string> algorithms;
-  std::vector<AdversarySpec> adversaries;
-  /// Execution models to sweep.  SSYNC cells run under seeded Bernoulli
-  /// activation, ASYNC cells under seeded Bernoulli phase advancement (see
-  /// activation_p); FSYNC cells are identical to the pre-model-axis grid.
-  std::vector<ExecutionModel> models = {ExecutionModel::kFsync};
-  std::vector<std::uint32_t> ring_sizes;    // n
-  std::vector<std::uint32_t> robot_counts;  // k; cells with k >= n are skipped
-  std::vector<std::uint64_t> seeds;
-
-  /// Per-robot selection probability of the SSYNC activation policy and the
-  /// ASYNC phase scheduler (Bernoulli, derived-seeded per cell).
-  double activation_p = 0.5;
-
-  /// Horizon of one run: `horizon` rounds when nonzero, else
-  /// `horizon_per_node * n`.
-  Time horizon = 0;
-  Time horizon_per_node = 200;
-
-  /// Robot placements: uniformly random towerless nodes with random
-  /// chiralities (seeded per cell) when true, evenly spread with common
-  /// chirality when false.
-  bool random_placements = true;
-
-  /// Run each cell group that differs only in seed as one BatchEngine of
-  /// per-seed replicas (when the algorithm has a kernel).  Per-seed results
-  /// are bit-identical either way; this is purely a throughput knob.
-  bool batch_seeds = true;
-
-  /// Replica cap per BatchEngine; larger seed groups split into chunks.
-  std::uint32_t max_batch = 64;
-
-  [[nodiscard]] Time horizon_for(std::uint32_t n) const {
-    return horizon != 0 ? horizon : horizon_per_node * n;
-  }
-};
 
 /// One fully-run grid cell.
 struct SweepCell {
@@ -99,8 +71,34 @@ struct SweepCell {
   }
 };
 
+/// Append one cell as a JSON object — the single definition of the per-cell
+/// JSON shape, shared by full results, shard files and the shard merge.
+void sweep_cell_to_json(JsonWriter& json, const SweepCell& cell);
+
+/// Invert sweep_cell_to_json (for the shard merge).  Strict: every field
+/// required, unknown keys rejected.
+[[nodiscard]] std::optional<SweepCell> sweep_cell_from_json(
+    const JsonValue& value, std::string* error);
+
+/// A contiguous slice of the sweep's cell list: shard `index` of `count`
+/// runs cells [floor(index*C/count), floor((index+1)*C/count)).  The
+/// default is the whole sweep.
+struct SweepShard {
+  std::uint32_t index = 0;
+  std::uint32_t count = 1;
+};
+
 struct SweepResult {
   std::vector<SweepCell> cells;  // grid order, independent of thread count
+  /// Which slice of the grid `cells` covers (first_cell == 0 and
+  /// total_cells == cells.size() for an unsharded run).
+  std::uint64_t first_cell = 0;
+  std::uint64_t total_cells = 0;
+  SweepShard shard;
+  /// Canonical JSON of the spec that was run; embedded in shard files so
+  /// merge_sweep_shards can refuse to stitch shards of different sweeps.
+  std::string spec_json;
+
   double wall_seconds = 0;
   std::uint32_t threads = 0;
 
@@ -112,9 +110,21 @@ struct SweepResult {
   }
 
   /// Machine-readable per-cell results.  Contains only deterministic fields:
-  /// byte-identical for identical grids regardless of thread count.
+  /// byte-identical for identical specs regardless of thread count.  Aborts
+  /// on a partial (sharded) result — write those with to_shard_json().
   [[nodiscard]] std::string to_json() const;
+
+  /// Shard output: the same deterministic cells plus the shard coordinates
+  /// merge_sweep_shards() needs to stitch slices back together.
+  [[nodiscard]] std::string to_shard_json() const;
 };
+
+/// Merge the outputs of N shard runs (each a to_shard_json() document, in
+/// any order) into the unsharded to_json() document — byte-identical to
+/// running the whole spec in one process.  Returns nullopt (with an
+/// actionable message) on missing/duplicate/inconsistent shards.
+[[nodiscard]] std::optional<std::string> merge_sweep_shards(
+    const std::vector<std::string>& shard_jsons, std::string* error);
 
 /// The per-cell stream seed: mixes the grid seed entry with every coordinate
 /// index so distinct cells never share an RNG stream, and a cell's stream is
@@ -133,8 +143,10 @@ class SweepRunner {
 
   [[nodiscard]] std::uint32_t threads() const { return threads_; }
 
-  /// Run every cell of the grid; blocks until all are done.
-  [[nodiscard]] SweepResult run(const SweepGrid& grid) const;
+  /// Run the spec's cells — all of them, or one contiguous shard.  Blocks
+  /// until done.  Aborts on specs that fail validate().
+  [[nodiscard]] SweepResult run(const SweepSpec& spec,
+                                SweepShard shard = {}) const;
 
  private:
   std::uint32_t threads_;

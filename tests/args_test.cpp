@@ -59,5 +59,21 @@ TEST(ArgsDeathTest, RejectsPositionalArguments) {
       "unexpected positional");
 }
 
+TEST(ArgsDeathTest, CheckUnusedExitsOnTypos) {
+  EXPECT_EXIT(
+      {
+        auto args = make({"--nodes", "5", "--typo-flag"});
+        (void)args.get_u32("--nodes", 0);
+        args.check_unused();
+      },
+      ::testing::ExitedWithCode(2), "unknown flag --typo-flag");
+}
+
+TEST(ArgsTest, CheckUnusedPassesWhenEverythingConsumed) {
+  auto args = make({"--nodes", "5"});
+  EXPECT_EQ(args.get_u32("--nodes", 0), 5u);
+  args.check_unused();  // must not exit
+}
+
 }  // namespace
 }  // namespace pef

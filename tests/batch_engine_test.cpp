@@ -390,7 +390,7 @@ TEST(BatchEngineTest, RunBatteryBatchedMatchesSequentialRuns) {
     config.nodes = 10;
     config.robots = 3;
     config.algorithm = make_algorithm("pef3+");
-    config.adversary = bernoulli_spec(0.6);
+    config.adversary = adversary_config(AdversaryKind::kBernoulli, {{"p", 0.6}});
     config.horizon = 300;
     config.model = model;
 

@@ -14,7 +14,7 @@ TEST(ExperimentTest, RunFillsAllFields) {
   config.nodes = 6;
   config.robots = 3;
   config.algorithm = make_algorithm("pef3+");
-  config.adversary = static_spec();
+  config.adversary = adversary_config(AdversaryKind::kStatic);
   config.horizon = 300;
   config.seed = 5;
   const RunResult result = run_experiment(config);
@@ -33,7 +33,7 @@ TEST(ExperimentTest, SameSeedSameResult) {
   config.nodes = 7;
   config.robots = 3;
   config.algorithm = make_algorithm("pef3+");
-  config.adversary = bernoulli_spec(0.5);
+  config.adversary = adversary_config(AdversaryKind::kBernoulli, {{"p", 0.5}});
   config.horizon = 500;
   config.seed = 42;
   const RunResult a = run_experiment(config);
@@ -48,7 +48,7 @@ TEST(ExperimentTest, DifferentSeedsUsuallyDiffer) {
   config.nodes = 7;
   config.robots = 3;
   config.algorithm = make_algorithm("pef3+");
-  config.adversary = bernoulli_spec(0.5);
+  config.adversary = adversary_config(AdversaryKind::kBernoulli, {{"p", 0.5}});
   config.horizon = 500;
   config.seed = 1;
   const RunResult a = run_experiment(config);
@@ -62,7 +62,8 @@ TEST(ExperimentTest, BatteryRunsAllSeeds) {
   config.nodes = 5;
   config.robots = 3;
   config.algorithm = make_algorithm("pef3+");
-  config.adversary = t_interval_spec(3);
+  config.adversary =
+      adversary_config(AdversaryKind::kTInterval, {{"interval", 3}});
   config.horizon = 400;
   const auto results = run_battery(config, 100, 8);
   ASSERT_EQ(results.size(), 8u);
@@ -75,16 +76,16 @@ TEST(ExperimentTest, BatteryRunsAllSeeds) {
 TEST(ExperimentTest, StandardBatteryIsLegalEverywhere) {
   // Every adversary family in the battery must produce connected-over-time
   // prefixes (they are the *possibility*-side workloads).
-  for (const AdversarySpec& spec : standard_battery()) {
+  for (const AdversaryConfig& adversary : standard_battery_configs()) {
     ExperimentConfig config;
     config.nodes = 6;
     config.robots = 3;
     config.algorithm = make_algorithm("pef3+");
-    config.adversary = spec;
+    config.adversary = adversary;
     config.horizon = 800;
     config.seed = 9;
     const RunResult result = run_experiment(config);
-    EXPECT_TRUE(result.adversary_legal) << spec.name;
+    EXPECT_TRUE(result.adversary_legal) << adversary_display_name(adversary);
   }
 }
 

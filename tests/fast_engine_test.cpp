@@ -1,7 +1,7 @@
-// Differential tests: FastEngine must be a bit-exact drop-in for the
+// Differential tests: Engine must be a bit-exact drop-in for the
 // reference Simulator, and SweepRunner output must be independent of the
 // thread count.
-#include "engine/fast_engine.hpp"
+#include "engine/engine.hpp"
 
 #include <gtest/gtest.h>
 
@@ -85,9 +85,9 @@ void expect_identical_run(const std::string& algorithm,
 
   Simulator reference(ring, make_algorithm(algorithm, seed),
                       family.make(ring, k), placements);
-  FastEngineOptions options;
+  EngineOptions options;
   options.record_trace = true;
-  FastEngine fast(ring, make_algorithm(algorithm, seed), family.make(ring, k),
+  Engine fast(ring, make_algorithm(algorithm, seed), family.make(ring, k),
                   placements, options);
 
   for (Time t = 0; t < kRounds; ++t) {
@@ -154,9 +154,9 @@ TEST(FastEngineTest, IncrementalCoverageMatchesTraceAnalysis) {
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
     const Ring ring(8);
     const auto placements = random_placements(ring, 3, seed);
-    FastEngineOptions options;
+    EngineOptions options;
     options.record_trace = true;
-    FastEngine engine(
+    Engine engine(
         ring, make_algorithm("pef3+"),
         make_oblivious(std::make_shared<BernoulliSchedule>(ring, 0.6, seed)),
         placements, options);
@@ -178,7 +178,7 @@ TEST(FastEngineTest, IncrementalCoverageMatchesTraceAnalysis) {
 
 TEST(FastEngineTest, StatsAccumulateWithoutTrace) {
   const Ring ring(6);
-  FastEngine engine(ring, make_algorithm("pef3+"), make_all_edges(ring, 3),
+  Engine engine(ring, make_algorithm("pef3+"), make_all_edges(ring, 3),
                     spread_placements(ring, 3));
   EXPECT_FALSE(engine.recording_trace());
   engine.run(100);
@@ -191,20 +191,22 @@ TEST(FastEngineTest, StatsAccumulateWithoutTrace) {
   EXPECT_EQ(total, 3u);
 }
 
-SweepGrid small_grid() {
-  SweepGrid grid;
-  grid.algorithms = {"pef3+", "bounce"};
-  grid.adversaries = {static_spec(), bernoulli_spec(0.5),
-                      bounded_absence_spec(4)};
-  grid.ring_sizes = {6, 10};
-  grid.robot_counts = {3};
-  grid.seeds = {1, 2, 3};
-  grid.horizon = 500;
-  return grid;
+SweepSpec small_grid() {
+  SweepSpec spec;
+  spec.algorithms = {"pef3+", "bounce"};
+  spec.adversaries = {
+      adversary_config(AdversaryKind::kStatic),
+      adversary_config(AdversaryKind::kBernoulli, {{"p", 0.5}}),
+      adversary_config(AdversaryKind::kBoundedAbsence, {{"max_absence", 4}})};
+  spec.ring_sizes = {6, 10};
+  spec.robot_counts = {3};
+  spec.seeds = {1, 2, 3};
+  spec.horizon = 500;
+  return spec;
 }
 
 TEST(SweepRunnerTest, OutputIsThreadCountInvariant) {
-  const SweepGrid grid = small_grid();
+  const SweepSpec grid = small_grid();
   const SweepResult serial = SweepRunner(1).run(grid);
   const SweepResult parallel = SweepRunner(4).run(grid);
   ASSERT_EQ(serial.cells.size(), parallel.cells.size());
@@ -213,7 +215,7 @@ TEST(SweepRunnerTest, OutputIsThreadCountInvariant) {
 }
 
 TEST(SweepRunnerTest, CellsFollowGridOrderAndSkipIllFormedCells) {
-  SweepGrid grid = small_grid();
+  SweepSpec grid = small_grid();
   grid.ring_sizes = {2, 6};
   grid.robot_counts = {3};  // k=3 >= n=2: that slice must be skipped
   const SweepResult result = SweepRunner(2).run(grid);
@@ -230,9 +232,11 @@ TEST(SweepRunnerTest, CellsFollowGridOrderAndSkipIllFormedCells) {
 TEST(SweepRunnerTest, PerpetualVerdictMatchesTheory) {
   // pef3+ with k=3 on small rings must be perpetual against the oblivious
   // battery (Theorem 3.1); the sweep's aggregates must reflect that.
-  SweepGrid grid;
+  SweepSpec grid;
   grid.algorithms = {"pef3+"};
-  grid.adversaries = {static_spec(), bernoulli_spec(0.7)};
+  grid.adversaries = {adversary_config(AdversaryKind::kStatic),
+                      adversary_config(AdversaryKind::kBernoulli,
+                                       {{"p", 0.7}})};
   grid.ring_sizes = {6};
   grid.robot_counts = {3};
   grid.seeds = {1, 2};

@@ -27,18 +27,19 @@ TEST_P(PossibleCellTest, RecommendedAlgorithmExploresBattery) {
   ASSERT_EQ(computability::classify(k, n),
             computability::Verdict::kPossible);
   const std::string algo = computability::recommended_algorithm(k, n);
-  for (const AdversarySpec& spec : standard_battery()) {
-    ExperimentConfig config;
-    config.nodes = n;
-    config.robots = k;
-    config.algorithm = make_algorithm(algo);
-    config.adversary = spec;
-    config.horizon = 600 * n;
-    config.seed = 77;
-    const RunResult result = run_experiment(config);
+  for (const AdversaryConfig& adversary : standard_battery_configs()) {
+    ScenarioSpec spec;
+    spec.nodes = n;
+    spec.robots = k;
+    spec.algorithm = algo;
+    spec.adversary = adversary;
+    spec.horizon = 600 * n;
+    spec.seed = 77;
+    const RunResult result = run_scenario(spec);
     EXPECT_TRUE(result.perpetual)
-        << "n=" << n << " k=" << k << " adversary=" << spec.name;
-    EXPECT_TRUE(result.adversary_legal) << spec.name;
+        << "n=" << n << " k=" << k
+        << " adversary=" << adversary_display_name(adversary);
+    EXPECT_TRUE(result.adversary_legal) << adversary_display_name(adversary);
   }
 }
 
@@ -139,7 +140,8 @@ TEST(BoundaryTest, TwoRobotsOnTriangleSucceedButFourNodesFail) {
     config.nodes = 3;
     config.robots = 2;
     config.algorithm = make_algorithm("pef2");
-    config.adversary = t_interval_spec(3);
+    config.adversary =
+        adversary_config(AdversaryKind::kTInterval, {{"interval", 3}});
     config.horizon = 2000;
     config.seed = 3;
     EXPECT_TRUE(run_experiment(config).perpetual);
@@ -161,7 +163,8 @@ TEST(BoundaryTest, OneRobotOnTwoNodesSucceedsButThreeFail) {
     config.nodes = 2;
     config.robots = 1;
     config.algorithm = make_algorithm("pef1");
-    config.adversary = bernoulli_spec(0.5);
+    config.adversary =
+        adversary_config(AdversaryKind::kBernoulli, {{"p", 0.5}});
     config.horizon = 2000;
     config.seed = 4;
     EXPECT_TRUE(run_experiment(config).perpetual);

@@ -23,18 +23,22 @@ namespace {
 /// The pinned grid.  Keep it small (it runs in milliseconds) but spanning:
 /// both dispatch-relevant algorithm families (memoryless + stateful), an
 /// oblivious and a seeded stochastic adversary, and all three execution
-/// models.
-SweepGrid baseline_grid() {
-  SweepGrid grid;
-  grid.algorithms = {"pef3+", "bounce"};
-  grid.adversaries = {static_spec(), bernoulli_spec(0.5)};
-  grid.models = {ExecutionModel::kFsync, ExecutionModel::kSsync,
+/// models.  The same grid is checked in as a spec file at
+/// examples/specs/sweep_small.json (sweep_shard_test pins the two equal and
+/// shards it through pef_sweep's machinery).
+SweepSpec baseline_grid() {
+  SweepSpec spec;
+  spec.algorithms = {"pef3+", "bounce"};
+  spec.adversaries = {adversary_config(AdversaryKind::kStatic),
+                      adversary_config(AdversaryKind::kBernoulli,
+                                       {{"p", 0.5}})};
+  spec.models = {ExecutionModel::kFsync, ExecutionModel::kSsync,
                  ExecutionModel::kAsync};
-  grid.ring_sizes = {6, 10};
-  grid.robot_counts = {3};
-  grid.seeds = {1, 2};
-  grid.horizon = 400;
-  return grid;
+  spec.ring_sizes = {6, 10};
+  spec.robot_counts = {3};
+  spec.seeds = {1, 2};
+  spec.horizon = 400;
+  return spec;
 }
 
 std::string baseline_path() {

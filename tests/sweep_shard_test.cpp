@@ -1,0 +1,144 @@
+// Process-level sweep sharding: shard i/N runs a contiguous slice of the
+// cell list, and merging the N shard outputs must reproduce the unsharded
+// sweep JSON byte-for-byte — pinned here against the same golden baseline
+// as sweep_baseline_test, through the same library code pef_sweep uses.
+// Also pins examples/specs/sweep_small.json (the spec file the CI sharded
+// smoke step feeds to the pef_sweep binary) to that golden grid.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "engine/sweep_runner.hpp"
+
+namespace pef {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// The checked-in spec reproducing tests/baselines/sweep_small.json.
+SweepSpec golden_spec() {
+  std::string error;
+  const auto spec = parse_sweep_spec(
+      read_file(std::string(PEF_SPEC_DIR) + "/sweep_small.json"), &error);
+  EXPECT_TRUE(spec.has_value()) << error;
+  return *spec;
+}
+
+std::string golden_json() {
+  std::string expected =
+      read_file(std::string(PEF_BASELINE_DIR) + "/sweep_small.json");
+  if (!expected.empty() && expected.back() == '\n') expected.pop_back();
+  return expected;
+}
+
+TEST(SweepShardTest, TwoShardsMergeByteIdenticalToGolden) {
+  const SweepSpec spec = golden_spec();
+  const SweepRunner runner(2);
+
+  const SweepResult shard0 = runner.run(spec, {0, 2});
+  const SweepResult shard1 = runner.run(spec, {1, 2});
+  EXPECT_EQ(shard0.first_cell, 0u);
+  EXPECT_EQ(shard0.cells.size() + shard1.cells.size(), shard0.total_cells);
+  EXPECT_EQ(shard1.first_cell, shard0.cells.size());
+
+  std::string error;
+  const auto merged = merge_sweep_shards(
+      {shard0.to_shard_json(), shard1.to_shard_json()}, &error);
+  ASSERT_TRUE(merged.has_value()) << error;
+  EXPECT_EQ(*merged, golden_json())
+      << "sharded sweep diverged from tests/baselines/sweep_small.json";
+
+  // Merge must accept the shards in any order.
+  const auto reversed = merge_sweep_shards(
+      {shard1.to_shard_json(), shard0.to_shard_json()}, &error);
+  ASSERT_TRUE(reversed.has_value()) << error;
+  EXPECT_EQ(*reversed, *merged);
+}
+
+TEST(SweepShardTest, UnevenShardCountsStillMergeExactly) {
+  // 48 cells across 5 shards: slice sizes differ and shard boundaries cut
+  // through seed groups (different batch compositions must not change
+  // per-cell results).
+  const SweepSpec spec = golden_spec();
+  const SweepRunner runner(1);
+  std::vector<std::string> shard_jsons;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    shard_jsons.push_back(runner.run(spec, {i, 5}).to_shard_json());
+  }
+  std::string error;
+  const auto merged = merge_sweep_shards(shard_jsons, &error);
+  ASSERT_TRUE(merged.has_value()) << error;
+  EXPECT_EQ(*merged, golden_json());
+}
+
+TEST(SweepShardTest, SingleShardEqualsUnshardedRun) {
+  const SweepSpec spec = golden_spec();
+  const SweepResult full = SweepRunner(2).run(spec);
+  EXPECT_EQ(full.to_json(), golden_json());
+  // A 1-shard "partition" merges to the same bytes.
+  const SweepResult only = SweepRunner(2).run(spec, {0, 1});
+  std::string error;
+  const auto merged = merge_sweep_shards({only.to_shard_json()}, &error);
+  ASSERT_TRUE(merged.has_value()) << error;
+  EXPECT_EQ(*merged, full.to_json());
+}
+
+TEST(SweepShardTest, MergeRejectsBrokenPartitions) {
+  const SweepSpec spec = golden_spec();
+  const SweepRunner runner(1);
+  const std::string shard0 = runner.run(spec, {0, 2}).to_shard_json();
+  const std::string shard1 = runner.run(spec, {1, 2}).to_shard_json();
+
+  std::string error;
+  EXPECT_FALSE(merge_sweep_shards({shard0}, &error).has_value());
+  EXPECT_NE(error.find("2 shards"), std::string::npos) << error;
+
+  EXPECT_FALSE(merge_sweep_shards({shard0, shard0}, &error).has_value());
+  EXPECT_NE(error.find("shard 1"), std::string::npos) << error;
+
+  // Shards of different partitions of the same sweep don't mix.
+  const std::string third = runner.run(spec, {2, 3}).to_shard_json();
+  EXPECT_FALSE(merge_sweep_shards({shard0, third}, &error).has_value());
+
+  // Shards of a DIFFERENT sweep with the same cell count and shard count
+  // don't mix either (the embedded spec disagrees).
+  SweepSpec other = spec;
+  other.horizon = 123;  // same 48 cells, different sweep
+  const std::string foreign = runner.run(other, {1, 2}).to_shard_json();
+  EXPECT_FALSE(merge_sweep_shards({shard0, foreign}, &error).has_value());
+  EXPECT_NE(error.find("different sweep"), std::string::npos) << error;
+
+  // A full (unsharded) output is not a shard file.
+  const std::string full = runner.run(spec).to_json();
+  EXPECT_FALSE(merge_sweep_shards({full, shard1}, &error).has_value());
+  EXPECT_NE(error.find("shard"), std::string::npos) << error;
+
+  EXPECT_FALSE(merge_sweep_shards({"{not json", shard1}, &error).has_value());
+}
+
+TEST(SweepShardTest, ShardCellsMatchTheFullRunSlice) {
+  // Beyond bytes: each shard's cells are exactly the full run's slice.
+  const SweepSpec spec = golden_spec();
+  const SweepResult full = SweepRunner(1).run(spec);
+  const SweepResult shard = SweepRunner(1).run(spec, {1, 3});
+  ASSERT_LE(shard.first_cell + shard.cells.size(), full.cells.size());
+  for (std::size_t i = 0; i < shard.cells.size(); ++i) {
+    const SweepCell& a = shard.cells[i];
+    const SweepCell& b = full.cells[shard.first_cell + i];
+    JsonWriter ja, jb;
+    sweep_cell_to_json(ja, a);
+    sweep_cell_to_json(jb, b);
+    EXPECT_EQ(ja.str(), jb.str()) << "cell " << shard.first_cell + i;
+  }
+}
+
+}  // namespace
+}  // namespace pef

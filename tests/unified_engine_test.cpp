@@ -319,9 +319,9 @@ TEST(UnifiedEngineTest, AsyncStatsAccumulateWithoutTrace) {
 }
 
 TEST(UnifiedEngineTest, SweepGridSpansModels) {
-  SweepGrid grid;
+  SweepSpec grid;
   grid.algorithms = {"pef3+"};
-  grid.adversaries = {static_spec()};
+  grid.adversaries = {adversary_config(AdversaryKind::kStatic)};
   grid.models = {ExecutionModel::kFsync, ExecutionModel::kSsync,
                  ExecutionModel::kAsync};
   grid.ring_sizes = {6};

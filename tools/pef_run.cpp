@@ -2,11 +2,15 @@
 //
 //   pef_run --nodes 10 --robots 3 --algorithm pef3+
 //           --adversary eventual-missing --horizon 5000 --seed 1 --render
+//   pef_run --spec scenario.json [flag overrides] [--print-spec]
 //
-// Adversaries: every oblivious family of the battery plus the adaptive
-// lower-bound adversaries ("cage", "proof") and the legality-capped
-// stress blocker ("greedy-blocker").  Prints the coverage / tower /
-// mobility / legality reports and optionally an ASCII strip of the run.
+// The scenario surface (ring, robots, algorithm, adversary, model, horizon,
+// seed) is exactly a ScenarioSpec (core/spec.hpp): --spec loads one as the
+// defaults, explicit flags override it, and --print-spec writes the
+// resolved spec back out as JSON — so any CLI invocation can be saved and
+// replayed (also by run_scenario() and pef_sweep).  The adversary list in
+// --help and the --adversary parser are both generated from the adversary
+// registry, the single source of truth for names/params/defaults.
 //
 // The execution model is a flag: --model fsync|ssync|async selects the
 // activation model (SSYNC/ASYNC run under seeded Bernoulli activation /
@@ -20,22 +24,16 @@
 #include <optional>
 #include <string>
 
-#include "adversary/confinement.hpp"
-#include "adversary/greedy_blocker.hpp"
-#include "adversary/proof_adversary.hpp"
 #include "algorithms/registry.hpp"
 #include "analysis/coverage.hpp"
 #include "analysis/mobility.hpp"
 #include "analysis/render.hpp"
 #include "analysis/towers.hpp"
 #include "common/args.hpp"
-#include "common/rng.hpp"
 #include "common/table.hpp"
 #include "core/computability.hpp"
-#include "core/explore.hpp"
-#include "dynamic_graph/markov_schedule.hpp"
+#include "core/experiment.hpp"
 #include "dynamic_graph/properties.hpp"
-#include "dynamic_graph/schedules.hpp"
 #include "engine/batch_engine.hpp"
 #include "engine/engine.hpp"
 #include "scheduler/async.hpp"
@@ -48,15 +46,32 @@ namespace {
 void print_help(const char* program) {
   std::cout
       << "usage: " << program << " [flags]\n\n"
+      << "  --spec FILE      load a ScenarioSpec JSON as the defaults\n"
+      << "                   (explicit flags below override it)\n"
+      << "  --print-spec     print the resolved scenario as spec JSON and\n"
+      << "                   exit (replay with --spec or pef_sweep)\n"
       << "  --nodes N        ring size (default 10)\n"
       << "  --robots K       robot count (default 3)\n"
       << "  --algorithm A    pef3+ | pef2 | pef1 | keep-direction | bounce\n"
       << "                   | random-walk | oscillating | pef3+-no-rule2\n"
       << "                   | pef3+-no-rule3 (default: paper's choice)\n"
-      << "  --adversary X    static | bernoulli | periodic | t-interval\n"
-      << "                   | bounded-absence | eventual-missing\n"
-      << "                   | adaptive-missing | markov | greedy-blocker\n"
-      << "                   | cage | proof (default eventual-missing)\n"
+      << "  --adversary X    adversary family (default eventual-missing):\n";
+  for (const AdversaryKindInfo& info : adversary_registry()) {
+    std::cout << "                     " << info.name;
+    if (!info.params.empty()) {
+      std::cout << " (";
+      bool first = true;
+      for (const AdversaryParamInfo& param : info.params) {
+        if (!first) std::cout << ", ";
+        first = false;
+        std::cout << param.name << "="
+                  << JsonWriter::format_number(param.default_value);
+      }
+      std::cout << ")";
+    }
+    std::cout << "\n                       " << info.description << "\n";
+  }
+  std::cout
       << "  --horizon T      rounds to simulate (default 5000)\n"
       << "  --batch B        run B seeds (seed..seed+B-1) of the scenario\n"
       << "                   as ONE replica-batched engine (BatchEngine);\n"
@@ -81,32 +96,6 @@ void print_help(const char* program) {
       << "  --help           this text\n";
 }
 
-AdversaryPtr make_adversary(const std::string& name, const Ring& ring,
-                            std::uint64_t seed, double p,
-                            std::uint32_t robots) {
-  if (name == "markov") {
-    return make_oblivious(
-        std::make_shared<MarkovSchedule>(ring, 0.2, 0.4, seed));
-  }
-  if (name == "greedy-blocker") {
-    return std::make_unique<GreedyBlockerAdversary>(ring, /*max_absence=*/6);
-  }
-  if (name == "cage") {
-    return std::make_unique<ConfinementAdversary>(
-        ring, 0, std::min(robots + 1, ring.node_count() - 1));
-  }
-  if (name == "proof") {
-    return std::make_unique<StagedProofAdversary>(
-        ring, 0, std::min(robots + 1, ring.node_count() - 1),
-        /*patience=*/64);
-  }
-  if (name == "bernoulli") {
-    return make_oblivious(
-        std::make_shared<BernoulliSchedule>(ring, p, seed));
-  }
-  return adversary_by_name(name).make(ring, seed);
-}
-
 }  // namespace
 }  // namespace pef
 
@@ -119,26 +108,49 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const auto nodes = args.get_u32("--nodes", 10);
-  const auto robots = args.get_u32("--robots", 3);
-  std::string algorithm = args.get_string("--algorithm", "");
+  // The scenario defaults: a --spec file when given, else the historical
+  // CLI defaults.  Explicit flags override either.
+  ScenarioSpec spec;
+  spec.adversary = adversary_config(AdversaryKind::kEventualMissing);
+  const std::string spec_path = args.get_string("--spec", "");
+  if (!spec_path.empty()) {
+    std::string error;
+    const auto document = parse_json_file(spec_path, &error);
+    if (!document) {
+      std::cerr << error << "\n";
+      return 2;
+    }
+    const auto parsed = scenario_spec_from_json(*document, &error);
+    if (!parsed) {
+      std::cerr << spec_path << ": " << error << "\n";
+      return 2;
+    }
+    spec = *parsed;
+  }
+
+  const auto nodes = args.get_u32("--nodes", spec.nodes);
+  const auto robots = args.get_u32("--robots", spec.robots);
+  std::string algorithm = args.get_string("--algorithm", spec.algorithm);
+  const std::string default_adversary =
+      adversary_kind_info(spec.adversary.kind).name;
   const auto adversary_name =
-      args.get_string("--adversary", "eventual-missing");
-  const auto horizon = args.get_u64("--horizon", 5000);
+      args.get_string("--adversary", default_adversary);
+  const auto horizon = args.get_u64("--horizon", spec.horizon);
   const auto batch = args.get_u32("--batch", 1);
-  const auto model_name = args.get_string("--model", "fsync");
+  const auto model_name =
+      args.get_string("--model", to_string(spec.model));
   const auto engine_name = args.get_string("--engine", "fast");
   const auto dispatch_name = args.get_string("--dispatch", "auto");
   const bool activation_p_given = args.has("--activation-p");
-  const auto activation_p = args.get_double("--activation-p", 0.5);
-  const auto seed = args.get_u64("--seed", 1);
+  const auto activation_p =
+      args.get_double("--activation-p", spec.activation_p);
+  const auto seed = args.get_u64("--seed", spec.seed);
+  const bool p_given = args.has("--p");
   const auto p = args.get_double("--p", 0.5);
+  const bool print_spec = args.has("--print-spec");
   const bool render = args.has("--render");
   const auto render_lines = args.get_u64("--render-lines", 40);
-  for (const std::string& key : args.unused()) {
-    std::cerr << "unknown flag " << key << " (see --help)\n";
-    return 2;
-  }
+  args.check_unused();
   if (robots == 0 || nodes < 2 || robots >= nodes) {
     std::cerr << "need 1 <= robots < nodes and nodes >= 2\n";
     return 2;
@@ -188,14 +200,51 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (algorithm.empty()) {
-    algorithm = computability::recommended_algorithm(robots, nodes);
-    if (algorithm.empty()) {
-      algorithm = robots >= 3 ? "pef3+" : robots == 2 ? "pef2" : "pef1";
+  // Resolve the adversary through the registry (the same table --help is
+  // generated from).  An --adversary flag naming a different family than
+  // the spec resets that family's params to its registry defaults.
+  const auto kind = parse_adversary_kind(adversary_name);
+  if (!kind) {
+    std::cerr << "unknown adversary \"" << adversary_name
+              << "\" (known: " << known_adversary_kinds() << ")\n";
+    return 2;
+  }
+  AdversaryConfig adversary_cfg = spec.adversary.kind == *kind
+                                      ? spec.adversary
+                                      : adversary_config(*kind);
+  if (p_given) {
+    if (*kind != AdversaryKind::kBernoulli) {
+      std::cerr << "--p applies only to --adversary bernoulli (other "
+                   "families take their params from --spec)\n";
+      return 2;
     }
+    adversary_cfg.set("p", p);
   }
 
+  // The resolved, replayable scenario.
+  spec.nodes = nodes;
+  spec.robots = robots;
+  spec.algorithm = algorithm;
+  spec.adversary = adversary_cfg;
+  spec.model = *model;
+  spec.activation_p = activation_p;
+  spec.horizon = horizon;
+  spec.seed = seed;
+  if (const auto invalid = spec.validate()) {
+    std::cerr << *invalid << "\n";
+    return 2;
+  }
+  if (print_spec) {
+    std::cout << spec.to_json() << "\n";
+    return 0;
+  }
+
+  if (algorithm.empty()) algorithm = resolved_algorithm(spec);
+
   const Ring ring(nodes);
+  const auto make_adversary = [&](std::uint64_t s) {
+    return adversary_from_config(adversary_cfg, ring, s, robots);
+  };
 
   if (batch > 1) {
     // Monte-Carlo mode: one BatchEngine advancing all seeds in lock-step,
@@ -208,8 +257,7 @@ int main(int argc, char** argv) {
       replica.algorithm = make_algorithm(algorithm, s);
       replica.placements = spread_placements(ring, robots);
       replica.horizon = horizon;
-      wire_standard_replica(replica, *model,
-                            make_adversary(adversary_name, ring, s, p, robots),
+      wire_standard_replica(replica, *model, make_adversary(s),
                             activation_p, s);
     }
 
@@ -268,7 +316,7 @@ int main(int argc, char** argv) {
   };
   const auto make_ssync_adversary = [&] {
     return std::make_unique<SsyncFromFsyncAdversary>(
-        make_adversary(adversary_name, ring, seed, p, robots));
+        make_adversary(seed));
   };
 
   if (engine_name == "fast") {
@@ -278,7 +326,7 @@ int main(int argc, char** argv) {
     switch (*model) {
       case ExecutionModel::kFsync:
         engine.emplace(ring, make_algorithm(algorithm, seed),
-                       make_adversary(adversary_name, ring, seed, p, robots),
+                       make_adversary(seed),
                        spread_placements(ring, robots), options);
         break;
       case ExecutionModel::kSsync:
@@ -298,7 +346,7 @@ int main(int argc, char** argv) {
     switch (*model) {
       case ExecutionModel::kFsync:
         sim.emplace(ring, make_algorithm(algorithm, seed),
-                    make_adversary(adversary_name, ring, seed, p, robots),
+                    make_adversary(seed),
                     spread_placements(ring, robots));
         sim->run(horizon);
         trace_ptr = &sim->trace();

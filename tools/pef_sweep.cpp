@@ -1,0 +1,193 @@
+// pef_sweep — run a declarative SweepSpec, optionally as one shard of a
+// process-level (or machine-level) partition.
+//
+//   pef_sweep --spec sweep.json                     # whole sweep -> JSON
+//   pef_sweep --spec sweep.json --shard 0/2 --out shard0.json
+//   pef_sweep --spec sweep.json --shard 1/2 --out shard1.json
+//   pef_sweep --merge shard0.json,shard1.json       # == the unsharded JSON
+//
+// Every cell's results are a pure function of the spec and the cell's grid
+// coordinates (see engine/sweep_runner.hpp), so shard workers need nothing
+// but the spec file and their index: the merged output is byte-identical to
+// the unsharded run — and to running every shard on a different machine.
+// `--shard i/N` runs the i-th contiguous slice of the cell list;
+// `--merge` stitches the N shard files back into the canonical sweep JSON
+// (tests/sweep_shard_test.cpp and the CI sharded-sweep smoke step pin the
+// byte equality against the golden baseline).
+//
+// JSON goes to --out (or stdout); the human-readable run summary goes to
+// stderr so piping stdout stays clean.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/args.hpp"
+#include "engine/sweep_runner.hpp"
+
+namespace pef {
+namespace {
+
+void print_help(const char* program) {
+  std::cout
+      << "usage: " << program << " --spec FILE [flags]\n"
+      << "       " << program << " --merge A.json,B.json,... [--out FILE]\n\n"
+      << "  --spec FILE      SweepSpec JSON describing the sweep grid\n"
+      << "                   (see examples/specs/ and README \"Scenario\n"
+      << "                   specs\")\n"
+      << "  --shard I/N      run only shard I of N (0-based contiguous\n"
+      << "                   slice of the cell list) and write a shard\n"
+      << "                   file; N shard files --merge into exactly the\n"
+      << "                   unsharded output\n"
+      << "  --merge LIST     comma-separated shard files to stitch into\n"
+      << "                   the canonical sweep JSON (any order)\n"
+      << "  --out FILE       write the JSON here instead of stdout\n"
+      << "  --threads T      worker threads (default: hardware)\n"
+      << "  --validate       parse + validate the spec, print the resolved\n"
+      << "                   canonical JSON, run nothing\n"
+      << "  --help           this text\n";
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) return false;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+int emit(const std::string& json, const std::string& out_path) {
+  if (out_path.empty()) {
+    std::cout << json << "\n";
+    return 0;
+  }
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out.is_open()) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << json << "\n";
+  return out.good() ? 0 : 1;
+}
+
+/// "I/N" with 0 <= I < N.
+bool parse_shard(const std::string& text, SweepShard& shard) {
+  const auto slash = text.find('/');
+  if (slash == std::string::npos) return false;
+  try {
+    const unsigned long index = std::stoul(text.substr(0, slash));
+    const unsigned long count = std::stoul(text.substr(slash + 1));
+    if (count == 0 || index >= count) return false;
+    shard.index = static_cast<std::uint32_t>(index);
+    shard.count = static_cast<std::uint32_t>(count);
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+std::vector<std::string> split_commas(const std::string& list) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const auto comma = list.find(',', start);
+    const auto end = comma == std::string::npos ? list.size() : comma;
+    if (end > start) out.push_back(list.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace pef
+
+int main(int argc, char** argv) {
+  using namespace pef;
+
+  ArgParser args(argc, argv);
+  if (args.has("--help")) {
+    print_help(argv[0]);
+    return 0;
+  }
+
+  const std::string spec_path = args.get_string("--spec", "");
+  const std::string shard_text = args.get_string("--shard", "");
+  const std::string merge_list = args.get_string("--merge", "");
+  const std::string out_path = args.get_string("--out", "");
+  const auto threads = args.get_u32("--threads", 0);
+  const bool validate_only = args.has("--validate");
+  args.check_unused();
+
+  if (!merge_list.empty()) {
+    if (!spec_path.empty() || !shard_text.empty() || validate_only) {
+      std::cerr << "--merge takes only shard files (and --out)\n";
+      return 2;
+    }
+    const std::vector<std::string> paths = split_commas(merge_list);
+    std::vector<std::string> shard_jsons;
+    for (const std::string& path : paths) {
+      std::string content;
+      if (!read_file(path, content)) {
+        std::cerr << "cannot open shard file " << path << "\n";
+        return 2;
+      }
+      shard_jsons.push_back(std::move(content));
+    }
+    std::string error;
+    const auto merged = merge_sweep_shards(shard_jsons, &error);
+    if (!merged) {
+      std::cerr << "merge failed: " << error << "\n";
+      return 1;
+    }
+    std::cerr << "merged " << paths.size() << " shards\n";
+    return emit(*merged, out_path);
+  }
+
+  if (spec_path.empty()) {
+    std::cerr << "need --spec FILE (or --merge; see --help)\n";
+    return 2;
+  }
+  std::string error;
+  const auto document = parse_json_file(spec_path, &error);
+  if (!document) {
+    std::cerr << error << "\n";
+    return 2;
+  }
+  const auto spec = sweep_spec_from_json(*document, &error);
+  if (!spec) {
+    std::cerr << spec_path << ": " << error << "\n";
+    return 2;
+  }
+  if (validate_only) {
+    std::cerr << spec_path << ": valid\n";
+    return emit(spec->to_json(), out_path);
+  }
+
+  // Any explicit --shard (even 0/1) writes the shard envelope, so generic
+  // "run N shards, merge" scripts work unchanged at N=1.
+  const bool sharded = !shard_text.empty();
+  SweepShard shard;
+  if (sharded && !parse_shard(shard_text, shard)) {
+    std::cerr << "--shard must be I/N with 0 <= I < N (got \"" << shard_text
+              << "\")\n";
+    return 2;
+  }
+
+  const SweepRunner runner(threads);
+  const SweepResult result = runner.run(*spec, shard);
+  std::cerr << "pef_sweep: " << result.cells.size() << " cells";
+  if (sharded) {
+    std::cerr << " (shard " << shard.index << "/" << shard.count << ", cells "
+              << result.first_cell << ".."
+              << result.first_cell + result.cells.size() << " of "
+              << result.total_cells << ")";
+  }
+  std::cerr << ", " << result.threads << " threads, "
+            << static_cast<std::uint64_t>(result.rounds_per_sec())
+            << " rounds/sec (" << result.wall_seconds << " s)\n";
+
+  return emit(sharded ? result.to_shard_json() : result.to_json(), out_path);
+}
