@@ -10,21 +10,27 @@
 //   * the model axis at the same size: rounds/sec of the unified engine in
 //     FSYNC / SSYNC / ASYNC under both dispatches (paired reps, median
 //     ratio; kernel_beats_virtual_all_models is the regression gate);
-//   * the batch-throughput series: BatchEngine aggregate replica-rounds/sec
-//     vs per-seed Engines at B in {1, 4, 16, 64}, n=1024, k=16 — the
-//     batch_speedup_over_per_seed summary (target >= 2x at B=16) is the
-//     acceptance metric of the batching PR;
+//   * the batch-throughput series, per EXECUTION MODEL: BatchEngine
+//     aggregate replica-rounds/sec vs per-seed Engines at n=1024, k=16
+//     (FSYNC at B in {1, 4, 16, 64}; SSYNC/ASYNC — the batch-native
+//     prologue with devirtualized Bernoulli activation and plane-filled
+//     edge rows — at B in {1, 16}).  batch_speedup_over_per_seed (FSYNC),
+//     batch_speedup_ssync and batch_speedup_async (all targeting >= 2x at
+//     B=16) are the acceptance metrics of the batching PRs, and
+//     batch_speedup_all_models / batch_stats_identical are the CI gates;
 //   * SweepRunner thread-scaling on a fixed grid (1 thread vs 4), with a
 //     byte-identity check of the two JSON outputs.
 //
 // --smoke shrinks every macro series to CI-sized parameters; the CI
-// bench-smoke job gates on the JSON's kernel_beats_virtual and
-// batch_speedup_over_per_seed verdicts.
+// bench-smoke job gates on the JSON's kernel_beats_virtual,
+// batch_speedup_over_per_seed, batch_speedup_all_models and
+// batch_stats_identical verdicts.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
 #include <iostream>
+#include <optional>
 #include <string_view>
 #include <thread>
 #include <vector>
@@ -393,32 +399,71 @@ void model_axis(BenchReport& report) {
 }
 
 // ---------------------------------------------------------------------------
-// Batch throughput: BatchEngine vs per-seed Engines.
+// Batch throughput: BatchEngine vs per-seed Engines, on ALL THREE models.
+// FSYNC exercises the fused AllFull pass; SSYNC/ASYNC exercise the batched
+// round prologue (devirtualized Bernoulli activation kernels over the mask
+// word planes, schedule-filled edge rows, no mirrors) against solo Engines
+// paying the per-replica virtual prologue.
 
-/// The shared replica scenario of the batch series: FSYNC, pef3+ kernel,
-/// static schedule, per-seed random placements.
-BatchReplica batch_replica(const Ring& ring, std::uint32_t robots,
-                           std::uint64_t seed, Time rounds) {
+constexpr double kBatchActivationP = 0.5;  // the SweepSpec / CLI default
+
+/// The shared replica scenario of the batch series: pef3+ kernel, static
+/// schedule, per-seed random placements, standard model wiring (the same
+/// wiring SweepRunner and pef_run --batch use).
+BatchReplica batch_replica(const Ring& ring, ExecutionModel model,
+                           std::uint32_t robots, std::uint64_t seed,
+                           Time rounds) {
   BatchReplica replica;
   replica.algorithm = make_algorithm("pef3+", seed);
-  replica.adversary =
-      make_oblivious(std::make_shared<StaticSchedule>(ring));
   replica.placements = random_placements(ring, robots, seed);
   replica.horizon = rounds;
+  wire_standard_replica(replica, model,
+                        make_oblivious(std::make_shared<StaticSchedule>(ring)),
+                        kBatchActivationP, seed);
   return replica;
 }
 
-double measure_per_seed_rps(const Ring& ring, std::uint32_t robots,
-                            std::uint32_t batch, Time rounds) {
+/// One solo Engine of the same scenario (the per-seed baseline and the
+/// bit-identity twin); returns its stats.
+EngineStats run_solo_engine(const Ring& ring, ExecutionModel model,
+                            std::uint32_t robots, std::uint64_t seed,
+                            Time rounds) {
   EngineOptions options;
   options.dispatch = ComputeDispatch::kKernel;
+  auto algorithm = make_algorithm("pef3+", seed);
+  auto adversary = make_oblivious(std::make_shared<StaticSchedule>(ring));
+  const auto placements = random_placements(ring, robots, seed);
+  std::optional<Engine> engine;
+  switch (model) {
+    case ExecutionModel::kFsync:
+      engine.emplace(ring, std::move(algorithm), std::move(adversary),
+                     placements, options);
+      break;
+    case ExecutionModel::kSsync:
+      engine.emplace(
+          ring, std::move(algorithm),
+          std::make_unique<SsyncFromFsyncAdversary>(std::move(adversary)),
+          standard_ssync_activation(kBatchActivationP, seed), placements,
+          options);
+      break;
+    case ExecutionModel::kAsync:
+      engine.emplace(
+          ring, std::move(algorithm),
+          std::make_unique<SsyncFromFsyncAdversary>(std::move(adversary)),
+          standard_async_phases(kBatchActivationP, seed), placements,
+          options);
+      break;
+  }
+  engine->run(rounds);
+  return engine->stats();
+}
+
+double measure_per_seed_rps(const Ring& ring, ExecutionModel model,
+                            std::uint32_t robots, std::uint32_t batch,
+                            Time rounds) {
   const auto start = std::chrono::steady_clock::now();
   for (std::uint32_t b = 0; b < batch; ++b) {
-    const std::uint64_t seed = b + 1;
-    Engine engine(ring, make_algorithm("pef3+", seed),
-                  make_oblivious(std::make_shared<StaticSchedule>(ring)),
-                  random_placements(ring, robots, seed), options);
-    engine.run(rounds);
+    run_solo_engine(ring, model, robots, b + 1, rounds);
   }
   const double secs = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - start)
@@ -426,16 +471,16 @@ double measure_per_seed_rps(const Ring& ring, std::uint32_t robots,
   return static_cast<double>(rounds) * batch / secs;
 }
 
-double measure_batch_rps(const Ring& ring, std::uint32_t robots,
-                         std::uint32_t batch, Time rounds,
-                         bool* bit_identical) {
+double measure_batch_rps(const Ring& ring, ExecutionModel model,
+                         std::uint32_t robots, std::uint32_t batch,
+                         Time rounds, bool* bit_identical) {
   std::vector<BatchReplica> replicas;
   replicas.reserve(batch);
   for (std::uint32_t b = 0; b < batch; ++b) {
-    replicas.push_back(batch_replica(ring, robots, b + 1, rounds));
+    replicas.push_back(batch_replica(ring, model, robots, b + 1, rounds));
   }
   const auto start = std::chrono::steady_clock::now();
-  BatchEngine engine(ring, ExecutionModel::kFsync, std::move(replicas));
+  BatchEngine engine(ring, model, std::move(replicas));
   engine.run_all();
   const double secs = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - start)
@@ -445,15 +490,8 @@ double measure_batch_rps(const Ring& ring, std::uint32_t robots,
     // tests/batch_engine_test.cpp): every replica's stats must equal its
     // solo Engine twin's.
     for (std::uint32_t b = 0; b < batch && *bit_identical; ++b) {
-      const std::uint64_t seed = b + 1;
-      EngineOptions options;
-      options.dispatch = ComputeDispatch::kKernel;
-      Engine solo(ring, make_algorithm("pef3+", seed),
-                  make_oblivious(std::make_shared<StaticSchedule>(ring)),
-                  random_placements(ring, robots, seed), options);
-      solo.run(rounds);
+      const EngineStats e = run_solo_engine(ring, model, robots, b + 1, rounds);
       const EngineStats& a = engine.stats(b);
-      const EngineStats& e = solo.stats();
       *bit_identical = a.rounds == e.rounds &&
                        a.total_moves == e.total_moves &&
                        a.tower_rounds == e.tower_rounds &&
@@ -469,52 +507,87 @@ void batch_throughput(BenchReport& report) {
   const std::uint32_t kRobots = 16;
   const Time kRounds = smoke_mode ? 10000 : 40000;
   constexpr int kReps = 3;
-  const std::vector<std::uint32_t> batches =
-      smoke_mode ? std::vector<std::uint32_t>{1, 4, 16}
-                 : std::vector<std::uint32_t>{1, 4, 16, 64};
 
-  std::cout << "\n=== Batch throughput: BatchEngine vs per-seed Engines "
-               "(n=" << kNodes << ", k=" << kRobots
-            << ", FSYNC kernel, static schedule, aggregate replica-rounds/sec"
-               ") ===\n";
   const Ring ring(kNodes);
-  double speedup_at_16 = 0;
   bool all_identical = true;
-  for (const std::uint32_t batch : batches) {
-    double per_seed_rps = 0;
-    double batch_rps = 0;
-    bool bit_identical = true;
-    for (int rep = 0; rep < kReps; ++rep) {
-      per_seed_rps = std::max(
-          per_seed_rps, measure_per_seed_rps(ring, kRobots, batch, kRounds));
-      batch_rps = std::max(
-          batch_rps,
-          measure_batch_rps(ring, kRobots, batch, kRounds,
-                            rep == 0 ? &bit_identical : nullptr));
+  bool all_models_beat_per_seed = true;
+  double fsync_speedup_at_16 = 0;
+  double ssync_speedup_at_16 = 0;
+  double async_speedup_at_16 = 0;
+  for (const ExecutionModel model :
+       {ExecutionModel::kFsync, ExecutionModel::kSsync,
+        ExecutionModel::kAsync}) {
+    // FSYNC keeps its historical B sweep; the non-FSYNC series bracket the
+    // B=16 acceptance point (their per-seed baselines are slower, so the
+    // full sweep would dominate the bench's wall time).
+    const std::vector<std::uint32_t> batches =
+        model == ExecutionModel::kFsync
+            ? (smoke_mode ? std::vector<std::uint32_t>{1, 4, 16}
+                          : std::vector<std::uint32_t>{1, 4, 16, 64})
+            : std::vector<std::uint32_t>{1, 16};
+    std::cout << "\n=== Batch throughput [" << to_string(model)
+              << "]: BatchEngine vs per-seed Engines (n=" << kNodes
+              << ", k=" << kRobots << ", pef3+ kernel, static schedule"
+              << (model == ExecutionModel::kFsync
+                      ? ""
+                      : ", Bernoulli(p=0.5) activation")
+              << ", aggregate replica-rounds/sec) ===\n";
+    for (const std::uint32_t batch : batches) {
+      double per_seed_rps = 0;
+      double batch_rps = 0;
+      bool bit_identical = true;
+      for (int rep = 0; rep < kReps; ++rep) {
+        per_seed_rps = std::max(
+            per_seed_rps,
+            measure_per_seed_rps(ring, model, kRobots, batch, kRounds));
+        batch_rps = std::max(
+            batch_rps,
+            measure_batch_rps(ring, model, kRobots, batch, kRounds,
+                              rep == 0 ? &bit_identical : nullptr));
+      }
+      const double speedup = batch_rps / per_seed_rps;
+      if (batch == 16) {
+        switch (model) {
+          case ExecutionModel::kFsync:
+            fsync_speedup_at_16 = speedup;
+            break;
+          case ExecutionModel::kSsync:
+            ssync_speedup_at_16 = speedup;
+            break;
+          case ExecutionModel::kAsync:
+            async_speedup_at_16 = speedup;
+            break;
+        }
+        all_models_beat_per_seed = all_models_beat_per_seed && speedup > 1.0;
+      }
+      all_identical = all_identical && bit_identical;
+      std::cout << "B=" << batch << ": per-seed "
+                << static_cast<std::uint64_t>(per_seed_rps)
+                << " rounds/sec, batch "
+                << static_cast<std::uint64_t>(batch_rps) << " rounds/sec ("
+                << speedup << "x, stats identical: "
+                << (bit_identical ? "yes" : "NO") << ")\n";
+      report.add_rounds(2 * kReps * kRounds * batch);
+      report.add_cell()
+          .param("series", "batch-throughput")
+          .param("model", to_string(model))
+          .param("n", std::uint64_t{kNodes})
+          .param("k", std::uint64_t{kRobots})
+          .param("batch", std::uint64_t{batch})
+          .metric("per_seed_rounds_per_sec", per_seed_rps)
+          .metric("batch_rounds_per_sec", batch_rps)
+          .metric("batch_speedup_over_per_seed", speedup)
+          .metric("stats_identical", bit_identical);
     }
-    const double speedup = batch_rps / per_seed_rps;
-    if (batch == 16) speedup_at_16 = speedup;
-    all_identical = all_identical && bit_identical;
-    std::cout << "B=" << batch << ": per-seed "
-              << static_cast<std::uint64_t>(per_seed_rps)
-              << " rounds/sec, batch "
-              << static_cast<std::uint64_t>(batch_rps) << " rounds/sec ("
-              << speedup << "x, stats identical: "
-              << (bit_identical ? "yes" : "NO") << ")\n";
-    report.add_rounds(2 * kReps * kRounds * batch);
-    report.add_cell()
-        .param("series", "batch-throughput")
-        .param("n", std::uint64_t{kNodes})
-        .param("k", std::uint64_t{kRobots})
-        .param("batch", std::uint64_t{batch})
-        .metric("per_seed_rounds_per_sec", per_seed_rps)
-        .metric("batch_rounds_per_sec", batch_rps)
-        .metric("batch_speedup_over_per_seed", speedup)
-        .metric("stats_identical", bit_identical);
   }
-  // The acceptance metric: aggregate speedup at B=16 (target >= 2x).
-  report.summary("batch_speedup_over_per_seed", speedup_at_16);
-  report.summary("batch_speedup_target_met", speedup_at_16 >= 2.0);
+  // The acceptance metrics: aggregate speedup at B=16 per model (FSYNC
+  // target >= 2x since the batching PR; SSYNC/ASYNC target >= 2x since the
+  // batch-native prologue PR) and bit-identity across every model.
+  report.summary("batch_speedup_over_per_seed", fsync_speedup_at_16);
+  report.summary("batch_speedup_target_met", fsync_speedup_at_16 >= 2.0);
+  report.summary("batch_speedup_ssync", ssync_speedup_at_16);
+  report.summary("batch_speedup_async", async_speedup_at_16);
+  report.summary("batch_speedup_all_models", all_models_beat_per_seed);
   report.summary("batch_stats_identical", all_identical);
 }
 

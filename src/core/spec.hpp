@@ -75,6 +75,14 @@ struct AdversaryKindInfo {
   /// True for the genuinely adaptive lower-bound adversaries (they see the
   /// configuration); false for oblivious schedules.
   bool adaptive = false;
+  /// Capability flag for the batched engine: true iff the resolved
+  /// adversary is per-replica-independent (a pure function of time and its
+  /// own seed stream, never of the configuration or activation mask), so
+  /// BatchEngine can fill its edge words straight into the contiguous edge
+  /// plane via the schedule's edges_into_words() and skip the replica's
+  /// Configuration mirror.  Stateful / view-dependent kinds keep the
+  /// mirror path (still batched, just with a per-lane mirror prologue).
+  bool batchable = false;
 };
 
 /// Every adversary family, in canonical order.

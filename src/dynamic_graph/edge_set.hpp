@@ -48,6 +48,21 @@ class EdgeSet {
   /// valid until the set is resized or assigned a differently-sized set.
   [[nodiscard]] const std::uint64_t* words() const { return words_.data(); }
 
+  /// Overwrite this set's bits from a raw word row in the words() layout
+  /// ((edge_count + 63) / 64 words; bits past edge_count are masked off).
+  /// Cold-path bridge from engine word planes back to EdgeSet (e.g. trace
+  /// reconstruction); no reallocation.
+  void assign_words(const std::uint64_t* words) {
+    if (words_.empty()) return;
+    const std::size_t last = words_.size() - 1;
+    for (std::size_t i = 0; i < last; ++i) words_[i] = words[i];
+    const std::uint32_t tail_bits =
+        edge_count_ - static_cast<std::uint32_t>(last) * 64;
+    const std::uint64_t tail_mask =
+        tail_bits == 64 ? ~0ULL : (1ULL << tail_bits) - 1;
+    words_[last] = words[last] & tail_mask;
+  }
+
   void insert(EdgeId e) {
     PEF_CHECK(e < edge_count_);
     words_[e >> 6] |= (1ULL << (e & 63));
@@ -132,5 +147,39 @@ class EdgeSet {
   std::uint32_t edge_count_ = 0;
   std::vector<std::uint64_t> words_;
 };
+
+// ---------------------------------------------------------------------------
+// Raw word-row helpers — the EdgeSet bit layout applied to rows of an
+// engine-owned contiguous plane (BatchEngine keeps one edge-word row per
+// replica; schedules fill rows in place via EdgeSchedule::edges_into_words).
+
+/// Words per row for `edge_count` edges (the words() layout).
+[[nodiscard]] constexpr std::uint32_t edge_word_count(
+    std::uint32_t edge_count) {
+  return (edge_count + 63) / 64;
+}
+
+/// Make every edge present in a raw word row (tail bits cleared).
+inline void fill_edge_words(std::uint64_t* words, std::uint32_t edge_count) {
+  const std::uint32_t count = edge_word_count(edge_count);
+  if (count == 0) return;
+  for (std::uint32_t i = 0; i + 1 < count; ++i) words[i] = ~0ULL;
+  const std::uint32_t tail_bits = edge_count - (count - 1) * 64;
+  words[count - 1] = tail_bits == 64 ? ~0ULL : (1ULL << tail_bits) - 1;
+}
+
+/// True iff a raw word row holds the full edge set.
+[[nodiscard]] inline bool edge_words_full(const std::uint64_t* words,
+                                          std::uint32_t edge_count) {
+  const std::uint32_t count = edge_word_count(edge_count);
+  if (count == 0) return true;
+  for (std::uint32_t i = 0; i + 1 < count; ++i) {
+    if (words[i] != ~0ULL) return false;
+  }
+  const std::uint32_t tail_bits = edge_count - (count - 1) * 64;
+  const std::uint64_t tail_mask =
+      tail_bits == 64 ? ~0ULL : (1ULL << tail_bits) - 1;
+  return words[count - 1] == tail_mask;
+}
 
 }  // namespace pef

@@ -40,6 +40,21 @@ EdgeSet MarkovSchedule::edges_at(Time t) const {
   return s;
 }
 
+void MarkovSchedule::edges_into(Time t, EdgeSet& out) const {
+  out.clear();
+  for (EdgeId e = 0; e < ring_.edge_count(); ++e) {
+    if (edge_present(e, t)) out.insert(e);
+  }
+}
+
+void MarkovSchedule::edges_into_words(Time t, std::uint64_t* words) const {
+  const std::uint32_t count = edge_word_count(ring_.edge_count());
+  for (std::uint32_t i = 0; i < count; ++i) words[i] = 0;
+  for (EdgeId e = 0; e < ring_.edge_count(); ++e) {
+    if (edge_present(e, t)) words[e >> 6] |= 1ULL << (e & 63);
+  }
+}
+
 std::string MarkovSchedule::name() const {
   return "markov(fail=" + format_double(p_fail_, 2) +
          ",recover=" + format_double(p_recover_, 2) + ")";

@@ -27,6 +27,8 @@ class MarkovSchedule final : public EdgeSchedule {
 
   [[nodiscard]] const Ring& ring() const override { return ring_; }
   [[nodiscard]] EdgeSet edges_at(Time t) const override;
+  void edges_into(Time t, EdgeSet& out) const override;
+  void edges_into_words(Time t, std::uint64_t* words) const override;
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] double stationary_availability() const {

@@ -31,6 +31,21 @@ class EdgeSchedule {
   /// can run rounds allocation-free.
   virtual void edges_into(Time t, EdgeSet& out) const { out = edges_at(t); }
 
+  /// Fill one raw word row ((edge_count + 63) / 64 words, EdgeSet::words()
+  /// layout, tail bits clear) with E_t — the plane filler BatchEngine uses
+  /// to write each replica's edge words straight into its contiguous edge
+  /// plane, with no EdgeSet and no Configuration mirror in between.  The
+  /// default routes through edges_into() on a temporary set (cold families
+  /// only pay it off the hot path); every hot family overrides it to write
+  /// the words directly.
+  virtual void edges_into_words(Time t, std::uint64_t* words) const {
+    EdgeSet scratch(ring().edge_count());
+    edges_into(t, scratch);
+    const std::uint32_t count = edge_word_count(scratch.edge_count());
+    const std::uint64_t* src = scratch.words();
+    for (std::uint32_t i = 0; i < count; ++i) words[i] = src[i];
+  }
+
   /// True iff edges_at(t) is the same set for every t.  Engines use it to
   /// fill their scratch set once and skip the per-round refill entirely
   /// (BatchEngine additionally skips the per-robot edge-presence tests when

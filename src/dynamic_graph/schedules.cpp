@@ -57,6 +57,15 @@ void BernoulliSchedule::edges_into(Time t, EdgeSet& out) const {
   }
 }
 
+void BernoulliSchedule::edges_into_words(Time t, std::uint64_t* words) const {
+  const std::uint32_t count = edge_word_count(ring_.edge_count());
+  for (std::uint32_t i = 0; i < count; ++i) words[i] = 0;
+  for (EdgeId e = 0; e < ring_.edge_count(); ++e) {
+    Xoshiro256 rng(derive_seed(seed_, e, t));
+    if (rng.next_bool(p_)) words[e >> 6] |= 1ULL << (e & 63);
+  }
+}
+
 std::string BernoulliSchedule::name() const {
   return "bernoulli(p=" + format_double(p_, 2) + ")";
 }
@@ -97,6 +106,15 @@ void PeriodicSchedule::edges_into(Time t, EdgeSet& out) const {
   }
 }
 
+void PeriodicSchedule::edges_into_words(Time t, std::uint64_t* words) const {
+  const std::uint32_t count = edge_word_count(ring_.edge_count());
+  for (std::uint32_t i = 0; i < count; ++i) words[i] = 0;
+  for (EdgeId e = 0; e < ring_.edge_count(); ++e) {
+    const EdgePattern& p = patterns_[e];
+    if ((t + p.phase) % p.period < p.duty) words[e >> 6] |= 1ULL << (e & 63);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // TIntervalConnectedSchedule
 
@@ -122,6 +140,15 @@ void TIntervalConnectedSchedule::edges_into(Time t, EdgeSet& out) const {
   if (pick < ring_.edge_count()) out.erase(static_cast<EdgeId>(pick));
 }
 
+void TIntervalConnectedSchedule::edges_into_words(Time t,
+                                                  std::uint64_t* words) const {
+  const Time epoch = t / interval_;
+  Xoshiro256 rng(derive_seed(seed_, epoch));
+  const std::uint64_t pick = rng.next_below(ring_.edge_count() + 1);
+  fill_edge_words(words, ring_.edge_count());
+  if (pick < ring_.edge_count()) words[pick >> 6] &= ~(1ULL << (pick & 63));
+}
+
 std::string TIntervalConnectedSchedule::name() const {
   return "t-interval(T=" + std::to_string(interval_) + ")";
 }
@@ -143,6 +170,19 @@ EdgeSet EventualMissingEdgeSchedule::edges_at(Time t) const {
   EdgeSet s = base_->edges_at(t);
   if (t >= vanish_time_) s.erase(missing_edge_);
   return s;
+}
+
+void EventualMissingEdgeSchedule::edges_into(Time t, EdgeSet& out) const {
+  base_->edges_into(t, out);
+  if (t >= vanish_time_) out.erase(missing_edge_);
+}
+
+void EventualMissingEdgeSchedule::edges_into_words(
+    Time t, std::uint64_t* words) const {
+  base_->edges_into_words(t, words);
+  if (t >= vanish_time_) {
+    words[missing_edge_ >> 6] &= ~(1ULL << (missing_edge_ & 63));
+  }
 }
 
 std::string EventualMissingEdgeSchedule::name() const {
@@ -197,6 +237,22 @@ EdgeSet BoundedAbsenceSchedule::edges_at(Time t) const {
     if (edge_present(e, t)) s.insert(e);
   }
   return s;
+}
+
+void BoundedAbsenceSchedule::edges_into(Time t, EdgeSet& out) const {
+  out.clear();
+  for (EdgeId e = 0; e < ring_.edge_count(); ++e) {
+    if (edge_present(e, t)) out.insert(e);
+  }
+}
+
+void BoundedAbsenceSchedule::edges_into_words(Time t,
+                                              std::uint64_t* words) const {
+  const std::uint32_t count = edge_word_count(ring_.edge_count());
+  for (std::uint32_t i = 0; i < count; ++i) words[i] = 0;
+  for (EdgeId e = 0; e < ring_.edge_count(); ++e) {
+    if (edge_present(e, t)) words[e >> 6] |= 1ULL << (e & 63);
+  }
 }
 
 std::string BoundedAbsenceSchedule::name() const {

@@ -44,6 +44,9 @@ class StaticSchedule final : public EdgeSchedule {
     return EdgeSet::all(ring_.edge_count());
   }
   void edges_into(Time, EdgeSet& out) const override { out.fill(); }
+  void edges_into_words(Time, std::uint64_t* words) const override {
+    fill_edge_words(words, ring_.edge_count());
+  }
   [[nodiscard]] bool time_invariant() const override { return true; }
   [[nodiscard]] std::string name() const override { return "static"; }
 
@@ -89,6 +92,7 @@ class BernoulliSchedule final : public EdgeSchedule {
   [[nodiscard]] const Ring& ring() const override { return ring_; }
   [[nodiscard]] EdgeSet edges_at(Time t) const override;
   void edges_into(Time t, EdgeSet& out) const override;
+  void edges_into_words(Time t, std::uint64_t* words) const override;
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] double presence_probability() const { return p_; }
@@ -120,6 +124,7 @@ class PeriodicSchedule final : public EdgeSchedule {
   [[nodiscard]] const Ring& ring() const override { return ring_; }
   [[nodiscard]] EdgeSet edges_at(Time t) const override;
   void edges_into(Time t, EdgeSet& out) const override;
+  void edges_into_words(Time t, std::uint64_t* words) const override;
   [[nodiscard]] std::string name() const override { return "periodic"; }
 
  private:
@@ -141,6 +146,7 @@ class TIntervalConnectedSchedule final : public EdgeSchedule {
   [[nodiscard]] const Ring& ring() const override { return ring_; }
   [[nodiscard]] EdgeSet edges_at(Time t) const override;
   void edges_into(Time t, EdgeSet& out) const override;
+  void edges_into_words(Time t, std::uint64_t* words) const override;
   [[nodiscard]] std::string name() const override;
 
  private:
@@ -163,6 +169,8 @@ class EventualMissingEdgeSchedule final : public EdgeSchedule {
 
   [[nodiscard]] const Ring& ring() const override { return base_->ring(); }
   [[nodiscard]] EdgeSet edges_at(Time t) const override;
+  void edges_into(Time t, EdgeSet& out) const override;
+  void edges_into_words(Time t, std::uint64_t* words) const override;
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] EdgeId missing_edge() const { return missing_edge_; }
@@ -187,6 +195,8 @@ class BoundedAbsenceSchedule final : public EdgeSchedule {
 
   [[nodiscard]] const Ring& ring() const override { return ring_; }
   [[nodiscard]] EdgeSet edges_at(Time t) const override;
+  void edges_into(Time t, EdgeSet& out) const override;
+  void edges_into_words(Time t, std::uint64_t* words) const override;
   [[nodiscard]] std::string name() const override;
 
  private:

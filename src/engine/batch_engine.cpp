@@ -164,7 +164,9 @@ void compute_multiplicity_rows(const NodeId* __restrict node,
 }
 
 /// Everything the fused FSYNC pass touches, as raw restrict-able pointers,
-/// so the pass can live in free functions compiled per ISA level.
+/// so the pass can live in free functions compiled per ISA level.  Edge
+/// words come as the contiguous plane base + row stride (lane l's row is
+/// edges + l * ewpr).
 struct FsyncPassArgs {
   std::uint32_t live = 0;
   std::uint32_t stride = 0;
@@ -178,7 +180,8 @@ struct FsyncPassArgs {
   std::uint64_t* kcounter = nullptr;
   std::uint8_t* khas_moved = nullptr;
   const KernelSpec* spec = nullptr;
-  const std::uint64_t* const* ew = nullptr;
+  const std::uint64_t* edges = nullptr;
+  std::uint32_t ewpr = 0;
   std::uint64_t* moves = nullptr;
 };
 
@@ -200,7 +203,8 @@ template <KernelId Id, bool AllFull>
   std::uint64_t* const __restrict kcounter = a.kcounter;
   std::uint8_t* const __restrict khas_moved = a.khas_moved;
   const KernelSpec* const __restrict spec = a.spec;
-  const std::uint64_t* const* const __restrict ew = a.ew;
+  const std::uint64_t* const __restrict edges = a.edges;
+  const std::uint32_t ewpr = a.ewpr;
 
   for (std::uint32_t i = 0; i < a.k; ++i) {
     const std::size_t base = std::size_t{i} * a.stride;
@@ -214,7 +218,7 @@ template <KernelId Id, bool AllFull>
       } else {
         const bool ahead_cw = dir[at] == cw[at];
         const auto [ahead, behind] = adjacent_edges(u, ahead_cw, n);
-        const std::uint64_t* const words = ew[l];
+        const std::uint64_t* const words = edges + std::size_t{l} * ewpr;
         view.exists_edge_ahead = edge_present(words, ahead);
         view.exists_edge_behind = edge_present(words, behind);
       }
@@ -231,7 +235,7 @@ template <KernelId Id, bool AllFull>
         node[at] = step_node(u, move_cw, n);
       } else {
         const EdgeId pointed = adjacent_edges(u, move_cw, n).first;
-        if (edge_present(ew[l], pointed)) {
+        if (edge_present(edges + std::size_t{l} * ewpr, pointed)) {
           node[at] = step_node(u, move_cw, n);
           ++a.moves[l];
         }
@@ -345,7 +349,6 @@ BatchEngine::BatchEngine(Ring ring, ExecutionModel model,
   krng_.assign(kernel_id_ == KernelId::kRandomWalk ? plane : 1,
                Xoshiro256(0));
   if (model_ == ExecutionModel::kAsync) {
-    phases_.assign(plane, static_cast<std::uint8_t>(Phase::kLook));
     pending_views_.assign(plane, View{});
     phase_scratch_.assign(robots_, Phase::kLook);
   }
@@ -360,22 +363,57 @@ BatchEngine::BatchEngine(Ring ring, ExecutionModel model,
     stamp_count_.assign(std::size_t{batch_} * nodes_, 0);
   }
 
+  edge_words_per_row_ = edge_word_count(edge_count_);
+  edge_plane_.assign(std::size_t{batch_} * edge_words_per_row_, 0);
   edges_.resize(batch_);
-  edge_words_.assign(batch_, nullptr);
   refill_.assign(batch_, 1);
   edges_full_.assign(batch_, 0);
-  masks_.resize(batch_);
-  moving_.resize(batch_);
   moves_.assign(batch_, 0);
   tower_flag_.assign(batch_, 0);
   prev_had_tower_.assign(batch_, 0);
   max_closed_gap_.assign(batch_, 0);
   stats_.assign(batch_, EngineStats{});
 
+  if (model_ != ExecutionModel::kFsync) {
+    lane_words_ = (batch_ + 63) / 64;
+    const std::size_t mask_plane = std::size_t{robots_} * lane_words_;
+    mask_words_.assign(mask_plane, 0);
+    if (model_ == ExecutionModel::kAsync) {
+      moving_words_.assign(mask_plane, 0);
+      // Every robot starts in its Look phase: the look plane carries every
+      // lane's bit, the other two start empty.
+      look_words_.assign(mask_plane, 0);
+      compute_words_.assign(mask_plane, 0);
+      move_words_.assign(mask_plane, 0);
+      for (std::uint32_t i = 0; i < robots_; ++i) {
+        for (std::uint32_t l = 0; l < batch_; ++l) {
+          look_words_[std::size_t{i} * lane_words_ + (l >> 6)] |=
+              1ULL << (l & 63);
+        }
+      }
+    }
+    mask_scratch_.assign(robots_, 0);
+    act_kind_.assign(batch_,
+                     static_cast<std::uint8_t>(ActivationBatchKind::kVirtual));
+    act_p_.assign(batch_, 0.0);
+    act_rng_.assign(batch_, Xoshiro256(0));
+    occ_.assign(std::size_t{batch_} * nodes_, 0);
+    multi_nodes_.assign(batch_, 0);
+    move_log_.resize(std::size_t{robots_} * batch_);
+  }
+
   for (std::uint32_t l = 0; l < batch_; ++l) {
     replica_of_lane_[l] = l;
     lane_of_replica_[l] = l;
     init_replica(l, replicas[l]);
+  }
+
+  // With every lane schedule-backed and time-invariant (the static-ring
+  // Monte-Carlo case) the per-round edge prologue has nothing to do.
+  edge_refill_needed_ = false;
+  for (std::uint32_t l = 0; l < batch_; ++l) {
+    edge_refill_needed_ =
+        edge_refill_needed_ || schedules_[l] == nullptr || refill_[l] != 0;
   }
 
   // The t = 0 boundary (Engine::init's observe_boundary(0)).
@@ -455,6 +493,11 @@ void BatchEngine::init_replica(std::uint32_t lane, BatchReplica& replica) {
     node_[at] = p.node;
     dir_[at] = static_cast<std::uint8_t>(LocalDirection::kLeft);
     right_cw_[at] = p.chirality.right_is_clockwise() ? 1 : 0;
+    if (model_ != ExecutionModel::kFsync) {
+      if (++occ_[std::size_t{lane} * nodes_ + p.node] == 2) {
+        ++multi_nodes_[lane];
+      }
+    }
     init_kernel_state(
         specs_[lane], static_cast<RobotId>(i),
         KernelStateRef{
@@ -462,28 +505,71 @@ void BatchEngine::init_replica(std::uint32_t lane, BatchReplica& replica) {
             kcounter_[at], khas_moved_[at]});
   }
 
-  edges_[lane] = EdgeSet(edge_count_);
-  masks_[lane].assign(robots_, 0);
-  moving_[lane].assign(robots_, 0);
-
-  if (model_ == ExecutionModel::kFsync) {
-    // Mirror Engine's FSYNC fast paths: oblivious adversaries are pure
-    // functions of time (no gamma mirror); time-invariant schedules are
-    // filled once, here, and never refilled.
-    if (const auto* oblivious = dynamic_cast<const ObliviousAdversary*>(
-            adversaries_[lane].get())) {
-      schedules_[lane] = oblivious->schedule().get();
-      if (schedules_[lane]->time_invariant()) {
-        refill_[lane] = 0;
-        schedules_[lane]->edges_into(0, edges_[lane]);
-        edges_full_[lane] = edges_[lane].full() ? 1 : 0;
-        edge_words_[lane] = edges_[lane].words();
+  // Route the lane's edge sets: schedule-backed lanes fill their plane row
+  // in place (time-invariant ones once, here); everything else keeps a
+  // per-lane EdgeSet scratch for the virtual adversary.  Mirrors are lazy —
+  // materialized below only if something on this lane reads gamma.
+  bool needs_mirror = false;
+  switch (model_) {
+    case ExecutionModel::kFsync: {
+      if (const auto* oblivious = dynamic_cast<const ObliviousAdversary*>(
+              adversaries_[lane].get())) {
+        schedules_[lane] = oblivious->schedule().get();
+      } else {
+        needs_mirror = true;
       }
-    } else {
-      mirrors_[lane] = std::make_unique<Configuration>(snapshot_lane(lane));
+      break;
     }
-  } else {
-    // Policies and SSYNC/ASYNC adversaries see gamma every round.
+    case ExecutionModel::kSsync:
+    case ExecutionModel::kAsync: {
+      schedules_[lane] = ssync_advs_[lane]->oblivious_schedule();
+      needs_mirror = schedules_[lane] == nullptr;
+
+      // Devirtualize the activation policy / phase scheduler when it
+      // advertises a batched kernel; Bernoulli lanes additionally seed
+      // their slot of the RNG plane from the policy's own (untouched)
+      // stream so the batched draws replay it bit-for-bit.  A policy whose
+      // batch_kind() lies about its dynamic type falls back to kVirtual.
+      ActivationBatchKind kind = ActivationBatchKind::kVirtual;
+      if (model_ == ExecutionModel::kSsync) {
+        kind = activations_[lane]->batch_kind();
+        if (kind == ActivationBatchKind::kBernoulli) {
+          if (const auto* bernoulli = dynamic_cast<const BernoulliActivation*>(
+                  activations_[lane].get())) {
+            act_p_[lane] = bernoulli->p();
+            act_rng_[lane] = bernoulli->rng();
+          } else {
+            kind = ActivationBatchKind::kVirtual;
+          }
+        }
+      } else {
+        kind = phase_schedulers_[lane]->batch_kind();
+        if (kind == ActivationBatchKind::kBernoulli) {
+          if (const auto* bernoulli = dynamic_cast<const BernoulliPhases*>(
+                  phase_schedulers_[lane].get())) {
+            act_p_[lane] = bernoulli->p();
+            act_rng_[lane] = bernoulli->rng();
+          } else {
+            kind = ActivationBatchKind::kVirtual;
+          }
+        }
+      }
+      act_kind_[lane] = static_cast<std::uint8_t>(kind);
+      needs_mirror = needs_mirror || kind == ActivationBatchKind::kVirtual;
+      break;
+    }
+  }
+
+  if (schedules_[lane] != nullptr && schedules_[lane]->time_invariant()) {
+    refill_[lane] = 0;
+    schedules_[lane]->edges_into_words(0, edge_row(lane));
+    edges_full_[lane] =
+        edge_words_full(edge_row(lane), edge_count_) ? 1 : 0;
+  }
+  if (schedules_[lane] == nullptr) {
+    edges_[lane] = EdgeSet(edge_count_);
+  }
+  if (needs_mirror) {
     mirrors_[lane] = std::make_unique<Configuration>(snapshot_lane(lane));
   }
 }
@@ -588,7 +674,15 @@ void BatchEngine::step() {
       step_async();
       break;
   }
-  recompute_multiplicity();  // boundary t+1: Look inputs for the next round
+  if (model_ == ExecutionModel::kFsync) {
+    recompute_multiplicity();  // boundary t+1: Look inputs for the next round
+  } else {
+    // The Move passes maintain occ_/multi_nodes_ incrementally; the tower
+    // flag falls out of the counter.
+    for (std::uint32_t l = 0; l < active_; ++l) {
+      tower_flag_[l] = multi_nodes_[l] != 0 ? 1 : 0;
+    }
+  }
   observe_boundary(now_ + 1);
   update_mirrors();
   if (tracing) end_trace_round();
@@ -602,21 +696,23 @@ void BatchEngine::run_all() {
 }
 
 void BatchEngine::step_fsync() {
-  // E_t per live replica.  Time-invariant lanes keep their construction
-  // fill; oblivious lanes refill the scratch set in place; adaptive lanes
-  // see their gamma mirror.
-  for (std::uint32_t l = 0; l < active_; ++l) {
-    if (schedules_[l] != nullptr) {
-      if (refill_[l]) {
-        schedules_[l]->edges_into(now_, edges_[l]);
+  // E_t per live replica, written into the lane's edge-plane row.
+  // Time-invariant lanes keep their construction fill; oblivious lanes
+  // refill the row in place; adaptive lanes see their gamma mirror and
+  // copy the resulting set's words over.
+  if (edge_refill_needed_) {
+    for (std::uint32_t l = 0; l < active_; ++l) {
+      if (schedules_[l] != nullptr) {
+        if (refill_[l]) {
+          schedules_[l]->edges_into_words(now_, edge_row(l));
+          edges_full_[l] = edge_words_full(edge_row(l), edge_count_) ? 1 : 0;
+        }
+      } else {
+        edges_[l] = adversaries_[l]->choose_edges(now_, *mirrors_[l]);
+        PEF_CHECK(edges_[l].edge_count() == edge_count_);
+        std::copy_n(edges_[l].words(), edge_words_per_row_, edge_row(l));
         edges_full_[l] = edges_[l].full() ? 1 : 0;
-        edge_words_[l] = edges_[l].words();
       }
-    } else {
-      edges_[l] = adversaries_[l]->choose_edges(now_, *mirrors_[l]);
-      PEF_CHECK(edges_[l].edge_count() == edge_count_);
-      edges_full_[l] = edges_[l].full() ? 1 : 0;
-      edge_words_[l] = edges_[l].words();
     }
   }
   if (!traces_.empty()) begin_trace_round();
@@ -650,19 +746,178 @@ void BatchEngine::fsync_pass() {
   args.kcounter = kcounter_.data();
   args.khas_moved = khas_moved_.data();
   args.spec = specs_.data();
-  args.ew = edge_words_.data();
+  args.edges = edge_plane_.data();
+  args.ewpr = edge_words_per_row_;
   args.moves = moves_.data();
   fsync_pass_run<Id, AllFull>(args);
 }
 
+void BatchEngine::fill_mask_words() {
+  const std::uint32_t live = active_;
+  const std::uint32_t k = robots_;
+  const std::uint32_t lw = lane_words_;
+  std::uint64_t* const words = mask_words_.data();
+  std::fill_n(words, std::size_t{k} * lw, 0);
+
+  // Bernoulli fast path, four lanes at a time: each lane's draws are a
+  // serial xoshiro dependency chain, so interleaving four independent
+  // chains multiplies the instruction-level parallelism of the fill (draw
+  // order WITHIN each lane is unchanged — bit-identity holds).  k <= 64
+  // keeps each lane's activation set in one register.
+  std::uint32_t l = 0;
+  if (k <= 64) {
+    const auto bernoulli =
+        static_cast<std::uint8_t>(ActivationBatchKind::kBernoulli);
+    while (l + 4 <= live && act_kind_[l] == bernoulli &&
+           act_kind_[l + 1] == bernoulli && act_kind_[l + 2] == bernoulli &&
+           act_kind_[l + 3] == bernoulli) {
+      Xoshiro256 rng[4] = {act_rng_[l], act_rng_[l + 1], act_rng_[l + 2],
+                           act_rng_[l + 3]};
+      const double p[4] = {act_p_[l], act_p_[l + 1], act_p_[l + 2],
+                           act_p_[l + 3]};
+      std::uint64_t bits[4] = {0, 0, 0, 0};
+      for (std::uint32_t i = 0; i < k; ++i) {
+        bits[0] |= std::uint64_t{rng[0].next_bool(p[0])} << i;
+        bits[1] |= std::uint64_t{rng[1].next_bool(p[1])} << i;
+        bits[2] |= std::uint64_t{rng[2].next_bool(p[2])} << i;
+        bits[3] |= std::uint64_t{rng[3].next_bool(p[3])} << i;
+      }
+      for (std::uint32_t j = 0; j < 4; ++j) {
+        if (bits[j] == 0) bits[j] = 1ULL << rng[j].next_below(k);
+        act_rng_[l + j] = rng[j];
+        const std::uint32_t word = (l + j) >> 6;
+        const std::uint64_t bit = 1ULL << ((l + j) & 63);
+        std::uint64_t b = bits[j];
+        while (b != 0) {
+          const auto i = static_cast<std::uint32_t>(__builtin_ctzll(b));
+          b &= b - 1;
+          words[std::size_t{i} * lw + word] |= bit;
+        }
+      }
+      l += 4;
+    }
+  }
+
+  for (; l < live; ++l) {
+    const std::uint32_t word = l >> 6;
+    const std::uint64_t bit = 1ULL << (l & 63);
+    switch (static_cast<ActivationBatchKind>(act_kind_[l])) {
+      case ActivationBatchKind::kFull:
+        for (std::uint32_t i = 0; i < k; ++i) {
+          words[std::size_t{i} * lw + word] |= bit;
+        }
+        break;
+      case ActivationBatchKind::kRoundRobin:
+        words[std::size_t{now_ % k} * lw + word] |= bit;
+        break;
+      case ActivationBatchKind::kBernoulli: {
+        // Draw-for-draw replay of BernoulliActivation::activate /
+        // BernoulliPhases::advance: k Bernoulli trials in robot order, then
+        // the forced-nonempty fallback from the same stream.  The RNG runs
+        // on a LOCAL copy (written back after the lane) and the k <= 64
+        // case accumulates into one register: no stores inside the draw
+        // loop, so the generator state stays in registers instead of
+        // round-tripping memory per draw (the plane stores could alias the
+        // rng plane otherwise).
+        Xoshiro256 rng = act_rng_[l];
+        const double p = act_p_[l];
+        if (k <= 64) {
+          std::uint64_t robots_bits = 0;
+          for (std::uint32_t i = 0; i < k; ++i) {
+            robots_bits |= std::uint64_t{rng.next_bool(p)} << i;
+          }
+          if (robots_bits == 0) robots_bits = 1ULL << rng.next_below(k);
+          while (robots_bits != 0) {
+            const auto i =
+                static_cast<std::uint32_t>(__builtin_ctzll(robots_bits));
+            robots_bits &= robots_bits - 1;
+            words[std::size_t{i} * lw + word] |= bit;
+          }
+        } else {
+          bool any = false;
+          for (std::uint32_t i = 0; i < k; ++i) {
+            if (rng.next_bool(p)) {
+              words[std::size_t{i} * lw + word] |= bit;
+              any = true;
+            }
+          }
+          if (!any) {
+            words[std::size_t{rng.next_below(k)} * lw + word] |= bit;
+          }
+        }
+        act_rng_[l] = rng;
+        break;
+      }
+      case ActivationBatchKind::kVirtual: {
+        if (model_ == ExecutionModel::kSsync) {
+          activations_[l]->activate(now_, *mirrors_[l], mask_scratch_);
+        } else {
+          // Reconstruct the lane's Phase vector from the one-hot planes
+          // for the scheduler's (rarely taken) virtual interface.
+          phase_scratch_.resize(k);
+          for (std::uint32_t i = 0; i < k; ++i) {
+            const std::size_t at = std::size_t{i} * lw + word;
+            phase_scratch_[i] = (look_words_[at] >> (l & 63)) & 1ULL
+                                    ? Phase::kLook
+                                : (compute_words_[at] >> (l & 63)) & 1ULL
+                                    ? Phase::kCompute
+                                    : Phase::kMove;
+          }
+          phase_schedulers_[l]->advance(now_, *mirrors_[l], phase_scratch_,
+                                        mask_scratch_);
+        }
+        PEF_CHECK(mask_scratch_.size() == k);
+        for (std::uint32_t i = 0; i < k; ++i) {
+          if (mask_scratch_[i] != 0) words[std::size_t{i} * lw + word] |= bit;
+        }
+        break;
+      }
+    }
+  }
+}
+
+void BatchEngine::fill_moving_words() {
+  // moving = advancing AND in-Move-phase, one AND per robot-word.
+  // Snapshotted before the tick's transitions: robots whose Compute fires
+  // this tick enter their Move phase but must not move until the next
+  // activation.
+  const std::size_t plane = std::size_t{robots_} * lane_words_;
+  const std::uint64_t* const mask = mask_words_.data();
+  const std::uint64_t* const move = move_words_.data();
+  std::uint64_t* const moving = moving_words_.data();
+  for (std::size_t w = 0; w < plane; ++w) moving[w] = mask[w] & move[w];
+}
+
+void BatchEngine::extract_lane_mask(const std::uint64_t* plane,
+                                    std::uint32_t lane,
+                                    ActivationMask& out) const {
+  out.assign(robots_, 0);
+  const std::uint32_t word = lane >> 6;
+  const std::uint32_t shift = lane & 63;
+  for (std::uint32_t i = 0; i < robots_; ++i) {
+    out[i] = static_cast<std::uint8_t>(
+        (plane[std::size_t{i} * lane_words_ + word] >> shift) & 1ULL);
+  }
+}
+
 void BatchEngine::step_ssync() {
-  for (std::uint32_t l = 0; l < active_; ++l) {
-    activations_[l]->activate(now_, *mirrors_[l], masks_[l]);
-    PEF_CHECK(masks_[l].size() == robots_);
-    ssync_advs_[l]->choose_edges_into(now_, *mirrors_[l], masks_[l],
-                                      edges_[l]);
-    PEF_CHECK(edges_[l].edge_count() == edge_count_);
-    edge_words_[l] = edges_[l].words();
+  fill_mask_words();
+  // E_t per live replica: schedule-backed lanes refill their plane row
+  // directly (no mirror, no EdgeSet); adversaries that see gamma or the
+  // mask get the lane's byte mask reconstructed and go through the virtual
+  // path into the lane's scratch set.
+  if (edge_refill_needed_) {
+    for (std::uint32_t l = 0; l < active_; ++l) {
+      if (schedules_[l] != nullptr) {
+        if (refill_[l]) schedules_[l]->edges_into_words(now_, edge_row(l));
+      } else {
+        extract_lane_mask(mask_words_.data(), l, mask_scratch_);
+        ssync_advs_[l]->choose_edges_into(now_, *mirrors_[l], mask_scratch_,
+                                          edges_[l]);
+        PEF_CHECK(edges_[l].edge_count() == edge_count_);
+        std::copy_n(edges_[l].words(), edge_words_per_row_, edge_row(l));
+      }
+    }
   }
   if (!traces_.empty()) begin_trace_round();
 
@@ -671,68 +926,96 @@ void BatchEngine::step_ssync() {
 
 template <KernelId Id>
 void BatchEngine::ssync_pass() {
-  const std::uint32_t live = active_;
   const std::uint32_t stride = batch_;
   const std::uint32_t k = robots_;
   const std::uint32_t n = nodes_;
+  const std::uint32_t lw = lane_words_;
+  const std::uint32_t live_words = (active_ + 63) / 64;
   NodeId* const node = node_.data();
   std::uint8_t* const dir = dir_.data();
   const std::uint8_t* const cw = right_cw_.data();
-  const std::uint8_t* const mult = mult_.data();
   Xoshiro256* const krng = krng_.data();
   std::uint64_t* const kcounter = kcounter_.data();
   std::uint8_t* const khas_moved = khas_moved_.data();
   const KernelSpec* const spec = specs_.data();
-  const std::uint64_t* const* const ew = edge_words_.data();
-  const ActivationMask* const masks = masks_.data();
+  const std::uint64_t* const edges = edge_plane_.data();
+  const std::uint32_t ewpr = edge_words_per_row_;
+  const std::uint64_t* const mask = mask_words_.data();
+  const std::uint32_t* const occ = occ_.data();
 
-  // Fused L-C-M for each replica's activated subset (sound for the same
-  // reason as FSYNC: Look inputs are frozen for the round).
+  // Fused L-C-M with DEFERRED occupancy: the only cross-robot coupling in
+  // a round is the Look phase's multiplicity bit, and it must read the
+  // round-START occupancy — so Moves update node_ in place (no other
+  // robot's Look reads it) but log their (lane, from, to) instead of
+  // touching occ_, and the log is applied after the pass.  One mask-word
+  // iteration total: the word plane loads cover 64 replicas each and ctz
+  // jumps straight to the activated robots.
+  PendingMove* log_cursor = move_log_.data();
   for (std::uint32_t i = 0; i < k; ++i) {
     const std::size_t base = std::size_t{i} * stride;
-    for (std::uint32_t l = 0; l < live; ++l) {
-      if (masks[l][i] == 0) continue;
-      const std::size_t at = base + l;
-      const NodeId u = node[at];
-      const bool ahead_cw = dir[at] == cw[at];
-      const auto [ahead, behind] = adjacent_edges(u, ahead_cw, n);
-      const std::uint64_t* const words = ew[l];
-      View view;
-      view.exists_edge_ahead = edge_present(words, ahead);
-      view.exists_edge_behind = edge_present(words, behind);
-      view.other_robots_on_node = mult[at] != 0;
-      auto d = static_cast<LocalDirection>(dir[at]);
-      kernel_compute<Id>(spec[l], view, d,
-                         kernel_state_at<Id>(krng, kcounter, khas_moved, at));
-      dir[at] = static_cast<std::uint8_t>(d);
+    for (std::uint32_t w = 0; w < live_words; ++w) {
+      std::uint64_t m = mask[std::size_t{i} * lw + w];
+      while (m != 0) {
+        const std::uint32_t l =
+            (w << 6) + static_cast<std::uint32_t>(__builtin_ctzll(m));
+        m &= m - 1;
+        const std::size_t at = base + l;
+        const NodeId u = node[at];
+        const bool ahead_cw = dir[at] == cw[at];
+        const auto [ahead, behind] = adjacent_edges(u, ahead_cw, n);
+        const std::uint64_t* const words = edges + std::size_t{l} * ewpr;
+        View view;
+        view.exists_edge_ahead = edge_present(words, ahead);
+        view.exists_edge_behind = edge_present(words, behind);
+        view.other_robots_on_node = occ[std::size_t{l} * n + u] > 1;
+        auto d = static_cast<LocalDirection>(dir[at]);
+        kernel_compute<Id>(spec[l], view, d,
+                           kernel_state_at<Id>(krng, kcounter, khas_moved, at));
+        dir[at] = static_cast<std::uint8_t>(d);
 
-      const bool move_cw = static_cast<std::uint8_t>(d) == cw[at];
-      if (edge_present(words, adjacent_edges(u, move_cw, n).first)) {
-        node[at] = step_node(u, move_cw, n);
-        ++moves_[l];
+        const bool move_cw = static_cast<std::uint8_t>(d) == cw[at];
+        if (edge_present(words, adjacent_edges(u, move_cw, n).first)) {
+          const NodeId to = step_node(u, move_cw, n);
+          node[at] = to;
+          ++moves_[l];
+          *log_cursor++ = {l, u, to};
+        }
       }
     }
+  }
+  move_log_count_ = static_cast<std::size_t>(log_cursor - move_log_.data());
+  apply_move_log();
+}
+
+void BatchEngine::apply_move_log() {
+  // Replay the round's moves onto the occupancy rows and tower counters
+  // (order-free: counter updates commute).
+  const std::uint32_t n = nodes_;
+  const PendingMove* const end = move_log_.data() + move_log_count_;
+  for (const PendingMove* it = move_log_.data(); it != end; ++it) {
+    const PendingMove& mv = *it;
+    const std::size_t row = std::size_t{mv.lane} * n;
+    if (--occ_[row + mv.from] == 1) --multi_nodes_[mv.lane];
+    if (++occ_[row + mv.to] == 2) ++multi_nodes_[mv.lane];
   }
 }
 
 void BatchEngine::step_async() {
-  for (std::uint32_t l = 0; l < active_; ++l) {
-    for (std::uint32_t i = 0; i < robots_; ++i) {
-      phase_scratch_[i] =
-          static_cast<Phase>(phases_[std::size_t{i} * batch_ + l]);
+  fill_mask_words();
+  fill_moving_words();
+  // The adversary sees which robots fire their Move phase this tick.
+  if (edge_refill_needed_) {
+    for (std::uint32_t l = 0; l < active_; ++l) {
+      if (schedules_[l] != nullptr) {
+        if (refill_[l]) schedules_[l]->edges_into_words(now_, edge_row(l));
+      } else {
+        extract_lane_mask(moving_words_.data(), l, mask_scratch_);
+        ssync_advs_[l]->choose_edges_into(now_, *mirrors_[l], mask_scratch_,
+                                          edges_[l]);
+        PEF_CHECK(edges_[l].edge_count() == edge_count_);
+        std::copy_n(edges_[l].words(), edge_words_per_row_, edge_row(l));
+      }
     }
-    phase_schedulers_[l]->advance(now_, *mirrors_[l], phase_scratch_,
-                                  masks_[l]);
-    PEF_CHECK(masks_[l].size() == robots_);
-    ActivationMask& moving = moving_[l];
-    moving.assign(robots_, 0);
-    for (std::uint32_t i = 0; i < robots_; ++i) {
-      moving[i] =
-          (masks_[l][i] != 0 && phase_scratch_[i] == Phase::kMove) ? 1 : 0;
-    }
-    ssync_advs_[l]->choose_edges_into(now_, *mirrors_[l], moving, edges_[l]);
-    PEF_CHECK(edges_[l].edge_count() == edge_count_);
-    edge_words_[l] = edges_[l].words();
   }
   if (!traces_.empty()) begin_trace_round();
 
@@ -741,71 +1024,113 @@ void BatchEngine::step_async() {
 
 template <KernelId Id>
 void BatchEngine::async_pass() {
-  const std::uint32_t live = active_;
   const std::uint32_t stride = batch_;
   const std::uint32_t k = robots_;
   const std::uint32_t n = nodes_;
+  const std::uint32_t lw = lane_words_;
+  const std::uint32_t live_words = (active_ + 63) / 64;
   NodeId* const node = node_.data();
   std::uint8_t* const dir = dir_.data();
   const std::uint8_t* const cw = right_cw_.data();
-  const std::uint8_t* const mult = mult_.data();
   Xoshiro256* const krng = krng_.data();
   std::uint64_t* const kcounter = kcounter_.data();
   std::uint8_t* const khas_moved = khas_moved_.data();
   const KernelSpec* const spec = specs_.data();
-  const std::uint64_t* const* const ew = edge_words_.data();
-  const ActivationMask* const masks = masks_.data();
-  const ActivationMask* const moving = moving_.data();
-  std::uint8_t* const phase = phases_.data();
+  const std::uint64_t* const edges = edge_plane_.data();
+  const std::uint32_t ewpr = edge_words_per_row_;
+  const std::uint64_t* const mask = mask_words_.data();
+  const std::uint64_t* const moving = moving_words_.data();
+  std::uint64_t* const look_w = look_words_.data();
+  std::uint64_t* const compute_w = compute_words_.data();
+  std::uint64_t* const move_w = move_words_.data();
   View* const pending = pending_views_.data();
+  const std::uint32_t* const occ = occ_.data();
 
-  // One pass: an advancing robot executes exactly one of Look / Compute /
-  // Move this tick, and lookers and movers are disjoint, so fusing keeps
-  // Engine's two-pass semantics (Looks read the tick-start configuration:
-  // the multiplicity plane is frozen, E_t is frozen, and no looker's node
-  // changes).
+  // An advancing robot executes exactly one of Look / Compute / Move this
+  // tick.  The one-hot phase planes resolve each subset by a word AND
+  // against the advancing mask — no per-robot phase loads, no
+  // data-dependent branches — and the matched bits transition between
+  // planes as whole words.  Lookers and movers are disjoint robots and a
+  // Move only writes its own node slot, so ONE fused pass is sound with
+  // the same deferred-occupancy trick as SSYNC: every Look reads the
+  // tick-start occ_ because moves log their occupancy deltas instead of
+  // applying them.  moving_words_ was snapshotted before any transition,
+  // so a Compute firing this tick does not also Move this tick.
+  PendingMove* log_cursor = move_log_.data();
   for (std::uint32_t i = 0; i < k; ++i) {
     const std::size_t base = std::size_t{i} * stride;
-    for (std::uint32_t l = 0; l < live; ++l) {
-      if (masks[l][i] == 0) continue;
-      const std::size_t at = base + l;
-      if (moving[l][i] != 0) {
-        const NodeId u = node[at];
-        const bool move_cw = dir[at] == cw[at];
-        if (edge_present(ew[l], adjacent_edges(u, move_cw, n).first)) {
-          node[at] = step_node(u, move_cw, n);
-          ++moves_[l];
-        }
-        phase[at] = static_cast<std::uint8_t>(Phase::kLook);
-      } else if (phase[at] == static_cast<std::uint8_t>(Phase::kLook)) {
+    for (std::uint32_t w = 0; w < live_words; ++w) {
+      const std::size_t mw = std::size_t{i} * lw + w;
+      const std::uint64_t adv = mask[mw];
+      const std::uint64_t lk = adv & look_w[mw];
+      const std::uint64_t cp = adv & compute_w[mw];
+      const std::uint64_t mv = moving[mw];
+
+      std::uint64_t m = lk;
+      while (m != 0) {
+        const std::uint32_t l =
+            (w << 6) + static_cast<std::uint32_t>(__builtin_ctzll(m));
+        m &= m - 1;
+        const std::size_t at = base + l;
         // Snapshot against the CURRENT edge set and configuration; the
         // view may be stale by the time Compute / Move execute.
         const NodeId u = node[at];
         const bool ahead_cw = dir[at] == cw[at];
         const auto [ahead, behind] = adjacent_edges(u, ahead_cw, n);
-        const std::uint64_t* const words = ew[l];
+        const std::uint64_t* const words = edges + std::size_t{l} * ewpr;
         View view;
         view.exists_edge_ahead = edge_present(words, ahead);
         view.exists_edge_behind = edge_present(words, behind);
-        view.other_robots_on_node = mult[at] != 0;
+        view.other_robots_on_node = occ[std::size_t{l} * n + u] > 1;
         pending[at] = view;
-        phase[at] = static_cast<std::uint8_t>(Phase::kCompute);
-      } else {  // Phase::kCompute
+      }
+
+      m = cp;
+      while (m != 0) {
+        const std::uint32_t l =
+            (w << 6) + static_cast<std::uint32_t>(__builtin_ctzll(m));
+        m &= m - 1;
+        const std::size_t at = base + l;
         auto d = static_cast<LocalDirection>(dir[at]);
         kernel_compute<Id>(
             spec[l], pending[at], d,
             kernel_state_at<Id>(krng, kcounter, khas_moved, at));
         dir[at] = static_cast<std::uint8_t>(d);
-        phase[at] = static_cast<std::uint8_t>(Phase::kMove);
       }
+
+      m = mv;
+      while (m != 0) {
+        const std::uint32_t l =
+            (w << 6) + static_cast<std::uint32_t>(__builtin_ctzll(m));
+        m &= m - 1;
+        const std::size_t at = base + l;
+        const NodeId u = node[at];
+        const bool move_cw = dir[at] == cw[at];
+        const std::uint64_t* const words = edges + std::size_t{l} * ewpr;
+        if (edge_present(words, adjacent_edges(u, move_cw, n).first)) {
+          const NodeId to = step_node(u, move_cw, n);
+          node[at] = to;
+          ++moves_[l];
+          *log_cursor++ = {l, u, to};
+        }
+      }
+
+      // Word-level transitions: L -> C, C -> M, M -> L.
+      look_w[mw] = (look_w[mw] & ~lk) | mv;
+      compute_w[mw] = (compute_w[mw] & ~cp) | lk;
+      move_w[mw] = (move_w[mw] & ~mv) | cp;
     }
   }
+  move_log_count_ = static_cast<std::size_t>(log_cursor - move_log_.data());
+  apply_move_log();
 }
 
 void BatchEngine::update_mirrors() {
   // Lanes with a gamma mirror get it refreshed from the planes; dirs and
   // positions that did not change are no-op writes (relocate_robot
-  // self-checks), so one uniform pass is correct for every model.
+  // self-checks), so one uniform pass is correct for every model.  Lanes
+  // without a mirror (batchable adversary + devirtualized policy — the
+  // common sweep case) skip this entirely.
   for (std::uint32_t l = 0; l < active_; ++l) {
     Configuration* const mirror = mirrors_[l].get();
     if (mirror == nullptr) continue;
@@ -854,8 +1179,21 @@ void BatchEngine::swap_lanes(std::uint32_t a, std::uint32_t b) {
     swap(khas_moved_[pa], khas_moved_[pb]);
     if (kernel_id_ == KernelId::kRandomWalk) swap(krng_[pa], krng_[pb]);
     if (model_ == ExecutionModel::kAsync) {
-      swap(phases_[pa], phases_[pb]);
       swap(pending_views_[pa], pending_views_[pb]);
+      // One-hot phase planes: swap lane a's and b's bits in each plane.
+      const std::size_t wa = std::size_t{i} * lane_words_ + (a >> 6);
+      const std::size_t wb = std::size_t{i} * lane_words_ + (b >> 6);
+      const std::uint64_t bit_a = 1ULL << (a & 63);
+      const std::uint64_t bit_b = 1ULL << (b & 63);
+      for (std::uint64_t* plane :
+           {look_words_.data(), compute_words_.data(), move_words_.data()}) {
+        const bool va = (plane[wa] & bit_a) != 0;
+        const bool vb = (plane[wb] & bit_b) != 0;
+        if (va != vb) {
+          plane[wa] ^= bit_a;
+          plane[wb] ^= bit_b;
+        }
+      }
     }
   }
   const std::size_t ra = std::size_t{a} * nodes_;
@@ -870,6 +1208,14 @@ void BatchEngine::swap_lanes(std::uint32_t a, std::uint32_t b) {
                      stamp_count_.begin() + ra + nodes_,
                      stamp_count_.begin() + rb);
   }
+  // Edge rows are addressed by lane index, so the row CONTENTS move (the
+  // mask word planes are per-round scratch, regenerated before use — no
+  // swap needed there).
+  const std::size_t ea = std::size_t{a} * edge_words_per_row_;
+  const std::size_t eb = std::size_t{b} * edge_words_per_row_;
+  std::swap_ranges(edge_plane_.begin() + ea,
+                   edge_plane_.begin() + ea + edge_words_per_row_,
+                   edge_plane_.begin() + eb);
 
   swap(algorithms_[a], algorithms_[b]);
   swap(specs_[a], specs_[b]);
@@ -881,16 +1227,21 @@ void BatchEngine::swap_lanes(std::uint32_t a, std::uint32_t b) {
   swap(mirrors_[a], mirrors_[b]);
   swap(horizons_[a], horizons_[b]);
   swap(edges_[a], edges_[b]);
-  swap(edge_words_[a], edge_words_[b]);
   swap(refill_[a], refill_[b]);
   swap(edges_full_[a], edges_full_[b]);
-  swap(masks_[a], masks_[b]);
-  swap(moving_[a], moving_[b]);
   swap(moves_[a], moves_[b]);
   swap(tower_flag_[a], tower_flag_[b]);
   swap(prev_had_tower_[a], prev_had_tower_[b]);
   swap(max_closed_gap_[a], max_closed_gap_[b]);
   swap(stats_[a], stats_[b]);
+  if (model_ != ExecutionModel::kFsync) {
+    swap(act_kind_[a], act_kind_[b]);
+    swap(act_p_[a], act_p_[b]);
+    swap(act_rng_[a], act_rng_[b]);
+    swap(multi_nodes_[a], multi_nodes_[b]);
+    std::swap_ranges(occ_.begin() + ra, occ_.begin() + ra + nodes_,
+                     occ_.begin() + rb);
+  }
 
   const std::uint32_t replica_a = replica_of_lane_[a];
   const std::uint32_t replica_b = replica_of_lane_[b];
@@ -907,7 +1258,10 @@ void BatchEngine::begin_trace_round() {
   for (std::uint32_t l = 0; l < active_; ++l) {
     RoundRecord& record = record_scratch_[l];
     record.time = now_;
-    record.edges = edges_[l];
+    if (record.edges.edge_count() != edge_count_) {
+      record.edges = EdgeSet(edge_count_);
+    }
+    record.edges.assign_words(edge_row(l));
     record.robots.assign(robots_, RobotRoundRecord{});
     for (std::uint32_t i = 0; i < robots_; ++i) {
       const std::size_t at = std::size_t{i} * batch_ + l;
@@ -918,22 +1272,28 @@ void BatchEngine::begin_trace_round() {
       r.dir_after = r.dir_before;
       // The multiplicity bit of every Look fired this round is
       // reconstructable up front: all Looks read the start-of-round
-      // multiplicity plane.  Which robots Look depends on the model.
+      // occupancy (the mult plane for FSYNC, the occ rows otherwise).
+      // Which robots Look depends on the model.
       bool looks = false;
       switch (model_) {
         case ExecutionModel::kFsync:
           looks = true;
           break;
         case ExecutionModel::kSsync:
-          looks = masks_[l][i] != 0;
+          looks = mask_bit(mask_words_.data(), i, l);
           break;
         case ExecutionModel::kAsync:
-          looks = masks_[l][i] != 0 && moving_[l][i] == 0 &&
-                  phases_[at] == static_cast<std::uint8_t>(Phase::kLook);
+          // Advancing and still in the Look phase (the planes are
+          // pre-transition here: tracing runs before the tick pass).
+          looks = mask_bit(mask_words_.data(), i, l) &&
+                  mask_bit(look_words_.data(), i, l);
           break;
       }
       if (looks) {
-        r.saw_other_robots = mult_[at] != 0;
+        r.saw_other_robots =
+            model_ == ExecutionModel::kFsync
+                ? mult_[at] != 0
+                : occ_[std::size_t{l} * nodes_ + node_[at]] > 1;
       }
     }
   }

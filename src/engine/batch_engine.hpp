@@ -36,24 +36,42 @@
 // scatters.  With the multiplicity plane and E_t frozen for the round,
 // Look, Compute and Move fuse into ONE replica-stride pass (no robot's
 // action changes another's inputs), followed by a visit-bookkeeping pass
-// over 8-byte per-(replica, node) cells.  Further hot-path
-// specializations:
+// over 8-byte per-(replica, node) cells.
 //
-//   * time-invariant schedules (StaticSchedule) are filled once at
-//     construction and never refilled; when every live replica's edge set
-//     is the full set, the round runs an AllFull instantiation with no
-//     per-robot edge-presence tests at all (and every robot provably
-//     moves);
+// The per-round ROUND PROLOGUE (who acts, which edges exist) is batched
+// too — SSYNC and ASYNC are first-class citizens of the planes, not a
+// scalar per-replica preamble:
+//
+//   * edge words live in ONE contiguous plane, one row per replica.
+//     Replicas whose adversary is per-replica-independent (an oblivious
+//     schedule — every `batchable` registry kind) fill their row in place
+//     via EdgeSchedule::edges_into_words, with no EdgeSet and no
+//     Configuration mirror; time-invariant schedules fill once at
+//     construction and never refill, and a round whose live rows are all
+//     full runs the FSYNC AllFull instantiation with no edge tests at all.
+//   * SSYNC activation masks and ASYNC advance/move masks are robot-major
+//     uint64 WORD planes (bit = replica).  The common policies — full,
+//     Bernoulli-p, round-robin — are devirtualized (ActivationBatchKind,
+//     enum-dispatched like KernelId): one pass fills every replica's mask
+//     words from a per-replica RNG plane seeded with the policy's own
+//     stream, bit-identical to the virtual calls it replaces.  The SSYNC /
+//     ASYNC passes then iterate mask words (ctz over set bits) instead of
+//     testing every (robot, replica) byte.
+//   * Configuration mirrors are materialized LAZILY: only replicas whose
+//     adversary or activation policy actually sees gamma (adaptive
+//     lower-bound families, exotic virtual policies) carry one; everything
+//     else skips the per-round mirror refresh entirely.
 //   * replicas that reach their horizon are compacted out (their lane is
 //     swapped with the last live lane), so the inner loops always run over
 //     a dense prefix of live replicas and a ragged batch never idles.
 //
 // Results are BIT-IDENTICAL to B independent Engine runs: per-replica
-// adversaries / activation policies / phase schedulers are separate objects
-// consumed once per round in the same order as a solo run, and
-// tests/batch_engine_test.cpp pins traces and stats to Engine across every
-// registry kernel x {FSYNC, SSYNC, ASYNC} x seeds, including ragged
-// horizons.
+// adversaries / activation policies / phase schedulers consume the same
+// streams in the same order as a solo run (batched Bernoulli kernels replay
+// the policy's RNG stream draw-for-draw), and tests/batch_engine_test.cpp
+// pins traces and stats to Engine across every registry kernel x {FSYNC,
+// SSYNC, ASYNC} x batchable and non-batchable adversaries x seeds,
+// including ragged horizons.
 #pragma once
 
 #include <memory>
@@ -164,6 +182,35 @@ class BatchEngine {
   void ssync_pass();
   template <KernelId Id>
   void async_pass();
+  /// Replay the round's move_log_ onto occ_ / multi_nodes_.
+  void apply_move_log();
+
+  /// Lane `lane`'s row of the contiguous edge-word plane.
+  [[nodiscard]] std::uint64_t* edge_row(std::uint32_t lane) {
+    return edge_plane_.data() + std::size_t{lane} * edge_words_per_row_;
+  }
+  [[nodiscard]] const std::uint64_t* edge_row(std::uint32_t lane) const {
+    return edge_plane_.data() + std::size_t{lane} * edge_words_per_row_;
+  }
+
+  /// The batched activation prologue shared by SSYNC (activation policies)
+  /// and ASYNC (phase schedulers): clear the mask word plane, then fill
+  /// every live lane's bits — devirtualized kernels (full / round-robin /
+  /// Bernoulli over the act_rng_ plane) inline per lane; kVirtual lanes
+  /// call the policy into a byte scratch and transpose.
+  void fill_mask_words();
+  /// ASYNC: moving = advancing AND (phase == Move), as word planes.
+  void fill_moving_words();
+  /// Lane `lane`'s column of a mask word plane as a 0/1 byte mask (the
+  /// virtual-adversary path still speaks ActivationMask).
+  void extract_lane_mask(const std::uint64_t* plane, std::uint32_t lane,
+                         ActivationMask& out) const;
+  [[nodiscard]] bool mask_bit(const std::uint64_t* plane, std::uint32_t robot,
+                              std::uint32_t lane) const {
+    return (plane[std::size_t{robot} * lane_words_ + (lane >> 6)] >>
+            (lane & 63)) &
+           1ULL;
+  }
 
   /// Recompute the multiplicity byte plane and per-lane tower flags from
   /// the node planes (replica-wide compares, or the stamp path for small
@@ -176,6 +223,8 @@ class BatchEngine {
   /// which recompute_multiplicity owns).
   void observe_boundary(Time t);
   /// Refresh a lane's gamma mirror from the planes (dirs + positions).
+  /// Mirrors are lazy: only lanes whose adversary / policy sees gamma
+  /// carry one, everything else is skipped.
   void update_mirrors();
   /// Per-lane end-of-round bookkeeping: tower stats, round counters.
   void finish_round();
@@ -211,7 +260,12 @@ class BatchEngine {
   std::vector<std::unique_ptr<SsyncAdversary>> ssync_advs_;  // SSYNC/ASYNC
   std::vector<std::unique_ptr<ActivationPolicy>> activations_;
   std::vector<std::unique_ptr<PhaseScheduler>> phase_schedulers_;
-  std::vector<const EdgeSchedule*> schedules_;  // FSYNC oblivious fast path
+  /// Non-null iff the lane's edge sets are a pure function of time (FSYNC
+  /// oblivious adversary, or an SSYNC/ASYNC adversary exposing
+  /// oblivious_schedule()): the lane's plane row is filled straight from
+  /// the schedule, no EdgeSet, no mirror.
+  std::vector<const EdgeSchedule*> schedules_;
+  /// Lazy gamma mirrors: null for lanes nothing looks at.
   std::vector<std::unique_ptr<Configuration>> mirrors_;
   std::vector<Time> horizons_;
 
@@ -229,7 +283,6 @@ class BatchEngine {
   std::vector<Xoshiro256> krng_;
   std::vector<std::uint64_t> kcounter_;
   std::vector<std::uint8_t> khas_moved_;
-  std::vector<std::uint8_t> phases_;   // ASYNC: Phase byte plane
   std::vector<View> pending_views_;    // ASYNC: Look snapshots
 
   /// Visit bookkeeping of one (lane, node): one cache access per robot per
@@ -242,19 +295,76 @@ class BatchEngine {
   // Per-(lane, node) cells, lane-major rows of length nodes_.
   std::vector<VisitCell> visits_;
 
-  // Per-lane round state.
-  std::vector<EdgeSet> edges_;
-  std::vector<const std::uint64_t*> edge_words_;
+  // The edge-word plane: E_t of lane l is the row of edge_words_per_row_
+  // words at l * edge_words_per_row_ (EdgeSet::words() bit layout).
+  // Schedule-backed lanes are filled in place by edges_into_words;
+  // mirror-path lanes fill their per-lane EdgeSet scratch (edges_) through
+  // the virtual adversary and copy the words over (a few words per round,
+  // dwarfed by the adversary itself).
+  std::uint32_t edge_words_per_row_ = 0;
+  std::vector<std::uint64_t> edge_plane_;
+  std::vector<EdgeSet> edges_;            // mirror-path scratch only
   std::vector<std::uint8_t> refill_;      // 0 = time-invariant, filled once
   std::vector<std::uint8_t> edges_full_;  // E_t is the full set
-  std::vector<ActivationMask> masks_;     // SSYNC activation / ASYNC advance
-  std::vector<ActivationMask> moving_;    // ASYNC Move phases firing
   std::vector<std::uint64_t> moves_;      // per-lane move counter (hot)
   std::vector<std::uint8_t> tower_flag_;  // some node holds >= 2 robots
   std::vector<std::uint8_t> prev_had_tower_;
   std::vector<Time> max_closed_gap_;
   std::vector<EngineStats> stats_;
-  std::vector<Phase> phase_scratch_;  // per-lane vector for PhaseScheduler
+
+  // SSYNC activation / ASYNC advance masks as robot-major WORD planes:
+  // bit l of word (robot * lane_words_ + l / 64) = "robot acts in lane l".
+  // Regenerated every round before use (never swapped on compaction).
+  std::uint32_t lane_words_ = 0;
+  std::vector<std::uint64_t> mask_words_;
+  /// ASYNC: advancing AND in-Move-phase (mask_words_ & move_words_, one
+  /// word AND per robot-word) — what the edge adversary and the Move pass
+  /// see.  Snapshotted before the tick's phase transitions.
+  std::vector<std::uint64_t> moving_words_;
+  ActivationMask mask_scratch_;              // byte mask for virtual lanes
+
+  // The devirtualized activation state (SSYNC policies / ASYNC phase
+  // schedulers share ActivationBatchKind): per-lane kind, Bernoulli p and
+  // the per-replica RNG plane seeded from each policy's own stream.
+  std::vector<std::uint8_t> act_kind_;
+  std::vector<double> act_p_;
+  std::vector<Xoshiro256> act_rng_;
+
+  // ASYNC phase machines as ONE-HOT word planes (same geometry as
+  // mask_words_): a robot's phase is which plane holds its lane bit.
+  // Membership tests are word ANDs against the advancing mask and the
+  // L->C->C->M->M->L transitions are word ops on the matched bits — no
+  // per-robot phase bytes, no data-dependent branches in the tick pass.
+  std::vector<std::uint64_t> look_words_;
+  std::vector<std::uint64_t> compute_words_;
+  std::vector<std::uint64_t> move_words_;
+
+  std::vector<Phase> phase_scratch_;  // per-lane vector for kVirtual lanes
+
+  // SSYNC/ASYNC: per-lane occupancy rows (lane-major, like visits_) and a
+  // per-lane towered-node counter, updated incrementally from the moves —
+  // when only the activated subset moves, sparse counter updates beat
+  // FSYNC's full multiplicity recompute, and the tower flag is just
+  // multi_nodes_[lane] != 0.  FSYNC keeps the recompute (every robot moves
+  // every round, and the row compares vectorize).  The SSYNC pass stays
+  // fused by logging its moves (Looks must read round-start occupancy)
+  // and replaying the log after the pass.
+  std::vector<std::uint32_t> occ_;          // [lane * nodes_ + node]
+  std::vector<std::uint32_t> multi_nodes_;  // nodes holding >= 2 robots
+  struct PendingMove {
+    std::uint32_t lane;
+    NodeId from;
+    NodeId to;
+  };
+  // Per-round scratch, presized to robots_ * batch_ (the maximum moves of
+  // one round); the passes append through a raw cursor — no capacity
+  // checks or size bookkeeping in the hot loop.
+  std::vector<PendingMove> move_log_;
+  std::size_t move_log_count_ = 0;
+  /// False once every live lane's edge row is filled for good (all
+  /// schedule-backed, all time-invariant): the per-round edge prologue is
+  /// skipped entirely.  Monotone under lane retirement.
+  bool edge_refill_needed_ = true;
 
   // Multiplicity scratch.  The compare path accumulates per-robot node
   // occurrence counts in u32 rows (mult_scratch_); the stamp path — used

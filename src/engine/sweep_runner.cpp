@@ -399,7 +399,9 @@ std::string SweepResult::to_shard_json() const {
 }
 
 std::optional<std::string> merge_sweep_shards(
-    const std::vector<std::string>& shard_jsons, std::string* error) {
+    const std::vector<std::string>& shard_jsons, std::string* error,
+    std::vector<std::uint32_t>* missing_shards) {
+  if (missing_shards != nullptr) missing_shards->clear();
   const auto fail = [error](const std::string& message) {
     if (error != nullptr) *error = message;
     return std::nullopt;
@@ -453,9 +455,36 @@ std::optional<std::string> merge_sweep_shards(
   const std::uint32_t expected_count = shards.front().count;
   const std::uint64_t expected_total = shards.front().total_cells;
   const std::string& expected_spec = shards.front().spec_json;
+
+  // Which indices of the partition the given files cover — the complement
+  // is the exact retry list for a shard launcher, reported by index both
+  // in the message and through `missing_shards`.
+  std::vector<std::uint8_t> covered(expected_count, 0);
+  for (const Shard& shard : shards) {
+    if (shard.index < expected_count) covered[shard.index] = 1;
+  }
+  std::vector<std::uint32_t> missing;
+  std::string missing_list;
+  for (std::uint32_t i = 0; i < expected_count; ++i) {
+    if (covered[i]) continue;
+    missing.push_back(i);
+    if (!missing_list.empty()) missing_list += ", ";
+    missing_list += std::to_string(i);
+  }
+  const auto fail_missing = [&](const std::string& message) {
+    if (missing_shards != nullptr) *missing_shards = missing;
+    return fail(missing.empty()
+                    ? message
+                    : message + " (missing shard" +
+                          (missing.size() == 1 ? "" : "s") + " " +
+                          missing_list + " of " +
+                          std::to_string(expected_count) + ")");
+  };
+
   if (shards.size() != expected_count) {
-    return fail("need all " + std::to_string(expected_count) +
-                " shards to merge, got " + std::to_string(shards.size()));
+    return fail_missing("need all " + std::to_string(expected_count) +
+                        " shards to merge, got " +
+                        std::to_string(shards.size()));
   }
   std::sort(shards.begin(), shards.end(),
             [](const Shard& a, const Shard& b) { return a.index < b.index; });
@@ -471,8 +500,9 @@ std::optional<std::string> merge_sweep_shards(
                   "total_cells mismatch)");
     }
     if (shard.index != i) {
-      return fail("missing or duplicate shard " + std::to_string(i) +
-                  " (have shard " + std::to_string(shard.index) + " twice?)");
+      return fail_missing("missing or duplicate shard " + std::to_string(i) +
+                          " (have shard " + std::to_string(shard.index) +
+                          " twice?)");
     }
     if (shard.first_cell != merged.cells.size()) {
       return fail("shard " + std::to_string(shard.index) +

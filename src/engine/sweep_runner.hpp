@@ -123,8 +123,15 @@ struct SweepResult {
 /// any order) into the unsharded to_json() document — byte-identical to
 /// running the whole spec in one process.  Returns nullopt (with an
 /// actionable message) on missing/duplicate/inconsistent shards.
+///
+/// When `missing_shards` is non-null it receives the indices of the
+/// partition (0..shard_count-1, taken from the given shards' envelopes)
+/// that no given file covers — the retry list a shard launcher needs to
+/// re-run exactly the lost work (pef_sweep --merge surfaces it as the
+/// "missing_shards" JSON field).  Cleared on success.
 [[nodiscard]] std::optional<std::string> merge_sweep_shards(
-    const std::vector<std::string>& shard_jsons, std::string* error);
+    const std::vector<std::string>& shard_jsons, std::string* error,
+    std::vector<std::uint32_t>* missing_shards = nullptr);
 
 /// The per-cell stream seed: mixes the grid seed entry with every coordinate
 /// index so distinct cells never share an RNG stream, and a cell's stream is

@@ -56,6 +56,12 @@ class PhaseScheduler {
   virtual void advance(Time t, const Configuration& gamma,
                        const std::vector<Phase>& phases,
                        ActivationMask& mask) = 0;
+  /// Which batched kernel reproduces this scheduler (see ActivationBatchKind
+  /// in scheduler/ssync.hpp — the standard schedulers never read `phases`
+  /// or `gamma`, so the SSYNC kernels apply unchanged).
+  [[nodiscard]] virtual ActivationBatchKind batch_kind() const {
+    return ActivationBatchKind::kVirtual;
+  }
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
@@ -65,6 +71,9 @@ class LockstepPhases final : public PhaseScheduler {
   void advance(Time, const Configuration& gamma, const std::vector<Phase>&,
                ActivationMask& mask) override {
     mask.assign(gamma.robot_count(), 1);
+  }
+  [[nodiscard]] ActivationBatchKind batch_kind() const override {
+    return ActivationBatchKind::kFull;
   }
   [[nodiscard]] std::string name() const override { return "lockstep"; }
 };
@@ -76,6 +85,9 @@ class RoundRobinPhases final : public PhaseScheduler {
                ActivationMask& mask) override {
     mask.assign(gamma.robot_count(), 0);
     mask[static_cast<std::size_t>(t % gamma.robot_count())] = 1;
+  }
+  [[nodiscard]] ActivationBatchKind batch_kind() const override {
+    return ActivationBatchKind::kRoundRobin;
   }
   [[nodiscard]] std::string name() const override { return "round-robin"; }
 };
@@ -94,6 +106,12 @@ class BernoulliPhases final : public PhaseScheduler {
     }
     if (!any) mask[rng_.next_below(mask.size())] = 1;
   }
+  [[nodiscard]] ActivationBatchKind batch_kind() const override {
+    return ActivationBatchKind::kBernoulli;
+  }
+  /// Batched-kernel inputs, as on BernoulliActivation.
+  [[nodiscard]] double p() const { return p_; }
+  [[nodiscard]] const Xoshiro256& rng() const { return rng_; }
   [[nodiscard]] std::string name() const override { return "bernoulli"; }
 
  private:

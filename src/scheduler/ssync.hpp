@@ -37,6 +37,20 @@ namespace pef {
 /// it in place every round, and byte loads keep the hot loop branch-free.
 using ActivationMask = std::vector<std::uint8_t>;
 
+/// How a policy's selection can be reproduced by a batched engine without
+/// calling the virtual activate()/advance() per replica per round.  The
+/// common policies are pure functions of (t, robot count) or of a private
+/// RNG stream, so BatchEngine regenerates their masks with enum-dispatched
+/// kernels over all replicas at once (bit-identical: same draw order, same
+/// forced-nonempty fallback).  kVirtual keeps the virtual path — exotic
+/// policies stay correct, just off the fast plane.
+enum class ActivationBatchKind : std::uint8_t {
+  kVirtual = 0,   // no batched equivalent; call the virtual method per lane
+  kFull,          // every robot, every round
+  kRoundRobin,    // robot t mod k
+  kBernoulli,     // iid per-robot draws from a seeded stream (see p()/rng())
+};
+
 /// Chooses which robots are activated each round.  Must be fair (every robot
 /// activated infinitely often) to be a legal SSYNC scheduler.
 class ActivationPolicy {
@@ -47,6 +61,10 @@ class ActivationPolicy {
   /// callers reuse one buffer across rounds — no per-round allocation.
   virtual void activate(Time t, const Configuration& gamma,
                         ActivationMask& mask) = 0;
+  /// Which batched kernel reproduces this policy (kVirtual = none).
+  [[nodiscard]] virtual ActivationBatchKind batch_kind() const {
+    return ActivationBatchKind::kVirtual;
+  }
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
@@ -57,6 +75,9 @@ class RoundRobinActivation final : public ActivationPolicy {
                 ActivationMask& mask) override {
     mask.assign(gamma.robot_count(), 0);
     mask[static_cast<std::size_t>(t % gamma.robot_count())] = 1;
+  }
+  [[nodiscard]] ActivationBatchKind batch_kind() const override {
+    return ActivationBatchKind::kRoundRobin;
   }
   [[nodiscard]] std::string name() const override { return "round-robin"; }
 };
@@ -69,6 +90,9 @@ class FullActivation final : public ActivationPolicy {
                 ActivationMask& mask) override {
     mask.assign(gamma.robot_count(), 1);
   }
+  [[nodiscard]] ActivationBatchKind batch_kind() const override {
+    return ActivationBatchKind::kFull;
+  }
   [[nodiscard]] std::string name() const override { return "full"; }
 };
 
@@ -79,6 +103,14 @@ class BernoulliActivation final : public ActivationPolicy {
   BernoulliActivation(double p, std::uint64_t seed) : p_(p), rng_(seed) {}
   void activate(Time, const Configuration& gamma,
                 ActivationMask& mask) override;
+  [[nodiscard]] ActivationBatchKind batch_kind() const override {
+    return ActivationBatchKind::kBernoulli;
+  }
+  /// The batched kernel's inputs: BatchEngine seeds its per-replica RNG
+  /// plane from a copy of rng() (taken before any activate() call), so the
+  /// batched draws replay this policy's stream bit-for-bit.
+  [[nodiscard]] double p() const { return p_; }
+  [[nodiscard]] const Xoshiro256& rng() const { return rng_; }
   [[nodiscard]] std::string name() const override { return "bernoulli"; }
 
  private:
@@ -111,6 +143,14 @@ class SsyncAdversary {
                                  const ActivationMask& activated,
                                  EdgeSet& out) {
     out = choose_edges(t, gamma, activated);
+  }
+  /// Non-null iff this adversary is a pure function of time (it reads
+  /// neither gamma nor the activation mask): the wrapped oblivious
+  /// schedule.  BatchEngine uses it to route a replica's edge sets through
+  /// the schedule's word-plane filler and to skip that replica's
+  /// Configuration mirror entirely.  Conservative default: nullptr.
+  [[nodiscard]] virtual const EdgeSchedule* oblivious_schedule() const {
+    return nullptr;
   }
   [[nodiscard]] virtual std::string name() const = 0;
 };
@@ -150,6 +190,9 @@ class SsyncObliviousAdversary final : public SsyncAdversary {
                          EdgeSet& out) override {
     schedule_->edges_into(t, out);
   }
+  [[nodiscard]] const EdgeSchedule* oblivious_schedule() const override {
+    return schedule_.get();
+  }
   [[nodiscard]] std::string name() const override {
     return schedule_->name();
   }
@@ -187,6 +230,9 @@ class SsyncFromFsyncAdversary final : public SsyncAdversary {
     } else {
       out = inner_->choose_edges(t, gamma);
     }
+  }
+  [[nodiscard]] const EdgeSchedule* oblivious_schedule() const override {
+    return schedule_;
   }
   [[nodiscard]] std::string name() const override { return inner_->name(); }
 

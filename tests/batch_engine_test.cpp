@@ -15,6 +15,7 @@
 #include "algorithms/registry.hpp"
 #include "common/rng.hpp"
 #include "core/experiment.hpp"
+#include "core/spec.hpp"
 #include "dynamic_graph/schedules.hpp"
 #include "scheduler/simulator.hpp"
 
@@ -313,6 +314,94 @@ TEST(BatchEngineAsyncTest, MatchesSoloEnginesAcrossRegistryAndScenarios) {
                           traced_engine_options());
           },
           ExecutionModel::kAsync);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The batched round prologue, pinned through the standard wiring: every
+// registry kernel x {SSYNC(activation_p in {0.3, 1.0}), ASYNC} x batchable
+// AND non-batchable registry adversary kinds x 10 ragged-horizon seeds must
+// be trace-bit-identical to solo Engines.  This is the differential pin of
+// the mask/edge word planes: the devirtualized Bernoulli activation kernels
+// (p=0.3 sparse masks, p=1.0 full masks including the forced-nonempty
+// fallback path), the schedule-filled edge rows of the batchable kinds (no
+// Configuration mirror at all) and the lazily-mirrored virtual path of the
+// adaptive kinds all feed the same word-plane passes.
+
+struct ModelCase {
+  const char* name;
+  ExecutionModel model;
+  double activation_p;
+};
+
+std::vector<ModelCase> model_cases() {
+  return {{"ssync-p0.3", ExecutionModel::kSsync, 0.3},
+          {"ssync-p1.0", ExecutionModel::kSsync, 1.0},
+          {"async-p0.5", ExecutionModel::kAsync, 0.5}};
+}
+
+/// Two batchable (plane-filled, mirror-free) and two non-batchable
+/// (adaptive, mirror-path) registry kinds; the registry's `batchable`
+/// capability flag is asserted so the matrix stays honest if the registry
+/// evolves.
+std::vector<AdversaryConfig> registry_adversary_matrix() {
+  // (cage/proof stay out: the staged lower-bound adversaries require the
+  // robots to start inside their window, which random placements violate.)
+  const std::vector<std::pair<AdversaryConfig, bool>> picks = {
+      {adversary_config(AdversaryKind::kBernoulli, {{"p", 0.5}}), true},
+      {adversary_config(AdversaryKind::kMarkov), true},
+      {adversary_config(AdversaryKind::kGreedyBlocker), false},
+      {adversary_config(AdversaryKind::kAdaptiveMissing), false},
+  };
+  std::vector<AdversaryConfig> configs;
+  for (const auto& [config, expect_batchable] : picks) {
+    EXPECT_EQ(adversary_kind_info(config.kind).batchable, expect_batchable)
+        << adversary_kind_info(config.kind).name;
+    configs.push_back(config);
+  }
+  return configs;
+}
+
+TEST(BatchEngineModelMatrixTest, RegistryKernelsAcrossModelsAndAdversaries) {
+  const Ring ring(kNodes);
+  for (const std::string& algorithm : algorithm_names()) {
+    for (const ModelCase& mc : model_cases()) {
+      for (const AdversaryConfig& config : registry_adversary_matrix()) {
+        run_differential(
+            algorithm + " vs " + adversary_display_name(config) + " under " +
+                mc.name,
+            [&](std::uint32_t b) {
+              const std::uint64_t seed = b + 1;
+              BatchReplica replica;
+              replica.algorithm = make_algorithm(algorithm, seed);
+              replica.placements = random_placements(ring, kRobots, seed);
+              replica.horizon = horizon_of(b);
+              wire_standard_replica(
+                  replica, mc.model,
+                  adversary_from_config(config, ring, seed, kRobots),
+                  mc.activation_p, seed);
+              return replica;
+            },
+            [&](std::uint32_t b) {
+              const std::uint64_t seed = b + 1;
+              auto adversary = std::make_unique<SsyncFromFsyncAdversary>(
+                  adversary_from_config(config, ring, seed, kRobots));
+              if (mc.model == ExecutionModel::kSsync) {
+                return Engine(ring, make_algorithm(algorithm, seed),
+                              std::move(adversary),
+                              standard_ssync_activation(mc.activation_p, seed),
+                              random_placements(ring, kRobots, seed),
+                              traced_engine_options());
+              }
+              return Engine(ring, make_algorithm(algorithm, seed),
+                            std::move(adversary),
+                            standard_async_phases(mc.activation_p, seed),
+                            random_placements(ring, kRobots, seed),
+                            traced_engine_options());
+            },
+            mc.model);
+      }
     }
   }
 }

@@ -3,6 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
+#include "dynamic_graph/markov_schedule.hpp"
+
 namespace pef {
 namespace {
 
@@ -190,6 +195,48 @@ TEST(SurgeryScheduleTest, InfiniteRemoval) {
   EXPECT_TRUE(s.edges_at(6).contains(3));
   EXPECT_FALSE(s.edges_at(7).contains(3));
   EXPECT_FALSE(s.edges_at(100000).contains(3));
+}
+
+// ---------------------------------------------------------------------------
+// The word-row plane fillers: edges_into_words must agree bit-for-bit with
+// edges_at / edges_into for EVERY family (BatchEngine fills its edge plane
+// through them and skips the EdgeSet path entirely), including the default
+// fallback (Recorded/Surgery), tail-masked rings (n not a multiple of 64)
+// and multi-word rings (n > 64).
+
+TEST(ScheduleWordsTest, EdgesIntoWordsMatchesEdgesAtForEveryFamily) {
+  for (const std::uint32_t n : {9u, 70u, 130u}) {
+    const Ring ring(n);
+    std::vector<SchedulePtr> schedules = {
+        std::make_shared<StaticSchedule>(ring),
+        std::make_shared<BernoulliSchedule>(ring, 0.4, 7),
+        std::make_shared<PeriodicSchedule>(
+            PeriodicSchedule::rotating(ring, 5, 3)),
+        std::make_shared<TIntervalConnectedSchedule>(ring, 4, 11),
+        std::make_shared<BoundedAbsenceSchedule>(ring, 3, 5, 13),
+        std::make_shared<EventualMissingEdgeSchedule>(
+            std::make_shared<BernoulliSchedule>(ring, 0.8, 3),
+            static_cast<EdgeId>(n / 2), 6),
+        std::make_shared<MarkovSchedule>(ring, 0.2, 0.4, 17),
+        // Default-implementation fallback (no override).
+        std::make_shared<SurgerySchedule>(
+            std::make_shared<StaticSchedule>(ring),
+            std::vector<Removal>{{1, 2, 9}}),
+    };
+    for (const SchedulePtr& schedule : schedules) {
+      SCOPED_TRACE("n=" + std::to_string(n) + " " + schedule->name());
+      std::vector<std::uint64_t> row(edge_word_count(n), ~0ULL);
+      for (Time t = 0; t < 40; ++t) {
+        schedule->edges_into_words(t, row.data());
+        EdgeSet from_words(n);
+        from_words.assign_words(row.data());
+        EXPECT_EQ(from_words, schedule->edges_at(t)) << "t=" << t;
+        // Tail bits must stay clear so full()/word compares stay valid.
+        EXPECT_TRUE(edge_words_full(row.data(), n) ==
+                    schedule->edges_at(t).full());
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -124,6 +124,42 @@ TEST(SweepShardTest, MergeRejectsBrokenPartitions) {
   EXPECT_FALSE(merge_sweep_shards({"{not json", shard1}, &error).has_value());
 }
 
+TEST(SweepShardTest, MergeReportsMissingShardsByIndex) {
+  // The failure report a shard launcher retries from: the merge names the
+  // missing partition indices (pef_sweep --merge surfaces them as the
+  // "missing_shards" JSON field with a non-zero exit).
+  const SweepSpec spec = golden_spec();
+  const SweepRunner runner(1);
+  const std::string shard0 = runner.run(spec, {0, 3}).to_shard_json();
+  const std::string shard1 = runner.run(spec, {1, 3}).to_shard_json();
+  const std::string shard2 = runner.run(spec, {2, 3}).to_shard_json();
+
+  std::string error;
+  std::vector<std::uint32_t> missing;
+  EXPECT_FALSE(
+      merge_sweep_shards({shard0, shard2}, &error, &missing).has_value());
+  EXPECT_EQ(missing, (std::vector<std::uint32_t>{1}));
+  EXPECT_NE(error.find("missing shard 1 of 3"), std::string::npos) << error;
+
+  EXPECT_FALSE(merge_sweep_shards({shard2}, &error, &missing).has_value());
+  EXPECT_EQ(missing, (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_NE(error.find("missing shards 0, 1 of 3"), std::string::npos)
+      << error;
+
+  // A duplicate covers one index twice and leaves another uncovered.
+  EXPECT_FALSE(merge_sweep_shards({shard0, shard0, shard2}, &error, &missing)
+                   .has_value());
+  EXPECT_EQ(missing, (std::vector<std::uint32_t>{1}));
+
+  // Success clears the list.
+  missing = {99};
+  const auto merged =
+      merge_sweep_shards({shard0, shard1, shard2}, &error, &missing);
+  ASSERT_TRUE(merged.has_value()) << error;
+  EXPECT_TRUE(missing.empty());
+  EXPECT_EQ(*merged, golden_json());
+}
+
 TEST(SweepShardTest, ShardCellsMatchTheFullRunSlice) {
   // Beyond bytes: each shard's cells are exactly the full run's slice.
   const SweepSpec spec = golden_spec();

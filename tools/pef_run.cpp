@@ -272,11 +272,7 @@ int main(int argc, char** argv) {
               << algorithm << " adversary=" << adversary_name
               << " horizon=" << horizon << " model=" << to_string(*model)
               << " batch=" << batch << " seeds=[" << seed << ", "
-              << seed + batch - 1 << "]\n"
-              << "aggregate: "
-              << static_cast<std::uint64_t>(
-                     static_cast<double>(horizon) * batch / secs)
-              << " replica-rounds/sec (" << secs << " s)\n\n";
+              << seed + batch - 1 << "]\n\n";
 
     TextTable table({"seed", "visited", "cover time", "perpetual",
                      "max revisit gap", "moves", "tower rounds"});
@@ -297,6 +293,15 @@ int main(int argc, char** argv) {
                      std::to_string(stats.tower_rounds)});
     }
     table.print(std::cout);
+    // Per-model aggregate throughput: SSYNC counts rounds and ASYNC ticks,
+    // so the model tag keeps cross-model batches comparable at a glance.
+    std::cout << "\naggregate [" << to_string(*model) << "]: "
+              << static_cast<std::uint64_t>(
+                     static_cast<double>(horizon) * batch / secs)
+              << " replica-" << (*model == ExecutionModel::kAsync
+                                     ? "ticks"
+                                     : "rounds")
+              << "/sec over B=" << batch << " (" << secs << " s)\n";
     return all_perpetual ? 0 : 1;
   }
 

@@ -41,7 +41,10 @@ void print_help(const char* program) {
       << "                   file; N shard files --merge into exactly the\n"
       << "                   unsharded output\n"
       << "  --merge LIST     comma-separated shard files to stitch into\n"
-      << "                   the canonical sweep JSON (any order)\n"
+      << "                   the canonical sweep JSON (any order); on\n"
+      << "                   missing/unreadable shards, exits non-zero and\n"
+      << "                   writes a {\"merge_failed\", \"missing_shards\"}\n"
+      << "                   report naming the shard indices to re-run\n"
       << "  --out FILE       write the JSON here instead of stdout\n"
       << "  --threads T      worker threads (default: hardware)\n"
       << "  --validate       parse + validate the spec, print the resolved\n"
@@ -128,18 +131,63 @@ int main(int argc, char** argv) {
     }
     const std::vector<std::string> paths = split_commas(merge_list);
     std::vector<std::string> shard_jsons;
+    std::vector<std::string> unreadable;
     for (const std::string& path : paths) {
       std::string content;
       if (!read_file(path, content)) {
-        std::cerr << "cannot open shard file " << path << "\n";
-        return 2;
+        // A lost shard file is the normal failure mode of a multi-machine
+        // sweep: keep going with what is readable so the merge can report
+        // exactly which shard INDICES need re-running.
+        unreadable.push_back(path);
+        continue;
       }
       shard_jsons.push_back(std::move(content));
     }
     std::string error;
-    const auto merged = merge_sweep_shards(shard_jsons, &error);
-    if (!merged) {
-      std::cerr << "merge failed: " << error << "\n";
+    std::vector<std::uint32_t> missing;
+    const auto merged = shard_jsons.empty()
+                            ? std::nullopt
+                            : merge_sweep_shards(shard_jsons, &error, &missing);
+    if (shard_jsons.empty()) {
+      // Without a single readable shard envelope the partition size N is
+      // unknown, so no index list can be produced — say so explicitly
+      // instead of shipping an empty missing_shards that reads as "nothing
+      // to re-run".
+      error =
+          "no readable shard files (shard count unknown — re-run every "
+          "shard of the partition)";
+    }
+    if (!merged || !unreadable.empty()) {
+      // Structured failure report instead of a bare error: the
+      // missing_shards indices are the exact `--shard I/N` re-runs a
+      // launcher needs to repair the sweep (ROADMAP: shard-retry
+      // bookkeeping).
+      JsonWriter json;
+      json.begin_object();
+      json.field("merge_failed", true);
+      json.field("error", error.empty() ? "unreadable shard files" : error);
+      json.begin_array("missing_shards");
+      for (const std::uint32_t index : missing) {
+        json.element(static_cast<std::uint64_t>(index));
+      }
+      json.end_array();
+      json.begin_array("unreadable_files");
+      for (const std::string& path : unreadable) json.element(path);
+      json.end_array();
+      json.end_object();
+      std::cerr << "merge failed: "
+                << (error.empty() ? "unreadable shard files" : error) << "\n";
+      for (const std::string& path : unreadable) {
+        std::cerr << "  unreadable: " << path << "\n";
+      }
+      if (!missing.empty()) {
+        std::cerr << "  re-run with --shard I/N for I in {";
+        for (std::size_t i = 0; i < missing.size(); ++i) {
+          std::cerr << (i == 0 ? "" : ", ") << missing[i];
+        }
+        std::cerr << "}\n";
+      }
+      emit(json.str(), out_path);
       return 1;
     }
     std::cerr << "merged " << paths.size() << " shards\n";
