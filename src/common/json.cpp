@@ -110,6 +110,11 @@ void JsonWriter::element(std::uint64_t value) {
   out_ += std::to_string(value);
 }
 
+void JsonWriter::element_null() {
+  comma();
+  out_ += "null";
+}
+
 bool JsonWriter::write_file(const std::string& path) const {
   std::ofstream file(path);
   if (!file.is_open()) return false;

@@ -49,6 +49,8 @@ class JsonWriter {
   void element(const std::string& value);
   void element(double value);
   void element(std::uint64_t value);
+  /// null element (e.g. a missing cell in a partial shard merge).
+  void element_null();
 
   [[nodiscard]] const std::string& str() const { return out_; }
 

@@ -398,31 +398,48 @@ std::string SweepResult::to_shard_json() const {
   return json.str();
 }
 
-std::optional<std::string> merge_sweep_shards(
-    const std::vector<std::string>& shard_jsons, std::string* error,
-    std::vector<std::uint32_t>* missing_shards) {
-  if (missing_shards != nullptr) missing_shards->clear();
+namespace {
+
+/// One parsed + envelope-checked shard file, tagged with the name used in
+/// error messages (the caller's file path when given).
+struct ParsedShard {
+  std::string name;
+  std::string spec_json;
+  std::uint32_t index = 0;
+  std::uint32_t count = 0;
+  std::uint64_t first_cell = 0;
+  std::uint64_t total_cells = 0;
+  std::vector<SweepCell> cells;
+};
+
+/// Parse every shard document and validate the partition is coherent:
+/// consistent envelopes, no duplicate indices, no out-of-range indices,
+/// every slice exactly where the partition formula puts it.  Missing
+/// shards are NOT an error here — they land in `missing` (sorted) for the
+/// caller to treat as fatal (strict merge) or degrade on (partial merge).
+/// On success `shards` comes back sorted by shard index.
+bool parse_shard_partition(const std::vector<std::string>& shard_jsons,
+                           const std::vector<std::string>* shard_names,
+                           std::vector<ParsedShard>& shards,
+                           std::vector<std::uint32_t>& missing,
+                           std::string* error) {
   const auto fail = [error](const std::string& message) {
     if (error != nullptr) *error = message;
-    return std::nullopt;
+    return false;
   };
-
-  struct Shard {
-    std::string spec_json;
-    std::uint32_t index = 0;
-    std::uint32_t count = 0;
-    std::uint64_t first_cell = 0;
-    std::uint64_t total_cells = 0;
-    std::vector<SweepCell> cells;
+  const auto name_of = [shard_names](std::size_t i) {
+    return shard_names != nullptr && i < shard_names->size()
+               ? (*shard_names)[i]
+               : "shard file " + std::to_string(i);
   };
-  std::vector<Shard> shards;
 
   for (std::size_t i = 0; i < shard_jsons.size(); ++i) {
-    const std::string where = "shard file " + std::to_string(i);
+    const std::string where = name_of(i);
     std::string parse_error;
     const auto document = parse_json(shard_jsons[i], &parse_error);
     if (!document) return fail(where + ": " + parse_error);
-    Shard shard;
+    ParsedShard shard;
+    shard.name = where;
     const JsonValue* spec = document->find("spec");
     const JsonValue* index = document->find("shard_index");
     const JsonValue* count = document->find("shard_count");
@@ -455,69 +472,151 @@ std::optional<std::string> merge_sweep_shards(
   const std::uint32_t expected_count = shards.front().count;
   const std::uint64_t expected_total = shards.front().total_cells;
   const std::string& expected_spec = shards.front().spec_json;
-
-  // Which indices of the partition the given files cover — the complement
-  // is the exact retry list for a shard launcher, reported by index both
-  // in the message and through `missing_shards`.
-  std::vector<std::uint8_t> covered(expected_count, 0);
-  for (const Shard& shard : shards) {
-    if (shard.index < expected_count) covered[shard.index] = 1;
+  if (expected_count == 0) {
+    return fail(shards.front().name + ": shard_count 0 is not a partition");
   }
-  std::vector<std::uint32_t> missing;
-  std::string missing_list;
+
+  // Envelope consistency and duplicates, with the offending FILES named —
+  // "shard 3 is broken" is useless when five machines each produced a
+  // shard3.json.
+  std::vector<std::string> covered_by(expected_count);
+  for (const ParsedShard& shard : shards) {
+    if (shard.spec_json != expected_spec) {
+      return fail(shard.name + ": belongs to a different sweep than " +
+                  shards.front().name + " (embedded specs differ)");
+    }
+    if (shard.count != expected_count || shard.total_cells != expected_total) {
+      return fail(shard.name + ": belongs to a different partition than " +
+                  shards.front().name + " (" + std::to_string(shard.count) +
+                  " shards / " + std::to_string(shard.total_cells) +
+                  " cells vs " + std::to_string(expected_count) +
+                  " shards / " + std::to_string(expected_total) + " cells)");
+    }
+    if (shard.index >= expected_count) {
+      return fail(shard.name + ": shard index " +
+                  std::to_string(shard.index) + " out of range for a " +
+                  std::to_string(expected_count) + "-shard partition");
+    }
+    // The slice must sit exactly where run(spec, {index, count}) puts it;
+    // anything else is a corrupted or hand-edited file.
+    const std::uint64_t lo = expected_total * shard.index / expected_count;
+    const std::uint64_t hi =
+        expected_total * (shard.index + 1) / expected_count;
+    if (shard.first_cell != lo || shard.cells.size() != hi - lo) {
+      return fail(shard.name + ": shard " + std::to_string(shard.index) +
+                  " should cover cells " + std::to_string(lo) + ".." +
+                  std::to_string(hi) + " but holds " +
+                  std::to_string(shard.cells.size()) + " cells from " +
+                  std::to_string(shard.first_cell));
+    }
+    std::string& owner = covered_by[shard.index];
+    if (!owner.empty()) {
+      return fail("duplicate shard index " + std::to_string(shard.index) +
+                  ": given by both " + owner + " and " + shard.name);
+    }
+    owner = shard.name;
+  }
+
   for (std::uint32_t i = 0; i < expected_count; ++i) {
-    if (covered[i]) continue;
-    missing.push_back(i);
-    if (!missing_list.empty()) missing_list += ", ";
-    missing_list += std::to_string(i);
-  }
-  const auto fail_missing = [&](const std::string& message) {
-    if (missing_shards != nullptr) *missing_shards = missing;
-    return fail(missing.empty()
-                    ? message
-                    : message + " (missing shard" +
-                          (missing.size() == 1 ? "" : "s") + " " +
-                          missing_list + " of " +
-                          std::to_string(expected_count) + ")");
-  };
-
-  if (shards.size() != expected_count) {
-    return fail_missing("need all " + std::to_string(expected_count) +
-                        " shards to merge, got " +
-                        std::to_string(shards.size()));
+    if (covered_by[i].empty()) missing.push_back(i);
   }
   std::sort(shards.begin(), shards.end(),
-            [](const Shard& a, const Shard& b) { return a.index < b.index; });
+            [](const ParsedShard& a, const ParsedShard& b) {
+              return a.index < b.index;
+            });
+  return true;
+}
 
-  SweepResult merged;
-  merged.total_cells = expected_total;
-  for (std::uint32_t i = 0; i < shards.size(); ++i) {
-    const Shard& shard = shards[i];
-    if (shard.spec_json != expected_spec || shard.count != expected_count ||
-        shard.total_cells != expected_total) {
-      return fail("shard " + std::to_string(shard.index) +
-                  " belongs to a different sweep (spec/shard_count/"
-                  "total_cells mismatch)");
-    }
-    if (shard.index != i) {
-      return fail_missing("missing or duplicate shard " + std::to_string(i) +
-                          " (have shard " + std::to_string(shard.index) +
-                          " twice?)");
-    }
-    if (shard.first_cell != merged.cells.size()) {
-      return fail("shard " + std::to_string(shard.index) +
-                  " starts at cell " + std::to_string(shard.first_cell) +
-                  " but the previous shards end at cell " +
-                  std::to_string(merged.cells.size()));
-    }
-    merged.cells.insert(merged.cells.end(), shard.cells.begin(),
-                        shard.cells.end());
+}  // namespace
+
+std::optional<ShardMerge> merge_sweep_shards_partial(
+    const std::vector<std::string>& shard_jsons, std::string* error,
+    const std::vector<std::string>* shard_names) {
+  std::vector<ParsedShard> shards;
+  std::vector<std::uint32_t> missing;
+  if (!parse_shard_partition(shard_jsons, shard_names, shards, missing,
+                             error)) {
+    return std::nullopt;
   }
-  if (merged.cells.size() != expected_total) {
-    return fail("merged shards hold " + std::to_string(merged.cells.size()) +
-                " cells, expected " + std::to_string(expected_total));
+
+  ShardMerge merge;
+  merge.missing_shards = missing;
+  merge.complete = missing.empty();
+  if (merge.complete) {
+    SweepResult merged;
+    merged.total_cells = shards.front().total_cells;
+    for (const ParsedShard& shard : shards) {
+      merged.cells.insert(merged.cells.end(), shard.cells.begin(),
+                          shard.cells.end());
+    }
+    merge.json = merged.to_json();
+    return merge;
   }
-  return merged.to_json();
+
+  // Degraded document: the full cell list in grid order with an explicit
+  // null per missing cell — cell id == array index survives degradation,
+  // so downstream analysis can use what exists and see what doesn't.
+  const std::uint64_t total = shards.front().total_cells;
+  std::uint64_t present = 0;
+  for (const ParsedShard& shard : shards) present += shard.cells.size();
+  JsonWriter json;
+  json.begin_object();
+  json.field("partial", true);
+  json.field("cell_count", present);
+  json.field("total_cells", total);
+  json.begin_array("missing_shards");
+  for (const std::uint32_t index : missing) {
+    json.element(static_cast<std::uint64_t>(index));
+  }
+  json.end_array();
+  json.begin_array("cells");
+  std::size_t next_shard = 0;
+  std::uint64_t cell = 0;
+  while (cell < total) {
+    if (next_shard < shards.size() &&
+        shards[next_shard].first_cell == cell) {
+      for (const SweepCell& item : shards[next_shard].cells) {
+        sweep_cell_to_json(json, item);
+      }
+      cell += shards[next_shard].cells.size();
+      ++next_shard;
+    } else {
+      json.element_null();
+      ++cell;
+    }
+  }
+  json.end_array();
+  json.end_object();
+  merge.json = json.str();
+  return merge;
+}
+
+std::optional<std::string> merge_sweep_shards(
+    const std::vector<std::string>& shard_jsons, std::string* error,
+    std::vector<std::uint32_t>* missing_shards,
+    const std::vector<std::string>* shard_names) {
+  if (missing_shards != nullptr) missing_shards->clear();
+  const auto merge =
+      merge_sweep_shards_partial(shard_jsons, error, shard_names);
+  if (!merge) return std::nullopt;
+  if (!merge->complete) {
+    if (missing_shards != nullptr) *missing_shards = merge->missing_shards;
+    std::string missing_list;
+    for (const std::uint32_t index : merge->missing_shards) {
+      if (!missing_list.empty()) missing_list += ", ";
+      missing_list += std::to_string(index);
+    }
+    const std::uint32_t count = static_cast<std::uint32_t>(
+        merge->missing_shards.size() + shard_jsons.size());
+    if (error != nullptr) {
+      *error = "need all " + std::to_string(count) + " shards to merge, got " +
+               std::to_string(shard_jsons.size()) + " (missing shard" +
+               (merge->missing_shards.size() == 1 ? "" : "s") + " " +
+               missing_list + " of " + std::to_string(count) + ")";
+    }
+    return std::nullopt;
+  }
+  return merge->json;
 }
 
 SweepRunner::SweepRunner(std::uint32_t threads) : threads_(threads) {

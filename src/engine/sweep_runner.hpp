@@ -129,9 +129,40 @@ struct SweepResult {
 /// that no given file covers — the retry list a shard launcher needs to
 /// re-run exactly the lost work (pef_sweep --merge surfaces it as the
 /// "missing_shards" JSON field).  Cleared on success.
+///
+/// When `shard_names` is non-null (parallel to `shard_jsons`, e.g. file
+/// paths) error messages name the offending inputs; otherwise they say
+/// "shard file <position>".
 [[nodiscard]] std::optional<std::string> merge_sweep_shards(
     const std::vector<std::string>& shard_jsons, std::string* error,
-    std::vector<std::uint32_t>* missing_shards = nullptr);
+    std::vector<std::uint32_t>* missing_shards = nullptr,
+    const std::vector<std::string>* shard_names = nullptr);
+
+/// A merge that tolerates missing shards (pef_sweep --merge
+/// --allow-partial, and the orchestrator's graceful degradation).
+struct ShardMerge {
+  /// True when every shard of the partition was present — `json` is then
+  /// exactly the merge_sweep_shards() document.
+  bool complete = false;
+  /// Complete: the canonical unsharded document.  Partial: the documented
+  /// degraded shape —
+  ///   {"partial": true, "cell_count": P, "total_cells": T,
+  ///    "missing_shards": [..], "cells": [...]}
+  /// where "cells" has exactly T entries in grid order and every cell of a
+  /// missing shard is an explicit `null` (so cell index == array index
+  /// survives degradation), and P counts the non-null cells.
+  std::string json;
+  std::vector<std::uint32_t> missing_shards;  // empty iff complete
+};
+
+/// Like merge_sweep_shards() but missing shards degrade the output instead
+/// of failing it.  Inconsistent input is still a hard error (nullopt):
+/// duplicate shard indices, shards of different sweeps (mismatched spec),
+/// disagreeing partition envelopes, out-of-range indices, and slices that
+/// do not sit where the partition formula puts them — all named by file.
+[[nodiscard]] std::optional<ShardMerge> merge_sweep_shards_partial(
+    const std::vector<std::string>& shard_jsons, std::string* error,
+    const std::vector<std::string>* shard_names = nullptr);
 
 /// The per-cell stream seed: mixes the grid seed entry with every coordinate
 /// index so distinct cells never share an RNG stream, and a cell's stream is

@@ -1,0 +1,93 @@
+// WorkerBackend — where shard workers actually run.
+//
+// The supervisor (orchestrator/supervisor.hpp) is backend-agnostic: it
+// hands a backend fully-formed argv + extra environment for each worker
+// launch, then polls for exits and kills stragglers.  This file ships the
+// first backend, a local fork/exec process pool; the interface is shaped
+// so an ssh backend ("run argv on host X, stage the output file back") or
+// a batch-queue backend (qsub/sbatch wrappers) can slot in behind the same
+// four calls without touching the supervision logic — the TETRiS
+// client/server split applied to sweep shards.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pef {
+
+/// One worker launch: a child argv plus environment additions (fault
+/// attempt numbering etc.).  Worker stdout/stderr are appended to
+/// `log_path` when set — shard results travel through `--out` files, so
+/// the streams carry only diagnostics.
+struct WorkerLaunch {
+  std::vector<std::string> argv;  // argv[0] = binary (PATH-resolved)
+  std::vector<std::pair<std::string, std::string>> env;
+  std::string log_path;
+};
+
+/// A finished worker, as reported by poll().
+struct WorkerExit {
+  std::uint64_t token = 0;
+  /// Exit code for a normal exit; -1 when the worker died on a signal
+  /// (including a supervision kill()).
+  int exit_code = -1;
+  int term_signal = 0;  // 0 on normal exit
+};
+
+class WorkerBackend {
+ public:
+  virtual ~WorkerBackend() = default;
+
+  /// Start a worker; returns an opaque token for poll()/kill(), or nullopt
+  /// when the launch itself failed (fork failure, queue rejection).
+  [[nodiscard]] virtual std::optional<std::uint64_t> launch(
+      const WorkerLaunch& launch) = 0;
+
+  /// Non-blocking: the next finished worker, if any.  Every successful
+  /// launch() is eventually reported exactly once (killed workers
+  /// included).
+  [[nodiscard]] virtual std::optional<WorkerExit> poll() = 0;
+
+  /// Forcibly terminate a running worker (supervision timeout).  The death
+  /// still arrives through poll().
+  virtual void kill(std::uint64_t token) = 0;
+
+  /// How many workers this backend can usefully run at once.
+  [[nodiscard]] virtual std::uint32_t capacity() const = 0;
+
+  /// Currently running workers.
+  [[nodiscard]] virtual std::uint32_t running() const = 0;
+};
+
+/// The local process pool: fork/exec on this machine, SIGKILL on timeout,
+/// waitpid(WNOHANG) polling.
+class LocalProcessBackend final : public WorkerBackend {
+ public:
+  /// `capacity` == 0 picks std::thread::hardware_concurrency().
+  explicit LocalProcessBackend(std::uint32_t capacity = 0);
+  ~LocalProcessBackend() override;
+
+  [[nodiscard]] std::optional<std::uint64_t> launch(
+      const WorkerLaunch& launch) override;
+  [[nodiscard]] std::optional<WorkerExit> poll() override;
+  void kill(std::uint64_t token) override;
+  [[nodiscard]] std::uint32_t capacity() const override { return capacity_; }
+  [[nodiscard]] std::uint32_t running() const override {
+    return static_cast<std::uint32_t>(children_.size());
+  }
+
+ private:
+  struct Child {
+    std::uint64_t token = 0;
+    int pid = -1;
+  };
+
+  std::uint32_t capacity_ = 1;
+  std::uint64_t next_token_ = 1;
+  std::vector<Child> children_;
+};
+
+}  // namespace pef

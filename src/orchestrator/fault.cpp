@@ -1,0 +1,171 @@
+#include "orchestrator/fault.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.hpp"
+
+namespace pef {
+namespace {
+
+/// Split on `sep`, dropping empty pieces (so "a::b" and trailing separators
+/// are forgiven — env vars get assembled by shell scripts).
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const auto pos = text.find(sep, start);
+    const auto end = pos == std::string::npos ? text.size() : pos;
+    if (end > start) out.push_back(text.substr(start, end - start));
+    if (pos == std::string::npos) break;
+    start = pos + 1;
+  }
+  return out;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) return false;
+  out = value;
+  return true;
+}
+
+bool parse_probability(const std::string& text, double& out) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) return false;
+  if (value < 0 || value > 1) return false;
+  out = value;
+  return true;
+}
+
+std::string format_probability(double p) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%g", p);
+  return buffer;
+}
+
+}  // namespace
+
+const char* to_string(FaultAction action) {
+  switch (action) {
+    case FaultAction::kNone: return "none";
+    case FaultAction::kCrash: return "crash";
+    case FaultAction::kCorruptOutput: return "corrupt";
+    case FaultAction::kSilentCorrupt: return "flip";
+    case FaultAction::kHang: return "hang";
+  }
+  return "?";
+}
+
+FaultAction FaultSpec::decide(std::uint32_t shard_index,
+                              std::uint32_t attempt) const {
+  if (inert()) return FaultAction::kNone;
+  if (!shards.empty() &&
+      std::find(shards.begin(), shards.end(), shard_index) == shards.end()) {
+    return FaultAction::kNone;
+  }
+  // One draw decides: the same (seed, shard, attempt) always rolls the same
+  // fate, and distinct attempts roll independently — a crash=0.5 shard
+  // converges after deterministically-many retries.
+  Xoshiro256 rng(derive_seed(seed, 0xfa017, shard_index, attempt));
+  const double roll = rng.next_double();
+  if (roll < crash) return FaultAction::kCrash;
+  if (roll < crash + corrupt) return FaultAction::kCorruptOutput;
+  if (roll < crash + corrupt + flip) return FaultAction::kSilentCorrupt;
+  if (roll < crash + corrupt + flip + hang) return FaultAction::kHang;
+  return FaultAction::kNone;
+}
+
+std::optional<FaultSpec> FaultSpec::parse(const std::string& text,
+                                          std::string* error) {
+  const auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = "fault spec: " + message;
+    return std::nullopt;
+  };
+  FaultSpec spec;
+  for (const std::string& piece : split(text, ':')) {
+    const auto eq = piece.find('=');
+    if (eq == std::string::npos) {
+      return fail("expected key=value, got \"" + piece + "\"");
+    }
+    const std::string key = piece.substr(0, eq);
+    const std::string value = piece.substr(eq + 1);
+    if (key == "seed") {
+      if (!parse_u64(value, spec.seed)) {
+        return fail("bad seed \"" + value + "\"");
+      }
+    } else if (key == "crash" || key == "corrupt" || key == "flip" ||
+               key == "hang") {
+      double p = 0;
+      if (!parse_probability(value, p)) {
+        return fail("bad probability " + key + "=\"" + value +
+                    "\" (need 0..1)");
+      }
+      (key == "crash"     ? spec.crash
+       : key == "corrupt" ? spec.corrupt
+       : key == "flip"    ? spec.flip
+                          : spec.hang) = p;
+    } else if (key == "shards") {
+      for (const std::string& item : split(value, ',')) {
+        std::uint64_t index = 0;
+        if (!parse_u64(item, index) || index > 0xffffffffULL) {
+          return fail("bad shard index \"" + item + "\"");
+        }
+        spec.shards.push_back(static_cast<std::uint32_t>(index));
+      }
+    } else {
+      return fail("unknown key \"" + key +
+                  "\" (keys: seed, crash, corrupt, flip, hang, shards)");
+    }
+  }
+  if (spec.crash + spec.corrupt + spec.flip + spec.hang > 1.0) {
+    return fail("crash + corrupt + flip + hang must not exceed 1");
+  }
+  return spec;
+}
+
+std::string FaultSpec::to_string() const {
+  std::string out = "seed=" + std::to_string(seed);
+  if (crash > 0) out += ":crash=" + format_probability(crash);
+  if (corrupt > 0) out += ":corrupt=" + format_probability(corrupt);
+  if (flip > 0) out += ":flip=" + format_probability(flip);
+  if (hang > 0) out += ":hang=" + format_probability(hang);
+  if (!shards.empty()) {
+    out += ":shards=";
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      out += (i == 0 ? "" : ",") + std::to_string(shards[i]);
+    }
+  }
+  return out;
+}
+
+FaultAction fault_action_from_env(std::uint32_t shard_index) {
+  const char* text = std::getenv(kFaultSpecEnvVar);
+  if (text == nullptr || *text == '\0') return FaultAction::kNone;
+  std::string error;
+  const auto spec = FaultSpec::parse(text, &error);
+  if (!spec) {
+    // A chaos test with a typo'd spec must fail loudly, not run fault-free.
+    std::fprintf(stderr, "%s: %s\n", kFaultSpecEnvVar, error.c_str());
+    std::exit(2);
+  }
+  std::uint32_t attempt = 0;
+  if (const char* attempt_text = std::getenv(kFaultAttemptEnvVar)) {
+    std::uint64_t value = 0;
+    if (!parse_u64(attempt_text, value)) {
+      std::fprintf(stderr, "%s: bad attempt \"%s\"\n", kFaultAttemptEnvVar,
+                   attempt_text);
+      std::exit(2);
+    }
+    attempt = static_cast<std::uint32_t>(value);
+  }
+  return spec->decide(shard_index, attempt);
+}
+
+}  // namespace pef

@@ -1,0 +1,97 @@
+// Deterministic fault injection for the distributed sweep stack.
+//
+// A FaultSpec describes seeded probabilities of the three failure modes a
+// shard worker can exhibit in the wild — crash before writing its output,
+// write a truncated/corrupted output, or hang — so that every recovery path
+// in the orchestrator (retry, timeout kill, voting, partial merge) is
+// exercised deterministically in tests and CI rather than only when real
+// hardware misbehaves.
+//
+// The spec travels as the PEF_FAULT_SPEC environment variable, a
+// colon-separated key=value list parsed by the shard worker (pef_sweep):
+//
+//   PEF_FAULT_SPEC="seed=7:crash=0.4:corrupt=0.2:flip=0.1:shards=1,3"
+//
+//   seed=U      master seed of the fault stream (default 0)
+//   crash=P     probability of _exit before writing the output file
+//   corrupt=P   probability of writing a truncated output (exit code 0 —
+//               only output validation can catch it)
+//   flip=P      probability of a SILENT corruption: valid shard JSON with
+//               one metric altered (simulated bit-flip — exit 0, parses,
+//               right sweep; only an NMR vote can catch it)
+//   hang=P      probability of sleeping forever (only a supervision
+//               timeout can catch it)
+//   shards=I,J  optional filter: faults apply only to these shard indices
+//
+// The fault decision for one worker launch is a pure function of
+// (spec seed, shard index, attempt number): the orchestrator numbers every
+// launch of a shard (retries and NMR replicas alike) with a distinct
+// attempt via the PEF_FAULT_ATTEMPT environment variable, so a retried
+// shard re-rolls its fate deterministically and a given (spec, flags) pair
+// always reproduces the same fault pattern — which is what lets CI gate on
+// "the orchestrator converges through these exact faults".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pef {
+
+/// What a fault-injected worker should do this attempt.
+enum class FaultAction : std::uint8_t {
+  kNone,          // run normally
+  kCrash,         // _exit(kFaultCrashExitCode) before writing output
+  kCorruptOutput, // write a truncated output file, then exit 0
+  kSilentCorrupt, // write VALID shard JSON with one metric flipped, exit 0
+  kHang,          // sleep past any reasonable timeout
+};
+
+[[nodiscard]] const char* to_string(FaultAction action);
+
+/// Exit code of an injected crash — distinct from real pef_sweep failures
+/// (1/2) so orchestrator logs show which deaths were injected.
+inline constexpr int kFaultCrashExitCode = 117;
+
+struct FaultSpec {
+  std::uint64_t seed = 0;
+  double crash = 0;
+  double corrupt = 0;
+  double flip = 0;
+  double hang = 0;
+  /// Empty == faults apply to every shard.
+  std::vector<std::uint32_t> shards;
+
+  /// True when every probability is zero (decide() is always kNone).
+  [[nodiscard]] bool inert() const {
+    return crash <= 0 && corrupt <= 0 && flip <= 0 && hang <= 0;
+  }
+
+  /// The fate of launch `attempt` of shard `shard_index`: one uniform draw
+  /// from a stream derived from (seed, shard, attempt) lands in the
+  /// [crash | corrupt | hang | none] partition of [0, 1).
+  [[nodiscard]] FaultAction decide(std::uint32_t shard_index,
+                                   std::uint32_t attempt) const;
+
+  /// Parse the PEF_FAULT_SPEC grammar above.  Empty text parses to the
+  /// inert spec.  Unknown keys, malformed numbers and probabilities
+  /// summing past 1 are errors.
+  [[nodiscard]] static std::optional<FaultSpec> parse(const std::string& text,
+                                                      std::string* error);
+
+  /// Canonical re-serialization (for logs and the orchestrator's report).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// The shard worker's entry point: read PEF_FAULT_SPEC + PEF_FAULT_ATTEMPT
+/// from the environment and decide this process's fate.  Returns kNone when
+/// the variable is unset; aborts with a message on a malformed spec (a typo
+/// in a chaos test must never silently disable the chaos).
+[[nodiscard]] FaultAction fault_action_from_env(std::uint32_t shard_index);
+
+/// Names of the environment variables (shared by worker and orchestrator).
+inline constexpr const char* kFaultSpecEnvVar = "PEF_FAULT_SPEC";
+inline constexpr const char* kFaultAttemptEnvVar = "PEF_FAULT_ATTEMPT";
+
+}  // namespace pef

@@ -1,0 +1,160 @@
+#include "orchestrator/ledger.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/json.hpp"
+
+namespace pef {
+namespace {
+
+constexpr const char* kLedgerMagic = "pef_orchestrate_ledger_v1";
+
+std::string header_line(const Ledger::Header& header) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("ledger", kLedgerMagic);
+  json.field("spec_hash", header.spec_hash);
+  json.field("shards", header.shards);
+  json.field("replicate", header.replicate);
+  json.end_object();
+  return json.str();
+}
+
+const JsonValue* find_uint(const JsonValue& object, const char* key) {
+  const JsonValue* value = object.find(key);
+  return value != nullptr && value->is_uint ? value : nullptr;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::optional<Ledger> Ledger::open(const std::string& path,
+                                   const Header& header, std::string* error) {
+  const auto fail = [error, &path](const std::string& message) {
+    if (error != nullptr) *error = "ledger " + path + ": " + message;
+    return std::nullopt;
+  };
+
+  Ledger ledger;
+  ledger.path_ = path;
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    // Fresh ledger: create with the header line.
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    if (!out.is_open()) return fail("cannot create");
+    out << header_line(header) << "\n";
+    out.flush();
+    if (!out.good()) return fail("cannot write header");
+    return ledger;
+  }
+
+  std::string line;
+  std::size_t line_number = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::string parse_error;
+    const auto value = parse_json(line, &parse_error);
+    if (!value || !value->is_object()) {
+      return fail("line " + std::to_string(line_number) +
+                  ": not a JSON object" +
+                  (parse_error.empty() ? "" : " (" + parse_error + ")"));
+    }
+    if (!saw_header) {
+      const JsonValue* magic = value->find("ledger");
+      const JsonValue* spec_hash = find_uint(*value, "spec_hash");
+      const JsonValue* shards = find_uint(*value, "shards");
+      const JsonValue* replicate = find_uint(*value, "replicate");
+      if (magic == nullptr || !magic->is_string() ||
+          magic->string_value != kLedgerMagic || spec_hash == nullptr ||
+          shards == nullptr || replicate == nullptr) {
+        return fail("not a pef_orchestrate ledger (bad header line)");
+      }
+      const Header existing{spec_hash->uint_value,
+                            static_cast<std::uint32_t>(shards->uint_value),
+                            static_cast<std::uint32_t>(replicate->uint_value)};
+      if (!(existing == header)) {
+        return fail(
+            "belongs to a different run (spec hash / shard count / "
+            "replicate mismatch) — delete it or pick another --workdir to "
+            "start over");
+      }
+      saw_header = true;
+      continue;
+    }
+    const JsonValue* event = value->find("event");
+    const JsonValue* shard = find_uint(*value, "shard");
+    if (event == nullptr || !event->is_string() || shard == nullptr) {
+      return fail("line " + std::to_string(line_number) +
+                  ": missing event/shard");
+    }
+    const std::uint32_t index =
+        static_cast<std::uint32_t>(shard->uint_value);
+    LedgerShardState& state = ledger.shards_[index];
+    if (event->string_value == "done") {
+      const JsonValue* file = value->find("file");
+      if (file == nullptr || !file->is_string()) {
+        return fail("line " + std::to_string(line_number) +
+                    ": done event without file");
+      }
+      state.done = true;
+      state.output_file = file->string_value;
+    } else if (event->string_value == "failed") {
+      ++state.failed_attempts;
+    } else {
+      return fail("line " + std::to_string(line_number) +
+                  ": unknown event \"" + event->string_value + "\"");
+    }
+  }
+  if (!saw_header) {
+    return fail("empty file is not a ledger (delete it to start over)");
+  }
+  return ledger;
+}
+
+void Ledger::record_done(std::uint32_t shard,
+                         const std::string& output_file) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("event", "done");
+  json.field("shard", shard);
+  json.field("file", output_file);
+  json.end_object();
+  append_line(json.str());
+  LedgerShardState& state = shards_[shard];
+  state.done = true;
+  state.output_file = output_file;
+}
+
+void Ledger::record_failed(std::uint32_t shard, std::uint32_t attempt,
+                           const std::string& reason) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("event", "failed");
+  json.field("shard", shard);
+  json.field("attempt", attempt);
+  json.field("reason", reason);
+  json.end_object();
+  append_line(json.str());
+  ++shards_[shard].failed_attempts;
+}
+
+void Ledger::append_line(const std::string& line) {
+  std::ofstream out(path_, std::ios::binary | std::ios::app);
+  if (!out.is_open()) return;  // journaling is best-effort once running
+  out << line << "\n";
+  out.flush();
+}
+
+}  // namespace pef

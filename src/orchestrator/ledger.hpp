@@ -1,0 +1,81 @@
+// The shard ledger: a persistent journal that makes the orchestrator
+// crash-safe.
+//
+// The supervisor appends one JSON line per state change (shard accepted,
+// attempt failed, shard given up).  If the orchestrator itself is killed,
+// the next run opens the same ledger, replays the journal, and resumes:
+// shards with an accepted output whose file still exists and validates are
+// skipped, everything else is re-run.  Replay is idempotent because shard
+// outputs are byte-identical across runs — re-accepting a shard that was
+// already accepted changes nothing.
+//
+// The header line pins the identity of the work: the FNV-1a hash of the
+// canonical spec JSON plus the shard count and replication factor.  A
+// ledger whose header disagrees with the current invocation is refused —
+// resuming half of sweep A with the cells of sweep B must be impossible,
+// not merely unlikely.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace pef {
+
+/// 64-bit FNV-1a — content fingerprint for ledger headers and reports.
+/// Not cryptographic; collision-resistance against accidents is the bar.
+[[nodiscard]] std::uint64_t fnv1a64(const std::string& bytes);
+
+/// What a ledger journals about one shard after replay.
+struct LedgerShardState {
+  bool done = false;
+  std::string output_file;        // accepted (post-vote) shard JSON path
+  std::uint32_t failed_attempts = 0;
+};
+
+class Ledger {
+ public:
+  struct Header {
+    std::uint64_t spec_hash = 0;
+    std::uint32_t shards = 0;
+    std::uint32_t replicate = 1;
+
+    [[nodiscard]] bool operator==(const Header& other) const = default;
+  };
+
+  /// Open `path` for appending, creating it (and writing the header line)
+  /// when absent.  An existing journal is replayed into shard states; a
+  /// header mismatch or malformed journal returns nullopt with a message —
+  /// the caller chooses between aborting and starting a fresh ledger.
+  [[nodiscard]] static std::optional<Ledger> open(const std::string& path,
+                                                  const Header& header,
+                                                  std::string* error);
+
+  /// Replayed journal state, keyed by shard index.
+  [[nodiscard]] const std::map<std::uint32_t, LedgerShardState>& shards()
+      const {
+    return shards_;
+  }
+
+  /// Journal a shard's accepted output (flushed before returning, so a
+  /// kill -9 right after never loses an accepted shard).
+  void record_done(std::uint32_t shard, const std::string& output_file);
+
+  /// Journal one failed attempt (crash, timeout, invalid output, lost
+  /// vote) with a human-readable reason.
+  void record_failed(std::uint32_t shard, std::uint32_t attempt,
+                     const std::string& reason);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  Ledger() = default;
+
+  void append_line(const std::string& line);
+
+  std::string path_;
+  std::map<std::uint32_t, LedgerShardState> shards_;
+};
+
+}  // namespace pef

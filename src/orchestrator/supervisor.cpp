@@ -1,0 +1,444 @@
+#include "orchestrator/supervisor.hpp"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "common/check.hpp"
+#include "common/json.hpp"
+#include "engine/sweep_runner.hpp"
+#include "orchestrator/fault.hpp"
+#include "orchestrator/ledger.hpp"
+#include "orchestrator/voter.hpp"
+
+namespace pef {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One replica slot's lifecycle.  A shard has `replicate` slots; the shard
+/// settles when every slot is kValid or kExhausted, and then the vote
+/// decides.
+enum class SlotState : std::uint8_t {
+  kPending,    // waiting for a free worker (and its backoff gate)
+  kRunning,
+  kValid,      // produced validated shard JSON
+  kExhausted,  // burned the whole attempt budget
+};
+
+struct Slot {
+  std::uint32_t shard = 0;
+  std::uint32_t replica = 0;
+  SlotState state = SlotState::kPending;
+  std::uint32_t failures = 0;
+  Clock::time_point not_before = Clock::time_point::min();
+  // Running:
+  std::uint64_t token = 0;
+  Clock::time_point deadline = Clock::time_point::max();
+  bool timeout_killed = false;
+  std::string output_path;
+  // Valid:
+  std::string content;
+};
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) return false;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file.is_open()) return false;
+  file << content;
+  file.flush();
+  return file.good();
+}
+
+/// Is `content` a well-formed shard file for exactly this sweep and shard?
+/// This is the crash/corruption detector: a worker that exits 0 after
+/// writing garbage (or the right data for the wrong shard) fails here.
+bool validate_shard_content(const std::string& content,
+                            const OrchestratorOptions& options,
+                            std::uint32_t shard, std::string* why) {
+  std::string error;
+  const auto document = parse_json(content, &error);
+  if (!document) {
+    *why = "output is not JSON (" + error + ")";
+    return false;
+  }
+  const JsonValue* spec = document->find("spec");
+  const JsonValue* index = document->find("shard_index");
+  const JsonValue* count = document->find("shard_count");
+  if (spec == nullptr || !spec->is_string() || index == nullptr ||
+      !index->is_uint || count == nullptr || !count->is_uint) {
+    *why = "output is not a shard file";
+    return false;
+  }
+  if (spec->string_value != options.spec_json) {
+    *why = "output belongs to a different sweep";
+    return false;
+  }
+  if (index->uint_value != shard || count->uint_value != options.shards) {
+    *why = "output covers shard " + std::to_string(index->uint_value) + "/" +
+           std::to_string(count->uint_value) + ", expected " +
+           std::to_string(shard) + "/" + std::to_string(options.shards);
+    return false;
+  }
+  return true;
+}
+
+std::string join_path(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  return dir.back() == '/' ? dir + name : dir + "/" + name;
+}
+
+void log_line(std::ostream* log, const std::string& line) {
+  if (log != nullptr) *log << "pef_orchestrate: " << line << "\n";
+}
+
+}  // namespace
+
+OrchestratorResult orchestrate(WorkerBackend& backend,
+                               const OrchestratorOptions& options,
+                               std::ostream* log) {
+  PEF_CHECK_MSG(options.shards >= 1, "need at least one shard");
+  PEF_CHECK_MSG(options.replicate >= 1, "replicate must be >= 1");
+  PEF_CHECK_MSG(options.max_attempts >= 1, "max_attempts must be >= 1");
+  PEF_CHECK_MSG(!options.spec_json.empty(), "need the canonical spec JSON");
+
+  if (!options.workdir.empty()) {
+    ::mkdir(options.workdir.c_str(), 0755);  // EEXIST is fine
+  }
+
+  // The ledger pins run identity; a matching existing journal turns this
+  // invocation into a resume.
+  const Ledger::Header header{fnv1a64(options.spec_json), options.shards,
+                              options.replicate};
+  std::string ledger_error;
+  auto ledger = Ledger::open(join_path(options.workdir, "ledger.jsonl"),
+                             header, &ledger_error);
+  PEF_CHECK_MSG(ledger.has_value(), ledger_error.c_str());
+
+  OrchestratorResult result;
+  result.outcomes.resize(options.shards);
+  for (std::uint32_t s = 0; s < options.shards; ++s) {
+    result.outcomes[s].shard = s;
+  }
+
+  // Accepted (post-vote) shard JSON, by shard index.
+  std::vector<std::string> accepted(options.shards);
+
+  // Resume: a journaled shard counts as done only if its accepted output
+  // still exists and validates — the ledger says what finished, the file
+  // proves it.
+  for (const auto& [shard, state] : ledger->shards()) {
+    if (!state.done || shard >= options.shards) continue;
+    std::string content;
+    std::string why;
+    if (read_file(state.output_file, content) &&
+        validate_shard_content(content, options, shard, &why)) {
+      accepted[shard] = std::move(content);
+      result.outcomes[shard].accepted = true;
+      result.outcomes[shard].resumed = true;
+      log_line(log, "shard " + std::to_string(shard) +
+                        " already done (ledger) — skipping");
+    } else {
+      log_line(log, "shard " + std::to_string(shard) +
+                        " journaled done but " + state.output_file +
+                        " is gone or invalid — re-running");
+    }
+  }
+
+  // Replica slots for every shard not satisfied by the ledger.
+  std::vector<Slot> slots;
+  for (std::uint32_t s = 0; s < options.shards; ++s) {
+    if (result.outcomes[s].resumed) continue;
+    for (std::uint32_t r = 0; r < options.replicate; ++r) {
+      Slot slot;
+      slot.shard = s;
+      slot.replica = r;
+      slots.push_back(slot);
+    }
+  }
+
+  const std::uint32_t jobs =
+      options.jobs == 0 ? backend.capacity()
+                        : std::min(options.jobs, backend.capacity());
+
+  const auto backoff_for = [&options](std::uint32_t failures) {
+    double ms = options.backoff_initial_ms;
+    for (std::uint32_t f = 1; f < failures; ++f) {
+      ms *= 2;
+      if (ms >= options.backoff_cap_ms) break;
+    }
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double, std::milli>(
+            std::min(ms, options.backoff_cap_ms)));
+  };
+
+  const auto fail_slot = [&](Slot& slot, const std::string& reason) {
+    ++slot.failures;
+    ShardOutcome& outcome = result.outcomes[slot.shard];
+    ++outcome.failures;
+    ledger->record_failed(slot.shard, slot.failures, reason);
+    if (slot.failures >= options.max_attempts) {
+      slot.state = SlotState::kExhausted;
+      log_line(log, "shard " + std::to_string(slot.shard) + " replica " +
+                        std::to_string(slot.replica) + ": " + reason +
+                        " — attempt budget exhausted (" +
+                        std::to_string(options.max_attempts) + ")");
+    } else {
+      slot.state = SlotState::kPending;
+      slot.not_before = Clock::now() + backoff_for(slot.failures);
+      log_line(log, "shard " + std::to_string(slot.shard) + " replica " +
+                        std::to_string(slot.replica) + ": " + reason +
+                        " — retrying (attempt " +
+                        std::to_string(slot.failures + 1) + "/" +
+                        std::to_string(options.max_attempts) + ")");
+    }
+  };
+
+  // Settle one shard once all its replica slots are kValid/kExhausted.
+  std::vector<std::uint8_t> settled(options.shards, 0);
+  const auto try_settle_shard = [&](std::uint32_t shard) {
+    if (settled[shard]) return;
+    std::vector<ReplicaBallot> ballots;
+    for (const Slot& slot : slots) {
+      if (slot.shard != shard) continue;
+      if (slot.state != SlotState::kValid &&
+          slot.state != SlotState::kExhausted) {
+        return;  // still in flight
+      }
+      ReplicaBallot ballot;
+      ballot.replica = slot.replica;
+      ballot.valid = slot.state == SlotState::kValid;
+      if (ballot.valid) ballot.content = slot.content;
+      ballots.push_back(std::move(ballot));
+    }
+    settled[shard] = 1;
+
+    ShardOutcome& outcome = result.outcomes[shard];
+    const VoteResult vote = vote_on_replicas(ballots);
+    outcome.divergent_replicas = vote.divergent_replicas;
+    if (!vote.accepted) {
+      outcome.fail_reason =
+          vote.winner_votes == 0
+              ? "every replica exhausted its attempt budget"
+              : "no byte-identical majority among replicas (" +
+                    std::to_string(vote.winner_votes) + "/" +
+                    std::to_string(options.replicate) +
+                    " best agreement) — determinism bug or hardware fault";
+      log_line(log,
+               "shard " + std::to_string(shard) + " FAILED: " +
+                   outcome.fail_reason);
+      return;
+    }
+    if (!vote.divergent_replicas.empty()) {
+      std::string list;
+      for (const std::uint32_t r : vote.divergent_replicas) {
+        list += (list.empty() ? "" : ", ") + std::to_string(r);
+      }
+      log_line(log, "shard " + std::to_string(shard) + ": replica" +
+                        (vote.divergent_replicas.size() == 1 ? " " : "s ") +
+                        list +
+                        " diverged from the majority (outvoted " +
+                        std::to_string(vote.winner_votes) + "/" +
+                        std::to_string(options.replicate) +
+                        ") — check that worker's hardware");
+    }
+    // Persist the accepted bytes under the shard's canonical name and
+    // journal it; the per-attempt replica files stay behind for forensics.
+    const std::string accepted_path = join_path(
+        options.workdir, "shard" + std::to_string(shard) + ".json");
+    PEF_CHECK_MSG(write_file(accepted_path, vote.winner),
+                  "cannot write accepted shard file");
+    ledger->record_done(shard, accepted_path);
+    accepted[shard] = vote.winner;
+    outcome.accepted = true;
+    log_line(log, "shard " + std::to_string(shard) + " accepted (" +
+                      std::to_string(vote.winner_votes) + "/" +
+                      std::to_string(options.replicate) + " votes)");
+  };
+
+  // The supervision loop: launch ready slots, kill stragglers, collect and
+  // validate exits, until every slot settles.
+  for (;;) {
+    const auto now = Clock::now();
+
+    // Supervision timeouts: a hung worker is killed; the death is handled
+    // below like any other failed attempt.
+    if (options.timeout_seconds > 0) {
+      for (Slot& slot : slots) {
+        if (slot.state == SlotState::kRunning && !slot.timeout_killed &&
+            now >= slot.deadline) {
+          slot.timeout_killed = true;
+          ++result.outcomes[slot.shard].timeouts;
+          backend.kill(slot.token);
+        }
+      }
+    }
+
+    // Launch pending slots whose backoff gate has passed.
+    for (Slot& slot : slots) {
+      if (backend.running() >= jobs) break;
+      if (slot.state != SlotState::kPending || now < slot.not_before) {
+        continue;
+      }
+      // Distinct per-launch attempt number: the fault layer re-rolls per
+      // attempt and replicas must roll independently of each other.
+      const std::uint32_t attempt =
+          slot.replica * options.max_attempts + slot.failures;
+      const std::string tag = "shard" + std::to_string(slot.shard) + ".r" +
+                              std::to_string(slot.replica) + ".a" +
+                              std::to_string(slot.failures);
+      slot.output_path = join_path(options.workdir, tag + ".json");
+      WorkerLaunch launch;
+      launch.argv = {options.worker_binary,
+                     "--spec", options.spec_path,
+                     "--shard",
+                     std::to_string(slot.shard) + "/" +
+                         std::to_string(options.shards),
+                     "--threads", std::to_string(options.worker_threads),
+                     "--out", slot.output_path};
+      launch.env = {{kFaultAttemptEnvVar, std::to_string(attempt)}};
+      launch.log_path = join_path(options.workdir, tag + ".log");
+      const auto token = backend.launch(launch);
+      if (!token) {
+        fail_slot(slot, "backend failed to launch worker");
+        try_settle_shard(slot.shard);
+        continue;
+      }
+      slot.state = SlotState::kRunning;
+      slot.token = *token;
+      slot.timeout_killed = false;
+      slot.deadline =
+          options.timeout_seconds > 0
+              ? now + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(
+                              options.timeout_seconds))
+              : Clock::time_point::max();
+      ++result.outcomes[slot.shard].launches;
+      log_line(log, "launch " + tag + " (attempt " +
+                        std::to_string(slot.failures + 1) + "/" +
+                        std::to_string(options.max_attempts) + ")");
+    }
+
+    // Collect exits.
+    while (const auto exit = backend.poll()) {
+      Slot* slot = nullptr;
+      for (Slot& candidate : slots) {
+        if (candidate.state == SlotState::kRunning &&
+            candidate.token == exit->token) {
+          slot = &candidate;
+          break;
+        }
+      }
+      if (slot == nullptr) continue;  // not ours (defensive)
+      if (slot->timeout_killed) {
+        fail_slot(*slot, "timed out after " +
+                             std::to_string(options.timeout_seconds) +
+                             "s (killed)");
+      } else if (exit->exit_code != 0) {
+        fail_slot(*slot,
+                  exit->term_signal != 0
+                      ? "worker died on signal " +
+                            std::to_string(exit->term_signal)
+                      : "worker exited with code " +
+                            std::to_string(exit->exit_code));
+      } else {
+        std::string content;
+        std::string why;
+        if (!read_file(slot->output_path, content)) {
+          fail_slot(*slot, "worker exited 0 but wrote no output");
+        } else if (!validate_shard_content(content, options, slot->shard,
+                                           &why)) {
+          fail_slot(*slot, why);
+        } else {
+          slot->state = SlotState::kValid;
+          slot->content = std::move(content);
+        }
+      }
+      try_settle_shard(slot->shard);
+    }
+
+    // Done?  Every slot terminal and every shard settled.
+    bool all_settled = true;
+    for (std::uint32_t s = 0; s < options.shards; ++s) {
+      if (!result.outcomes[s].resumed && !settled[s]) all_settled = false;
+    }
+    if (all_settled) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // Merge what was accepted; degrade gracefully on anything less.
+  std::vector<std::string> shard_jsons;
+  std::vector<std::string> shard_names;
+  for (std::uint32_t s = 0; s < options.shards; ++s) {
+    if (result.outcomes[s].accepted) {
+      shard_jsons.push_back(accepted[s]);
+      shard_names.push_back("shard " + std::to_string(s));
+    } else {
+      result.failed_shards.push_back(s);
+    }
+  }
+  if (!shard_jsons.empty()) {
+    std::string merge_error;
+    const auto merge =
+        merge_sweep_shards_partial(shard_jsons, &merge_error, &shard_names);
+    // Accepted shards already passed per-shard validation, so the merge
+    // can only fail on a bug — surface it loudly.
+    PEF_CHECK_MSG(merge.has_value(), merge_error.c_str());
+    result.merged_json = merge->json;
+    result.complete = merge->complete;
+  }
+
+  // The machine-readable report: what ran, what failed, what to distrust.
+  {
+    JsonWriter json;
+    json.begin_object();
+    json.field("orchestrate_complete", result.complete);
+    json.field("spec_hash", header.spec_hash);
+    json.field("shards", options.shards);
+    json.field("replicate", options.replicate);
+    json.field("max_attempts", options.max_attempts);
+    json.begin_array("failed_shards");
+    for (const std::uint32_t s : result.failed_shards) {
+      json.element(static_cast<std::uint64_t>(s));
+    }
+    json.end_array();
+    json.begin_array("shard_outcomes");
+    for (const ShardOutcome& outcome : result.outcomes) {
+      json.begin_object();
+      json.field("shard", outcome.shard);
+      json.field("accepted", outcome.accepted);
+      json.field("resumed", outcome.resumed);
+      json.field("launches", outcome.launches);
+      json.field("failures", outcome.failures);
+      json.field("timeouts", outcome.timeouts);
+      json.begin_array("divergent_replicas");
+      for (const std::uint32_t r : outcome.divergent_replicas) {
+        json.element(static_cast<std::uint64_t>(r));
+      }
+      json.end_array();
+      if (!outcome.fail_reason.empty()) {
+        json.field("fail_reason", outcome.fail_reason);
+      }
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    result.report_json = json.str();
+  }
+  return result;
+}
+
+}  // namespace pef

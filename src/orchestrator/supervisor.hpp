@@ -1,0 +1,81 @@
+// The sweep orchestrator's supervision loop.
+//
+// orchestrate() turns a SweepSpec + shard count into worker launches on a
+// WorkerBackend and babysits them to a merged result:
+//
+//   * every shard runs as `pef_sweep --spec F --shard I/N --out file`
+//     (replicated R times under --replicate; replicas are byte-identical
+//     by construction, which is what makes voting meaningful);
+//   * a worker that crashes, exits non-zero, times out, or writes output
+//     that fails validation (unparseable / wrong sweep / wrong shard) is
+//     retried with capped exponential backoff up to a max-attempt budget;
+//   * each launch gets a distinct PEF_FAULT_ATTEMPT so the deterministic
+//     chaos layer (orchestrator/fault.hpp) re-rolls per attempt;
+//   * accepted shards are journaled in a Ledger — a killed orchestrator
+//     re-run with the same workdir resumes, skipping finished shards;
+//   * when every shard settles, the accepted outputs merge byte-identical
+//     to the unsharded run; shards that exhausted their budget degrade
+//     gracefully into a partial merge plus a machine-readable failure
+//     report (never "nothing").
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "orchestrator/backend.hpp"
+
+namespace pef {
+
+struct OrchestratorOptions {
+  std::string worker_binary;   // pef_sweep (or a compatible drop-in)
+  std::string spec_path;       // spec file handed to every worker
+  std::string spec_json;       // canonical spec JSON (identity + validation)
+  std::uint32_t shards = 1;
+  std::uint32_t replicate = 1;      // NMR factor (1 = off, 3 = TMR)
+  std::uint32_t max_attempts = 3;   // per replica slot, first try included
+  std::uint32_t jobs = 0;           // concurrent workers; 0 = backend cap
+  std::uint32_t worker_threads = 1; // --threads per worker
+  double timeout_seconds = 300;     // per launch; 0 = no timeout
+  double backoff_initial_ms = 200;  // retry delay: initial * 2^(failures-1)
+  double backoff_cap_ms = 5000;     // ... capped here
+  std::string workdir;              // shard files, ledger, worker logs
+};
+
+/// Everything that happened to one shard, for the report.
+struct ShardOutcome {
+  std::uint32_t shard = 0;
+  bool accepted = false;
+  bool resumed = false;             // satisfied from the ledger, not run
+  std::uint32_t launches = 0;       // worker processes started this run
+  std::uint32_t failures = 0;       // failed attempts (all replica slots)
+  std::uint32_t timeouts = 0;       // ... of which supervision kills
+  std::vector<std::uint32_t> divergent_replicas;  // valid but outvoted
+  std::string fail_reason;          // set when !accepted
+};
+
+struct OrchestratorResult {
+  /// True when every shard was accepted and the merge reproduced the
+  /// unsharded document.
+  bool complete = false;
+  /// Full merge when complete, partial merge (documented null-cell
+  /// convention, see merge_sweep_shards_partial) otherwise.  Empty only if
+  /// no shard at all was accepted.
+  std::string merged_json;
+  /// Machine-readable run report (always produced).
+  std::string report_json;
+  std::vector<std::uint32_t> failed_shards;
+  std::vector<ShardOutcome> outcomes;  // indexed by shard
+};
+
+/// Run the supervision loop to completion.  Progress lines go to `log`
+/// when non-null (one line per state change; nothing on the happy path but
+/// launches and accepts).  Aborts only on setup errors (unusable workdir /
+/// mismatched ledger); worker failures are the loop's job, not abort
+/// conditions.
+[[nodiscard]] OrchestratorResult orchestrate(WorkerBackend& backend,
+                                             const OrchestratorOptions& options,
+                                             std::ostream* log);
+
+}  // namespace pef

@@ -1,0 +1,53 @@
+#include "orchestrator/voter.hpp"
+
+namespace pef {
+
+VoteResult vote_on_replicas(const std::vector<ReplicaBallot>& ballots) {
+  VoteResult result;
+  if (ballots.empty()) return result;
+
+  // Group valid ballots by exact bytes.  R is small (1..5 in practice), so
+  // quadratic grouping beats hashing the payloads twice.
+  struct Group {
+    const std::string* content = nullptr;
+    std::uint32_t votes = 0;
+  };
+  std::vector<Group> groups;
+  for (const ReplicaBallot& ballot : ballots) {
+    if (!ballot.valid) {
+      result.invalid_replicas.push_back(ballot.replica);
+      continue;
+    }
+    bool found = false;
+    for (Group& group : groups) {
+      if (*group.content == ballot.content) {
+        ++group.votes;
+        found = true;
+        break;
+      }
+    }
+    if (!found) groups.push_back({&ballot.content, 1});
+  }
+  if (groups.empty()) return result;  // nothing valid to vote on
+
+  const Group* best = &groups.front();
+  for (const Group& group : groups) {
+    if (group.votes > best->votes) best = &group;
+  }
+  // Strict majority of all R slots: 2-of-3 accepts, 1-of-3 does not (two
+  // replicas already failed — trusting the survivor defeats the point of
+  // replication), 1-of-1 accepts (replication off).
+  result.accepted = 2 * best->votes > ballots.size();
+  result.winner_votes = best->votes;
+  if (result.accepted) {
+    result.winner = *best->content;
+    for (const ReplicaBallot& ballot : ballots) {
+      if (ballot.valid && ballot.content != result.winner) {
+        result.divergent_replicas.push_back(ballot.replica);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace pef

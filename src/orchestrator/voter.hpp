@@ -1,0 +1,49 @@
+// N-modular-redundancy voting over replicated shard runs.
+//
+// Deterministic seeding makes every shard's JSON a pure function of the
+// spec and the shard index, so R honest replicas of one shard are
+// byte-identical.  The voter exploits that: group the R replica outputs by
+// exact bytes and accept the strict-majority group.  A divergent replica is
+// therefore a strong signal — either the machine that produced it faulted
+// (bad RAM, truncated write, bit-flip) or the sweep is not deterministic,
+// which is itself a bug worth an alarm.  This mirrors CoreGuard-NMR's
+// replicated-tasks-plus-voter design, with "byte-identical JSON" as the
+// comparison function.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pef {
+
+/// One replica's output as presented to the voter.  `valid` is the
+/// pre-vote screen: the supervisor marks a replica invalid when its worker
+/// crashed, timed out, or wrote output that does not parse as a shard file
+/// for the right sweep — invalid replicas never get a vote.
+struct ReplicaBallot {
+  std::uint32_t replica = 0;  // replica number (0..R-1), for reporting
+  bool valid = false;
+  std::string content;        // shard JSON bytes (empty when invalid)
+};
+
+struct VoteResult {
+  /// True when some valid content won a strict majority of ALL R slots
+  /// (not just of the valid ones: 1 valid replica out of 3 is evidence of
+  /// two failures, not a mandate).
+  bool accepted = false;
+  std::string winner;                     // the accepted bytes
+  std::uint32_t winner_votes = 0;
+  /// Valid replicas whose bytes differ from the winner: hardware/IO fault
+  /// or a determinism bug — flagged, never silently dropped.
+  std::vector<std::uint32_t> divergent_replicas;
+  /// Replicas screened out before voting (crashed / timed out / invalid).
+  std::vector<std::uint32_t> invalid_replicas;
+};
+
+/// Majority vote over the R ballots of one shard.  With R == 1 the single
+/// valid ballot wins (replication off is a degenerate vote).
+[[nodiscard]] VoteResult vote_on_replicas(
+    const std::vector<ReplicaBallot>& ballots);
+
+}  // namespace pef

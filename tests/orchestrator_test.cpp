@@ -1,0 +1,423 @@
+// End-to-end tests for the fault-tolerant sweep orchestrator: the real
+// pef_orchestrate binary driving real pef_sweep workers (PEF_BIN_DIR) under
+// deterministic PEF_FAULT_SPEC chaos, plus unit tests for the pieces
+// (fault spec grammar, NMR voter, resume ledger).  The invariant under
+// test everywhere: whatever the injected faults, a converged orchestration
+// is byte-identical to the unsharded golden baseline.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "orchestrator/fault.hpp"
+#include "orchestrator/ledger.hpp"
+#include "orchestrator/voter.hpp"
+
+namespace pef {
+namespace {
+
+const std::string kSpecPath =
+    std::string(PEF_SPEC_DIR) + "/sweep_small.json";
+const std::string kGoldenPath =
+    std::string(PEF_BASELINE_DIR) + "/sweep_small.json";
+const std::string kOrchestrate = std::string(PEF_BIN_DIR) + "/pef_orchestrate";
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// A fresh per-test scratch directory (workdir, outputs, logs).
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "pef_orch_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Run a shell command; returns its exit code (-1 on launch failure).
+int run(const std::string& command) {
+  const int status = std::system(command.c_str());
+  if (status < 0) return -1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+/// The standard orchestrate invocation with test-friendly supervision
+/// parameters (fast backoff, generous-but-finite timeout).
+std::string orchestrate_command(const std::string& dir,
+                                const std::string& fault_spec,
+                                const std::string& extra_flags) {
+  std::string command;
+  if (!fault_spec.empty()) {
+    command += "PEF_FAULT_SPEC='" + fault_spec + "' ";
+  }
+  command += kOrchestrate + " --spec " + kSpecPath + " --workdir " + dir +
+             "/work --out " + dir + "/merged.json --report " + dir +
+             "/report.json --backoff-ms 10 --backoff-cap-ms 50 " +
+             extra_flags + " > " + dir + "/orchestrate.log 2>&1";
+  return command;
+}
+
+JsonValue parse_report(const std::string& dir) {
+  std::string error;
+  const auto report = parse_json_file(dir + "/report.json", &error);
+  EXPECT_TRUE(report.has_value()) << error;
+  return report.value_or(JsonValue{});
+}
+
+// ---------------------------------------------------------------------------
+// Fault spec grammar.
+
+TEST(FaultSpecTest, ParsesAndRoundTrips) {
+  std::string error;
+  const auto spec = FaultSpec::parse(
+      "seed=7:crash=0.4:corrupt=0.2:flip=0.1:hang=0.05:shards=1,3", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  EXPECT_EQ(spec->seed, 7u);
+  EXPECT_DOUBLE_EQ(spec->crash, 0.4);
+  EXPECT_DOUBLE_EQ(spec->corrupt, 0.2);
+  EXPECT_DOUBLE_EQ(spec->flip, 0.1);
+  EXPECT_DOUBLE_EQ(spec->hang, 0.05);
+  EXPECT_EQ(spec->shards, (std::vector<std::uint32_t>{1, 3}));
+
+  const auto reparsed = FaultSpec::parse(spec->to_string(), &error);
+  ASSERT_TRUE(reparsed.has_value()) << error;
+  EXPECT_EQ(reparsed->to_string(), spec->to_string());
+
+  // Empty spec is inert.
+  const auto inert = FaultSpec::parse("", &error);
+  ASSERT_TRUE(inert.has_value()) << error;
+  EXPECT_TRUE(inert->inert());
+  EXPECT_EQ(inert->decide(0, 0), FaultAction::kNone);
+}
+
+TEST(FaultSpecTest, RejectsMalformedSpecs) {
+  std::string error;
+  EXPECT_FALSE(FaultSpec::parse("crash=2", &error).has_value());
+  EXPECT_NE(error.find("crash"), std::string::npos);
+  EXPECT_FALSE(FaultSpec::parse("boom=0.5", &error).has_value());
+  EXPECT_NE(error.find("unknown key"), std::string::npos);
+  EXPECT_FALSE(FaultSpec::parse("crash", &error).has_value());
+  EXPECT_FALSE(
+      FaultSpec::parse("crash=0.6:corrupt=0.6", &error).has_value());
+  EXPECT_NE(error.find("exceed 1"), std::string::npos);
+  EXPECT_FALSE(FaultSpec::parse("shards=x", &error).has_value());
+}
+
+TEST(FaultSpecTest, DecisionsAreDeterministicPerAttempt) {
+  std::string error;
+  const auto spec = FaultSpec::parse("seed=11:crash=0.5", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  bool saw_crash = false;
+  bool saw_none = false;
+  for (std::uint32_t attempt = 0; attempt < 32; ++attempt) {
+    const FaultAction action = spec->decide(3, attempt);
+    EXPECT_EQ(action, spec->decide(3, attempt)) << "not deterministic";
+    saw_crash |= action == FaultAction::kCrash;
+    saw_none |= action == FaultAction::kNone;
+  }
+  // p=0.5 over 32 attempts: both fates occur (deterministically).
+  EXPECT_TRUE(saw_crash);
+  EXPECT_TRUE(saw_none);
+
+  // The shard filter wins over any probability.
+  const auto filtered = FaultSpec::parse("crash=1.0:shards=2", &error);
+  ASSERT_TRUE(filtered.has_value()) << error;
+  EXPECT_EQ(filtered->decide(1, 0), FaultAction::kNone);
+  EXPECT_EQ(filtered->decide(2, 0), FaultAction::kCrash);
+}
+
+// ---------------------------------------------------------------------------
+// NMR voter.
+
+ReplicaBallot ballot(std::uint32_t replica, bool valid,
+                     const std::string& content) {
+  ReplicaBallot b;
+  b.replica = replica;
+  b.valid = valid;
+  b.content = content;
+  return b;
+}
+
+TEST(VoterTest, MajorityWinsAndDivergentsAreFlagged) {
+  const auto vote = vote_on_replicas(
+      {ballot(0, true, "good"), ballot(1, true, "BAD"),
+       ballot(2, true, "good")});
+  EXPECT_TRUE(vote.accepted);
+  EXPECT_EQ(vote.winner, "good");
+  EXPECT_EQ(vote.winner_votes, 2u);
+  EXPECT_EQ(vote.divergent_replicas, (std::vector<std::uint32_t>{1}));
+}
+
+TEST(VoterTest, InvalidReplicasGetNoVote) {
+  // 1 valid of 3 is not a majority of the slots: two workers already
+  // failed, so the lone survivor is not trusted.
+  const auto lone = vote_on_replicas(
+      {ballot(0, false, ""), ballot(1, true, "good"), ballot(2, false, "")});
+  EXPECT_FALSE(lone.accepted);
+  EXPECT_EQ(lone.invalid_replicas, (std::vector<std::uint32_t>{0, 2}));
+
+  // 2 valid + agreeing of 3 is a majority even with one invalid.
+  const auto pair = vote_on_replicas(
+      {ballot(0, true, "good"), ballot(1, false, ""),
+       ballot(2, true, "good")});
+  EXPECT_TRUE(pair.accepted);
+  EXPECT_EQ(pair.winner, "good");
+}
+
+TEST(VoterTest, NoMajorityMeansNoWinner) {
+  const auto split = vote_on_replicas(
+      {ballot(0, true, "a"), ballot(1, true, "b"), ballot(2, true, "c")});
+  EXPECT_FALSE(split.accepted);
+  EXPECT_EQ(split.winner_votes, 1u);
+
+  // Degenerate single-replica "vote" (replication off) accepts.
+  const auto solo = vote_on_replicas({ballot(0, true, "only")});
+  EXPECT_TRUE(solo.accepted);
+  EXPECT_EQ(solo.winner, "only");
+}
+
+// ---------------------------------------------------------------------------
+// Resume ledger.
+
+TEST(LedgerTest, JournalsAndReplays) {
+  const std::string dir = fresh_dir("ledger");
+  const std::string path = dir + "/ledger.jsonl";
+  const Ledger::Header header{0x1234u, 4, 3};
+
+  std::string error;
+  auto ledger = Ledger::open(path, header, &error);
+  ASSERT_TRUE(ledger.has_value()) << error;
+  EXPECT_TRUE(ledger->shards().empty());
+  ledger->record_failed(2, 1, "worker died on signal 9");
+  ledger->record_done(2, dir + "/shard2.json");
+  ledger->record_done(0, dir + "/shard0.json");
+
+  auto replayed = Ledger::open(path, header, &error);
+  ASSERT_TRUE(replayed.has_value()) << error;
+  ASSERT_EQ(replayed->shards().size(), 2u);
+  EXPECT_TRUE(replayed->shards().at(2).done);
+  EXPECT_EQ(replayed->shards().at(2).output_file, dir + "/shard2.json");
+  EXPECT_EQ(replayed->shards().at(2).failed_attempts, 1u);
+  EXPECT_TRUE(replayed->shards().at(0).done);
+
+  // A ledger of a different run (spec hash / geometry) is refused.
+  EXPECT_FALSE(
+      Ledger::open(path, {0x9999u, 4, 3}, &error).has_value());
+  EXPECT_NE(error.find("different run"), std::string::npos) << error;
+  EXPECT_FALSE(Ledger::open(path, {0x1234u, 5, 3}, &error).has_value());
+
+  // Garbage is not a ledger.
+  std::ofstream(dir + "/junk.jsonl") << "{\"what\": 1}\n";
+  EXPECT_FALSE(
+      Ledger::open(dir + "/junk.jsonl", header, &error).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end chaos: the real binaries under injected faults.
+
+TEST(OrchestratorEndToEndTest, CleanRunMatchesGoldenBaseline) {
+  const std::string dir = fresh_dir("clean");
+  ASSERT_EQ(run(orchestrate_command(dir, "", "--shards 4")), 0)
+      << read_file(dir + "/orchestrate.log");
+  EXPECT_EQ(read_file(dir + "/merged.json"), read_file(kGoldenPath));
+  const JsonValue report = parse_report(dir);
+  EXPECT_TRUE(report.find("orchestrate_complete")->bool_value);
+}
+
+TEST(OrchestratorEndToEndTest, CrashedAndCorruptedShardsAreRetried) {
+  // Crashes (exit before write) and truncated outputs (exit 0, garbage
+  // file) on ~half the attempts: the supervisor must detect both — exit
+  // codes alone miss the corruption — and retry to the golden bytes.
+  //
+  // The fault stream is a pure function of the seed, so search for one
+  // that provably (a) bites on some shard's first attempt and (b) leaves
+  // every shard a clean attempt inside the budget.  The search is
+  // deterministic: every run picks the same seed.
+  constexpr std::uint32_t kMaxAttempts = 6;
+  std::string fault_text;
+  for (std::uint64_t candidate = 1; candidate < 200; ++candidate) {
+    const std::string text =
+        "seed=" + std::to_string(candidate) + ":crash=0.4:corrupt=0.2";
+    std::string error;
+    const auto fault = FaultSpec::parse(text, &error);
+    ASSERT_TRUE(fault.has_value()) << error;
+    bool bites = false;
+    bool converges = true;
+    for (std::uint32_t shard = 0; shard < 4; ++shard) {
+      bites |= fault->decide(shard, 0) != FaultAction::kNone;
+      bool clean = false;
+      for (std::uint32_t attempt = 0; attempt < kMaxAttempts; ++attempt) {
+        clean |= fault->decide(shard, attempt) == FaultAction::kNone;
+      }
+      converges &= clean;
+    }
+    if (bites && converges) {
+      fault_text = text;
+      break;
+    }
+  }
+  ASSERT_FALSE(fault_text.empty()) << "no workable fault seed under 200";
+
+  const std::string dir = fresh_dir("chaos");
+  ASSERT_EQ(run(orchestrate_command(dir, fault_text,
+                                    "--shards 4 --max-attempts " +
+                                        std::to_string(kMaxAttempts))),
+            0)
+      << read_file(dir + "/orchestrate.log");
+  EXPECT_EQ(read_file(dir + "/merged.json"), read_file(kGoldenPath));
+}
+
+TEST(OrchestratorEndToEndTest, SilentlyCorruptedReplicaIsOutvoted) {
+  // Find a seed where, on first attempts (attempt = replica *
+  // max_attempts), exactly one of shard 0's three replicas silently
+  // corrupts its output — the corruption validation cannot see.
+  constexpr std::uint32_t kMaxAttempts = 3;
+  std::uint64_t seed = 0;
+  std::string fault_text;
+  for (std::uint64_t candidate = 1; candidate < 200; ++candidate) {
+    fault_text = "seed=" + std::to_string(candidate) + ":flip=0.34:shards=0";
+    std::string error;
+    const auto fault = FaultSpec::parse(fault_text, &error);
+    ASSERT_TRUE(fault.has_value()) << error;
+    std::uint32_t flips = 0;
+    for (std::uint32_t replica = 0; replica < 3; ++replica) {
+      if (fault->decide(0, replica * kMaxAttempts) ==
+          FaultAction::kSilentCorrupt) {
+        ++flips;
+      }
+    }
+    if (flips == 1) {
+      seed = candidate;
+      break;
+    }
+  }
+  ASSERT_NE(seed, 0u) << "no candidate seed flips exactly one replica";
+
+  const std::string dir = fresh_dir("vote");
+  ASSERT_EQ(run(orchestrate_command(
+                dir, fault_text,
+                "--shards 2 --replicate 3 --max-attempts " +
+                    std::to_string(kMaxAttempts))),
+            0)
+      << read_file(dir + "/orchestrate.log");
+  // The 2/3 majority outvoted the flipped replica: golden bytes anyway.
+  EXPECT_EQ(read_file(dir + "/merged.json"), read_file(kGoldenPath));
+
+  // ... and the report names the divergent replica on shard 0.
+  const JsonValue report = parse_report(dir);
+  const JsonValue* outcomes = report.find("shard_outcomes");
+  ASSERT_NE(outcomes, nullptr);
+  const JsonValue* divergent = outcomes->items.at(0).find("divergent_replicas");
+  ASSERT_NE(divergent, nullptr);
+  EXPECT_EQ(divergent->items.size(), 1u)
+      << read_file(dir + "/orchestrate.log");
+}
+
+TEST(OrchestratorEndToEndTest, ExhaustedRetriesDegradeToPartialMerge) {
+  // Shard 1 always crashes; the budget runs out.  Instead of nothing: a
+  // partial merge (missing cells explicitly null) plus a machine-readable
+  // failure report, and exit code 1.
+  const std::string dir = fresh_dir("degraded");
+  ASSERT_EQ(run(orchestrate_command(dir, "seed=1:crash=1.0:shards=1",
+                                    "--shards 3 --max-attempts 2")),
+            1)
+      << read_file(dir + "/orchestrate.log");
+
+  std::string error;
+  const auto partial = parse_json_file(dir + "/merged.json", &error);
+  ASSERT_TRUE(partial.has_value()) << error;
+  EXPECT_TRUE(partial->find("partial")->bool_value);
+  const JsonValue* missing = partial->find("missing_shards");
+  ASSERT_NE(missing, nullptr);
+  ASSERT_EQ(missing->items.size(), 1u);
+  EXPECT_EQ(missing->items[0].uint_value, 1u);
+  // Missing cells are explicit nulls; cell id == array index survives.
+  const JsonValue* cells = partial->find("cells");
+  ASSERT_NE(cells, nullptr);
+  EXPECT_EQ(cells->items.size(), partial->find("total_cells")->uint_value);
+  std::size_t nulls = 0;
+  for (const JsonValue& cell : cells->items) nulls += cell.is_null();
+  EXPECT_EQ(nulls, cells->items.size() -
+                       partial->find("cell_count")->uint_value);
+  EXPECT_GT(nulls, 0u);
+
+  const JsonValue report = parse_report(dir);
+  EXPECT_FALSE(report.find("orchestrate_complete")->bool_value);
+  const JsonValue* failed = report.find("failed_shards");
+  ASSERT_NE(failed, nullptr);
+  ASSERT_EQ(failed->items.size(), 1u);
+  EXPECT_EQ(failed->items[0].uint_value, 1u);
+}
+
+TEST(OrchestratorEndToEndTest, LedgerResumeSkipsCompletedShards) {
+  // First run: clean, completes, journals every shard.  Second run in the
+  // same workdir under crash=1.0: if ANY worker were relaunched it would
+  // die — success is only possible because the ledger resume skips all of
+  // them.
+  const std::string dir = fresh_dir("resume");
+  ASSERT_EQ(run(orchestrate_command(dir, "", "--shards 3")), 0)
+      << read_file(dir + "/orchestrate.log");
+  ASSERT_EQ(run(orchestrate_command(dir, "crash=1.0",
+                                    "--shards 3 --max-attempts 1")),
+            0)
+      << read_file(dir + "/orchestrate.log");
+  EXPECT_EQ(read_file(dir + "/merged.json"), read_file(kGoldenPath));
+  const JsonValue report = parse_report(dir);
+  const JsonValue* outcomes = report.find("shard_outcomes");
+  ASSERT_NE(outcomes, nullptr);
+  for (const JsonValue& outcome : outcomes->items) {
+    EXPECT_TRUE(outcome.find("resumed")->bool_value);
+    EXPECT_EQ(outcome.find("launches")->uint_value, 0u);
+  }
+}
+
+TEST(OrchestratorEndToEndTest, DegradedRunResumesIntoCompleteMerge) {
+  // A degraded run (shard 1 exhausted) re-run in the same workdir WITHOUT
+  // the fault: only shard 1 is recomputed, and the merge completes to the
+  // golden bytes — the repair loop a real cluster outage needs.
+  const std::string dir = fresh_dir("repair");
+  ASSERT_EQ(run(orchestrate_command(dir, "seed=1:crash=1.0:shards=1",
+                                    "--shards 3 --max-attempts 2")),
+            1)
+      << read_file(dir + "/orchestrate.log");
+  ASSERT_EQ(run(orchestrate_command(dir, "", "--shards 3")), 0)
+      << read_file(dir + "/orchestrate.log");
+  EXPECT_EQ(read_file(dir + "/merged.json"), read_file(kGoldenPath));
+  const JsonValue report = parse_report(dir);
+  const JsonValue* outcomes = report.find("shard_outcomes");
+  ASSERT_NE(outcomes, nullptr);
+  EXPECT_TRUE(outcomes->items.at(0).find("resumed")->bool_value);
+  EXPECT_FALSE(outcomes->items.at(1).find("resumed")->bool_value);
+  EXPECT_TRUE(outcomes->items.at(2).find("resumed")->bool_value);
+}
+
+TEST(OrchestratorEndToEndTest, HungWorkerIsKilledByTimeout) {
+  // Shard 0 hangs forever on every attempt; the supervision timeout must
+  // kill it (twice), then degrade gracefully.
+  const std::string dir = fresh_dir("hang");
+  ASSERT_EQ(run(orchestrate_command(dir, "hang=1.0:shards=0",
+                                    "--shards 2 --max-attempts 2 "
+                                    "--timeout 1")),
+            1)
+      << read_file(dir + "/orchestrate.log");
+  const JsonValue report = parse_report(dir);
+  const JsonValue* outcomes = report.find("shard_outcomes");
+  ASSERT_NE(outcomes, nullptr);
+  EXPECT_EQ(outcomes->items.at(0).find("timeouts")->uint_value, 2u);
+  const JsonValue* failed = report.find("failed_shards");
+  ASSERT_NE(failed, nullptr);
+  ASSERT_EQ(failed->items.size(), 1u);
+  EXPECT_EQ(failed->items[0].uint_value, 0u);
+}
+
+}  // namespace
+}  // namespace pef

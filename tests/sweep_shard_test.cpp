@@ -10,6 +10,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/json.hpp"
 #include "engine/sweep_runner.hpp"
 
 namespace pef {
@@ -101,20 +102,39 @@ TEST(SweepShardTest, MergeRejectsBrokenPartitions) {
   EXPECT_FALSE(merge_sweep_shards({shard0}, &error).has_value());
   EXPECT_NE(error.find("2 shards"), std::string::npos) << error;
 
+  // Duplicate shard indices are a hard error naming BOTH offending inputs
+  // (default names without paths; real paths below).
   EXPECT_FALSE(merge_sweep_shards({shard0, shard0}, &error).has_value());
-  EXPECT_NE(error.find("shard 1"), std::string::npos) << error;
+  EXPECT_NE(error.find("duplicate shard index 0"), std::string::npos)
+      << error;
+  EXPECT_NE(error.find("shard file 0"), std::string::npos) << error;
+  EXPECT_NE(error.find("shard file 1"), std::string::npos) << error;
+
+  // When the caller supplies file names (pef_sweep --merge passes its
+  // argv paths), the error names the actual files.
+  const std::vector<std::string> names{"runA/shard0.json", "runB/shard0.json"};
+  EXPECT_FALSE(merge_sweep_shards({shard0, shard0}, &error, nullptr, &names)
+                   .has_value());
+  EXPECT_NE(error.find("runA/shard0.json"), std::string::npos) << error;
+  EXPECT_NE(error.find("runB/shard0.json"), std::string::npos) << error;
 
   // Shards of different partitions of the same sweep don't mix.
   const std::string third = runner.run(spec, {2, 3}).to_shard_json();
   EXPECT_FALSE(merge_sweep_shards({shard0, third}, &error).has_value());
+  EXPECT_NE(error.find("different partition"), std::string::npos) << error;
 
   // Shards of a DIFFERENT sweep with the same cell count and shard count
-  // don't mix either (the embedded spec disagrees).
+  // don't mix either (the embedded spec disagrees), and the error names
+  // the mismatching file pair.
   SweepSpec other = spec;
   other.horizon = 123;  // same 48 cells, different sweep
   const std::string foreign = runner.run(other, {1, 2}).to_shard_json();
-  EXPECT_FALSE(merge_sweep_shards({shard0, foreign}, &error).has_value());
+  const std::vector<std::string> pair{"good.json", "foreign.json"};
+  EXPECT_FALSE(merge_sweep_shards({shard0, foreign}, &error, nullptr, &pair)
+                   .has_value());
   EXPECT_NE(error.find("different sweep"), std::string::npos) << error;
+  EXPECT_NE(error.find("foreign.json"), std::string::npos) << error;
+  EXPECT_NE(error.find("good.json"), std::string::npos) << error;
 
   // A full (unsharded) output is not a shard file.
   const std::string full = runner.run(spec).to_json();
@@ -146,10 +166,13 @@ TEST(SweepShardTest, MergeReportsMissingShardsByIndex) {
   EXPECT_NE(error.find("missing shards 0, 1 of 3"), std::string::npos)
       << error;
 
-  // A duplicate covers one index twice and leaves another uncovered.
+  // A duplicate is a hard validation error, not a "missing" situation —
+  // it gets no missing list, only the duplicate diagnostic.
   EXPECT_FALSE(merge_sweep_shards({shard0, shard0, shard2}, &error, &missing)
                    .has_value());
-  EXPECT_EQ(missing, (std::vector<std::uint32_t>{1}));
+  EXPECT_TRUE(missing.empty());
+  EXPECT_NE(error.find("duplicate shard index 0"), std::string::npos)
+      << error;
 
   // Success clears the list.
   missing = {99};
@@ -158,6 +181,70 @@ TEST(SweepShardTest, MergeReportsMissingShardsByIndex) {
   ASSERT_TRUE(merged.has_value()) << error;
   EXPECT_TRUE(missing.empty());
   EXPECT_EQ(*merged, golden_json());
+}
+
+TEST(SweepShardTest, PartialMergeEmitsExplicitNullsForMissingCells) {
+  // The --allow-partial convention: a degraded merge keeps the FULL cell
+  // array with an explicit null per missing cell, so cell id == array
+  // index survives degradation.
+  const SweepSpec spec = golden_spec();
+  const SweepRunner runner(1);
+  const std::string shard0 = runner.run(spec, {0, 3}).to_shard_json();
+  const std::string shard2 = runner.run(spec, {2, 3}).to_shard_json();
+
+  std::string error;
+  const auto partial = merge_sweep_shards_partial({shard0, shard2}, &error);
+  ASSERT_TRUE(partial.has_value()) << error;
+  EXPECT_FALSE(partial->complete);
+  EXPECT_EQ(partial->missing_shards, (std::vector<std::uint32_t>{1}));
+
+  const auto document = parse_json(partial->json, &error);
+  ASSERT_TRUE(document.has_value()) << error;
+  EXPECT_TRUE(document->find("partial")->bool_value);
+  const std::uint64_t total = document->find("total_cells")->uint_value;
+  const JsonValue* cells = document->find("cells");
+  ASSERT_NE(cells, nullptr);
+  ASSERT_EQ(cells->items.size(), total);
+  // Shard 1 of 3 covers cells [16, 32): exactly those are null; every
+  // other slot holds a real cell object in grid order.
+  std::uint64_t nulls = 0;
+  for (std::size_t i = 0; i < cells->items.size(); ++i) {
+    if (cells->items[i].is_null()) {
+      ++nulls;
+      EXPECT_GE(i, total * 1 / 3);
+      EXPECT_LT(i, total * 2 / 3);
+    } else {
+      EXPECT_TRUE(cells->items[i].is_object());
+      EXPECT_NE(cells->items[i].find("algorithm"), nullptr);
+    }
+  }
+  EXPECT_EQ(nulls, total / 3);
+  EXPECT_EQ(document->find("cell_count")->uint_value, total - nulls);
+
+  // A complete set gives back the strict merge bytes, complete == true.
+  const std::string shard1 = runner.run(spec, {1, 3}).to_shard_json();
+  const auto complete =
+      merge_sweep_shards_partial({shard0, shard1, shard2}, &error);
+  ASSERT_TRUE(complete.has_value()) << error;
+  EXPECT_TRUE(complete->complete);
+  EXPECT_TRUE(complete->missing_shards.empty());
+  EXPECT_EQ(complete->json, golden_json());
+}
+
+TEST(SweepShardTest, MergeRejectsSlicesThatDontFitThePartitionFormula) {
+  // A shard claiming index 0/2 but holding shard 0/3's cells (a corrupted
+  // or hand-edited file) is caught by the slice-placement check.
+  const SweepSpec spec = golden_spec();
+  const SweepRunner runner(1);
+  std::string forged = runner.run(spec, {0, 3}).to_shard_json();
+  const auto pos = forged.find("\"shard_count\":3");
+  ASSERT_NE(pos, std::string::npos);
+  forged.replace(pos, 15, "\"shard_count\":2");
+  const std::string shard1 = runner.run(spec, {1, 2}).to_shard_json();
+
+  std::string error;
+  EXPECT_FALSE(merge_sweep_shards({forged, shard1}, &error).has_value());
+  EXPECT_NE(error.find("should cover cells"), std::string::npos) << error;
 }
 
 TEST(SweepShardTest, ShardCellsMatchTheFullRunSlice) {

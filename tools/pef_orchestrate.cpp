@@ -1,0 +1,180 @@
+// pef_orchestrate — fault-tolerant distributed driver for sharded sweeps.
+//
+//   pef_orchestrate --spec sweep.json --shards 8 --out merged.json
+//   pef_orchestrate --spec sweep.json --shards 8 --replicate 3   # NMR/TMR
+//
+// Spawns one `pef_sweep --spec F --shard I/N` worker per shard (times R
+// under --replicate) through a WorkerBackend (local process pool today;
+// the interface takes ssh/batch-queue backends later), supervises them —
+// per-shard timeout, crash/exit-code/unparseable-output detection, retry
+// with capped exponential backoff — and merges the accepted shards into
+// output byte-identical to the unsharded run.  Accepted shards are
+// journaled in <workdir>/ledger.jsonl, so re-running a killed orchestrator
+// resumes instead of recomputing.  On exhausted retries it degrades
+// gracefully: a partial merge (missing cells explicitly null) goes to
+// --out, the machine-readable failure report to --report, and the exit
+// code says 1.
+//
+// Chaos testing: export PEF_FAULT_SPEC (see src/orchestrator/fault.hpp)
+// before running and the workers will deterministically crash / corrupt
+// their output / hang, exercising every recovery path above — the CI
+// chaos-smoke step gates on the recovered merge matching the golden
+// baseline.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/args.hpp"
+#include "core/spec.hpp"
+#include "orchestrator/fault.hpp"
+#include "orchestrator/supervisor.hpp"
+
+namespace pef {
+namespace {
+
+void print_help(const char* program) {
+  std::cout
+      << "usage: " << program << " --spec FILE --shards N [flags]\n\n"
+      << "  --spec FILE        SweepSpec JSON to run (sharded N ways)\n"
+      << "  --shards N         partition the cell list into N shards\n"
+      << "  --replicate R      run each shard R times and accept the\n"
+      << "                     byte-identical majority (NMR voting;\n"
+      << "                     default 1 = off)\n"
+      << "  --jobs J           concurrent workers (default: hardware)\n"
+      << "  --max-attempts M   attempt budget per replica slot (default 3)\n"
+      << "  --timeout S        kill a worker after S seconds (default 300,\n"
+      << "                     0 = never)\n"
+      << "  --backoff-ms B     initial retry backoff (default 200,\n"
+      << "                     doubles per failure)\n"
+      << "  --backoff-cap-ms C backoff ceiling (default 5000)\n"
+      << "  --workdir DIR      shard files, worker logs and the resume\n"
+      << "                     ledger (default: pef_orchestrate_work)\n"
+      << "  --worker PATH      shard worker binary (default: the pef_sweep\n"
+      << "                     next to this binary)\n"
+      << "  --worker-threads T --threads for each worker (default 1)\n"
+      << "  --out FILE         merged JSON (default: stdout); on failed\n"
+      << "                     shards this is the partial merge\n"
+      << "  --report FILE      machine-readable run report (default:\n"
+      << "                     <workdir>/report.json)\n"
+      << "  --help             this text\n\n"
+      << "exit: 0 = complete merge, 1 = degraded (see report), 2 = usage\n";
+}
+
+std::string default_worker(const std::string& program) {
+  const auto slash = program.rfind('/');
+  if (slash == std::string::npos) return "pef_sweep";
+  return program.substr(0, slash + 1) + "pef_sweep";
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) return false;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+bool write_out(const std::string& path, const std::string& content) {
+  if (path.empty()) {
+    std::cout << content << "\n";
+    return true;
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    std::cerr << "cannot write " << path << "\n";
+    return false;
+  }
+  out << content << "\n";
+  return out.good();
+}
+
+}  // namespace
+}  // namespace pef
+
+int main(int argc, char** argv) {
+  using namespace pef;
+
+  ArgParser args(argc, argv);
+  if (args.has("--help")) {
+    print_help(argv[0]);
+    return 0;
+  }
+
+  OrchestratorOptions options;
+  options.spec_path = args.get_string("--spec", "");
+  options.shards = args.get_u32("--shards", 0);
+  options.replicate = args.get_u32("--replicate", 1);
+  options.jobs = args.get_u32("--jobs", 0);
+  options.max_attempts = args.get_u32("--max-attempts", 3);
+  options.timeout_seconds = args.get_double("--timeout", 300);
+  options.backoff_initial_ms = args.get_double("--backoff-ms", 200);
+  options.backoff_cap_ms = args.get_double("--backoff-cap-ms", 5000);
+  options.workdir = args.get_string("--workdir", "pef_orchestrate_work");
+  options.worker_binary =
+      args.get_string("--worker", default_worker(args.program()));
+  options.worker_threads = args.get_u32("--worker-threads", 1);
+  const std::string out_path = args.get_string("--out", "");
+  std::string report_path = args.get_string("--report", "");
+  args.check_unused();
+
+  if (options.spec_path.empty() || options.shards == 0) {
+    std::cerr << "need --spec FILE and --shards N (see --help)\n";
+    return 2;
+  }
+  if (options.replicate == 0 || options.max_attempts == 0) {
+    std::cerr << "--replicate and --max-attempts must be >= 1\n";
+    return 2;
+  }
+  if (report_path.empty()) {
+    report_path = options.workdir + "/report.json";
+  }
+
+  // Resolve the spec up front: its canonical JSON is the identity every
+  // shard output (and the resume ledger) is validated against.
+  std::string spec_text;
+  if (!read_file(options.spec_path, spec_text)) {
+    std::cerr << "cannot read " << options.spec_path << "\n";
+    return 2;
+  }
+  std::string error;
+  const auto spec = parse_sweep_spec(spec_text, &error);
+  if (!spec) {
+    std::cerr << options.spec_path << ": " << error << "\n";
+    return 2;
+  }
+  options.spec_json = spec->to_json();
+
+  if (const char* fault = std::getenv(kFaultSpecEnvVar)) {
+    if (*fault != '\0') {
+      std::cerr << "pef_orchestrate: chaos mode — workers inherit "
+                << kFaultSpecEnvVar << "=" << fault << "\n";
+    }
+  }
+
+  LocalProcessBackend backend(options.jobs);
+  const OrchestratorResult result =
+      orchestrate(backend, options, &std::cerr);
+
+  if (!write_out(report_path, result.report_json)) return 2;
+  if (result.complete) {
+    if (!write_out(out_path, result.merged_json)) return 2;
+    std::cerr << "pef_orchestrate: complete — " << options.shards
+              << " shards accepted (report: " << report_path << ")\n";
+    return 0;
+  }
+
+  // Graceful degradation: ship what exists plus the report, never nothing.
+  std::cerr << "pef_orchestrate: DEGRADED — " << result.failed_shards.size()
+            << " of " << options.shards
+            << " shards failed; partial merge "
+            << (out_path.empty() ? "on stdout" : "in " + out_path)
+            << ", report in " << report_path << "\n";
+  std::cerr << "  re-run with the same --workdir to retry only the failed "
+               "shards\n";
+  if (!result.merged_json.empty()) {
+    if (!write_out(out_path, result.merged_json)) return 2;
+  }
+  return 1;
+}

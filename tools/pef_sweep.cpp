@@ -17,14 +17,19 @@
 //
 // JSON goes to --out (or stdout); the human-readable run summary goes to
 // stderr so piping stdout stays clean.
+#include <unistd.h>
+
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/args.hpp"
 #include "engine/sweep_runner.hpp"
+#include "orchestrator/fault.hpp"
 
 namespace pef {
 namespace {
@@ -45,6 +50,12 @@ void print_help(const char* program) {
       << "                   missing/unreadable shards, exits non-zero and\n"
       << "                   writes a {\"merge_failed\", \"missing_shards\"}\n"
       << "                   report naming the shard indices to re-run\n"
+      << "  --allow-partial  with --merge: when shards are missing, write\n"
+      << "                   the degraded document instead of the failure\n"
+      << "                   report — {\"partial\": true, ...} with one\n"
+      << "                   explicit null per missing cell, so cell id ==\n"
+      << "                   array index survives — still exiting non-zero\n"
+      << "                   and reporting missing_shards on stderr\n"
       << "  --out FILE       write the JSON here instead of stdout\n"
       << "  --threads T      worker threads (default: hardware)\n"
       << "  --validate       parse + validate the spec, print the resolved\n"
@@ -122,7 +133,13 @@ int main(int argc, char** argv) {
   const std::string out_path = args.get_string("--out", "");
   const auto threads = args.get_u32("--threads", 0);
   const bool validate_only = args.has("--validate");
+  const bool allow_partial = args.has("--allow-partial");
   args.check_unused();
+
+  if (allow_partial && merge_list.empty()) {
+    std::cerr << "--allow-partial only makes sense with --merge\n";
+    return 2;
+  }
 
   if (!merge_list.empty()) {
     if (!spec_path.empty() || !shard_text.empty() || validate_only) {
@@ -131,6 +148,7 @@ int main(int argc, char** argv) {
     }
     const std::vector<std::string> paths = split_commas(merge_list);
     std::vector<std::string> shard_jsons;
+    std::vector<std::string> shard_names;
     std::vector<std::string> unreadable;
     for (const std::string& path : paths) {
       std::string content;
@@ -142,12 +160,15 @@ int main(int argc, char** argv) {
         continue;
       }
       shard_jsons.push_back(std::move(content));
+      shard_names.push_back(path);
     }
     std::string error;
-    std::vector<std::uint32_t> missing;
-    const auto merged = shard_jsons.empty()
-                            ? std::nullopt
-                            : merge_sweep_shards(shard_jsons, &error, &missing);
+    const auto merge = shard_jsons.empty()
+                           ? std::nullopt
+                           : merge_sweep_shards_partial(shard_jsons, &error,
+                                                        &shard_names);
+    const std::vector<std::uint32_t> missing =
+        merge ? merge->missing_shards : std::vector<std::uint32_t>{};
     if (shard_jsons.empty()) {
       // Without a single readable shard envelope the partition size N is
       // unknown, so no index list can be produced — say so explicitly
@@ -156,8 +177,43 @@ int main(int argc, char** argv) {
       error =
           "no readable shard files (shard count unknown — re-run every "
           "shard of the partition)";
+    } else if (merge && !merge->complete && !allow_partial) {
+      std::string missing_list;
+      for (const std::uint32_t index : missing) {
+        if (!missing_list.empty()) missing_list += ", ";
+        missing_list += std::to_string(index);
+      }
+      error = "missing shard" + std::string(missing.size() == 1 ? "" : "s") +
+              " " + missing_list + " (re-run them, or --allow-partial for "
+              "a degraded merge)";
     }
-    if (!merged || !unreadable.empty()) {
+
+    const bool complete = merge && merge->complete && unreadable.empty();
+    if (complete) {
+      std::cerr << "merged " << paths.size() << " shards\n";
+      return emit(merge->json, out_path);
+    }
+    if (allow_partial && merge) {
+      // Degraded-but-usable: the partial document (explicit nulls for the
+      // cells of missing shards) goes to --out; the non-zero exit and the
+      // stderr report keep the degradation impossible to miss.
+      std::cerr << "partial merge: " << missing.size() << " missing shard"
+                << (missing.size() == 1 ? "" : "s");
+      if (!missing.empty()) {
+        std::cerr << " {";
+        for (std::size_t i = 0; i < missing.size(); ++i) {
+          std::cerr << (i == 0 ? "" : ", ") << missing[i];
+        }
+        std::cerr << "}";
+      }
+      std::cerr << "\n";
+      for (const std::string& path : unreadable) {
+        std::cerr << "  unreadable: " << path << "\n";
+      }
+      emit(merge->json, out_path);
+      return 1;
+    }
+    {
       // Structured failure report instead of a bare error: the
       // missing_shards indices are the exact `--shard I/N` re-runs a
       // launcher needs to repair the sweep (ROADMAP: shard-retry
@@ -190,8 +246,6 @@ int main(int argc, char** argv) {
       emit(json.str(), out_path);
       return 1;
     }
-    std::cerr << "merged " << paths.size() << " shards\n";
-    return emit(*merged, out_path);
   }
 
   if (spec_path.empty()) {
@@ -224,6 +278,20 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Deterministic chaos (PEF_FAULT_SPEC, see orchestrator/fault.hpp): this
+  // worker may be fated to die before writing, hang until a supervision
+  // timeout kills it, or corrupt its output below — the orchestrator's
+  // recovery paths are tested against real worker processes, not mocks.
+  const FaultAction fault = fault_action_from_env(shard.index);
+  if (fault == FaultAction::kCrash) {
+    std::cerr << "fault injection: crash before write\n";
+    _exit(kFaultCrashExitCode);
+  }
+  if (fault == FaultAction::kHang) {
+    std::cerr << "fault injection: hanging\n";
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
+  }
+
   const SweepRunner runner(threads);
   const SweepResult result = runner.run(*spec, shard);
   std::cerr << "pef_sweep: " << result.cells.size() << " cells";
@@ -237,5 +305,24 @@ int main(int argc, char** argv) {
             << static_cast<std::uint64_t>(result.rounds_per_sec())
             << " rounds/sec (" << result.wall_seconds << " s)\n";
 
-  return emit(sharded ? result.to_shard_json() : result.to_json(), out_path);
+  std::string json = sharded ? result.to_shard_json() : result.to_json();
+  if (fault == FaultAction::kCorruptOutput) {
+    // Truncated output with a clean exit 0 — the failure only OUTPUT
+    // validation can catch.
+    std::cerr << "fault injection: corrupting output\n";
+    json.resize(json.size() / 2);
+  } else if (fault == FaultAction::kSilentCorrupt) {
+    // Simulated bit-flip: still valid shard JSON for the right sweep, but
+    // one metric digit is wrong — undetectable by validation, caught only
+    // when an NMR vote compares byte-identical replicas.
+    std::cerr << "fault injection: silently corrupting a metric\n";
+    const auto pos = json.rfind("\"total_moves\":");
+    if (pos != std::string::npos) {
+      const auto digit = json.find_first_of("0123456789", pos);
+      if (digit != std::string::npos) {
+        json[digit] = json[digit] == '9' ? '1' : json[digit] + 1;
+      }
+    }
+  }
+  return emit(json, out_path);
 }
