@@ -1,8 +1,14 @@
 #include "engine/batch_engine.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <utility>
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+#include <immintrin.h>
+#endif
 
 #include "scheduler/async.hpp"
 #include "scheduler/ssync.hpp"
@@ -12,6 +18,58 @@
 
 namespace pef {
 namespace {
+
+// ---------------------------------------------------------------------------
+// ISA dispatch
+//
+// The hot kernels (row-compare multiplicity, the fused FSYNC pass) are
+// compiled three times — portable, AVX2, AVX-512 — from one always_inline
+// body, and a wrapper picks the widest tier the CPU supports once per
+// process (__builtin_cpu_supports).  Explicit wrappers instead of
+// target_clones because (a) target_clones does not apply to the templated
+// pass, and (b) the PEF_BATCH_ISA escape hatch must reach every kernel:
+// PEF_BATCH_ISA=portable|avx2|avx512 CLAMPS the tier (never raises it past
+// what the CPU has), which is how the differential tests pin every tier to
+// identical results and how CI exercises the dispatch on runners whose ISA
+// is unknown.  All tiers compute the same integer arithmetic, so the tier
+// choice can never change results — only how fast they appear.
+
+enum class BatchIsa : std::uint8_t { kPortable = 0, kAvx2 = 1, kAvx512 = 2 };
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+#define PEF_BATCH_HAS_ISA_WRAPPERS 1
+// The full Skylake-and-later server subset the kernels want: f/bw/dq/vl
+// covers 512-bit u32 compares, byte-plane blends and 256/128-bit tails.
+#define PEF_BATCH_AVX512_TARGET "avx512f,avx512bw,avx512dq,avx512vl"
+#endif
+
+[[nodiscard]] BatchIsa detect_batch_isa() {
+#ifdef PEF_BATCH_HAS_ISA_WRAPPERS
+  BatchIsa best = BatchIsa::kPortable;
+  if (__builtin_cpu_supports("avx2")) best = BatchIsa::kAvx2;
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512vl")) {
+    best = BatchIsa::kAvx512;
+  }
+  if (const char* env = std::getenv("PEF_BATCH_ISA")) {
+    BatchIsa cap = best;
+    if (std::strcmp(env, "portable") == 0) cap = BatchIsa::kPortable;
+    if (std::strcmp(env, "avx2") == 0) cap = BatchIsa::kAvx2;
+    if (std::strcmp(env, "avx512") == 0) cap = BatchIsa::kAvx512;
+    if (cap < best) best = cap;  // clamp only — never exceed the hardware
+  }
+  return best;
+#else
+  return BatchIsa::kPortable;
+#endif
+}
+
+[[nodiscard]] BatchIsa active_isa() {
+  static const BatchIsa isa = detect_batch_isa();
+  return isa;
+}
 
 /// The batched form of KernelState: references into the per-field state
 /// planes, structurally compatible with kernel_compute / init_kernel_state.
@@ -112,32 +170,175 @@ template <std::uint32_t W>
   }
 }
 
-// On x86-64/GCC the chunked kernel is cloned per ISA level and
-// runtime-dispatched (the portable default stays the only version
-// elsewhere).  256-bit is the deliberate ceiling: 512-bit clones measured
-// slower here (frequency licensing on the Xeons this targets).
-#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
-__attribute__((target_clones("avx2", "default")))
+// The driver walks one LANE RANGE [off0, off0+live): callers pass
+// plane-base pointers plus the range, so one multiplicity boundary can be
+// sliced across worker threads (tower[] here is pre-rebased to the range).
+// WMax is the leading chunk width: 16 u32 (two ymm per row) for AVX2 and
+// the portable tier, 32 (two zmm) for AVX-512 — one zmm per row leaves the
+// compare ports half idle and measured SLOWER than the AVX2 tier.
+template <std::uint32_t WMax>
+[[gnu::always_inline]] inline void compute_multiplicity_rows_body(
+    const NodeId* __restrict node, std::uint8_t* __restrict mult,
+    std::uint8_t* __restrict tower, std::uint32_t k, std::uint32_t stride,
+    std::uint32_t off0, std::uint32_t live) {
+  for (std::uint32_t l = 0; l < live; ++l) tower[l] = 0;
+  tower -= off0;  // mult_chunk indexes tower by absolute offset
+  std::uint32_t off = off0;
+  const std::uint32_t end = off0 + live;
+  if constexpr (WMax >= 32) {
+    for (; off + 32 <= end; off += 32) {
+      mult_chunk<32>(node, mult, tower, k, stride, off);
+    }
+  }
+  for (; off + 16 <= end; off += 16) {
+    mult_chunk<16>(node, mult, tower, k, stride, off);
+  }
+  for (; off + 8 <= end; off += 8) {
+    mult_chunk<8>(node, mult, tower, k, stride, off);
+  }
+  for (; off + 4 <= end; off += 4) {
+    mult_chunk<4>(node, mult, tower, k, stride, off);
+  }
+  for (; off < end; ++off) {
+    mult_chunk<1>(node, mult, tower, k, stride, off);
+  }
+}
+
+#ifdef PEF_BATCH_HAS_ISA_WRAPPERS
+__attribute__((target("avx2"))) void compute_multiplicity_rows_avx2(
+    const NodeId* __restrict node, std::uint8_t* __restrict mult,
+    std::uint8_t* __restrict tower, std::uint32_t k, std::uint32_t stride,
+    std::uint32_t off0, std::uint32_t live) {
+  compute_multiplicity_rows_body<16>(node, mult, tower, k, stride, off0,
+                                     live);
+}
+
+// AVX-512 pairwise kernel for k <= 16.  One chunk covers 16 lanes (one zmm
+// per robot row), and with k <= 16 ALL robot rows fit in zmm registers at
+// once — the pair loop then runs i<j compares with zero memory traffic.
+// Each vpcmpeqd yields a 16-bit lane mask which is OR-accumulated for BOTH
+// rows of the pair in scalar GPRs; this (a) halves the compares versus the
+// count-equal formulation (multiplicity is a bit, not a count), and (b)
+// leaves nothing for the compiler to spill — the autovectorized W=32
+// counting body loses ~4x to stack traffic on exactly this loop.
+template <std::uint32_t KC>
+__attribute__((target(PEF_BATCH_AVX512_TARGET))) [[gnu::always_inline]] inline
+void mult_pairs_chunk_avx512(const NodeId* __restrict node,
+                             std::uint8_t* __restrict mult,
+                             std::uint8_t* __restrict tower,
+                             std::uint32_t stride, std::uint32_t off,
+                             __mmask16 lanes) {
+  // Masked-out tail lanes load as zero in every row, so they compare equal
+  // everywhere — harmless, because every store below is masked by `lanes`.
+  __m512i rows[KC];
+  for (std::uint32_t i = 0; i < KC; ++i) {
+    rows[i] =
+        _mm512_maskz_loadu_epi32(lanes, node + std::size_t{i} * stride + off);
+  }
+  std::uint32_t acc[KC] = {};
+  for (std::uint32_t i = 0; i + 1 < KC; ++i) {
+    for (std::uint32_t j = i + 1; j < KC; ++j) {
+      const std::uint32_t eq =
+          _cvtmask16_u32(_mm512_cmpeq_epi32_mask(rows[i], rows[j]));
+      acc[i] |= eq;
+      acc[j] |= eq;
+    }
+  }
+  const __m128i ones = _mm_set1_epi8(1);
+  std::uint32_t tw = 0;
+  for (std::uint32_t i = 0; i < KC; ++i) {
+    tw |= acc[i];
+    _mm_mask_storeu_epi8(
+        mult + std::size_t{i} * stride + off, lanes,
+        _mm_maskz_mov_epi8(static_cast<__mmask16>(acc[i]), ones));
+  }
+  _mm_mask_storeu_epi8(tower + off, lanes,
+                       _mm_maskz_mov_epi8(static_cast<__mmask16>(tw), ones));
+}
+
+template <std::uint32_t KC>
+__attribute__((target(PEF_BATCH_AVX512_TARGET))) void mult_pairs_avx512(
+    const NodeId* __restrict node, std::uint8_t* __restrict mult,
+    std::uint8_t* __restrict tower, std::uint32_t stride, std::uint32_t off0,
+    std::uint32_t live) {
+  tower -= off0;  // chunks index tower by absolute offset, like mult_chunk
+  std::uint32_t off = off0;
+  const std::uint32_t end = off0 + live;
+  for (; off + 16 <= end; off += 16) {
+    mult_pairs_chunk_avx512<KC>(node, mult, tower, stride, off, 0xffff);
+  }
+  if (off < end) {
+    const __mmask16 tail =
+        static_cast<__mmask16>((1u << (end - off)) - 1u);
+    mult_pairs_chunk_avx512<KC>(node, mult, tower, stride, off, tail);
+  }
+}
+
+__attribute__((target(PEF_BATCH_AVX512_TARGET))) void
+compute_multiplicity_rows_avx512(const NodeId* __restrict node,
+                                 std::uint8_t* __restrict mult,
+                                 std::uint8_t* __restrict tower,
+                                 std::uint32_t k, std::uint32_t stride,
+                                 std::uint32_t off0, std::uint32_t live) {
+  switch (k) {
+#define PEF_MULT_PAIRS_CASE(KC)                                  \
+  case KC:                                                       \
+    mult_pairs_avx512<KC>(node, mult, tower, stride, off0, live); \
+    return;
+    PEF_MULT_PAIRS_CASE(2)
+    PEF_MULT_PAIRS_CASE(3)
+    PEF_MULT_PAIRS_CASE(4)
+    PEF_MULT_PAIRS_CASE(5)
+    PEF_MULT_PAIRS_CASE(6)
+    PEF_MULT_PAIRS_CASE(7)
+    PEF_MULT_PAIRS_CASE(8)
+    PEF_MULT_PAIRS_CASE(9)
+    PEF_MULT_PAIRS_CASE(10)
+    PEF_MULT_PAIRS_CASE(11)
+    PEF_MULT_PAIRS_CASE(12)
+    PEF_MULT_PAIRS_CASE(13)
+    PEF_MULT_PAIRS_CASE(14)
+    PEF_MULT_PAIRS_CASE(15)
+    PEF_MULT_PAIRS_CASE(16)
+#undef PEF_MULT_PAIRS_CASE
+    case 0:
+    case 1: {
+      // A lone robot can never stand on a tower.
+      for (std::uint32_t i = 0; i < k; ++i) {
+        std::memset(mult + std::size_t{i} * stride + off0, 0, live);
+      }
+      std::memset(tower, 0, live);
+      return;
+    }
+    default:
+      compute_multiplicity_rows_body<32>(node, mult, tower, k, stride, off0,
+                                         live);
+      return;
+  }
+}
 #endif
+
 void compute_multiplicity_rows(const NodeId* __restrict node,
                                std::uint8_t* __restrict mult,
                                std::uint8_t* __restrict tower,
                                std::uint32_t k, std::uint32_t stride,
-                               std::uint32_t live) {
-  for (std::uint32_t l = 0; l < live; ++l) tower[l] = 0;
-  std::uint32_t off = 0;
-  for (; off + 16 <= live; off += 16) {
-    mult_chunk<16>(node, mult, tower, k, stride, off);
+                               std::uint32_t off0, std::uint32_t live) {
+#ifdef PEF_BATCH_HAS_ISA_WRAPPERS
+  switch (active_isa()) {
+    case BatchIsa::kAvx512:
+      compute_multiplicity_rows_avx512(node, mult, tower, k, stride, off0,
+                                       live);
+      return;
+    case BatchIsa::kAvx2:
+      compute_multiplicity_rows_avx2(node, mult, tower, k, stride, off0,
+                                     live);
+      return;
+    case BatchIsa::kPortable:
+      break;
   }
-  for (; off + 8 <= live; off += 8) {
-    mult_chunk<8>(node, mult, tower, k, stride, off);
-  }
-  for (; off + 4 <= live; off += 4) {
-    mult_chunk<4>(node, mult, tower, k, stride, off);
-  }
-  for (; off < live; ++off) {
-    mult_chunk<1>(node, mult, tower, k, stride, off);
-  }
+#endif
+  compute_multiplicity_rows_body<16>(node, mult, tower, k, stride, off0,
+                                     live);
 }
 
 /// The two ring-edge ids adjacent to node `u` in a robot's frame: .first
@@ -166,9 +367,11 @@ void compute_multiplicity_rows(const NodeId* __restrict node,
 /// Everything the fused FSYNC pass touches, as raw restrict-able pointers,
 /// so the pass can live in free functions compiled per ISA level.  Edge
 /// words come as the contiguous plane base + row stride (lane l's row is
-/// edges + l * ewpr).
+/// edges + l * ewpr).  The pass covers the lane range [l0, l1) — one
+/// replica block's slice of the planes.
 struct FsyncPassArgs {
-  std::uint32_t live = 0;
+  std::uint32_t l0 = 0;
+  std::uint32_t l1 = 0;
   std::uint32_t stride = 0;
   std::uint32_t k = 0;
   std::uint32_t n = 0;
@@ -185,6 +388,20 @@ struct FsyncPassArgs {
   std::uint64_t* moves = nullptr;
 };
 
+/// With every edge present, a kernel's Compute collapses: the edge tests
+/// are constant-true, so the direction update is a pure function of the
+/// multiplicity byte and the has_moved byte — straight-line byte-plane
+/// arithmetic with no per-lane state loads.  These kernels take the
+/// branchless two-loop body below (one byte loop for Compute, one u32
+/// loop for Move); oscillating (per-lane period) and random-walk (serial
+/// RNG) keep the generic body.
+template <KernelId Id>
+inline constexpr bool kAllFullBranchless =
+    Id == KernelId::kKeepDirection || Id == KernelId::kBounce ||
+    Id == KernelId::kPef1 || Id == KernelId::kPef2 ||
+    Id == KernelId::kPef3Plus || Id == KernelId::kPef3PlusNoRule2 ||
+    Id == KernelId::kPef3PlusNoRule3;
+
 // ONE fused Look+Compute+Move pass, replica-stride inner loop.  Fusing is
 // sound because every Look input is frozen for the round: E_t and the
 // multiplicity plane never change mid-round, and a robot's Move only
@@ -193,7 +410,8 @@ struct FsyncPassArgs {
 // is exactly what the replica axis was laid out for.
 template <KernelId Id, bool AllFull>
 [[gnu::always_inline]] inline void fsync_pass_body(const FsyncPassArgs& a) {
-  const std::uint32_t live = a.live;
+  const std::uint32_t l0 = a.l0;
+  const std::uint32_t l1 = a.l1;
   const std::uint32_t n = a.n;
   NodeId* const __restrict node = a.node;
   std::uint8_t* const __restrict dir = a.dir;
@@ -206,9 +424,47 @@ template <KernelId Id, bool AllFull>
   const std::uint64_t* const __restrict edges = a.edges;
   const std::uint32_t ewpr = a.ewpr;
 
+  if constexpr (AllFull && kAllFullBranchless<Id>) {
+    // Branchless form (see kAllFullBranchless).  LocalDirection is {0, 1}
+    // with opposite == XOR 1, so "turn iff P" is dir ^= P for a 0/1 byte
+    // P, and the keep/bounce/pef1/pef2 rules reduce to no Compute at all
+    // (their turn conditions need an absent edge).  Move is one modular
+    // step whose direction is a byte compare — the whole robot row is two
+    // vectorizable loops over contiguous plane rows.
+    for (std::uint32_t i = 0; i < a.k; ++i) {
+      const std::size_t base = std::size_t{i} * a.stride;
+      std::uint8_t* const __restrict d = dir + base;
+      const std::uint8_t* const __restrict m = mult + base;
+      std::uint8_t* const __restrict hm = khas_moved + base;
+      const std::uint8_t* const __restrict c = cw + base;
+      NodeId* const __restrict nd = node + base;
+      if constexpr (Id == KernelId::kPef3Plus) {
+        for (std::uint32_t l = l0; l < l1; ++l) {
+          d[l] ^= static_cast<std::uint8_t>(hm[l] & m[l]);
+          hm[l] = 1;
+        }
+      } else if constexpr (Id == KernelId::kPef3PlusNoRule2) {
+        for (std::uint32_t l = l0; l < l1; ++l) {
+          d[l] ^= m[l];
+          hm[l] = 1;
+        }
+      } else if constexpr (Id == KernelId::kPef3PlusNoRule3) {
+        for (std::uint32_t l = l0; l < l1; ++l) hm[l] = 1;
+      }
+      for (std::uint32_t l = l0; l < l1; ++l) {
+        const NodeId u = nd[l];
+        const NodeId up = u + 1 == n ? 0 : u + 1;
+        const NodeId dn = u == 0 ? n - 1 : u - 1;
+        nd[l] = d[l] == c[l] ? up : dn;
+      }
+    }
+    for (std::uint32_t l = l0; l < l1; ++l) a.moves[l] += a.k;
+    return;
+  }
+
   for (std::uint32_t i = 0; i < a.k; ++i) {
     const std::size_t base = std::size_t{i} * a.stride;
-    for (std::uint32_t l = 0; l < live; ++l) {
+    for (std::uint32_t l = l0; l < l1; ++l) {
       const std::size_t at = base + l;
       const NodeId u = node[at];
       View view;
@@ -244,48 +500,109 @@ template <KernelId Id, bool AllFull>
   }
   if constexpr (AllFull) {
     // Every robot of every live replica moved.
-    for (std::uint32_t l = 0; l < live; ++l) a.moves[l] += a.k;
+    for (std::uint32_t l = l0; l < l1; ++l) a.moves[l] += a.k;
   }
 }
 
-// The ISA dispatch mirrors compute_multiplicity_rows, but target_clones
-// does not apply to templates, so the avx2 wrapper carries a plain target
-// attribute (the always_inline body is re-codegenned inside it) and
-// fsync_pass_run picks a wrapper once per round.
-#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
-#define PEF_BATCH_HAS_AVX2_WRAPPERS 1
+// The ISA dispatch mirrors compute_multiplicity_rows; target_clones does
+// not apply to templates, so the AVX2/AVX-512 wrappers carry plain target
+// attributes (the always_inline body is re-codegenned inside each) and
+// fsync_pass_run picks a wrapper via the shared active_isa() tier.
+#ifdef PEF_BATCH_HAS_ISA_WRAPPERS
 template <KernelId Id, bool AllFull>
 __attribute__((target("avx2"))) void fsync_pass_avx2(const FsyncPassArgs& a) {
   fsync_pass_body<Id, AllFull>(a);
 }
-#endif
-
 template <KernelId Id, bool AllFull>
-void fsync_pass_portable(const FsyncPassArgs& a) {
+__attribute__((target(PEF_BATCH_AVX512_TARGET))) void fsync_pass_avx512(
+    const FsyncPassArgs& a) {
   fsync_pass_body<Id, AllFull>(a);
 }
-
-[[nodiscard]] inline bool runtime_avx2() {
-#ifdef PEF_BATCH_HAS_AVX2_WRAPPERS
-  static const bool available = __builtin_cpu_supports("avx2");
-  return available;
-#else
-  return false;
 #endif
-}
 
 template <KernelId Id, bool AllFull>
 void fsync_pass_run(const FsyncPassArgs& a) {
-#ifdef PEF_BATCH_HAS_AVX2_WRAPPERS
-  if (runtime_avx2()) {
-    fsync_pass_avx2<Id, AllFull>(a);
-    return;
+#ifdef PEF_BATCH_HAS_ISA_WRAPPERS
+  switch (active_isa()) {
+    case BatchIsa::kAvx512:
+      fsync_pass_avx512<Id, AllFull>(a);
+      return;
+    case BatchIsa::kAvx2:
+      fsync_pass_avx2<Id, AllFull>(a);
+      return;
+    case BatchIsa::kPortable:
+      break;
   }
 #endif
-  fsync_pass_portable<Id, AllFull>(a);
+  fsync_pass_body<Id, AllFull>(a);
 }
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Adaptive batch sizing (calibrated on BENCH_scaling's batch_throughput
+// series; see bench/bench_scaling.cpp and BENCH_scaling.json at the repo
+// root for the underlying measurements).
+
+std::uint32_t batch_break_even(ExecutionModel model, std::uint32_t n,
+                               std::uint32_t k) {
+  (void)n;
+  // Below 4 replicas the batch runs the stamped multiplicity path and the
+  // solo Engine's incremental occupancy histogram wins (the measured B=1
+  // regression was ~0.94x); by B=4 the replica-stride passes amortize on
+  // every model.  Huge robot counts push the crossover up: the batch pays
+  // O(k^2) row compares where the solo engine pays O(k).
+  std::uint32_t base = 4;
+  switch (model) {
+    case ExecutionModel::kFsync:
+      base = 4;
+      break;
+    case ExecutionModel::kSsync:
+    case ExecutionModel::kAsync:
+      // Sparse activation keeps per-round batch overhead (mask fill) low
+      // but the solo engine is also cheaper per round; same knee.
+      base = 4;
+      break;
+  }
+  if (k >= 48) base = 8;  // stamped-multiplicity regime amortizes later
+  return base;
+}
+
+std::uint32_t preferred_batch_width(ExecutionModel model, std::uint32_t n,
+                                    std::uint32_t k) {
+  (void)k;
+  // The lane-major per-lane footprint is the visit row (8n bytes) plus,
+  // off-FSYNC, the occupancy row (4n): cap the batch where those rows
+  // stay inside a mid-size L2/L3 budget, and never below the 64-lane
+  // block the SIMD passes and the threading slices are built on.
+  const std::uint64_t per_lane =
+      std::uint64_t{8} * n +
+      (model == ExecutionModel::kFsync ? 0 : std::uint64_t{4} * n);
+  constexpr std::uint64_t kLaneBudgetBytes = std::uint64_t{8} << 20;
+  std::uint32_t width = 256;
+  while (width > 64 && std::uint64_t{width} * per_lane > kLaneBudgetBytes) {
+    width /= 2;
+  }
+  return width;
+}
+
+BatchPlan plan_batch(ExecutionModel model, std::uint32_t n, std::uint32_t k,
+                     std::uint64_t seeds, std::uint32_t max_batch) {
+  BatchPlan plan;
+  if (seeds < 2 || max_batch == 1) {
+    plan.width = 1;
+    return plan;
+  }
+  std::uint64_t width =
+      max_batch == 0 ? preferred_batch_width(model, n, k) : max_batch;
+  width = std::min<std::uint64_t>(width, seeds);
+  if (width < batch_break_even(model, n, k)) {
+    plan.width = 1;  // too narrow to amortize: solo Engines win
+    return plan;
+  }
+  plan.width = static_cast<std::uint32_t>(width);
+  return plan;
+}
 
 void wire_standard_replica(BatchReplica& replica, ExecutionModel model,
                            AdversaryPtr adversary, double activation_p,
@@ -350,17 +667,51 @@ BatchEngine::BatchEngine(Ring ring, ExecutionModel model,
                Xoshiro256(0));
   if (model_ == ExecutionModel::kAsync) {
     pending_views_.assign(plane, View{});
-    phase_scratch_.assign(robots_, Phase::kLook);
   }
 
   visits_.assign(std::size_t{batch_} * nodes_, VisitCell{});
 
+  // Intra-cell threading: resolve the requested thread count against the
+  // machine (0 = one per physical core) and spin up the pinned team only
+  // when the batch is wide enough to slice into 2+ 64-lane blocks — a
+  // narrow batch would just pay barrier costs.
+  threads_ = options_.threads;
+  if (threads_ == 0) threads_ = HwTopology::detect().physical_cores;
+  if (threads_ > 1 && batch_ > 64) {
+    const std::uint32_t blocks = (batch_ + 63) / 64;
+    team_ = std::make_unique<WorkerTeam>(std::min(threads_, blocks));
+  }
+
   // Multiplicity path selection (see recompute_multiplicity): row compares
-  // need enough replicas to amortize and O(k^2) work a moderate k.
-  stamped_mult_ = batch_ < 4 || robots_ >= 48;
+  // need enough replicas to amortize and O(k^2) work a moderate k.  Wide
+  // batches push the crossover out — with 16 lanes per vector compare the
+  // row sweep stays cheap to larger k than the narrow-batch tuning
+  // assumed.
+  const std::uint32_t compare_max_k = batch_ >= 64 ? 64 : 48;
+  stamped_mult_ = batch_ < 4 || robots_ >= compare_max_k;
   if (stamped_mult_) {
     stamp_epoch_.assign(std::size_t{batch_} * nodes_, 0);
     stamp_count_.assign(std::size_t{batch_} * nodes_, 0);
+  }
+
+  // Replica-block tile width for the tiled run_all: the lane-major rows a
+  // round walks per lane (visit cells, plus occupancy off-FSYNC, plus the
+  // stamp rows when the stamp multiplicity path is on) should stay
+  // L2-resident across a whole epoch of rounds.  Budget ~1.5 MiB of a
+  // nominal 2 MiB L2; never below the 64-lane block everything else is
+  // built on.
+  {
+    const std::uint64_t per_lane =
+        std::uint64_t{8} * nodes_ +
+        (model_ != ExecutionModel::kFsync ? std::uint64_t{4} * nodes_ : 0) +
+        (stamped_mult_ ? std::uint64_t{8} * nodes_ : 0);
+    constexpr std::uint64_t kTileBudgetBytes = std::uint64_t{3} << 19;
+    std::uint32_t tile = (batch_ + 63) / 64 * 64;
+    while (tile > 64 && std::uint64_t{tile} * per_lane > kTileBudgetBytes) {
+      tile /= 2;
+      tile = (tile + 63) / 64 * 64;
+    }
+    tile_lanes_ = tile;
   }
 
   edge_words_per_row_ = edge_word_count(edge_count_);
@@ -392,7 +743,6 @@ BatchEngine::BatchEngine(Ring ring, ExecutionModel model,
         }
       }
     }
-    mask_scratch_.assign(robots_, 0);
     act_kind_.assign(batch_,
                      static_cast<std::uint8_t>(ActivationBatchKind::kVirtual));
     act_p_.assign(batch_, 0.0);
@@ -416,9 +766,10 @@ BatchEngine::BatchEngine(Ring ring, ExecutionModel model,
         edge_refill_needed_ || schedules_[l] == nullptr || refill_[l] != 0;
   }
 
-  // The t = 0 boundary (Engine::init's observe_boundary(0)).
-  recompute_multiplicity();
-  observe_boundary(0);
+  // The t = 0 boundary (Engine::init's observe_boundary(0)), serial —
+  // construction is not a hot path.
+  recompute_multiplicity(0, active_, 0);
+  observe_boundary(0, 0, active_);
   for (std::uint32_t l = 0; l < batch_; ++l) {
     if (tower_flag_[l]) {
       ++stats_[l].tower_rounds;
@@ -574,9 +925,36 @@ void BatchEngine::init_replica(std::uint32_t lane, BatchReplica& replica) {
   }
 }
 
-void BatchEngine::recompute_multiplicity() {
+template <typename Fn>
+void BatchEngine::parallel_lane_slices(Fn&& fn) {
+  const std::uint32_t live = active_;
+  if (team_ == nullptr || live <= 64) {
+    if (live > 0) fn(0u, live);
+    return;
+  }
+  // Whole 64-lane blocks per slice: mask-word ranges stay word-aligned and
+  // every byte-plane range starts on a cache line, so two slices never
+  // write the same line.  All parallel state is lane-indexed, the slice
+  // decomposition is a pure function of (live, slots), and each slice runs
+  // its lanes in ascending order — so the threaded round computes exactly
+  // the serial round's values in exactly the serial per-lane order.
+  const std::uint32_t blocks = (live + 63) / 64;
+  const std::uint32_t slots = team_->slots();
+  team_->for_each_slot([&](std::uint32_t slot) {
+    const std::uint32_t b0 =
+        static_cast<std::uint32_t>(std::uint64_t{blocks} * slot / slots);
+    const std::uint32_t b1 =
+        static_cast<std::uint32_t>(std::uint64_t{blocks} * (slot + 1) / slots);
+    const std::uint32_t lo = b0 * 64;
+    const std::uint32_t hi = std::min(live, b1 * 64);
+    if (lo < hi) fn(lo, hi);
+  });
+}
+
+void BatchEngine::recompute_multiplicity(std::uint32_t l0, std::uint32_t l1,
+                                         Time boundary_t) {
   if (stamped_mult_) {
-    recompute_multiplicity_stamped();
+    recompute_multiplicity_stamped(l0, l1, boundary_t);
     return;
   }
   // Replica-wide, gather-free: robot i's multiplicity bit in replica l is
@@ -586,16 +964,24 @@ void BatchEngine::recompute_multiplicity() {
   // histogram, whose per-robot scattered updates defeat the replica-stride
   // layout (the stamp path above covers the narrow-batch / huge-k
   // regimes).
-  compute_multiplicity_rows(node_.data(), mult_.data(), tower_flag_.data(),
-                            robots_, batch_, active_);
+  compute_multiplicity_rows(node_.data(), mult_.data(),
+                            tower_flag_.data() + l0, robots_, batch_, l0,
+                            l1 - l0);
 }
 
-void BatchEngine::recompute_multiplicity_stamped() {
-  const std::uint32_t live = active_;
+void BatchEngine::recompute_multiplicity_stamped(std::uint32_t l0,
+                                                 std::uint32_t l1,
+                                                 Time boundary_t) {
   const std::uint32_t stride = batch_;
   const std::uint32_t k = robots_;
   const std::uint32_t n = nodes_;
-  const std::uint32_t epoch = ++mult_epoch_;
+  // The row epoch is derived from the boundary time, not a shared counter:
+  // a lane's boundaries are strictly increasing, its stamp rows travel with
+  // it through swap_lanes, rows start at 0, and horizons fit 32 bits (init
+  // checks), so epoch values never repeat within a lane and never collide
+  // with the zero fill.  Time-derived epochs are what lets tiles and
+  // threads run rounds at different times with no cross-range state.
+  const auto epoch = static_cast<std::uint32_t>(boundary_t) + 1;
   const NodeId* const node = node_.data();
   std::uint8_t* const mult = mult_.data();
 
@@ -605,7 +991,7 @@ void BatchEngine::recompute_multiplicity_stamped() {
   // too narrow to amortize row compares or k^2 is prohibitive.
   for (std::uint32_t i = 0; i < k; ++i) {
     const std::size_t base = std::size_t{i} * stride;
-    for (std::uint32_t l = 0; l < live; ++l) {
+    for (std::uint32_t l = l0; l < l1; ++l) {
       const std::size_t at = std::size_t{l} * n + node[base + l];
       if (stamp_epoch_[at] == epoch) {
         ++stamp_count_[at];
@@ -615,10 +1001,10 @@ void BatchEngine::recompute_multiplicity_stamped() {
       }
     }
   }
-  for (std::uint32_t l = 0; l < live; ++l) tower_flag_[l] = 0;
+  for (std::uint32_t l = l0; l < l1; ++l) tower_flag_[l] = 0;
   for (std::uint32_t i = 0; i < k; ++i) {
     const std::size_t base = std::size_t{i} * stride;
-    for (std::uint32_t l = 0; l < live; ++l) {
+    for (std::uint32_t l = l0; l < l1; ++l) {
       const std::size_t at = std::size_t{l} * n + node[base + l];
       const std::uint8_t m = stamp_count_[at] > 1 ? 1 : 0;
       mult[base + l] = m;
@@ -627,8 +1013,8 @@ void BatchEngine::recompute_multiplicity_stamped() {
   }
 }
 
-void BatchEngine::observe_boundary(Time t) {
-  const std::uint32_t live = active_;
+void BatchEngine::observe_boundary(Time t, std::uint32_t l0,
+                                   std::uint32_t l1) {
   const std::uint32_t stride = batch_;
   const std::uint32_t k = robots_;
   const std::uint32_t n = nodes_;
@@ -637,104 +1023,227 @@ void BatchEngine::observe_boundary(Time t) {
   // Lane-major: each lane's visit row stays hot for its k cell updates and
   // the per-lane aggregates (gap maximum, cover bookkeeping) live in
   // registers across the robot loop.  Within a lane robots are processed
-  // in index order, exactly like Engine::observe_boundary.
-  for (std::uint32_t l = 0; l < live; ++l) {
+  // in index order, exactly like Engine::observe_boundary.  The cell
+  // update is branch-free — first-visit handling and the gap maximum fold
+  // into selects — because the first-visit and new-max branches flip
+  // unpredictably and the mispredicts were costing more than the whole
+  // fused pass (the tiled run keeps these rows L2-resident, so the
+  // scattered touches themselves are cheap).
+  for (std::uint32_t l = l0; l < l1; ++l) {
     VisitCell* const row = visits_.data() + std::size_t{l} * n;
+    // Get all k scattered cell lines in flight before the update loop
+    // touches any of them: a tile-round touches more lines than L1 holds,
+    // so every cell is an L1 miss and the prefetches overlap what would
+    // otherwise serialize behind the loop's loads.
+    for (std::uint32_t i = 0; i < k; ++i) {
+      __builtin_prefetch(row + node[std::size_t{i} * stride + l], 1);
+    }
     EngineStats& st = stats_[l];
-    Time max_gap = max_closed_gap_[l];
+    // Four interleaved gap maxima: a single accumulator makes the round's
+    // k updates one serial compare/select chain; four break it into
+    // independent chains the core overlaps with the cell loads.
+    Time mg[4] = {max_closed_gap_[l], 0, 0, 0};
+    std::uint32_t visited = st.visited_node_count;
     for (std::uint32_t i = 0; i < k; ++i) {
       const NodeId u = node[std::size_t{i} * stride + l];
       VisitCell& cell = row[u];
-      if (cell.count != 0) {
-        const Time gap = t - cell.last;
-        if (gap > max_gap) max_gap = gap;
-      } else {
-        if (++st.visited_node_count == n && !st.cover_time) {
-          st.cover_time = t;
-        }
-      }
+      const bool first = cell.count == 0;
+      const Time gap = first ? 0 : t - cell.last;
+      Time& m = mg[i & 3];
+      if (gap > m) m = gap;
+      visited += first ? 1 : 0;
       ++cell.count;
       cell.last = t32;
     }
-    max_closed_gap_[l] = max_gap;
+    if (visited != st.visited_node_count) {
+      st.visited_node_count = visited;
+      if (visited == n && !st.cover_time) st.cover_time = t;
+    }
+    max_closed_gap_[l] =
+        std::max(std::max(mg[0], mg[1]), std::max(mg[2], mg[3]));
   }
 }
 
 void BatchEngine::step() {
   PEF_CHECK_MSG(active_ > 0, "every replica already reached its horizon");
   const bool tracing = !traces_.empty();
-  switch (model_) {
-    case ExecutionModel::kFsync:
-      step_fsync();
-      break;
-    case ExecutionModel::kSsync:
-      step_ssync();
-      break;
-    case ExecutionModel::kAsync:
-      step_async();
-      break;
-  }
-  if (model_ == ExecutionModel::kFsync) {
-    recompute_multiplicity();  // boundary t+1: Look inputs for the next round
-  } else {
-    // The Move passes maintain occ_/multi_nodes_ incrementally; the tower
-    // flag falls out of the counter.
-    for (std::uint32_t l = 0; l < active_; ++l) {
-      tower_flag_[l] = multi_nodes_[l] != 0 ? 1 : 0;
+  if (tracing) {
+    // Traced rounds keep global per-round barriers: the recorder snapshots
+    // every lane's planes between the prologue and the pass.
+    switch (model_) {
+      case ExecutionModel::kFsync:
+        step_fsync();
+        break;
+      case ExecutionModel::kSsync:
+        step_ssync();
+        break;
+      case ExecutionModel::kAsync:
+        step_async();
+        break;
     }
+    update_mirrors(0, active_);
+    end_trace_round();
+    finish_round(0, active_, now_ + 1);
+  } else {
+    // Untraced: one range-local round per slice, no barriers inside.
+    with_kernel_id(kernel_id_, [&]<KernelId Id>() {
+      parallel_lane_slices([&](std::uint32_t l0, std::uint32_t l1) {
+        switch (model_) {
+          case ExecutionModel::kFsync:
+            fsync_round<Id>(l0, l1, now_);
+            break;
+          case ExecutionModel::kSsync:
+            ssync_round<Id>(l0, l1, now_);
+            break;
+          case ExecutionModel::kAsync:
+            async_round<Id>(l0, l1, now_);
+            break;
+        }
+      });
+    });
   }
-  observe_boundary(now_ + 1);
-  update_mirrors();
-  if (tracing) end_trace_round();
-  finish_round();
   ++now_;
   retire_finished();
 }
 
 void BatchEngine::run_all() {
-  while (active_ > 0) step();
+  if (!traces_.empty()) {
+    while (active_ > 0) step();
+    return;
+  }
+  // Temporal tiling: a round touches every live lane's visit/occupancy
+  // rows, and at wide B those rows outgrow L2 — per-round sweeps stream
+  // from L3 no matter how good the passes are.  Lanes are fully
+  // independent simulations (state, RNG, kernel memory, mirrors, policies,
+  // stamp rows are all lane-indexed), so reorder the time loop instead:
+  // run each tile of tile_lanes_ lanes through a whole EPOCH of rounds
+  // while its rows sit in L2, then move to the next tile.  Per-lane
+  // results are bit-identical to the round-major order by construction.
+  // Epochs end at the nearest horizon so lane retirement (and the dense
+  // live prefix the tiles walk) stays exact.
+  constexpr Time kEpochRounds = 64;
+  with_kernel_id(kernel_id_, [&]<KernelId Id>() {
+    while (active_ > 0) {
+      Time span = kEpochRounds;
+      for (std::uint32_t l = 0; l < active_; ++l) {
+        span = std::min(span, horizons_[l] - now_);
+      }
+      const Time t0 = now_;
+      parallel_lane_slices([&](std::uint32_t l0, std::uint32_t l1) {
+        for (std::uint32_t b0 = l0; b0 < l1; b0 += tile_lanes_) {
+          const std::uint32_t b1 = std::min(l1, b0 + tile_lanes_);
+          for (Time dt = 0; dt < span; ++dt) {
+            switch (model_) {
+              case ExecutionModel::kFsync:
+                fsync_round<Id>(b0, b1, t0 + dt);
+                break;
+              case ExecutionModel::kSsync:
+                ssync_round<Id>(b0, b1, t0 + dt);
+                break;
+              case ExecutionModel::kAsync:
+                async_round<Id>(b0, b1, t0 + dt);
+                break;
+            }
+          }
+        }
+      });
+      now_ += span;
+      retire_finished();
+    }
+  });
+}
+
+void BatchEngine::refill_edges(std::uint32_t l0, std::uint32_t l1, Time t) {
+  // E_t per lane of [l0, l1), written into the lane's edge-plane row.
+  // Time-invariant lanes keep their construction fill; oblivious lanes
+  // refill the row in place; adaptive lanes see their gamma mirror (and,
+  // off-FSYNC, their own lane's mask column) and copy the resulting set's
+  // words over.  The byte-mask scratch is local: a member would be shared
+  // across worker slices.
+  ActivationMask virt_mask;
+  for (std::uint32_t l = l0; l < l1; ++l) {
+    if (schedules_[l] != nullptr) {
+      if (refill_[l]) {
+        schedules_[l]->edges_into_words(t, edge_row(l));
+        if (model_ == ExecutionModel::kFsync) {
+          edges_full_[l] = edge_words_full(edge_row(l), edge_count_) ? 1 : 0;
+        }
+      }
+      continue;
+    }
+    switch (model_) {
+      case ExecutionModel::kFsync:
+        edges_[l] = adversaries_[l]->choose_edges(t, *mirrors_[l]);
+        edges_full_[l] = edges_[l].full() ? 1 : 0;
+        break;
+      case ExecutionModel::kSsync:
+        extract_lane_mask(mask_words_.data(), l, virt_mask);
+        ssync_advs_[l]->choose_edges_into(t, *mirrors_[l], virt_mask,
+                                          edges_[l]);
+        break;
+      case ExecutionModel::kAsync:
+        // The adversary sees which robots fire their Move phase this tick.
+        extract_lane_mask(moving_words_.data(), l, virt_mask);
+        ssync_advs_[l]->choose_edges_into(t, *mirrors_[l], virt_mask,
+                                          edges_[l]);
+        break;
+    }
+    PEF_CHECK(edges_[l].edge_count() == edge_count_);
+    std::copy_n(edges_[l].words(), edge_words_per_row_, edge_row(l));
+  }
 }
 
 void BatchEngine::step_fsync() {
-  // E_t per live replica, written into the lane's edge-plane row.
-  // Time-invariant lanes keep their construction fill; oblivious lanes
-  // refill the row in place; adaptive lanes see their gamma mirror and
-  // copy the resulting set's words over.
-  if (edge_refill_needed_) {
-    for (std::uint32_t l = 0; l < active_; ++l) {
-      if (schedules_[l] != nullptr) {
-        if (refill_[l]) {
-          schedules_[l]->edges_into_words(now_, edge_row(l));
-          edges_full_[l] = edge_words_full(edge_row(l), edge_count_) ? 1 : 0;
-        }
-      } else {
-        edges_[l] = adversaries_[l]->choose_edges(now_, *mirrors_[l]);
-        PEF_CHECK(edges_[l].edge_count() == edge_count_);
-        std::copy_n(edges_[l].words(), edge_words_per_row_, edge_row(l));
-        edges_full_[l] = edges_[l].full() ? 1 : 0;
-      }
-    }
-  }
-  if (!traces_.empty()) begin_trace_round();
+  if (edge_refill_needed_) refill_edges(0, active_, now_);
+  begin_trace_round();
 
   bool all_full = true;
   for (std::uint32_t l = 0; l < active_; ++l) {
     all_full = all_full && edges_full_[l] != 0;
   }
 
+  // One parallel section per round: every slice runs its fused pass, then
+  // recomputes its multiplicity columns for boundary t+1, then observes
+  // its visit rows — all three sweeps over planes the pass just made hot.
   with_kernel_id(kernel_id_, [&]<KernelId Id>() {
-    if (all_full) {
-      fsync_pass<Id, true>();
-    } else {
-      fsync_pass<Id, false>();
-    }
+    parallel_lane_slices([&](std::uint32_t l0, std::uint32_t l1) {
+      if (all_full) {
+        fsync_pass<Id, true>(l0, l1);
+      } else {
+        fsync_pass<Id, false>(l0, l1);
+      }
+      recompute_multiplicity(l0, l1, now_ + 1);
+      observe_boundary(now_ + 1, l0, l1);
+    });
   });
 }
 
+template <KernelId Id>
+void BatchEngine::fsync_round(std::uint32_t l0, std::uint32_t l1, Time t) {
+  if (edge_refill_needed_) refill_edges(l0, l1, t);
+  // AllFull is decided per range: a range whose live rows are all full
+  // takes the no-edge-test instantiation (which computes the same values
+  // the generic body would — the tests are constant-true there).
+  bool all_full = true;
+  for (std::uint32_t l = l0; l < l1 && all_full; ++l) {
+    all_full = edges_full_[l] != 0;
+  }
+  if (all_full) {
+    fsync_pass<Id, true>(l0, l1);
+  } else {
+    fsync_pass<Id, false>(l0, l1);
+  }
+  recompute_multiplicity(l0, l1, t + 1);
+  observe_boundary(t + 1, l0, l1);
+  update_mirrors(l0, l1);
+  finish_round(l0, l1, t + 1);
+}
+
 template <KernelId Id, bool AllFull>
-void BatchEngine::fsync_pass() {
+void BatchEngine::fsync_pass(std::uint32_t l0, std::uint32_t l1) {
   FsyncPassArgs args;
-  args.live = active_;
+  args.l0 = l0;
+  args.l1 = l1;
   args.stride = batch_;
   args.k = robots_;
   args.n = nodes_;
@@ -752,23 +1261,31 @@ void BatchEngine::fsync_pass() {
   fsync_pass_run<Id, AllFull>(args);
 }
 
-void BatchEngine::fill_mask_words() {
-  const std::uint32_t live = active_;
+void BatchEngine::fill_mask_words(std::uint32_t l0, std::uint32_t l1,
+                                  Time t) {
   const std::uint32_t k = robots_;
   const std::uint32_t lw = lane_words_;
   std::uint64_t* const words = mask_words_.data();
-  std::fill_n(words, std::size_t{k} * lw, 0);
+  // Clear only this slice's word columns (l0 is 64-aligned, so [w0, w1)
+  // covers exactly the slice's bits plus the final word's dead tail).
+  const std::uint32_t w0 = l0 >> 6;
+  const std::uint32_t w1 = (l1 + 63) >> 6;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    std::fill(words + std::size_t{i} * lw + w0,
+              words + std::size_t{i} * lw + w1, 0);
+  }
 
   // Bernoulli fast path, four lanes at a time: each lane's draws are a
   // serial xoshiro dependency chain, so interleaving four independent
   // chains multiplies the instruction-level parallelism of the fill (draw
-  // order WITHIN each lane is unchanged — bit-identity holds).  k <= 64
-  // keeps each lane's activation set in one register.
-  std::uint32_t l = 0;
+  // order WITHIN each lane is unchanged — bit-identity holds, whatever
+  // lane grouping a slice boundary induces).  k <= 64 keeps each lane's
+  // activation set in one register.
+  std::uint32_t l = l0;
   if (k <= 64) {
     const auto bernoulli =
         static_cast<std::uint8_t>(ActivationBatchKind::kBernoulli);
-    while (l + 4 <= live && act_kind_[l] == bernoulli &&
+    while (l + 4 <= l1 && act_kind_[l] == bernoulli &&
            act_kind_[l + 1] == bernoulli && act_kind_[l + 2] == bernoulli &&
            act_kind_[l + 3] == bernoulli) {
       Xoshiro256 rng[4] = {act_rng_[l], act_rng_[l + 1], act_rng_[l + 2],
@@ -798,7 +1315,12 @@ void BatchEngine::fill_mask_words() {
     }
   }
 
-  for (; l < live; ++l) {
+  // Per-slice scratch for the virtual policies: members would be shared
+  // across the worker slices.  Constructing the vectors is free; they only
+  // allocate when a virtual lane actually appears in this slice.
+  ActivationMask virt_mask;
+  std::vector<Phase> virt_phases;
+  for (; l < l1; ++l) {
     const std::uint32_t word = l >> 6;
     const std::uint64_t bit = 1ULL << (l & 63);
     switch (static_cast<ActivationBatchKind>(act_kind_[l])) {
@@ -808,7 +1330,7 @@ void BatchEngine::fill_mask_words() {
         }
         break;
       case ActivationBatchKind::kRoundRobin:
-        words[std::size_t{now_ % k} * lw + word] |= bit;
+        words[std::size_t{t % k} * lw + word] |= bit;
         break;
       case ActivationBatchKind::kBernoulli: {
         // Draw-for-draw replay of BernoulliActivation::activate /
@@ -850,25 +1372,25 @@ void BatchEngine::fill_mask_words() {
       }
       case ActivationBatchKind::kVirtual: {
         if (model_ == ExecutionModel::kSsync) {
-          activations_[l]->activate(now_, *mirrors_[l], mask_scratch_);
+          activations_[l]->activate(t, *mirrors_[l], virt_mask);
         } else {
           // Reconstruct the lane's Phase vector from the one-hot planes
           // for the scheduler's (rarely taken) virtual interface.
-          phase_scratch_.resize(k);
+          virt_phases.resize(k);
           for (std::uint32_t i = 0; i < k; ++i) {
             const std::size_t at = std::size_t{i} * lw + word;
-            phase_scratch_[i] = (look_words_[at] >> (l & 63)) & 1ULL
-                                    ? Phase::kLook
-                                : (compute_words_[at] >> (l & 63)) & 1ULL
-                                    ? Phase::kCompute
-                                    : Phase::kMove;
+            virt_phases[i] = (look_words_[at] >> (l & 63)) & 1ULL
+                                 ? Phase::kLook
+                             : (compute_words_[at] >> (l & 63)) & 1ULL
+                                 ? Phase::kCompute
+                                 : Phase::kMove;
           }
-          phase_schedulers_[l]->advance(now_, *mirrors_[l], phase_scratch_,
-                                        mask_scratch_);
+          phase_schedulers_[l]->advance(t, *mirrors_[l], virt_phases,
+                                        virt_mask);
         }
-        PEF_CHECK(mask_scratch_.size() == k);
+        PEF_CHECK(virt_mask.size() == k);
         for (std::uint32_t i = 0; i < k; ++i) {
-          if (mask_scratch_[i] != 0) words[std::size_t{i} * lw + word] |= bit;
+          if (virt_mask[i] != 0) words[std::size_t{i} * lw + word] |= bit;
         }
         break;
       }
@@ -876,16 +1398,22 @@ void BatchEngine::fill_mask_words() {
   }
 }
 
-void BatchEngine::fill_moving_words() {
+void BatchEngine::fill_moving_words(std::uint32_t l0, std::uint32_t l1) {
   // moving = advancing AND in-Move-phase, one AND per robot-word.
   // Snapshotted before the tick's transitions: robots whose Compute fires
   // this tick enter their Move phase but must not move until the next
   // activation.
-  const std::size_t plane = std::size_t{robots_} * lane_words_;
+  const std::uint32_t w0 = l0 >> 6;
+  const std::uint32_t w1 = (l1 + 63) >> 6;
   const std::uint64_t* const mask = mask_words_.data();
   const std::uint64_t* const move = move_words_.data();
   std::uint64_t* const moving = moving_words_.data();
-  for (std::size_t w = 0; w < plane; ++w) moving[w] = mask[w] & move[w];
+  for (std::uint32_t i = 0; i < robots_; ++i) {
+    const std::size_t row = std::size_t{i} * lane_words_;
+    for (std::uint32_t w = w0; w < w1; ++w) {
+      moving[row + w] = mask[row + w] & move[row + w];
+    }
+  }
 }
 
 void BatchEngine::extract_lane_mask(const std::uint64_t* plane,
@@ -901,36 +1429,48 @@ void BatchEngine::extract_lane_mask(const std::uint64_t* plane,
 }
 
 void BatchEngine::step_ssync() {
-  fill_mask_words();
-  // E_t per live replica: schedule-backed lanes refill their plane row
-  // directly (no mirror, no EdgeSet); adversaries that see gamma or the
-  // mask get the lane's byte mask reconstructed and go through the virtual
-  // path into the lane's scratch set.
-  if (edge_refill_needed_) {
-    for (std::uint32_t l = 0; l < active_; ++l) {
-      if (schedules_[l] != nullptr) {
-        if (refill_[l]) schedules_[l]->edges_into_words(now_, edge_row(l));
-      } else {
-        extract_lane_mask(mask_words_.data(), l, mask_scratch_);
-        ssync_advs_[l]->choose_edges_into(now_, *mirrors_[l], mask_scratch_,
-                                          edges_[l]);
-        PEF_CHECK(edges_[l].edge_count() == edge_count_);
-        std::copy_n(edges_[l].words(), edge_words_per_row_, edge_row(l));
-      }
-    }
-  }
-  if (!traces_.empty()) begin_trace_round();
+  // The mask plane must be complete before the serial prologue: virtual
+  // edge adversaries and the trace recorder read arbitrary lanes.
+  parallel_lane_slices([&](std::uint32_t l0, std::uint32_t l1) {
+    fill_mask_words(l0, l1, now_);
+  });
+  if (edge_refill_needed_) refill_edges(0, active_, now_);
+  begin_trace_round();
 
-  with_kernel_id(kernel_id_, [&]<KernelId Id>() { ssync_pass<Id>(); });
+  with_kernel_id(kernel_id_, [&]<KernelId Id>() {
+    parallel_lane_slices([&](std::uint32_t l0, std::uint32_t l1) {
+      const std::size_t log_end = ssync_pass<Id>(l0, l1);
+      apply_move_log(std::size_t{l0} * robots_, log_end);
+      observe_boundary(now_ + 1, l0, l1);
+    });
+  });
+  for (std::uint32_t l = 0; l < active_; ++l) {
+    tower_flag_[l] = multi_nodes_[l] != 0 ? 1 : 0;
+  }
 }
 
 template <KernelId Id>
-void BatchEngine::ssync_pass() {
+void BatchEngine::ssync_round(std::uint32_t l0, std::uint32_t l1, Time t) {
+  fill_mask_words(l0, l1, t);
+  if (edge_refill_needed_) refill_edges(l0, l1, t);
+  const std::size_t log_end = ssync_pass<Id>(l0, l1);
+  apply_move_log(std::size_t{l0} * robots_, log_end);
+  for (std::uint32_t l = l0; l < l1; ++l) {
+    tower_flag_[l] = multi_nodes_[l] != 0 ? 1 : 0;
+  }
+  observe_boundary(t + 1, l0, l1);
+  update_mirrors(l0, l1);
+  finish_round(l0, l1, t + 1);
+}
+
+template <KernelId Id>
+std::size_t BatchEngine::ssync_pass(std::uint32_t l0, std::uint32_t l1) {
   const std::uint32_t stride = batch_;
   const std::uint32_t k = robots_;
   const std::uint32_t n = nodes_;
   const std::uint32_t lw = lane_words_;
-  const std::uint32_t live_words = (active_ + 63) / 64;
+  const std::uint32_t w0 = l0 >> 6;
+  const std::uint32_t w1 = (l1 + 63) >> 6;
   NodeId* const node = node_.data();
   std::uint8_t* const dir = dir_.data();
   const std::uint8_t* const cw = right_cw_.data();
@@ -949,11 +1489,14 @@ void BatchEngine::ssync_pass() {
   // robot's Look reads it) but log their (lane, from, to) instead of
   // touching occ_, and the log is applied after the pass.  One mask-word
   // iteration total: the word plane loads cover 64 replicas each and ctz
-  // jumps straight to the activated robots.
-  PendingMove* log_cursor = move_log_.data();
+  // jumps straight to the activated robots.  Each slice logs into its own
+  // disjoint move_log_ region (lane l0's region starts at l0 * k — a
+  // slice's lanes can move at most (l1 - l0) * k times).
+  const std::size_t log_base = std::size_t{l0} * k;
+  PendingMove* log_cursor = move_log_.data() + log_base;
   for (std::uint32_t i = 0; i < k; ++i) {
     const std::size_t base = std::size_t{i} * stride;
-    for (std::uint32_t w = 0; w < live_words; ++w) {
+    for (std::uint32_t w = w0; w < w1; ++w) {
       std::uint64_t m = mask[std::size_t{i} * lw + w];
       while (m != 0) {
         const std::uint32_t l =
@@ -983,16 +1526,19 @@ void BatchEngine::ssync_pass() {
       }
     }
   }
-  move_log_count_ = static_cast<std::size_t>(log_cursor - move_log_.data());
-  apply_move_log();
+  return static_cast<std::size_t>(log_cursor - move_log_.data());
 }
 
-void BatchEngine::apply_move_log() {
-  // Replay the round's moves onto the occupancy rows and tower counters
-  // (order-free: counter updates commute).
+void BatchEngine::apply_move_log(std::size_t begin, std::size_t end) {
+  // Replay moves onto the occupancy rows and tower counters.  Both are
+  // lane-indexed and a range's log only names its own lanes, so a range
+  // replays its own region immediately after its pass — no cross-range
+  // draining, and the replay order within a range matches the serial one
+  // (counter updates commute anyway).
   const std::uint32_t n = nodes_;
-  const PendingMove* const end = move_log_.data() + move_log_count_;
-  for (const PendingMove* it = move_log_.data(); it != end; ++it) {
+  const PendingMove* it = move_log_.data() + begin;
+  const PendingMove* const stop = move_log_.data() + end;
+  for (; it != stop; ++it) {
     const PendingMove& mv = *it;
     const std::size_t row = std::size_t{mv.lane} * n;
     if (--occ_[row + mv.from] == 1) --multi_nodes_[mv.lane];
@@ -1001,34 +1547,50 @@ void BatchEngine::apply_move_log() {
 }
 
 void BatchEngine::step_async() {
-  fill_mask_words();
-  fill_moving_words();
-  // The adversary sees which robots fire their Move phase this tick.
-  if (edge_refill_needed_) {
-    for (std::uint32_t l = 0; l < active_; ++l) {
-      if (schedules_[l] != nullptr) {
-        if (refill_[l]) schedules_[l]->edges_into_words(now_, edge_row(l));
-      } else {
-        extract_lane_mask(moving_words_.data(), l, mask_scratch_);
-        ssync_advs_[l]->choose_edges_into(now_, *mirrors_[l], mask_scratch_,
-                                          edges_[l]);
-        PEF_CHECK(edges_[l].edge_count() == edge_count_);
-        std::copy_n(edges_[l].words(), edge_words_per_row_, edge_row(l));
-      }
-    }
-  }
-  if (!traces_.empty()) begin_trace_round();
+  // Same sectioning as step_ssync; the tick prologue additionally
+  // snapshots the moving mask (advancing AND in-Move) per slice.
+  parallel_lane_slices([&](std::uint32_t l0, std::uint32_t l1) {
+    fill_mask_words(l0, l1, now_);
+    fill_moving_words(l0, l1);
+  });
+  if (edge_refill_needed_) refill_edges(0, active_, now_);
+  begin_trace_round();
 
-  with_kernel_id(kernel_id_, [&]<KernelId Id>() { async_pass<Id>(); });
+  with_kernel_id(kernel_id_, [&]<KernelId Id>() {
+    parallel_lane_slices([&](std::uint32_t l0, std::uint32_t l1) {
+      const std::size_t log_end = async_pass<Id>(l0, l1);
+      apply_move_log(std::size_t{l0} * robots_, log_end);
+      observe_boundary(now_ + 1, l0, l1);
+    });
+  });
+  for (std::uint32_t l = 0; l < active_; ++l) {
+    tower_flag_[l] = multi_nodes_[l] != 0 ? 1 : 0;
+  }
 }
 
 template <KernelId Id>
-void BatchEngine::async_pass() {
+void BatchEngine::async_round(std::uint32_t l0, std::uint32_t l1, Time t) {
+  fill_mask_words(l0, l1, t);
+  fill_moving_words(l0, l1);
+  if (edge_refill_needed_) refill_edges(l0, l1, t);
+  const std::size_t log_end = async_pass<Id>(l0, l1);
+  apply_move_log(std::size_t{l0} * robots_, log_end);
+  for (std::uint32_t l = l0; l < l1; ++l) {
+    tower_flag_[l] = multi_nodes_[l] != 0 ? 1 : 0;
+  }
+  observe_boundary(t + 1, l0, l1);
+  update_mirrors(l0, l1);
+  finish_round(l0, l1, t + 1);
+}
+
+template <KernelId Id>
+std::size_t BatchEngine::async_pass(std::uint32_t l0, std::uint32_t l1) {
   const std::uint32_t stride = batch_;
   const std::uint32_t k = robots_;
   const std::uint32_t n = nodes_;
   const std::uint32_t lw = lane_words_;
-  const std::uint32_t live_words = (active_ + 63) / 64;
+  const std::uint32_t w0 = l0 >> 6;
+  const std::uint32_t w1 = (l1 + 63) >> 6;
   NodeId* const node = node_.data();
   std::uint8_t* const dir = dir_.data();
   const std::uint8_t* const cw = right_cw_.data();
@@ -1055,11 +1617,13 @@ void BatchEngine::async_pass() {
   // the same deferred-occupancy trick as SSYNC: every Look reads the
   // tick-start occ_ because moves log their occupancy deltas instead of
   // applying them.  moving_words_ was snapshotted before any transition,
-  // so a Compute firing this tick does not also Move this tick.
-  PendingMove* log_cursor = move_log_.data();
+  // so a Compute firing this tick does not also Move this tick.  Like
+  // ssync_pass, the slice logs into its own move_log_ region.
+  const std::size_t log_base = std::size_t{l0} * k;
+  PendingMove* log_cursor = move_log_.data() + log_base;
   for (std::uint32_t i = 0; i < k; ++i) {
     const std::size_t base = std::size_t{i} * stride;
-    for (std::uint32_t w = 0; w < live_words; ++w) {
+    for (std::uint32_t w = w0; w < w1; ++w) {
       const std::size_t mw = std::size_t{i} * lw + w;
       const std::uint64_t adv = mask[mw];
       const std::uint64_t lk = adv & look_w[mw];
@@ -1121,17 +1685,16 @@ void BatchEngine::async_pass() {
       move_w[mw] = (move_w[mw] & ~mv) | cp;
     }
   }
-  move_log_count_ = static_cast<std::size_t>(log_cursor - move_log_.data());
-  apply_move_log();
+  return static_cast<std::size_t>(log_cursor - move_log_.data());
 }
 
-void BatchEngine::update_mirrors() {
+void BatchEngine::update_mirrors(std::uint32_t l0, std::uint32_t l1) {
   // Lanes with a gamma mirror get it refreshed from the planes; dirs and
   // positions that did not change are no-op writes (relocate_robot
   // self-checks), so one uniform pass is correct for every model.  Lanes
   // without a mirror (batchable adversary + devirtualized policy — the
   // common sweep case) skip this entirely.
-  for (std::uint32_t l = 0; l < active_; ++l) {
+  for (std::uint32_t l = l0; l < l1; ++l) {
     Configuration* const mirror = mirrors_[l].get();
     if (mirror == nullptr) continue;
     for (std::uint32_t i = 0; i < robots_; ++i) {
@@ -1142,9 +1705,8 @@ void BatchEngine::update_mirrors() {
   }
 }
 
-void BatchEngine::finish_round() {
-  const Time t1 = now_ + 1;
-  for (std::uint32_t l = 0; l < active_; ++l) {
+void BatchEngine::finish_round(std::uint32_t l0, std::uint32_t l1, Time t1) {
+  for (std::uint32_t l = l0; l < l1; ++l) {
     stats_[l].rounds = t1;
     stats_[l].total_moves = moves_[l];
     if (tower_flag_[l]) {

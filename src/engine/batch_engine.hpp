@@ -81,6 +81,7 @@
 #include "analysis/coverage.hpp"
 #include "common/types.hpp"
 #include "engine/engine.hpp"
+#include "engine/topology.hpp"
 #include "robot/algorithm.hpp"
 #include "robot/kernel.hpp"
 #include "robot/robot.hpp"
@@ -134,7 +135,53 @@ struct BatchEngineOptions {
 
   /// Enforce the paper's well-initiated execution requirements per replica.
   bool enforce_well_initiated = true;
+
+  /// Intra-cell worker threads: the replica axis is split into 64-lane
+  /// blocks and the hot phases (fused pass, multiplicity recompute, visit
+  /// bookkeeping) run block ranges on a pinned WorkerTeam.  Every parallel
+  /// section writes only lane-indexed state and block-local move-log
+  /// regions are drained in block order, so results (stats, traces,
+  /// coverage) are bit-identical to threads == 1 at any thread count.
+  /// 0 = one thread per physical core; 1 (default) = serial.
+  std::uint32_t threads = 1;
 };
+
+// ---------------------------------------------------------------------------
+// Adaptive batch sizing
+//
+// The batch only wins once enough replicas amortize its round overheads
+// (mask/multiplicity plane passes, the wider working set); below that the
+// solo Engine's occupancy histogram is strictly cheaper.  The break-even
+// point and the preferred width were calibrated from BENCH_scaling's
+// batch_throughput series per activation model and n/k regime; callers
+// (SweepRunner, pef_run --batch auto) route through plan_batch so the
+// B=1..small regime never regresses against solo Engines.
+
+/// The smallest replica count at which a BatchEngine beats `B` solo Engine
+/// runs of the same scenario (>= 2 always: one replica is never batched).
+[[nodiscard]] std::uint32_t batch_break_even(ExecutionModel model,
+                                             std::uint32_t n, std::uint32_t k);
+
+/// The calibrated sweet-spot batch width for one scenario: wide enough to
+/// saturate the replica-stride SIMD passes, capped where the lane-major
+/// visit/occupancy rows would outgrow the cache budget (large n narrows
+/// the batch).
+[[nodiscard]] std::uint32_t preferred_batch_width(ExecutionModel model,
+                                                  std::uint32_t n,
+                                                  std::uint32_t k);
+
+/// How to run `seeds` same-scenario replicas.  width == 1 means "run solo
+/// Engines"; width > 1 means "BatchEngine in chunks of width".
+/// `max_batch` caps the width; 0 means adaptive (preferred width).  A cap
+/// below break-even routes to solo Engines — the cap is a ceiling, not a
+/// demand to batch at a losing width.
+struct BatchPlan {
+  std::uint32_t width = 1;
+  [[nodiscard]] bool use_batch() const { return width > 1; }
+};
+[[nodiscard]] BatchPlan plan_batch(ExecutionModel model, std::uint32_t n,
+                                   std::uint32_t k, std::uint64_t seeds,
+                                   std::uint32_t max_batch);
 
 class BatchEngine {
  public:
@@ -170,20 +217,50 @@ class BatchEngine {
 
  private:
   void init_replica(std::uint32_t lane, BatchReplica& replica);
+  /// The TRACED step paths: global per-round barriers so the trace
+  /// recorder can read every lane's planes between the prologue and the
+  /// pass.  Untraced rounds go through the *_round functions below, which
+  /// are entirely lane-range-local and therefore tileable and threadable.
   void step_fsync();
   void step_ssync();
   void step_async();
-  /// The per-kernel FSYNC round: one fused Look+Compute+Move pass with a
-  /// replica-stride inner loop.  AllFull elides every edge-presence test
-  /// (every live replica's E_t is the full set, so every robot moves).
+  /// ONE untraced round of lanes [l0, l1) at time t — edge refill, pass,
+  /// boundary bookkeeping (multiplicity/occupancy, visits, mirrors, round
+  /// stats), touching no state outside the lane range.  This is the unit
+  /// the tiled run_all and the threaded slices both compose.
+  template <KernelId Id>
+  void fsync_round(std::uint32_t l0, std::uint32_t l1, Time t);
+  template <KernelId Id>
+  void ssync_round(std::uint32_t l0, std::uint32_t l1, Time t);
+  template <KernelId Id>
+  void async_round(std::uint32_t l0, std::uint32_t l1, Time t);
+  /// Split the live lanes [0, active_) into slices of whole 64-lane blocks
+  /// (one slice per team slot) and run fn(l0, l1) on each — on the worker
+  /// team when options_.threads > 1, inline otherwise.  64-lane
+  /// granularity keeps every plane write word- and cache-line-disjoint
+  /// across slices (mask words hold 64 lane bits; 64 byte-plane lanes are
+  /// one cache line), so fn needs no synchronization.
+  template <typename Fn>
+  void parallel_lane_slices(Fn&& fn);
+  /// The per-kernel FSYNC pass over lanes [l0, l1): one fused
+  /// Look+Compute+Move sweep with a replica-stride inner loop.  AllFull
+  /// elides every edge-presence test (every live replica's E_t is the full
+  /// set, so every robot moves).
   template <KernelId Id, bool AllFull>
-  void fsync_pass();
+  void fsync_pass(std::uint32_t l0, std::uint32_t l1);
+  /// SSYNC/ASYNC passes over [l0, l1); both log their moves into the
+  /// range's own move_log_ region and return the log's end index for
+  /// apply_move_log.
   template <KernelId Id>
-  void ssync_pass();
+  [[nodiscard]] std::size_t ssync_pass(std::uint32_t l0, std::uint32_t l1);
   template <KernelId Id>
-  void async_pass();
-  /// Replay the round's move_log_ onto occ_ / multi_nodes_.
-  void apply_move_log();
+  [[nodiscard]] std::size_t async_pass(std::uint32_t l0, std::uint32_t l1);
+  /// E_t for lanes [l0, l1) at time t: schedule-backed lanes refill their
+  /// edge row in place, mirror-path lanes go through the virtual adversary
+  /// (reading only their own lane's mask columns / gamma mirror).
+  void refill_edges(std::uint32_t l0, std::uint32_t l1, Time t);
+  /// Replay move_log_[begin, end) onto occ_ / multi_nodes_.
+  void apply_move_log(std::size_t begin, std::size_t end);
 
   /// Lane `lane`'s row of the contiguous edge-word plane.
   [[nodiscard]] std::uint64_t* edge_row(std::uint32_t lane) {
@@ -195,12 +272,13 @@ class BatchEngine {
 
   /// The batched activation prologue shared by SSYNC (activation policies)
   /// and ASYNC (phase schedulers): clear the mask word plane, then fill
-  /// every live lane's bits — devirtualized kernels (full / round-robin /
-  /// Bernoulli over the act_rng_ plane) inline per lane; kVirtual lanes
-  /// call the policy into a byte scratch and transpose.
-  void fill_mask_words();
-  /// ASYNC: moving = advancing AND (phase == Move), as word planes.
-  void fill_moving_words();
+  /// the bits of lanes [l0, l1) (a whole-word range) — devirtualized
+  /// kernels (full / round-robin / Bernoulli over the act_rng_ plane)
+  /// inline per lane; kVirtual lanes call the policy into a scratch byte
+  /// mask and transpose.
+  void fill_mask_words(std::uint32_t l0, std::uint32_t l1, Time t);
+  /// ASYNC: moving = advancing AND (phase == Move), word columns [l0, l1).
+  void fill_moving_words(std::uint32_t l0, std::uint32_t l1);
   /// Lane `lane`'s column of a mask word plane as a 0/1 byte mask (the
   /// virtual-adversary path still speaks ActivationMask).
   void extract_lane_mask(const std::uint64_t* plane, std::uint32_t lane,
@@ -212,22 +290,27 @@ class BatchEngine {
            1ULL;
   }
 
-  /// Recompute the multiplicity byte plane and per-lane tower flags from
-  /// the node planes (replica-wide compares, or the stamp path for small
-  /// batches / large robot counts; no occupancy histogram exists to
-  /// maintain).
-  void recompute_multiplicity();
-  void recompute_multiplicity_stamped();
-  /// Visit/cover bookkeeping for every robot at config time `t` (the
-  /// batched equivalent of Engine::observe_boundary, minus the tower flags
-  /// which recompute_multiplicity owns).
-  void observe_boundary(Time t);
-  /// Refresh a lane's gamma mirror from the planes (dirs + positions).
-  /// Mirrors are lazy: only lanes whose adversary / policy sees gamma
-  /// carry one, everything else is skipped.
-  void update_mirrors();
-  /// Per-lane end-of-round bookkeeping: tower stats, round counters.
-  void finish_round();
+  /// Recompute the multiplicity byte plane and per-lane tower flags of
+  /// lanes [l0, l1) from the node planes (replica-wide compares, or the
+  /// stamp path for small batches / large robot counts; no occupancy
+  /// histogram exists to maintain).  `boundary_t` is the configuration
+  /// time: the stamp path derives its row epoch from it (strictly
+  /// increasing per lane, so no shared counter and no cross-slice state).
+  void recompute_multiplicity(std::uint32_t l0, std::uint32_t l1,
+                              Time boundary_t);
+  void recompute_multiplicity_stamped(std::uint32_t l0, std::uint32_t l1,
+                                      Time boundary_t);
+  /// Visit/cover bookkeeping for every robot of lanes [l0, l1) at config
+  /// time `t` (the batched equivalent of Engine::observe_boundary, minus
+  /// the tower flags which recompute_multiplicity owns).
+  void observe_boundary(Time t, std::uint32_t l0, std::uint32_t l1);
+  /// Refresh the gamma mirrors of lanes [l0, l1) from the planes (dirs +
+  /// positions).  Mirrors are lazy: only lanes whose adversary / policy
+  /// sees gamma carry one, everything else is skipped.
+  void update_mirrors(std::uint32_t l0, std::uint32_t l1);
+  /// Per-lane end-of-round bookkeeping for lanes [l0, l1) at round-end
+  /// time t1: tower stats, round counters.
+  void finish_round(std::uint32_t l0, std::uint32_t l1, Time t1);
   /// Swap finished lanes out of the live prefix.
   void retire_finished();
   void swap_lanes(std::uint32_t a, std::uint32_t b);
@@ -269,21 +352,38 @@ class BatchEngine {
   std::vector<std::unique_ptr<Configuration>> mirrors_;
   std::vector<Time> horizons_;
 
-  // Robot state planes, stride batch_ (robot-major, replica-minor).
-  std::vector<NodeId> node_;
-  std::vector<std::uint8_t> dir_;
-  std::vector<std::uint8_t> right_cw_;
-  std::vector<std::uint8_t> mult_;     // boundary multiplicity bits (0/1)
+  // Intra-cell threading (options_.threads resolved against HwTopology at
+  // construction): the team exists only when threads_ > 1 AND the batch is
+  // wide enough to slice (>= 2 blocks of 64 lanes).
+  std::uint32_t threads_ = 1;
+  std::unique_ptr<WorkerTeam> team_;
+  /// Replica-block tile width (a multiple of 64 lanes, chosen at
+  /// construction so one tile's lane-major rows — visits, occupancy,
+  /// stamps — stay L2-resident).  The tiled run_all runs each tile through
+  /// a whole epoch of rounds before moving to the next tile; lanes are
+  /// fully independent simulations, so any round interleaving across lanes
+  /// computes bit-identical per-lane results.
+  std::uint32_t tile_lanes_ = 64;
+
+  // Robot state planes, stride batch_ (robot-major, replica-minor), in
+  // PlaneVectors: 64-byte-aligned rows for the SIMD passes, and the
+  // multi-MB lane-major planes (visits_, occ_, stamps) get 2 MiB-aligned
+  // MADV_HUGEPAGE regions — at B=256 those rows are walked by scattered
+  // per-robot accesses and 4 KiB pages thrash the TLB (see topology.hpp).
+  PlaneVector<NodeId> node_;
+  PlaneVector<std::uint8_t> dir_;
+  PlaneVector<std::uint8_t> right_cw_;
+  PlaneVector<std::uint8_t> mult_;     // boundary multiplicity bits (0/1)
   // Kernel memory as per-FIELD planes (the batched form of KernelState):
   // keeping each field contiguous along the replica axis lets the fused
   // pass vectorize stateful kernels — pef3+'s has_moved flag is a byte
   // plane here instead of one byte strided across 48-byte structs.  The
   // rng plane is allocated only for random-walk batches (one dummy slot
   // otherwise).
-  std::vector<Xoshiro256> krng_;
-  std::vector<std::uint64_t> kcounter_;
-  std::vector<std::uint8_t> khas_moved_;
-  std::vector<View> pending_views_;    // ASYNC: Look snapshots
+  PlaneVector<Xoshiro256> krng_;
+  PlaneVector<std::uint64_t> kcounter_;
+  PlaneVector<std::uint8_t> khas_moved_;
+  PlaneVector<View> pending_views_;    // ASYNC: Look snapshots
 
   /// Visit bookkeeping of one (lane, node): one cache access per robot per
   /// boundary.  `last` is only meaningful when `count > 0`; 32 bits suffice
@@ -293,7 +393,7 @@ class BatchEngine {
     std::uint32_t last = 0;
   };
   // Per-(lane, node) cells, lane-major rows of length nodes_.
-  std::vector<VisitCell> visits_;
+  PlaneVector<VisitCell> visits_;
 
   // The edge-word plane: E_t of lane l is the row of edge_words_per_row_
   // words at l * edge_words_per_row_ (EdgeSet::words() bit layout).
@@ -302,7 +402,7 @@ class BatchEngine {
   // the virtual adversary and copy the words over (a few words per round,
   // dwarfed by the adversary itself).
   std::uint32_t edge_words_per_row_ = 0;
-  std::vector<std::uint64_t> edge_plane_;
+  PlaneVector<std::uint64_t> edge_plane_;
   std::vector<EdgeSet> edges_;            // mirror-path scratch only
   std::vector<std::uint8_t> refill_;      // 0 = time-invariant, filled once
   std::vector<std::uint8_t> edges_full_;  // E_t is the full set
@@ -316,12 +416,11 @@ class BatchEngine {
   // bit l of word (robot * lane_words_ + l / 64) = "robot acts in lane l".
   // Regenerated every round before use (never swapped on compaction).
   std::uint32_t lane_words_ = 0;
-  std::vector<std::uint64_t> mask_words_;
+  PlaneVector<std::uint64_t> mask_words_;
   /// ASYNC: advancing AND in-Move-phase (mask_words_ & move_words_, one
   /// word AND per robot-word) — what the edge adversary and the Move pass
   /// see.  Snapshotted before the tick's phase transitions.
-  std::vector<std::uint64_t> moving_words_;
-  ActivationMask mask_scratch_;              // byte mask for virtual lanes
+  PlaneVector<std::uint64_t> moving_words_;
 
   // The devirtualized activation state (SSYNC policies / ASYNC phase
   // schedulers share ActivationBatchKind): per-lane kind, Bernoulli p and
@@ -335,11 +434,9 @@ class BatchEngine {
   // Membership tests are word ANDs against the advancing mask and the
   // L->C->C->M->M->L transitions are word ops on the matched bits — no
   // per-robot phase bytes, no data-dependent branches in the tick pass.
-  std::vector<std::uint64_t> look_words_;
-  std::vector<std::uint64_t> compute_words_;
-  std::vector<std::uint64_t> move_words_;
-
-  std::vector<Phase> phase_scratch_;  // per-lane vector for kVirtual lanes
+  PlaneVector<std::uint64_t> look_words_;
+  PlaneVector<std::uint64_t> compute_words_;
+  PlaneVector<std::uint64_t> move_words_;
 
   // SSYNC/ASYNC: per-lane occupancy rows (lane-major, like visits_) and a
   // per-lane towered-node counter, updated incrementally from the moves —
@@ -349,7 +446,7 @@ class BatchEngine {
   // every round, and the row compares vectorize).  The SSYNC pass stays
   // fused by logging its moves (Looks must read round-start occupancy)
   // and replaying the log after the pass.
-  std::vector<std::uint32_t> occ_;          // [lane * nodes_ + node]
+  PlaneVector<std::uint32_t> occ_;          // [lane * nodes_ + node]
   std::vector<std::uint32_t> multi_nodes_;  // nodes holding >= 2 robots
   struct PendingMove {
     std::uint32_t lane;
@@ -358,9 +455,12 @@ class BatchEngine {
   };
   // Per-round scratch, presized to robots_ * batch_ (the maximum moves of
   // one round); the passes append through a raw cursor — no capacity
-  // checks or size bookkeeping in the hot loop.
-  std::vector<PendingMove> move_log_;
-  std::size_t move_log_count_ = 0;
+  // checks or size bookkeeping in the hot loop.  Lane range [l0, l1) owns
+  // the region at l0 * robots_ (capacity (l1-l0) * robots_ == its maximum
+  // moves), so threaded passes log without contention; each pass returns
+  // its cursor and the range replays its own region immediately (occ_ and
+  // multi_nodes_ are lane-indexed, so the replay is range-local too).
+  PlaneVector<PendingMove> move_log_;
   /// False once every live lane's edge row is filled for good (all
   /// schedule-backed, all time-invariant): the per-round edge prologue is
   /// skipped entirely.  Monotone under lane retirement.
@@ -373,9 +473,8 @@ class BatchEngine {
   // and counts occupants directly (stamp_epoch_ / stamp_count_, allocated
   // only when that path is selected at construction).
   bool stamped_mult_ = false;
-  std::uint32_t mult_epoch_ = 0;
-  std::vector<std::uint32_t> stamp_epoch_;
-  std::vector<std::uint32_t> stamp_count_;
+  PlaneVector<std::uint32_t> stamp_epoch_;
+  PlaneVector<std::uint32_t> stamp_count_;
 
   // Per-REPLICA traces (tracing only).
   std::vector<std::unique_ptr<Trace>> traces_;

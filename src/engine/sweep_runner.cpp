@@ -12,6 +12,7 @@
 #include "common/json.hpp"
 #include "common/rng.hpp"
 #include "engine/batch_engine.hpp"
+#include "engine/topology.hpp"
 #include "scheduler/simulator.hpp"
 
 namespace pef {
@@ -53,10 +54,14 @@ struct SweepContext {
   const SweepSpec& spec;
   std::vector<std::string> adversary_names;
   std::vector<std::uint8_t> algorithm_has_kernel;
+  /// Intra-cell worker threads handed to each BatchEngine (1 = serial; the
+  /// sweep's own pool already covers the inter-cell axis, so this only
+  /// helps sweeps whose grid is narrower than the machine).
+  std::uint32_t engine_threads = 1;
 };
 
 SweepContext make_context(const SweepSpec& spec) {
-  SweepContext context{spec, {}, {}};
+  SweepContext context{spec, {}, {}, 1};
   context.adversary_names.reserve(spec.adversaries.size());
   for (const AdversaryConfig& config : spec.adversaries) {
     context.adversary_names.push_back(adversary_display_name(config));
@@ -177,7 +182,9 @@ void run_batched(const SweepContext& context, const CellTask* tasks,
   }
 
   const auto start = std::chrono::steady_clock::now();
-  BatchEngine engine(ring, model, std::move(replicas));
+  BatchEngineOptions options;
+  options.threads = context.engine_threads;
+  BatchEngine engine(ring, model, std::move(replicas), options);
   engine.run_all();
   const auto stop = std::chrono::steady_clock::now();
   const double wall =
@@ -233,9 +240,22 @@ void run_group(const SweepContext& context,
     }
     return;
   }
-  const std::uint32_t max_batch = spec.max_batch == 0 ? 64 : spec.max_batch;
-  for (std::uint32_t off = 0; off < group.count; off += max_batch) {
-    const std::uint32_t count = std::min(max_batch, group.count - off);
+  // The calibrated break-even model decides both whether to batch at all
+  // and how wide: a narrow seed group (or an explicit max_batch below
+  // break-even) routes back to solo Engines, which are strictly faster
+  // there.  Either route yields byte-identical cells.
+  const CellTask& head = tasks[group.first];
+  const BatchPlan plan =
+      plan_batch(spec.models[head.model_index], head.nodes, head.robots,
+                 group.count, spec.max_batch);
+  if (!plan.use_batch()) {
+    for (std::uint32_t b = 0; b < group.count; ++b) {
+      cells[b] = run_cell(context, tasks[group.first + b]);
+    }
+    return;
+  }
+  for (std::uint32_t off = 0; off < group.count; off += plan.width) {
+    const std::uint32_t count = std::min(plan.width, group.count - off);
     run_batched(context, tasks.data() + group.first + off, count,
                 cells + off);
   }
@@ -619,10 +639,14 @@ std::optional<std::string> merge_sweep_shards(
   return merge->json;
 }
 
-SweepRunner::SweepRunner(std::uint32_t threads) : threads_(threads) {
+SweepRunner::SweepRunner(std::uint32_t threads, std::uint32_t engine_threads)
+    : threads_(threads), engine_threads_(engine_threads) {
   if (threads_ == 0) {
     threads_ = std::thread::hardware_concurrency();
     if (threads_ == 0) threads_ = 1;
+  }
+  if (engine_threads_ == 0) {
+    engine_threads_ = HwTopology::detect().physical_cores;
   }
 }
 
@@ -638,7 +662,8 @@ SweepResult SweepRunner::run(const SweepSpec& spec, SweepShard shard) const {
   const std::size_t lo = tasks.size() * shard.index / shard.count;
   const std::size_t hi = tasks.size() * (shard.index + 1) / shard.count;
   const std::vector<CellGroup> groups = group_cells(tasks, lo, hi);
-  const SweepContext context = make_context(spec);
+  SweepContext context = make_context(spec);
+  context.engine_threads = engine_threads_;
 
   SweepResult result;
   result.threads = threads_;

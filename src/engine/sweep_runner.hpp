@@ -177,9 +177,17 @@ struct ShardMerge {
 class SweepRunner {
  public:
   /// `threads` == 0 picks std::thread::hardware_concurrency().
-  explicit SweepRunner(std::uint32_t threads = 0);
+  /// `engine_threads` is the intra-cell worker count handed to each
+  /// BatchEngine (1 = serial batches, 0 = one per physical core); results
+  /// are bit-identical at any value — it only matters when the grid is
+  /// narrower than the machine.
+  explicit SweepRunner(std::uint32_t threads = 0,
+                       std::uint32_t engine_threads = 1);
 
   [[nodiscard]] std::uint32_t threads() const { return threads_; }
+  [[nodiscard]] std::uint32_t engine_threads() const {
+    return engine_threads_;
+  }
 
   /// Run the spec's cells — all of them, or one contiguous shard.  Blocks
   /// until done.  Aborts on specs that fail validate().
@@ -188,6 +196,7 @@ class SweepRunner {
 
  private:
   std::uint32_t threads_;
+  std::uint32_t engine_threads_;
 };
 
 }  // namespace pef

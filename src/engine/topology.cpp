@@ -1,0 +1,297 @@
+#include "engine/topology.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <new>
+#include <string>
+#include <utility>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#include <sys/mman.h>
+#endif
+
+#include "common/check.hpp"
+
+namespace pef {
+namespace {
+
+/// Read a small sysfs file into `out`; false when absent/unreadable.
+bool read_sysfs(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::getline(in, out);
+  return !out.empty();
+}
+
+/// Parse a cpulist ("0-3,8,10-11") into cpu ids; malformed input yields
+/// what parsed so far (callers treat empty as failure).
+std::vector<std::uint32_t> parse_cpulist(const std::string& list) {
+  std::vector<std::uint32_t> cpus;
+  const char* p = list.c_str();
+  while (*p != '\0') {
+    char* end = nullptr;
+    const unsigned long lo = std::strtoul(p, &end, 10);
+    if (end == p) break;
+    unsigned long hi = lo;
+    p = end;
+    if (*p == '-') {
+      hi = std::strtoul(p + 1, &end, 10);
+      if (end == p + 1) break;
+      p = end;
+    }
+    for (unsigned long c = lo; c <= hi; ++c) {
+      cpus.push_back(static_cast<std::uint32_t>(c));
+    }
+    if (*p == ',') ++p;
+  }
+  return cpus;
+}
+
+HwTopology fallback_topology() {
+  HwTopology t;
+  const unsigned hc = std::thread::hardware_concurrency();
+  t.logical_cpus = hc != 0 ? hc : 1;
+  t.physical_cores = t.logical_cpus;
+  t.numa_nodes = 1;
+  t.core_of_cpu.resize(t.logical_cpus);
+  t.numa_of_cpu.assign(t.logical_cpus, 0);
+  t.pin_order.resize(t.logical_cpus);
+  for (std::uint32_t c = 0; c < t.logical_cpus; ++c) {
+    t.core_of_cpu[c] = c;
+    t.pin_order[c] = c;
+  }
+  return t;
+}
+
+}  // namespace
+
+HwTopology HwTopology::parse(const char* sysfs_root) {
+  const std::string root = sysfs_root != nullptr ? sysfs_root : "/sys";
+
+  std::string online;
+  if (!read_sysfs(root + "/devices/system/cpu/online", online)) {
+    return fallback_topology();
+  }
+  const std::vector<std::uint32_t> cpus = parse_cpulist(online);
+  if (cpus.empty()) return fallback_topology();
+
+  HwTopology t;
+  t.from_sysfs = true;
+  const std::uint32_t max_cpu = *std::max_element(cpus.begin(), cpus.end());
+  t.logical_cpus = static_cast<std::uint32_t>(cpus.size());
+  t.core_of_cpu.assign(max_cpu + 1, 0);
+  t.numa_of_cpu.assign(max_cpu + 1, 0);
+
+  // Physical cores: densify (package_id, core_id) pairs.  A missing
+  // topology directory (containers often mask it) degrades to one core
+  // per cpu, never to a parse failure.
+  std::map<std::pair<unsigned long, unsigned long>, std::uint32_t> core_ids;
+  for (const std::uint32_t cpu : cpus) {
+    const std::string base =
+        root + "/devices/system/cpu/cpu" + std::to_string(cpu) + "/topology/";
+    std::string core_s;
+    std::string pkg_s;
+    unsigned long core = cpu;
+    unsigned long pkg = 0;
+    if (read_sysfs(base + "core_id", core_s)) {
+      core = std::strtoul(core_s.c_str(), nullptr, 10);
+    }
+    if (read_sysfs(base + "physical_package_id", pkg_s)) {
+      pkg = std::strtoul(pkg_s.c_str(), nullptr, 10);
+    }
+    const auto key = std::make_pair(pkg, core);
+    const auto [it, inserted] =
+        core_ids.emplace(key, static_cast<std::uint32_t>(core_ids.size()));
+    t.core_of_cpu[cpu] = it->second;
+  }
+  t.physical_cores = static_cast<std::uint32_t>(core_ids.size());
+
+  // NUMA nodes from the node*/cpulist files; absent tree = one node.
+  std::uint32_t nodes = 0;
+  for (std::uint32_t node = 0;; ++node) {
+    std::string list;
+    if (!read_sysfs(root + "/devices/system/node/node" + std::to_string(node) +
+                        "/cpulist",
+                    list)) {
+      break;
+    }
+    for (const std::uint32_t cpu : parse_cpulist(list)) {
+      if (cpu < t.numa_of_cpu.size()) t.numa_of_cpu[cpu] = node;
+    }
+    ++nodes;
+  }
+  t.numa_nodes = nodes != 0 ? nodes : 1;
+
+  // Pinning order: first CPU of every physical core (round-robin over NUMA
+  // nodes so a small team spreads across memory controllers), then the
+  // remaining SMT siblings in cpu order.
+  std::vector<std::uint8_t> core_taken(t.physical_cores, 0);
+  std::vector<std::uint32_t> primaries;
+  std::vector<std::uint32_t> siblings;
+  for (const std::uint32_t cpu : cpus) {
+    if (!core_taken[t.core_of_cpu[cpu]]) {
+      core_taken[t.core_of_cpu[cpu]] = 1;
+      primaries.push_back(cpu);
+    } else {
+      siblings.push_back(cpu);
+    }
+  }
+  std::stable_sort(primaries.begin(), primaries.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return t.numa_of_cpu[a] < t.numa_of_cpu[b];
+                   });
+  // Interleave nodes: node0's first core, node1's first core, ...
+  if (t.numa_nodes > 1) {
+    std::vector<std::vector<std::uint32_t>> by_node(t.numa_nodes);
+    for (const std::uint32_t cpu : primaries) {
+      by_node[t.numa_of_cpu[cpu]].push_back(cpu);
+    }
+    primaries.clear();
+    for (std::size_t i = 0;; ++i) {
+      bool any = false;
+      for (auto& node_cpus : by_node) {
+        if (i < node_cpus.size()) {
+          primaries.push_back(node_cpus[i]);
+          any = true;
+        }
+      }
+      if (!any) break;
+    }
+  }
+  t.pin_order = std::move(primaries);
+  t.pin_order.insert(t.pin_order.end(), siblings.begin(), siblings.end());
+  return t;
+}
+
+const HwTopology& HwTopology::detect() {
+  static const HwTopology instance = parse("/sys");
+  return instance;
+}
+
+bool pin_current_thread(std::uint32_t cpu) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Plane memory
+
+void* plane_alloc(std::size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  const std::size_t align = bytes >= kHugePlaneBytes ? kHugePlaneBytes : 64;
+  void* p = ::operator new(bytes, std::align_val_t{align});
+#if defined(__linux__)
+  if (bytes >= kHugePlaneBytes) {
+    // Advisory: THP=madvise systems only back madvised regions with huge
+    // pages, and 2 MiB alignment makes every full extent collapsible.
+    (void)madvise(p, bytes, MADV_HUGEPAGE);
+  }
+#endif
+  return p;
+}
+
+void plane_free(void* p, std::size_t bytes) noexcept {
+  if (p == nullptr) return;
+  if (bytes == 0) bytes = 1;
+  const std::size_t align = bytes >= kHugePlaneBytes ? kHugePlaneBytes : 64;
+  ::operator delete(p, std::align_val_t{align});
+}
+
+// ---------------------------------------------------------------------------
+// WorkerTeam
+
+namespace {
+inline void cpu_relax() {
+#if defined(__x86_64__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+}  // namespace
+
+WorkerTeam::WorkerTeam(std::uint32_t slots) : slots_(slots < 1 ? 1 : slots) {
+  if (slots_ == 1) return;
+  const HwTopology& topo = HwTopology::detect();
+  threads_.reserve(slots_ - 1);
+  for (std::uint32_t s = 1; s < slots_; ++s) {
+    threads_.emplace_back([this, s, &topo] {
+      // Slot s takes pin slot s (slot 0, the caller, keeps its affinity);
+      // oversubscribed teams wrap around.
+      if (topo.logical_cpus > 1 && !topo.pin_order.empty()) {
+        pin_current_thread(topo.pin_order[s % topo.pin_order.size()]);
+      }
+      worker_main(s);
+    });
+  }
+}
+
+WorkerTeam::~WorkerTeam() {
+  if (threads_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_.store(true, std::memory_order_release);
+    generation_.fetch_add(1, std::memory_order_release);
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerTeam::run(void (*job)(void*, std::uint32_t), void* ctx) {
+  if (threads_.empty()) {
+    job(ctx, 0);
+    return;
+  }
+  job_ = job;
+  ctx_ = ctx;
+  pending_.store(slots_, std::memory_order_relaxed);
+  generation_.fetch_add(1, std::memory_order_release);
+  if (parked_.load(std::memory_order_acquire) != 0) {
+    // Publish under the lock so a worker checking stop/generation before
+    // parking cannot miss the wake.
+    std::lock_guard<std::mutex> lock(mutex_);
+    cv_.notify_all();
+  }
+  job(ctx, 0);
+  pending_.fetch_sub(1, std::memory_order_acq_rel);
+  while (pending_.load(std::memory_order_acquire) != 0) cpu_relax();
+}
+
+void WorkerTeam::worker_main(std::uint32_t slot) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    // Spin briefly — rounds arrive microseconds apart while a batch is
+    // running — then park until the next publish.
+    std::uint32_t spins = 0;
+    while (generation_.load(std::memory_order_acquire) == seen) {
+      if (++spins < 4096) {
+        cpu_relax();
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(mutex_);
+      parked_.fetch_add(1, std::memory_order_acq_rel);
+      cv_.wait(lock, [this, seen] {
+        return generation_.load(std::memory_order_acquire) != seen;
+      });
+      parked_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    seen = generation_.load(std::memory_order_acquire);
+    if (stop_.load(std::memory_order_acquire)) return;
+    job_(ctx_, slot);
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+}  // namespace pef

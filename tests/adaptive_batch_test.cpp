@@ -1,0 +1,404 @@
+// Adaptive batch sizing + wide-batch determinism tests.
+//
+// The contract of the adaptive stack: HOW a scenario set is executed — solo
+// Engines, one BatchEngine, batch width, tile shape, intra-cell worker
+// threads, ISA tier — may never change WHAT it computes.  These tests pin
+//   * plan_batch's routing (break-even fallback, preferred width, caps);
+//   * bit-identical stats/coverage for wide (B=256, multi-tile) and
+//     threaded batches against solo Engines, on all three models, with
+//     batchable (oblivious static) and non-batchable (adaptive
+//     greedy-blocker) adversaries;
+//   * byte-identical sweep JSON across max_batch in {0, 1, 16, 256} and
+//     engine_threads in {1, 4};
+//   * the pef_run CLI: --batch 1/2 route to solo Engines (and say so in the
+//     footer), --batch 16/auto to the BatchEngine, with per-seed table rows
+//     identical across the routes, --threads, and PEF_BATCH_ISA tiers.
+//
+// (batch_engine_test.cpp is the exhaustive trace-level differential at
+// B=10; this file covers the regimes that test cannot reach: multi-tile
+// widths, worker threads, the planner, and the CLI routing.)
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "adversary/greedy_blocker.hpp"
+#include "algorithms/registry.hpp"
+#include "core/experiment.hpp"
+#include "core/spec.hpp"
+#include "dynamic_graph/schedules.hpp"
+#include "engine/batch_engine.hpp"
+#include "engine/engine.hpp"
+#include "engine/sweep_runner.hpp"
+#include "scheduler/simulator.hpp"
+#include "scheduler/ssync.hpp"
+
+namespace pef {
+namespace {
+
+constexpr double kActivationP = 0.5;
+
+// ---------------------------------------------------------------------------
+// plan_batch routing
+
+TEST(AdaptiveBatch, SingleSeedIsNeverBatched) {
+  for (const ExecutionModel model :
+       {ExecutionModel::kFsync, ExecutionModel::kSsync,
+        ExecutionModel::kAsync}) {
+    const BatchPlan plan = plan_batch(model, 1024, 16, 1, 0);
+    EXPECT_EQ(plan.width, 1u);
+    EXPECT_FALSE(plan.use_batch());
+  }
+}
+
+TEST(AdaptiveBatch, BelowBreakEvenRoutesToSolo) {
+  for (const ExecutionModel model :
+       {ExecutionModel::kFsync, ExecutionModel::kSsync,
+        ExecutionModel::kAsync}) {
+    const std::uint32_t knee = batch_break_even(model, 1024, 16);
+    ASSERT_GE(knee, 2u);
+    // Seeds just under the knee: solo.  At the knee: batch.
+    EXPECT_FALSE(plan_batch(model, 1024, 16, knee - 1, 0).use_batch());
+    const BatchPlan at = plan_batch(model, 1024, 16, knee, 0);
+    EXPECT_TRUE(at.use_batch());
+    EXPECT_EQ(at.width, knee);
+  }
+}
+
+TEST(AdaptiveBatch, ExplicitCapBelowBreakEvenIsAHardSoloRoute) {
+  // max_batch == 1 is an explicit "no batching" request; a cap below the
+  // knee is a ceiling that lands in solo territory.
+  EXPECT_FALSE(plan_batch(ExecutionModel::kFsync, 1024, 16, 64, 1).use_batch());
+  const std::uint32_t knee = batch_break_even(ExecutionModel::kFsync, 1024, 16);
+  if (knee > 2) {
+    EXPECT_FALSE(
+        plan_batch(ExecutionModel::kFsync, 1024, 16, 64, knee - 1).use_batch());
+  }
+}
+
+TEST(AdaptiveBatch, AdaptiveWidthIsPreferredWidthClampedToSeeds) {
+  const std::uint32_t preferred =
+      preferred_batch_width(ExecutionModel::kFsync, 1024, 16);
+  EXPECT_GE(preferred, 64u);
+  EXPECT_EQ(plan_batch(ExecutionModel::kFsync, 1024, 16, 10'000, 0).width,
+            preferred);
+  // Fewer seeds than the preferred width: the plan never overshoots.
+  EXPECT_EQ(plan_batch(ExecutionModel::kFsync, 1024, 16, 48, 0).width, 48u);
+  // An explicit cap wins over the preferred width.
+  EXPECT_EQ(plan_batch(ExecutionModel::kFsync, 1024, 16, 10'000, 16).width,
+            16u);
+}
+
+TEST(AdaptiveBatch, PreferredWidthNarrowsForHugeRings) {
+  // The lane-major visit rows grow with n; the preferred width must shrink
+  // rather than blow the cache budget, but never below one 64-lane block.
+  const std::uint32_t small =
+      preferred_batch_width(ExecutionModel::kFsync, 1024, 16);
+  const std::uint32_t huge =
+      preferred_batch_width(ExecutionModel::kFsync, 1 << 20, 16);
+  EXPECT_LE(huge, small);
+  EXPECT_GE(huge, 64u);
+}
+
+// ---------------------------------------------------------------------------
+// Wide + threaded batches vs solo Engines (stats/coverage identity)
+
+struct WideScenario {
+  const char* name;
+  ExecutionModel model;
+  bool adaptive_adversary;  // greedy-blocker (mirror path) vs static
+};
+
+AdversaryPtr wide_adversary(const Ring& ring, bool adaptive) {
+  if (adaptive) {
+    return std::make_unique<GreedyBlockerAdversary>(ring, /*max_absence=*/4);
+  }
+  return make_oblivious(std::make_shared<StaticSchedule>(ring));
+}
+
+/// Ragged horizons so replicas retire mid-epoch (the temporal tiling must
+/// handle lanes leaving inside an epoch span).
+Time wide_horizon(std::uint32_t replica) { return 150 + 23 * (replica % 5); }
+
+EngineStats solo_run(const Ring& ring, const WideScenario& scenario,
+                     std::uint32_t robots, std::uint32_t replica) {
+  const std::uint64_t seed = replica + 1;
+  auto algorithm = make_algorithm("pef3+", seed);
+  const auto placements = random_placements(ring, robots, seed);
+  auto fsync = wide_adversary(ring, scenario.adaptive_adversary);
+  std::unique_ptr<Engine> engine;
+  switch (scenario.model) {
+    case ExecutionModel::kFsync:
+      engine = std::make_unique<Engine>(ring, std::move(algorithm),
+                                        std::move(fsync), placements,
+                                        EngineOptions{});
+      break;
+    case ExecutionModel::kSsync:
+      engine = std::make_unique<Engine>(
+          ring, std::move(algorithm),
+          std::make_unique<SsyncFromFsyncAdversary>(std::move(fsync)),
+          standard_ssync_activation(kActivationP, seed), placements,
+          EngineOptions{});
+      break;
+    case ExecutionModel::kAsync:
+      engine = std::make_unique<Engine>(
+          ring, std::move(algorithm),
+          std::make_unique<SsyncFromFsyncAdversary>(std::move(fsync)),
+          standard_async_phases(kActivationP, seed), placements,
+          EngineOptions{});
+      break;
+  }
+  engine->run(wide_horizon(replica));
+  return engine->stats();
+}
+
+void expect_stats_equal(const EngineStats& batch, const EngineStats& solo) {
+  ASSERT_EQ(batch.rounds, solo.rounds);
+  ASSERT_EQ(batch.total_moves, solo.total_moves);
+  ASSERT_EQ(batch.tower_rounds, solo.tower_rounds);
+  ASSERT_EQ(batch.tower_formations, solo.tower_formations);
+  ASSERT_EQ(batch.visited_node_count, solo.visited_node_count);
+  ASSERT_EQ(batch.cover_time, solo.cover_time);
+}
+
+TEST(WideBatch, B256ThreadedMatchesSoloOnEveryModel) {
+  // n chosen so a 256-replica batch spans MULTIPLE cache tiles (the tile
+  // budget splits the lane axis) and threads=4 splits the 64-lane blocks
+  // across workers on any machine (a small core count just oversubscribes;
+  // determinism must not care).
+  constexpr std::uint32_t kNodes = 2048;
+  constexpr std::uint32_t kRobots = 8;
+  constexpr std::uint32_t kBatch = 256;
+  const Ring ring(kNodes);
+
+  const std::vector<WideScenario> scenarios = {
+      {"fsync/static", ExecutionModel::kFsync, false},
+      {"ssync/static", ExecutionModel::kSsync, false},
+      {"async/static", ExecutionModel::kAsync, false},
+      {"fsync/greedy-blocker", ExecutionModel::kFsync, true},
+      {"ssync/greedy-blocker", ExecutionModel::kSsync, true},
+      {"async/greedy-blocker", ExecutionModel::kAsync, true},
+  };
+  for (const WideScenario& scenario : scenarios) {
+    SCOPED_TRACE(scenario.name);
+    std::vector<EngineStats> solo(kBatch);
+    for (std::uint32_t b = 0; b < kBatch; ++b) {
+      solo[b] = solo_run(ring, scenario, kRobots, b);
+    }
+    for (const std::uint32_t threads : {1u, 4u}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      std::vector<BatchReplica> replicas(kBatch);
+      for (std::uint32_t b = 0; b < kBatch; ++b) {
+        const std::uint64_t seed = b + 1;
+        BatchReplica& replica = replicas[b];
+        replica.algorithm = make_algorithm("pef3+", seed);
+        replica.placements = random_placements(ring, kRobots, seed);
+        replica.horizon = wide_horizon(b);
+        wire_standard_replica(replica, scenario.model,
+                              wide_adversary(ring, scenario.adaptive_adversary),
+                              kActivationP, seed);
+      }
+      BatchEngineOptions options;
+      options.threads = threads;
+      BatchEngine batch(ring, scenario.model, std::move(replicas), options);
+      batch.run_all();
+      for (std::uint32_t b = 0; b < kBatch; ++b) {
+        SCOPED_TRACE("replica " + std::to_string(b));
+        expect_stats_equal(batch.stats(b), solo[b]);
+        if (HasFatalFailure()) return;
+        const CoverageReport& coverage = batch.coverage_report(b);
+        ASSERT_EQ(coverage.visited_node_count, solo[b].visited_node_count);
+        ASSERT_EQ(coverage.cover_time, solo[b].cover_time);
+      }
+    }
+  }
+}
+
+TEST(WideBatch, TracedThreadedBatchMatchesSerial) {
+  // The traced path keeps global round barriers; threads may only change
+  // scheduling, never a single trace byte.
+  constexpr std::uint32_t kNodes = 64;
+  constexpr std::uint32_t kRobots = 4;
+  constexpr std::uint32_t kBatch = 65;  // odd: exercises the tail block
+  const Ring ring(kNodes);
+
+  const auto build = [&](std::uint32_t threads) {
+    std::vector<BatchReplica> replicas(kBatch);
+    for (std::uint32_t b = 0; b < kBatch; ++b) {
+      const std::uint64_t seed = b + 1;
+      BatchReplica& replica = replicas[b];
+      replica.algorithm = make_algorithm("pef3+", seed);
+      replica.placements = random_placements(ring, kRobots, seed);
+      replica.horizon = wide_horizon(b);
+      wire_standard_replica(
+          replica, ExecutionModel::kSsync,
+          make_oblivious(std::make_shared<StaticSchedule>(ring)), kActivationP,
+          seed);
+    }
+    BatchEngineOptions options;
+    options.record_trace = true;
+    options.threads = threads;
+    auto engine = std::make_unique<BatchEngine>(ring, ExecutionModel::kSsync,
+                                                std::move(replicas), options);
+    engine->run_all();
+    return engine;
+  };
+
+  const auto serial = build(1);
+  const auto threaded = build(4);
+  for (std::uint32_t b = 0; b < kBatch; ++b) {
+    const Trace& a = serial->trace(b);
+    const Trace& c = threaded->trace(b);
+    ASSERT_EQ(a.rounds().size(), c.rounds().size()) << "replica " << b;
+    for (std::size_t t = 0; t < a.rounds().size(); ++t) {
+      const RoundRecord& ra = a.rounds()[t];
+      const RoundRecord& rc = c.rounds()[t];
+      ASSERT_EQ(ra.edges, rc.edges) << "replica " << b << " round " << t;
+      ASSERT_EQ(ra.robots.size(), rc.robots.size());
+      for (RobotId r = 0; r < ra.robots.size(); ++r) {
+        ASSERT_EQ(ra.robots[r].node_after, rc.robots[r].node_after)
+            << "replica " << b << " round " << t << " robot " << r;
+        ASSERT_EQ(ra.robots[r].dir_after, rc.robots[r].dir_after)
+            << "replica " << b << " round " << t << " robot " << r;
+        ASSERT_EQ(ra.robots[r].moved, rc.robots[r].moved)
+            << "replica " << b << " round " << t << " robot " << r;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sweep JSON byte-identity across batch widths and engine threads
+
+TEST(AdaptiveBatch, SweepJsonIdenticalAcrossWidthsAndThreads) {
+  SweepSpec spec;
+  spec.algorithms = {"pef3+", "bounce"};
+  spec.adversaries = {
+      adversary_config(AdversaryKind::kStatic),
+      adversary_config(AdversaryKind::kBernoulli, {{"p", 0.5}})};
+  spec.models = {ExecutionModel::kFsync, ExecutionModel::kSsync};
+  spec.ring_sizes = {32};
+  spec.robot_counts = {3};
+  spec.seeds = {1,  2,  3,  4,  5,  6,  7,  8,  9,  10,
+                11, 12, 13, 14, 15, 16, 17, 18, 19, 20};
+  spec.horizon = 300;
+
+  std::string reference;
+  for (const std::uint32_t max_batch : {0u, 1u, 16u, 256u}) {
+    for (const std::uint32_t engine_threads : {1u, 4u}) {
+      spec.max_batch = max_batch;
+      const SweepRunner runner(1, engine_threads);
+      const std::string json = runner.run(spec).to_json();
+      if (reference.empty()) {
+        reference = json;
+        continue;
+      }
+      EXPECT_EQ(json, reference)
+          << "sweep JSON diverged at max_batch=" << max_batch
+          << " engine_threads=" << engine_threads;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// pef_run CLI routing (footer + per-seed rows + ISA tiers)
+
+std::string run_cli(const std::string& env_and_args) {
+  const std::string cmd = env_and_args + " 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  if (pipe == nullptr) return {};
+  std::string out;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = fread(buffer, 1, sizeof buffer, pipe)) > 0) {
+    out.append(buffer, n);
+  }
+  pclose(pipe);
+  return out;
+}
+
+std::string pef_run_cmd(const std::string& args) {
+  return std::string(PEF_BIN_DIR) + "/pef_run " + args;
+}
+
+/// Per-seed table body rows with runs of spaces collapsed (column widths
+/// depend on the widest value in the whole table, so a 2-row and a 16-row
+/// table may pad the shared rows differently; the VALUES must match).
+std::vector<std::string> table_rows(const std::string& out) {
+  std::vector<std::string> rows;
+  std::istringstream in(out);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] != '|') continue;
+    if (line.find("seed") != std::string::npos) continue;  // header
+    std::string squeezed;
+    for (const char c : line) {
+      if (c == ' ' && !squeezed.empty() && squeezed.back() == ' ') continue;
+      squeezed.push_back(c);
+    }
+    rows.push_back(squeezed);
+  }
+  return rows;
+}
+
+constexpr const char* kCliScenario =
+    "--nodes 48 --robots 4 --algorithm pef3+ --adversary static "
+    "--model fsync --horizon 400";
+
+TEST(PefRunCli, BatchOneRoutesToSoloEngine) {
+  const std::string out =
+      run_cli(pef_run_cmd(std::string(kCliScenario) + " --batch 1"));
+  EXPECT_NE(out.find("engine=solo"), std::string::npos) << out;
+  EXPECT_EQ(out.find("engine=batch"), std::string::npos) << out;
+}
+
+TEST(PefRunCli, BelowBreakEvenRoutesToSoloAboveToBatch) {
+  const std::string solo =
+      run_cli(pef_run_cmd(std::string(kCliScenario) + " --batch 2"));
+  EXPECT_NE(solo.find("engine=solo"), std::string::npos) << solo;
+  const std::string batch =
+      run_cli(pef_run_cmd(std::string(kCliScenario) + " --batch 16"));
+  EXPECT_NE(batch.find("engine=batch"), std::string::npos) << batch;
+  const std::string adaptive =
+      run_cli(pef_run_cmd(std::string(kCliScenario) + " --batch auto"));
+  EXPECT_NE(adaptive.find("engine=batch"), std::string::npos) << adaptive;
+}
+
+TEST(PefRunCli, SoloAndBatchRowsAreByteIdentical) {
+  // Seeds 1..2 via the solo route vs seeds 1..16 via the batch route: the
+  // overlapping per-seed rows must carry identical values.
+  const std::vector<std::string> solo = table_rows(
+      run_cli(pef_run_cmd(std::string(kCliScenario) + " --batch 2")));
+  const std::vector<std::string> batch = table_rows(
+      run_cli(pef_run_cmd(std::string(kCliScenario) + " --batch 16")));
+  ASSERT_EQ(solo.size(), 2u);
+  ASSERT_EQ(batch.size(), 16u);
+  EXPECT_EQ(solo[0], batch[0]);
+  EXPECT_EQ(solo[1], batch[1]);
+}
+
+TEST(PefRunCli, ThreadsAndIsaTiersKeepRowsIdentical) {
+  const std::vector<std::string> reference = table_rows(
+      run_cli(pef_run_cmd(std::string(kCliScenario) + " --batch 16")));
+  ASSERT_EQ(reference.size(), 16u);
+  EXPECT_EQ(table_rows(run_cli(pef_run_cmd(std::string(kCliScenario) +
+                                           " --batch 16 --threads 4"))),
+            reference);
+  // PEF_BATCH_ISA clamps the dispatch tier downward; every tier computes
+  // the same rows.
+  for (const char* tier : {"portable", "avx2", "avx512"}) {
+    EXPECT_EQ(table_rows(run_cli(
+                  std::string("PEF_BATCH_ISA=") + tier + " " +
+                  pef_run_cmd(std::string(kCliScenario) + " --batch 16"))),
+              reference)
+        << "ISA tier " << tier;
+  }
+}
+
+}  // namespace
+}  // namespace pef

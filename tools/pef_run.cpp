@@ -19,10 +19,12 @@
 // reference engine (Simulator / SsyncSimulator / AsyncSimulator) — the two
 // are differentially tested to byte-identical traces for every model.
 #include <chrono>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "algorithms/registry.hpp"
 #include "analysis/coverage.hpp"
@@ -73,12 +75,22 @@ void print_help(const char* program) {
   }
   std::cout
       << "  --horizon T      rounds to simulate (default 5000)\n"
-      << "  --batch B        run B seeds (seed..seed+B-1) of the scenario\n"
-      << "                   as ONE replica-batched engine (BatchEngine);\n"
-      << "                   prints a per-seed summary table + aggregate\n"
-      << "                   throughput (default 1 = the single traced run\n"
-      << "                   below; incompatible with --render and\n"
+      << "  --batch B|auto   Monte-Carlo mode: run B seeds (seed..seed+B-1)\n"
+      << "                   of the scenario and print a per-seed summary\n"
+      << "                   table + aggregate throughput.  The engine is\n"
+      << "                   chosen adaptively: below the calibrated\n"
+      << "                   break-even width the seeds run on solo Engines\n"
+      << "                   (so --batch 1 is never slower than the plain\n"
+      << "                   run), above it on ONE replica-batched\n"
+      << "                   BatchEngine; the footer reports which\n"
+      << "                   (engine=solo|batch).  \"auto\" picks the\n"
+      << "                   calibrated preferred width for the scenario.\n"
+      << "                   Omit the flag for the single traced run below\n"
+      << "                   (incompatible with --render and\n"
       << "                   --engine reference)\n"
+      << "  --threads N      intra-cell worker threads for the batched\n"
+      << "                   engine (default 1; 0 = one per physical core;\n"
+      << "                   results are bit-identical at any value)\n"
       << "  --model M        fsync | ssync | async (default fsync; ssync\n"
       << "                   and async use seeded Bernoulli activation /\n"
       << "                   phase scheduling, see --activation-p)\n"
@@ -136,7 +148,9 @@ int main(int argc, char** argv) {
   const auto adversary_name =
       args.get_string("--adversary", default_adversary);
   const auto horizon = args.get_u64("--horizon", spec.horizon);
-  const auto batch = args.get_u32("--batch", 1);
+  const bool batch_given = args.has("--batch");
+  const std::string batch_arg = args.get_string("--batch", "1");
+  const auto threads = args.get_u32("--threads", 1);
   const auto model_name =
       args.get_string("--model", to_string(spec.model));
   const auto engine_name = args.get_string("--engine", "fast");
@@ -183,20 +197,37 @@ int main(int argc, char** argv) {
                  "activates every robot every round)\n";
     return 2;
   }
-  if (batch == 0) {
-    std::cerr << "--batch must be >= 1\n";
+  bool batch_auto = false;
+  std::uint32_t batch = 1;
+  if (batch_given) {
+    if (batch_arg == "auto") {
+      batch_auto = true;
+    } else {
+      char* end = nullptr;
+      const unsigned long value = std::strtoul(batch_arg.c_str(), &end, 10);
+      if (end == batch_arg.c_str() || *end != '\0' || value == 0 ||
+          value > (1u << 20)) {
+        std::cerr << "--batch must be a positive replica count or \"auto\"\n";
+        return 2;
+      }
+      batch = static_cast<std::uint32_t>(value);
+    }
+  }
+  if (batch_given && engine_name != "fast") {
+    std::cerr << "--batch runs on the fast engine only\n";
     return 2;
   }
-  if (batch > 1 && engine_name != "fast") {
-    std::cerr << "--batch runs on the batched fast engine only\n";
-    return 2;
-  }
-  if (batch > 1 && dispatch == ComputeDispatch::kVirtual) {
+  if (batch_given && dispatch == ComputeDispatch::kVirtual) {
     std::cerr << "--batch runs the devirtualized kernel path only\n";
     return 2;
   }
-  if (batch > 1 && render) {
+  if (batch_given && render) {
     std::cerr << "--render needs a single traced run (drop --batch)\n";
+    return 2;
+  }
+  if (threads != 1 && !batch_given) {
+    std::cerr << "--threads applies to --batch runs (the traced single run "
+                 "is inherently serial)\n";
     return 2;
   }
 
@@ -246,24 +277,70 @@ int main(int argc, char** argv) {
     return adversary_from_config(adversary_cfg, ring, s, robots);
   };
 
-  if (batch > 1) {
-    // Monte-Carlo mode: one BatchEngine advancing all seeds in lock-step,
-    // replica-SoA state, no traces — per-seed results are bit-identical to
-    // the single-run path (differentially tested).
-    std::vector<BatchReplica> replicas(batch);
-    for (std::uint32_t b = 0; b < batch; ++b) {
-      const std::uint64_t s = seed + b;
-      BatchReplica& replica = replicas[b];
-      replica.algorithm = make_algorithm(algorithm, s);
-      replica.placements = spread_placements(ring, robots);
-      replica.horizon = horizon;
-      wire_standard_replica(replica, *model, make_adversary(s),
-                            activation_p, s);
-    }
+  if (batch_given) {
+    // Monte-Carlo mode.  The engine is chosen by the calibrated break-even
+    // model: narrow seed counts run solo Engines (the batch's plane setup
+    // and per-round passes only amortize past the break-even width), wide
+    // ones run ONE BatchEngine advancing all seeds in lock-step.  Either
+    // way the per-seed results are bit-identical (differentially tested).
+    if (batch_auto) batch = preferred_batch_width(*model, nodes, robots);
+    const BatchPlan plan = plan_batch(*model, nodes, robots, batch, batch);
 
+    std::vector<EngineStats> seed_stats(batch);
+    std::vector<CoverageReport> seed_coverage(batch);
+    const char* engine_used = plan.use_batch() ? "batch" : "solo";
     const auto start = std::chrono::steady_clock::now();
-    BatchEngine batch_engine(ring, *model, std::move(replicas));
-    batch_engine.run_all();
+    if (plan.use_batch()) {
+      std::vector<BatchReplica> replicas(batch);
+      for (std::uint32_t b = 0; b < batch; ++b) {
+        const std::uint64_t s = seed + b;
+        BatchReplica& replica = replicas[b];
+        replica.algorithm = make_algorithm(algorithm, s);
+        replica.placements = spread_placements(ring, robots);
+        replica.horizon = horizon;
+        wire_standard_replica(replica, *model, make_adversary(s),
+                              activation_p, s);
+      }
+      BatchEngineOptions options;
+      options.threads = threads;
+      BatchEngine batch_engine(ring, *model, std::move(replicas), options);
+      batch_engine.run_all();
+      for (std::uint32_t b = 0; b < batch; ++b) {
+        seed_stats[b] = batch_engine.stats(b);
+        seed_coverage[b] = batch_engine.coverage_report(b);
+      }
+    } else {
+      for (std::uint32_t b = 0; b < batch; ++b) {
+        const std::uint64_t s = seed + b;
+        EngineOptions options;
+        options.dispatch = dispatch;
+        std::optional<Engine> solo;
+        switch (*model) {
+          case ExecutionModel::kFsync:
+            solo.emplace(ring, make_algorithm(algorithm, s),
+                         make_adversary(s), spread_placements(ring, robots),
+                         options);
+            break;
+          case ExecutionModel::kSsync:
+            solo.emplace(ring, make_algorithm(algorithm, s),
+                         std::make_unique<SsyncFromFsyncAdversary>(
+                             make_adversary(s)),
+                         standard_ssync_activation(activation_p, s),
+                         spread_placements(ring, robots), options);
+            break;
+          case ExecutionModel::kAsync:
+            solo.emplace(ring, make_algorithm(algorithm, s),
+                         std::make_unique<SsyncFromFsyncAdversary>(
+                             make_adversary(s)),
+                         standard_async_phases(activation_p, s),
+                         spread_placements(ring, robots), options);
+            break;
+        }
+        solo->run(horizon);
+        seed_stats[b] = solo->stats();
+        seed_coverage[b] = solo->coverage_report();
+      }
+    }
     const double secs = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - start)
                             .count();
@@ -278,8 +355,8 @@ int main(int argc, char** argv) {
                      "max revisit gap", "moves", "tower rounds"});
     bool all_perpetual = true;
     for (std::uint32_t b = 0; b < batch; ++b) {
-      const EngineStats& stats = batch_engine.stats(b);
-      const CoverageReport coverage = batch_engine.coverage_report(b);
+      const EngineStats& stats = seed_stats[b];
+      const CoverageReport& coverage = seed_coverage[b];
       const bool perpetual = coverage.perpetual(nodes);
       all_perpetual = all_perpetual && perpetual;
       table.add_row({std::to_string(seed + b),
@@ -295,13 +372,15 @@ int main(int argc, char** argv) {
     table.print(std::cout);
     // Per-model aggregate throughput: SSYNC counts rounds and ASYNC ticks,
     // so the model tag keeps cross-model batches comparable at a glance.
+    // engine= names which path actually ran (the adaptive choice above).
     std::cout << "\naggregate [" << to_string(*model) << "]: "
               << static_cast<std::uint64_t>(
                      static_cast<double>(horizon) * batch / secs)
               << " replica-" << (*model == ExecutionModel::kAsync
                                      ? "ticks"
                                      : "rounds")
-              << "/sec over B=" << batch << " (" << secs << " s)\n";
+              << "/sec over B=" << batch << " (" << secs << " s)"
+              << " engine=" << engine_used << "\n";
     return all_perpetual ? 0 : 1;
   }
 

@@ -58,6 +58,12 @@ void print_help(const char* program) {
       << "                   and reporting missing_shards on stderr\n"
       << "  --out FILE       write the JSON here instead of stdout\n"
       << "  --threads T      worker threads (default: hardware)\n"
+      << "  --engine-threads N\n"
+      << "                   intra-cell worker threads per BatchEngine\n"
+      << "                   (default 1; 0 = one per physical core; only\n"
+      << "                   useful when the grid is narrower than the\n"
+      << "                   machine — results are bit-identical either\n"
+      << "                   way)\n"
       << "  --validate       parse + validate the spec, print the resolved\n"
       << "                   canonical JSON, run nothing\n"
       << "  --help           this text\n";
@@ -132,6 +138,7 @@ int main(int argc, char** argv) {
   const std::string merge_list = args.get_string("--merge", "");
   const std::string out_path = args.get_string("--out", "");
   const auto threads = args.get_u32("--threads", 0);
+  const auto engine_threads = args.get_u32("--engine-threads", 1);
   const bool validate_only = args.has("--validate");
   const bool allow_partial = args.has("--allow-partial");
   args.check_unused();
@@ -292,7 +299,7 @@ int main(int argc, char** argv) {
     for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
   }
 
-  const SweepRunner runner(threads);
+  const SweepRunner runner(threads, engine_threads);
   const SweepResult result = runner.run(*spec, shard);
   std::cerr << "pef_sweep: " << result.cells.size() << " cells";
   if (sharded) {

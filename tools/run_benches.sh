@@ -43,8 +43,16 @@ for bench in "${benches[@]}"; do
   if ! "$build_dir/$bench" > "$out_dir/$bench.log" 2>&1; then
     echo "  FAILED (see $out_dir/$bench.log)"
     failed+=("$bench")
-  else
-    tail -3 "$out_dir/$bench.log"
+    continue
+  fi
+  tail -3 "$out_dir/$bench.log"
+  # Every bench must leave its BENCH_<name>.json behind: a bench that runs
+  # but emits no JSON silently drops out of the perf trajectory, which is
+  # exactly the failure mode that left BENCH_scaling.json empty once.
+  json="$out_dir/BENCH_${bench#bench_}.json"
+  if [ ! -s "$json" ]; then
+    echo "  FAILED: no JSON report at $json"
+    failed+=("$bench")
   fi
 done
 
