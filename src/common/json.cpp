@@ -93,6 +93,12 @@ void JsonWriter::null_field(const std::string& key) {
   out_ += "null";
 }
 
+void JsonWriter::raw_field(const std::string& key,
+                           const std::string& raw_json) {
+  key_prefix(key);
+  out_ += raw_json;
+}
+
 void JsonWriter::element(const std::string& value) {
   comma();
   out_ += '"';

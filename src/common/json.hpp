@@ -44,6 +44,9 @@ class JsonWriter {
   }
   /// null member (e.g. "cover_time": null when never covered).
   void null_field(const std::string& key);
+  /// Pre-serialized member: `raw_json` must itself be valid JSON (used to
+  /// embed sub-documents produced by another JsonWriter).
+  void raw_field(const std::string& key, const std::string& raw_json);
 
   // Scalar array elements.
   void element(const std::string& value);

@@ -1,11 +1,5 @@
 #include "orchestrator/backend.hpp"
 
-#include <fcntl.h>
-#include <signal.h>
-#include <sys/wait.h>
-#include <unistd.h>
-
-#include <cstdlib>
 #include <thread>
 
 namespace pef {
@@ -18,76 +12,21 @@ LocalProcessBackend::LocalProcessBackend(std::uint32_t capacity)
   }
 }
 
-LocalProcessBackend::~LocalProcessBackend() {
-  // Never leave orphans: an orchestrator dying mid-run takes its workers
-  // with it (their partial outputs are invalid anyway; the ledger makes
-  // the next run redo exactly that work).
-  for (const Child& child : children_) {
-    ::kill(child.pid, SIGKILL);
-    ::waitpid(child.pid, nullptr, 0);
-  }
-}
-
 std::optional<std::uint64_t> LocalProcessBackend::launch(
     const WorkerLaunch& launch) {
-  if (launch.argv.empty()) return std::nullopt;
-  const pid_t pid = ::fork();
-  if (pid < 0) return std::nullopt;
-  if (pid == 0) {
-    // Child.  Route both streams into the per-attempt log (the JSON result
-    // travels via the worker's --out file, so stdout is diagnostics too).
-    if (!launch.log_path.empty()) {
-      const int fd = ::open(launch.log_path.c_str(),
-                            O_WRONLY | O_CREAT | O_APPEND, 0644);
-      if (fd >= 0) {
-        ::dup2(fd, STDOUT_FILENO);
-        ::dup2(fd, STDERR_FILENO);
-        if (fd > STDERR_FILENO) ::close(fd);
-      }
-    }
-    for (const auto& [key, value] : launch.env) {
-      ::setenv(key.c_str(), value.c_str(), 1);
-    }
-    std::vector<char*> argv;
-    argv.reserve(launch.argv.size() + 1);
-    for (const std::string& arg : launch.argv) {
-      argv.push_back(const_cast<char*>(arg.c_str()));
-    }
-    argv.push_back(nullptr);
-    ::execvp(argv[0], argv.data());
-    _exit(127);  // exec failed; 127 matches the shell convention
-  }
-  const std::uint64_t token = next_token_++;
-  children_.push_back({token, pid});
-  return token;
+  return children_.spawn(launch.argv, launch.env, launch.log_path);
 }
 
 std::optional<WorkerExit> LocalProcessBackend::poll() {
-  for (std::size_t i = 0; i < children_.size(); ++i) {
-    int status = 0;
-    const pid_t pid = ::waitpid(children_[i].pid, &status, WNOHANG);
-    if (pid != children_[i].pid) continue;
-    WorkerExit exit;
-    exit.token = children_[i].token;
-    if (WIFEXITED(status)) {
-      exit.exit_code = WEXITSTATUS(status);
-    } else if (WIFSIGNALED(status)) {
-      exit.exit_code = -1;
-      exit.term_signal = WTERMSIG(status);
-    }
-    children_.erase(children_.begin() + static_cast<std::ptrdiff_t>(i));
-    return exit;
-  }
-  return std::nullopt;
+  const auto child = children_.poll();
+  if (!child) return std::nullopt;
+  WorkerExit exit;
+  exit.token = child->token;
+  exit.exit_code = child->exit_code;
+  exit.term_signal = child->term_signal;
+  return exit;
 }
 
-void LocalProcessBackend::kill(std::uint64_t token) {
-  for (const Child& child : children_) {
-    if (child.token == token) {
-      ::kill(child.pid, SIGKILL);  // reaped (and reported) via poll()
-      return;
-    }
-  }
-}
+void LocalProcessBackend::kill(std::uint64_t token) { children_.kill(token); }
 
 }  // namespace pef

@@ -16,16 +16,29 @@
 #include <utility>
 #include <vector>
 
+#include "orchestrator/process.hpp"
+
 namespace pef {
 
 /// One worker launch: a child argv plus environment additions (fault
 /// attempt numbering etc.).  Worker stdout/stderr are appended to
 /// `log_path` when set — shard results travel through `--out` files, so
 /// the streams carry only diagnostics.
+///
+/// The last four fields are remote-backend metadata: argv is written in
+/// LOCAL terms (local spec path, local output path), and a remote backend
+/// uses them to stage the spec out, rewrite argv for the remote
+/// filesystem, and fetch the output back to exactly `output_path` — the
+/// supervisor validates that local file either way.  LocalProcessBackend
+/// ignores them.
 struct WorkerLaunch {
   std::vector<std::string> argv;  // argv[0] = binary (PATH-resolved)
   std::vector<std::pair<std::string, std::string>> env;
   std::string log_path;
+  std::uint32_t shard = 0;    // shard index (net-fault derivation)
+  std::uint32_t attempt = 0;  // launch attempt number (net-fault derivation)
+  std::string stage_in;       // local input file the worker needs (the spec)
+  std::string output_path;    // local path where the worker's --out must land
 };
 
 /// A finished worker, as reported by poll().
@@ -35,6 +48,20 @@ struct WorkerExit {
   /// (including a supervision kill()).
   int exit_code = -1;
   int term_signal = 0;  // 0 on normal exit
+  /// Which host ran the worker (empty for the local backend).
+  std::string host;
+  /// Backend hint: a non-zero exit_code that the TRANSPORT produced (e.g.
+  /// ssh's 255 on a dropped link) rather than the worker itself — the
+  /// supervisor charges it to the host, not the workload.
+  bool host_suspect = false;
+};
+
+/// The supervisor's verdict on a finished worker, fed back to the backend
+/// so fleet backends can track per-host health.
+enum class WorkerOutcomeKind : std::uint8_t {
+  kSuccess,    // output fetched and validated
+  kHostFault,  // signal death / timeout / lost or truncated output
+  kAppFault,   // clean non-zero exit: the workload failed, not the host
 };
 
 class WorkerBackend {
@@ -42,9 +69,15 @@ class WorkerBackend {
   virtual ~WorkerBackend() = default;
 
   /// Start a worker; returns an opaque token for poll()/kill(), or nullopt
-  /// when the launch itself failed (fork failure, queue rejection).
+  /// when the launch itself failed (fork failure, queue rejection,
+  /// connection refused).  last_launch_error() then says why.
   [[nodiscard]] virtual std::optional<std::uint64_t> launch(
       const WorkerLaunch& launch) = 0;
+
+  /// Human-readable reason for the most recent launch() failure.
+  [[nodiscard]] virtual std::string last_launch_error() const {
+    return "backend failed to launch worker";
+  }
 
   /// Non-blocking: the next finished worker, if any.  Every successful
   /// launch() is eventually reported exactly once (killed workers
@@ -55,11 +88,25 @@ class WorkerBackend {
   /// still arrives through poll().
   virtual void kill(std::uint64_t token) = 0;
 
-  /// How many workers this backend can usefully run at once.
+  /// Supervisor feedback after classifying a polled exit: lets fleet
+  /// backends do per-host failure accounting (circuit breakers).  Default:
+  /// ignored.
+  virtual void note_result(const WorkerExit& exit, WorkerOutcomeKind kind) {
+    (void)exit;
+    (void)kind;
+  }
+
+  /// How many workers this backend can usefully run at once.  May SHRINK
+  /// mid-run (fleet backends quarantining hosts); the supervisor re-reads
+  /// it every scheduling pass.
   [[nodiscard]] virtual std::uint32_t capacity() const = 0;
 
   /// Currently running workers.
   [[nodiscard]] virtual std::uint32_t running() const = 0;
+
+  /// Per-host health as a JSON array ("[]"-shaped), for the run report.
+  /// Empty string == this backend has no host-level state (local pool).
+  [[nodiscard]] virtual std::string fleet_report_json() const { return ""; }
 };
 
 /// The local process pool: fork/exec on this machine, SIGKILL on timeout,
@@ -68,7 +115,6 @@ class LocalProcessBackend final : public WorkerBackend {
  public:
   /// `capacity` == 0 picks std::thread::hardware_concurrency().
   explicit LocalProcessBackend(std::uint32_t capacity = 0);
-  ~LocalProcessBackend() override;
 
   [[nodiscard]] std::optional<std::uint64_t> launch(
       const WorkerLaunch& launch) override;
@@ -76,18 +122,12 @@ class LocalProcessBackend final : public WorkerBackend {
   void kill(std::uint64_t token) override;
   [[nodiscard]] std::uint32_t capacity() const override { return capacity_; }
   [[nodiscard]] std::uint32_t running() const override {
-    return static_cast<std::uint32_t>(children_.size());
+    return static_cast<std::uint32_t>(children_.running());
   }
 
  private:
-  struct Child {
-    std::uint64_t token = 0;
-    int pid = -1;
-  };
-
   std::uint32_t capacity_ = 1;
-  std::uint64_t next_token_ = 1;
-  std::vector<Child> children_;
+  ChildProcessSet children_;
 };
 
 }  // namespace pef

@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "common/rng.hpp"
+#include "orchestrator/ledger.hpp"  // fnv1a64 (host-name hashing)
 
 namespace pef {
 namespace {
@@ -63,6 +64,22 @@ const char* to_string(FaultAction action) {
   return "?";
 }
 
+const char* to_string(NetFaultAction action) {
+  switch (action) {
+    case NetFaultAction::kNone: return "none";
+    case NetFaultAction::kRefuse: return "refuse";
+    case NetFaultAction::kDrop: return "drop";
+    case NetFaultAction::kStall: return "stall";
+    case NetFaultAction::kPartialFetch: return "partial";
+  }
+  return "?";
+}
+
+bool FaultSpec::NetFault::applies_to(const std::string& host) const {
+  return hosts.empty() ||
+         std::find(hosts.begin(), hosts.end(), host) != hosts.end();
+}
+
 FaultAction FaultSpec::decide(std::uint32_t shard_index,
                               std::uint32_t attempt) const {
   if (inert()) return FaultAction::kNone;
@@ -80,6 +97,33 @@ FaultAction FaultSpec::decide(std::uint32_t shard_index,
   if (roll < crash + corrupt + flip) return FaultAction::kSilentCorrupt;
   if (roll < crash + corrupt + flip + hang) return FaultAction::kHang;
   return FaultAction::kNone;
+}
+
+NetFaultAction FaultSpec::decide_net(const std::string& host,
+                                     std::uint32_t shard_index,
+                                     std::uint32_t attempt) const {
+  if (net_inert()) return NetFaultAction::kNone;
+  // Fixed priority, independent streams: each family draws from its own
+  // (seed, host, shard, attempt)-derived stream, so adding `stall=...` to a
+  // spec never changes which launches `refuse=...` already bit.
+  const std::uint64_t host_hash = fnv1a64(host);
+  const struct {
+    const NetFault& fault;
+    NetFaultAction action;
+    std::uint64_t salt;
+  } families[] = {
+      {refuse, NetFaultAction::kRefuse, 0x4ef01ULL},
+      {drop, NetFaultAction::kDrop, 0x4ef02ULL},
+      {stall, NetFaultAction::kStall, 0x4ef03ULL},
+      {partial, NetFaultAction::kPartialFetch, 0x4ef04ULL},
+  };
+  for (const auto& family : families) {
+    if (family.fault.p <= 0 || !family.fault.applies_to(host)) continue;
+    Xoshiro256 rng(
+        derive_seed(seed, family.salt ^ host_hash, shard_index, attempt));
+    if (rng.next_double() < family.fault.p) return family.action;
+  }
+  return NetFaultAction::kNone;
 }
 
 std::optional<FaultSpec> FaultSpec::parse(const std::string& text,
@@ -119,9 +163,33 @@ std::optional<FaultSpec> FaultSpec::parse(const std::string& text,
         }
         spec.shards.push_back(static_cast<std::uint32_t>(index));
       }
+    } else if (key == "refuse" || key == "drop" || key == "stall" ||
+               key == "partial") {
+      double p = 0;
+      if (!parse_probability(value, p)) {
+        return fail("bad probability " + key + "=\"" + value +
+                    "\" (need 0..1)");
+      }
+      (key == "refuse" ? spec.refuse
+       : key == "drop" ? spec.drop
+       : key == "stall" ? spec.stall
+                        : spec.partial)
+          .p = p;
+    } else if (key == "refuse_hosts" || key == "drop_hosts" ||
+               key == "stall_hosts" || key == "partial_hosts") {
+      NetFault& fault = key == "refuse_hosts" ? spec.refuse
+                        : key == "drop_hosts" ? spec.drop
+                        : key == "stall_hosts" ? spec.stall
+                                               : spec.partial;
+      fault.hosts = split(value, ',');
+      if (fault.hosts.empty()) {
+        return fail("empty host list for " + key);
+      }
     } else {
       return fail("unknown key \"" + key +
-                  "\" (keys: seed, crash, corrupt, flip, hang, shards)");
+                  "\" (keys: seed, crash, corrupt, flip, hang, shards, "
+                  "refuse[_hosts], drop[_hosts], stall[_hosts], "
+                  "partial[_hosts])");
     }
   }
   if (spec.crash + spec.corrupt + spec.flip + spec.hang > 1.0) {
@@ -140,6 +208,24 @@ std::string FaultSpec::to_string() const {
     out += ":shards=";
     for (std::size_t i = 0; i < shards.size(); ++i) {
       out += (i == 0 ? "" : ",") + std::to_string(shards[i]);
+    }
+  }
+  const struct {
+    const NetFault& fault;
+    const char* key;
+  } families[] = {
+      {refuse, "refuse"}, {drop, "drop"}, {stall, "stall"},
+      {partial, "partial"},
+  };
+  for (const auto& family : families) {
+    if (family.fault.p <= 0) continue;
+    out += ":" + std::string(family.key) + "=" +
+           format_probability(family.fault.p);
+    if (!family.fault.hosts.empty()) {
+      out += ":" + std::string(family.key) + "_hosts=";
+      for (std::size_t i = 0; i < family.fault.hosts.size(); ++i) {
+        out += (i == 0 ? "" : ",") + family.fault.hosts[i];
+      }
     }
   }
   return out;
@@ -166,6 +252,18 @@ FaultAction fault_action_from_env(std::uint32_t shard_index) {
     attempt = static_cast<std::uint32_t>(value);
   }
   return spec->decide(shard_index, attempt);
+}
+
+FaultSpec fault_spec_from_env() {
+  const char* text = std::getenv(kFaultSpecEnvVar);
+  if (text == nullptr || *text == '\0') return {};
+  std::string error;
+  const auto spec = FaultSpec::parse(text, &error);
+  if (!spec) {
+    std::fprintf(stderr, "%s: %s\n", kFaultSpecEnvVar, error.c_str());
+    std::exit(2);
+  }
+  return *spec;
 }
 
 }  // namespace pef

@@ -30,6 +30,24 @@
 // shard re-rolls its fate deterministically and a given (spec, flags) pair
 // always reproduces the same fault pattern — which is what lets CI gate on
 // "the orchestrator converges through these exact faults".
+//
+// Remote fleets add NETWORK-shaped faults, enacted by the orchestrator's
+// fleet backend (never by the worker) as a pure function of (spec seed,
+// host name, shard index, attempt number):
+//
+//   refuse=P    connection refused at launch (the worker never starts)
+//   drop=P      link drop mid-run (the in-flight worker dies on a signal)
+//   stall=P     stalled output transfer (the worker finishes but its
+//               output never lands locally)
+//   partial=P   partial output fetch (only a prefix of the bytes lands —
+//               indistinguishable from a corrupt-output worker)
+//
+// Each key takes an optional `<key>_hosts=H1,H2` filter restricting that
+// fault to the named hosts — `refuse=1.0:refuse_hosts=nodeB` scripts "node
+// B is down", while unfiltered probabilities model flaky links fleet-wide.
+// When several net faults could fire for one launch they are tried in the
+// fixed order refuse > drop > stall > partial on independent derived
+// streams, so the outcome stays a pure function of the coordinates.
 #pragma once
 
 #include <cstdint>
@@ -50,11 +68,32 @@ enum class FaultAction : std::uint8_t {
 
 [[nodiscard]] const char* to_string(FaultAction action);
 
+/// What a fleet backend should do to one remote launch (decided on the
+/// orchestrator side; workers never see these).
+enum class NetFaultAction : std::uint8_t {
+  kNone,          // launch, run and fetch normally
+  kRefuse,        // fail the launch ("connection refused")
+  kDrop,          // kill the worker mid-run (link drop / host death)
+  kStall,         // run to completion but never deliver the output
+  kPartialFetch,  // deliver only a prefix of the output bytes
+};
+
+[[nodiscard]] const char* to_string(NetFaultAction action);
+
 /// Exit code of an injected crash — distinct from real pef_sweep failures
 /// (1/2) so orchestrator logs show which deaths were injected.
 inline constexpr int kFaultCrashExitCode = 117;
 
 struct FaultSpec {
+  /// One network fault family: its probability plus an optional host
+  /// filter (empty == applies to every host).
+  struct NetFault {
+    double p = 0;
+    std::vector<std::string> hosts;
+
+    [[nodiscard]] bool applies_to(const std::string& host) const;
+  };
+
   std::uint64_t seed = 0;
   double crash = 0;
   double corrupt = 0;
@@ -62,10 +101,22 @@ struct FaultSpec {
   double hang = 0;
   /// Empty == faults apply to every shard.
   std::vector<std::uint32_t> shards;
+  // Network faults (fleet backends only; see the grammar above).
+  NetFault refuse;
+  NetFault drop;
+  NetFault stall;
+  NetFault partial;
 
-  /// True when every probability is zero (decide() is always kNone).
+  /// True when every worker-side probability is zero (decide() is always
+  /// kNone).  Network faults are separate: see net_inert().
   [[nodiscard]] bool inert() const {
     return crash <= 0 && corrupt <= 0 && flip <= 0 && hang <= 0;
+  }
+
+  /// True when every network-fault probability is zero (decide_net() is
+  /// always kNone).
+  [[nodiscard]] bool net_inert() const {
+    return refuse.p <= 0 && drop.p <= 0 && stall.p <= 0 && partial.p <= 0;
   }
 
   /// The fate of launch `attempt` of shard `shard_index`: one uniform draw
@@ -73,6 +124,13 @@ struct FaultSpec {
   /// [crash | corrupt | hang | none] partition of [0, 1).
   [[nodiscard]] FaultAction decide(std::uint32_t shard_index,
                                    std::uint32_t attempt) const;
+
+  /// The network fate of launch `attempt` of `shard_index` on `host`:
+  /// refuse > drop > stall > partial are tried in that order on
+  /// independent streams derived from (seed, host, shard, attempt).
+  [[nodiscard]] NetFaultAction decide_net(const std::string& host,
+                                          std::uint32_t shard_index,
+                                          std::uint32_t attempt) const;
 
   /// Parse the PEF_FAULT_SPEC grammar above.  Empty text parses to the
   /// inert spec.  Unknown keys, malformed numbers and probabilities
@@ -89,6 +147,11 @@ struct FaultSpec {
 /// the variable is unset; aborts with a message on a malformed spec (a typo
 /// in a chaos test must never silently disable the chaos).
 [[nodiscard]] FaultAction fault_action_from_env(std::uint32_t shard_index);
+
+/// The orchestrator side's view of PEF_FAULT_SPEC (fleet backends enact
+/// the network faults themselves).  Unset/empty parses to the inert spec;
+/// a malformed spec aborts, same as the worker side.
+[[nodiscard]] FaultSpec fault_spec_from_env();
 
 /// Names of the environment variables (shared by worker and orchestrator).
 inline constexpr const char* kFaultSpecEnvVar = "PEF_FAULT_SPEC";

@@ -1,0 +1,422 @@
+#include "orchestrator/fleet.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/json.hpp"
+
+namespace pef {
+namespace {
+
+std::string basename_of(const std::string& path) {
+  const auto slash = path.rfind('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+std::string join_remote(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  return dir.back() == '/' ? dir + name : dir + "/" + name;
+}
+
+bool write_local_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) return false;
+  out << content;
+  out.flush();
+  return out.good();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FleetSpec
+
+std::optional<FleetSpec> FleetSpec::parse(const std::string& json,
+                                          std::string* error) {
+  const auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = "fleet spec: " + message;
+    return std::nullopt;
+  };
+  std::string parse_error;
+  const auto document = parse_json(json, &parse_error);
+  if (!document) return fail(parse_error);
+  if (!document->is_object()) return fail("expected a JSON object");
+  for (const auto& [key, value] : document->members) {
+    if (key != "hosts") {
+      return fail("unknown key \"" + key + "\" (keys: hosts)");
+    }
+  }
+  const JsonValue* hosts = document->find("hosts");
+  if (hosts == nullptr || !hosts->is_array()) {
+    return fail("need a \"hosts\" array");
+  }
+  if (hosts->items.empty()) return fail("\"hosts\" must name at least one host");
+
+  FleetSpec spec;
+  for (std::size_t i = 0; i < hosts->items.size(); ++i) {
+    const JsonValue& entry = hosts->items[i];
+    const std::string where = "hosts[" + std::to_string(i) + "]";
+    if (!entry.is_object()) return fail(where + ": expected an object");
+    FleetHost host;
+    for (const auto& [key, value] : entry.members) {
+      if (key == "host") {
+        if (!value.is_string() || value.string_value.empty()) {
+          return fail(where + ": \"host\" must be a non-empty string");
+        }
+        host.host = value.string_value;
+      } else if (key == "slots") {
+        if (!value.is_uint || value.uint_value == 0 ||
+            value.uint_value > 0xffffffffULL) {
+          return fail(where + ": \"slots\" must be a positive integer");
+        }
+        host.slots = static_cast<std::uint32_t>(value.uint_value);
+      } else if (key == "workdir") {
+        if (!value.is_string()) {
+          return fail(where + ": \"workdir\" must be a string");
+        }
+        host.workdir = value.string_value;
+      } else if (key == "worker") {
+        if (!value.is_string()) {
+          return fail(where + ": \"worker\" must be a string");
+        }
+        host.worker = value.string_value;
+      } else {
+        return fail(where + ": unknown key \"" + key +
+                    "\" (keys: host, slots, workdir, worker)");
+      }
+    }
+    if (host.host.empty()) return fail(where + ": missing \"host\"");
+    for (const FleetHost& existing : spec.hosts) {
+      if (existing.host == host.host) {
+        return fail("duplicate host \"" + host.host + "\"");
+      }
+    }
+    spec.hosts.push_back(std::move(host));
+  }
+  return spec;
+}
+
+std::optional<FleetSpec> FleetSpec::load(const std::string& path,
+                                         std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    if (error != nullptr) *error = "cannot read " + path;
+    return std::nullopt;
+  }
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  return parse(content, error);
+}
+
+std::uint32_t FleetSpec::total_slots() const {
+  std::uint32_t total = 0;
+  for (const FleetHost& host : hosts) total += host.slots;
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// SshBackend
+
+SshBackend::SshBackend(CommandTransport& transport, FleetSpec fleet,
+                       SshBackendOptions options, std::ostream* log)
+    : transport_(transport), options_(std::move(options)), log_(log) {
+  for (FleetHost& host : fleet.hosts) {
+    if (host.workdir.empty()) {
+      host.workdir =
+          join_remote(options_.default_workdir_root, host.host);
+    }
+    HostState state;
+    state.health.host = host.host;
+    state.health.slots = host.slots;
+    state.spec = std::move(host);
+    hosts_.push_back(std::move(state));
+  }
+}
+
+void SshBackend::log_line(const std::string& line) const {
+  if (log_ != nullptr) *log_ << "pef_orchestrate: " << line << "\n";
+}
+
+void SshBackend::ensure_probed() {
+  if (probes_done_) return;
+  probes_done_ = true;
+  if (!options_.probe) return;
+  for (std::uint32_t i = 0; i < hosts_.size(); ++i) {
+    HostState& host = hosts_[i];
+    std::string error;
+    host.probed = true;
+    if (transport_.probe(host.spec.host, &error)) {
+      host.health.probe = "ok";
+    } else {
+      host.health.probe = "failed";
+      quarantine(i, "liveness probe failed: " + error);
+    }
+  }
+}
+
+SshBackend::HostState* SshBackend::find_host(const std::string& name) {
+  for (HostState& host : hosts_) {
+    if (host.spec.host == name) return &host;
+  }
+  return nullptr;
+}
+
+std::uint32_t SshBackend::capacity() const {
+  std::uint32_t total = 0;
+  for (const HostState& host : hosts_) {
+    if (!host.health.quarantined) total += host.spec.slots;
+  }
+  return total;
+}
+
+void SshBackend::quarantine(std::uint32_t host_index,
+                            const std::string& reason) {
+  HostState& host = hosts_[host_index];
+  if (host.health.quarantined) return;
+  host.health.quarantined = true;
+  host.health.quarantine_reason = reason;
+  // Reschedule-by-killing: the in-flight workers die, their exits flow
+  // through poll() as host faults, and the supervisor's retry machinery
+  // relaunches those shards — on some other host, since this one no
+  // longer has capacity.
+  std::uint32_t in_flight = 0;
+  for (const Flight& flight : flights_) {
+    if (flight.host_index == host_index) {
+      transport_.kill(flight.token);
+      ++in_flight;
+    }
+  }
+  log_line("host " + host.spec.host + " QUARANTINED (" + reason + ")" +
+           (in_flight > 0 ? " — killing " + std::to_string(in_flight) +
+                                " in-flight worker(s) for rescheduling"
+                          : ""));
+}
+
+void SshBackend::charge_host(std::uint32_t host_index,
+                             const std::string& reason) {
+  HostState& host = hosts_[host_index];
+  ++host.health.failures;
+  ++host.health.consecutive_failures;
+  if (!host.health.quarantined &&
+      host.health.consecutive_failures >= options_.blacklist_after) {
+    quarantine(host_index,
+               std::to_string(host.health.consecutive_failures) +
+                   " consecutive failures, last: " + reason);
+  }
+}
+
+std::optional<std::uint64_t> SshBackend::launch(const WorkerLaunch& launch) {
+  ensure_probed();
+
+  // Capacity-aware host pick: the live host with the most free slots, so
+  // heterogeneous fleets fill proportionally instead of hammering the
+  // first entry.
+  std::uint32_t best = 0;
+  std::uint32_t best_free = 0;
+  for (std::uint32_t i = 0; i < hosts_.size(); ++i) {
+    const HostState& host = hosts_[i];
+    if (host.health.quarantined) continue;
+    const std::uint32_t free =
+        host.spec.slots > host.in_flight ? host.spec.slots - host.in_flight
+                                         : 0;
+    if (free > best_free) {
+      best_free = free;
+      best = i;
+    }
+  }
+  if (best_free == 0) {
+    last_launch_error_ = "no free slot on any live host";
+    return std::nullopt;
+  }
+  HostState& host = hosts_[best];
+  const std::string& host_name = host.spec.host;
+
+  // Deterministic network chaos, decided before anything touches the
+  // wire: a refused connection fails the launch and is charged to the
+  // host (real refusals land here too, via transport start failures).
+  const NetFaultAction plan =
+      options_.faults.decide_net(host_name, launch.shard, launch.attempt);
+  if (plan == NetFaultAction::kRefuse) {
+    last_launch_error_ = "connection refused by " + host_name + " (injected)";
+    charge_host(best, "connection refused (injected)");
+    return std::nullopt;
+  }
+
+  // Stage the spec once per host; staging also creates the remote workdir.
+  if (!launch.stage_in.empty() && !host.staged) {
+    const std::string remote_spec =
+        join_remote(host.spec.workdir, basename_of(launch.stage_in));
+    std::string error;
+    if (!transport_.stage(host_name, launch.stage_in, remote_spec, &error)) {
+      last_launch_error_ = "staging spec to " + host_name + " failed: " + error;
+      charge_host(best, "spec staging failed");
+      return std::nullopt;
+    }
+    host.staged = true;
+    host.staged_remote = remote_spec;
+  }
+
+  // Rewrite the local argv in remote terms: worker binary override, staged
+  // spec path, and a workdir-local output path the backend fetches back.
+  const std::string remote_out =
+      join_remote(host.spec.workdir, basename_of(launch.output_path));
+  TransportCommand command;
+  command.host = host_name;
+  command.argv = launch.argv;
+  if (!host.spec.worker.empty()) command.argv[0] = host.spec.worker;
+  for (std::string& arg : command.argv) {
+    if (!launch.stage_in.empty() && arg == launch.stage_in) {
+      arg = host.staged_remote;
+    } else if (!launch.output_path.empty() && arg == launch.output_path) {
+      arg = remote_out;
+    }
+  }
+  command.env = launch.env;
+  command.log_path = launch.log_path;
+
+  const auto token = transport_.start(command);
+  if (!token) {
+    last_launch_error_ = "connection to " + host_name + " failed at launch";
+    charge_host(best, "connection failed at launch");
+    return std::nullopt;
+  }
+
+  Flight flight;
+  flight.token = *token;
+  flight.host_index = best;
+  flight.plan = plan;
+  flight.local_out = launch.output_path;
+  flight.remote_out = remote_out;
+  flights_.push_back(std::move(flight));
+  ++host.in_flight;
+  ++host.health.launches;
+  return token;
+}
+
+std::optional<WorkerExit> SshBackend::poll() {
+  // Enact planned link drops: the worker started for real, now the "link"
+  // goes away — kill it so the exit arrives as a signal death.
+  for (Flight& flight : flights_) {
+    if (flight.plan == NetFaultAction::kDrop && !flight.drop_fired) {
+      flight.drop_fired = true;
+      log_line("link to " + hosts_[flight.host_index].spec.host +
+               " dropped mid-run (injected)");
+      transport_.kill(flight.token);
+    }
+  }
+
+  const auto child = transport_.poll();
+  if (!child) return std::nullopt;
+
+  std::size_t index = flights_.size();
+  for (std::size_t i = 0; i < flights_.size(); ++i) {
+    if (flights_[i].token == child->token) {
+      index = i;
+      break;
+    }
+  }
+  if (index == flights_.size()) return std::nullopt;  // not ours (defensive)
+  const Flight flight = flights_[index];
+  flights_.erase(flights_.begin() + static_cast<std::ptrdiff_t>(index));
+  HostState& host = hosts_[flight.host_index];
+  if (host.in_flight > 0) --host.in_flight;
+
+  WorkerExit exit;
+  exit.token = child->token;
+  exit.exit_code = child->exit_code;
+  exit.term_signal = child->term_signal;
+  exit.host = host.spec.host;
+  // ssh exits 255 when the CLIENT failed (unreachable host, dropped
+  // connection) — that is a host fault even though it looks like a clean
+  // non-zero exit.
+  exit.host_suspect = child->exit_code == 255;
+  if (flight.plan == NetFaultAction::kDrop && exit.exit_code == 0) {
+    // The worker won the race against the injected link drop.  Irrelevant:
+    // once the link is gone the orchestrator cannot observe the remote
+    // exit, so the attempt still surfaces as a transport failure.
+    exit.exit_code = 255;
+    exit.host_suspect = true;
+  }
+
+  // Fetch the output home.  A stalled transfer delivers nothing and a
+  // partial fetch delivers a prefix — both leave the LOCAL file missing or
+  // truncated, so the supervisor's shard-envelope validation catches them
+  // exactly like a worker that corrupted its own output.
+  if (exit.exit_code == 0 && !flight.local_out.empty()) {
+    if (flight.plan == NetFaultAction::kStall) {
+      log_line("transfer from " + host.spec.host + " stalled (injected) — " +
+               "output withheld");
+    } else {
+      std::string bytes;
+      std::string error;
+      if (!transport_.fetch(host.spec.host, flight.remote_out, &bytes,
+                            &error)) {
+        log_line("fetching " + flight.remote_out + " from " + host.spec.host +
+                 " failed: " + error);
+      } else {
+        if (flight.plan == NetFaultAction::kPartialFetch) {
+          log_line("partial fetch from " + host.spec.host + " (injected) — " +
+                   "delivering " + std::to_string(bytes.size() / 2) + " of " +
+                   std::to_string(bytes.size()) + " bytes");
+          bytes.resize(bytes.size() / 2);
+        }
+        if (!write_local_file(flight.local_out, bytes)) {
+          log_line("cannot write " + flight.local_out);
+        }
+      }
+    }
+  }
+  return exit;
+}
+
+void SshBackend::kill(std::uint64_t token) { transport_.kill(token); }
+
+void SshBackend::note_result(const WorkerExit& exit, WorkerOutcomeKind kind) {
+  HostState* host = find_host(exit.host);
+  if (host == nullptr) return;
+  switch (kind) {
+    case WorkerOutcomeKind::kSuccess:
+    case WorkerOutcomeKind::kAppFault:
+      // Either way the host's transport did its job: launch, run, fetch.
+      // An application failure says nothing about the machine.
+      host->health.consecutive_failures = 0;
+      break;
+    case WorkerOutcomeKind::kHostFault:
+      charge_host(
+          static_cast<std::uint32_t>(host - hosts_.data()),
+          exit.term_signal != 0
+              ? "worker died on signal " + std::to_string(exit.term_signal)
+              : "lost or invalid output");
+      break;
+  }
+}
+
+std::vector<HostHealth> SshBackend::health() const {
+  std::vector<HostHealth> out;
+  out.reserve(hosts_.size());
+  for (const HostState& host : hosts_) out.push_back(host.health);
+  return out;
+}
+
+std::string SshBackend::fleet_report_json() const {
+  JsonWriter json;
+  json.begin_array();
+  for (const HostState& host : hosts_) {
+    json.begin_object();
+    json.field("host", host.health.host);
+    json.field("slots", host.health.slots);
+    json.field("probe", host.health.probe);
+    json.field("launches", host.health.launches);
+    json.field("failures", host.health.failures);
+    json.field("consecutive_failures", host.health.consecutive_failures);
+    json.field("quarantined", host.health.quarantined);
+    if (!host.health.quarantine_reason.empty()) {
+      json.field("quarantine_reason", host.health.quarantine_reason);
+    }
+    json.end_object();
+  }
+  json.end_array();
+  return json.str();
+}
+
+}  // namespace pef

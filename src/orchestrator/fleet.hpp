@@ -1,0 +1,162 @@
+// The remote worker fleet: a host registry plus the SshBackend that fans
+// shard workers out across it.
+//
+// A fleet spec is a JSON file naming the machines a sweep may use:
+//
+//   {"hosts": [
+//     {"host": "node1",          "slots": 8},
+//     {"host": "user@10.0.0.7",  "slots": 4, "workdir": "/scratch/pef",
+//      "worker": "/opt/pef/bin/pef_sweep"}
+//   ]}
+//
+//   host     ssh destination (or a MockTransport host name) — required
+//   slots    concurrent workers the host can take (default 1)
+//   workdir  remote scratch directory for staged specs and shard outputs
+//            (default: chosen by the backend, see SshBackendOptions)
+//   worker   remote worker binary path (default: the orchestrator's local
+//            worker path — right for loopback ssh and mock fleets)
+//
+// SshBackend implements the WorkerBackend contract on top of a
+// CommandTransport (real ssh or the in-process mock) and adds the fleet
+// robustness layer:
+//
+//   * liveness probes before a host's first use (a dead host never
+//     receives work, it is quarantined immediately);
+//   * capacity-aware scheduling across heterogeneous hosts (most free
+//     slots first);
+//   * per-host failure accounting with a circuit breaker: a host charged
+//     with `blacklist_after` CONSECUTIVE faults is quarantined, its
+//     in-flight workers are killed, and the supervisor's normal retry
+//     machinery reschedules those shards onto the surviving hosts;
+//   * output fetch: the worker writes to the host's workdir, the backend
+//     fetches the bytes back to the local path the supervisor expects —
+//     a truncated transfer therefore fails the same shard-envelope
+//     validation that catches corrupt-output workers, and is retried the
+//     same way;
+//   * deterministic network chaos: refuse/drop/stall/partial faults from
+//     PEF_FAULT_SPEC, each a pure function of (seed, host, shard,
+//     attempt) — see orchestrator/fault.hpp.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "orchestrator/backend.hpp"
+#include "orchestrator/fault.hpp"
+#include "orchestrator/transport.hpp"
+
+namespace pef {
+
+/// One machine in the fleet, as declared in the fleet spec.
+struct FleetHost {
+  std::string host;
+  std::uint32_t slots = 1;
+  std::string workdir;  // empty = backend default
+  std::string worker;   // empty = orchestrator's local worker path
+};
+
+struct FleetSpec {
+  std::vector<FleetHost> hosts;
+
+  /// Parse the fleet-spec JSON above.  Strict: unknown keys, missing
+  /// hosts, zero slots and duplicate host names are errors.
+  [[nodiscard]] static std::optional<FleetSpec> parse(const std::string& json,
+                                                      std::string* error);
+
+  /// Read + parse a fleet-spec file.
+  [[nodiscard]] static std::optional<FleetSpec> load(const std::string& path,
+                                                     std::string* error);
+
+  [[nodiscard]] std::uint32_t total_slots() const;
+};
+
+struct SshBackendOptions {
+  /// Consecutive host-charged faults before the circuit breaker
+  /// quarantines the host.
+  std::uint32_t blacklist_after = 3;
+  /// Liveness-probe each host before its first launch.
+  bool probe = true;
+  /// Default scratch root for hosts whose spec omits `workdir`: the host
+  /// uses `<default_workdir_root>/<host name>`.
+  std::string default_workdir_root = "/tmp/pef_fleet";
+  /// Network chaos (decide_net); typically fault_spec_from_env().
+  FaultSpec faults;
+};
+
+/// Everything the backend knows about one host's health, for the report.
+struct HostHealth {
+  std::string host;
+  std::uint32_t slots = 1;
+  std::string probe = "skipped";  // "ok" / "failed" / "skipped"
+  std::uint32_t launches = 0;     // workers started on this host
+  std::uint32_t failures = 0;     // faults charged to this host
+  std::uint32_t consecutive_failures = 0;
+  bool quarantined = false;
+  std::string quarantine_reason;
+};
+
+class SshBackend final : public WorkerBackend {
+ public:
+  /// `log` gets one line per host state change (probe failure,
+  /// quarantine); nullptr silences it.  The transport must outlive the
+  /// backend.
+  SshBackend(CommandTransport& transport, FleetSpec fleet,
+             SshBackendOptions options, std::ostream* log);
+
+  [[nodiscard]] std::optional<std::uint64_t> launch(
+      const WorkerLaunch& launch) override;
+  [[nodiscard]] std::string last_launch_error() const override {
+    return last_launch_error_;
+  }
+  [[nodiscard]] std::optional<WorkerExit> poll() override;
+  void kill(std::uint64_t token) override;
+  void note_result(const WorkerExit& exit, WorkerOutcomeKind kind) override;
+  [[nodiscard]] std::uint32_t capacity() const override;
+  [[nodiscard]] std::uint32_t running() const override {
+    return static_cast<std::uint32_t>(flights_.size());
+  }
+  [[nodiscard]] std::string fleet_report_json() const override;
+
+  /// Health snapshot (report order == fleet-spec order).
+  [[nodiscard]] std::vector<HostHealth> health() const;
+
+ private:
+  struct HostState {
+    FleetHost spec;
+    HostHealth health;
+    bool probed = false;
+    bool staged = false;          // spec file already on the host
+    std::string staged_remote;    // ... at this path
+    std::uint32_t in_flight = 0;
+  };
+  /// One launched worker: where it runs, what chaos was planned for it,
+  /// and where its output must land.
+  struct Flight {
+    std::uint64_t token = 0;
+    std::uint32_t host_index = 0;
+    NetFaultAction plan = NetFaultAction::kNone;
+    bool drop_fired = false;
+    std::string local_out;
+    std::string remote_out;
+  };
+
+  void ensure_probed();
+  [[nodiscard]] HostState* find_host(const std::string& name);
+  void charge_host(std::uint32_t host_index, const std::string& reason);
+  void quarantine(std::uint32_t host_index, const std::string& reason);
+  void log_line(const std::string& line) const;
+
+  CommandTransport& transport_;
+  SshBackendOptions options_;
+  std::ostream* log_ = nullptr;
+  std::vector<HostState> hosts_;
+  std::vector<Flight> flights_;
+  std::string last_launch_error_;
+  bool probes_done_ = false;
+};
+
+}  // namespace pef

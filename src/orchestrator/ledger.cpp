@@ -1,5 +1,6 @@
 #include "orchestrator/ledger.hpp"
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -38,7 +39,8 @@ std::uint64_t fnv1a64(const std::string& bytes) {
 }
 
 std::optional<Ledger> Ledger::open(const std::string& path,
-                                   const Header& header, std::string* error) {
+                                   const Header& header, std::string* error,
+                                   std::string* warning) {
   const auto fail = [error, &path](const std::string& message) {
     if (error != nullptr) *error = "ledger " + path + ": " + message;
     return std::nullopt;
@@ -57,19 +59,19 @@ std::optional<Ledger> Ledger::open(const std::string& path,
     if (!out.good()) return fail("cannot write header");
     return ledger;
   }
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
 
-  std::string line;
-  std::size_t line_number = 0;
+  // Apply one journal line; returns "" on success, a message otherwise.
   bool saw_header = false;
-  while (std::getline(in, line)) {
-    ++line_number;
-    if (line.empty()) continue;
+  const auto apply_line = [&](const std::string& line) -> std::string {
     std::string parse_error;
     const auto value = parse_json(line, &parse_error);
     if (!value || !value->is_object()) {
-      return fail("line " + std::to_string(line_number) +
-                  ": not a JSON object" +
-                  (parse_error.empty() ? "" : " (" + parse_error + ")"));
+      return "not a JSON object" +
+             (parse_error.empty() ? std::string()
+                                  : " (" + parse_error + ")");
     }
     if (!saw_header) {
       const JsonValue* magic = value->find("ledger");
@@ -79,43 +81,81 @@ std::optional<Ledger> Ledger::open(const std::string& path,
       if (magic == nullptr || !magic->is_string() ||
           magic->string_value != kLedgerMagic || spec_hash == nullptr ||
           shards == nullptr || replicate == nullptr) {
-        return fail("not a pef_orchestrate ledger (bad header line)");
+        return "not a pef_orchestrate ledger (bad header line)";
       }
       const Header existing{spec_hash->uint_value,
                             static_cast<std::uint32_t>(shards->uint_value),
                             static_cast<std::uint32_t>(replicate->uint_value)};
       if (!(existing == header)) {
-        return fail(
-            "belongs to a different run (spec hash / shard count / "
-            "replicate mismatch) — delete it or pick another --workdir to "
-            "start over");
+        return "belongs to a different run (spec hash / shard count / "
+               "replicate mismatch) — delete it or pick another --workdir "
+               "to start over";
       }
       saw_header = true;
-      continue;
+      return "";
     }
     const JsonValue* event = value->find("event");
     const JsonValue* shard = find_uint(*value, "shard");
     if (event == nullptr || !event->is_string() || shard == nullptr) {
-      return fail("line " + std::to_string(line_number) +
-                  ": missing event/shard");
+      return "missing event/shard";
     }
-    const std::uint32_t index =
-        static_cast<std::uint32_t>(shard->uint_value);
+    const std::uint32_t index = static_cast<std::uint32_t>(shard->uint_value);
     LedgerShardState& state = ledger.shards_[index];
     if (event->string_value == "done") {
       const JsonValue* file = value->find("file");
       if (file == nullptr || !file->is_string()) {
-        return fail("line " + std::to_string(line_number) +
-                    ": done event without file");
+        return "done event without file";
       }
       state.done = true;
       state.output_file = file->string_value;
     } else if (event->string_value == "failed") {
       ++state.failed_attempts;
     } else {
-      return fail("line " + std::to_string(line_number) +
-                  ": unknown event \"" + event->string_value + "\"");
+      return "unknown event \"" + event->string_value + "\"";
     }
+    return "";
+  };
+
+  std::size_t line_number = 0;
+  std::size_t pos = 0;
+  while (pos < content.size()) {
+    const auto newline = content.find('\n', pos);
+    const bool terminated = newline != std::string::npos;
+    const std::size_t line_start = pos;
+    const std::size_t line_end = terminated ? newline : content.size();
+    const std::string line = content.substr(line_start, line_end - line_start);
+    pos = terminated ? newline + 1 : content.size();
+    ++line_number;
+    if (line.empty()) continue;
+    const std::string line_error = apply_line(line);
+    if (line_error.empty()) {
+      if (!terminated) {
+        // Valid record that lost only its newline: terminate it so the
+        // next append starts on a fresh line.
+        std::ofstream out(path, std::ios::binary | std::ios::app);
+        if (out.is_open()) out << "\n";
+      }
+      continue;
+    }
+    if (!terminated && saw_header) {
+      // The classic crash-mid-flush artifact: a partial final record.
+      // Drop it from the file (appends must not concatenate onto it) and
+      // resume from the intact prefix — the worst case is redoing the one
+      // event the journal lost anyway.
+      std::error_code ec;
+      std::filesystem::resize_file(path, line_start, ec);
+      if (ec) {
+        return fail("cannot drop truncated final line: " + ec.message());
+      }
+      if (warning != nullptr) {
+        *warning = "ledger " + path + ": line " +
+                   std::to_string(line_number) +
+                   " is truncated (orchestrator killed mid-flush?) — "
+                   "skipping the partial record and resuming";
+      }
+      break;
+    }
+    return fail("line " + std::to_string(line_number) + ": " + line_error);
   }
   if (!saw_header) {
     return fail("empty file is not a ledger (delete it to start over)");

@@ -48,9 +48,19 @@ class Ledger {
   /// when absent.  An existing journal is replayed into shard states; a
   /// header mismatch or malformed journal returns nullopt with a message —
   /// the caller chooses between aborting and starting a fresh ledger.
+  ///
+  /// One deliberate leniency: an orchestrator killed MID-FLUSH leaves a
+  /// truncated final line (no trailing newline, usually unparseable).
+  /// That is the expected crash artifact, not corruption — the partial
+  /// record is dropped from the file (so later appends start clean), a
+  /// note lands in `*warning`, and the journal resumes from the intact
+  /// prefix.  Malformed lines anywhere BEFORE a terminated line stay hard
+  /// errors.
   [[nodiscard]] static std::optional<Ledger> open(const std::string& path,
                                                   const Header& header,
-                                                  std::string* error);
+                                                  std::string* error,
+                                                  std::string* warning =
+                                                      nullptr);
 
   /// Replayed journal state, keyed by shard index.
   [[nodiscard]] const std::map<std::uint32_t, LedgerShardState>& shards()

@@ -1,0 +1,134 @@
+#include "orchestrator/process.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+
+namespace pef {
+
+ChildProcessSet::~ChildProcessSet() {
+  for (const Child& child : children_) {
+    ::kill(child.pid, SIGKILL);
+    ::waitpid(child.pid, nullptr, 0);
+  }
+}
+
+std::optional<std::uint64_t> ChildProcessSet::spawn(
+    const std::vector<std::string>& argv,
+    const std::vector<std::pair<std::string, std::string>>& env,
+    const std::string& log_path, const std::string& stdin_path) {
+  return spawn_impl(argv, env, log_path, stdin_path, -1);
+}
+
+std::optional<std::uint64_t> ChildProcessSet::spawn_capture(
+    const std::vector<std::string>& argv,
+    const std::vector<std::pair<std::string, std::string>>& env,
+    int* stdout_fd) {
+  int fds[2];
+  if (::pipe(fds) != 0) return std::nullopt;
+  const auto token = spawn_impl(argv, env, "", "", fds[1]);
+  ::close(fds[1]);
+  if (!token) {
+    ::close(fds[0]);
+    return std::nullopt;
+  }
+  *stdout_fd = fds[0];
+  return token;
+}
+
+std::optional<std::uint64_t> ChildProcessSet::spawn_impl(
+    const std::vector<std::string>& argv,
+    const std::vector<std::pair<std::string, std::string>>& env,
+    const std::string& log_path, const std::string& stdin_path,
+    int stdout_fd) {
+  if (argv.empty()) return std::nullopt;
+  const pid_t pid = ::fork();
+  if (pid < 0) return std::nullopt;
+  if (pid == 0) {
+    // Child.  The JSON payload travels via files (or the capture pipe);
+    // the streams carry only diagnostics.
+    if (!stdin_path.empty()) {
+      const int fd = ::open(stdin_path.c_str(), O_RDONLY);
+      if (fd < 0) _exit(127);
+      ::dup2(fd, STDIN_FILENO);
+      if (fd > STDERR_FILENO) ::close(fd);
+    }
+    if (stdout_fd >= 0) {
+      ::dup2(stdout_fd, STDOUT_FILENO);
+      if (stdout_fd > STDERR_FILENO) ::close(stdout_fd);
+    } else if (!log_path.empty()) {
+      const int fd = ::open(log_path.c_str(),
+                            O_WRONLY | O_CREAT | O_APPEND, 0644);
+      if (fd >= 0) {
+        ::dup2(fd, STDOUT_FILENO);
+        ::dup2(fd, STDERR_FILENO);
+        if (fd > STDERR_FILENO) ::close(fd);
+      }
+    }
+    for (const auto& [key, value] : env) {
+      ::setenv(key.c_str(), value.c_str(), 1);
+    }
+    std::vector<char*> child_argv;
+    child_argv.reserve(argv.size() + 1);
+    for (const std::string& arg : argv) {
+      child_argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    child_argv.push_back(nullptr);
+    ::execvp(child_argv[0], child_argv.data());
+    _exit(127);  // exec failed; 127 matches the shell convention
+  }
+  const std::uint64_t token = next_token_++;
+  children_.push_back({token, pid});
+  return token;
+}
+
+ChildExit ChildProcessSet::decode(std::uint64_t token, int status) {
+  ChildExit exit;
+  exit.token = token;
+  if (WIFEXITED(status)) {
+    exit.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    exit.exit_code = -1;
+    exit.term_signal = WTERMSIG(status);
+  }
+  return exit;
+}
+
+std::optional<ChildExit> ChildProcessSet::poll() {
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    int status = 0;
+    const pid_t pid = ::waitpid(children_[i].pid, &status, WNOHANG);
+    if (pid != children_[i].pid) continue;
+    const ChildExit exit = decode(children_[i].token, status);
+    children_.erase(children_.begin() + static_cast<std::ptrdiff_t>(i));
+    return exit;
+  }
+  return std::nullopt;
+}
+
+std::optional<ChildExit> ChildProcessSet::wait(std::uint64_t token) {
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (children_[i].token != token) continue;
+    int status = 0;
+    const pid_t pid = ::waitpid(children_[i].pid, &status, 0);
+    if (pid != children_[i].pid) return std::nullopt;
+    const ChildExit exit = decode(token, status);
+    children_.erase(children_.begin() + static_cast<std::ptrdiff_t>(i));
+    return exit;
+  }
+  return std::nullopt;
+}
+
+void ChildProcessSet::kill(std::uint64_t token) {
+  for (const Child& child : children_) {
+    if (child.token == token) {
+      ::kill(child.pid, SIGKILL);  // reaped (and reported) via poll()
+      return;
+    }
+  }
+}
+
+}  // namespace pef

@@ -1,0 +1,86 @@
+// ChildProcessSet — the fork/exec machinery shared by every component that
+// runs local subprocesses: LocalProcessBackend (workers on this machine),
+// SshTransport (ssh client processes), and MockTransport (fake "remote"
+// workers).  One implementation of launch / WNOHANG-poll / SIGKILL means
+// one place where zombie reaping and signal-vs-exit-code decoding is
+// correct.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pef {
+
+/// A finished child, as reported by ChildProcessSet::poll().
+struct ChildExit {
+  std::uint64_t token = 0;
+  /// Exit code for a normal exit; -1 when the child died on a signal.
+  int exit_code = -1;
+  int term_signal = 0;  // 0 on normal exit
+};
+
+/// A set of running child processes addressed by opaque tokens.  Not
+/// thread-safe (the orchestrator is single-threaded by design).
+class ChildProcessSet {
+ public:
+  ChildProcessSet() = default;
+  ChildProcessSet(const ChildProcessSet&) = delete;
+  ChildProcessSet& operator=(const ChildProcessSet&) = delete;
+
+  /// SIGKILLs and reaps everything still running — a dying orchestrator
+  /// never leaves orphans behind.
+  ~ChildProcessSet();
+
+  /// fork/exec `argv` (argv[0] PATH-resolved) with `env` additions; both
+  /// output streams are appended to `log_path` when non-empty.  When
+  /// `stdin_path` is non-empty it becomes the child's stdin (used by ssh
+  /// staging: `ssh host 'cat > file' < local_file`).  Returns a token, or
+  /// nullopt when the fork itself failed.
+  [[nodiscard]] std::optional<std::uint64_t> spawn(
+      const std::vector<std::string>& argv,
+      const std::vector<std::pair<std::string, std::string>>& env,
+      const std::string& log_path, const std::string& stdin_path = "");
+
+  /// Like spawn(), but the child's stdout is captured through a pipe into
+  /// `*stdout_fd` (caller reads and closes it).  Used for `ssh host cat
+  /// remote_file` fetches, where the bytes ARE the payload.
+  [[nodiscard]] std::optional<std::uint64_t> spawn_capture(
+      const std::vector<std::string>& argv,
+      const std::vector<std::pair<std::string, std::string>>& env,
+      int* stdout_fd);
+
+  /// Non-blocking: the next finished child, if any.  Every successful
+  /// spawn is eventually reported exactly once (killed children included).
+  [[nodiscard]] std::optional<ChildExit> poll();
+
+  /// Block until the given child exits; reports it exactly once (through
+  /// this call, not a later poll()).  For short synchronous helpers
+  /// (liveness probes, file staging).
+  [[nodiscard]] std::optional<ChildExit> wait(std::uint64_t token);
+
+  /// SIGKILL a running child (the death still arrives through poll()).
+  void kill(std::uint64_t token);
+
+  [[nodiscard]] std::size_t running() const { return children_.size(); }
+
+ private:
+  struct Child {
+    std::uint64_t token = 0;
+    int pid = -1;
+  };
+
+  [[nodiscard]] std::optional<std::uint64_t> spawn_impl(
+      const std::vector<std::string>& argv,
+      const std::vector<std::pair<std::string, std::string>>& env,
+      const std::string& log_path, const std::string& stdin_path,
+      int stdout_fd);
+  static ChildExit decode(std::uint64_t token, int status);
+
+  std::uint64_t next_token_ = 1;
+  std::vector<Child> children_;
+};
+
+}  // namespace pef

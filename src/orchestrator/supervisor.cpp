@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -11,6 +12,7 @@
 
 #include "common/check.hpp"
 #include "common/json.hpp"
+#include "common/rng.hpp"
 #include "engine/sweep_runner.hpp"
 #include "orchestrator/fault.hpp"
 #include "orchestrator/ledger.hpp"
@@ -39,6 +41,8 @@ struct Slot {
   Clock::time_point not_before = Clock::time_point::min();
   // Running:
   std::uint64_t token = 0;
+  std::uint32_t attempt = 0;  // fault-layer attempt number of this launch
+  Clock::time_point launch_time = Clock::time_point::min();
   Clock::time_point deadline = Clock::time_point::max();
   bool timeout_killed = false;
   std::string output_path;
@@ -107,6 +111,18 @@ void log_line(std::ostream* log, const std::string& line) {
 
 }  // namespace
 
+double backoff_delay_ms(double initial_ms, double cap_ms,
+                        std::uint32_t failures, std::uint64_t jitter_seed) {
+  double ms = initial_ms;
+  for (std::uint32_t f = 1; f < failures; ++f) {
+    ms *= 2;
+    if (ms >= cap_ms) break;
+  }
+  ms = std::min(ms, cap_ms);
+  Xoshiro256 rng(jitter_seed);
+  return ms * (0.8 + 0.4 * rng.next_double());
+}
+
 OrchestratorResult orchestrate(WorkerBackend& backend,
                                const OrchestratorOptions& options,
                                std::ostream* log) {
@@ -124,9 +140,11 @@ OrchestratorResult orchestrate(WorkerBackend& backend,
   const Ledger::Header header{fnv1a64(options.spec_json), options.shards,
                               options.replicate};
   std::string ledger_error;
+  std::string ledger_warning;
   auto ledger = Ledger::open(join_path(options.workdir, "ledger.jsonl"),
-                             header, &ledger_error);
+                             header, &ledger_error, &ledger_warning);
   PEF_CHECK_MSG(ledger.has_value(), ledger_error.c_str());
+  if (!ledger_warning.empty()) log_line(log, ledger_warning);
 
   OrchestratorResult result;
   result.outcomes.resize(options.shards);
@@ -170,19 +188,24 @@ OrchestratorResult orchestrate(WorkerBackend& backend,
     }
   }
 
-  const std::uint32_t jobs =
-      options.jobs == 0 ? backend.capacity()
-                        : std::min(options.jobs, backend.capacity());
+  // Concurrency target is recomputed every pass: a fleet backend's
+  // capacity shrinks when hosts get quarantined, and the launch loop must
+  // see that immediately rather than keep aiming at the dead slots.
+  const auto jobs_now = [&]() {
+    const std::uint32_t cap = backend.capacity();
+    return options.jobs == 0 ? cap : std::min(options.jobs, cap);
+  };
 
-  const auto backoff_for = [&options](std::uint32_t failures) {
-    double ms = options.backoff_initial_ms;
-    for (std::uint32_t f = 1; f < failures; ++f) {
-      ms *= 2;
-      if (ms >= options.backoff_cap_ms) break;
-    }
+  // Jittered backoff, seeded per (run, shard, replica, failure) so the
+  // schedule is reproducible but slots never retry in lockstep.
+  const auto backoff_for = [&options, &header](const Slot& slot) {
+    const std::uint64_t jitter_seed =
+        derive_seed(header.spec_hash, slot.shard, slot.replica, slot.failures);
     return std::chrono::duration_cast<Clock::duration>(
         std::chrono::duration<double, std::milli>(
-            std::min(ms, options.backoff_cap_ms)));
+            backoff_delay_ms(options.backoff_initial_ms,
+                             options.backoff_cap_ms, slot.failures,
+                             jitter_seed)));
   };
 
   const auto fail_slot = [&](Slot& slot, const std::string& reason) {
@@ -198,13 +221,31 @@ OrchestratorResult orchestrate(WorkerBackend& backend,
                         std::to_string(options.max_attempts) + ")");
     } else {
       slot.state = SlotState::kPending;
-      slot.not_before = Clock::now() + backoff_for(slot.failures);
+      slot.not_before = Clock::now() + backoff_for(slot);
       log_line(log, "shard " + std::to_string(slot.shard) + " replica " +
                         std::to_string(slot.replica) + ": " + reason +
                         " — retrying (attempt " +
                         std::to_string(slot.failures + 1) + "/" +
                         std::to_string(options.max_attempts) + ")");
     }
+  };
+
+  // Per-shard wall clock: first launch (this run) to settle.
+  std::vector<Clock::time_point> shard_start(options.shards,
+                                             Clock::time_point::min());
+
+  // One report line per launch that reached the backend.
+  const auto record_attempt = [&](const Slot& slot, const std::string& host,
+                                  const std::string& outcome) {
+    ShardAttempt attempt;
+    attempt.replica = slot.replica;
+    attempt.attempt = slot.attempt;
+    attempt.host = host;
+    attempt.wall_ms = std::chrono::duration<double, std::milli>(
+                          Clock::now() - slot.launch_time)
+                          .count();
+    attempt.outcome = outcome;
+    result.outcomes[slot.shard].attempts.push_back(std::move(attempt));
   };
 
   // Settle one shard once all its replica slots are kValid/kExhausted.
@@ -227,6 +268,11 @@ OrchestratorResult orchestrate(WorkerBackend& backend,
     settled[shard] = 1;
 
     ShardOutcome& outcome = result.outcomes[shard];
+    if (shard_start[shard] != Clock::time_point::min()) {
+      outcome.wall_ms = std::chrono::duration<double, std::milli>(
+                            Clock::now() - shard_start[shard])
+                            .count();
+    }
     const VoteResult vote = vote_on_replicas(ballots);
     outcome.divergent_replicas = vote.divergent_replicas;
     if (!vote.accepted) {
@@ -288,6 +334,7 @@ OrchestratorResult orchestrate(WorkerBackend& backend,
     }
 
     // Launch pending slots whose backoff gate has passed.
+    const std::uint32_t jobs = jobs_now();
     for (Slot& slot : slots) {
       if (backend.running() >= jobs) break;
       if (slot.state != SlotState::kPending || now < slot.not_before) {
@@ -310,15 +357,32 @@ OrchestratorResult orchestrate(WorkerBackend& backend,
                      "--threads", std::to_string(options.worker_threads),
                      "--out", slot.output_path};
       launch.env = {{kFaultAttemptEnvVar, std::to_string(attempt)}};
+      // Remote workers don't inherit this process's environment, so the
+      // chaos spec must travel explicitly (the local backend's children
+      // would inherit it anyway; passing it twice is harmless).
+      if (const char* spec = std::getenv(kFaultSpecEnvVar)) {
+        launch.env.push_back({kFaultSpecEnvVar, spec});
+      }
       launch.log_path = join_path(options.workdir, tag + ".log");
+      // Remote-backend metadata: which shard/attempt this is (for the
+      // chaos layer's per-host decisions), what to stage, what to fetch.
+      launch.shard = slot.shard;
+      launch.attempt = attempt;
+      launch.stage_in = options.spec_path;
+      launch.output_path = slot.output_path;
       const auto token = backend.launch(launch);
       if (!token) {
-        fail_slot(slot, "backend failed to launch worker");
+        fail_slot(slot, backend.last_launch_error());
         try_settle_shard(slot.shard);
         continue;
       }
       slot.state = SlotState::kRunning;
       slot.token = *token;
+      slot.attempt = attempt;
+      slot.launch_time = Clock::now();
+      if (shard_start[slot.shard] == Clock::time_point::min()) {
+        shard_start[slot.shard] = slot.launch_time;
+      }
       slot.timeout_killed = false;
       slot.deadline =
           options.timeout_seconds > 0
@@ -343,31 +407,65 @@ OrchestratorResult orchestrate(WorkerBackend& backend,
         }
       }
       if (slot == nullptr) continue;  // not ours (defensive)
+      // Classify the attempt.  The kind feeds the backend's host health
+      // accounting: host faults (kills, signal deaths, transport failures,
+      // missing or corrupt output) charge the host toward its circuit
+      // breaker, application faults (the worker itself exiting non-zero)
+      // do not — a buggy sweep must not blacklist a healthy fleet.
+      std::string reason;
+      auto kind = WorkerOutcomeKind::kSuccess;
       if (slot->timeout_killed) {
-        fail_slot(*slot, "timed out after " +
-                             std::to_string(options.timeout_seconds) +
-                             "s (killed)");
+        reason = "timed out after " +
+                 std::to_string(options.timeout_seconds) + "s (killed)";
+        kind = WorkerOutcomeKind::kHostFault;
       } else if (exit->exit_code != 0) {
-        fail_slot(*slot,
-                  exit->term_signal != 0
-                      ? "worker died on signal " +
-                            std::to_string(exit->term_signal)
-                      : "worker exited with code " +
-                            std::to_string(exit->exit_code));
+        if (exit->term_signal != 0) {
+          reason = "worker died on signal " +
+                   std::to_string(exit->term_signal);
+          kind = WorkerOutcomeKind::kHostFault;
+        } else {
+          reason = "worker exited with code " +
+                   std::to_string(exit->exit_code);
+          kind = exit->host_suspect ? WorkerOutcomeKind::kHostFault
+                                    : WorkerOutcomeKind::kAppFault;
+        }
       } else {
         std::string content;
         std::string why;
         if (!read_file(slot->output_path, content)) {
-          fail_slot(*slot, "worker exited 0 but wrote no output");
+          reason = "worker exited 0 but wrote no output";
+          kind = WorkerOutcomeKind::kHostFault;
         } else if (!validate_shard_content(content, options, slot->shard,
                                            &why)) {
-          fail_slot(*slot, why);
+          reason = why;
+          kind = WorkerOutcomeKind::kHostFault;
         } else {
           slot->state = SlotState::kValid;
           slot->content = std::move(content);
         }
       }
+      backend.note_result(*exit, kind);
+      record_attempt(*slot, exit->host, reason.empty() ? "ok" : reason);
+      if (!reason.empty()) fail_slot(*slot, reason);
       try_settle_shard(slot->shard);
+    }
+
+    // A fleet with every host quarantined can never launch again: fail
+    // the pending slots outright instead of spinning on a backoff gate
+    // that will never open.
+    if (backend.capacity() == 0 && backend.running() == 0) {
+      for (Slot& slot : slots) {
+        if (slot.state != SlotState::kPending) continue;
+        ++slot.failures;
+        ++result.outcomes[slot.shard].failures;
+        ledger->record_failed(slot.shard, slot.failures,
+                              "no live hosts left in the fleet");
+        slot.state = SlotState::kExhausted;
+        log_line(log, "shard " + std::to_string(slot.shard) + " replica " +
+                          std::to_string(slot.replica) +
+                          ": no live hosts left in the fleet — giving up");
+        try_settle_shard(slot.shard);
+      }
     }
 
     // Done?  Every slot terminal and every shard settled.
@@ -407,6 +505,7 @@ OrchestratorResult orchestrate(WorkerBackend& backend,
     json.begin_object();
     json.field("orchestrate_complete", result.complete);
     json.field("spec_hash", header.spec_hash);
+    json.field("backend", options.backend_name);
     json.field("shards", options.shards);
     json.field("replicate", options.replicate);
     json.field("max_attempts", options.max_attempts);
@@ -424,6 +523,18 @@ OrchestratorResult orchestrate(WorkerBackend& backend,
       json.field("launches", outcome.launches);
       json.field("failures", outcome.failures);
       json.field("timeouts", outcome.timeouts);
+      json.field("wall_ms", outcome.wall_ms);
+      json.begin_array("attempts");
+      for (const ShardAttempt& attempt : outcome.attempts) {
+        json.begin_object();
+        json.field("replica", attempt.replica);
+        json.field("attempt", attempt.attempt);
+        if (!attempt.host.empty()) json.field("host", attempt.host);
+        json.field("wall_ms", attempt.wall_ms);
+        json.field("outcome", attempt.outcome);
+        json.end_object();
+      }
+      json.end_array();
       json.begin_array("divergent_replicas");
       for (const std::uint32_t r : outcome.divergent_replicas) {
         json.element(static_cast<std::uint64_t>(r));
@@ -435,6 +546,8 @@ OrchestratorResult orchestrate(WorkerBackend& backend,
       json.end_object();
     }
     json.end_array();
+    const std::string fleet = backend.fleet_report_json();
+    if (!fleet.empty()) json.raw_field("fleet_hosts", fleet);
     json.end_object();
     result.report_json = json.str();
   }

@@ -41,6 +41,29 @@ struct OrchestratorOptions {
   double backoff_initial_ms = 200;  // retry delay: initial * 2^(failures-1)
   double backoff_cap_ms = 5000;     // ... capped here
   std::string workdir;              // shard files, ledger, worker logs
+  std::string backend_name = "local";  // recorded in the report
+};
+
+/// Retry delay before the attempt following the `failures`-th failure:
+/// capped exponential (initial * 2^(failures-1), then capped) times a
+/// deterministic jitter multiplier in [0.8, 1.2) drawn from `jitter_seed`.
+/// Without jitter a fleet of slots failing together retries in lockstep and
+/// hammers whatever just recovered; with it the retries spread out, and
+/// because the multiplier is a pure function of the seed the schedule is
+/// still reproducible.
+[[nodiscard]] double backoff_delay_ms(double initial_ms, double cap_ms,
+                                      std::uint32_t failures,
+                                      std::uint64_t jitter_seed);
+
+/// One worker launch that reached the backend: which replica slot, the
+/// PEF_FAULT_ATTEMPT number it ran under, where it ran, how long it lived
+/// (launch to observed exit), and how it ended.
+struct ShardAttempt {
+  std::uint32_t replica = 0;
+  std::uint32_t attempt = 0;   // fault-layer attempt number of this launch
+  std::string host;            // empty on the local backend
+  double wall_ms = 0;          // launch → exit, supervisor clock
+  std::string outcome;         // "ok" or the failure reason
 };
 
 /// Everything that happened to one shard, for the report.
@@ -51,6 +74,8 @@ struct ShardOutcome {
   std::uint32_t launches = 0;       // worker processes started this run
   std::uint32_t failures = 0;       // failed attempts (all replica slots)
   std::uint32_t timeouts = 0;       // ... of which supervision kills
+  double wall_ms = 0;               // first launch → settled
+  std::vector<ShardAttempt> attempts;             // in observed-exit order
   std::vector<std::uint32_t> divergent_replicas;  // valid but outvoted
   std::string fail_reason;          // set when !accepted
 };

@@ -1,0 +1,246 @@
+#include "orchestrator/transport.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <filesystem>
+
+namespace pef {
+namespace {
+
+bool read_local_file(const std::string& path, std::string& out) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) return false;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+std::string parent_dir(const std::string& path) {
+  const auto slash = path.rfind('/');
+  if (slash == std::string::npos || slash == 0) return "";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SshTransport
+
+SshTransport::SshTransport(Options options) : options_(std::move(options)) {}
+
+std::string SshTransport::shell_quote(const std::string& text) {
+  std::string quoted = "'";
+  for (const char c : text) {
+    if (c == '\'') {
+      quoted += "'\\''";
+    } else {
+      quoted += c;
+    }
+  }
+  quoted += "'";
+  return quoted;
+}
+
+std::vector<std::string> SshTransport::ssh_argv(
+    const std::string& host) const {
+  std::vector<std::string> argv = {
+      "ssh",
+      "-o", "BatchMode=yes",
+      "-o", "StrictHostKeyChecking=accept-new",
+      "-o",
+      "ConnectTimeout=" + std::to_string(options_.connect_timeout_seconds)};
+  for (const std::string& flag : options_.ssh_flags) argv.push_back(flag);
+  argv.push_back(host);
+  return argv;
+}
+
+bool SshTransport::probe(const std::string& host, std::string* error) {
+  auto argv = ssh_argv(host);
+  argv.push_back("true");
+  const auto token = children_.spawn(argv, {}, "/dev/null");
+  if (!token) {
+    if (error != nullptr) *error = "cannot spawn ssh";
+    return false;
+  }
+  const auto exit = children_.wait(*token);
+  if (!exit || exit->exit_code != 0) {
+    if (error != nullptr) {
+      *error = "ssh probe failed (exit " +
+               (exit ? std::to_string(exit->exit_code) : "?") + ")";
+    }
+    return false;
+  }
+  return true;
+}
+
+bool SshTransport::stage(const std::string& host,
+                         const std::string& local_path,
+                         const std::string& remote_path, std::string* error) {
+  const std::string dir = parent_dir(remote_path);
+  std::string command;
+  if (!dir.empty()) command += "mkdir -p " + shell_quote(dir) + " && ";
+  command += "cat > " + shell_quote(remote_path);
+  auto argv = ssh_argv(host);
+  argv.push_back(command);
+  const auto token = children_.spawn(argv, {}, "/dev/null", local_path);
+  if (!token) {
+    if (error != nullptr) *error = "cannot spawn ssh";
+    return false;
+  }
+  const auto exit = children_.wait(*token);
+  if (!exit || exit->exit_code != 0) {
+    if (error != nullptr) {
+      *error = "staging " + local_path + " to " + host + ":" + remote_path +
+               " failed";
+    }
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::uint64_t> SshTransport::start(
+    const TransportCommand& command) {
+  // ssh collapses the remote argv into one shell line; quote every piece.
+  // Environment additions ride as `env K=V ...` — ssh servers rarely
+  // accept arbitrary SendEnv names, and env(1) is always there.
+  std::string remote = "env";
+  for (const auto& [key, value] : command.env) {
+    remote += " " + key + "=" + shell_quote(value);
+  }
+  for (const std::string& arg : command.argv) {
+    remote += " " + shell_quote(arg);
+  }
+  auto argv = ssh_argv(command.host);
+  argv.push_back(remote);
+  return children_.spawn(argv, {}, command.log_path);
+}
+
+std::optional<ChildExit> SshTransport::poll() { return children_.poll(); }
+
+void SshTransport::kill(std::uint64_t token) {
+  // Kills the local ssh client; with no pty the remote command is orphaned,
+  // but workers are short-lived and their stale outputs are ignored (every
+  // attempt writes to a distinct remote file).
+  children_.kill(token);
+}
+
+bool SshTransport::fetch(const std::string& host,
+                         const std::string& remote_path, std::string* bytes,
+                         std::string* error) {
+  auto argv = ssh_argv(host);
+  argv.push_back("cat " + shell_quote(remote_path));
+  int fd = -1;
+  const auto token = children_.spawn_capture(argv, {}, &fd);
+  if (!token) {
+    if (error != nullptr) *error = "cannot spawn ssh";
+    return false;
+  }
+  bytes->clear();
+  char buffer[65536];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof buffer);
+    if (n <= 0) break;
+    bytes->append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const auto exit = children_.wait(*token);
+  if (!exit || exit->exit_code != 0) {
+    if (error != nullptr) {
+      *error = "fetching " + host + ":" + remote_path + " failed";
+    }
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// MockTransport
+
+void MockTransport::add_host(const std::string& name, bool alive) {
+  hosts_.push_back({name, alive});
+}
+
+MockTransport::Host* MockTransport::find_host(const std::string& name) {
+  for (Host& host : hosts_) {
+    if (host.name == name) return &host;
+  }
+  return nullptr;
+}
+
+void MockTransport::set_alive(const std::string& name, bool alive) {
+  Host* host = find_host(name);
+  if (host == nullptr) return;
+  host->alive = alive;
+  if (alive) return;
+  for (const Running& running : running_) {
+    if (running.host == name) children_.kill(running.token);
+  }
+}
+
+bool MockTransport::probe(const std::string& host, std::string* error) {
+  const Host* found = find_host(host);
+  if (found == nullptr || !found->alive) {
+    if (error != nullptr) *error = "connection refused";
+    return false;
+  }
+  return true;
+}
+
+bool MockTransport::stage(const std::string& host,
+                          const std::string& local_path,
+                          const std::string& remote_path, std::string* error) {
+  if (!probe(host, error)) return false;
+  std::error_code ec;
+  const std::string dir = parent_dir(remote_path);
+  if (!dir.empty()) std::filesystem::create_directories(dir, ec);
+  std::filesystem::copy_file(local_path, remote_path,
+                             std::filesystem::copy_options::overwrite_existing,
+                             ec);
+  if (ec) {
+    if (error != nullptr) *error = "staging failed: " + ec.message();
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::uint64_t> MockTransport::start(
+    const TransportCommand& command) {
+  std::string error;
+  if (!probe(command.host, &error)) return std::nullopt;
+  const auto token =
+      children_.spawn(command.argv, command.env, command.log_path);
+  if (token) running_.push_back({*token, command.host});
+  return token;
+}
+
+std::optional<ChildExit> MockTransport::poll() {
+  const auto exit = children_.poll();
+  if (exit) {
+    running_.erase(
+        std::remove_if(running_.begin(), running_.end(),
+                       [&](const Running& r) { return r.token == exit->token; }),
+        running_.end());
+  }
+  return exit;
+}
+
+void MockTransport::kill(std::uint64_t token) { children_.kill(token); }
+
+bool MockTransport::fetch(const std::string& host,
+                          const std::string& remote_path, std::string* bytes,
+                          std::string* error) {
+  if (!probe(host, error)) return false;
+  if (!read_local_file(remote_path, *bytes)) {
+    if (error != nullptr) *error = "no such file: " + remote_path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace pef

@@ -1,0 +1,160 @@
+// CommandTransport — how the orchestrator reaches a remote host.
+//
+// The SshBackend (orchestrator/fleet.hpp) is transport-agnostic: it needs
+// five verbs — probe a host's liveness, stage a file out, start a command,
+// poll/kill it, and fetch a file's bytes back.  This file ships the two
+// implementations:
+//
+//   SshTransport   — real `ssh` subprocesses (BatchMode, bounded connect
+//                    timeout).  Staging is `ssh host 'mkdir -p d && cat >
+//                    f' < local`, fetching is `ssh host cat f` with stdout
+//                    captured — no scp/sftp dependency.
+//   MockTransport  — an in-process fake fleet: named hosts whose "remote"
+//                    commands are plain local subprocesses and whose
+//                    "remote" filesystem is the local one.  Hosts can be
+//                    declared dead (connection refused, in-flight commands
+//                    killed), which is what makes every network failure
+//                    path testable without a network.
+//
+// Network-shaped chaos (connection refused / link drop / stalled transfer
+// / partial fetch) is injected ABOVE this interface, in SshBackend, as a
+// pure function of (seed, host, shard, attempt) — see orchestrator/fault.hpp
+// — so both transports misbehave identically under a given PEF_FAULT_SPEC.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "orchestrator/process.hpp"
+
+namespace pef {
+
+/// One command to run on a (possibly remote) host.
+struct TransportCommand {
+  std::string host;
+  std::vector<std::string> argv;  // argv[0] = remote binary path
+  std::vector<std::pair<std::string, std::string>> env;
+  std::string log_path;  // LOCAL file collecting the command's streams
+};
+
+class CommandTransport {
+ public:
+  virtual ~CommandTransport() = default;
+
+  /// Cheap liveness check (`ssh host true`).  False = host unreachable.
+  [[nodiscard]] virtual bool probe(const std::string& host,
+                                   std::string* error) = 0;
+
+  /// Copy `local_path`'s bytes to `remote_path` on `host`, creating parent
+  /// directories.
+  [[nodiscard]] virtual bool stage(const std::string& host,
+                                   const std::string& local_path,
+                                   const std::string& remote_path,
+                                   std::string* error) = 0;
+
+  /// Start a command; returns an opaque token, or nullopt when the
+  /// connection/spawn failed.
+  [[nodiscard]] virtual std::optional<std::uint64_t> start(
+      const TransportCommand& command) = 0;
+
+  /// Non-blocking: the next finished command, if any.  `exit_code` 255
+  /// from SshTransport means the ssh CLIENT failed (unreachable host,
+  /// dropped link) rather than the remote command — callers treat it as a
+  /// host fault.
+  [[nodiscard]] virtual std::optional<ChildExit> poll() = 0;
+
+  /// Forcibly terminate a running command (death arrives through poll()).
+  virtual void kill(std::uint64_t token) = 0;
+
+  /// Read `remote_path` on `host` into `*bytes`.
+  [[nodiscard]] virtual bool fetch(const std::string& host,
+                                   const std::string& remote_path,
+                                   std::string* bytes, std::string* error) = 0;
+};
+
+/// Real ssh.  Assumes passwordless (BatchMode) access; every connection
+/// attempt is bounded by `connect_timeout_seconds`.
+class SshTransport final : public CommandTransport {
+ public:
+  struct Options {
+    std::uint32_t connect_timeout_seconds = 10;
+    /// Extra `ssh` flags, e.g. {"-p", "2222"} or {"-i", "key"}.
+    std::vector<std::string> ssh_flags;
+  };
+
+  SshTransport() : SshTransport(Options()) {}
+  explicit SshTransport(Options options);
+
+  [[nodiscard]] bool probe(const std::string& host,
+                           std::string* error) override;
+  [[nodiscard]] bool stage(const std::string& host,
+                           const std::string& local_path,
+                           const std::string& remote_path,
+                           std::string* error) override;
+  [[nodiscard]] std::optional<std::uint64_t> start(
+      const TransportCommand& command) override;
+  [[nodiscard]] std::optional<ChildExit> poll() override;
+  void kill(std::uint64_t token) override;
+  [[nodiscard]] bool fetch(const std::string& host,
+                           const std::string& remote_path, std::string* bytes,
+                           std::string* error) override;
+
+  /// Single-quote `text` for a POSIX shell (ssh joins the remote argv into
+  /// one shell command line, so every argument must survive requoting).
+  [[nodiscard]] static std::string shell_quote(const std::string& text);
+
+ private:
+  [[nodiscard]] std::vector<std::string> ssh_argv(
+      const std::string& host) const;
+
+  Options options_;
+  ChildProcessSet children_;
+};
+
+/// The fake fleet: local subprocesses behind remote-shaped verbs.
+class MockTransport final : public CommandTransport {
+ public:
+  /// Register a host; its "remote" paths are ordinary local paths (give
+  /// each mock host a distinct workdir in the fleet spec).
+  void add_host(const std::string& name, bool alive = true);
+
+  /// Scripted host death/recovery.  Going down kills every in-flight
+  /// command on the host (their exits arrive through poll() as signal
+  /// deaths, exactly like a real node loss).
+  void set_alive(const std::string& name, bool alive);
+
+  [[nodiscard]] bool probe(const std::string& host,
+                           std::string* error) override;
+  [[nodiscard]] bool stage(const std::string& host,
+                           const std::string& local_path,
+                           const std::string& remote_path,
+                           std::string* error) override;
+  [[nodiscard]] std::optional<std::uint64_t> start(
+      const TransportCommand& command) override;
+  [[nodiscard]] std::optional<ChildExit> poll() override;
+  void kill(std::uint64_t token) override;
+  [[nodiscard]] bool fetch(const std::string& host,
+                           const std::string& remote_path, std::string* bytes,
+                           std::string* error) override;
+
+ private:
+  struct Host {
+    std::string name;
+    bool alive = true;
+  };
+  struct Running {
+    std::uint64_t token = 0;
+    std::string host;
+  };
+
+  [[nodiscard]] Host* find_host(const std::string& name);
+
+  std::vector<Host> hosts_;
+  std::vector<Running> running_;
+  ChildProcessSet children_;
+};
+
+}  // namespace pef

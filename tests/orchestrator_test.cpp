@@ -6,16 +6,26 @@
 // is byte-identical to the unsharded golden baseline.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/json.hpp"
+#include "common/rng.hpp"
+#include "core/spec.hpp"
+#include "orchestrator/backend.hpp"
 #include "orchestrator/fault.hpp"
+#include "orchestrator/fleet.hpp"
 #include "orchestrator/ledger.hpp"
+#include "orchestrator/supervisor.hpp"
+#include "orchestrator/transport.hpp"
 #include "orchestrator/voter.hpp"
 
 namespace pef {
@@ -398,6 +408,550 @@ TEST(OrchestratorEndToEndTest, DegradedRunResumesIntoCompleteMerge) {
   EXPECT_TRUE(outcomes->items.at(0).find("resumed")->bool_value);
   EXPECT_FALSE(outcomes->items.at(1).find("resumed")->bool_value);
   EXPECT_TRUE(outcomes->items.at(2).find("resumed")->bool_value);
+}
+
+// ---------------------------------------------------------------------------
+// Network fault grammar (the fleet half of PEF_FAULT_SPEC).
+
+TEST(FaultSpecTest, NetFaultsParseRoundTripAndFilter) {
+  std::string error;
+  const auto spec = FaultSpec::parse(
+      "seed=5:refuse=0.5:refuse_hosts=a,b:partial=0.25:partial_hosts=a",
+      &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  EXPECT_DOUBLE_EQ(spec->refuse.p, 0.5);
+  EXPECT_EQ(spec->refuse.hosts, (std::vector<std::string>{"a", "b"}));
+  EXPECT_DOUBLE_EQ(spec->partial.p, 0.25);
+  EXPECT_FALSE(spec->net_inert());
+  // Net-only specs are inert on the WORKER side: pef_sweep parses the
+  // shared grammar but never enacts network families.
+  EXPECT_TRUE(spec->inert());
+  EXPECT_EQ(spec->decide(0, 0), FaultAction::kNone);
+  // The host filter wins over any probability.
+  for (std::uint32_t attempt = 0; attempt < 16; ++attempt) {
+    EXPECT_EQ(spec->decide_net("c", 0, attempt), NetFaultAction::kNone);
+  }
+
+  const auto reparsed = FaultSpec::parse(spec->to_string(), &error);
+  ASSERT_TRUE(reparsed.has_value()) << error;
+  EXPECT_EQ(reparsed->to_string(), spec->to_string());
+
+  EXPECT_FALSE(FaultSpec::parse("refuse=2", &error).has_value());
+  EXPECT_FALSE(FaultSpec::parse("drop_hosts=", &error).has_value());
+  EXPECT_NE(error.find("drop_hosts"), std::string::npos);
+}
+
+TEST(FaultSpecTest, NetDecisionsAreDeterministicPerHostAndAttempt) {
+  std::string error;
+  const auto spec = FaultSpec::parse("seed=9:drop=0.5", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  bool saw_drop = false;
+  bool saw_none = false;
+  bool hosts_differ = false;
+  for (std::uint32_t attempt = 0; attempt < 32; ++attempt) {
+    const NetFaultAction action = spec->decide_net("h1", 2, attempt);
+    EXPECT_EQ(action, spec->decide_net("h1", 2, attempt))
+        << "not deterministic";
+    saw_drop |= action == NetFaultAction::kDrop;
+    saw_none |= action == NetFaultAction::kNone;
+    hosts_differ |= action != spec->decide_net("h2", 2, attempt);
+  }
+  // p=0.5 over 32 attempts: both fates occur, and the per-host streams
+  // are independent (h2 rolls differently somewhere).
+  EXPECT_TRUE(saw_drop);
+  EXPECT_TRUE(saw_none);
+  EXPECT_TRUE(hosts_differ);
+}
+
+TEST(FaultSpecTest, NetFaultPriorityIsFixed) {
+  std::string error;
+  const auto all = FaultSpec::parse(
+      "refuse=1.0:drop=1.0:stall=1.0:partial=1.0", &error);
+  ASSERT_TRUE(all.has_value()) << error;
+  EXPECT_EQ(all->decide_net("h", 0, 0), NetFaultAction::kRefuse);
+  const auto tail = FaultSpec::parse("drop=1.0:stall=1.0", &error);
+  ASSERT_TRUE(tail.has_value()) << error;
+  EXPECT_EQ(tail->decide_net("h", 0, 0), NetFaultAction::kDrop);
+  const auto last = FaultSpec::parse("stall=1.0:partial=1.0", &error);
+  ASSERT_TRUE(last.has_value()) << error;
+  EXPECT_EQ(last->decide_net("h", 0, 0), NetFaultAction::kStall);
+}
+
+// ---------------------------------------------------------------------------
+// Jittered retry backoff.
+
+TEST(BackoffJitterTest, DelayStaysInsideBoundsAndIsDeterministic) {
+  const double initial = 200;
+  const double cap = 5000;
+  bool varied = false;
+  double first_ratio = -1;
+  for (std::uint32_t failures = 1; failures <= 8; ++failures) {
+    const double base =
+        std::min(initial * std::pow(2.0, failures - 1.0), cap);
+    for (std::uint64_t salt = 0; salt < 16; ++salt) {
+      const std::uint64_t seed = derive_seed(0x5eed, failures, salt);
+      const double delay = backoff_delay_ms(initial, cap, failures, seed);
+      EXPECT_GE(delay, 0.8 * base - 1e-9) << failures << "/" << salt;
+      EXPECT_LT(delay, 1.2 * base) << failures << "/" << salt;
+      EXPECT_EQ(delay, backoff_delay_ms(initial, cap, failures, seed));
+      const double ratio = delay / base;
+      if (first_ratio < 0) {
+        first_ratio = ratio;
+      } else {
+        varied |= std::abs(ratio - first_ratio) > 1e-12;
+      }
+    }
+  }
+  // The jitter actually jitters — different seeds, different multipliers.
+  EXPECT_TRUE(varied);
+  // The cap applies before the jitter, so even absurd failure counts stay
+  // within 1.2x of the ceiling.
+  EXPECT_LT(backoff_delay_ms(initial, cap, 40, 7), 1.2 * cap);
+}
+
+// ---------------------------------------------------------------------------
+// Truncated-ledger resume (crash mid-flush).
+
+TEST(LedgerTest, TruncatedFinalLineIsDroppedOnResume) {
+  const std::string dir = fresh_dir("ledger_trunc");
+  const std::string path = dir + "/ledger.jsonl";
+  const Ledger::Header header{0xabcdu, 4, 1};
+  std::string error;
+  {
+    auto ledger = Ledger::open(path, header, &error);
+    ASSERT_TRUE(ledger.has_value()) << error;
+    ledger->record_done(0, dir + "/shard0.json");
+    ledger->record_failed(1, 1, "worker died on signal 9");
+  }
+  // Simulate the orchestrator dying mid-flush: a partial record with no
+  // trailing newline.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "{\"event\":\"done\",\"sh";
+  }
+  const auto size_with_stub = std::filesystem::file_size(path);
+
+  std::string warning;
+  auto resumed = Ledger::open(path, header, &error, &warning);
+  ASSERT_TRUE(resumed.has_value()) << error;
+  EXPECT_NE(warning.find("truncated"), std::string::npos) << warning;
+  // The intact prefix replayed; the partial record is gone from the file.
+  EXPECT_TRUE(resumed->shards().at(0).done);
+  EXPECT_EQ(resumed->shards().at(1).failed_attempts, 1u);
+  EXPECT_LT(std::filesystem::file_size(path), size_with_stub);
+
+  // ... so later appends start clean: journal more, reopen, no warning.
+  resumed->record_done(2, dir + "/shard2.json");
+  warning.clear();
+  auto again = Ledger::open(path, header, &error, &warning);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_TRUE(warning.empty()) << warning;
+  EXPECT_TRUE(again->shards().at(0).done);
+  EXPECT_TRUE(again->shards().at(2).done);
+
+  // The leniency is for the crash artifact only.  Malformed lines before
+  // a terminated line — including terminated garbage — stay hard errors.
+  const std::string bad = dir + "/bad.jsonl";
+  {
+    auto fresh = Ledger::open(bad, header, &error);
+    ASSERT_TRUE(fresh.has_value()) << error;
+  }
+  {
+    std::ofstream out(bad, std::ios::binary | std::ios::app);
+    out << "garbage\n";
+  }
+  EXPECT_FALSE(Ledger::open(bad, header, &error).has_value());
+  // ... and a file that is ONLY a partial header is not a ledger.
+  std::ofstream(dir + "/stub.jsonl") << "{\"ledger\":";
+  EXPECT_FALSE(Ledger::open(dir + "/stub.jsonl", header, &error).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Local backend: kill racing an already-exited worker.
+
+TEST(LocalBackendTest, KillRacingAnExitedWorkerDeliversExitExactlyOnce) {
+  const std::string dir = fresh_dir("killrace");
+  LocalProcessBackend backend(2);
+  WorkerLaunch launch;
+  launch.argv = {"/bin/true"};
+  launch.log_path = dir + "/true.log";
+  const auto token = backend.launch(launch);
+  ASSERT_TRUE(token.has_value());
+  // Let /bin/true exit while unreaped (poll not called yet), then kill it:
+  // the SIGKILL races a process that is already a zombie.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  backend.kill(*token);
+  // The exit must arrive exactly once, carrying the REAL exit status —
+  // the late kill neither clobbers it into a signal death nor duplicates
+  // it, and reaping leaves no zombie behind.
+  int exits = 0;
+  std::optional<WorkerExit> seen;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (auto exit = backend.poll()) {
+      ++exits;
+      seen = exit;
+      continue;  // drain: a duplicate would show up right here
+    }
+    if (exits > 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(exits, 1);
+  EXPECT_EQ(seen->token, *token);
+  EXPECT_EQ(seen->exit_code, 0);
+  EXPECT_EQ(seen->term_signal, 0);
+  EXPECT_EQ(backend.running(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet spec.
+
+TEST(FleetSpecTest, ParsesHostsWithDefaults) {
+  std::string error;
+  const auto fleet = FleetSpec::parse(
+      R"({"hosts": [
+           {"host": "node1", "slots": 8, "workdir": "/scratch/pef",
+            "worker": "/opt/pef/bin/pef_sweep"},
+           {"host": "user@10.0.0.7"}
+         ]})",
+      &error);
+  ASSERT_TRUE(fleet.has_value()) << error;
+  ASSERT_EQ(fleet->hosts.size(), 2u);
+  EXPECT_EQ(fleet->hosts[0].host, "node1");
+  EXPECT_EQ(fleet->hosts[0].slots, 8u);
+  EXPECT_EQ(fleet->hosts[0].workdir, "/scratch/pef");
+  EXPECT_EQ(fleet->hosts[0].worker, "/opt/pef/bin/pef_sweep");
+  EXPECT_EQ(fleet->hosts[1].slots, 1u);  // default
+  EXPECT_TRUE(fleet->hosts[1].workdir.empty());
+  EXPECT_EQ(fleet->total_slots(), 9u);
+}
+
+TEST(FleetSpecTest, RejectsMalformedSpecs) {
+  std::string error;
+  EXPECT_FALSE(FleetSpec::parse("not json", &error).has_value());
+  EXPECT_FALSE(FleetSpec::parse(R"({"hosts": []})", &error).has_value());
+  EXPECT_FALSE(FleetSpec::parse(R"({"machines": []})", &error).has_value());
+  EXPECT_NE(error.find("unknown key"), std::string::npos);
+  EXPECT_FALSE(FleetSpec::parse(
+                   R"({"hosts": [{"host": "a"}, {"host": "a"}]})", &error)
+                   .has_value());
+  EXPECT_NE(error.find("duplicate"), std::string::npos);
+  EXPECT_FALSE(
+      FleetSpec::parse(R"({"hosts": [{"host": "a", "slots": 0}]})", &error)
+          .has_value());
+  EXPECT_FALSE(
+      FleetSpec::parse(R"({"hosts": [{"slots": 2}]})", &error).has_value());
+  EXPECT_FALSE(FleetSpec::parse(
+                   R"({"hosts": [{"host": "a", "cores": 4}]})", &error)
+                   .has_value());
+  EXPECT_FALSE(FleetSpec::load("/nonexistent/fleet.json", &error).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Mock transport.
+
+TEST(MockTransportTest, HostDeathKillsInFlightAndRefusesNewWork) {
+  const std::string dir = fresh_dir("mock_transport");
+  MockTransport transport;
+  transport.add_host("node");
+  std::string error;
+  EXPECT_TRUE(transport.probe("node", &error)) << error;
+
+  TransportCommand command;
+  command.host = "node";
+  command.argv = {"/bin/sh", "-c", "sleep 30"};
+  command.log_path = dir + "/cmd.log";
+  const auto token = transport.start(command);
+  ASSERT_TRUE(token.has_value());
+
+  // The host dies: the in-flight command is killed (its exit arrives as a
+  // signal death, like a real node loss), and new work is refused.
+  transport.set_alive("node", false);
+  std::optional<ChildExit> exit;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!exit && std::chrono::steady_clock::now() < deadline) {
+    exit = transport.poll();
+    if (!exit) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(exit.has_value()) << "killed command never exited";
+  EXPECT_EQ(exit->token, *token);
+  EXPECT_NE(exit->term_signal, 0);
+  EXPECT_FALSE(transport.probe("node", &error));
+  EXPECT_FALSE(transport.start(command).has_value());
+  EXPECT_FALSE(transport.probe("ghost", &error));  // unregistered host
+}
+
+// ---------------------------------------------------------------------------
+// Fleet end-to-end: SshBackend + MockTransport driving real pef_sweep
+// workers through the supervision loop, in-process.
+
+std::string canonical_spec_json() {
+  std::string error;
+  const auto spec = parse_sweep_spec(read_file(kSpecPath), &error);
+  EXPECT_TRUE(spec.has_value()) << error;
+  return spec ? spec->to_json() : "";
+}
+
+FleetSpec make_fleet(
+    const std::vector<std::pair<std::string, std::uint32_t>>& hosts) {
+  FleetSpec fleet;
+  for (const auto& [name, slots] : hosts) {
+    FleetHost host;
+    host.host = name;
+    host.slots = slots;
+    fleet.hosts.push_back(std::move(host));
+  }
+  return fleet;
+}
+
+OrchestratorOptions fleet_run_options(const std::string& dir,
+                                      std::uint32_t shards,
+                                      std::uint32_t max_attempts = 3) {
+  OrchestratorOptions options;
+  options.worker_binary = std::string(PEF_BIN_DIR) + "/pef_sweep";
+  options.spec_path = kSpecPath;
+  options.spec_json = canonical_spec_json();
+  options.shards = shards;
+  options.max_attempts = max_attempts;
+  options.backoff_initial_ms = 5;
+  options.backoff_cap_ms = 20;
+  options.timeout_seconds = 60;
+  options.workdir = dir + "/work";
+  options.backend_name = "mock";
+  return options;
+}
+
+SshBackendOptions fleet_backend_options(const std::string& dir,
+                                        const std::string& fault_spec = "") {
+  SshBackendOptions options;
+  options.default_workdir_root = dir + "/mockfs";
+  if (!fault_spec.empty()) {
+    std::string error;
+    const auto faults = FaultSpec::parse(fault_spec, &error);
+    EXPECT_TRUE(faults.has_value()) << error;
+    if (faults) options.faults = *faults;
+  }
+  return options;
+}
+
+HostHealth health_of(const SshBackend& backend, const std::string& host) {
+  for (const HostHealth& health : backend.health()) {
+    if (health.host == host) return health;
+  }
+  ADD_FAILURE() << "no such host: " << host;
+  return {};
+}
+
+TEST(FleetEndToEndTest, CleanMockFleetRunMatchesGolden) {
+  const std::string dir = fresh_dir("fleet_clean");
+  MockTransport transport;
+  transport.add_host("alpha");
+  transport.add_host("beta");
+  SshBackend backend(transport, make_fleet({{"alpha", 2}, {"beta", 2}}),
+                     fleet_backend_options(dir), nullptr);
+  const auto result =
+      orchestrate(backend, fleet_run_options(dir, 4), nullptr);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.merged_json + "\n", read_file(kGoldenPath));
+  // The load spread: both hosts worked, nobody got quarantined, and every
+  // attempt is attributed to a host in the report.
+  EXPECT_GT(health_of(backend, "alpha").launches, 0u);
+  EXPECT_GT(health_of(backend, "beta").launches, 0u);
+  for (const HostHealth& health : backend.health()) {
+    EXPECT_FALSE(health.quarantined) << health.host;
+    EXPECT_EQ(health.probe, "ok") << health.host;
+  }
+  for (const ShardOutcome& outcome : result.outcomes) {
+    ASSERT_EQ(outcome.attempts.size(), 1u);
+    EXPECT_FALSE(outcome.attempts[0].host.empty());
+    EXPECT_EQ(outcome.attempts[0].outcome, "ok");
+    EXPECT_GE(outcome.wall_ms, outcome.attempts[0].wall_ms);
+  }
+  EXPECT_NE(result.report_json.find("\"fleet_hosts\""), std::string::npos);
+}
+
+TEST(FleetEndToEndTest, DeadHostIsQuarantinedByProbeBeforeUse) {
+  const std::string dir = fresh_dir("fleet_probe");
+  MockTransport transport;
+  transport.add_host("dead", /*alive=*/false);
+  transport.add_host("live");
+  SshBackend backend(transport, make_fleet({{"dead", 4}, {"live", 2}}),
+                     fleet_backend_options(dir), nullptr);
+  const auto result =
+      orchestrate(backend, fleet_run_options(dir, 2), nullptr);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.merged_json + "\n", read_file(kGoldenPath));
+  const HostHealth dead = health_of(backend, "dead");
+  EXPECT_EQ(dead.probe, "failed");
+  EXPECT_TRUE(dead.quarantined);
+  EXPECT_EQ(dead.launches, 0u);  // a dead host never receives work
+  EXPECT_EQ(health_of(backend, "live").launches, 2u);
+}
+
+TEST(FleetEndToEndTest, RefusedLaunchesAreRetriedElsewhere) {
+  const std::string dir = fresh_dir("fleet_refuse");
+  MockTransport transport;
+  transport.add_host("alpha");
+  transport.add_host("bravo");
+  SshBackendOptions backend_options =
+      fleet_backend_options(dir, "refuse=1.0:refuse_hosts=bravo");
+  backend_options.blacklist_after = 2;
+  SshBackend backend(transport, make_fleet({{"alpha", 1}, {"bravo", 1}}),
+                     backend_options, nullptr);
+  const auto result =
+      orchestrate(backend, fleet_run_options(dir, 2, /*max_attempts=*/6),
+                  nullptr);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.merged_json + "\n", read_file(kGoldenPath));
+  // bravo refused every connection: charged but never launched, and all
+  // the real work landed on alpha.
+  const HostHealth bravo = health_of(backend, "bravo");
+  EXPECT_EQ(bravo.launches, 0u);
+  EXPECT_GE(bravo.failures, 1u);
+  for (const ShardOutcome& outcome : result.outcomes) {
+    for (const ShardAttempt& attempt : outcome.attempts) {
+      if (attempt.outcome == "ok") EXPECT_EQ(attempt.host, "alpha");
+    }
+  }
+}
+
+TEST(FleetEndToEndTest, MidRunHostDeathReschedulesOntoSurvivors) {
+  const std::string dir = fresh_dir("fleet_drop");
+  MockTransport transport;
+  transport.add_host("alpha");
+  transport.add_host("beta");
+  SshBackendOptions backend_options =
+      fleet_backend_options(dir, "drop=1.0:drop_hosts=beta");
+  backend_options.blacklist_after = 2;
+  SshBackend backend(transport, make_fleet({{"alpha", 2}, {"beta", 2}}),
+                     backend_options, nullptr);
+  const auto result =
+      orchestrate(backend, fleet_run_options(dir, 4, /*max_attempts=*/6),
+                  nullptr);
+  // Every worker on beta dies mid-run (link drop -> signal death); the
+  // supervisor reschedules them and still converges to the golden bytes.
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.merged_json + "\n", read_file(kGoldenPath));
+  const HostHealth beta = health_of(backend, "beta");
+  EXPECT_GE(beta.launches, 2u);
+  EXPECT_GE(beta.failures, 2u);
+  EXPECT_TRUE(beta.quarantined);
+  EXPECT_EQ(health_of(backend, "alpha").failures, 0u);
+  // Every attempt on beta failed (a dropped link is a transport failure
+  // even when the remote worker happened to finish first), and the report
+  // attributes each one to beta.
+  std::uint32_t beta_attempts = 0;
+  for (const ShardOutcome& outcome : result.outcomes) {
+    for (const ShardAttempt& attempt : outcome.attempts) {
+      if (attempt.host != "beta") continue;
+      ++beta_attempts;
+      EXPECT_NE(attempt.outcome, "ok");
+    }
+  }
+  EXPECT_GE(beta_attempts, 2u);
+}
+
+TEST(FleetEndToEndTest, BlacklistFiresAtExactThreshold) {
+  const std::string dir = fresh_dir("fleet_blacklist");
+  MockTransport transport;
+  transport.add_host("omega");
+  SshBackendOptions backend_options =
+      fleet_backend_options(dir, "refuse=1.0");
+  backend_options.blacklist_after = 3;
+  SshBackend backend(transport, make_fleet({{"omega", 1}}), backend_options,
+                     nullptr);
+  const auto result =
+      orchestrate(backend, fleet_run_options(dir, 1, /*max_attempts=*/8),
+                  nullptr);
+  // Exactly blacklist_after consecutive refusals, then quarantine; with no
+  // host left the run degrades instead of spinning.
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(result.failed_shards, (std::vector<std::uint32_t>{0}));
+  const HostHealth omega = health_of(backend, "omega");
+  EXPECT_EQ(omega.launches, 0u);
+  EXPECT_EQ(omega.failures, 3u);
+  EXPECT_EQ(omega.consecutive_failures, 3u);
+  EXPECT_TRUE(omega.quarantined);
+  EXPECT_NE(omega.quarantine_reason.find("3 consecutive"),
+            std::string::npos);
+  EXPECT_EQ(backend.capacity(), 0u);
+}
+
+TEST(FleetEndToEndTest, PartialFetchIsDetectedAsCorruptOutput) {
+  const std::string dir = fresh_dir("fleet_partial");
+  MockTransport transport;
+  transport.add_host("flaky");
+  transport.add_host("solid");
+  SshBackendOptions backend_options =
+      fleet_backend_options(dir, "partial=1.0:partial_hosts=flaky");
+  backend_options.blacklist_after = 2;
+  SshBackend backend(transport, make_fleet({{"flaky", 1}, {"solid", 1}}),
+                     backend_options, nullptr);
+  const auto result =
+      orchestrate(backend, fleet_run_options(dir, 2, /*max_attempts=*/6),
+                  nullptr);
+  // A truncated transfer delivers half the shard file: the supervisor's
+  // envelope validation flags it like any corrupt output, the retry lands
+  // elsewhere, and the merge still reproduces the golden bytes.
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.merged_json + "\n", read_file(kGoldenPath));
+  EXPECT_GE(health_of(backend, "flaky").failures, 1u);
+  bool flagged_as_corrupt = false;
+  for (const ShardOutcome& outcome : result.outcomes) {
+    for (const ShardAttempt& attempt : outcome.attempts) {
+      flagged_as_corrupt |=
+          attempt.host == "flaky" &&
+          attempt.outcome.find("output") != std::string::npos;
+    }
+  }
+  EXPECT_TRUE(flagged_as_corrupt);
+}
+
+TEST(FleetEndToEndTest, StalledTransferLooksLikeMissingOutput) {
+  const std::string dir = fresh_dir("fleet_stall");
+  MockTransport transport;
+  transport.add_host("lossy");
+  transport.add_host("ok");
+  SshBackendOptions backend_options =
+      fleet_backend_options(dir, "stall=1.0:stall_hosts=lossy");
+  backend_options.blacklist_after = 2;
+  SshBackend backend(transport, make_fleet({{"lossy", 1}, {"ok", 1}}),
+                     backend_options, nullptr);
+  const auto result =
+      orchestrate(backend, fleet_run_options(dir, 2, /*max_attempts=*/6),
+                  nullptr);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.merged_json + "\n", read_file(kGoldenPath));
+  bool flagged_as_missing = false;
+  for (const ShardOutcome& outcome : result.outcomes) {
+    for (const ShardAttempt& attempt : outcome.attempts) {
+      flagged_as_missing |=
+          attempt.host == "lossy" &&
+          attempt.outcome.find("no output") != std::string::npos;
+    }
+  }
+  EXPECT_TRUE(flagged_as_missing);
+}
+
+TEST(OrchestratorEndToEndTest, MockFleetCliRunMatchesGolden) {
+  const std::string dir = fresh_dir("fleet_cli");
+  std::ofstream(dir + "/fleet.json")
+      << R"({"hosts": [{"host": "alpha", "slots": 2},)"
+      << R"( {"host": "beta", "slots": 2}]})";
+  ASSERT_EQ(run(orchestrate_command(
+                dir, "",
+                "--shards 4 --backend mock --fleet " + dir + "/fleet.json")),
+            0)
+      << read_file(dir + "/orchestrate.log");
+  EXPECT_EQ(read_file(dir + "/merged.json"), read_file(kGoldenPath));
+  const JsonValue report = parse_report(dir);
+  EXPECT_EQ(report.find("backend")->string_value, "mock");
+  const JsonValue* hosts = report.find("fleet_hosts");
+  ASSERT_NE(hosts, nullptr);
+  ASSERT_EQ(hosts->items.size(), 2u);
+  EXPECT_EQ(hosts->items[0].find("host")->string_value, "alpha");
 }
 
 TEST(OrchestratorEndToEndTest, HungWorkerIsKilledByTimeout) {

@@ -2,33 +2,40 @@
 //
 //   pef_orchestrate --spec sweep.json --shards 8 --out merged.json
 //   pef_orchestrate --spec sweep.json --shards 8 --replicate 3   # NMR/TMR
+//   pef_orchestrate --spec sweep.json --shards 8 \
+//       --backend ssh --fleet hosts.json                # remote fleet
 //
 // Spawns one `pef_sweep --spec F --shard I/N` worker per shard (times R
-// under --replicate) through a WorkerBackend (local process pool today;
-// the interface takes ssh/batch-queue backends later), supervises them —
-// per-shard timeout, crash/exit-code/unparseable-output detection, retry
-// with capped exponential backoff — and merges the accepted shards into
-// output byte-identical to the unsharded run.  Accepted shards are
-// journaled in <workdir>/ledger.jsonl, so re-running a killed orchestrator
-// resumes instead of recomputing.  On exhausted retries it degrades
-// gracefully: a partial merge (missing cells explicitly null) goes to
-// --out, the machine-readable failure report to --report, and the exit
-// code says 1.
+// under --replicate) through a WorkerBackend — the local process pool by
+// default, or an ssh fan-out across a fleet (--backend ssh --fleet, see
+// orchestrator/fleet.hpp: liveness probes, per-host circuit breaker,
+// output fetch-back) — supervises them — per-shard timeout,
+// crash/exit-code/unparseable-output detection, retry with capped
+// exponential backoff — and merges the accepted shards into output
+// byte-identical to the unsharded run.  Accepted shards are journaled in
+// <workdir>/ledger.jsonl, so re-running a killed orchestrator resumes
+// instead of recomputing.  On exhausted retries it degrades gracefully: a
+// partial merge (missing cells explicitly null) goes to --out, the
+// machine-readable failure report to --report, and the exit code says 1.
 //
 // Chaos testing: export PEF_FAULT_SPEC (see src/orchestrator/fault.hpp)
 // before running and the workers will deterministically crash / corrupt
-// their output / hang, exercising every recovery path above — the CI
-// chaos-smoke step gates on the recovered merge matching the golden
-// baseline.
+// their output / hang — and, on fleet backends, the network will refuse
+// connections, drop links mid-run and truncate transfers — exercising
+// every recovery path above.  The CI chaos-smoke steps gate on the
+// recovered merge matching the golden baseline.
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "common/args.hpp"
 #include "core/spec.hpp"
 #include "orchestrator/fault.hpp"
+#include "orchestrator/fleet.hpp"
 #include "orchestrator/supervisor.hpp"
+#include "orchestrator/transport.hpp"
 
 namespace pef {
 namespace {
@@ -53,6 +60,16 @@ void print_help(const char* program) {
       << "  --worker PATH      shard worker binary (default: the pef_sweep\n"
       << "                     next to this binary)\n"
       << "  --worker-threads T --threads for each worker (default 1)\n"
+      << "  --backend B        local | ssh | mock (default local).  ssh\n"
+      << "                     fans workers out over a fleet; mock is the\n"
+      << "                     same backend on an in-process fake fleet\n"
+      << "  --fleet FILE       fleet spec JSON (required for ssh/mock):\n"
+      << "                     {\"hosts\": [{\"host\": H, \"slots\": N,\n"
+      << "                     \"workdir\": D, \"worker\": P}, ...]}\n"
+      << "  --blacklist-after N quarantine a host after N consecutive\n"
+      << "                     host faults (default 3)\n"
+      << "  --no-probe         skip the pre-launch liveness probes\n"
+      << "  --connect-timeout S ssh connect timeout seconds (default 10)\n"
       << "  --out FILE         merged JSON (default: stdout); on failed\n"
       << "                     shards this is the partial merge\n"
       << "  --report FILE      machine-readable run report (default:\n"
@@ -115,6 +132,11 @@ int main(int argc, char** argv) {
   options.worker_binary =
       args.get_string("--worker", default_worker(args.program()));
   options.worker_threads = args.get_u32("--worker-threads", 1);
+  options.backend_name = args.get_string("--backend", "local");
+  const std::string fleet_path = args.get_string("--fleet", "");
+  const std::uint32_t blacklist_after = args.get_u32("--blacklist-after", 3);
+  const bool no_probe = args.has("--no-probe");
+  const std::uint32_t connect_timeout = args.get_u32("--connect-timeout", 10);
   const std::string out_path = args.get_string("--out", "");
   std::string report_path = args.get_string("--report", "");
   args.check_unused();
@@ -125,6 +147,25 @@ int main(int argc, char** argv) {
   }
   if (options.replicate == 0 || options.max_attempts == 0) {
     std::cerr << "--replicate and --max-attempts must be >= 1\n";
+    return 2;
+  }
+  if (options.backend_name != "local" && options.backend_name != "ssh" &&
+      options.backend_name != "mock") {
+    std::cerr << "--backend must be local, ssh or mock\n";
+    return 2;
+  }
+  if (options.backend_name == "local") {
+    if (!fleet_path.empty()) {
+      std::cerr << "--fleet needs --backend ssh or mock\n";
+      return 2;
+    }
+  } else if (fleet_path.empty()) {
+    std::cerr << "--backend " << options.backend_name
+              << " needs --fleet FILE\n";
+    return 2;
+  }
+  if (blacklist_after == 0) {
+    std::cerr << "--blacklist-after must be >= 1\n";
     return 2;
   }
   if (report_path.empty()) {
@@ -153,9 +194,40 @@ int main(int argc, char** argv) {
     }
   }
 
-  LocalProcessBackend backend(options.jobs);
+  // Backend selection.  The transport (when any) must outlive the backend.
+  std::unique_ptr<CommandTransport> transport;
+  std::unique_ptr<WorkerBackend> backend;
+  if (options.backend_name == "local") {
+    backend = std::make_unique<LocalProcessBackend>(options.jobs);
+  } else {
+    std::string fleet_error;
+    auto fleet = FleetSpec::load(fleet_path, &fleet_error);
+    if (!fleet) {
+      std::cerr << fleet_error << "\n";
+      return 2;
+    }
+    SshBackendOptions fleet_options;
+    fleet_options.blacklist_after = blacklist_after;
+    fleet_options.probe = !no_probe;
+    fleet_options.faults = fault_spec_from_env();
+    if (options.backend_name == "ssh") {
+      SshTransport::Options ssh_options;
+      ssh_options.connect_timeout_seconds = connect_timeout;
+      transport = std::make_unique<SshTransport>(ssh_options);
+    } else {
+      auto mock = std::make_unique<MockTransport>();
+      for (const FleetHost& host : fleet->hosts) mock->add_host(host.host);
+      // Mock "remote" paths are local paths; default them into the
+      // workdir so a mock run leaves the filesystem as tidy as a local
+      // one.
+      fleet_options.default_workdir_root = options.workdir + "/mockfs";
+      transport = std::move(mock);
+    }
+    backend = std::make_unique<SshBackend>(*transport, std::move(*fleet),
+                                           fleet_options, &std::cerr);
+  }
   const OrchestratorResult result =
-      orchestrate(backend, options, &std::cerr);
+      orchestrate(*backend, options, &std::cerr);
 
   if (!write_out(report_path, result.report_json)) return 2;
   if (result.complete) {
