@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 
 namespace pef {
@@ -476,6 +477,38 @@ std::optional<JsonValue> parse_json_file(const std::string& path,
   std::string parse_error;
   auto value = parse_json(buffer.str(), &parse_error);
   if (!value && error != nullptr) *error = path + ": " + parse_error;
+  return value;
+}
+
+std::optional<std::string> read_text_input(const std::string& path,
+                                           std::string* error) {
+  if (path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    if (std::cin.bad()) {
+      if (error != nullptr) *error = "cannot read stdin";
+      return std::nullopt;
+    }
+    return buffer.str();
+  }
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+std::optional<JsonValue> parse_json_input(const std::string& path,
+                                          std::string* error) {
+  if (path != "-") return parse_json_file(path, error);
+  const auto text = read_text_input(path, error);
+  if (!text) return std::nullopt;
+  std::string parse_error;
+  auto value = parse_json(*text, &parse_error);
+  if (!value && error != nullptr) *error = "stdin: " + parse_error;
   return value;
 }
 

@@ -121,4 +121,16 @@ struct JsonValue {
 [[nodiscard]] std::optional<JsonValue> parse_json_file(const std::string& path,
                                                        std::string* error);
 
+/// Read the whole file as bytes — "-" reads stdin to EOF.  Returns nullopt
+/// (with a message) on unreadable paths.  The raw-text sibling of
+/// parse_json_input for callers that forward the document verbatim.
+[[nodiscard]] std::optional<std::string> read_text_input(
+    const std::string& path, std::string* error);
+
+/// parse_json_file with the tool convention that path "-" means stdin, so
+/// specs pipe straight into the CLIs.  Errors are prefixed "stdin: " or
+/// with the path.
+[[nodiscard]] std::optional<JsonValue> parse_json_input(
+    const std::string& path, std::string* error);
+
 }  // namespace pef

@@ -76,6 +76,7 @@ RunResult analyze_run(const Ring& ring, const Trace& trace,
   result.algorithm_name = config.algorithm->name();
   result.adversary_name = adversary_display_name(config.adversary);
   result.model = config.model;
+  result.topology = config.topology;
   result.nodes = config.nodes;
   result.robots = config.robots;
   result.horizon = config.horizon;
@@ -85,6 +86,33 @@ RunResult analyze_run(const Ring& ring, const Trace& trace,
 
 }  // namespace
 
+std::string run_result_to_json(const RunResult& result) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("algorithm", result.algorithm_name);
+  json.field("adversary", result.adversary_name);
+  json.field("model", to_string(result.model));
+  json.field("topology", to_string(result.topology));
+  json.field("n", result.nodes);
+  json.field("k", result.robots);
+  json.field("horizon", result.horizon);
+  json.field("seed", result.seed);
+  json.field("perpetual", result.perpetual);
+  if (result.coverage.cover_time) {
+    json.field("cover_time", *result.coverage.cover_time);
+  } else {
+    json.null_field("cover_time");
+  }
+  json.field("visited_nodes", result.coverage.visited_node_count);
+  json.field("max_revisit_gap", result.coverage.max_revisit_gap);
+  json.field("max_closed_gap", result.coverage.max_closed_gap);
+  json.field("max_tower_size", result.towers.max_tower_size);
+  json.field("tower_formations", result.towers.tower_formation_count);
+  json.field("adversary_legal", result.adversary_legal);
+  json.end_object();
+  return json.str();
+}
+
 RunResult run_experiment(const ExperimentConfig& config) {
   PEF_CHECK(config.algorithm != nullptr);
   PEF_CHECK(config.robots >= 1);
@@ -92,8 +120,9 @@ RunResult run_experiment(const ExperimentConfig& config) {
   PEF_CHECK(config.horizon >= 1);
 
   const Ring ring(config.nodes);
-  AdversaryPtr adversary = adversary_from_config(config.adversary, ring,
-                                                 config.seed, config.robots);
+  AdversaryPtr adversary =
+      adversary_from_config(config.adversary, ring, config.seed,
+                            config.robots, config.topology);
 
   const std::vector<RobotPlacement> placements =
       config.placements ? *config.placements
@@ -171,7 +200,8 @@ std::vector<RunResult> run_battery(ExperimentConfig config,
       replica.horizon = config.horizon;
       wire_standard_replica(
           replica, config.model,
-          adversary_from_config(config.adversary, ring, seed, config.robots),
+          adversary_from_config(config.adversary, ring, seed, config.robots,
+                                config.topology),
           config.activation_p, seed);
     }
 
@@ -199,6 +229,7 @@ ExperimentConfig to_experiment_config(const ScenarioSpec& spec) {
   ExperimentConfig config;
   config.nodes = spec.nodes;
   config.robots = spec.robots;
+  config.topology = spec.topology;
   config.algorithm = make_algorithm(resolved_algorithm(spec), spec.seed);
   config.adversary = spec.adversary;
   config.horizon = spec.horizon;

@@ -61,6 +61,7 @@ struct AdversarySpec {
 struct ExperimentConfig {
   std::uint32_t nodes = 4;
   std::uint32_t robots = 3;
+  Topology topology = Topology::kRing;
   AlgorithmPtr algorithm;
   AdversaryConfig adversary;
   Time horizon = 2000;
@@ -96,11 +97,17 @@ struct RunResult {
   std::string algorithm_name;
   std::string adversary_name;
   ExecutionModel model = ExecutionModel::kFsync;
+  Topology topology = Topology::kRing;
   std::uint32_t nodes = 0;
   std::uint32_t robots = 0;
   Time horizon = 0;
   std::uint64_t seed = 0;
 };
+
+/// Canonical single-line JSON of one run's analysis — the scenario-shaped
+/// counterpart of SweepResult::to_json() (deterministic: pure function of
+/// the spec, so serve-layer caches may key it by canonical spec JSON).
+[[nodiscard]] std::string run_result_to_json(const RunResult& result);
 
 [[nodiscard]] RunResult run_experiment(const ExperimentConfig& config);
 

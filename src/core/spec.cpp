@@ -14,10 +14,31 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "core/computability.hpp"
+#include "dynamic_graph/chain.hpp"
 #include "dynamic_graph/markov_schedule.hpp"
 #include "dynamic_graph/schedules.hpp"
 
 namespace pef {
+
+// ---------------------------------------------------------------------------
+// Topology
+
+const char* to_string(Topology topology) {
+  switch (topology) {
+    case Topology::kRing:
+      return "ring";
+    case Topology::kChain:
+      return "chain";
+  }
+  PEF_CHECK_MSG(false, "unknown topology");
+  return "?";
+}
+
+std::optional<Topology> parse_topology(const std::string& name) {
+  if (name == "ring") return Topology::kRing;
+  if (name == "chain") return Topology::kChain;
+  return std::nullopt;
+}
 
 // ---------------------------------------------------------------------------
 // The registry
@@ -208,9 +229,47 @@ std::string adversary_display_name(const AdversaryConfig& config) {
   return "?";
 }
 
-AdversaryPtr adversary_from_config(const AdversaryConfig& config,
-                                   const Ring& ring, std::uint64_t seed,
-                                   std::uint32_t robots) {
+namespace {
+
+/// Restricts an adaptive adversary to the chain: whatever E_t the inner
+/// adversary picks, the cut edge is erased.  (Oblivious adversaries never
+/// reach this wrapper — their schedule is rewrapped in ChainSchedule so the
+/// batched word-plane path survives.)
+class ChainAdversary final : public Adversary {
+ public:
+  ChainAdversary(AdversaryPtr inner, EdgeId cut)
+      : inner_(std::move(inner)), cut_(cut) {}
+
+  [[nodiscard]] const Ring& ring() const override { return inner_->ring(); }
+  [[nodiscard]] EdgeSet choose_edges(Time t,
+                                     const Configuration& gamma) override {
+    EdgeSet s = inner_->choose_edges(t, gamma);
+    s.erase(cut_);
+    return s;
+  }
+  [[nodiscard]] std::string name() const override {
+    return "chain(" + inner_->name() + ")";
+  }
+
+ private:
+  AdversaryPtr inner_;
+  EdgeId cut_;
+};
+
+AdversaryPtr apply_topology(AdversaryPtr adversary, Topology topology) {
+  if (topology == Topology::kRing) return adversary;
+  if (const auto* oblivious =
+          dynamic_cast<const ObliviousAdversary*>(adversary.get())) {
+    return make_oblivious(ChainSchedule::cut_last(oblivious->schedule()));
+  }
+  const EdgeId cut =
+      static_cast<EdgeId>(adversary->ring().edge_count() - 1);
+  return std::make_unique<ChainAdversary>(std::move(adversary), cut);
+}
+
+AdversaryPtr resolve_ring_adversary(const AdversaryConfig& config,
+                                    const Ring& ring, std::uint64_t seed,
+                                    std::uint32_t robots) {
   switch (config.kind) {
     case AdversaryKind::kStatic:
       return make_oblivious(std::make_shared<StaticSchedule>(ring));
@@ -267,6 +326,15 @@ AdversaryPtr adversary_from_config(const AdversaryConfig& config,
   }
   PEF_CHECK_MSG(false, "unknown adversary kind");
   return nullptr;
+}
+
+}  // namespace
+
+AdversaryPtr adversary_from_config(const AdversaryConfig& config,
+                                   const Ring& ring, std::uint64_t seed,
+                                   std::uint32_t robots, Topology topology) {
+  return apply_topology(resolve_ring_adversary(config, ring, seed, robots),
+                        topology);
 }
 
 namespace {
@@ -520,6 +588,22 @@ bool read_model(const JsonValue& value, const char* what, ExecutionModel& out,
   return true;
 }
 
+bool read_topology(const JsonValue& value, const char* what, Topology& out,
+                   std::string* error) {
+  std::string name;
+  if (!read_string(value, what, name, error)) return false;
+  const auto topology = parse_topology(name);
+  if (!topology) {
+    if (error != nullptr) {
+      *error = std::string(what) + ": unknown topology \"" + name +
+               "\" (known: ring, chain)";
+    }
+    return false;
+  }
+  out = *topology;
+  return true;
+}
+
 std::string known_algorithms() {
   std::string out;
   for (const std::string& name : algorithm_names()) {
@@ -548,9 +632,10 @@ void models_to_json(JsonWriter& json, const char* key,
 
 bool ScenarioSpec::operator==(const ScenarioSpec& other) const {
   return nodes == other.nodes && robots == other.robots &&
-         algorithm == other.algorithm && adversary == other.adversary &&
-         model == other.model && activation_p == other.activation_p &&
-         horizon == other.horizon && seed == other.seed;
+         topology == other.topology && algorithm == other.algorithm &&
+         adversary == other.adversary && model == other.model &&
+         activation_p == other.activation_p && horizon == other.horizon &&
+         seed == other.seed;
 }
 
 std::string ScenarioSpec::to_json() const {
@@ -558,6 +643,7 @@ std::string ScenarioSpec::to_json() const {
   json.begin_object();
   json.field("nodes", nodes);
   json.field("robots", robots);
+  json.field("topology", to_string(topology));
   json.field("algorithm", algorithm);
   adversary_config_to_json(json, "adversary", adversary);
   json.field("model", to_string(model));
@@ -606,6 +692,10 @@ std::optional<ScenarioSpec> scenario_spec_from_json(const JsonValue& value,
       if (!read_u32(member, "\"robots\"", spec.robots, error)) {
         return std::nullopt;
       }
+    } else if (key == "topology") {
+      if (!read_topology(member, "\"topology\"", spec.topology, error)) {
+        return std::nullopt;
+      }
     } else if (key == "algorithm") {
       if (!read_string(member, "\"algorithm\"", spec.algorithm, error)) {
         return std::nullopt;
@@ -632,8 +722,9 @@ std::optional<ScenarioSpec> scenario_spec_from_json(const JsonValue& value,
       }
     } else {
       return fail("unknown key \"" + key +
-                  "\" in scenario spec (keys: nodes, robots, algorithm, "
-                  "adversary, model, activation_p, horizon, seed)");
+                  "\" in scenario spec (keys: nodes, robots, topology, "
+                  "algorithm, adversary, model, activation_p, horizon, "
+                  "seed)");
     }
   }
   if (auto invalid = spec.validate()) return fail(*invalid);
@@ -666,7 +757,8 @@ std::string resolved_algorithm(const ScenarioSpec& spec) {
 
 bool SweepSpec::operator==(const SweepSpec& other) const {
   return algorithms == other.algorithms && adversaries == other.adversaries &&
-         models == other.models && ring_sizes == other.ring_sizes &&
+         models == other.models && topology == other.topology &&
+         ring_sizes == other.ring_sizes &&
          robot_counts == other.robot_counts && seeds == other.seeds &&
          activation_p == other.activation_p && horizon == other.horizon &&
          horizon_per_node == other.horizon_per_node &&
@@ -686,6 +778,7 @@ std::string SweepSpec::to_json() const {
   }
   json.end_array();
   models_to_json(json, "models", models);
+  json.field("topology", to_string(topology));
   json.begin_array("ring_sizes");
   for (const std::uint32_t n : ring_sizes) {
     json.element(static_cast<std::uint64_t>(n));
@@ -793,6 +886,10 @@ std::optional<SweepSpec> sweep_spec_from_json(const JsonValue& value,
         }
         spec.models.push_back(model);
       }
+    } else if (key == "topology") {
+      if (!read_topology(member, "\"topology\"", spec.topology, error)) {
+        return std::nullopt;
+      }
     } else if (key == "ring_sizes") {
       if (!member.is_array()) {
         return fail("\"ring_sizes\" must be an array of integers");
@@ -858,9 +955,9 @@ std::optional<SweepSpec> sweep_spec_from_json(const JsonValue& value,
     } else {
       return fail("unknown key \"" + key +
                   "\" in sweep spec (keys: algorithms, adversaries, models, "
-                  "ring_sizes, robot_counts, seeds, activation_p, horizon, "
-                  "horizon_per_node, random_placements, batch_seeds, "
-                  "max_batch)");
+                  "topology, ring_sizes, robot_counts, seeds, activation_p, "
+                  "horizon, horizon_per_node, random_placements, "
+                  "batch_seeds, max_batch)");
     }
   }
   if (auto invalid = spec.validate()) return fail(*invalid);

@@ -42,6 +42,20 @@
 namespace pef {
 
 // ---------------------------------------------------------------------------
+// Topology
+
+/// The underlying graph family a scenario runs on.  A chain of n nodes is
+/// the paper's closing remark made executable: a ring of n nodes whose edge
+/// n-1 (between nodes n-1 and 0) never appears (dynamic_graph/chain.hpp).
+enum class Topology : std::uint8_t {
+  kRing = 0,
+  kChain,
+};
+
+[[nodiscard]] const char* to_string(Topology topology);
+[[nodiscard]] std::optional<Topology> parse_topology(const std::string& name);
+
+// ---------------------------------------------------------------------------
 // The adversary registry
 
 enum class AdversaryKind : std::uint8_t {
@@ -136,11 +150,13 @@ struct AdversaryConfig {
 /// Resolve a config to a live adversary for one run.  `robots` feeds the
 /// auto width of cage/proof (width 0 means min(robots + 1, n - 1)); pass the
 /// scenario's k.  Seed derivation matches the historical battery factories
-/// bit-for-bit.
-[[nodiscard]] AdversaryPtr adversary_from_config(const AdversaryConfig& config,
-                                                 const Ring& ring,
-                                                 std::uint64_t seed,
-                                                 std::uint32_t robots = 0);
+/// bit-for-bit.  On Topology::kChain the resolved adversary is restricted to
+/// the chain: oblivious schedules are rewrapped in ChainSchedule::cut_last
+/// (preserving the batchable word-plane fast path), adaptive adversaries get
+/// the cut edge erased from every choice.
+[[nodiscard]] AdversaryPtr adversary_from_config(
+    const AdversaryConfig& config, const Ring& ring, std::uint64_t seed,
+    std::uint32_t robots = 0, Topology topology = Topology::kRing);
 
 /// Parameter-range validation; nullopt when fine, else an actionable
 /// message.
@@ -166,6 +182,7 @@ void adversary_config_to_json(JsonWriter& json, const std::string& key,
 struct ScenarioSpec {
   std::uint32_t nodes = 10;
   std::uint32_t robots = 3;
+  Topology topology = Topology::kRing;
   /// Registry algorithm name; empty = the paper's recommendation for
   /// (robots, nodes) (see resolved_algorithm).
   std::string algorithm;
@@ -207,6 +224,9 @@ struct SweepSpec {
   std::vector<std::string> algorithms;
   std::vector<AdversaryConfig> adversaries;
   std::vector<ExecutionModel> models = {ExecutionModel::kFsync};
+  /// One topology for the whole grid (ring_sizes stays the node-count axis;
+  /// on a chain, n nodes means the n-node chain cut from the n-ring).
+  Topology topology = Topology::kRing;
   std::vector<std::uint32_t> ring_sizes;    // n
   std::vector<std::uint32_t> robot_counts;  // k
   std::vector<std::uint64_t> seeds;

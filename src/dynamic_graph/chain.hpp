@@ -37,6 +37,19 @@ class ChainSchedule final : public EdgeSchedule {
     s.erase(cut_);
     return s;
   }
+  void edges_into(Time t, EdgeSet& out) const override {
+    base_->edges_into(t, out);
+    out.erase(cut_);
+  }
+  void edges_into_words(Time t, std::uint64_t* words) const override {
+    base_->edges_into_words(t, words);
+    words[cut_ >> 6] &= ~(std::uint64_t{1} << (cut_ & 63));
+  }
+  [[nodiscard]] bool time_invariant() const override {
+    // Masking a fixed bit preserves the base's invariance (a static base
+    // yields a static chain, so engines keep the fill-once fast path).
+    return base_->time_invariant();
+  }
   [[nodiscard]] std::string name() const override {
     return "chain(" + base_->name() + ")";
   }

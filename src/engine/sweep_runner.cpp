@@ -122,7 +122,7 @@ SweepCell run_cell(const SweepContext& context, const CellTask& task) {
   AlgorithmPtr algorithm = make_algorithm(cell.algorithm, cell.effective_seed);
   AdversaryPtr adversary =
       adversary_from_config(spec.adversaries[task.adversary_index], ring,
-                            cell.effective_seed, task.robots);
+                            cell.effective_seed, task.robots, spec.topology);
 
   const auto start = std::chrono::steady_clock::now();
   std::optional<Engine> engine_slot;
@@ -177,7 +177,8 @@ void run_batched(const SweepContext& context, const CellTask* tasks,
     wire_standard_replica(
         replica, model,
         adversary_from_config(spec.adversaries[tasks[b].adversary_index],
-                              ring, cell.effective_seed, cell.robots),
+                              ring, cell.effective_seed, cell.robots,
+                              spec.topology),
         spec.activation_p, cell.effective_seed);
   }
 
@@ -262,6 +263,17 @@ void run_group(const SweepContext& context,
 }
 
 }  // namespace
+
+std::uint64_t count_sweep_cells(const SweepSpec& spec) {
+  std::uint64_t pairs = 0;
+  for (const std::uint32_t n : spec.ring_sizes) {
+    for (const std::uint32_t k : spec.robot_counts) {
+      if (k != 0 && k < n) ++pairs;  // same skip rule as enumerate_cells
+    }
+  }
+  return pairs * spec.algorithms.size() * spec.adversaries.size() *
+         spec.models.size() * spec.seeds.size();
+}
 
 std::uint64_t effective_seed(std::uint64_t grid_seed,
                              std::size_t algorithm_index,
@@ -650,7 +662,8 @@ SweepRunner::SweepRunner(std::uint32_t threads, std::uint32_t engine_threads)
   }
 }
 
-SweepResult SweepRunner::run(const SweepSpec& spec, SweepShard shard) const {
+SweepResult SweepRunner::run(const SweepSpec& spec, SweepShard shard,
+                             const ProgressFn& progress) const {
   const auto invalid = spec.validate();
   PEF_CHECK_MSG(!invalid.has_value(), "invalid sweep spec");
   PEF_CHECK_MSG(shard.count >= 1 && shard.index < shard.count,
@@ -695,10 +708,27 @@ SweepResult SweepRunner::run(const SweepSpec& spec, SweepShard shard) const {
       workers, static_cast<std::uint32_t>(groups.size()));
   const bool serial = workers <= 1 || total_rounds < kSerialThresholdRounds;
 
+  // Cells completed so far (for the progress observer only; results never
+  // depend on it).
+  std::atomic<std::uint64_t> done{0};
+  const auto run_one = [&](const CellGroup& group) {
+    const auto group_start = std::chrono::steady_clock::now();
+    run_group(context, tasks, group, slot(group));
+    if (progress) {
+      const double secs = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - group_start)
+                              .count();
+      const std::uint64_t finished =
+          done.fetch_add(group.count, std::memory_order_relaxed) +
+          group.count;
+      progress(finished, hi - lo, secs);
+    }
+  };
+
   const auto start = std::chrono::steady_clock::now();
   if (serial) {
     for (const CellGroup& group : groups) {
-      run_group(context, tasks, group, slot(group));
+      run_one(group);
     }
   } else {
     const std::size_t chunk = std::clamp<std::size_t>(
@@ -711,7 +741,7 @@ SweepResult SweepRunner::run(const SweepSpec& spec, SweepShard shard) const {
         if (begin >= groups.size()) return;
         const std::size_t end = std::min(begin + chunk, groups.size());
         for (std::size_t g = begin; g < end; ++g) {
-          run_group(context, tasks, groups[g], slot(groups[g]));
+          run_one(groups[g]);
         }
       }
     };

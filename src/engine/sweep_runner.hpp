@@ -34,6 +34,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -164,6 +165,10 @@ struct ShardMerge {
     const std::vector<std::string>& shard_jsons, std::string* error,
     const std::vector<std::string>* shard_names = nullptr);
 
+/// Number of grid cells the spec enumerates (k >= n pairs are skipped) —
+/// the progress denominator a serving layer can report before running.
+[[nodiscard]] std::uint64_t count_sweep_cells(const SweepSpec& spec);
+
 /// The per-cell stream seed: mixes the grid seed entry with every coordinate
 /// index so distinct cells never share an RNG stream, and a cell's stream is
 /// a pure function of its coordinates (thread-count independent).
@@ -189,10 +194,20 @@ class SweepRunner {
     return engine_threads_;
   }
 
+  /// Progress observer: invoked after each completed seed group with the
+  /// cumulative number of finished cells, the shard's cell total, and the
+  /// wall seconds the group just took.  Called from worker threads (under
+  /// no lock), so implementations must be thread-safe; `done` is monotone
+  /// per call site but calls may interleave out of order across groups.
+  using ProgressFn = std::function<void(
+      std::uint64_t done, std::uint64_t total, double group_wall_seconds)>;
+
   /// Run the spec's cells — all of them, or one contiguous shard.  Blocks
-  /// until done.  Aborts on specs that fail validate().
-  [[nodiscard]] SweepResult run(const SweepSpec& spec,
-                                SweepShard shard = {}) const;
+  /// until done.  Aborts on specs that fail validate().  The progress
+  /// observer is purely informational: results are byte-identical with or
+  /// without it.
+  [[nodiscard]] SweepResult run(const SweepSpec& spec, SweepShard shard = {},
+                                const ProgressFn& progress = nullptr) const;
 
  private:
   std::uint32_t threads_;

@@ -1,0 +1,135 @@
+#include "serve/cache.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <vector>
+
+#include "orchestrator/ledger.hpp"
+
+namespace pef::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string hash_hex(const std::string& key) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(fnv1a64(key)));
+  return buffer;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::uint64_t byte_budget, std::string dir)
+    : byte_budget_(byte_budget), dir_(std::move(dir)) {}
+
+std::string ResultCache::entry_path(const std::string& key) const {
+  if (dir_.empty()) return "";
+  return dir_ + "/" + hash_hex(key) + ".entry";
+}
+
+std::optional<std::string> ResultCache::lookup(const std::string& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->value;
+}
+
+void ResultCache::insert(const std::string& key, const std::string& result) {
+  ++stats_.insertions;
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Deterministic engine: a re-run can only reproduce the same bytes, so
+    // refreshing the value is a recency bump, not a content change.
+    stats_.bytes -= it->second->key.size() + it->second->value.size();
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->value = result;
+  } else {
+    lru_.push_front({key, result});
+    index_[key] = lru_.begin();
+  }
+  stats_.bytes += key.size() + result.size();
+  stats_.entries = lru_.size();
+  persist(lru_.front());
+  evict_until_within_budget();
+}
+
+void ResultCache::evict_until_within_budget() {
+  while (stats_.bytes > byte_budget_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    stats_.bytes -= victim.key.size() + victim.value.size();
+    unpersist(victim.key);
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  stats_.entries = lru_.size();
+}
+
+void ResultCache::persist(const Entry& entry) {
+  if (dir_.empty()) return;
+  std::error_code ec;
+  fs::create_directories(dir_, ec);  // best-effort; open() reports failure
+  std::ofstream file(entry_path(entry.key),
+                     std::ios::binary | std::ios::trunc);
+  if (!file.is_open()) return;  // cache stays a cache: serving continues
+  file << entry.key << "\n" << entry.value << "\n";
+}
+
+void ResultCache::unpersist(const std::string& key) {
+  if (dir_.empty()) return;
+  std::error_code ec;
+  fs::remove(entry_path(key), ec);
+}
+
+std::uint64_t ResultCache::load_from_disk(std::string* warnings) {
+  if (dir_.empty()) return 0;
+  std::error_code ec;
+  if (!fs::is_directory(dir_, ec)) return 0;
+
+  const auto warn = [warnings](const std::string& message) {
+    if (warnings == nullptr) return;
+    if (!warnings->empty()) *warnings += "\n";
+    *warnings += message;
+  };
+
+  // Deterministic reload order (directory iteration order is not),
+  // so the post-reload LRU state is reproducible.
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (entry.path().extension() == ".entry") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::uint64_t restored = 0;
+  for (const std::string& path : paths) {
+    std::ifstream file(path, std::ios::binary);
+    std::string key;
+    std::string value;
+    if (!file.is_open() || !std::getline(file, key) ||
+        !std::getline(file, value) || key.empty()) {
+      warn("skipping malformed cache entry " + path);
+      continue;
+    }
+    // insert() re-persists the same bytes and applies the budget, so a
+    // directory larger than --cache-bytes shrinks to fit right here.
+    const std::uint64_t insertions = stats_.insertions;
+    insert(key, value);
+    stats_.insertions = insertions;  // reloads are not new insertions
+    ++restored;
+  }
+  stats_.reloaded = restored;
+  return restored;
+}
+
+}  // namespace pef::serve

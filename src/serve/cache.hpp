@@ -1,0 +1,88 @@
+// The spec-keyed result cache behind pef_serve.
+//
+// A cell's result is a pure function of its spec (deterministic seeds,
+// thread-count-invariant JSON), so the daemon may memoize whole runs: the
+// key is the CANONICAL single-line spec JSON (parse∘serialize of whatever
+// the client sent), the value is the result document byte-identical to what
+// pef_sweep / run_result_to_json would produce.  A hit costs zero engine
+// rounds.
+//
+// Eviction is LRU under a byte budget (key + value bytes per entry).
+// Persistence is one file per entry under a cache directory, named by the
+// FNV-1a hash of the key — the same content-hash convention the
+// orchestrator's ledger uses for spec identity — holding the key line and
+// the value line (both are single-line JSON by construction).  A restarted
+// daemon reloads the directory and stays warm; files of evicted entries are
+// removed so disk usage tracks the budget.
+//
+// Not internally synchronized: the server serializes access under its own
+// mutex (lookups and inserts are map operations, far off the engine's hot
+// path).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace pef::serve {
+
+struct CacheStats {
+  std::uint64_t entries = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  /// Entries reloaded from the cache directory at startup.
+  std::uint64_t reloaded = 0;
+};
+
+class ResultCache {
+ public:
+  /// `byte_budget` caps sum(key + value sizes); 0 disables caching
+  /// entirely.  `dir` enables persistence when non-empty (created if
+  /// missing on first insert).
+  ResultCache(std::uint64_t byte_budget, std::string dir);
+
+  /// The cached result for this canonical spec JSON; bumps the entry to
+  /// most-recently-used and counts a hit/miss.
+  [[nodiscard]] std::optional<std::string> lookup(const std::string& key);
+
+  /// Insert (or refresh) an entry, persist it, then evict LRU entries
+  /// until the budget holds again.  An entry larger than the whole budget
+  /// is evicted immediately — deterministically cached-nothing, never a
+  /// budget overrun.
+  void insert(const std::string& key, const std::string& result);
+
+  /// Reload persisted entries (most useful before serving).  Returns the
+  /// number of entries restored; unreadable or malformed files are skipped
+  /// with a note appended to *warnings (newline-separated) when non-null.
+  std::uint64_t load_from_disk(std::string* warnings);
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+
+  /// The persistence file for a key (empty when persistence is off) —
+  /// exposed for tests pinning the on-disk layout.
+  [[nodiscard]] std::string entry_path(const std::string& key) const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+  };
+
+  void evict_until_within_budget();
+  void persist(const Entry& entry);
+  void unpersist(const std::string& key);
+
+  std::uint64_t byte_budget_;
+  std::string dir_;
+  /// Front = most recently used.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace pef::serve

@@ -1,0 +1,268 @@
+#include "serve/client.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/protocol.hpp"
+
+namespace pef::serve {
+
+namespace {
+
+/// Retry `attempt` every 100 ms until it succeeds or the deadline passes.
+bool retry_connect(double timeout_seconds, const std::function<int()>& attempt,
+                   int* out_fd) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_seconds);
+  for (;;) {
+    const int fd = attempt();
+    if (fd >= 0) {
+      *out_fd = fd;
+      return true;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+}
+
+}  // namespace
+
+Client::~Client() { disconnect(); }
+
+void Client::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::connect_unix(const std::string& socket_path,
+                          double timeout_seconds, std::string* error) {
+  disconnect();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof addr.sun_path) {
+    if (error != nullptr) *error = "socket path too long: " + socket_path;
+    return false;
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
+
+  const auto attempt = [&addr]() -> int {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) == 0) {
+      return fd;
+    }
+    ::close(fd);
+    return -1;
+  };
+  if (!retry_connect(timeout_seconds, attempt, &fd_)) {
+    if (error != nullptr) {
+      *error = "cannot connect to " + socket_path + " within " +
+               std::to_string(timeout_seconds) + "s — is pef_serve running?";
+    }
+    return false;
+  }
+  return true;
+}
+
+bool Client::connect_tcp(const std::string& host_port, double timeout_seconds,
+                         std::string* error) {
+  disconnect();
+  const auto colon = host_port.rfind(':');
+  if (colon == std::string::npos) {
+    if (error != nullptr) {
+      *error = "TCP endpoint must be host:port (got \"" + host_port + "\")";
+    }
+    return false;
+  }
+  const std::string host = host_port.substr(0, colon);
+  const int port = std::atoi(host_port.c_str() + colon + 1);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (port <= 0 || port > 65535 ||
+      ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) {
+      *error = "cannot parse TCP endpoint \"" + host_port +
+               "\" (IPv4 host:port)";
+    }
+    return false;
+  }
+
+  const auto attempt = [&addr]() -> int {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) == 0) {
+      return fd;
+    }
+    ::close(fd);
+    return -1;
+  };
+  if (!retry_connect(timeout_seconds, attempt, &fd_)) {
+    if (error != nullptr) {
+      *error = "cannot connect to " + host_port + " within " +
+               std::to_string(timeout_seconds) + "s — is pef_serve running?";
+    }
+    return false;
+  }
+  return true;
+}
+
+bool Client::send_frame(const std::string& payload, std::string* error) {
+  return write_frame(fd_, payload, error);
+}
+
+bool Client::send_raw(const std::string& bytes, std::string* error) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      if (error != nullptr) {
+        *error = std::string("send: ") + std::strerror(errno);
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<std::string> Client::read_frame_payload(std::string* error) {
+  std::string payload;
+  std::string frame_error;
+  switch (read_frame(fd_, &payload, &frame_error)) {
+    case FrameStatus::kOk:
+      return payload;
+    case FrameStatus::kEof:
+      if (error != nullptr) error->clear();
+      return std::nullopt;
+    case FrameStatus::kOversized:
+    case FrameStatus::kError:
+      if (error != nullptr) *error = frame_error;
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<JsonValue> Client::request(const std::string& payload,
+                                         std::string* error) {
+  if (!send_frame(payload, error)) return std::nullopt;
+  const auto response = read_frame_payload(error);
+  if (!response) {
+    if (error != nullptr && error->empty()) {
+      *error = "server closed the connection";
+    }
+    return std::nullopt;
+  }
+  auto parsed = parse_json(*response, error);
+  if (!parsed && error != nullptr) {
+    *error = "malformed response frame: " + *error;
+  }
+  return parsed;
+}
+
+std::optional<std::string> Client::submit_and_stream(
+    const std::string& spec_text, const ProgressFn& progress, bool* cached,
+    std::uint64_t* job_id, std::string* error) {
+  const auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+
+  JsonWriter submit;
+  submit.begin_object();
+  submit.field("op", "submit");
+  submit.field("spec_text", spec_text);
+  submit.end_object();
+
+  const auto ack = request(submit.str(), error);
+  if (!ack) return std::nullopt;
+  const JsonValue* ok = ack->find("ok");
+  if (ok == nullptr || !ok->is_bool() || !ok->bool_value) {
+    const JsonValue* message = ack->find("error");
+    return fail(message != nullptr && message->is_string()
+                    ? message->string_value
+                    : "server refused the submission");
+  }
+  if (const JsonValue* job = ack->find("job");
+      job_id != nullptr && job != nullptr && job->is_uint) {
+    *job_id = job->uint_value;
+  }
+  if (const JsonValue* was_cached = ack->find("cached");
+      cached != nullptr && was_cached != nullptr && was_cached->is_bool()) {
+    *cached = was_cached->bool_value;
+  }
+
+  // Event stream: progress frames until the result header, then one raw
+  // frame holding exactly the advertised bytes.
+  for (;;) {
+    const auto frame = read_frame_payload(error);
+    if (!frame) {
+      if (error != nullptr && error->empty()) {
+        *error = "server closed the connection before the result";
+      }
+      return std::nullopt;
+    }
+    const auto event = parse_json(*frame, error);
+    if (!event || !event->is_object()) {
+      return fail("malformed event frame from server");
+    }
+    if (const JsonValue* event_ok = event->find("ok");
+        event_ok != nullptr && event_ok->is_bool() && !event_ok->bool_value) {
+      const JsonValue* message = event->find("error");
+      return fail(message != nullptr && message->is_string()
+                      ? message->string_value
+                      : "job failed");
+    }
+    const JsonValue* kind = event->find("event");
+    if (kind == nullptr || !kind->is_string()) {
+      return fail("event frame without an \"event\" field");
+    }
+    if (kind->string_value == "progress") {
+      if (progress) {
+        const JsonValue* done = event->find("done");
+        const JsonValue* total = event->find("total");
+        const JsonValue* wall = event->find("cell_wall_seconds");
+        progress(done != nullptr && done->is_uint ? done->uint_value : 0,
+                 total != nullptr && total->is_uint ? total->uint_value : 0,
+                 wall != nullptr && wall->is_number() ? wall->number_value
+                                                      : 0);
+      }
+      continue;
+    }
+    if (kind->string_value == "result") {
+      const JsonValue* bytes = event->find("bytes");
+      const auto result = read_frame_payload(error);
+      if (!result) {
+        if (error != nullptr && error->empty()) {
+          *error = "server closed the connection mid-result";
+        }
+        return std::nullopt;
+      }
+      if (bytes != nullptr && bytes->is_uint &&
+          bytes->uint_value != result->size()) {
+        return fail("result frame size mismatch (header advertised " +
+                    std::to_string(bytes->uint_value) + " bytes, got " +
+                    std::to_string(result->size()) + ")");
+      }
+      return result;
+    }
+    return fail("unexpected event \"" + kind->string_value + "\"");
+  }
+}
+
+}  // namespace pef::serve

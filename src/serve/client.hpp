@@ -1,0 +1,72 @@
+// Client side of the pef_serve protocol: connect, submit, stream.
+//
+// A thin synchronous library over serve/protocol.hpp — pef_client is a flag
+// parser around it, and serve_test drives failure paths through it.  All
+// calls block; errors come back as messages, never exceptions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "common/json.hpp"
+
+namespace pef::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to the daemon's Unix socket, retrying (100 ms apart) until
+  /// `timeout_seconds` elapses — covers the races where the daemon is still
+  /// binding.  False with a message on timeout.
+  [[nodiscard]] bool connect_unix(const std::string& socket_path,
+                                  double timeout_seconds,
+                                  std::string* error);
+
+  /// Connect to a TCP endpoint ("host:port", IPv4).
+  [[nodiscard]] bool connect_tcp(const std::string& host_port,
+                                 double timeout_seconds, std::string* error);
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  void disconnect();
+
+  /// Raw frame I/O (tests use these to speak malformed protocol on
+  /// purpose; send_raw writes bytes with no length prefix).
+  [[nodiscard]] bool send_frame(const std::string& payload,
+                                std::string* error);
+  [[nodiscard]] bool send_raw(const std::string& bytes, std::string* error);
+  /// nullopt on EOF or error (message in *error; empty message = clean EOF).
+  [[nodiscard]] std::optional<std::string> read_frame_payload(
+      std::string* error);
+
+  /// Send one request object and read one response frame, parsed.  A
+  /// response {"ok":false,...} is returned as-is (callers inspect it).
+  [[nodiscard]] std::optional<JsonValue> request(const std::string& payload,
+                                                std::string* error);
+
+  /// Progress observer for submit_and_stream.
+  using ProgressFn = std::function<void(std::uint64_t done,
+                                        std::uint64_t total,
+                                        double cell_wall_seconds)>;
+
+  /// The whole submit conversation: send the spec text, read the ack,
+  /// stream progress frames into `progress` (may be null) until the result
+  /// header, then read the raw result frame.  On success returns the raw
+  /// result bytes and sets *cached / *job_id (either may be null).  On any
+  /// server error frame or protocol violation returns nullopt with the
+  /// message in *error.
+  [[nodiscard]] std::optional<std::string> submit_and_stream(
+      const std::string& spec_text, const ProgressFn& progress, bool* cached,
+      std::uint64_t* job_id, std::string* error);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace pef::serve

@@ -1,0 +1,113 @@
+#include "serve/protocol.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "common/json.hpp"
+
+namespace pef::serve {
+
+namespace {
+
+/// Read exactly `count` bytes; false on EOF/error.  `*clean_eof` is set
+/// when zero bytes arrived before the stream ended (a frame boundary).
+bool read_exact(int fd, unsigned char* buffer, std::size_t count,
+                bool* clean_eof, std::string* error) {
+  std::size_t got = 0;
+  while (got < count) {
+    const ssize_t n = ::read(fd, buffer + got, count - got);
+    if (n == 0) {
+      if (clean_eof != nullptr) *clean_eof = (got == 0);
+      if (error != nullptr && got != 0) {
+        *error = "stream ended mid-frame (" + std::to_string(got) + " of " +
+                 std::to_string(count) + " bytes)";
+      }
+      return false;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (clean_eof != nullptr) *clean_eof = false;
+      if (error != nullptr) *error = std::strerror(errno);
+      return false;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+FrameStatus read_frame(int fd, std::string* payload, std::string* error) {
+  unsigned char header[4];
+  bool clean_eof = false;
+  if (!read_exact(fd, header, sizeof header, &clean_eof, error)) {
+    return clean_eof ? FrameStatus::kEof : FrameStatus::kError;
+  }
+  const std::uint32_t length = (static_cast<std::uint32_t>(header[0]) << 24) |
+                               (static_cast<std::uint32_t>(header[1]) << 16) |
+                               (static_cast<std::uint32_t>(header[2]) << 8) |
+                               static_cast<std::uint32_t>(header[3]);
+  if (length > kMaxFrameBytes) {
+    if (error != nullptr) {
+      *error = "frame of " + std::to_string(length) +
+               " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+               "-byte limit";
+    }
+    return FrameStatus::kOversized;
+  }
+  payload->resize(length);
+  if (length == 0) return FrameStatus::kOk;
+  if (!read_exact(fd, reinterpret_cast<unsigned char*>(payload->data()),
+                  length, &clean_eof, error)) {
+    if (clean_eof && error != nullptr) {
+      *error = "stream ended before the declared payload";
+    }
+    return FrameStatus::kError;
+  }
+  return FrameStatus::kOk;
+}
+
+bool write_frame(int fd, const std::string& payload, std::string* error) {
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+  if (payload.size() > kMaxFrameBytes) {
+    if (error != nullptr) *error = "refusing to send an oversized frame";
+    return false;
+  }
+  std::string wire;
+  wire.reserve(payload.size() + 4);
+  wire.push_back(static_cast<char>((length >> 24) & 0xff));
+  wire.push_back(static_cast<char>((length >> 16) & 0xff));
+  wire.push_back(static_cast<char>((length >> 8) & 0xff));
+  wire.push_back(static_cast<char>(length & 0xff));
+  wire += payload;
+
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    // MSG_NOSIGNAL: a peer that disconnected mid-stream must surface as a
+    // return value (the job keeps running server-side), never as SIGPIPE.
+    const ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) *error = std::strerror(errno);
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string error_frame(const std::string& message) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("ok", false);
+  json.field("error", message);
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace pef::serve

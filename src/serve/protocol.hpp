@@ -1,0 +1,63 @@
+// The pef_serve wire protocol: length-prefixed JSON frames.
+//
+// Every message is one frame: a 4-byte big-endian payload length followed
+// by that many bytes of UTF-8 JSON.  Both directions use the same framing;
+// the only non-JSON payload is a result document, which is shipped as raw
+// bytes in its own frame right after a {"event":"result", ...} header frame
+// — that is what makes the client's output byte-identical to pef_sweep's
+// (no re-serialization anywhere between the engine and the client's file).
+//
+// Requests (client -> server), dispatched on "op":
+//   {"op":"submit","spec_text":"<raw spec file text>"}
+//   {"op":"status","job":N}
+//   {"op":"result","job":N}
+//   {"op":"cancel","job":N}
+//   {"op":"stats"}
+//   {"op":"shutdown"}
+//
+// Responses (server -> client):
+//   {"ok":true, ...}                         op-specific acknowledgement
+//   {"ok":false,"error":"message"}           any failure (spec parse errors
+//                                            keep the parser's line/column)
+//   {"event":"progress","done":D,"total":T,"cell_wall_seconds":S}
+//   {"event":"result","job":N,"cached":B,"bytes":L}   + one raw frame of L
+//                                                       result bytes
+//
+// A frame longer than kMaxFrameBytes is refused without reading its payload
+// (the server answers with an error frame, then closes).  Frames are small
+// enough to build in memory; results of realistic sweeps are a few MB.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pef::serve {
+
+/// Ceiling on one frame's payload.  Oversized submissions are a protocol
+/// error, not an allocation: the length word is validated before any
+/// payload byte is read or buffered.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;  // 64 MiB
+
+enum class FrameStatus : std::uint8_t {
+  kOk = 0,
+  /// Clean end-of-stream on a frame boundary (peer closed).
+  kEof,
+  /// Declared length exceeds kMaxFrameBytes; nothing further was read.
+  kOversized,
+  /// Short read mid-frame, or a socket error (message in *error).
+  kError,
+};
+
+/// Read one frame from `fd` (blocking).  On kOk, *payload holds the bytes.
+[[nodiscard]] FrameStatus read_frame(int fd, std::string* payload,
+                                     std::string* error);
+
+/// Write one frame (blocking, SIGPIPE suppressed).  False on any short
+/// write or error — e.g. the peer disconnected mid-stream.
+[[nodiscard]] bool write_frame(int fd, const std::string& payload,
+                               std::string* error);
+
+/// {"ok":false,"error":message} — the uniform failure frame.
+[[nodiscard]] std::string error_frame(const std::string& message);
+
+}  // namespace pef::serve

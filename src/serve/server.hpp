@@ -1,0 +1,159 @@
+// pef_serve's daemon core: one warm engine serving many clients.
+//
+// Architecture (modeled on the TETRiS scheduler's server/client split —
+// socket daemon, thin CLI client, env-var config):
+//
+//   accept loop   one thread polling the Unix socket, the optional TCP
+//                 socket, and a self-pipe (the shutdown signal path —
+//                 writing one byte to the pipe is async-signal-safe).
+//   connections   one thread per client speaking the framed protocol
+//                 (serve/protocol.hpp).  A connection that submitted work
+//                 waits on the job's condition variable and streams
+//                 progress frames from its OWN thread — workers never
+//                 write to client sockets, so a dead client costs exactly
+//                 one failed send on its own connection.
+//   worker pool   a fixed pool pulling jobs off a bounded queue and
+//                 running them on the existing SweepRunner / run_scenario
+//                 backend; each completed result is inserted into the
+//                 ResultCache before subscribers are woken.
+//   coalescing    concurrent submissions of the same canonical spec JSON
+//                 attach to the one in-flight job instead of queueing a
+//                 duplicate — the second client streams the first's
+//                 progress and both get the same bytes.
+//
+// Graceful shutdown (SIGTERM/SIGINT via the self-pipe, or the "shutdown"
+// op): new submissions are refused ("draining"), running jobs complete,
+// queued jobs are cancelled with a terminal event, connections drain, the
+// socket file is unlinked.  The cache needs no flush — every insert is
+// persisted when it happens.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/cache.hpp"
+
+namespace pef::serve {
+
+struct ServerOptions {
+  /// Unix-domain socket path (required; unlinked on shutdown).
+  std::string socket_path;
+  /// Optional additional TCP endpoint, "host:port" (e.g. "127.0.0.1:7411").
+  std::string listen;
+  /// Result-cache persistence directory ("" = in-memory only).
+  std::string cache_dir;
+  std::uint64_t cache_bytes = 256ull << 20;  // 256 MiB
+  std::uint32_t workers = 2;
+  /// Bounded job queue: submissions beyond this many queued jobs are
+  /// refused with an error frame (back-pressure, not OOM).
+  std::uint32_t max_queue = 64;
+  /// Threads per sweep (SweepRunner's pool); 0 = hardware concurrency.
+  std::uint32_t sweep_threads = 0;
+};
+
+/// Daemon-level counters, serialized verbatim into the "stats" response.
+struct ServeStats {
+  std::uint64_t submits = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t jobs_done = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t jobs_cancelled = 0;
+  /// Grid cells actually executed by the engine (a cache hit adds zero).
+  std::uint64_t cells_computed = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind the sockets, reload the persisted cache, start the workers.
+  /// False (with a message) when an endpoint cannot be bound.
+  [[nodiscard]] bool start(std::string* error);
+
+  /// Accept and serve until shutdown is requested.  Returns true on a
+  /// clean drain (the daemon's exit-0 condition).
+  bool serve();
+
+  /// Thread-safe and async-signal-safe shutdown trigger (one byte down the
+  /// self-pipe).
+  void request_shutdown();
+
+  /// Snapshot of the daemon counters + cache stats (tests assert on these
+  /// in-process; clients use the "stats" op).
+  [[nodiscard]] ServeStats stats_snapshot();
+  [[nodiscard]] CacheStats cache_stats_snapshot();
+
+  /// Entries restored by start()'s cache reload (warm-restart assertion).
+  [[nodiscard]] std::uint64_t cache_reloaded() const { return reloaded_; }
+
+  [[nodiscard]] const std::string& socket_path() const {
+    return options_.socket_path;
+  }
+
+ private:
+  struct Job;
+  class Connection;
+
+  void accept_loop();
+  void worker_loop();
+  void connection_loop(int fd);
+
+  /// op dispatchers — each returns frames over `fd` itself.
+  void handle_submit(int fd, std::mutex& write_mutex,
+                     const std::string& spec_text);
+  void handle_status(int fd, std::mutex& write_mutex, std::uint64_t job_id);
+  void handle_result(int fd, std::mutex& write_mutex, std::uint64_t job_id);
+  void handle_cancel(int fd, std::mutex& write_mutex, std::uint64_t job_id);
+  void handle_stats(int fd, std::mutex& write_mutex);
+
+  void run_job(const std::shared_ptr<Job>& job);
+  bool stream_job(int fd, std::mutex& write_mutex,
+                  const std::shared_ptr<Job>& job);
+  bool send_result(int fd, std::mutex& write_mutex, std::uint64_t job_id,
+                   bool cached, const std::string& result);
+
+  ServerOptions options_;
+  ResultCache cache_;
+  std::mutex cache_mutex_;
+  std::uint64_t reloaded_ = 0;
+
+  ServeStats stats_;
+  std::mutex stats_mutex_;
+
+  // Job table + queue + coalescing index, all under one mutex (job state
+  // transitions are tiny; the engine runs outside it).
+  std::mutex jobs_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+  std::unordered_map<std::string, std::shared_ptr<Job>> in_flight_;
+  std::uint64_t next_job_id_ = 1;
+  bool draining_ = false;
+
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int shutdown_pipe_[2] = {-1, -1};
+  std::atomic<bool> shutdown_requested_{false};
+
+  std::vector<std::thread> workers_;
+  std::mutex connections_mutex_;
+  std::vector<std::thread> connection_threads_;
+  std::vector<int> connection_fds_;
+};
+
+}  // namespace pef::serve

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "core/experiment.hpp"
+#include "orchestrator/ledger.hpp"
 
 namespace pef {
 namespace {
@@ -335,10 +336,51 @@ TEST(SweepSpecTest, BadInputGetsActionableErrors) {
   EXPECT_NE(error.find("max_batch"), std::string::npos) << error;
 }
 
+TEST(SweepSpecTest, CanonicalJsonIsTheStableCacheKey) {
+  // pef_serve keys its result cache by the canonical single-line spec JSON,
+  // so syntactic variants of the same spec — reordered keys, whitespace,
+  // comments-by-way-of-formatting — MUST canonicalize to byte-identical
+  // strings, or identical work stops coalescing and cache hits vanish.
+  const std::string canonical_order = R"({
+    "algorithms": ["pef3+"],
+    "adversaries": [{"kind": "static", "params": {}}],
+    "models": ["fsync"],
+    "topology": "chain",
+    "ring_sizes": [8],
+    "robot_counts": [3],
+    "seeds": [7],
+    "horizon": 100
+  })";
+  const std::string reordered_and_squeezed =
+      R"({"seeds":[7],"horizon":100,"robot_counts":[3],"ring_sizes":[8],)"
+      R"("topology":"chain","models":["fsync"],)"
+      R"("adversaries":[{"params":{},"kind":"static"}],)"
+      R"("algorithms":["pef3+"]})";
+
+  std::string error;
+  const auto first = parse_sweep_spec(canonical_order, &error);
+  ASSERT_TRUE(first.has_value()) << error;
+  const auto second = parse_sweep_spec(reordered_and_squeezed, &error);
+  ASSERT_TRUE(second.has_value()) << error;
+
+  EXPECT_EQ(first->to_json(), second->to_json());
+  // Canonicalization is idempotent: parse∘serialize of the canonical form
+  // is the identity, so a key never drifts across round trips.
+  const auto reparsed = parse_sweep_spec(first->to_json(), &error);
+  ASSERT_TRUE(reparsed.has_value()) << error;
+  EXPECT_EQ(reparsed->to_json(), first->to_json());
+
+  // The content hash of the canonical key follows the orchestrator's
+  // ledger spec-hash convention (fnv1a64 of the canonical JSON) — one hash
+  // identity for "same sweep" across the ledger and the serve cache.
+  EXPECT_EQ(fnv1a64(first->to_json()), fnv1a64(second->to_json()));
+  EXPECT_NE(fnv1a64(first->to_json()), fnv1a64(std::string()));
+}
+
 TEST(SweepSpecTest, CheckedInExampleSpecsParseAndValidate) {
   // Every spec file shipped under examples/specs/ must stay loadable.
   for (const char* name :
-       {"sweep_small.json", "sweep_models.json"}) {
+       {"sweep_small.json", "sweep_models.json", "sweep_chain_small.json"}) {
     std::ifstream file(std::string(PEF_SPEC_DIR) + "/" + name);
     ASSERT_TRUE(file.good()) << name;
     std::ostringstream buffer;

@@ -41,24 +41,35 @@ SweepSpec baseline_grid() {
   return spec;
 }
 
-std::string baseline_path() {
-  return std::string(PEF_BASELINE_DIR) + "/sweep_small.json";
+/// The same grid on the chain topology (the n-node chain cut from the
+/// n-ring) — checked in as examples/specs/sweep_chain_small.json.  Pins the
+/// whole chain pipeline: ChainSchedule edge masking, the chain adversary
+/// wrapper, and the oblivious batch fast path surviving the rewrap.
+SweepSpec chain_grid() {
+  SweepSpec spec = baseline_grid();
+  spec.topology = Topology::kChain;
+  return spec;
 }
 
-TEST(SweepBaselineTest, GridMatchesGoldenJson) {
-  const SweepResult result = SweepRunner(2).run(baseline_grid());
+std::string baseline_path(const std::string& name) {
+  return std::string(PEF_BASELINE_DIR) + "/" + name;
+}
+
+void expect_matches_golden(const SweepSpec& spec, const std::string& name) {
+  const SweepResult result = SweepRunner(2).run(spec);
   const std::string json = result.to_json();
+  const std::string path = baseline_path(name);
 
   if (std::getenv("PEF_UPDATE_BASELINES") != nullptr) {
-    std::ofstream out(baseline_path(), std::ios::binary);
-    ASSERT_TRUE(out.good()) << "cannot write " << baseline_path();
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
     out << json << "\n";
-    GTEST_SKIP() << "baseline regenerated at " << baseline_path();
+    GTEST_SKIP() << "baseline regenerated at " << path;
   }
 
-  std::ifstream in(baseline_path(), std::ios::binary);
+  std::ifstream in(path, std::ios::binary);
   ASSERT_TRUE(in.good())
-      << "missing golden file " << baseline_path()
+      << "missing golden file " << path
       << " — regenerate with PEF_UPDATE_BASELINES=1 " << std::flush;
   std::ostringstream golden;
   golden << in.rdbuf();
@@ -67,9 +78,26 @@ TEST(SweepBaselineTest, GridMatchesGoldenJson) {
   if (!expected.empty() && expected.back() == '\n') expected.pop_back();
 
   EXPECT_EQ(json, expected)
-      << "sweep output diverged from tests/baselines/sweep_small.json; if "
+      << "sweep output diverged from tests/baselines/" << name << "; if "
          "the change is intentional, regenerate with PEF_UPDATE_BASELINES=1 "
          "and commit the diff";
+}
+
+TEST(SweepBaselineTest, GridMatchesGoldenJson) {
+  expect_matches_golden(baseline_grid(), "sweep_small.json");
+}
+
+TEST(SweepBaselineTest, ChainGridMatchesGoldenJson) {
+  expect_matches_golden(chain_grid(), "sweep_chain_small.json");
+}
+
+TEST(SweepBaselineTest, ChainGridDiffersFromRingGrid) {
+  // The cut edge must actually change the dynamics: a chain sweep that
+  // reproduces the ring sweep byte-for-byte means the topology knob is
+  // silently ignored somewhere between the spec and the engine.
+  const std::string ring = SweepRunner(2).run(baseline_grid()).to_json();
+  const std::string chain = SweepRunner(2).run(chain_grid()).to_json();
+  EXPECT_NE(ring, chain);
 }
 
 }  // namespace

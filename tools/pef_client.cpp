@@ -1,0 +1,186 @@
+// pef_client — submit specs to a running pef_serve daemon.
+//
+//   pef_client --socket /tmp/pef.sock --spec sweep.json --out result.json
+//   cat sweep.json | pef_client --spec -          # spec from stdin
+//   pef_client --stats                            # daemon + cache counters
+//   pef_client --shutdown                         # graceful drain
+//
+// The result written to stdout / --out is byte-identical to what pef_sweep
+// (or pef_run's JSON) would produce for the same spec — the daemon ships
+// the raw result bytes in their own frame, and a cache hit returns the
+// exact bytes of the original run.  Progress streams to stderr so piping
+// stdout stays clean.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/args.hpp"
+#include "common/json.hpp"
+#include "serve/client.hpp"
+
+namespace pef {
+namespace {
+
+void print_help(const char* program) {
+  std::cout
+      << "usage: " << program << " --spec FILE [flags]\n"
+      << "       " << program << " --stats | --shutdown | --status N"
+      << " | --cancel N\n\n"
+      << "  --spec FILE      ScenarioSpec or SweepSpec JSON to submit\n"
+      << "                   (\"-\" reads the spec from stdin)\n"
+      << "  --out FILE       write the result here instead of stdout\n"
+      << "  --socket PATH    daemon socket (default: $PEF_SERVE_SOCKET)\n"
+      << "  --tcp H:P        connect over TCP instead of the Unix socket\n"
+      << "  --timeout S      connect retry window, seconds (default 5)\n"
+      << "  --stats          print the daemon's stats response and exit\n"
+      << "  --status N       print job N's status and exit\n"
+      << "  --cancel N       cancel queued job N and exit\n"
+      << "  --shutdown       ask the daemon to drain and exit\n"
+      << "  --quiet          suppress the progress stream on stderr\n"
+      << "  --help           this text\n";
+}
+
+std::string env_or(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? value : fallback;
+}
+
+int emit(const std::string& json, const std::string& out_path) {
+  if (out_path.empty()) {
+    std::cout << json << "\n";
+    return 0;
+  }
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out.is_open()) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << json << "\n";
+  return out.good() ? 0 : 1;
+}
+
+/// One request/response op (stats, status, cancel, shutdown): print the
+/// response payload, exit non-zero on {"ok":false}.
+int simple_op(serve::Client& client, const std::string& payload) {
+  std::string error;
+  if (!client.send_frame(payload, &error)) {
+    std::cerr << "pef_client: " << error << "\n";
+    return 1;
+  }
+  const auto response = client.read_frame_payload(&error);
+  if (!response) {
+    std::cerr << "pef_client: "
+              << (error.empty() ? "server closed the connection" : error)
+              << "\n";
+    return 1;
+  }
+  std::cout << *response << "\n";
+  const auto parsed = parse_json(*response, &error);
+  if (parsed) {
+    const JsonValue* ok = parsed->find("ok");
+    if (ok != nullptr && ok->is_bool() && !ok->bool_value) return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pef
+
+int main(int argc, char** argv) {
+  using namespace pef;
+
+  ArgParser args(argc, argv);
+  if (args.has("--help")) {
+    print_help(argv[0]);
+    return 0;
+  }
+
+  const std::string spec_path = args.get_string("--spec", "");
+  const std::string out_path = args.get_string("--out", "");
+  const std::string socket_path =
+      args.get_string("--socket", env_or("PEF_SERVE_SOCKET", ""));
+  const std::string tcp = args.get_string("--tcp", "");
+  const double timeout = args.get_double("--timeout", 5.0);
+  const bool want_stats = args.has("--stats");
+  const bool want_shutdown = args.has("--shutdown");
+  const std::string status_id = args.get_string("--status", "");
+  const std::string cancel_id = args.get_string("--cancel", "");
+  const bool quiet = args.has("--quiet");
+  args.check_unused();
+
+  if (socket_path.empty() && tcp.empty()) {
+    std::cerr << "pef_client needs an endpoint: pass --socket PATH (or set "
+                 "PEF_SERVE_SOCKET) or --tcp HOST:PORT\n";
+    return 2;
+  }
+  const int ops = static_cast<int>(!spec_path.empty()) +
+                  static_cast<int>(want_stats) +
+                  static_cast<int>(want_shutdown) +
+                  static_cast<int>(!status_id.empty()) +
+                  static_cast<int>(!cancel_id.empty());
+  if (ops != 1) {
+    std::cerr << "pick exactly one of --spec, --stats, --status, --cancel, "
+                 "--shutdown (--help for usage)\n";
+    return 2;
+  }
+
+  serve::Client client;
+  std::string error;
+  const bool connected = tcp.empty()
+                             ? client.connect_unix(socket_path, timeout, &error)
+                             : client.connect_tcp(tcp, timeout, &error);
+  if (!connected) {
+    std::cerr << "pef_client: " << error << "\n";
+    return 1;
+  }
+
+  for (const std::string& id : {status_id, cancel_id}) {
+    if (id.find_first_not_of("0123456789") != std::string::npos) {
+      std::cerr << "job ids are decimal integers (got \"" << id << "\")\n";
+      return 2;
+    }
+  }
+
+  if (want_stats) return simple_op(client, R"({"op":"stats"})");
+  if (want_shutdown) return simple_op(client, R"({"op":"shutdown"})");
+  if (!status_id.empty()) {
+    return simple_op(client,
+                     R"({"op":"status","job":)" + status_id + "}");
+  }
+  if (!cancel_id.empty()) {
+    return simple_op(client,
+                     R"({"op":"cancel","job":)" + cancel_id + "}");
+  }
+
+  // Submit: spec text travels verbatim; the daemon parses strictly and
+  // error frames keep the parser's line/column position.
+  const auto spec_text = read_text_input(spec_path, &error);
+  if (!spec_text) {
+    std::cerr << "pef_client: " << error << "\n";
+    return 1;
+  }
+
+  bool cached = false;
+  std::uint64_t job_id = 0;
+  const auto progress = [quiet](std::uint64_t done, std::uint64_t total,
+                                double wall) {
+    if (quiet) return;
+    std::cerr << "\rcells " << done << "/" << total << " (last group "
+              << wall << "s)" << std::flush;
+    if (done == total) std::cerr << "\n";
+  };
+  const auto result = client.submit_and_stream(*spec_text, progress, &cached,
+                                               &job_id, &error);
+  if (!result) {
+    if (!quiet) std::cerr << "\n";
+    std::cerr << "pef_client: " << error << "\n";
+    return 1;
+  }
+  if (!quiet) {
+    std::cerr << (cached ? "served from cache (zero cells computed)"
+                         : "job " + std::to_string(job_id) + " done")
+              << "\n";
+  }
+  return emit(*result, out_path);
+}

@@ -49,11 +49,14 @@ void print_help(const char* program) {
   std::cout
       << "usage: " << program << " [flags]\n\n"
       << "  --spec FILE      load a ScenarioSpec JSON as the defaults\n"
-      << "                   (explicit flags below override it)\n"
+      << "                   (explicit flags below override it; \"-\" reads\n"
+      << "                   the spec from stdin)\n"
       << "  --print-spec     print the resolved scenario as spec JSON and\n"
       << "                   exit (replay with --spec or pef_sweep)\n"
       << "  --nodes N        ring size (default 10)\n"
       << "  --robots K       robot count (default 3)\n"
+      << "  --topology G     ring | chain (default ring; a chain is the\n"
+      << "                   ring with edge n-1 never present)\n"
       << "  --algorithm A    pef3+ | pef2 | pef1 | keep-direction | bounce\n"
       << "                   | random-walk | oscillating | pef3+-no-rule2\n"
       << "                   | pef3+-no-rule3 (default: paper's choice)\n"
@@ -127,7 +130,7 @@ int main(int argc, char** argv) {
   const std::string spec_path = args.get_string("--spec", "");
   if (!spec_path.empty()) {
     std::string error;
-    const auto document = parse_json_file(spec_path, &error);
+    const auto document = parse_json_input(spec_path, &error);
     if (!document) {
       std::cerr << error << "\n";
       return 2;
@@ -142,6 +145,8 @@ int main(int argc, char** argv) {
 
   const auto nodes = args.get_u32("--nodes", spec.nodes);
   const auto robots = args.get_u32("--robots", spec.robots);
+  const auto topology_name =
+      args.get_string("--topology", to_string(spec.topology));
   std::string algorithm = args.get_string("--algorithm", spec.algorithm);
   const std::string default_adversary =
       adversary_kind_info(spec.adversary.kind).name;
@@ -172,6 +177,11 @@ int main(int argc, char** argv) {
   const std::optional<ExecutionModel> model = parse_execution_model(model_name);
   if (!model) {
     std::cerr << "--model must be fsync, ssync or async\n";
+    return 2;
+  }
+  const std::optional<Topology> topology = parse_topology(topology_name);
+  if (!topology) {
+    std::cerr << "--topology must be ring or chain\n";
     return 2;
   }
   if (engine_name != "fast" && engine_name != "reference") {
@@ -255,6 +265,7 @@ int main(int argc, char** argv) {
   // The resolved, replayable scenario.
   spec.nodes = nodes;
   spec.robots = robots;
+  spec.topology = *topology;
   spec.algorithm = algorithm;
   spec.adversary = adversary_cfg;
   spec.model = *model;
@@ -274,7 +285,8 @@ int main(int argc, char** argv) {
 
   const Ring ring(nodes);
   const auto make_adversary = [&](std::uint64_t s) {
-    return adversary_from_config(adversary_cfg, ring, s, robots);
+    return adversary_from_config(adversary_cfg, ring, s, robots,
+                                 spec.topology);
   };
 
   if (batch_given) {

@@ -1,0 +1,114 @@
+// pef_serve — the long-running sweep service.
+//
+//   pef_serve --socket /tmp/pef.sock --cache-dir ~/.cache/pef
+//
+// One daemon keeps a warm engine, a worker pool and a spec-keyed result
+// cache; pef_client (or anything speaking the framed protocol in
+// serve/protocol.hpp) submits ScenarioSpec / SweepSpec documents and
+// streams progress.  Identical canonical specs are served from the cache
+// with zero engine rounds — including across daemon restarts, because every
+// cache insert is persisted to --cache-dir.
+//
+// SIGTERM / SIGINT drain gracefully: running jobs complete, queued jobs are
+// cancelled, the socket is unlinked, and the daemon exits 0.
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/args.hpp"
+#include "serve/server.hpp"
+
+namespace pef {
+namespace {
+
+void print_help(const char* program) {
+  std::cout
+      << "usage: " << program << " --socket PATH [flags]\n\n"
+      << "  --socket PATH    Unix-domain socket to serve on (default:\n"
+      << "                   $PEF_SERVE_SOCKET)\n"
+      << "  --listen H:P     additionally serve on an IPv4 TCP endpoint,\n"
+      << "                   e.g. 127.0.0.1:7411 (no auth — loopback or\n"
+      << "                   trusted networks only)\n"
+      << "  --cache-dir D    persist the result cache here (default:\n"
+      << "                   $PEF_SERVE_CACHE_DIR; empty = in-memory only);\n"
+      << "                   reloaded on startup for a warm restart\n"
+      << "  --cache-bytes B  result-cache budget, key+value bytes\n"
+      << "                   (default 268435456 = 256 MiB; LRU eviction)\n"
+      << "  --workers W      concurrent jobs (default 2)\n"
+      << "  --queue Q        bounded job queue; submissions beyond Q queued\n"
+      << "                   jobs are refused (default 64)\n"
+      << "  --threads T      SweepRunner threads per sweep job (default 0 =\n"
+      << "                   hardware concurrency)\n"
+      << "  --help           this text\n";
+}
+
+serve::Server* g_server = nullptr;
+
+extern "C" void handle_signal(int) {
+  // Async-signal-safe: request_shutdown only writes a byte to a pipe.
+  if (g_server != nullptr) g_server->request_shutdown();
+}
+
+std::string env_or(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? value : fallback;
+}
+
+}  // namespace
+}  // namespace pef
+
+int main(int argc, char** argv) {
+  using namespace pef;
+
+  ArgParser args(argc, argv);
+  if (args.has("--help")) {
+    print_help(argv[0]);
+    return 0;
+  }
+
+  serve::ServerOptions options;
+  options.socket_path =
+      args.get_string("--socket", env_or("PEF_SERVE_SOCKET", ""));
+  options.listen = args.get_string("--listen", "");
+  options.cache_dir =
+      args.get_string("--cache-dir", env_or("PEF_SERVE_CACHE_DIR", ""));
+  options.cache_bytes = args.get_u64("--cache-bytes", options.cache_bytes);
+  options.workers = args.get_u32("--workers", options.workers);
+  options.max_queue = args.get_u32("--queue", options.max_queue);
+  options.sweep_threads = args.get_u32("--threads", options.sweep_threads);
+  args.check_unused();
+
+  if (options.socket_path.empty()) {
+    std::cerr << "pef_serve needs a socket: pass --socket PATH or set "
+                 "PEF_SERVE_SOCKET\n";
+    return 2;
+  }
+
+  serve::Server server(options);
+  std::string error;
+  if (!server.start(&error)) {
+    std::cerr << "pef_serve: " << error << "\n";
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGTERM, handle_signal);
+  std::signal(SIGINT, handle_signal);
+
+  std::cerr << "pef_serve: listening on " << options.socket_path;
+  if (!options.listen.empty()) std::cerr << " and " << options.listen;
+  if (server.cache_reloaded() > 0) {
+    std::cerr << " (cache warm: " << server.cache_reloaded()
+              << " entries reloaded)";
+  }
+  std::cerr << "\n";
+
+  const bool clean = server.serve();
+  g_server = nullptr;
+
+  const serve::ServeStats stats = server.stats_snapshot();
+  std::cerr << "pef_serve: drained — " << stats.jobs_done << " jobs done, "
+            << stats.cache_hits << " cache hits, " << stats.cells_computed
+            << " cells computed\n";
+  return clean ? 0 : 1;
+}

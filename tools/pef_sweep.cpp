@@ -40,7 +40,7 @@ void print_help(const char* program) {
       << "       " << program << " --merge A.json,B.json,... [--out FILE]\n\n"
       << "  --spec FILE      SweepSpec JSON describing the sweep grid\n"
       << "                   (see examples/specs/ and README \"Scenario\n"
-      << "                   specs\")\n"
+      << "                   specs\"; \"-\" reads the spec from stdin)\n"
       << "  --shard I/N      run only shard I of N (0-based contiguous\n"
       << "                   slice of the cell list) and write a shard\n"
       << "                   file; N shard files --merge into exactly the\n"
@@ -260,7 +260,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::string error;
-  const auto document = parse_json_file(spec_path, &error);
+  const auto document = parse_json_input(spec_path, &error);
   if (!document) {
     std::cerr << error << "\n";
     return 2;
