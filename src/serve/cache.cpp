@@ -29,7 +29,20 @@ ResultCache::ResultCache(std::uint64_t byte_budget, std::string dir)
 
 std::string ResultCache::entry_path(const std::string& key) const {
   if (dir_.empty()) return "";
-  return dir_ + "/" + hash_hex(key) + ".entry";
+  // The file stores the full key on its first line, so a 64-bit hash
+  // collision is detectable: probe <hash>.entry, <hash>-1.entry, ... and
+  // claim the first file that stores THIS key — or the first free slot.
+  // Blindly sharing the base name would let two colliding specs overwrite
+  // each other's persistence and lose an entry across a warm restart.
+  const std::string base = dir_ + "/" + hash_hex(key);
+  std::string path = base + ".entry";
+  for (int sequence = 1;; ++sequence) {
+    std::ifstream file(path, std::ios::binary);
+    if (!file.is_open()) return path;  // free slot (and a no-op to remove)
+    std::string stored_key;
+    if (std::getline(file, stored_key) && stored_key == key) return path;
+    path = base + "-" + std::to_string(sequence) + ".entry";
+  }
 }
 
 std::optional<std::string> ResultCache::lookup(const std::string& key) {

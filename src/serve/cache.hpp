@@ -11,7 +11,9 @@
 // Persistence is one file per entry under a cache directory, named by the
 // FNV-1a hash of the key — the same content-hash convention the
 // orchestrator's ledger uses for spec identity — holding the key line and
-// the value line (both are single-line JSON by construction).  A restarted
+// the value line (both are single-line JSON by construction).  Keys whose
+// hashes collide get a "-N" filename suffix (the stored key line is the
+// tiebreaker), so no entry ever clobbers another's file.  A restarted
 // daemon reloads the directory and stays warm; files of evicted entries are
 // removed so disk usage tracks the budget.
 //
@@ -63,8 +65,10 @@ class ResultCache {
 
   [[nodiscard]] const CacheStats& stats() const { return stats_; }
 
-  /// The persistence file for a key (empty when persistence is off) —
-  /// exposed for tests pinning the on-disk layout.
+  /// The persistence file for a key (empty when persistence is off):
+  /// the file under dir_ that stores this key, or the first free
+  /// hash(-N).entry slot when none does yet.  Exposed for tests pinning
+  /// the on-disk layout.
   [[nodiscard]] std::string entry_path(const std::string& key) const;
 
  private:

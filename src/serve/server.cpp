@@ -105,18 +105,7 @@ Server::~Server() {
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
-  {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
-    for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
-  }
-  for (std::thread& connection : connection_threads_) {
-    if (connection.joinable()) connection.join();
-  }
-  {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
-    for (int fd : connection_fds_) ::close(fd);
-    connection_fds_.clear();
-  }
+  close_all_connections();
   close_fd(unix_fd_);
   close_fd(tcp_fd_);
   close_fd(shutdown_pipe_[0]);
@@ -242,7 +231,10 @@ bool Server::serve() {
       cancelled.push_back(queue_.front());
       queue_.pop_front();
     }
-    for (const auto& job : cancelled) in_flight_.erase(job->key);
+    for (const auto& job : cancelled) {
+      in_flight_.erase(job->key);
+      retire_job_locked(job->id);
+    }
   }
   for (const auto& job : cancelled) {
     {
@@ -261,17 +253,7 @@ bool Server::serve() {
   // In-flight results are delivered before the sockets drop: workers have
   // finished (join above), so every surviving connection either already
   // holds its result frames or is blocked reading the next request.
-  {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
-    for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
-  }
-  for (std::thread& connection : connection_threads_) connection.join();
-  connection_threads_.clear();
-  {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
-    for (int fd : connection_fds_) ::close(fd);
-    connection_fds_.clear();
-  }
+  close_all_connections();
 
   close_fd(unix_fd_);
   close_fd(tcp_fd_);
@@ -293,6 +275,10 @@ void Server::accept_loop() {
       if (errno == EINTR) continue;
       return;
     }
+    // Join whichever connection threads exited since the last wake —
+    // cheap (they already deregistered) and keeps the thread count
+    // proportional to LIVE clients, not clients ever served.
+    reap_finished_connections();
     if ((fds[0].revents & POLLIN) != 0) return;  // shutdown byte
 
     for (nfds_t slot = 1; slot < count; ++slot) {
@@ -301,12 +287,33 @@ void Server::accept_loop() {
       (void)tcp_slot;
       const int fd = ::accept(listen_fd, nullptr, nullptr);
       if (fd < 0) continue;
+      // Registering under the lock closes the race against a connection
+      // so short-lived it deregisters before the emplace lands.
       std::lock_guard<std::mutex> lock(connections_mutex_);
-      connection_fds_.push_back(fd);
-      connection_threads_.emplace_back(
-          [this, fd] { connection_loop(fd); });
+      connections_.emplace(fd,
+                           std::thread([this, fd] { connection_loop(fd); }));
     }
   }
+}
+
+void Server::reap_finished_connections() {
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    finished.swap(finished_connections_);
+  }
+  for (std::thread& connection : finished) connection.join();
+}
+
+void Server::close_all_connections() {
+  {
+    std::unique_lock<std::mutex> lock(connections_mutex_);
+    for (auto& [fd, thread] : connections_) ::shutdown(fd, SHUT_RDWR);
+    // wait() releases the mutex, so each connection can deregister itself;
+    // every job is terminal by now, so no stream outlives its socket.
+    connections_cv_.wait(lock, [this] { return connections_.empty(); });
+  }
+  reap_finished_connections();
 }
 
 // ---------------------------------------------------------------------------
@@ -403,8 +410,22 @@ void Server::connection_loop(int fd) {
     }
   }
   ::shutdown(fd, SHUT_RDWR);
-  // The fd itself is closed by serve()/~Server via connection_fds_ — a
-  // self-erasing close would race the shutdown broadcast.
+  // Self-reclaim: deregister (so the shutdown broadcast can no longer see
+  // this fd), close it while still holding the lock (so a kernel-reused fd
+  // number can't be mistaken for this registration), and park the thread
+  // handle for the accept loop / drain to join.  pef_client opens one
+  // connection per command, so a daemon that parked fds until shutdown
+  // would hit EMFILE after ~1024 client interactions.
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    const auto it = connections_.find(fd);
+    if (it != connections_.end()) {
+      finished_connections_.push_back(std::move(it->second));
+      connections_.erase(it);
+    }
+    ::close(fd);
+  }
+  connections_cv_.notify_all();
 }
 
 // ---------------------------------------------------------------------------
@@ -627,6 +648,7 @@ void Server::run_job(const std::shared_ptr<Job>& job) {
   {
     std::lock_guard<std::mutex> lock(jobs_mutex_);
     in_flight_.erase(job->key);
+    retire_job_locked(job->id);
   }
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -646,6 +668,17 @@ void Server::run_job(const std::shared_ptr<Job>& job) {
     ++job->progress_version;
   }
   job->cv.notify_all();
+}
+
+void Server::retire_job_locked(std::uint64_t job_id) {
+  // Subscribers still streaming hold their own shared_ptr; dropping the
+  // table entry only ends id-based status/result lookups.  The result
+  // itself stays reachable through the cache keyed by spec.
+  retired_jobs_.push_back(job_id);
+  while (retired_jobs_.size() > options_.max_retained_jobs) {
+    jobs_.erase(retired_jobs_.front());
+    retired_jobs_.pop_front();
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -722,6 +755,16 @@ bool Server::stream_job(int fd, std::mutex& write_mutex,
 bool Server::send_result(int fd, std::mutex& write_mutex,
                          std::uint64_t job_id, bool cached,
                          const std::string& result) {
+  // Never advertise bytes that cannot ship: write_frame refuses payloads
+  // over kMaxFrameBytes, and a client that read the header would block
+  // forever waiting for the promised result frame.
+  if (result.size() > kMaxFrameBytes) {
+    return send_frame(
+        fd, write_mutex,
+        error_frame("result of " + std::to_string(result.size()) +
+                    " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+                    "-byte frame limit"));
+  }
   JsonWriter header;
   header.begin_object();
   header.field("event", "result");
@@ -800,6 +843,8 @@ void Server::handle_result(int fd, std::mutex& write_mutex,
 void Server::handle_cancel(int fd, std::mutex& write_mutex,
                            std::uint64_t job_id) {
   std::shared_ptr<Job> job;
+  bool cancelled = false;
+  std::string state_label;
   {
     std::lock_guard<std::mutex> lock(jobs_mutex_);
     const auto it = jobs_.find(job_id);
@@ -820,20 +865,26 @@ void Server::handle_cancel(int fd, std::mutex& write_mutex,
         job->state = Job::State::kCancelled;
         job->error = "cancelled by client";
         ++job->progress_version;
+        retire_job_locked(job_id);
+        cancelled = true;
       } else {
-        (void)send_frame(
-            fd, write_mutex,
-            error_frame(
-                "job " + std::to_string(job_id) + " is " +
-                state_name(static_cast<std::uint8_t>(job->state)) +
-                " — only queued jobs can be cancelled"));
-        return;
+        state_label = state_name(static_cast<std::uint8_t>(job->state));
       }
     }
   }
+  // Every frame goes out AFTER both mutexes are released: a stalled
+  // client's full socket buffer blocking a send while jobs_mutex_ is held
+  // would freeze the workers, all submissions, and stats with it.
   if (!job) {
     (void)send_frame(fd, write_mutex,
                      error_frame("unknown job " + std::to_string(job_id)));
+    return;
+  }
+  if (!cancelled) {
+    (void)send_frame(
+        fd, write_mutex,
+        error_frame("job " + std::to_string(job_id) + " is " + state_label +
+                    " — only queued jobs can be cancelled"));
     return;
   }
   job->cv.notify_all();
@@ -897,6 +948,16 @@ ServeStats Server::stats_snapshot() {
 CacheStats Server::cache_stats_snapshot() {
   std::lock_guard<std::mutex> lock(cache_mutex_);
   return cache_.stats();
+}
+
+std::size_t Server::active_connections() {
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  return connections_.size();
+}
+
+std::size_t Server::jobs_table_size() {
+  std::lock_guard<std::mutex> lock(jobs_mutex_);
+  return jobs_.size();
 }
 
 }  // namespace pef::serve

@@ -55,6 +55,11 @@ struct ServerOptions {
   /// Bounded job queue: submissions beyond this many queued jobs are
   /// refused with an error frame (back-pressure, not OOM).
   std::uint32_t max_queue = 64;
+  /// Terminal jobs (done/failed/cancelled) stay queryable by id for this
+  /// many completions, then fall out of the job table oldest-first — the
+  /// result itself lives on in the cache keyed by spec, so a long-running
+  /// daemon's memory is bounded by the cache budget, not its job history.
+  std::uint32_t max_retained_jobs = 128;
   /// Threads per sweep (SweepRunner's pool); 0 = hardware concurrency.
   std::uint32_t sweep_threads = 0;
 };
@@ -101,6 +106,13 @@ class Server {
   /// Entries restored by start()'s cache reload (warm-restart assertion).
   [[nodiscard]] std::uint64_t cache_reloaded() const { return reloaded_; }
 
+  /// Live client connections (tests assert that a disconnected client's fd
+  /// and thread are reclaimed, not parked until shutdown).
+  [[nodiscard]] std::size_t active_connections();
+  /// Jobs currently held in the id-keyed table (bounded by
+  /// max_retained_jobs plus whatever is still queued or running).
+  [[nodiscard]] std::size_t jobs_table_size();
+
   [[nodiscard]] const std::string& socket_path() const {
     return options_.socket_path;
   }
@@ -112,6 +124,18 @@ class Server {
   void accept_loop();
   void worker_loop();
   void connection_loop(int fd);
+
+  /// Join connection threads that already deregistered themselves (called
+  /// from the accept loop between polls and from the drain paths).
+  void reap_finished_connections();
+  /// Shut down every live connection, wait for each to deregister, then
+  /// join the lot.  Jobs must all be terminal first — a streaming
+  /// connection only exits once its job's state is terminal.
+  void close_all_connections();
+
+  /// Record a job as terminal and evict the oldest terminal jobs beyond
+  /// max_retained_jobs.  Caller holds jobs_mutex_.
+  void retire_job_locked(std::uint64_t job_id);
 
   /// op dispatchers — each returns frames over `fd` itself.
   void handle_submit(int fd, std::mutex& write_mutex,
@@ -142,6 +166,9 @@ class Server {
   std::deque<std::shared_ptr<Job>> queue_;
   std::unordered_map<std::uint64_t, std::shared_ptr<Job>> jobs_;
   std::unordered_map<std::string, std::shared_ptr<Job>> in_flight_;
+  /// Terminal job ids, oldest first — the retention window behind
+  /// max_retained_jobs.
+  std::deque<std::uint64_t> retired_jobs_;
   std::uint64_t next_job_id_ = 1;
   bool draining_ = false;
 
@@ -151,9 +178,16 @@ class Server {
   std::atomic<bool> shutdown_requested_{false};
 
   std::vector<std::thread> workers_;
+
+  // Connection registry, keyed by fd.  A connection thread deregisters
+  // ITSELF on exit: under connections_mutex_ it moves its thread handle to
+  // finished_connections_ (a thread cannot join itself), erases its entry,
+  // and closes the fd — so the shutdown broadcast only ever sees live fds,
+  // and a long-running daemon holds no per-served-client residue.
   std::mutex connections_mutex_;
-  std::vector<std::thread> connection_threads_;
-  std::vector<int> connection_fds_;
+  std::condition_variable connections_cv_;
+  std::unordered_map<int, std::thread> connections_;
+  std::vector<std::thread> finished_connections_;
 };
 
 }  // namespace pef::serve

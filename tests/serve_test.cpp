@@ -150,6 +150,44 @@ TEST(ResultCacheTest, PersistsAndReloadsNamedByLedgerHash) {
   EXPECT_EQ(tiny.stats().entries, 0u);
 }
 
+TEST(ResultCacheTest, HashCollisionDoesNotClobberPersistedEntries) {
+  const std::string dir = fresh_dir("cache_collision");
+  const std::string key = R"({"spec":"ours"})";
+  std::string base_slot;
+  std::string our_slot;
+  {
+    ResultCache cache(1 << 20, dir);
+    // Forge an occupant of the key's base slot holding a DIFFERENT key —
+    // the on-disk shape of a 64-bit hash collision.
+    base_slot = cache.entry_path(key);  // nothing stored yet: the base name
+    std::ofstream impostor(base_slot, std::ios::binary);
+    impostor << "impostor-key\nimpostor-value\n";
+    impostor.close();
+    cache.insert(key, "our-value");
+    // The insert stepped to the next suffixed slot instead of overwriting.
+    our_slot = cache.entry_path(key);
+    EXPECT_NE(our_slot, base_slot);
+    EXPECT_NE(read_file(base_slot).find("impostor-value"),
+              std::string::npos);
+    EXPECT_NE(read_file(our_slot).find("our-value"), std::string::npos);
+  }
+
+  // A warm restart restores BOTH entries.
+  ResultCache reloaded(1 << 20, dir);
+  EXPECT_EQ(reloaded.load_from_disk(nullptr), 2u);
+  EXPECT_EQ(reloaded.lookup(key).value_or(""), "our-value");
+  EXPECT_EQ(reloaded.lookup("impostor-key").value_or(""), "impostor-value");
+
+  // Evicting ours unlinks OUR slot, never the impostor's.
+  {
+    ResultCache tiny(4, dir);  // over budget: insert evicts immediately
+    tiny.insert(key, "our-value");
+  }
+  EXPECT_FALSE(fs::exists(our_slot));
+  EXPECT_TRUE(fs::exists(base_slot));
+  EXPECT_NE(read_file(base_slot).find("impostor-value"), std::string::npos);
+}
+
 TEST(ResultCacheTest, EvictionRemovesThePersistedFile) {
   const std::string dir = fresh_dir("cache_unpersist");
   ResultCache cache(2 * (1 + 4), dir);
@@ -416,6 +454,79 @@ TEST(ServeEndToEndTest, ScenarioSpecsAreServedAndCachedToo) {
   ASSERT_TRUE(result2.has_value()) << error;
   EXPECT_TRUE(cached);
   EXPECT_EQ(*result1, *result2);
+}
+
+TEST(ServeEndToEndTest, DisconnectedClientsAreReclaimedNotParked) {
+  TestServer daemon(base_options("reclaim"));
+  ASSERT_TRUE(daemon.started);
+
+  // pef_client opens one connection per command: a daemon that parked each
+  // served fd and thread until shutdown would hit EMFILE and stop
+  // accepting.  Serve a handful of short-lived clients and require the
+  // registry to return to empty.
+  for (int round = 0; round < 8; ++round) {
+    Client client;
+    std::string error;
+    ASSERT_TRUE(client.connect_unix(daemon.server.socket_path(), 5, &error))
+        << error;
+    const auto stats = client.request(R"({"op":"stats"})", &error);
+    ASSERT_TRUE(stats.has_value()) << error;
+    client.disconnect();
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (daemon.server.active_connections() != 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "disconnected clients were not reclaimed";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+TEST(ServeEndToEndTest, TerminalJobsFallOutOfTheJobTable) {
+  ServerOptions options = base_options("retain");
+  options.max_retained_jobs = 2;
+  TestServer daemon(options);
+  ASSERT_TRUE(daemon.started);
+
+  Client client;
+  std::string error;
+  ASSERT_TRUE(client.connect_unix(daemon.server.socket_path(), 5, &error))
+      << error;
+  std::uint64_t first_job = 0;
+  for (int seed = 1; seed <= 4; ++seed) {
+    const std::string scenario =
+        R"({"nodes":8,"robots":3,"horizon":50,"seed":)" +
+        std::to_string(seed) + "}";
+    std::uint64_t job_id = 0;
+    const auto result = client.submit_and_stream(scenario, nullptr, nullptr,
+                                                 &job_id, &error);
+    ASSERT_TRUE(result.has_value()) << error;
+    if (seed == 1) first_job = job_id;
+  }
+
+  // Four jobs finished under a retention window of two: the table is
+  // bounded by the window, not by the daemon's lifetime job count.
+  EXPECT_LE(daemon.server.jobs_table_size(), 2u);
+
+  // The evicted id no longer answers status — its RESULT still serves,
+  // from the cache keyed by spec.
+  JsonWriter status_request;
+  status_request.begin_object();
+  status_request.field("op", "status");
+  status_request.field("job", first_job);
+  status_request.end_object();
+  const auto status = client.request(status_request.str(), &error);
+  ASSERT_TRUE(status.has_value()) << error;
+  const JsonValue* ok = status->find("ok");
+  ASSERT_NE(ok, nullptr);
+  EXPECT_FALSE(ok->bool_value);
+
+  bool cached = false;
+  const auto replay = client.submit_and_stream(
+      R"({"nodes":8,"robots":3,"horizon":50,"seed":1})", nullptr, &cached,
+      nullptr, &error);
+  ASSERT_TRUE(replay.has_value()) << error;
+  EXPECT_TRUE(cached);
 }
 
 // ---------------------------------------------------------------------------

@@ -38,6 +38,9 @@ void print_help(const char* program) {
       << "  --workers W      concurrent jobs (default 2)\n"
       << "  --queue Q        bounded job queue; submissions beyond Q queued\n"
       << "                   jobs are refused (default 64)\n"
+      << "  --retain R       finished jobs kept queryable by id before the\n"
+      << "                   oldest fall out of the job table (default 128;\n"
+      << "                   results stay served from the cache)\n"
       << "  --threads T      SweepRunner threads per sweep job (default 0 =\n"
       << "                   hardware concurrency)\n"
       << "  --help           this text\n";
@@ -76,6 +79,8 @@ int main(int argc, char** argv) {
   options.cache_bytes = args.get_u64("--cache-bytes", options.cache_bytes);
   options.workers = args.get_u32("--workers", options.workers);
   options.max_queue = args.get_u32("--queue", options.max_queue);
+  options.max_retained_jobs =
+      args.get_u32("--retain", options.max_retained_jobs);
   options.sweep_threads = args.get_u32("--threads", options.sweep_threads);
   args.check_unused();
 
