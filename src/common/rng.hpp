@@ -67,6 +67,12 @@ class Xoshiro256 {
   /// Uniform integer in [0, bound) using Lemire's rejection-free-ish method.
   std::uint64_t next_below(std::uint64_t bound);
 
+  /// Raw generator state, exposed so deterministic-replay layers (cycle
+  /// detection) can fingerprint and compare streams exactly.
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state() const {
+    return state_;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

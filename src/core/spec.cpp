@@ -763,7 +763,8 @@ bool SweepSpec::operator==(const SweepSpec& other) const {
          activation_p == other.activation_p && horizon == other.horizon &&
          horizon_per_node == other.horizon_per_node &&
          random_placements == other.random_placements &&
-         batch_seeds == other.batch_seeds && max_batch == other.max_batch;
+         batch_seeds == other.batch_seeds && max_batch == other.max_batch &&
+         fast_forward == other.fast_forward;
 }
 
 std::string SweepSpec::to_json() const {
@@ -798,6 +799,7 @@ std::string SweepSpec::to_json() const {
   json.field("random_placements", random_placements);
   json.field("batch_seeds", batch_seeds);
   json.field("max_batch", max_batch);
+  json.field("fast_forward", fast_forward);
   json.end_object();
   return json.str();
 }
@@ -952,12 +954,16 @@ std::optional<SweepSpec> sweep_spec_from_json(const JsonValue& value,
       if (!read_u32(member, "\"max_batch\"", spec.max_batch, error)) {
         return std::nullopt;
       }
+    } else if (key == "fast_forward") {
+      if (!read_bool(member, "\"fast_forward\"", spec.fast_forward, error)) {
+        return std::nullopt;
+      }
     } else {
       return fail("unknown key \"" + key +
                   "\" in sweep spec (keys: algorithms, adversaries, models, "
                   "topology, ring_sizes, robot_counts, seeds, activation_p, "
                   "horizon, horizon_per_node, random_placements, "
-                  "batch_seeds, max_batch)");
+                  "batch_seeds, max_batch, fast_forward)");
     }
   }
   if (auto invalid = spec.validate()) return fail(*invalid);

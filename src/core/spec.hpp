@@ -248,6 +248,14 @@ struct SweepSpec {
   bool batch_seeds = true;
   std::uint32_t max_batch = 64;
 
+  /// Detect per-cell periodicity and extrapolate the remaining rounds in
+  /// closed form (see engine/cycle.hpp).  Engages only on cells whose every
+  /// component is deterministic (oblivious periodic schedules, non-Bernoulli
+  /// activation); everything else silently runs plain.  Cell statistics are
+  /// bit-identical either way — engaged cells additionally report
+  /// rounds_covered / rounds_simulated.
+  bool fast_forward = false;
+
   [[nodiscard]] Time horizon_for(std::uint32_t n) const {
     return horizon != 0 ? horizon : horizon_per_node * n;
   }

@@ -50,6 +50,10 @@ class ChainSchedule final : public EdgeSchedule {
     // yields a static chain, so engines keep the fill-once fast path).
     return base_->time_invariant();
   }
+  [[nodiscard]] ScheduleRecurrence recurrence() const override {
+    // Masking a fixed bit also preserves the base's periodicity witness.
+    return base_->recurrence();
+  }
   [[nodiscard]] std::string name() const override {
     return "chain(" + base_->name() + ")";
   }

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <memory>
+#include <numeric>
 #include <string>
 
 #include "common/types.hpp"
@@ -11,6 +12,25 @@
 #include "dynamic_graph/ring.hpp"
 
 namespace pef {
+
+/// Eventual periodicity of an edge schedule: for every t >= start,
+/// edges_at(t + period) == edges_at(t).  period == 0 means "no known
+/// recurrence" (stochastic or aperiodic families), which makes the schedule
+/// ineligible for cycle-detection fast-forward.  A time-invariant schedule
+/// is the degenerate case {1, 0}.
+struct ScheduleRecurrence {
+  Time period = 0;
+  Time start = 0;
+};
+
+/// lcm of two recurrence periods, where 0 means "unknown" and is absorbing;
+/// overflow also degrades to unknown rather than wrapping.
+[[nodiscard]] inline Time combine_recurrence_periods(Time a, Time b) {
+  if (a == 0 || b == 0) return 0;
+  const Time q = a / std::gcd(a, b);
+  if (b > kTimeInfinity / q) return 0;
+  return q * b;
+}
 
 /// The edge-presence function of an evolving graph over a fixed ring.
 /// Implementations must be deterministic: calling `edges_at(t)` twice for
@@ -51,6 +71,15 @@ class EdgeSchedule {
   /// (BatchEngine additionally skips the per-robot edge-presence tests when
   /// the invariant set is full).  Conservative default: false.
   [[nodiscard]] virtual bool time_invariant() const { return false; }
+
+  /// Eventual periodicity witness, if the family can prove one.  The
+  /// default claims {1, 0} for time-invariant schedules and "unknown"
+  /// otherwise; deterministic periodic families override it.  Must be
+  /// conservative — a wrong witness would let the fast-forward layer
+  /// certify a cycle that is not one.
+  [[nodiscard]] virtual ScheduleRecurrence recurrence() const {
+    return {time_invariant() ? Time{1} : Time{0}, Time{0}};
+  }
 
   [[nodiscard]] virtual std::string name() const = 0;
 

@@ -23,6 +23,7 @@
 //                                proof-surgery operator of Section 2.1
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -71,6 +72,15 @@ class RecordedSchedule final : public EdgeSchedule {
 
   [[nodiscard]] const Ring& ring() const override { return ring_; }
   [[nodiscard]] EdgeSet edges_at(Time t) const override;
+  [[nodiscard]] ScheduleRecurrence recurrence() const override {
+    // kAllPresent / kRepeatLast hold one fixed set once the prefix ends;
+    // kCyclePrefix is periodic from round 0 with the prefix as its period.
+    const Time prefix = static_cast<Time>(rounds_.size());
+    if (tail_ == TailRule::kCyclePrefix) {
+      return {prefix == 0 ? Time{1} : prefix, Time{0}};
+    }
+    return {Time{1}, prefix};
+  }
   [[nodiscard]] std::string name() const override { return "recorded"; }
 
   [[nodiscard]] std::size_t prefix_length() const { return rounds_.size(); }
@@ -125,6 +135,14 @@ class PeriodicSchedule final : public EdgeSchedule {
   [[nodiscard]] EdgeSet edges_at(Time t) const override;
   void edges_into(Time t, EdgeSet& out) const override;
   void edges_into_words(Time t, std::uint64_t* words) const override;
+  [[nodiscard]] ScheduleRecurrence recurrence() const override {
+    Time period = 1;
+    for (const EdgePattern& pattern : patterns_) {
+      period = combine_recurrence_periods(period, pattern.period);
+      if (period == 0) break;  // lcm overflowed: report unknown
+    }
+    return {period, Time{0}};
+  }
   [[nodiscard]] std::string name() const override { return "periodic"; }
 
  private:
@@ -171,6 +189,12 @@ class EventualMissingEdgeSchedule final : public EdgeSchedule {
   [[nodiscard]] EdgeSet edges_at(Time t) const override;
   void edges_into(Time t, EdgeSet& out) const override;
   void edges_into_words(Time t, std::uint64_t* words) const override;
+  [[nodiscard]] ScheduleRecurrence recurrence() const override {
+    // After the vanish the overlay is constant, so the base's periodicity
+    // carries through once both tails are in effect.
+    const ScheduleRecurrence base = base_->recurrence();
+    return {base.period, std::max(base.start, vanish_time_)};
+  }
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] EdgeId missing_edge() const { return missing_edge_; }
@@ -238,6 +262,18 @@ class SurgerySchedule final : public EdgeSchedule {
 
   [[nodiscard]] const Ring& ring() const override { return base_->ring(); }
   [[nodiscard]] EdgeSet edges_at(Time t) const override;
+  [[nodiscard]] ScheduleRecurrence recurrence() const override {
+    // A finite removal stops mattering after `to`; an infinite one is a
+    // constant overlay from `from` on.  Past the latest such boundary the
+    // base's periodicity is undisturbed.
+    ScheduleRecurrence rec = base_->recurrence();
+    for (const Removal& removal : removals_) {
+      rec.start = std::max(rec.start, removal.to == kTimeInfinity
+                                          ? removal.from
+                                          : removal.to + 1);
+    }
+    return rec;
+  }
   [[nodiscard]] std::string name() const override { return "surgery"; }
 
   [[nodiscard]] const std::vector<Removal>& removals() const {

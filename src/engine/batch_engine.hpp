@@ -144,6 +144,14 @@ struct BatchEngineOptions {
   /// coverage) are bit-identical to threads == 1 at any thread count.
   /// 0 = one thread per physical core; 1 (default) = serial.
   std::uint32_t threads = 1;
+
+  /// Per-lane cycle detection + exact stat extrapolation (see cycle.hpp
+  /// and Engine's option of the same name).  A lane that proves a cycle
+  /// has its horizon shrunk to the final partial period and retires into
+  /// the existing ragged-horizon compaction; ineligible lanes (Bernoulli
+  /// activation, adaptive adversaries, tracing) run to their full horizon.
+  /// Per-replica results are bit-identical either way.
+  FastForwardOptions fast_forward;
 };
 
 // ---------------------------------------------------------------------------
@@ -210,6 +218,10 @@ class BatchEngine {
   [[nodiscard]] const EngineStats& stats(std::uint32_t replica) const;
   [[nodiscard]] CoverageReport coverage_report(std::uint32_t replica,
                                                Time suffix_window = 0) const;
+  /// Fast-forward telemetry, per replica (see Engine::fast_forwarded).
+  [[nodiscard]] bool fast_forwarded(std::uint32_t replica) const;
+  [[nodiscard]] Time rounds_simulated(std::uint32_t replica) const;
+  [[nodiscard]] Time detected_period(std::uint32_t replica) const;
   [[nodiscard]] NodeId robot_node(std::uint32_t replica, RobotId r) const;
   [[nodiscard]] Configuration snapshot(std::uint32_t replica) const;
   /// Only valid when options.record_trace was set.
@@ -311,6 +323,26 @@ class BatchEngine {
   /// Per-lane end-of-round bookkeeping for lanes [l0, l1) at round-end
   /// time t1: tower stats, round counters.
   void finish_round(std::uint32_t l0, std::uint32_t l1, Time t1);
+  /// Resolve per-lane fast-forward eligibility (called once at
+  /// construction; mirrors Engine::ff_eligible per lane).
+  void ff_init();
+  /// Per-lane cycle detection at boundary t for lanes [l0, l1): advance
+  /// each lane's detection state machine (search -> measure -> armed).
+  /// Lane-local state only, so it composes with tiles and worker slices.
+  void ff_observe(std::uint32_t l0, std::uint32_t l1, Time t);
+  /// Pack lane state for fingerprinting (the batch twin of
+  /// Engine::pack_state).
+  void ff_pack_lane(std::uint32_t lane, std::vector<std::uint64_t>& out) const;
+  /// At an epoch boundary (under retire_finished, so no epoch span is in
+  /// flight): extrapolate every armed lane's stats over the whole periods
+  /// left before its horizon and shrink the horizon to the final partial
+  /// period.  Visit `last` stamps stay in the lane's local (un-skipped)
+  /// clock until retirement so the replay keeps exact gap bookkeeping.
+  void ff_apply_armed();
+  /// At retirement of a fast-forwarded lane: shift rounds and the
+  /// in-cycle visit stamps by the skipped span, landing on the stats of
+  /// the full-horizon run.
+  void ff_finalize_lane(std::uint32_t lane);
   /// Swap finished lanes out of the live prefix.
   void retire_finished();
   void swap_lanes(std::uint32_t a, std::uint32_t b);
@@ -475,6 +507,44 @@ class BatchEngine {
   bool stamped_mult_ = false;
   PlaneVector<std::uint32_t> stamp_epoch_;
   PlaneVector<std::uint32_t> stamp_count_;
+
+  /// Per-lane fast-forward state machine.  kSearch lanes feed their Brent
+  /// detector at env-aligned boundaries; a verified cycle moves the lane
+  /// to kMeasure (one more live period closes every wrap-around revisit
+  /// gap and yields exact per-period stat deltas, which are independent of
+  /// where in the cycle the window starts); kArmed lanes apply at the next
+  /// epoch boundary and retire after the remaining partial period.
+  struct LaneFf {
+    enum class Stage : std::uint8_t {
+      kOff = 0,  // ineligible: never sampled
+      kSearch,   // Brent detector live on the env lattice
+      kMeasure,  // cycle verified; measuring one live period of deltas
+      kArmed,    // deltas ready; apply at the next epoch boundary
+      kDone,     // applied or abandoned
+    };
+    Stage stage = Stage::kOff;
+    Time env_period = 1;
+    Time env_start = 0;
+    BrentDetector detector;
+    std::vector<std::uint64_t> packed;  // pack scratch, reused per sample
+    Time period = 0;       // verified cycle length in rounds
+    Time measure_end = 0;  // boundary at which the delta window closes
+    // Stat snapshots at the measure window's start; `counts` holds the
+    // per-node snapshot during kMeasure and the per-period DELTAS from
+    // kArmed on (kept until retirement: delta > 0 marks in-cycle nodes
+    // whose last-visit stamps must shift by the skipped span).
+    std::uint64_t snap_moves = 0;
+    Time snap_tower_rounds = 0;
+    std::uint64_t snap_formations = 0;
+    std::vector<std::uint32_t> counts;
+    std::uint64_t delta_moves = 0;
+    Time delta_tower_rounds = 0;
+    std::uint64_t delta_formations = 0;
+    // Applied extrapolation (meaningful when skipped > 0).
+    Time skipped = 0;
+  };
+  bool ff_enabled_ = false;  // some lane is actually searching
+  std::vector<LaneFf> ff_;
 
   // Per-REPLICA traces (tracing only).
   std::vector<std::unique_ptr<Trace>> traces_;

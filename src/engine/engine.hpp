@@ -49,6 +49,7 @@
 #include "adversary/adversary.hpp"
 #include "analysis/coverage.hpp"
 #include "common/types.hpp"
+#include "engine/cycle.hpp"
 #include "robot/algorithm.hpp"
 #include "robot/kernel.hpp"
 #include "robot/robot.hpp"
@@ -117,6 +118,13 @@ struct EngineOptions {
   /// Compute dispatch path; kAuto picks the kernel whenever the algorithm
   /// has one.
   ComputeDispatch dispatch = ComputeDispatch::kAuto;
+
+  /// Cycle detection + exact stat extrapolation for run().  Only engages on
+  /// fully deterministic configurations (kernel dispatch, oblivious periodic
+  /// edge schedule, non-Bernoulli activation, no trace); anything else
+  /// silently runs the plain round loop.  Results are bit-identical either
+  /// way.
+  FastForwardOptions fast_forward;
 };
 
 /// Aggregates the engine maintains incrementally every round, so sweeps get
@@ -201,6 +209,17 @@ class Engine {
   /// Incrementally maintained aggregates (always available).
   [[nodiscard]] const EngineStats& stats() const { return stats_; }
 
+  /// Fast-forward telemetry.  rounds_simulated() is the number of rounds
+  /// actually executed (== stats().rounds unless a cycle was skipped);
+  /// detected_period() is 0 when no cycle engaged.
+  [[nodiscard]] bool fast_forwarded() const { return ff_skipped_ > 0; }
+  [[nodiscard]] Time rounds_simulated() const {
+    return stats_.rounds - ff_skipped_;
+  }
+  [[nodiscard]] Time detected_period() const { return ff_detected_period_; }
+  /// Hash hits rejected by the exact state comparison (collision audit).
+  [[nodiscard]] std::uint64_t ff_collisions() const { return ff_collisions_; }
+
   /// Coverage report equivalent to analyze_coverage(trace) but computed from
   /// the incremental per-node bookkeeping — available without a trace.
   [[nodiscard]] CoverageReport coverage_report(Time suffix_window = 0) const;
@@ -215,6 +234,16 @@ class Engine {
  private:
   void init(const std::vector<RobotPlacement>& placements);
   void observe_boundary(Time t);  // visit/tower bookkeeping at config time t
+  /// Resolve fast-forward eligibility: fills ff_env_period_/ff_env_start_
+  /// and returns true iff every component of the run is provably
+  /// deterministic and periodic (see EngineOptions::fast_forward).
+  [[nodiscard]] bool ff_eligible();
+  /// Pack the full deterministic state (robot SoA + kernel memory + ASYNC
+  /// phase machines) into 64-bit words for hashing and exact comparison.
+  void pack_state(std::vector<std::uint64_t>& out) const;
+  /// run() with cycle detection: detect, measure one live period,
+  /// extrapolate all stats over the skipped repetitions, replay the tail.
+  void run_fast_forward(Time target);
   /// The step_* entry points dispatch ONCE per round on the kernel id, and
   /// ONLY the fused Look+Compute loop is instantiated per kernel: under
   /// kernel dispatch the algorithm's compute inlines into that loop body (no
@@ -316,6 +345,13 @@ class Engine {
   std::vector<std::uint8_t> visited_;
   Time max_closed_gap_ = 0;
   EngineStats stats_;
+
+  // Fast-forward bookkeeping (see cycle.hpp).
+  Time ff_env_period_ = 0;  // sampling lattice period (0 = ineligible)
+  Time ff_env_start_ = 0;
+  Time ff_detected_period_ = 0;
+  Time ff_skipped_ = 0;  // rounds covered by extrapolation, not execution
+  std::uint64_t ff_collisions_ = 0;
 
   std::unique_ptr<Trace> trace_;
 };

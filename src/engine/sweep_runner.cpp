@@ -124,26 +124,29 @@ SweepCell run_cell(const SweepContext& context, const CellTask& task) {
       adversary_from_config(spec.adversaries[task.adversary_index], ring,
                             cell.effective_seed, task.robots, spec.topology);
 
+  EngineOptions options;
+  options.fast_forward.enabled = spec.fast_forward;
+
   const auto start = std::chrono::steady_clock::now();
   std::optional<Engine> engine_slot;
   switch (cell.model) {
     case ExecutionModel::kFsync:
       engine_slot.emplace(ring, std::move(algorithm), std::move(adversary),
-                          placements);
+                          placements, options);
       break;
     case ExecutionModel::kSsync:
       engine_slot.emplace(
           ring, std::move(algorithm),
           std::make_unique<SsyncFromFsyncAdversary>(std::move(adversary)),
           standard_ssync_activation(spec.activation_p, cell.effective_seed),
-          placements);
+          placements, options);
       break;
     case ExecutionModel::kAsync:
       engine_slot.emplace(
           ring, std::move(algorithm),
           std::make_unique<SsyncFromFsyncAdversary>(std::move(adversary)),
           standard_async_phases(spec.activation_p, cell.effective_seed),
-          placements);
+          placements, options);
       break;
   }
   Engine& engine = *engine_slot;
@@ -151,6 +154,10 @@ SweepCell run_cell(const SweepContext& context, const CellTask& task) {
   const auto stop = std::chrono::steady_clock::now();
 
   fill_metrics(engine.stats(), engine.coverage_report(), cell);
+  if (engine.fast_forwarded()) {
+    cell.rounds_covered = cell.horizon;
+    cell.rounds_simulated = engine.rounds_simulated();
+  }
   cell.wall_seconds =
       std::chrono::duration<double>(stop - start).count();
   return cell;
@@ -185,6 +192,7 @@ void run_batched(const SweepContext& context, const CellTask* tasks,
   const auto start = std::chrono::steady_clock::now();
   BatchEngineOptions options;
   options.threads = context.engine_threads;
+  options.fast_forward.enabled = spec.fast_forward;
   BatchEngine engine(ring, model, std::move(replicas), options);
   engine.run_all();
   const auto stop = std::chrono::steady_clock::now();
@@ -194,6 +202,10 @@ void run_batched(const SweepContext& context, const CellTask* tasks,
   for (std::uint32_t b = 0; b < count; ++b) {
     fill_metrics(engine.stats(b), engine.coverage_report(b), cells[b]);
     cells[b].wall_seconds = wall;
+    if (engine.fast_forwarded(b)) {
+      cells[b].rounds_covered = cells[b].horizon;
+      cells[b].rounds_simulated = engine.rounds_simulated(b);
+    }
   }
 }
 
@@ -314,6 +326,12 @@ void sweep_cell_to_json(JsonWriter& json, const SweepCell& cell) {
   json.field("tower_rounds", cell.tower_rounds);
   json.field("tower_formations", cell.tower_formations);
   json.field("total_moves", cell.total_moves);
+  // Present only when the cycle detector engaged: plain cells keep the
+  // historical shape byte-for-byte.
+  if (cell.rounds_simulated != 0) {
+    json.field("rounds_covered", cell.rounds_covered);
+    json.field("rounds_simulated", cell.rounds_simulated);
+  }
   json.end_object();
 }
 
@@ -327,11 +345,15 @@ std::optional<SweepCell> sweep_cell_from_json(const JsonValue& value,
   SweepCell cell;
   // Every field sweep_cell_to_json writes is required exactly once; a
   // truncated or hand-edited cell must be an error, never a default.
+  // The trailing fast-forward pair is optional (emitted only for engaged
+  // cells) but still each-at-most-once and only together.
   const char* const kFields[] = {
       "algorithm", "adversary", "model", "n", "k", "seed", "effective_seed",
       "horizon", "perpetual", "cover_time", "max_revisit_gap",
-      "tower_rounds", "tower_formations", "total_moves"};
+      "tower_rounds", "tower_formations", "total_moves",
+      "rounds_covered", "rounds_simulated"};
   constexpr std::size_t kFieldCount = std::size(kFields);
+  constexpr std::size_t kRequiredCount = kFieldCount - 2;
   bool seen[kFieldCount] = {};
   const auto mark = [&seen, &kFields](const std::string& key) {
     for (std::size_t f = 0; f < kFieldCount; ++f) {
@@ -381,15 +403,26 @@ std::optional<SweepCell> sweep_cell_from_json(const JsonValue& value,
       cell.tower_formations = member.uint_value;
     } else if (key == "total_moves" && member.is_uint) {
       cell.total_moves = member.uint_value;
+    } else if (key == "rounds_covered" && member.is_uint) {
+      cell.rounds_covered = member.uint_value;
+    } else if (key == "rounds_simulated" && member.is_uint) {
+      cell.rounds_simulated = member.uint_value;
     } else {
       return fail("mistyped value for key \"" + key + "\"");
     }
   }
-  for (std::size_t f = 0; f < kFieldCount; ++f) {
+  for (std::size_t f = 0; f < kRequiredCount; ++f) {
     if (!seen[f]) {
       return fail("missing field \"" + std::string(kFields[f]) +
                   "\" (is this a pef_sweep cell?)");
     }
+  }
+  if (seen[kRequiredCount] != seen[kRequiredCount + 1]) {
+    return fail(
+        "\"rounds_covered\" and \"rounds_simulated\" must appear together");
+  }
+  if (seen[kRequiredCount] && cell.rounds_simulated == 0) {
+    return fail("\"rounds_simulated\" must be nonzero when present");
   }
   return cell;
 }
@@ -663,7 +696,8 @@ SweepRunner::SweepRunner(std::uint32_t threads, std::uint32_t engine_threads)
 }
 
 SweepResult SweepRunner::run(const SweepSpec& spec, SweepShard shard,
-                             const ProgressFn& progress) const {
+                             const ProgressFn& progress,
+                             const CancelFn& cancel) const {
   const auto invalid = spec.validate();
   PEF_CHECK_MSG(!invalid.has_value(), "invalid sweep spec");
   PEF_CHECK_MSG(shard.count >= 1 && shard.index < shard.count,
@@ -725,9 +759,23 @@ SweepResult SweepRunner::run(const SweepSpec& spec, SweepShard shard,
     }
   };
 
+  // Cancellation is polled between groups only: a group in flight always
+  // finishes, so every completed cell is whole and bit-identical to an
+  // uncancelled run's.
+  std::atomic<bool> stop_requested{false};
+  const auto should_stop = [&] {
+    if (stop_requested.load(std::memory_order_relaxed)) return true;
+    if (cancel && cancel()) {
+      stop_requested.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  };
+
   const auto start = std::chrono::steady_clock::now();
   if (serial) {
     for (const CellGroup& group : groups) {
+      if (should_stop()) break;
       run_one(group);
     }
   } else {
@@ -741,6 +789,7 @@ SweepResult SweepRunner::run(const SweepSpec& spec, SweepShard shard,
         if (begin >= groups.size()) return;
         const std::size_t end = std::min(begin + chunk, groups.size());
         for (std::size_t g = begin; g < end; ++g) {
+          if (should_stop()) return;
           run_one(groups[g]);
         }
       }
@@ -750,6 +799,7 @@ SweepResult SweepRunner::run(const SweepSpec& spec, SweepShard shard,
     for (std::uint32_t t = 0; t < workers; ++t) pool.emplace_back(worker);
     for (std::thread& t : pool) t.join();
   }
+  result.cancelled = stop_requested.load(std::memory_order_relaxed);
   const auto stop = std::chrono::steady_clock::now();
   result.wall_seconds = std::chrono::duration<double>(stop - start).count();
   return result;

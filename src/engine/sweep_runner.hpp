@@ -65,6 +65,14 @@ struct SweepCell {
   std::uint64_t tower_formations = 0;
   std::uint64_t total_moves = 0;
 
+  // Fast-forward telemetry, nonzero only when the cycle detector engaged on
+  // this cell (spec.fast_forward on an eligible deterministic cell):
+  // rounds_covered is the span the statistics describe (== horizon) and
+  // rounds_simulated the rounds actually stepped.  Serialized only when
+  // engaged so plain sweeps stay byte-identical to pre-fast-forward output.
+  Time rounds_covered = 0;
+  Time rounds_simulated = 0;
+
   // Timing (excluded from the deterministic JSON).
   double wall_seconds = 0;
   [[nodiscard]] double rounds_per_sec() const {
@@ -102,6 +110,11 @@ struct SweepResult {
 
   double wall_seconds = 0;
   std::uint32_t threads = 0;
+
+  /// True when a cancel callback stopped the run between seed groups.  The
+  /// result is then partial (un-run cells keep default values) and must not
+  /// be serialized with to_json()/to_shard_json().
+  bool cancelled = false;
 
   [[nodiscard]] std::uint64_t total_rounds() const;
   [[nodiscard]] double rounds_per_sec() const {
@@ -202,12 +215,20 @@ class SweepRunner {
   using ProgressFn = std::function<void(
       std::uint64_t done, std::uint64_t total, double group_wall_seconds)>;
 
+  /// Cooperative cancellation: polled between seed groups (never inside an
+  /// engine run, so cells finish whole).  Return true to stop the sweep —
+  /// the result comes back with `cancelled` set.  Called from worker
+  /// threads; must be thread-safe (an atomic flag read is the intended
+  /// shape).
+  using CancelFn = std::function<bool()>;
+
   /// Run the spec's cells — all of them, or one contiguous shard.  Blocks
   /// until done.  Aborts on specs that fail validate().  The progress
   /// observer is purely informational: results are byte-identical with or
   /// without it.
   [[nodiscard]] SweepResult run(const SweepSpec& spec, SweepShard shard = {},
-                                const ProgressFn& progress = nullptr) const;
+                                const ProgressFn& progress = nullptr,
+                                const CancelFn& cancel = nullptr) const;
 
  private:
   std::uint32_t threads_;

@@ -59,6 +59,10 @@ struct Server::Job {
   ScenarioSpec scenario;
   SweepSpec sweep;
 
+  /// Set by handle_cancel on a RUNNING sweep job; SweepRunner polls it
+  /// between seed groups, so the job stops at the next group boundary.
+  std::atomic<bool> cancel_requested{false};
+
   std::mutex mutex;
   std::condition_variable cv;
   State state = State::kQueued;
@@ -614,6 +618,7 @@ void Server::run_job(const std::shared_ptr<Job>& job) {
   std::string result;
   std::uint64_t cells = 0;
   bool failed = false;
+  bool cancelled = false;
   std::string failure;
   try {
     if (job->is_sweep) {
@@ -629,9 +634,15 @@ void Server::run_job(const std::shared_ptr<Job>& job) {
               ++job->progress_version;
             }
             job->cv.notify_all();
+          },
+          [&job] {
+            return job->cancel_requested.load(std::memory_order_relaxed);
           });
-      result = sweep_result.to_json();
-      cells = sweep_result.cells.size();
+      cancelled = sweep_result.cancelled;
+      if (!cancelled) {
+        result = sweep_result.to_json();
+        cells = sweep_result.cells.size();
+      }
     } else {
       result = run_result_to_json(run_scenario(job->scenario));
       cells = 1;
@@ -641,7 +652,7 @@ void Server::run_job(const std::shared_ptr<Job>& job) {
     failure = exception.what();
   }
 
-  if (!failed) {
+  if (!failed && !cancelled) {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     cache_.insert(job->key, result);
   }
@@ -654,6 +665,8 @@ void Server::run_job(const std::shared_ptr<Job>& job) {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     if (failed) {
       ++stats_.jobs_failed;
+    } else if (cancelled) {
+      ++stats_.jobs_cancelled;
     } else {
       ++stats_.jobs_done;
       stats_.cells_computed += cells;
@@ -661,8 +674,10 @@ void Server::run_job(const std::shared_ptr<Job>& job) {
   }
   {
     std::lock_guard<std::mutex> lock(job->mutex);
-    job->state = failed ? Job::State::kFailed : Job::State::kDone;
-    job->error = failure;
+    job->state = failed      ? Job::State::kFailed
+                 : cancelled ? Job::State::kCancelled
+                             : Job::State::kDone;
+    job->error = cancelled ? "cancelled by client" : failure;
     job->result = std::move(result);
     job->done_cells = cells;
     ++job->progress_version;
@@ -844,17 +859,17 @@ void Server::handle_cancel(int fd, std::mutex& write_mutex,
                            std::uint64_t job_id) {
   std::shared_ptr<Job> job;
   bool cancelled = false;
+  bool cancelling = false;
   std::string state_label;
   {
     std::lock_guard<std::mutex> lock(jobs_mutex_);
     const auto it = jobs_.find(job_id);
     if (it != jobs_.end()) job = it->second;
     if (job) {
-      // Cancel only reaches queued jobs: a RUNNING job completes and lands
-      // in the cache (deterministic work is never worth abandoning
-      // half-done), and its subscribers keep their stream.
       std::lock_guard<std::mutex> job_lock(job->mutex);
       if (job->state == Job::State::kQueued) {
+        // A queued job dies immediately: drop it from the queue and mark
+        // it terminal right here.
         for (auto it2 = queue_.begin(); it2 != queue_.end(); ++it2) {
           if ((*it2)->id == job_id) {
             queue_.erase(it2);
@@ -867,6 +882,14 @@ void Server::handle_cancel(int fd, std::mutex& write_mutex,
         ++job->progress_version;
         retire_job_locked(job_id);
         cancelled = true;
+      } else if (job->state == Job::State::kRunning && job->is_sweep) {
+        // A running sweep stops cooperatively: the worker polls this flag
+        // between seed groups and retires the job as kCancelled itself
+        // (which also bumps jobs_cancelled — not here, or it would double
+        // count).  Scenario jobs are one indivisible engine run and just
+        // complete.
+        job->cancel_requested.store(true, std::memory_order_relaxed);
+        cancelling = true;
       } else {
         state_label = state_name(static_cast<std::uint8_t>(job->state));
       }
@@ -880,15 +903,16 @@ void Server::handle_cancel(int fd, std::mutex& write_mutex,
                      error_frame("unknown job " + std::to_string(job_id)));
     return;
   }
-  if (!cancelled) {
+  if (!cancelled && !cancelling) {
     (void)send_frame(
         fd, write_mutex,
         error_frame("job " + std::to_string(job_id) + " is " + state_label +
-                    " — only queued jobs can be cancelled"));
+                    " — only queued jobs and running sweeps can be "
+                    "cancelled"));
     return;
   }
-  job->cv.notify_all();
-  {
+  if (cancelled) {
+    job->cv.notify_all();
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.jobs_cancelled;
   }

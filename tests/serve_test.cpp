@@ -529,6 +529,96 @@ TEST(ServeEndToEndTest, TerminalJobsFallOutOfTheJobTable) {
   EXPECT_TRUE(cached);
 }
 
+TEST(ServeEndToEndTest, CancelStopsARunningSweep) {
+  ServerOptions options = base_options("cancel_running");
+  options.workers = 1;
+  options.sweep_threads = 1;
+  TestServer daemon(options);
+  ASSERT_TRUE(daemon.started);
+
+  // Long enough to be mid-run when the cancel lands, with many seed
+  // groups (one per ring size) so the cooperative flag has between-group
+  // boundaries to stop at.
+  const std::string big_sweep =
+      R"({"algorithms":["pef3+"],)"
+      R"("adversaries":[{"kind":"static","params":{}}],)"
+      R"("models":["fsync"],"ring_sizes":[6,7,8,9,10,11,12,13],)"
+      R"("robot_counts":[3],"seeds":[1,2],"horizon":20000000})";
+
+  std::string error;
+  std::uint64_t job_id = 0;
+  {
+    Client submitter;
+    ASSERT_TRUE(
+        submitter.connect_unix(daemon.server.socket_path(), 5, &error))
+        << error;
+    JsonWriter submit;
+    submit.begin_object();
+    submit.field("op", "submit");
+    submit.field("spec_text", big_sweep);
+    submit.end_object();
+    const auto ack = submitter.request(submit.str(), &error);
+    ASSERT_TRUE(ack.has_value()) << error;
+    const JsonValue* ok = ack->find("ok");
+    ASSERT_TRUE(ok != nullptr && ok->bool_value);
+    const JsonValue* job = ack->find("job");
+    ASSERT_TRUE(job != nullptr);
+    job_id = job->uint_value;
+    submitter.disconnect();  // the job is the worker's, not the stream's
+  }
+
+  Client control;
+  ASSERT_TRUE(control.connect_unix(daemon.server.socket_path(), 5, &error))
+      << error;
+  const auto job_state = [&]() -> std::string {
+    JsonWriter status;
+    status.begin_object();
+    status.field("op", "status");
+    status.field("job", job_id);
+    status.end_object();
+    const auto response = control.request(status.str(), &error);
+    if (!response.has_value()) return "<request failed: " + error + ">";
+    const JsonValue* state = response->find("state");
+    return state != nullptr ? state->string_value : "<no state>";
+  };
+
+  // Wait until the worker picks the job up, then cancel it mid-run.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (job_state() != "running") {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "job never started running";
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  JsonWriter cancel;
+  cancel.begin_object();
+  cancel.field("op", "cancel");
+  cancel.field("job", job_id);
+  cancel.end_object();
+  const auto response = control.request(cancel.str(), &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  const JsonValue* ok = response->find("ok");
+  ASSERT_TRUE(ok != nullptr && ok->bool_value)
+      << "cancel refused for the running job";
+
+  // The sweep stops at its next seed-group boundary and the job lands
+  // terminal as cancelled.
+  while (job_state() == "running") {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "running sweep ignored the cancel flag";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(job_state(), "cancelled");
+
+  // A cancelled sweep is partial: nothing may land in the cache, and the
+  // stats must count it as cancelled, not done.
+  const ServeStats stats = daemon.server.stats_snapshot();
+  EXPECT_EQ(stats.jobs_cancelled, 1u);
+  EXPECT_EQ(stats.jobs_done, 0u);
+  EXPECT_EQ(stats.cells_computed, 0u);
+  EXPECT_EQ(daemon.server.cache_stats_snapshot().insertions, 0u);
+}
+
 // ---------------------------------------------------------------------------
 // The real binaries against the golden baseline
 

@@ -35,7 +35,9 @@ void print_help(const char* program) {
       << "  --timeout S      connect retry window, seconds (default 5)\n"
       << "  --stats          print the daemon's stats response and exit\n"
       << "  --status N       print job N's status and exit\n"
-      << "  --cancel N       cancel queued job N and exit\n"
+      << "  --cancel N       cancel job N and exit (queued jobs die\n"
+      << "                   immediately; a running sweep stops at its\n"
+      << "                   next seed-group boundary)\n"
       << "  --shutdown       ask the daemon to drain and exit\n"
       << "  --quiet          suppress the progress stream on stderr\n"
       << "  --help           this text\n";

@@ -91,6 +91,10 @@ void print_help(const char* program) {
       << "                   Omit the flag for the single traced run below\n"
       << "                   (incompatible with --render and\n"
       << "                   --engine reference)\n"
+      << "  --fast-forward   detect per-seed periodicity and extrapolate\n"
+      << "                   the remaining rounds in closed form\n"
+      << "                   (Monte-Carlo mode only; engages on eligible\n"
+      << "                   deterministic seeds, results bit-identical)\n"
       << "  --threads N      intra-cell worker threads for the batched\n"
       << "                   engine (default 1; 0 = one per physical core;\n"
       << "                   results are bit-identical at any value)\n"
@@ -155,6 +159,7 @@ int main(int argc, char** argv) {
   const auto horizon = args.get_u64("--horizon", spec.horizon);
   const bool batch_given = args.has("--batch");
   const std::string batch_arg = args.get_string("--batch", "1");
+  const bool fast_forward = args.has("--fast-forward");
   const auto threads = args.get_u32("--threads", 1);
   const auto model_name =
       args.get_string("--model", to_string(spec.model));
@@ -240,6 +245,11 @@ int main(int argc, char** argv) {
                  "is inherently serial)\n";
     return 2;
   }
+  if (fast_forward && !batch_given) {
+    std::cerr << "--fast-forward applies to --batch runs (the traced single "
+                 "run must replay every round)\n";
+    return 2;
+  }
 
   // Resolve the adversary through the registry (the same table --help is
   // generated from).  An --adversary flag naming a different family than
@@ -300,6 +310,7 @@ int main(int argc, char** argv) {
 
     std::vector<EngineStats> seed_stats(batch);
     std::vector<CoverageReport> seed_coverage(batch);
+    std::vector<Time> seed_simulated(batch, 0);  // 0 = ran plain
     const char* engine_used = plan.use_batch() ? "batch" : "solo";
     const auto start = std::chrono::steady_clock::now();
     if (plan.use_batch()) {
@@ -315,17 +326,22 @@ int main(int argc, char** argv) {
       }
       BatchEngineOptions options;
       options.threads = threads;
+      options.fast_forward.enabled = fast_forward;
       BatchEngine batch_engine(ring, *model, std::move(replicas), options);
       batch_engine.run_all();
       for (std::uint32_t b = 0; b < batch; ++b) {
         seed_stats[b] = batch_engine.stats(b);
         seed_coverage[b] = batch_engine.coverage_report(b);
+        if (batch_engine.fast_forwarded(b)) {
+          seed_simulated[b] = batch_engine.rounds_simulated(b);
+        }
       }
     } else {
       for (std::uint32_t b = 0; b < batch; ++b) {
         const std::uint64_t s = seed + b;
         EngineOptions options;
         options.dispatch = dispatch;
+        options.fast_forward.enabled = fast_forward;
         std::optional<Engine> solo;
         switch (*model) {
           case ExecutionModel::kFsync:
@@ -351,6 +367,9 @@ int main(int argc, char** argv) {
         solo->run(horizon);
         seed_stats[b] = solo->stats();
         seed_coverage[b] = solo->coverage_report();
+        if (solo->fast_forwarded()) {
+          seed_simulated[b] = solo->rounds_simulated();
+        }
       }
     }
     const double secs = std::chrono::duration<double>(
@@ -393,6 +412,22 @@ int main(int argc, char** argv) {
                                      : "rounds")
               << "/sec over B=" << batch << " (" << secs << " s)"
               << " engine=" << engine_used << "\n";
+    if (fast_forward) {
+      std::uint32_t engaged = 0;
+      std::uint64_t simulated = 0;
+      for (std::uint32_t b = 0; b < batch; ++b) {
+        if (seed_simulated[b] != 0) {
+          ++engaged;
+          simulated += seed_simulated[b];
+        } else {
+          simulated += horizon;
+        }
+      }
+      std::cout << "fast-forward: " << engaged << "/" << batch
+                << " seeds cycled, " << simulated << " of "
+                << static_cast<std::uint64_t>(horizon) * batch
+                << " rounds simulated\n";
+    }
     return all_perpetual ? 0 : 1;
   }
 
